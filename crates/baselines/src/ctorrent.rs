@@ -1,0 +1,182 @@
+//! A CTorrent-like hand-written BitTorrent seeder (substitute for the
+//! CTorrent comparator of Figure 4).
+//!
+//! Classic threaded design: an accept loop hands each peer connection
+//! to a dedicated thread that owns it — handshake, bitfield, then a
+//! read-request/write-piece loop until disconnect. Same substrate
+//! (`flux-bittorrent`) as the Flux peer, no coordination layer.
+
+use flux_bittorrent::{Handshake, Message, Metainfo, PieceStore};
+use flux_net::{Conn, Listener};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Stats comparable with the Flux peer's.
+#[derive(Default)]
+pub struct CtStats {
+    pub blocks_served: AtomicU64,
+    pub bytes_up: AtomicU64,
+    pub peers_seen: AtomicU64,
+}
+
+/// A running ctorrent-like seeder.
+pub struct CtServer {
+    pub stats: Arc<CtStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CtServer {
+    /// Starts the seeder.
+    pub fn start(listener: Box<dyn Listener>, meta: Metainfo, file: Vec<u8>) -> CtServer {
+        let stats = Arc::new(CtStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::new(PieceStore::new(meta, file).expect("seed file matches metainfo"));
+        let accept_thread = {
+            let stats = stats.clone();
+            let stop = stop.clone();
+            listener.set_accept_timeout(Some(Duration::from_millis(50)));
+            std::thread::Builder::new()
+                .name("ct-accept".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok(conn) => {
+                            let store = store.clone();
+                            let stats = stats.clone();
+                            stats.peers_seen.fetch_add(1, Ordering::Relaxed);
+                            let _ = std::thread::Builder::new()
+                                .name("ct-peer".into())
+                                .spawn(move || serve_peer(conn, &store, &stats));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn ct acceptor")
+        };
+        CtServer {
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// Stops accepting (in-flight peers finish naturally).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_peer(mut conn: Box<dyn Conn>, store: &PieceStore, stats: &CtStats) {
+    let Ok(hs) = Handshake::read_from(&mut *conn) else {
+        return;
+    };
+    if hs.info_hash != store.metainfo().info_hash {
+        return;
+    }
+    let reply = Handshake {
+        info_hash: store.metainfo().info_hash,
+        peer_id: *b"-CT0001-baseline0001",
+    };
+    if conn.write_all(&reply.encode()).is_err() {
+        return;
+    }
+    let bits = store.bitfield();
+    if Message::Bitfield(bits.as_bytes().to_vec())
+        .write_to(&mut *conn)
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match Message::read_from(&mut *conn) {
+            Ok(Message::Request {
+                index,
+                begin,
+                length,
+            }) => {
+                let Some(block) = store.read_block(index, begin, length) else {
+                    return;
+                };
+                let reply = Message::Piece {
+                    index,
+                    begin,
+                    data: block.to_vec(),
+                };
+                if reply.write_to(&mut *conn).is_err() {
+                    return;
+                }
+                stats.blocks_served.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .bytes_up
+                    .fetch_add(length as u64 + 13, Ordering::Relaxed);
+            }
+            Ok(Message::KeepAlive) => continue,
+            Ok(Message::Interested) | Ok(Message::NotInterested) => continue,
+            Ok(Message::Have { .. }) | Ok(Message::Bitfield(_)) => continue,
+            Ok(Message::Cancel { .. }) => continue,
+            Ok(Message::Choke) | Ok(Message::Unchoke) => continue,
+            Ok(Message::Piece { .. }) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_bittorrent::synth_file;
+    use flux_net::MemNet;
+    use flux_servers::bt::client;
+
+    #[test]
+    fn serves_complete_download() {
+        let file = synth_file(180_000, 3);
+        let meta = Metainfo::from_file("t", "f", 32 * 1024, &file);
+        let net = MemNet::new();
+        let listener = net.listen("ct").unwrap();
+        let server = CtServer::start(Box::new(listener), meta.clone(), file.clone());
+        let conn = net.connect("ct").unwrap();
+        let got =
+            client::download(Box::new(conn), &meta, *b"-FX0001-testclient01", Some(3)).unwrap();
+        assert_eq!(got, file);
+        assert!(server.stats.blocks_served.load(Ordering::Relaxed) > 0);
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_peers() {
+        let file = synth_file(120_000, 8);
+        let meta = Metainfo::from_file("t", "f", 32 * 1024, &file);
+        let net = MemNet::new();
+        let listener = net.listen("ct2").unwrap();
+        let server = CtServer::start(Box::new(listener), meta.clone(), file.clone());
+        let mut joins = Vec::new();
+        for i in 0..4u8 {
+            let net = net.clone();
+            let meta = meta.clone();
+            let file = file.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut id = *b"-FX0001-testclient00";
+                id[19] = b'0' + i;
+                let conn = net.connect("ct2").unwrap();
+                let got = client::download(Box::new(conn), &meta, id, None).unwrap();
+                assert_eq!(got, file);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(server.stats.peers_seen.load(Ordering::Relaxed), 4);
+        server.stop();
+    }
+}

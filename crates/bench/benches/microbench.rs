@@ -1,0 +1,246 @@
+//! Criterion micro-benchmarks for the components behind every table and
+//! figure: compiler passes, substrate codecs, the lock manager, flow
+//! execution overhead, and the discrete-event engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for (name, src) in [
+        ("image_server", flux_servers::image::FLUX_SRC),
+        ("web_server", flux_servers::web::FLUX_SRC),
+        ("bittorrent", flux_servers::bt::FLUX_SRC),
+        ("game", flux_servers::game::FLUX_SRC),
+    ] {
+        g.bench_function(format!("compile/{name}"), |b| {
+            b.iter(|| flux_core::compile(black_box(src)).unwrap())
+        });
+    }
+    let program = flux_core::compile(flux_servers::bt::FLUX_SRC).unwrap();
+    g.bench_function("ball_larus/bittorrent", |b| {
+        b.iter(|| {
+            for flow in &program.flows {
+                black_box(flux_core::PathTable::build(&flow.flat).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    let data = flux_bittorrent::synth_file(256 * 1024, 1);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha1/256KiB", |b| {
+        b.iter(|| flux_bittorrent::sha1(black_box(&data)))
+    });
+
+    let torrent = flux_bittorrent::Metainfo::from_file("t", "f", 32 * 1024, &data).to_torrent();
+    g.throughput(Throughput::Bytes(torrent.len() as u64));
+    g.bench_function("bencode/decode_torrent", |b| {
+        b.iter(|| flux_bittorrent::Bencode::decode(black_box(&torrent)).unwrap())
+    });
+
+    let img = flux_image::Image::synthetic(128, 96, 2);
+    g.throughput(Throughput::Bytes(img.rgb.len() as u64));
+    g.bench_function("jpeg/encode_128x96_q75", |b| {
+        b.iter(|| flux_image::jpeg_encode(black_box(&img), 75))
+    });
+
+    let req = b"GET /dir00001/class1_3.html?x=1 HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\nAccept: */*\r\n\r\n";
+    g.throughput(Throughput::Bytes(req.len() as u64));
+    g.bench_function("http/parse_request", |b| {
+        b.iter(|| {
+            let mut cur = std::io::Cursor::new(req.to_vec());
+            flux_http::read_request(black_box(&mut cur)).unwrap()
+        })
+    });
+
+    let script = "<?fx $t = 0; for ($i = 0; $i < 100; $i = $i + 1) { $t = $t + $i * $i; } echo $t; ?>";
+    g.bench_function("fluxscript/loop100", |b| {
+        let vars = std::collections::HashMap::new();
+        b.iter(|| flux_http::fxs_render(black_box(script), &vars).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    use flux_core::ConstraintMode;
+    use flux_runtime::ReentrantRwLock;
+    let mut g = c.benchmark_group("locks");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let lock = ReentrantRwLock::new();
+    g.bench_function("uncontended_writer", |b| {
+        b.iter(|| {
+            lock.acquire(1, ConstraintMode::Writer);
+            lock.release(1, ConstraintMode::Writer);
+        })
+    });
+    g.bench_function("uncontended_reader", |b| {
+        b.iter(|| {
+            lock.acquire(1, ConstraintMode::Reader);
+            lock.release(1, ConstraintMode::Reader);
+        })
+    });
+    g.bench_function("reentrant_depth4", |b| {
+        b.iter(|| {
+            for _ in 0..4 {
+                lock.acquire(1, ConstraintMode::Writer);
+            }
+            for _ in 0..4 {
+                lock.release(1, ConstraintMode::Writer);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_execution(c: &mut Criterion) {
+    use flux_runtime::{FluxServer, NodeOutcome, NodeRegistry, SourceOutcome};
+    let mut g = c.benchmark_group("flow");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    // Per-flow coordination overhead: a 5-node pipeline of no-op nodes.
+    const SRC: &str = "
+        Gen () => (int x);
+        A (int x) => (int x);
+        B (int x) => (int x);
+        C (int x) => (int x);
+        D (int x) => (int x);
+        E (int x) => ();
+        source Gen => Flow;
+        Flow = A -> B -> C -> D -> E;
+        atomic C: {state};
+    ";
+    let build = |profile: bool| {
+        let program = flux_core::compile(SRC).unwrap();
+        let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+        reg.source("Gen", || SourceOutcome::New(0));
+        for n in ["A", "B", "C", "D", "E"] {
+            reg.node(n, |x: &mut u64| {
+                *x = x.wrapping_add(1);
+                NodeOutcome::Ok
+            });
+        }
+        if profile {
+            FluxServer::with_profiling(program, reg).unwrap()
+        } else {
+            FluxServer::new(program, reg).unwrap()
+        }
+    };
+    let server = build(false);
+    g.bench_function("five_node_flow", |b| {
+        b.iter(|| {
+            let cursor = server.new_cursor(0, &0);
+            black_box(server.run_flow(cursor, 0));
+        })
+    });
+    let profiled = build(true);
+    g.bench_function("five_node_flow_profiled", |b| {
+        b.iter(|| {
+            let cursor = profiled.new_cursor(0, &0);
+            black_box(profiled.run_flow(cursor, 0));
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    use flux_core::model::ModelParams;
+    use flux_sim::{FluxSimulation, SimConfig};
+    let mut g = c.benchmark_group("sim");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let program = flux_core::compile(flux_core::fixtures::IMAGE_SERVER).unwrap();
+    let mut params = ModelParams::uniform(&program, 0.001, 0.004);
+    params.set_dispatch_probs(&program, "Handler", &[0.7, 0.3]);
+    g.bench_function("image_server_10s_sim", |b| {
+        b.iter(|| {
+            let report = FluxSimulation::new(
+                &program,
+                params.clone(),
+                SimConfig {
+                    cpus: 4,
+                    duration_s: 10.0,
+                    warmup_s: 1.0,
+                    ..SimConfig::default()
+                },
+            )
+            .run();
+            black_box(report.completed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("mem_pipe_64KiB", |b| {
+        use std::io::{Read as _, Write as _};
+        let (mut a, mut bconn) = flux_net::MemConn::pair();
+        let chunk = vec![7u8; 64 * 1024];
+        let mut sink = vec![0u8; 64 * 1024];
+        // Reader thread drains so writes never see backpressure.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        std::thread::spawn(move || loop {
+            match bconn.read(&mut sink) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    c2.fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+        });
+        b.iter(|| {
+            a.write_all(black_box(&chunk)).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_place(c: &mut Criterion) {
+    use flux_core::model::ModelParams;
+    let mut g = c.benchmark_group("place");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let program = flux_core::compile(flux_servers::bt::FLUX_SRC).unwrap();
+    let params = ModelParams::uniform(&program, 0.001, 0.01);
+    g.bench_function("traffic_matrix/bittorrent", |b| {
+        b.iter(|| flux_core::TrafficMatrix::build(black_box(&program), black_box(&params)).unwrap())
+    });
+    for machines in [2usize, 8] {
+        let cfg = flux_core::PlaceConfig {
+            machines,
+            ..Default::default()
+        };
+        g.bench_function(format!("guided/bittorrent_m{machines}"), |b| {
+            b.iter(|| flux_core::place(black_box(&program), black_box(&params), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compiler,
+    bench_substrates,
+    bench_locks,
+    bench_flow_execution,
+    bench_sim,
+    bench_net,
+    bench_place
+);
+criterion_main!(benches);

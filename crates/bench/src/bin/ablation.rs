@@ -1,0 +1,335 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Constraint granularity** (§2.5.2's "granularity selection"):
+//!    the same pipeline with (a) fine per-node constraints, (b) one
+//!    coarse constraint on the whole abstract node, (c) a reader
+//!    constraint — measured as flow throughput on the thread pool.
+//!    Predicted *and* measured: this is exactly the trade-off the paper
+//!    says the generated simulator helps explore before deployment.
+//! 2. **Event-runtime I/O pool size**: throughput of a blocking-node
+//!    workload as the helper pool grows.
+//! 3. **Session-scoped constraints in the simulator** (paper §8 future
+//!    work): the conservative treat-as-global prediction of §5.1 versus
+//!    the session-aware extension, against the measured runtime (whose
+//!    lock manager has always been session-scoped). The conservative
+//!    simulator under-predicts session workloads; the extension tracks
+//!    the measurement.
+//! 4. **Constraint-guided cluster placement** (paper §8 future work):
+//!    cross-machine hand-off traffic and distributed-lock rate of the
+//!    constraint-guided partitioner versus a constraint-blind
+//!    round-robin baseline, on the paper's image server and BitTorrent
+//!    programs.
+//!
+//! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point).
+
+use flux_bench::{env_or, f, Table};
+use flux_core::model::ModelParams;
+use flux_runtime::{start, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome};
+use flux_sim::{FluxSimulation, SimConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Three constraint layouts for the same 3-stage pipeline.
+fn program(granularity: &str) -> String {
+    let constraints = match granularity {
+        "fine" => "atomic A: {s1}; atomic B: {s2}; atomic C: {s3};",
+        "coarse" => "atomic Flow: {all};",
+        "readers" => "atomic A: {s?}; atomic B: {s?}; atomic C: {s?};",
+        _ => "",
+    };
+    format!(
+        "Gen () => (int x);\n\
+         A (int x) => (int x);\n\
+         B (int x) => (int x);\n\
+         C (int x) => (int x);\n\
+         Out (int x) => ();\n\
+         source Gen => Flow;\n\
+         Flow = A -> B -> C -> Out;\n\
+         {constraints}\n"
+    )
+}
+
+fn run_granularity(granularity: &str, workers: usize, secs: f64) -> (f64, f64) {
+    let src = program(granularity);
+    let compiled = flux_core::compile(&src).expect("ablation program compiles");
+
+    // Predicted throughput from the simulator (0.5 ms per node). Drive
+    // arrivals at 90% of the unconstrained CPU capacity — like the
+    // paper's load sweeps, the simulator is meaningful up to saturation;
+    // sustained open-loop overload only grows the backlog.
+    let mut params = ModelParams::uniform(&compiled, 0.0005, 0.0005);
+    params.set_node_service(&compiled, "Out", 0.0);
+    let capacity = workers as f64 / (3.0 * 0.0005);
+    params.flows[0].interarrival_mean_s = 1.0 / (0.9 * capacity);
+    let predicted = FluxSimulation::new(
+        &compiled,
+        params,
+        SimConfig {
+            cpus: workers,
+            duration_s: 30.0,
+            warmup_s: 3.0,
+            exponential_service: false,
+            poisson_arrivals: false,
+            ..SimConfig::default()
+        },
+    )
+    .run()
+    .throughput;
+
+    // Measured: nodes spin ~0.5 ms. A fixed flow count keeps the run
+    // bounded (an open-loop source would flood the pool queue faster
+    // than a small host drains it); throughput is count / drain time.
+    let total = (secs * 1500.0) as u64;
+    let produced = Arc::new(AtomicU64::new(0));
+    let p2 = produced.clone();
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    reg.source("Gen", move || {
+        if p2.fetch_add(1, Ordering::Relaxed) >= total {
+            return SourceOutcome::Shutdown;
+        }
+        SourceOutcome::New(0)
+    });
+    let spin = |_: &mut u64| {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(500) {
+            std::hint::spin_loop();
+        }
+        NodeOutcome::Ok
+    };
+    for n in ["A", "B", "C"] {
+        reg.node(n, spin);
+    }
+    reg.node("Out", |_| NodeOutcome::Ok);
+    let server = Arc::new(FluxServer::new(compiled, reg).unwrap());
+    let t0 = std::time::Instant::now();
+    let handle = start(server.clone(), RuntimeKind::ThreadPool { workers });
+    handle.join();
+    let measured = server.stats.finished() as f64 / t0.elapsed().as_secs_f64();
+    (predicted, measured)
+}
+
+fn run_io_pool(io_workers: usize, secs: f64) -> f64 {
+    const SRC: &str = "
+        Gen () => (int x);
+        Io (int x) => (int x);
+        Out (int x) => ();
+        source Gen => Flow;
+        Flow = Io -> Out;
+        blocking Io;
+    ";
+    let compiled = flux_core::compile(SRC).unwrap();
+    // Fixed flow count sized so every pool spends roughly `secs` draining
+    // at its ideal rate (io_workers / 1 ms).
+    let total = (secs * 1000.0) as u64 * io_workers as u64;
+    let produced = Arc::new(AtomicU64::new(0));
+    let p2 = produced.clone();
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    reg.source("Gen", move || {
+        if p2.fetch_add(1, Ordering::Relaxed) >= total {
+            return SourceOutcome::Shutdown;
+        }
+        SourceOutcome::New(0)
+    });
+    reg.node_blocking("Io", |_| {
+        std::thread::sleep(Duration::from_millis(1)); // 1 ms blocking call
+        NodeOutcome::Ok
+    });
+    reg.node("Out", |_| NodeOutcome::Ok);
+    let server = Arc::new(FluxServer::new(compiled, reg).unwrap());
+    let t0 = std::time::Instant::now();
+    let handle = start(server.clone(), RuntimeKind::EventDriven { io_workers });
+    handle.join();
+    // Dispatcher drains after sources stop.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let started = server.stats.started.load(Ordering::Relaxed);
+    while server.stats.finished() < started && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stats.finished() as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Predicted (conservative and session-aware) and measured throughput of
+/// a pipeline whose middle node holds a `(session)` writer constraint,
+/// with flows spread round-robin over `sessions` sessions.
+fn run_sessions(sessions: usize, workers: usize, secs: f64) -> (f64, f64, f64) {
+    const SRC: &str = "
+        Gen () => (int sid);
+        Work (int sid) => (int sid);
+        Out (int sid) => ();
+        Flow = Work -> Out;
+        source Gen => Flow;
+        atomic Work: {chunks(session)};
+    ";
+    let compiled = flux_core::compile(SRC).expect("session program compiles");
+
+    let service = 0.0005;
+    let predict = |session_aware: bool| {
+        let mut params = ModelParams::uniform(&compiled, 0.0, 0.0);
+        params.flows[0].interarrival_mean_s = service / workers as f64 / 2.0;
+        params.set_node_service(&compiled, "Work", service);
+        FluxSimulation::new(
+            &compiled,
+            params,
+            SimConfig {
+                cpus: workers,
+                duration_s: 10.0,
+                warmup_s: 1.0,
+                exponential_service: false,
+                poisson_arrivals: false,
+                session_aware,
+                sessions,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .throughput
+    };
+    let conservative = predict(false);
+    let aware = predict(true);
+
+    // Measured: payload is the session id, assigned round-robin over a
+    // fixed flow count (bounded drain; see run_granularity).
+    let total = (secs * 1500.0) as u64 * sessions.min(workers) as u64;
+    let next = Arc::new(AtomicU64::new(0));
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    reg.source("Gen", move || {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            return SourceOutcome::Shutdown;
+        }
+        SourceOutcome::New(i % sessions as u64)
+    });
+    reg.session("Gen", |sid: &u64| *sid);
+    reg.node("Work", |_| {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(500) {
+            std::hint::spin_loop();
+        }
+        NodeOutcome::Ok
+    });
+    reg.node("Out", |_| NodeOutcome::Ok);
+    let server = Arc::new(FluxServer::new(compiled, reg).unwrap());
+    let t0 = std::time::Instant::now();
+    let handle = start(server.clone(), RuntimeKind::ThreadPool { workers });
+    handle.join();
+    let measured = server.stats.finished() as f64 / t0.elapsed().as_secs_f64();
+    (conservative, aware, measured)
+}
+
+fn main() {
+    let secs: f64 = env_or("FLUX_BENCH_SECS", 1.5);
+    let workers = env_or("FLUX_BENCH_WORKERS", 8usize);
+
+    let mut t = Table::new(
+        "Ablation 1: constraint granularity (3-stage pipeline, 0.5 ms/node)",
+        &["granularity", "predicted_flows_s", "measured_flows_s"],
+    );
+    for g in ["none", "fine", "coarse", "readers"] {
+        let (p, m) = run_granularity(g, workers, secs);
+        eprintln!("# {g:>8}: predicted {} measured {}", f(p), f(m));
+        t.row(&[g.into(), f(p), f(m)]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("# coarse serializes the whole flow (worst); readers run fully parallel;");
+    println!("# fine writer locks pipeline between stages. The simulator predicts the order.");
+    println!();
+
+    let mut t2 = Table::new(
+        "Ablation 2: event-runtime I/O pool size (1 ms blocking node)",
+        &["io_workers", "flows_s"],
+    );
+    for io in [1usize, 2, 4, 8, 16] {
+        let tput = run_io_pool(io, secs);
+        eprintln!("# io_workers={io:<3} {} flows/s", f(tput));
+        t2.row(&[io.to_string(), f(tput)]);
+    }
+    print!("{}", t2.render());
+    println!();
+    println!("# throughput scales with the pool until the 1 ms blocking call stops dominating —");
+    println!("# the paper's LD_PRELOAD shim had the same effective knob (outstanding async ops).");
+    println!();
+
+    let mut t3 = Table::new(
+        "Ablation 3: session-scoped constraints — conservative vs session-aware simulator (flows/s)",
+        &[
+            "sessions",
+            "predicted_conservative",
+            "predicted_session_aware",
+            "measured",
+        ],
+    );
+    for sessions in [1usize, 2, 4, 8, 16] {
+        let (cons, aware, meas) = run_sessions(sessions, workers, secs);
+        eprintln!(
+            "# sessions={sessions:<3} conservative {} aware {} measured {}",
+            f(cons),
+            f(aware),
+            f(meas)
+        );
+        t3.row(&[sessions.to_string(), f(cons), f(aware), f(meas)]);
+    }
+    print!("{}", t3.render());
+    println!();
+    println!("# the conservative prediction (paper §5.1) stays pinned at one-session throughput;");
+    println!("# the session-aware extension (paper §8) tracks the measured scaling across sessions.");
+    println!();
+
+    let mut t4 = Table::new(
+        "Ablation 4: constraint-guided cluster placement vs round-robin",
+        &[
+            "program",
+            "machines",
+            "guided_cut_pct",
+            "guided_remote_locks_s",
+            "rr_cut_pct",
+            "rr_remote_locks_s",
+        ],
+    );
+    let programs: [(&str, &str, &[f64]); 2] = [
+        (
+            "image",
+            flux_core::fixtures::IMAGE_SERVER,
+            &[0.86, 0.14],
+        ),
+        (
+            "bittorrent",
+            flux_servers::bt::FLUX_SRC,
+            &[0.55, 0.15, 0.08, 0.05, 0.05, 0.04, 0.03, 0.03, 0.01, 0.01],
+        ),
+    ];
+    for (name, src, probs) in programs {
+        let compiled = flux_core::compile(src).expect("placement program compiles");
+        let mut params = ModelParams::uniform(&compiled, 0.001, 0.01);
+        let dispatch = if name == "image" { "Handler" } else { "HandleMessage" };
+        params.set_dispatch_probs(&compiled, dispatch, probs);
+        for machines in [2usize, 4] {
+            let cfg = flux_core::PlaceConfig {
+                machines,
+                ..Default::default()
+            };
+            let guided = flux_core::place(&compiled, &params, &cfg).unwrap();
+            let rr = flux_core::round_robin(&compiled, &params, machines).unwrap();
+            eprintln!(
+                "# {name:>10} machines={machines}: guided cut {:.1}% remote {:.1}/s | rr cut {:.1}% remote {:.1}/s",
+                100.0 * guided.cut_fraction(),
+                guided.remote_lock_rate,
+                100.0 * rr.cut_fraction(),
+                rr.remote_lock_rate,
+            );
+            t4.row(&[
+                name.into(),
+                machines.to_string(),
+                format!("{:.1}", 100.0 * guided.cut_fraction()),
+                f(guided.remote_lock_rate),
+                format!("{:.1}", 100.0 * rr.cut_fraction()),
+                f(rr.remote_lock_rate),
+            ]);
+        }
+    }
+    print!("{}", t4.render());
+    println!();
+    println!("# constraints identify shared state (paper §8): colocating their footprints keeps every");
+    println!("# lock machine-local and cuts cross-machine hand-offs by an order of magnitude.");
+}

@@ -1,0 +1,123 @@
+//! Figure 4: BitTorrent peer under load — whole-file completions per
+//! second, network goodput (Mb/s) and per-block latency versus client
+//! count, comparing the Flux peer (three runtimes) with the
+//! CTorrent-like threaded baseline.
+//!
+//! Workload per §4.3: clients continuously request random pieces of a
+//! shared file from a seeder, disconnect when complete, and reconnect
+//! (all peers unchoked; single seeder maximizes load). The in-memory
+//! link is capacity-shaped so goodput *saturates* as in the paper's
+//! middle panel — the crossover where every server plateaus at the link
+//! rate while latency keeps climbing.
+//!
+//! Knobs: `FLUX_BENCH_SECS`, `FLUX_BENCH_FULL=1` (54 MB file as in the
+//! paper; default 2 MB), `FLUX_BENCH_LINK_MBPS` (default 400).
+
+use flux_baselines::CtServer;
+use flux_bench::{env_or, f, ms, run_bt_load, Table};
+use flux_bittorrent::{synth_file, Metainfo};
+use flux_net::MemNet;
+use flux_runtime::RuntimeKind;
+use std::time::Duration;
+
+fn main() {
+    let secs: f64 = env_or("FLUX_BENCH_SECS", 2.0);
+    let full: bool = env_or("FLUX_BENCH_FULL", 0u8) == 1;
+    let file_len = if full { 54 << 20 } else { 2 << 20 };
+    let link_mbps: f64 = env_or("FLUX_BENCH_LINK_MBPS", 400.0);
+    let clients: Vec<usize> = if full {
+        vec![2, 4, 8, 16, 32, 64, 128]
+    } else {
+        vec![2, 8, 24, 48]
+    };
+    let workers = env_or("FLUX_BENCH_WORKERS", 8usize);
+    let duration = Duration::from_secs_f64(secs);
+    let warmup = Duration::from_secs_f64((secs / 4.0).clamp(0.25, 5.0));
+
+    eprintln!("# seeding a {file_len}-byte file; link {link_mbps} Mb/s");
+    let file = synth_file(file_len, 42);
+    let meta = Metainfo::from_file("mem:tracker", "bench.bin", 256 * 1024, &file);
+
+    let mut rows: Vec<(String, usize, f64, f64, f64)> = Vec::new();
+    for &n in &clients {
+        for server in ["ctorrent", "flux-threadpool", "flux-event", "flux-thread"] {
+            if server == "flux-thread" && n > 24 && !full {
+                continue;
+            }
+            let net = MemNet::new();
+            net.set_link_capacity(Some(link_mbps * 1e6 / 8.0));
+            let listener = net.listen("seed").unwrap();
+            let report;
+            match server {
+                "ctorrent" => {
+                    let s = CtServer::start(Box::new(listener), meta.clone(), file.clone());
+                    report = run_bt_load(&net, "seed", &meta, n, duration, warmup);
+                    s.stop();
+                }
+                _ => {
+                    let kind = match server {
+                        "flux-threadpool" => RuntimeKind::ThreadPool { workers },
+                        "flux-event" => RuntimeKind::EventDriven { io_workers: workers },
+                        _ => RuntimeKind::ThreadPerFlow,
+                    };
+                    let s = flux_servers::bt::spawn(
+                        flux_servers::bt::BtConfig {
+                            listener: Box::new(listener),
+                            meta: meta.clone(),
+                            file: file.clone(),
+                            tracker_dial: None,
+                            peer_id: *b"-FX0001-benchseed001",
+                            addr: "mem:seed".into(),
+                            tracker_period: Duration::from_secs(3600),
+                            choke_period: Duration::from_secs(3600),
+                            keepalive_period: Duration::from_secs(3600),
+                        },
+                        kind,
+                        false,
+                    );
+                    report = run_bt_load(&net, "seed", &meta, n, duration, warmup);
+                    flux_servers::bt::stop(s);
+                }
+            }
+            eprintln!(
+                "# {server:>15} clients={n:<4} {:>7} compl/s {:>8} Mb/s block {} ms",
+                f(report.completions_per_s()),
+                f(report.mbps()),
+                ms(report.mean_block_latency)
+            );
+            rows.push((
+                server.to_string(),
+                n,
+                report.completions_per_s(),
+                report.mbps(),
+                report.mean_block_latency.as_secs_f64() * 1e3,
+            ));
+        }
+    }
+
+    let mut t1 = Table::new(
+        "Figure 4 (a): completions per second vs clients",
+        &["server", "clients", "completions_per_s"],
+    );
+    let mut t2 = Table::new(
+        "Figure 4 (b): network goodput (Mb/s) vs clients — saturates at the link",
+        &["server", "clients", "mbps"],
+    );
+    let mut t3 = Table::new(
+        "Figure 4 (c): per-block latency (ms) vs clients",
+        &["server", "clients", "block_ms"],
+    );
+    for (s, n, c, m, l) in &rows {
+        t1.row(&[s.clone(), n.to_string(), f(*c)]);
+        t2.row(&[s.clone(), n.to_string(), f(*m)]);
+        t3.row(&[s.clone(), n.to_string(), f(*l)]);
+    }
+    print!("{}", t1.render());
+    println!();
+    print!("{}", t2.render());
+    println!();
+    print!("{}", t3.render());
+    println!();
+    println!("# CSV");
+    println!("{}", t2.to_csv());
+}

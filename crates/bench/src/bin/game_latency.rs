@@ -1,0 +1,81 @@
+//! §4.4's game-server result: heartbeat stability versus player count.
+//! The paper "found no appreciable differences between a traditional
+//! implementation of the gameserver and the various Flux versions" —
+//! all hold the 10 Hz tick as players grow. This binary prints the
+//! observed broadcast rate and worst inter-arrival gap per server per
+//! player count.
+//!
+//! Knobs: `FLUX_BENCH_SECS` (default 2), `FLUX_BENCH_FULL=1` (more
+//! player counts).
+
+use flux_baselines::HandGameServer;
+use flux_bench::{env_or, f, ms, run_game_load, Table};
+use flux_net::MemNet;
+use flux_runtime::RuntimeKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let secs: f64 = env_or("FLUX_BENCH_SECS", 2.0);
+    let full: bool = env_or("FLUX_BENCH_FULL", 0u8) == 1;
+    let players: Vec<usize> = if full {
+        vec![4, 16, 64, 128, 256]
+    } else {
+        vec![4, 16, 64]
+    };
+    let tick = Duration::from_millis(100); // 10 Hz, as in the paper
+    let duration = Duration::from_secs_f64(secs.max(1.5));
+
+    let mut t = Table::new(
+        "Game server: heartbeat stability vs players (10 Hz tick)",
+        &["server", "players", "rate_hz", "mean_gap_ms", "max_gap_ms", "moves"],
+    );
+    for &n in &players {
+        for server in ["hand-written", "flux-threadpool", "flux-event"] {
+            let net = MemNet::new();
+            let sock = Arc::new(net.bind_datagram("game").unwrap());
+            let report;
+            match server {
+                "hand-written" => {
+                    let s = HandGameServer::start(sock, tick, 7);
+                    report = run_game_load(&net, "game", n, 10.0, duration);
+                    s.stop();
+                }
+                _ => {
+                    let kind = match server {
+                        "flux-threadpool" => RuntimeKind::ThreadPool { workers: 4 },
+                        _ => RuntimeKind::EventDriven { io_workers: 2 },
+                    };
+                    let s = flux_servers::game::spawn(
+                        flux_servers::game::GameConfig {
+                            socket: sock,
+                            tick,
+                            seed: 7,
+                        },
+                        kind,
+                        false,
+                    );
+                    report = run_game_load(&net, "game", n, 10.0, duration);
+                    flux_servers::game::stop(s);
+                }
+            }
+            eprintln!(
+                "# {server:>15} players={n:<4} {:>6} Hz worst gap {} ms",
+                f(report.rate_hz()),
+                ms(report.max_interarrival)
+            );
+            t.row(&[
+                server.into(),
+                n.to_string(),
+                f(report.rate_hz()),
+                ms(report.mean_interarrival),
+                ms(report.max_interarrival),
+                report.moves_sent.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("# Paper: no appreciable difference between Flux and the traditional server;");
+    println!("# the rate column should sit near 10 Hz for every row.");
+}

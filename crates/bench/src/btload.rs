@@ -1,0 +1,245 @@
+//! The BitTorrent load generator (paper §4.3): "simulates a series of
+//! clients continuously sending requests for randomly distributed
+//! pieces of a test file to a BitTorrent peer with a complete copy.
+//! When a peer finishes downloading a piece, it immediately requests
+//! another random piece from those still missing. Once a client has
+//! obtained the entire file, it disconnects" — and, in our harness,
+//! reconnects as a fresh client so load is sustained, with keep-alives
+//! interleaved as chatty peers do.
+
+use flux_bittorrent::{
+    BlockResult, Handshake, Message, Metainfo, PieceAssembler, BLOCK_SIZE,
+};
+use flux_net::MemNet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregated measurements from a BitTorrent load run.
+#[derive(Debug, Clone)]
+pub struct BtLoadReport {
+    pub clients: usize,
+    pub duration: Duration,
+    /// Complete file downloads finished in the window.
+    pub completions: u64,
+    /// Blocks received in the window.
+    pub blocks: u64,
+    /// Payload bytes received in the window.
+    pub bytes_down: u64,
+    /// Mean per-block latency (request -> piece).
+    pub mean_block_latency: Duration,
+    pub errors: u64,
+}
+
+impl BtLoadReport {
+    /// Network goodput in megabits per second.
+    pub fn mbps(&self) -> f64 {
+        (self.bytes_down as f64 * 8.0) / self.duration.as_secs_f64() / 1e6
+    }
+
+    /// Whole-file completions per second.
+    pub fn completions_per_s(&self) -> f64 {
+        self.completions as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// Runs `clients` concurrent downloaders against the seeder at `addr`.
+pub fn run_bt_load(
+    net: &Arc<MemNet>,
+    addr: &str,
+    meta: &Metainfo,
+    clients: usize,
+    duration: Duration,
+    warmup: Duration,
+) -> BtLoadReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let completions = Arc::new(AtomicU64::new(0));
+    let blocks = Arc::new(AtomicU64::new(0));
+    let bytes_down = Arc::new(AtomicU64::new(0));
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::with_capacity(clients);
+    for cid in 0..clients {
+        let net = net.clone();
+        let addr = addr.to_string();
+        let meta = meta.clone();
+        let stop = stop.clone();
+        let measuring = measuring.clone();
+        let completions = completions.clone();
+        let blocks = blocks.clone();
+        let bytes_down = bytes_down.clone();
+        let latency_ns = latency_ns.clone();
+        let errors = errors.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("btload-{cid}"))
+                .spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cid as u64 + 1000);
+                    while !stop.load(Ordering::Relaxed) {
+                        match download_once(
+                            &net, &addr, &meta, cid, &mut rng, &stop, &measuring, &blocks,
+                            &bytes_down, &latency_ns,
+                        ) {
+                            Ok(true) => {
+                                if measuring.load(Ordering::Relaxed) {
+                                    completions.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(false) => {} // stopped mid-download
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                })
+                .expect("spawn bt client"),
+        );
+    }
+
+    std::thread::sleep(warmup);
+    measuring.store(true, Ordering::SeqCst);
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    measuring.store(false, Ordering::SeqCst);
+    let measured = t0.elapsed();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+
+    let b = blocks.load(Ordering::Relaxed);
+    BtLoadReport {
+        clients,
+        duration: measured,
+        completions: completions.load(Ordering::Relaxed),
+        blocks: b,
+        bytes_down: bytes_down.load(Ordering::Relaxed),
+        mean_block_latency: if b == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(latency_ns.load(Ordering::Relaxed) / b)
+        },
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn download_once(
+    net: &Arc<MemNet>,
+    addr: &str,
+    meta: &Metainfo,
+    cid: usize,
+    rng: &mut StdRng,
+    stop: &AtomicBool,
+    measuring: &AtomicBool,
+    blocks: &AtomicU64,
+    bytes_down: &AtomicU64,
+    latency_ns: &AtomicU64,
+) -> std::io::Result<bool> {
+    let mut conn = net.connect(addr)?;
+    let mut peer_id = *b"-FXL001-client000000";
+    peer_id[14..20].copy_from_slice(format!("{cid:06}").as_bytes());
+    conn.write_all(
+        &Handshake {
+            info_hash: meta.info_hash,
+            peer_id,
+        }
+        .encode(),
+    )?;
+    let _hs = Handshake::read_from(&mut conn)?;
+    let first = Message::read_from(&mut conn)?;
+    if !matches!(first, Message::Bitfield(_)) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "expected bitfield",
+        ));
+    }
+    let mut asm = PieceAssembler::new(meta.clone());
+    // Random piece order (the protocol's load balancing).
+    let mut order: Vec<u32> = (0..meta.num_pieces() as u32).collect();
+    order.shuffle(rng);
+    let mut msg_count = 0u64;
+    for piece in order {
+        let size = meta.piece_size(piece as usize) as u32;
+        let mut begin = 0;
+        while begin < size {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(false);
+            }
+            let length = BLOCK_SIZE.min(size - begin);
+            // Interleave keep-alives (chatty-peer behaviour; these drive
+            // the paper's most-frequent "no work" path on the server).
+            if msg_count % 2 == 0 {
+                Message::KeepAlive.write_to(&mut conn)?;
+            }
+            msg_count += 1;
+            let t0 = Instant::now();
+            Message::Request {
+                index: piece,
+                begin,
+                length,
+            }
+            .write_to(&mut conn)?;
+            loop {
+                match Message::read_from(&mut conn)? {
+                    Message::Piece { index, begin: b0, data } => {
+                        let dt = t0.elapsed().as_nanos() as u64;
+                        if measuring.load(Ordering::Relaxed) {
+                            blocks.fetch_add(1, Ordering::Relaxed);
+                            bytes_down.fetch_add(data.len() as u64, Ordering::Relaxed);
+                            latency_ns.fetch_add(dt, Ordering::Relaxed);
+                        }
+                        match asm.add_block(index, b0, &data) {
+                            BlockResult::HashMismatch | BlockResult::Rejected => {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    "bad block",
+                                ));
+                            }
+                            _ => {}
+                        }
+                        break;
+                    }
+                    Message::KeepAlive | Message::Have { .. } => continue,
+                    _other => continue,
+                }
+            }
+            begin += length;
+        }
+    }
+    Ok(asm.complete())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_bittorrent::synth_file;
+
+    #[test]
+    fn drives_the_ctorrent_baseline() {
+        let file = synth_file(128 * 1024, 5);
+        let meta = Metainfo::from_file("t", "f", 32 * 1024, &file);
+        let net = MemNet::new();
+        let listener = net.listen("seed").unwrap();
+        let server = flux_baselines::CtServer::start(Box::new(listener), meta.clone(), file);
+        let report = run_bt_load(
+            &net,
+            "seed",
+            &meta,
+            3,
+            Duration::from_millis(400),
+            Duration::from_millis(100),
+        );
+        assert!(report.blocks > 0, "{report:?}");
+        assert!(report.completions > 0, "{report:?}");
+        assert_eq!(report.errors, 0, "{report:?}");
+        server.stop();
+    }
+}

@@ -1,0 +1,158 @@
+//! The game-server load generator (paper §4.4): N players sending moves
+//! at 10 Hz over UDP. "Throughput is not a consideration ... The
+//! primary concern is the latency of the server as the number of
+//! clients increases" — so the report measures broadcast inter-arrival
+//! stability and the age of received snapshots.
+
+use flux_game::{decode_snapshot, ClientMsg, Move};
+use flux_net::{Datagram, MemNet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregated measurements from a game load run.
+#[derive(Debug, Clone)]
+pub struct GameLoadReport {
+    pub players: usize,
+    pub duration: Duration,
+    /// Snapshots received across all players.
+    pub snapshots: u64,
+    /// Mean inter-arrival between consecutive snapshots per player.
+    pub mean_interarrival: Duration,
+    /// Worst observed inter-arrival (missed-heartbeat detector).
+    pub max_interarrival: Duration,
+    /// Moves sent.
+    pub moves_sent: u64,
+}
+
+impl GameLoadReport {
+    /// Observed broadcast rate in Hz (should track the 10 Hz tick).
+    pub fn rate_hz(&self) -> f64 {
+        if self.mean_interarrival.is_zero() {
+            0.0
+        } else {
+            1.0 / self.mean_interarrival.as_secs_f64()
+        }
+    }
+}
+
+/// Runs `players` simulated players against the game server at `addr`
+/// for `duration`. Each player joins, then moves at `move_hz`.
+pub fn run_game_load(
+    net: &Arc<MemNet>,
+    addr: &str,
+    players: usize,
+    move_hz: f64,
+    duration: Duration,
+) -> GameLoadReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshots = Arc::new(AtomicU64::new(0));
+    let inter_ns = Arc::new(AtomicU64::new(0));
+    let inter_count = Arc::new(AtomicU64::new(0));
+    let max_inter_ns = Arc::new(AtomicU64::new(0));
+    let moves_sent = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::with_capacity(players);
+    for pid in 0..players {
+        let net = net.clone();
+        let addr = addr.to_string();
+        let stop = stop.clone();
+        let snapshots = snapshots.clone();
+        let inter_ns = inter_ns.clone();
+        let inter_count = inter_count.clone();
+        let max_inter_ns = max_inter_ns.clone();
+        let moves_sent = moves_sent.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("gameload-{pid}"))
+                .spawn(move || {
+                    let sock = match net.bind_datagram(&format!("player-{pid}")) {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    let player = pid as u32 + 1;
+                    let _ = sock.send_to(&ClientMsg::Join { player }.encode(), &addr);
+                    let mut rng = StdRng::seed_from_u64(pid as u64);
+                    let move_period = Duration::from_secs_f64(1.0 / move_hz.max(0.1));
+                    let mut next_move = Instant::now();
+                    let mut last_snap: Option<Instant> = None;
+                    let mut buf = [0u8; 64 * 1024];
+                    while !stop.load(Ordering::Relaxed) {
+                        if Instant::now() >= next_move {
+                            let m = ClientMsg::Move(Move {
+                                player,
+                                dx: rng.gen_range(-25..=25),
+                                dy: rng.gen_range(-25..=25),
+                            });
+                            let _ = sock.send_to(&m.encode(), &addr);
+                            moves_sent.fetch_add(1, Ordering::Relaxed);
+                            next_move += move_period;
+                        }
+                        match sock.recv_from(&mut buf, Some(Duration::from_millis(10))) {
+                            Ok(Some((n, _))) => {
+                                if decode_snapshot(&buf[..n]).is_some() {
+                                    let now = Instant::now();
+                                    snapshots.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(prev) = last_snap {
+                                        let dt = now.duration_since(prev).as_nanos() as u64;
+                                        inter_ns.fetch_add(dt, Ordering::Relaxed);
+                                        inter_count.fetch_add(1, Ordering::Relaxed);
+                                        max_inter_ns.fetch_max(dt, Ordering::Relaxed);
+                                    }
+                                    last_snap = Some(now);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    let _ = sock.send_to(&ClientMsg::Leave { player }.encode(), &addr);
+                })
+                .expect("spawn game player"),
+        );
+    }
+
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let measured = t0.elapsed();
+    let n = inter_count.load(Ordering::Relaxed);
+    GameLoadReport {
+        players,
+        duration: measured,
+        snapshots: snapshots.load(Ordering::Relaxed),
+        mean_interarrival: if n == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(inter_ns.load(Ordering::Relaxed) / n)
+        },
+        max_interarrival: Duration::from_nanos(max_inter_ns.load(Ordering::Relaxed)),
+        moves_sent: moves_sent.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_the_hand_written_server() {
+        let net = MemNet::new();
+        let sock = Arc::new(net.bind_datagram("game").unwrap());
+        let server =
+            flux_baselines::HandGameServer::start(sock, Duration::from_millis(20), 1);
+        let report = run_game_load(&net, "game", 3, 10.0, Duration::from_millis(600));
+        assert!(report.snapshots > 0, "{report:?}");
+        assert!(report.moves_sent > 0);
+        // 20ms tick = 50 Hz. Loose bounds: a loaded CI host can stretch
+        // ticks considerably, and the semantic claim here is only that
+        // snapshots arrive at roughly the heartbeat rate.
+        let hz = report.rate_hz();
+        assert!(hz > 10.0 && hz < 120.0, "rate {hz} Hz, {report:?}");
+        server.stop();
+    }
+}

@@ -1,0 +1,163 @@
+//! The SPECweb99-like static working set (paper §4.2): a document tree
+//! of roughly 32 MB whose files are requested with Zipf-distributed
+//! popularity, small files most popular — "this benchmark primarily
+//! stresses CPU performance" because the whole set fits in RAM.
+//!
+//! SPECweb99's static mix draws files from four classes (sub-KB to
+//! ~1 MB); we reproduce the class structure: 4 classes x 9 files per
+//! directory, sizes 102 B .. 921.6 KB, across enough directories to
+//! reach the target set size.
+
+use crate::zipf::Zipf;
+use flux_http::DocRoot;
+use rand::Rng;
+
+/// SPECweb99 class sizes in bytes (class 0..=3, file 0..=8 within a
+/// class scales linearly).
+fn file_size(class: usize, idx: usize) -> usize {
+    let base = match class {
+        0 => 102,          // 0.1 KB .. 0.9 KB
+        1 => 1_024,        // 1 KB .. 9 KB
+        2 => 10_240,       // 10 KB .. 90 KB
+        _ => 102_400,      // 100 KB .. 900 KB
+    };
+    base * (idx + 1)
+}
+
+/// SPECweb99 class frequencies: class 1 (1-9 KB) dominates.
+const CLASS_WEIGHT: [f64; 4] = [0.35, 0.50, 0.14, 0.01];
+
+/// A generated working set plus its request sampler.
+pub struct WebSet {
+    pub docroot: DocRoot,
+    /// Flat list of request paths, indexed by the popularity sampler.
+    paths: Vec<String>,
+    zipf: Zipf,
+}
+
+impl WebSet {
+    /// Builds a working set of roughly `target_bytes` (the paper's is
+    /// ~32 MB) plus a couple of FluxScript pages for dynamic-load tests.
+    pub fn build(target_bytes: usize) -> WebSet {
+        let mut docroot = DocRoot::new();
+        let mut paths = Vec::new();
+        let mut total = 0usize;
+        let mut dir = 0usize;
+        'outer: loop {
+            for class in 0..4 {
+                for idx in 0..9 {
+                    let size = file_size(class, idx);
+                    let path = format!("/dir{dir:05}/class{class}_{idx}.html");
+                    let body = synth_page(&path, size);
+                    total += body.len();
+                    docroot.insert(&path, body);
+                    paths.push(path);
+                    if total >= target_bytes {
+                        break 'outer;
+                    }
+                }
+            }
+            dir += 1;
+        }
+        // Order paths so that popular ranks are spread over classes the
+        // way SPECweb skews them: weight-stratified shuffle by class.
+        paths.sort_by_key(|p| {
+            let class: usize = p
+                .rsplit_once("class")
+                .and_then(|(_, c)| c[..1].parse().ok())
+                .unwrap_or(0);
+            // Lower key = more popular rank region.
+            let w = (CLASS_WEIGHT[class] * 1000.0) as i64;
+            (-w, p.clone())
+        });
+        docroot.insert(
+            "/dynamic.fxs",
+            "<?fx $t = 0; for ($i = 0; $i < $n; $i = $i + 1) { $t = $t + $i * $i; } echo $t; ?>",
+        );
+        let zipf = Zipf::new(paths.len(), 1.0);
+        WebSet {
+            docroot,
+            paths,
+            zipf,
+        }
+    }
+
+    /// Samples a request path by popularity.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &str {
+        &self.paths[self.zipf.sample(rng)]
+    }
+
+    /// Number of static files.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Total bytes in the set.
+    pub fn total_bytes(&self) -> usize {
+        self.docroot.total_bytes()
+    }
+}
+
+/// Deterministic page content of exactly `size` bytes.
+fn synth_page(path: &str, size: usize) -> Vec<u8> {
+    let mut body = format!("<html><!-- {path} -->").into_bytes();
+    let filler = b"Lorem ipsum dolor sit amet, consectetur adipiscing elit. ";
+    while body.len() < size.saturating_sub(7) {
+        let take = filler.len().min(size.saturating_sub(7) - body.len());
+        body.extend_from_slice(&filler[..take]);
+    }
+    body.extend_from_slice(b"</html>");
+    body.truncate(size.max(14));
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_reaches_target_size() {
+        let set = WebSet::build(2 * 1024 * 1024);
+        assert!(set.total_bytes() >= 2 * 1024 * 1024);
+        assert!(set.total_bytes() < 4 * 1024 * 1024, "not wildly over");
+        assert!(set.len() > 30);
+    }
+
+    #[test]
+    fn sampled_paths_resolve() {
+        let set = WebSet::build(1024 * 1024);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let p = set.sample(&mut rng).to_string();
+            assert!(set.docroot.get(&p).is_some(), "sampled path {p} exists");
+        }
+    }
+
+    #[test]
+    fn popular_files_are_small_classes() {
+        let set = WebSet::build(4 * 1024 * 1024);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bytes = 0usize;
+        let n = 2000;
+        for _ in 0..n {
+            let p = set.sample(&mut rng).to_string();
+            bytes += set.docroot.get(&p).map(|b| b.len()).unwrap_or(0);
+        }
+        let mean = bytes / n;
+        // The weighted mix must skew far below the largest class size.
+        assert!(mean < 100_000, "mean sampled size {mean} bytes");
+    }
+
+    #[test]
+    fn dynamic_page_present() {
+        let set = WebSet::build(512 * 1024);
+        assert!(set.docroot.get("/dynamic.fxs").is_some());
+    }
+}

@@ -1,0 +1,21 @@
+//! # flux-bittorrent — BitTorrent substrate for the Flux peer
+//!
+//! Everything the paper's BitTorrent peer (§4.3, Figure 7) sits on,
+//! built from scratch: bencode, SHA-1, single-file metainfo, the peer
+//! wire protocol (handshake + all BEP 3 messages), piece bookkeeping
+//! with hash verification, and an HTTP tracker (client and server).
+
+pub mod bencode;
+pub mod metainfo;
+pub mod net_io;
+pub mod pieces;
+pub mod sha1;
+pub mod tracker;
+pub mod wire;
+
+pub use bencode::{Bencode, BencodeError};
+pub use metainfo::{synth_file, Metainfo};
+pub use pieces::{Bitfield, BlockResult, PieceAssembler, PieceStore, BLOCK_SIZE};
+pub use sha1::{sha1, Digest, Sha1};
+pub use tracker::{announce, Announce, PeerInfo, Tracker, TrackerResponse};
+pub use wire::{Handshake, Message};

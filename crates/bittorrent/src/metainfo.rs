@@ -1,0 +1,218 @@
+//! Torrent metainfo (single-file .torrent documents) and synthetic
+//! test-file generation for the benchmark (the paper uses a 54 MB file;
+//! ours is parameterized).
+
+use crate::bencode::Bencode;
+use crate::sha1::{sha1, Digest};
+
+/// Parsed single-file metainfo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metainfo {
+    pub announce: String,
+    pub name: String,
+    pub piece_len: usize,
+    pub total_len: usize,
+    /// SHA-1 digest of each piece, in order.
+    pub piece_hashes: Vec<Digest>,
+    /// SHA-1 of the bencoded `info` dictionary.
+    pub info_hash: Digest,
+}
+
+impl Metainfo {
+    /// Number of pieces.
+    pub fn num_pieces(&self) -> usize {
+        self.piece_hashes.len()
+    }
+
+    /// Length of piece `idx` (the final piece may be short).
+    pub fn piece_size(&self, idx: usize) -> usize {
+        let start = idx * self.piece_len;
+        self.piece_len.min(self.total_len - start)
+    }
+
+    /// Builds metainfo for a complete in-memory file.
+    pub fn from_file(announce: &str, name: &str, piece_len: usize, data: &[u8]) -> Metainfo {
+        assert!(piece_len > 0, "piece length must be positive");
+        let piece_hashes: Vec<Digest> = data.chunks(piece_len).map(sha1).collect();
+        let info = Self::info_dict(name, piece_len, data.len(), &piece_hashes);
+        Metainfo {
+            announce: announce.to_string(),
+            name: name.to_string(),
+            piece_len,
+            total_len: data.len(),
+            info_hash: sha1(&info.encode()),
+            piece_hashes,
+        }
+    }
+
+    fn info_dict(
+        name: &str,
+        piece_len: usize,
+        total_len: usize,
+        hashes: &[Digest],
+    ) -> Bencode {
+        let mut pieces = Vec::with_capacity(hashes.len() * 20);
+        for h in hashes {
+            pieces.extend_from_slice(h);
+        }
+        Bencode::dict([
+            ("length", Bencode::Int(total_len as i64)),
+            ("name", Bencode::str(name)),
+            ("piece length", Bencode::Int(piece_len as i64)),
+            ("pieces", Bencode::Bytes(pieces)),
+        ])
+    }
+
+    /// Serializes to a `.torrent` document.
+    pub fn to_torrent(&self) -> Vec<u8> {
+        Bencode::dict([
+            ("announce", Bencode::str(&self.announce)),
+            (
+                "info",
+                Self::info_dict(
+                    &self.name,
+                    self.piece_len,
+                    self.total_len,
+                    &self.piece_hashes,
+                ),
+            ),
+        ])
+        .encode()
+    }
+
+    /// Parses a `.torrent` document.
+    pub fn from_torrent(data: &[u8]) -> Result<Metainfo, String> {
+        let doc = Bencode::decode(data).map_err(|e| e.to_string())?;
+        let announce = doc
+            .get("announce")
+            .and_then(|v| v.as_str())
+            .ok_or("missing announce")?
+            .to_string();
+        let info = doc.get("info").ok_or("missing info")?;
+        let name = info
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("missing name")?
+            .to_string();
+        let piece_len = info
+            .get("piece length")
+            .and_then(|v| v.as_int())
+            .filter(|&n| n > 0)
+            .ok_or("missing piece length")? as usize;
+        let total_len = info
+            .get("length")
+            .and_then(|v| v.as_int())
+            .filter(|&n| n >= 0)
+            .ok_or("missing length")? as usize;
+        let pieces = info
+            .get("pieces")
+            .and_then(|v| v.as_bytes())
+            .ok_or("missing pieces")?;
+        if pieces.len() % 20 != 0 {
+            return Err("pieces not a multiple of 20 bytes".into());
+        }
+        let expect = total_len.div_ceil(piece_len);
+        if pieces.len() / 20 != expect {
+            return Err(format!(
+                "expected {expect} piece hashes, found {}",
+                pieces.len() / 20
+            ));
+        }
+        let piece_hashes = pieces
+            .chunks_exact(20)
+            .map(|c| {
+                let mut d = [0u8; 20];
+                d.copy_from_slice(c);
+                d
+            })
+            .collect();
+        let info_hash = sha1(&info.encode());
+        Ok(Metainfo {
+            announce,
+            name,
+            piece_len,
+            total_len,
+            piece_hashes,
+            info_hash,
+        })
+    }
+}
+
+/// Deterministic pseudo-random file content for benchmarks (xorshift64
+/// keyed by `seed`), so every peer can independently regenerate and
+/// verify the "shared file" without real disk I/O.
+pub fn synth_file(len: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    while out.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metainfo_round_trip() {
+        let data = synth_file(300_000, 42);
+        let m = Metainfo::from_file("mem:tracker", "test.bin", 65536, &data);
+        assert_eq!(m.num_pieces(), 5);
+        assert_eq!(m.piece_size(0), 65536);
+        assert_eq!(m.piece_size(4), 300_000 - 4 * 65536);
+        let doc = m.to_torrent();
+        let back = Metainfo::from_torrent(&doc).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn info_hash_stable_across_round_trip() {
+        let data = synth_file(100_000, 1);
+        let m = Metainfo::from_file("t", "f", 32768, &data);
+        let back = Metainfo::from_torrent(&m.to_torrent()).unwrap();
+        assert_eq!(m.info_hash, back.info_hash);
+    }
+
+    #[test]
+    fn piece_hashes_match_content() {
+        let data = synth_file(70_000, 9);
+        let m = Metainfo::from_file("t", "f", 32768, &data);
+        for (i, chunk) in data.chunks(32768).enumerate() {
+            assert_eq!(m.piece_hashes[i], crate::sha1::sha1(chunk));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Metainfo::from_torrent(b"garbage").is_err());
+        assert!(Metainfo::from_torrent(b"de").is_err());
+        // Wrong number of piece hashes.
+        let bad = Bencode::dict([
+            ("announce", Bencode::str("t")),
+            (
+                "info",
+                Bencode::dict([
+                    ("length", Bencode::Int(100)),
+                    ("name", Bencode::str("f")),
+                    ("piece length", Bencode::Int(50)),
+                    ("pieces", Bencode::Bytes(vec![0; 20])),
+                ]),
+            ),
+        ])
+        .encode();
+        assert!(Metainfo::from_torrent(&bad).is_err());
+    }
+
+    #[test]
+    fn synth_file_deterministic() {
+        assert_eq!(synth_file(1000, 5), synth_file(1000, 5));
+        assert_ne!(synth_file(1000, 5), synth_file(1000, 6));
+        assert_eq!(synth_file(0, 1).len(), 0);
+        assert_eq!(synth_file(13, 1).len(), 13);
+    }
+}

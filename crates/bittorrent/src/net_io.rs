@@ -1,0 +1,10 @@
+//! A small object-safe `Read + Write` combination trait so tracker and
+//! peer code can take any byte stream (`MemConn`, `TcpConn`, cursors in
+//! tests) without being generic over two traits.
+
+use std::io::{Read, Write};
+
+/// Anything readable and writable.
+pub trait ReadWrite: Read + Write {}
+
+impl<T: Read + Write + ?Sized> ReadWrite for T {}

@@ -1,0 +1,354 @@
+//! Piece bookkeeping: bitfields, the seeder's piece store and the
+//! leecher's piece assembler with SHA-1 verification (the `VerifyPiece`
+//! / `CompletePiece` nodes of Figure 7).
+
+use crate::metainfo::Metainfo;
+use crate::sha1::sha1;
+
+/// A packed piece-presence bitfield (BEP 3 bit order: piece 0 is the
+/// high bit of byte 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitfield {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl Bitfield {
+    /// All-zero bitfield for `len` pieces.
+    pub fn new(len: usize) -> Bitfield {
+        Bitfield {
+            bits: vec![0; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// All-one bitfield (a seeder).
+    pub fn full(len: usize) -> Bitfield {
+        let mut b = Bitfield::new(len);
+        for i in 0..len {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Parses a wire bitfield for `len` pieces.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Option<Bitfield> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        // Spare bits must be zero.
+        let spare = bytes.len() * 8 - len;
+        if spare > 0 {
+            let last = bytes[bytes.len() - 1];
+            if last & ((1u16.wrapping_shl(spare as u32) - 1) as u8) != 0 {
+                return None;
+            }
+        }
+        Some(Bitfield {
+            bits: bytes.to_vec(),
+            len,
+        })
+    }
+
+    /// The wire representation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 8] & (0x80 >> (i % 8)) != 0
+    }
+
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / 8] |= 0x80 >> (i % 8);
+    }
+
+    /// Number of pieces present.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when every piece is present.
+    pub fn complete(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Indices set in `other` but not in `self` (pieces worth requesting).
+    pub fn missing_from(&self, other: &Bitfield) -> Vec<usize> {
+        (0..self.len)
+            .filter(|&i| !self.get(i) && other.get(i))
+            .collect()
+    }
+}
+
+/// A seeder's complete file, serving block reads.
+#[derive(Debug, Clone)]
+pub struct PieceStore {
+    meta: Metainfo,
+    data: Vec<u8>,
+}
+
+impl PieceStore {
+    /// Wraps a complete file, verifying it against the metainfo.
+    pub fn new(meta: Metainfo, data: Vec<u8>) -> Result<PieceStore, String> {
+        if data.len() != meta.total_len {
+            return Err(format!(
+                "file is {} bytes, metainfo says {}",
+                data.len(),
+                meta.total_len
+            ));
+        }
+        for (i, chunk) in data.chunks(meta.piece_len).enumerate() {
+            if sha1(chunk) != meta.piece_hashes[i] {
+                return Err(format!("piece {i} hash mismatch"));
+            }
+        }
+        Ok(PieceStore { meta, data })
+    }
+
+    pub fn metainfo(&self) -> &Metainfo {
+        &self.meta
+    }
+
+    /// Reads a block, validating bounds.
+    pub fn read_block(&self, index: u32, begin: u32, length: u32) -> Option<&[u8]> {
+        let index = index as usize;
+        if index >= self.meta.num_pieces() {
+            return None;
+        }
+        let piece_size = self.meta.piece_size(index);
+        let (begin, length) = (begin as usize, length as usize);
+        if begin + length > piece_size || length == 0 {
+            return None;
+        }
+        let start = index * self.meta.piece_len + begin;
+        self.data.get(start..start + length)
+    }
+
+    /// The seeder's full bitfield.
+    pub fn bitfield(&self) -> Bitfield {
+        Bitfield::full(self.meta.num_pieces())
+    }
+}
+
+/// A leecher assembling pieces from blocks.
+#[derive(Debug)]
+pub struct PieceAssembler {
+    meta: Metainfo,
+    have: Bitfield,
+    /// In-progress pieces: per piece, the buffer and a fill mask of
+    /// received byte ranges (block granularity tracked as byte count).
+    partial: std::collections::HashMap<u32, PartialPiece>,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct PartialPiece {
+    buf: Vec<u8>,
+    received: Vec<bool>,
+}
+
+/// Result of feeding a block into the assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockResult {
+    /// Block stored; the piece is still incomplete.
+    Accepted,
+    /// The block completed its piece and the SHA-1 matched.
+    PieceComplete,
+    /// The block completed its piece but the hash failed; the piece was
+    /// discarded and must be re-requested.
+    HashMismatch,
+    /// The block was out of bounds or duplicated.
+    Rejected,
+}
+
+/// The standard request block size (16 KiB).
+pub const BLOCK_SIZE: u32 = 16 * 1024;
+
+impl PieceAssembler {
+    pub fn new(meta: Metainfo) -> PieceAssembler {
+        let n = meta.num_pieces();
+        let total = meta.total_len;
+        PieceAssembler {
+            meta,
+            have: Bitfield::new(n),
+            partial: std::collections::HashMap::new(),
+            data: vec![0; total],
+        }
+    }
+
+    pub fn have(&self) -> &Bitfield {
+        &self.have
+    }
+
+    pub fn complete(&self) -> bool {
+        self.have.complete()
+    }
+
+    /// The block requests needed for piece `index`, in order.
+    pub fn blocks_for(&self, index: u32) -> Vec<(u32, u32)> {
+        let size = self.meta.piece_size(index as usize) as u32;
+        let mut out = Vec::new();
+        let mut begin = 0;
+        while begin < size {
+            out.push((begin, BLOCK_SIZE.min(size - begin)));
+            begin += BLOCK_SIZE;
+        }
+        out
+    }
+
+    /// Feeds one received block.
+    pub fn add_block(&mut self, index: u32, begin: u32, block: &[u8]) -> BlockResult {
+        let idx = index as usize;
+        if idx >= self.meta.num_pieces() || self.have.get(idx) {
+            return BlockResult::Rejected;
+        }
+        let piece_size = self.meta.piece_size(idx);
+        let begin = begin as usize;
+        if begin + block.len() > piece_size || block.is_empty() {
+            return BlockResult::Rejected;
+        }
+        let entry = self.partial.entry(index).or_insert_with(|| PartialPiece {
+            buf: vec![0; piece_size],
+            received: vec![false; piece_size],
+        });
+        if entry.received[begin] {
+            return BlockResult::Rejected; // duplicate block start
+        }
+        entry.buf[begin..begin + block.len()].copy_from_slice(block);
+        for r in &mut entry.received[begin..begin + block.len()] {
+            *r = true;
+        }
+        if !entry.received.iter().all(|&r| r) {
+            return BlockResult::Accepted;
+        }
+        let done = self.partial.remove(&index).expect("entry exists");
+        if sha1(&done.buf) != self.meta.piece_hashes[idx] {
+            return BlockResult::HashMismatch;
+        }
+        let start = idx * self.meta.piece_len;
+        self.data[start..start + piece_size].copy_from_slice(&done.buf);
+        self.have.set(idx);
+        BlockResult::PieceComplete
+    }
+
+    /// The assembled file (valid once `complete()`).
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metainfo::synth_file;
+
+    fn meta_and_file(len: usize, piece_len: usize) -> (Metainfo, Vec<u8>) {
+        let data = synth_file(len, 77);
+        let meta = Metainfo::from_file("t", "f", piece_len, &data);
+        (meta, data)
+    }
+
+    #[test]
+    fn bitfield_ops() {
+        let mut b = Bitfield::new(10);
+        assert_eq!(b.as_bytes().len(), 2);
+        b.set(0);
+        b.set(9);
+        assert!(b.get(0) && b.get(9) && !b.get(5));
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.as_bytes(), &[0b1000_0000, 0b0100_0000]);
+        let full = Bitfield::full(10);
+        assert!(full.complete());
+        assert_eq!(b.missing_from(&full), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn bitfield_wire_validation() {
+        assert!(Bitfield::from_bytes(&[0xff, 0xc0], 10).is_some());
+        assert!(Bitfield::from_bytes(&[0xff, 0xe0], 10).is_none(), "spare bit set");
+        assert!(Bitfield::from_bytes(&[0xff], 10).is_none(), "wrong length");
+    }
+
+    #[test]
+    fn store_serves_blocks() {
+        let (meta, data) = meta_and_file(100_000, 32768);
+        let store = PieceStore::new(meta, data.clone()).unwrap();
+        let b = store.read_block(0, 0, 100).unwrap();
+        assert_eq!(b, &data[..100]);
+        let last_piece = store.metainfo().num_pieces() as u32 - 1;
+        let last_size = store.metainfo().piece_size(last_piece as usize) as u32;
+        assert!(store.read_block(last_piece, 0, last_size).is_some());
+        assert!(store.read_block(last_piece, 0, last_size + 1).is_none());
+        assert!(store.read_block(99, 0, 1).is_none());
+        assert!(store.read_block(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn store_rejects_corrupt_file() {
+        let (meta, mut data) = meta_and_file(50_000, 16384);
+        data[100] ^= 0xff;
+        assert!(PieceStore::new(meta, data).is_err());
+    }
+
+    #[test]
+    fn assembler_end_to_end() {
+        let (meta, data) = meta_and_file(100_000, 32768);
+        let store = PieceStore::new(meta.clone(), data.clone()).unwrap();
+        let mut asm = PieceAssembler::new(meta.clone());
+        for piece in 0..meta.num_pieces() as u32 {
+            let blocks = asm.blocks_for(piece);
+            for (i, &(begin, len)) in blocks.iter().enumerate() {
+                let block = store.read_block(piece, begin, len).unwrap();
+                let result = asm.add_block(piece, begin, block);
+                if i + 1 == blocks.len() {
+                    assert_eq!(result, BlockResult::PieceComplete);
+                } else {
+                    assert_eq!(result, BlockResult::Accepted);
+                }
+            }
+        }
+        assert!(asm.complete());
+        assert_eq!(asm.into_data(), data);
+    }
+
+    #[test]
+    fn corrupted_block_detected() {
+        let (meta, _) = meta_and_file(40_000, 32768);
+        let mut asm = PieceAssembler::new(meta.clone());
+        let blocks = asm.blocks_for(0);
+        for (i, &(begin, len)) in blocks.iter().enumerate() {
+            let junk = vec![0xEE; len as usize];
+            let result = asm.add_block(0, begin, &junk);
+            if i + 1 == blocks.len() {
+                assert_eq!(result, BlockResult::HashMismatch);
+            }
+        }
+        assert!(!asm.have().get(0), "piece discarded after mismatch");
+        // Can re-request: fresh blocks accepted again.
+        assert_eq!(asm.add_block(0, 0, &vec![1; 100]), BlockResult::Accepted);
+    }
+
+    #[test]
+    fn duplicate_and_oob_blocks_rejected() {
+        let (meta, data) = meta_and_file(40_000, 32768);
+        let mut asm = PieceAssembler::new(meta);
+        assert_eq!(asm.add_block(0, 0, &data[..100]), BlockResult::Accepted);
+        assert_eq!(asm.add_block(0, 0, &data[..100]), BlockResult::Rejected);
+        assert_eq!(asm.add_block(5, 0, &data[..100]), BlockResult::Rejected);
+        assert_eq!(
+            asm.add_block(0, 32768 - 50, &data[..100]),
+            BlockResult::Rejected
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! A minimal HTTP tracker (client and server) over `flux-net`.
+//!
+//! The Figure 7 Flux program checks in with a tracker
+//! (`CheckinWithTracker -> SendRequestToTracker -> GetTrackerResponse`);
+//! this module supplies both ends: a client that announces and parses
+//! the bencoded peer list, and a tracker server for hermetic tests and
+//! benchmarks. Peer addresses are transport strings (mem or TCP).
+
+use crate::bencode::Bencode;
+use crate::sha1::Digest;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use std::sync::Arc;
+
+/// One announce request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Announce {
+    pub info_hash: Digest,
+    pub peer_id: [u8; 20],
+    /// The address other peers should connect to.
+    pub addr: String,
+    /// Bytes left to download (0 = seeder).
+    pub left: u64,
+}
+
+/// A tracker's view of one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerInfo {
+    pub peer_id: [u8; 20],
+    pub addr: String,
+}
+
+/// The tracker's response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerResponse {
+    pub interval_s: u32,
+    pub peers: Vec<PeerInfo>,
+}
+
+fn hex_escape(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("%{b:02x}")).collect()
+}
+
+fn hex_unescape(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 >= bytes.len() {
+                return None;
+            }
+            let h = (bytes[i + 1] as char).to_digit(16)?;
+            let l = (bytes[i + 2] as char).to_digit(16)?;
+            out.push((h * 16 + l) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Sends an announce over an open connection and parses the response.
+pub fn announce<C: Read + Write + ?Sized>(
+    conn: &mut C,
+    req: &Announce,
+) -> io::Result<TrackerResponse> {
+    let query = format!(
+        "/announce?info_hash={}&peer_id={}&addr={}&left={}",
+        hex_escape(&req.info_hash),
+        hex_escape(&req.peer_id),
+        req.addr,
+        req.left
+    );
+    let http = format!("GET {query} HTTP/1.1\r\nHost: tracker\r\nConnection: close\r\n\r\n");
+    conn.write_all(http.as_bytes())?;
+    // Read the whole response (Connection: close).
+    let mut buf = Vec::new();
+    conn.read_to_end(&mut buf)?;
+    let body_at = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response body"))?;
+    parse_response(&buf[body_at + 4..])
+}
+
+fn parse_response(body: &[u8]) -> io::Result<TrackerResponse> {
+    let doc = Bencode::decode(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(fail) = doc.get("failure reason").and_then(|v| v.as_str()) {
+        return Err(io::Error::new(io::ErrorKind::Other, fail.to_string()));
+    }
+    let interval_s = doc
+        .get("interval")
+        .and_then(|v| v.as_int())
+        .unwrap_or(1800) as u32;
+    let mut peers = Vec::new();
+    if let Some(list) = doc.get("peers").and_then(|v| v.as_list()) {
+        for p in list {
+            let id = p.get("peer id").and_then(|v| v.as_bytes());
+            let addr = p.get("addr").and_then(|v| v.as_str());
+            if let (Some(id), Some(addr)) = (id, addr) {
+                if id.len() == 20 {
+                    let mut peer_id = [0u8; 20];
+                    peer_id.copy_from_slice(id);
+                    peers.push(PeerInfo {
+                        peer_id,
+                        addr: addr.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(TrackerResponse { interval_s, peers })
+}
+
+/// The tracker server's swarm state.
+#[derive(Default)]
+pub struct Tracker {
+    swarms: Mutex<HashMap<Digest, Vec<PeerInfo>>>,
+}
+
+impl Tracker {
+    pub fn new() -> Arc<Tracker> {
+        Arc::new(Tracker::default())
+    }
+
+    /// Registers the announce and returns the current peer list
+    /// (excluding the announcer).
+    pub fn handle_announce(&self, req: &Announce) -> TrackerResponse {
+        let mut swarms = self.swarms.lock();
+        let peers = swarms.entry(req.info_hash).or_default();
+        if !peers.iter().any(|p| p.peer_id == req.peer_id) {
+            peers.push(PeerInfo {
+                peer_id: req.peer_id,
+                addr: req.addr.clone(),
+            });
+        }
+        TrackerResponse {
+            interval_s: 60,
+            peers: peers
+                .iter()
+                .filter(|p| p.peer_id != req.peer_id)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Parses an announce HTTP request line.
+    pub fn parse_announce(request_target: &str) -> Option<Announce> {
+        let (path, query) = request_target.split_once('?')?;
+        if path != "/announce" {
+            return None;
+        }
+        let mut info_hash = None;
+        let mut peer_id = None;
+        let mut addr = None;
+        let mut left = 0u64;
+        for kv in query.split('&') {
+            let (k, v) = kv.split_once('=')?;
+            match k {
+                "info_hash" => {
+                    let raw = hex_unescape(v)?;
+                    if raw.len() != 20 {
+                        return None;
+                    }
+                    let mut d = [0u8; 20];
+                    d.copy_from_slice(&raw);
+                    info_hash = Some(d);
+                }
+                "peer_id" => {
+                    let raw = hex_unescape(v)?;
+                    if raw.len() != 20 {
+                        return None;
+                    }
+                    let mut d = [0u8; 20];
+                    d.copy_from_slice(&raw);
+                    peer_id = Some(d);
+                }
+                "addr" => addr = Some(v.to_string()),
+                "left" => left = v.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(Announce {
+            info_hash: info_hash?,
+            peer_id: peer_id?,
+            addr: addr?,
+            left,
+        })
+    }
+
+    /// Serves one tracker connection: reads the request line, answers,
+    /// closes.
+    pub fn serve_conn<C: Read + Write + ?Sized>(&self, conn: &mut C) -> io::Result<()> {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            match conn.read(&mut byte) {
+                Ok(0) => break,
+                Ok(_) => buf.push(byte[0]),
+                Err(e) => return Err(e),
+            }
+            if buf.len() > 8192 {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&buf);
+        let target = text
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or("/");
+        let body = match Self::parse_announce(target) {
+            Some(req) => {
+                let resp = self.handle_announce(&req);
+                encode_response(&resp)
+            }
+            None => Bencode::dict([("failure reason", Bencode::str("bad announce"))]).encode(),
+        };
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        conn.write_all(head.as_bytes())?;
+        conn.write_all(&body)?;
+        Ok(())
+    }
+}
+
+fn encode_response(resp: &TrackerResponse) -> Vec<u8> {
+    Bencode::dict([
+        ("interval", Bencode::Int(resp.interval_s as i64)),
+        (
+            "peers",
+            Bencode::List(
+                resp.peers
+                    .iter()
+                    .map(|p| {
+                        Bencode::dict([
+                            ("addr", Bencode::str(&p.addr)),
+                            ("peer id", Bencode::Bytes(p.peer_id.to_vec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_round_trip_through_parser() {
+        let req = Announce {
+            info_hash: [0x1f; 20],
+            peer_id: *b"-FX0001-000000000001",
+            addr: "mem:peer1".into(),
+            left: 54_000_000,
+        };
+        let target = format!(
+            "/announce?info_hash={}&peer_id={}&addr={}&left={}",
+            hex_escape(&req.info_hash),
+            hex_escape(&req.peer_id),
+            req.addr,
+            req.left
+        );
+        let parsed = Tracker::parse_announce(&target).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn tracker_excludes_announcer_and_dedups() {
+        let tracker = Tracker::new();
+        let mk = |id: u8, addr: &str| Announce {
+            info_hash: [9; 20],
+            peer_id: [id; 20],
+            addr: addr.into(),
+            left: 0,
+        };
+        let r1 = tracker.handle_announce(&mk(1, "a"));
+        assert!(r1.peers.is_empty());
+        let r2 = tracker.handle_announce(&mk(2, "b"));
+        assert_eq!(r2.peers.len(), 1);
+        assert_eq!(r2.peers[0].addr, "a");
+        // Re-announce does not duplicate.
+        let r1b = tracker.handle_announce(&mk(1, "a"));
+        assert_eq!(r1b.peers.len(), 1);
+    }
+
+    #[test]
+    fn different_swarms_isolated() {
+        let tracker = Tracker::new();
+        let mk = |hash: u8, id: u8| Announce {
+            info_hash: [hash; 20],
+            peer_id: [id; 20],
+            addr: format!("p{id}"),
+            left: 0,
+        };
+        tracker.handle_announce(&mk(1, 1));
+        let r = tracker.handle_announce(&mk(2, 2));
+        assert!(r.peers.is_empty(), "other swarm invisible");
+    }
+
+    #[test]
+    fn response_encode_parse() {
+        let resp = TrackerResponse {
+            interval_s: 60,
+            peers: vec![PeerInfo {
+                peer_id: [7; 20],
+                addr: "mem:x".into(),
+            }],
+        };
+        let enc = encode_response(&resp);
+        let back = parse_response(&enc).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn end_to_end_over_mem_conn() {
+        let tracker = Tracker::new();
+        let (mut client, mut server) = flux_net::MemConn::pair();
+        let t = tracker.clone();
+        let h = std::thread::spawn(move || {
+            t.serve_conn(&mut server).unwrap();
+        });
+        let req = Announce {
+            info_hash: [3; 20],
+            peer_id: [1; 20],
+            addr: "mem:me".into(),
+            left: 100,
+        };
+        let resp = announce(&mut client, &req).unwrap();
+        assert_eq!(resp.interval_s, 60);
+        assert!(resp.peers.is_empty());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bad_announce_gets_failure() {
+        let tracker = Tracker::new();
+        let (mut client, mut server) = flux_net::MemConn::pair();
+        let t = tracker.clone();
+        let h = std::thread::spawn(move || {
+            let _ = t.serve_conn(&mut server);
+        });
+        client
+            .write_all(b"GET /announce?junk=1 HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        client.read_to_end(&mut buf).unwrap();
+        assert!(String::from_utf8_lossy(&buf).contains("failure reason"));
+        h.join().unwrap();
+    }
+}

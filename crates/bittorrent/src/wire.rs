@@ -1,0 +1,297 @@
+//! The BitTorrent peer wire protocol: handshake and length-prefixed
+//! messages (BEP 3). These are the `Handshake`, `Bitfield`, `Choke`,
+//! `Unchoke`, `Have`, `Request`, `Piece`, `Cancel` ... nodes of the
+//! paper's Figure 7 program graph.
+
+use crate::sha1::Digest;
+use std::io::{self, Read, Write};
+
+/// The fixed protocol string.
+pub const PROTOCOL: &[u8; 19] = b"BitTorrent protocol";
+
+/// A peer handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    pub info_hash: Digest,
+    pub peer_id: [u8; 20],
+}
+
+impl Handshake {
+    /// Serializes the 68-byte handshake.
+    pub fn encode(&self) -> [u8; 68] {
+        let mut out = [0u8; 68];
+        out[0] = 19;
+        out[1..20].copy_from_slice(PROTOCOL);
+        // 8 reserved bytes stay zero.
+        out[28..48].copy_from_slice(&self.info_hash);
+        out[48..68].copy_from_slice(&self.peer_id);
+        out
+    }
+
+    /// Reads and validates a handshake.
+    pub fn read_from(r: &mut dyn Read) -> io::Result<Handshake> {
+        let mut buf = [0u8; 68];
+        r.read_exact(&mut buf)?;
+        if buf[0] != 19 || &buf[1..20] != PROTOCOL {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a BitTorrent handshake",
+            ));
+        }
+        let mut info_hash = [0u8; 20];
+        info_hash.copy_from_slice(&buf[28..48]);
+        let mut peer_id = [0u8; 20];
+        peer_id.copy_from_slice(&buf[48..68]);
+        Ok(Handshake { info_hash, peer_id })
+    }
+}
+
+/// A peer wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    KeepAlive,
+    Choke,
+    Unchoke,
+    Interested,
+    NotInterested,
+    Have {
+        index: u32,
+    },
+    Bitfield(Vec<u8>),
+    Request {
+        index: u32,
+        begin: u32,
+        length: u32,
+    },
+    Piece {
+        index: u32,
+        begin: u32,
+        data: Vec<u8>,
+    },
+    Cancel {
+        index: u32,
+        begin: u32,
+        length: u32,
+    },
+}
+
+/// Sanity bound: no legitimate message exceeds a piece plus framing.
+const MAX_MESSAGE: usize = 4 * 1024 * 1024;
+
+impl Message {
+    /// The message's kind, for profiling and dispatch (mirrors the
+    /// predicate types of the paper's Figure 7 graph).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::KeepAlive => "keepalive",
+            Message::Choke => "choke",
+            Message::Unchoke => "unchoke",
+            Message::Interested => "interested",
+            Message::NotInterested => "uninterested",
+            Message::Have { .. } => "have",
+            Message::Bitfield(_) => "bitfield",
+            Message::Request { .. } => "request",
+            Message::Piece { .. } => "piece",
+            Message::Cancel { .. } => "cancel",
+        }
+    }
+
+    /// Serializes with the 4-byte length prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        fn framed(id: u8, payload: &[u8]) -> Vec<u8> {
+            let mut out = Vec::with_capacity(5 + payload.len());
+            out.extend_from_slice(&(1 + payload.len() as u32).to_be_bytes());
+            out.push(id);
+            out.extend_from_slice(payload);
+            out
+        }
+        match self {
+            Message::KeepAlive => 0u32.to_be_bytes().to_vec(),
+            Message::Choke => framed(0, &[]),
+            Message::Unchoke => framed(1, &[]),
+            Message::Interested => framed(2, &[]),
+            Message::NotInterested => framed(3, &[]),
+            Message::Have { index } => framed(4, &index.to_be_bytes()),
+            Message::Bitfield(bits) => framed(5, bits),
+            Message::Request {
+                index,
+                begin,
+                length,
+            } => {
+                let mut p = Vec::with_capacity(12);
+                p.extend_from_slice(&index.to_be_bytes());
+                p.extend_from_slice(&begin.to_be_bytes());
+                p.extend_from_slice(&length.to_be_bytes());
+                framed(6, &p)
+            }
+            Message::Piece { index, begin, data } => {
+                let mut p = Vec::with_capacity(8 + data.len());
+                p.extend_from_slice(&index.to_be_bytes());
+                p.extend_from_slice(&begin.to_be_bytes());
+                p.extend_from_slice(data);
+                framed(7, &p)
+            }
+            Message::Cancel {
+                index,
+                begin,
+                length,
+            } => {
+                let mut p = Vec::with_capacity(12);
+                p.extend_from_slice(&index.to_be_bytes());
+                p.extend_from_slice(&begin.to_be_bytes());
+                p.extend_from_slice(&length.to_be_bytes());
+                framed(8, &p)
+            }
+        }
+    }
+
+    /// Reads one message (blocking).
+    pub fn read_from(r: &mut dyn Read) -> io::Result<Message> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len == 0 {
+            return Ok(Message::KeepAlive);
+        }
+        if len > MAX_MESSAGE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("message of {len} bytes exceeds limit"),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Self::parse(&body)
+    }
+
+    fn parse(body: &[u8]) -> io::Result<Message> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let u32_at = |i: usize| -> io::Result<u32> {
+            body.get(i..i + 4)
+                .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+                .ok_or_else(|| bad("truncated field"))
+        };
+        match body[0] {
+            0 => Ok(Message::Choke),
+            1 => Ok(Message::Unchoke),
+            2 => Ok(Message::Interested),
+            3 => Ok(Message::NotInterested),
+            4 => Ok(Message::Have { index: u32_at(1)? }),
+            5 => Ok(Message::Bitfield(body[1..].to_vec())),
+            6 => Ok(Message::Request {
+                index: u32_at(1)?,
+                begin: u32_at(5)?,
+                length: u32_at(9)?,
+            }),
+            7 => {
+                if body.len() < 9 {
+                    return Err(bad("piece message too short"));
+                }
+                Ok(Message::Piece {
+                    index: u32_at(1)?,
+                    begin: u32_at(5)?,
+                    data: body[9..].to_vec(),
+                })
+            }
+            8 => Ok(Message::Cancel {
+                index: u32_at(1)?,
+                begin: u32_at(5)?,
+                length: u32_at(9)?,
+            }),
+            other => Err(bad(&format!("unknown message id {other}"))),
+        }
+    }
+
+    /// Writes the framed message.
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(m: Message) {
+        let enc = m.encode();
+        let mut cur = Cursor::new(enc);
+        let back = Message::read_from(&mut cur).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::KeepAlive);
+        round_trip(Message::Choke);
+        round_trip(Message::Unchoke);
+        round_trip(Message::Interested);
+        round_trip(Message::NotInterested);
+        round_trip(Message::Have { index: 1234 });
+        round_trip(Message::Bitfield(vec![0b1010_0001, 0xff]));
+        round_trip(Message::Request {
+            index: 1,
+            begin: 16384,
+            length: 16384,
+        });
+        round_trip(Message::Piece {
+            index: 9,
+            begin: 0,
+            data: vec![7; 16384],
+        });
+        round_trip(Message::Cancel {
+            index: 1,
+            begin: 2,
+            length: 3,
+        });
+    }
+
+    #[test]
+    fn handshake_round_trip() {
+        let hs = Handshake {
+            info_hash: [0xAB; 20],
+            peer_id: *b"-FX0001-abcdefghijkl",
+        };
+        let enc = hs.encode();
+        assert_eq!(enc.len(), 68);
+        let mut cur = Cursor::new(enc.to_vec());
+        let back = Handshake::read_from(&mut cur).unwrap();
+        assert_eq!(hs, back);
+    }
+
+    #[test]
+    fn bad_handshake_rejected() {
+        let mut cur = Cursor::new(vec![19u8; 68]);
+        assert!(Handshake::read_from(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut frame = (64 * 1024 * 1024u32).to_be_bytes().to_vec();
+        frame.push(7);
+        let mut cur = Cursor::new(frame);
+        assert!(Message::read_from(&mut cur).is_err());
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        let mut frame = 1u32.to_be_bytes().to_vec();
+        frame.push(99);
+        let mut cur = Cursor::new(frame);
+        assert!(Message::read_from(&mut cur).is_err());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(Message::KeepAlive.kind(), "keepalive");
+        assert_eq!(
+            Message::Request {
+                index: 0,
+                begin: 0,
+                length: 0
+            }
+            .kind(),
+            "request"
+        );
+    }
+}

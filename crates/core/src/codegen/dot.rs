@@ -1,0 +1,184 @@
+//! Graphviz DOT output for Flux program graphs (paper Figure 7).
+
+use crate::codegen::CodeGenerator;
+use crate::compile::CompiledProgram;
+use crate::flat::{EndKind, FlatVertex};
+use crate::graph::NodeKind;
+use std::fmt::Write as _;
+
+/// Emits the program graph in Graphviz DOT form.
+///
+/// Two styles are available: the *logical* graph (abstract nodes with
+/// dispatch patterns on edges, like the paper's Figure 7) and the
+/// *flattened* graph (every Acquire/Release/Exec/Dispatch/End vertex).
+#[derive(Debug, Clone, Default)]
+pub struct DotGenerator {
+    /// Emit the flattened vertex graph instead of the logical graph.
+    pub flattened: bool,
+}
+
+impl CodeGenerator for DotGenerator {
+    fn target(&self) -> &'static str {
+        "dot"
+    }
+
+    fn generate(&self, program: &CompiledProgram) -> String {
+        if self.flattened {
+            flattened(program)
+        } else {
+            logical(program)
+        }
+    }
+}
+
+fn logical(p: &CompiledProgram) -> String {
+    let g = &p.graph;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph flux {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for spec in &g.sources {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=ellipse, style=filled, fillcolor=lightblue];",
+            g.name(spec.source)
+        );
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            g.name(spec.source),
+            g.name(spec.target)
+        );
+    }
+    for node in &g.nodes {
+        match &node.kind {
+            NodeKind::Concrete { .. } => {
+                if !node.constraints.is_empty() {
+                    let cs: Vec<String> =
+                        node.constraints.iter().map(|c| c.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" [xlabel=\"{{{}}}\"];",
+                        node.name,
+                        cs.join(",")
+                    );
+                }
+                if let Some(h) = node.error_handler {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" -> \"{}\" [style=dashed, color=red, label=\"error\"];",
+                        node.name,
+                        g.name(h)
+                    );
+                }
+            }
+            NodeKind::Abstract { variants } => {
+                for v in variants {
+                    let label = match &v.pattern {
+                        None => String::new(),
+                        Some(p) => p
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    };
+                    let mut prev = node.name.clone();
+                    for (i, &child) in v.body.iter().enumerate() {
+                        let lab = if i == 0 && !label.is_empty() {
+                            format!(" [label=\"{label}\"]")
+                        } else {
+                            String::new()
+                        };
+                        let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", prev, g.name(child), lab);
+                        prev = g.name(child).to_string();
+                    }
+                }
+                if let Some(h) = node.error_handler {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" -> \"{}\" [style=dashed, color=red, label=\"error\"];",
+                        node.name,
+                        g.name(h)
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn flattened(p: &CompiledProgram) -> String {
+    let g = &p.graph;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph flux_flat {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (fi, flow) in p.flows.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{fi} {{");
+        let _ = writeln!(out, "    label=\"source {}\";", g.name(flow.flat.source));
+        for (i, v) in flow.flat.verts.iter().enumerate() {
+            let (label, shape) = match v {
+                FlatVertex::Acquire { node, .. } => {
+                    (format!("acquire {}", g.name(*node)), "hexagon")
+                }
+                FlatVertex::Release { node, .. } => {
+                    (format!("release {}", g.name(*node)), "hexagon")
+                }
+                FlatVertex::Exec { node, .. } => (g.name(*node).to_string(), "box"),
+                FlatVertex::Dispatch { node, .. } => {
+                    (format!("dispatch {}", g.name(*node)), "diamond")
+                }
+                FlatVertex::End { outcome } => (
+                    match outcome {
+                        EndKind::Completed => "END".to_string(),
+                        EndKind::Errored { node } => format!("ERROR {}", g.name(*node)),
+                        EndKind::Handled { handler, .. } => {
+                            format!("HANDLED by {}", g.name(*handler))
+                        }
+                        EndKind::NoMatch { node } => format!("NO-MATCH {}", g.name(*node)),
+                    },
+                    "oval",
+                ),
+            };
+            let _ = writeln!(out, "    f{fi}_v{i} [label=\"{label}\", shape={shape}];");
+        }
+        for (i, v) in flow.flat.verts.iter().enumerate() {
+            for (k, s) in v.successors().into_iter().enumerate() {
+                let style = match v {
+                    FlatVertex::Exec { .. } if k == 1 => " [style=dashed, color=red]",
+                    _ => "",
+                };
+                let _ = writeln!(out, "    f{fi}_v{i} -> f{fi}_v{s}{style};");
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_dot_contains_flow_edges() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let dot = DotGenerator::default().generate(&p);
+        assert!(dot.contains("digraph flux"));
+        assert!(dot.contains("\"Listen\" -> \"Image\""));
+        assert!(dot.contains("\"ReadRequest\" -> \"CheckCache\""));
+        assert!(dot.contains("error"));
+    }
+
+    #[test]
+    fn flattened_dot_has_all_vertices() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let gen = DotGenerator { flattened: true };
+        let dot = gen.generate(&p);
+        let n = p.flows[0].flat.verts.len();
+        for i in 0..n {
+            assert!(dot.contains(&format!("f0_v{i} ")));
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Deadlock-avoidance constraint analysis (paper §3.1.1).
+//!
+//! The compiler imposes a canonical (alphabetical) ordering on atomicity
+//! constraints. Per-node constraint lists are kept sorted, so a single
+//! node always acquires in order. Nesting — abstract nodes holding
+//! constraints across their bodies — can still acquire out of order, so
+//! for each abstract node with constraints we compute the transitive
+//! constraint list in execution order (a depth-first traversal of the
+//! program graph under the node). If the list is out of order, the first
+//! constraint acquired non-canonically is added to the *parent* of the
+//! node that requires it, forcing earlier acquisition; this repeats until
+//! no out-of-order list remains. A second pass promotes the first
+//! acquisition of any lock acquired both as a reader and a writer to a
+//! writer. Every hoist and promotion produces a warning, because early
+//! acquisition can reduce concurrency.
+
+use crate::ast::{ConstraintMode, ConstraintRef, ConstraintScope};
+use crate::error::{CompileError, CompileErrors, ErrorKind, Warning};
+use crate::graph::{NodeId, NodeKind, ProgramGraph};
+use std::collections::HashMap;
+
+/// One acquisition site in a transitive constraint list.
+#[derive(Debug, Clone)]
+struct Acq {
+    name: String,
+    mode: ConstraintMode,
+    /// Node whose declaration produces this acquisition.
+    node: NodeId,
+    /// Direct parent abstract node in the traversal (`None` at the root).
+    parent: Option<NodeId>,
+    /// True when the name was already acquired earlier in the list
+    /// (reentrant re-acquisition; never a violation).
+    reentrant: bool,
+}
+
+/// Computes the transitive constraint list for `root` in execution order.
+///
+/// The traversal respects execution structure: a node's own (sorted)
+/// constraints come first, then each variant body in declaration order,
+/// then the node's error handler, which runs under the same enclosing
+/// scopes. Reentrant occurrences are kept but flagged.
+fn constraint_list(graph: &ProgramGraph, root: NodeId) -> Vec<Acq> {
+    let mut list: Vec<Acq> = Vec::new();
+
+    fn walk(graph: &ProgramGraph, id: NodeId, parent: Option<NodeId>, list: &mut Vec<Acq>) {
+        for c in &graph.nodes[id].constraints {
+            let reentrant = list.iter().any(|a| a.name == c.name);
+            list.push(Acq {
+                name: c.name.clone(),
+                mode: c.mode,
+                node: id,
+                parent,
+                reentrant,
+            });
+        }
+        if let NodeKind::Abstract { variants } = &graph.nodes[id].kind {
+            for v in variants {
+                for &child in &v.body {
+                    walk(graph, child, Some(id), list);
+                }
+            }
+        }
+        if let Some(h) = graph.nodes[id].error_handler {
+            walk(graph, h, parent.or(Some(id)), list);
+        }
+    }
+
+    walk(graph, root, None, &mut list);
+    list
+}
+
+/// Returns the first non-reentrant acquisition that is out of canonical
+/// order (some earlier acquisition has a greater name).
+fn first_violation(list: &[Acq]) -> Option<&Acq> {
+    let mut max_so_far: Option<&str> = None;
+    for acq in list {
+        if acq.reentrant {
+            continue;
+        }
+        if let Some(max) = max_so_far {
+            if acq.name.as_str() < max {
+                return Some(acq);
+            }
+        }
+        max_so_far = Some(match max_so_far {
+            Some(m) if m > acq.name.as_str() => m,
+            _ => acq.name.as_str(),
+        });
+    }
+    None
+}
+
+/// Nodes whose transitive lists must stay canonical: every abstract node
+/// that carries constraints, plus every source-flow target (so whole
+/// flows are covered even when the top node itself is unconstrained).
+fn roots(graph: &ProgramGraph) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if !node.is_concrete() && !node.constraints.is_empty() {
+            out.push(id);
+        }
+    }
+    for s in &graph.sources {
+        if !out.contains(&s.target) {
+            out.push(s.target);
+        }
+    }
+    out
+}
+
+/// Runs the full analysis, mutating the graph's per-node constraint lists
+/// in place (hoists and promotions) and returning the warnings generated.
+///
+/// Also rejects programs that use one constraint name with two different
+/// scopes, which would make the lock identity ambiguous.
+pub fn analyze(graph: &mut ProgramGraph) -> Result<Vec<Warning>, CompileErrors> {
+    let mut errors = CompileErrors::default();
+    let mut warnings = Vec::new();
+
+    // Scope consistency: a name is either program-wide or per-session
+    // everywhere it appears.
+    let mut scopes: HashMap<String, (ConstraintScope, NodeId)> = HashMap::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        for c in &node.constraints {
+            match scopes.get(&c.name) {
+                None => {
+                    scopes.insert(c.name.clone(), (c.scope, id));
+                }
+                Some(&(scope, first)) if scope != c.scope => {
+                    errors.push(CompileError::new(
+                        ErrorKind::Other(format!(
+                            "constraint `{}` is declared {} at `{}` but {} at `{}`",
+                            c.name,
+                            scope_str(scope),
+                            graph.nodes[first].name,
+                            scope_str(c.scope),
+                            node.name,
+                        )),
+                        node.span,
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    // Hoisting fixpoint. Bounded by (#nodes x #constraint-names): every
+    // iteration adds a constraint to a node that lacks it.
+    let max_iters = graph.nodes.len() * scopes.len().max(1) + 1;
+    let mut iters = 0;
+    loop {
+        let mut changed = false;
+        for root in roots(graph) {
+            let list = constraint_list(graph, root);
+            if let Some(v) = first_violation(&list) {
+                // Hoist to the parent of the node that requires the
+                // constraint; at the root there is no parent, but the
+                // root's own list is sorted so the requiring node is
+                // always a strict descendant.
+                let target = v.parent.unwrap_or(root);
+                let hoisted = ConstraintRef {
+                    name: v.name.clone(),
+                    mode: v.mode,
+                    scope: scopes[&v.name].0,
+                };
+                let tnode = &mut graph.nodes[target];
+                if !tnode.constraints.iter().any(|c| c.name == hoisted.name) {
+                    warnings.push(Warning::ConstraintHoisted {
+                        constraint: v.name.clone(),
+                        from: graph.nodes[v.node].name.clone(),
+                        to: graph.nodes[target].name.clone(),
+                    });
+                    let tnode = &mut graph.nodes[target];
+                    tnode.constraints.push(hoisted);
+                    tnode.constraints.sort_by(|a, b| a.name.cmp(&b.name));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        iters += 1;
+        if iters > max_iters {
+            errors.push(CompileError::new(
+                ErrorKind::Other(
+                    "constraint hoisting did not converge (internal limit exceeded)".into(),
+                ),
+                crate::span::Span::DUMMY,
+            ));
+            return Err(errors);
+        }
+    }
+
+    // Reader/writer promotion: within any list, a lock acquired both ways
+    // gets its first acquisition promoted to writer.
+    loop {
+        let mut promoted: Option<(NodeId, String)> = None;
+        'outer: for root in roots(graph) {
+            let list = constraint_list(graph, root);
+            let mut modes: HashMap<&str, (ConstraintMode, &Acq)> = HashMap::new();
+            for acq in &list {
+                match modes.get(acq.name.as_str()) {
+                    None => {
+                        modes.insert(&acq.name, (acq.mode, acq));
+                    }
+                    Some(&(first_mode, first_acq)) => {
+                        if acq.mode != first_mode && first_mode == ConstraintMode::Reader {
+                            promoted = Some((first_acq.node, first_acq.name.clone()));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        match promoted {
+            None => break,
+            Some((node, name)) => {
+                let n = &mut graph.nodes[node];
+                for c in &mut n.constraints {
+                    if c.name == name {
+                        c.mode = ConstraintMode::Writer;
+                    }
+                }
+                warnings.push(Warning::ReaderPromoted {
+                    constraint: name,
+                    node: graph.nodes[node].name.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(warnings)
+}
+
+fn scope_str(s: ConstraintScope) -> &'static str {
+    match s {
+        ConstraintScope::Program => "program-wide",
+        ConstraintScope::Session => "session-scoped",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyzed(src: &str) -> (ProgramGraph, Vec<Warning>) {
+        let (mut g, _) = ProgramGraph::build(&parse(src).unwrap()).unwrap();
+        let w = analyze(&mut g).unwrap();
+        (g, w)
+    }
+
+    fn names(g: &ProgramGraph, node: &str) -> Vec<String> {
+        let (_, n) = g.node(node).unwrap();
+        n.constraints.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// The exact example from §3.1.1: C must end up with `{x, y}`.
+    #[test]
+    fn paper_example() {
+        let (g, w) = analyzed(crate::fixtures::DEADLOCK_EXAMPLE);
+        assert_eq!(names(&g, "A"), vec!["x"]);
+        assert_eq!(names(&g, "B"), vec!["y"]);
+        assert_eq!(names(&g, "C"), vec!["x", "y"]);
+        assert_eq!(names(&g, "D"), vec!["x"]);
+        assert!(w.iter().any(|w| matches!(
+            w,
+            Warning::ConstraintHoisted { constraint, from, to }
+                if constraint == "x" && from == "D" && to == "C"
+        )));
+    }
+
+    #[test]
+    fn in_order_nesting_untouched() {
+        let (g, w) = analyzed(
+            "B (int v) => (int v); A = B; S () => (int v); source S => A; \
+             atomic A: {a}; atomic B: {b};",
+        );
+        assert_eq!(names(&g, "A"), vec!["a"]);
+        assert_eq!(names(&g, "B"), vec!["b"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deep_nesting_hoists_up_chain() {
+        // Outer:{z} holds across Mid, Mid across Inner:{a}: `a` must climb
+        // to Mid and then be in order (a < z fails at Mid level, so `a`
+        // climbs again to Outer).
+        let (g, _) = analyzed(
+            "Leaf (int v) => (int v); Inner = Leaf; Mid = Inner; Outer = Mid; \
+             S () => (int v); source S => Outer; \
+             atomic Outer: {z}; atomic Inner: {a};",
+        );
+        // Fixpoint: a hoisted from Inner to Mid, then from Mid to Outer.
+        assert_eq!(names(&g, "Outer"), vec!["a", "z"]);
+        assert!(names(&g, "Mid").contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn sequence_under_held_lock_is_sorted() {
+        // Top holds t; body acquires y then x out of order; x hoists.
+        let (g, w) = analyzed(
+            "M (int v) => (int v); N (int v) => (int v); Top = M -> N; \
+             S () => (int v); source S => Top; \
+             atomic Top: {t}; atomic M: {y}; atomic N: {x};",
+        );
+        assert!(names(&g, "Top").contains(&"x".to_string()));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn reader_promoted_to_writer() {
+        let (g, w) = analyzed(
+            "B (int v) => (int v); A = B; S () => (int v); source S => A; \
+             atomic A: {x?}; atomic B: {x!};",
+        );
+        let (_, a) = g.node("A").unwrap();
+        assert_eq!(a.constraints[0].mode, ConstraintMode::Writer);
+        assert!(w
+            .iter()
+            .any(|w| matches!(w, Warning::ReaderPromoted { .. })));
+    }
+
+    #[test]
+    fn writer_then_reader_not_promoted() {
+        let (g, w) = analyzed(
+            "B (int v) => (int v); A = B; S () => (int v); source S => A; \
+             atomic A: {x!}; atomic B: {x?};",
+        );
+        let (_, a) = g.node("A").unwrap();
+        assert_eq!(a.constraints[0].mode, ConstraintMode::Writer);
+        assert!(!w
+            .iter()
+            .any(|w| matches!(w, Warning::ReaderPromoted { .. })));
+    }
+
+    #[test]
+    fn conflicting_scopes_rejected() {
+        let (mut g, _) = ProgramGraph::build(
+            &parse(
+                "A (int v) => (int v); B (int v) => (int v); F = A -> B; \
+                 S () => (int v); source S => F; \
+                 atomic A: {x}; atomic B: {x(session)};",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = analyze(&mut g).unwrap_err();
+        assert!(err.0.iter().any(|e| matches!(&e.kind, ErrorKind::Other(m) if m.contains("x"))));
+    }
+
+    #[test]
+    fn handler_constraints_participate() {
+        // Handler H:{a} runs under F:{z}; a < z so it must hoist.
+        let (g, _) = analyzed(
+            "A (int v) => (int v); H (int v) => (); F = A; \
+             S () => (int v); source S => F; handle error A => H; \
+             atomic F: {z}; atomic H: {a};",
+        );
+        assert!(names(&g, "F").contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn reentrant_reacquisition_is_not_a_violation() {
+        let (g, w) = analyzed(
+            "B (int v) => (int v); A = B; S () => (int v); source S => A; \
+             atomic A: {x, y}; atomic B: {x};",
+        );
+        assert_eq!(names(&g, "A"), vec!["x", "y"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn analysis_is_idempotent() {
+        let (mut g, _) =
+            ProgramGraph::build(&parse(crate::fixtures::DEADLOCK_EXAMPLE).unwrap()).unwrap();
+        analyze(&mut g).unwrap();
+        let snapshot = g.clone();
+        let w2 = analyze(&mut g).unwrap();
+        assert_eq!(g, snapshot);
+        assert!(w2.is_empty());
+    }
+}

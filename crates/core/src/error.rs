@@ -1,0 +1,197 @@
+//! Compile-time diagnostics: errors and warnings.
+//!
+//! The paper's compiler "signals an error and exits" on undefined references
+//! and type mismatches, and emits warnings whenever the deadlock-avoidance
+//! pass hoists a constraint (early acquisition reduces concurrency, §3.1.1).
+
+use crate::span::Span;
+use std::fmt;
+
+/// Every way a Flux program can fail to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The lexer saw a character that starts no token.
+    UnexpectedChar(char),
+    /// A `/* ... */` comment ran past the end of the file.
+    UnterminatedComment,
+    /// The parser expected one construct and saw another.
+    UnexpectedToken { expected: String, found: String },
+    /// A node, predicate type or handler name was referenced but never
+    /// declared.
+    Undefined { kind: &'static str, name: String },
+    /// The same name was declared twice in conflicting ways.
+    Duplicate { kind: &'static str, name: String },
+    /// The output types of a node do not match the input types of its
+    /// successor.
+    TypeMismatch {
+        from: String,
+        to: String,
+        expected: Vec<String>,
+        found: Vec<String>,
+    },
+    /// A dispatch pattern's arity differs from the node's input arity.
+    PatternArity {
+        node: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Two variants of an abstract node disagree on inferred types.
+    VariantMismatch { node: String, detail: String },
+    /// Abstract nodes may not (transitively) contain themselves: Flux
+    /// programs are acyclic.
+    RecursiveNode { name: String, cycle: Vec<String> },
+    /// A source node must take no inputs.
+    SourceHasInputs { name: String },
+    /// An error handler must be a concrete node.
+    HandlerNotConcrete { name: String },
+    /// An empty variant body is only legal when inputs equal outputs.
+    InvalidPassthrough { node: String },
+    /// Anything else worth a dedicated message.
+    Other(String),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ErrorKind::UnterminatedComment => write!(f, "unterminated block comment"),
+            ErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ErrorKind::Undefined { kind, name } => write!(f, "undefined {kind} `{name}`"),
+            ErrorKind::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            ErrorKind::TypeMismatch {
+                from,
+                to,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on edge `{from}` -> `{to}`: `{to}` expects ({}), `{from}` produces ({})",
+                expected.join(", "),
+                found.join(", ")
+            ),
+            ErrorKind::PatternArity {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "pattern for `{node}` has {found} element(s) but the node takes {expected} input(s)"
+            ),
+            ErrorKind::VariantMismatch { node, detail } => {
+                write!(f, "variants of `{node}` disagree: {detail}")
+            }
+            ErrorKind::RecursiveNode { name, cycle } => write!(
+                f,
+                "abstract node `{name}` is recursive ({}); Flux graphs must be acyclic",
+                cycle.join(" -> ")
+            ),
+            ErrorKind::SourceHasInputs { name } => {
+                write!(f, "source node `{name}` must not take inputs")
+            }
+            ErrorKind::HandlerNotConcrete { name } => {
+                write!(f, "error handler `{name}` must be a concrete node")
+            }
+            ErrorKind::InvalidPassthrough { node } => write!(
+                f,
+                "empty variant of `{node}` is only legal when its inputs match its outputs"
+            ),
+            ErrorKind::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+/// A single compile error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub kind: ErrorKind,
+    pub span: Span,
+}
+
+impl CompileError {
+    pub fn new(kind: ErrorKind, span: Span) -> Self {
+        CompileError { kind, span }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span == Span::DUMMY {
+            write!(f, "error: {}", self.kind)
+        } else {
+            write!(f, "error at {}: {}", self.span, self.kind)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// All errors from one compilation attempt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileErrors(pub Vec<CompileError>);
+
+impl CompileErrors {
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn push(&mut self, e: CompileError) {
+        self.0.push(e);
+    }
+}
+
+impl fmt::Display for CompileErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CompileErrors {}
+
+/// Non-fatal diagnostics, chiefly from the deadlock-avoidance pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A constraint was hoisted to an enclosing node to restore canonical
+    /// lock order (paper §3.1.1). Early acquisition can reduce concurrency.
+    ConstraintHoisted {
+        constraint: String,
+        from: String,
+        to: String,
+    },
+    /// A reader acquisition was promoted to a writer because the same
+    /// constraint is also acquired as a writer along some flow.
+    ReaderPromoted { constraint: String, node: String },
+    /// A node is declared but unreachable from any source.
+    UnreachableNode { name: String },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::ConstraintHoisted {
+                constraint,
+                from,
+                to,
+            } => write!(
+                f,
+                "warning: constraint `{constraint}` (required by `{from}`) hoisted to `{to}` to \
+                 preserve canonical lock order; early acquisition may reduce concurrency"
+            ),
+            Warning::ReaderPromoted { constraint, node } => write!(
+                f,
+                "warning: reader constraint `{constraint}` at `{node}` promoted to writer \
+                 (also acquired as writer along a flow)"
+            ),
+            Warning::UnreachableNode { name } => {
+                write!(f, "warning: node `{name}` is unreachable from any source")
+            }
+        }
+    }
+}

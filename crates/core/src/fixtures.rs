@@ -1,0 +1,83 @@
+//! Canonical Flux programs from the paper, used by tests, examples and
+//! benchmarks throughout the repository.
+
+/// The image-compression server of Figure 2, completed with the
+/// `FourOhFour` handler signature the paper elides for space.
+pub const IMAGE_SERVER: &str = r#"
+    // concrete node signatures
+    Listen () => (int socket);
+    ReadRequest (int socket)
+      => (int socket, bool close, image_tag *request);
+    CheckCache (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    ReadInFromDisk (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request, __u8 *rgb_data);
+    StoreInCache (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    Compress (int socket, bool close, image_tag *request, __u8 *rgb_data)
+      => (int socket, bool close, image_tag *request);
+    Write (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    Complete (int socket, bool close, image_tag *request) => ();
+    FourOhFour (int socket, bool close, image_tag *request) => ();
+
+    // source node
+    source Listen => Image;
+
+    // abstract node
+    Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+
+    // predicate type & dispatch
+    typedef hit TestInCache;
+    Handler:[_, _, hit] = ;
+    Handler:[_, _, _] = ReadInFromDisk -> Compress -> StoreInCache;
+
+    // error handler
+    handle error ReadInFromDisk => FourOhFour;
+
+    // atomicity constraints
+    atomic CheckCache:{cache};
+    atomic StoreInCache:{cache};
+    atomic Complete:{cache};
+"#;
+
+/// The deadlock-avoidance example of §3.1.1: a flow through `A` locks
+/// `x` then `y`, a flow through `C` locks `y` then `x`. The compiler must
+/// hoist `x` onto `C`, yielding `atomic C:{x,y}`.
+pub const DEADLOCK_EXAMPLE: &str = r#"
+    B (int v) => (int v);
+    D (int v) => (int v);
+    SrcA () => (int v);
+    SrcC () => (int v);
+
+    A = B;
+    C = D;
+
+    source SrcA => A;
+    source SrcC => C;
+
+    atomic A: {x};
+    atomic B: {y};
+    atomic C: {y};
+    atomic D: {x};
+"#;
+
+/// A miniature request/response pipeline used by unit tests: one source,
+/// a three-node chain, a two-way dispatch and an error handler.
+pub const MINI_PIPELINE: &str = r#"
+    Listen () => (int sock);
+    Parse (int sock) => (int sock, bool ok);
+    Respond (int sock, bool ok) => (int sock);
+    Retry (int sock) => (int sock);
+    Close (int sock) => ();
+    Oops (int sock) => ();
+
+    typedef valid IsValid;
+
+    source Listen => Flow;
+    Flow = Parse -> Route -> Close;
+    Route:[_, valid] = Respond;
+    Route:[_, _] = Respond -> Retry;
+
+    handle error Parse => Oops;
+"#;

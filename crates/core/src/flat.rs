@@ -1,0 +1,445 @@
+//! Flattened execution graphs.
+//!
+//! Compilation expands each source flow into an acyclic vertex graph in
+//! which every possible runtime step is explicit: lock acquisition and
+//! release for atomicity scopes, concrete-node execution with success and
+//! error edges, predicate dispatch with one arm per variant, and
+//! distinguished end vertices for every way a flow can terminate. The
+//! runtimes execute this graph directly, the Ball–Larus pass numbers its
+//! paths, and the discrete-event simulator replays it against a
+//! performance model — one IR, three consumers.
+
+use crate::error::{CompileError, ErrorKind};
+use crate::graph::{NodeId, NodeKind, ProgramGraph};
+use std::collections::HashMap;
+
+/// Index of a vertex in [`FlatProgram::verts`].
+pub type VertexId = usize;
+
+/// How a flow ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndKind {
+    /// The flow ran to the end of its data flow.
+    Completed,
+    /// `node` returned an error and no handler was declared.
+    Errored { node: NodeId },
+    /// `node` returned an error and `handler` ran to completion.
+    Handled { node: NodeId, handler: NodeId },
+    /// A dispatch at `node` matched no variant.
+    NoMatch { node: NodeId },
+}
+
+/// One arm of a dispatch vertex: the variant index in the abstract node's
+/// declaration order and the entry vertex of that variant's body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchArm {
+    pub variant: usize,
+    pub entry: VertexId,
+}
+
+/// A single step of a flattened flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatVertex {
+    /// Acquire `node`'s constraint list (already canonically sorted) under
+    /// two-phase locking, then continue.
+    Acquire { node: NodeId, next: VertexId },
+    /// Release `node`'s constraint list in reverse order, then continue.
+    Release { node: NodeId, next: VertexId },
+    /// Run the concrete node. Successor 0 is `on_ok`, successor 1 is
+    /// `on_err` (taken when the node returns a non-zero error code).
+    Exec {
+        node: NodeId,
+        on_ok: VertexId,
+        on_err: VertexId,
+    },
+    /// Evaluate dispatch patterns in declaration order; the first matching
+    /// arm is taken, `on_nomatch` if none match.
+    Dispatch {
+        node: NodeId,
+        arms: Vec<DispatchArm>,
+        on_nomatch: VertexId,
+    },
+    /// Flow termination.
+    End { outcome: EndKind },
+}
+
+impl FlatVertex {
+    /// Ordered successors; the ordinal is the edge index used by path
+    /// profiling.
+    pub fn successors(&self) -> Vec<VertexId> {
+        match self {
+            FlatVertex::Acquire { next, .. } | FlatVertex::Release { next, .. } => vec![*next],
+            FlatVertex::Exec { on_ok, on_err, .. } => vec![*on_ok, *on_err],
+            FlatVertex::Dispatch {
+                arms, on_nomatch, ..
+            } => {
+                let mut s: Vec<VertexId> = arms.iter().map(|a| a.entry).collect();
+                s.push(*on_nomatch);
+                s
+            }
+            FlatVertex::End { .. } => Vec::new(),
+        }
+    }
+}
+
+/// The flattened graph for one `source` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatProgram {
+    /// The source node that originates flows (executed by the runtime's
+    /// source loop; not part of the vertex graph, but reported as the
+    /// first element of every path, as in the paper's §5.2 listings).
+    pub source: NodeId,
+    /// The node each flow is handed to.
+    pub target: NodeId,
+    /// Entry vertex of the flow.
+    pub entry: VertexId,
+    pub verts: Vec<FlatVertex>,
+}
+
+impl FlatProgram {
+    /// Flattens the flow starting at `spec.target`.
+    pub fn build(
+        graph: &ProgramGraph,
+        spec: crate::graph::SourceSpec,
+    ) -> Result<FlatProgram, CompileError> {
+        let mut f = Flattener {
+            graph,
+            verts: Vec::new(),
+            completed: None,
+            err_ends: HashMap::new(),
+            handler_entries: HashMap::new(),
+        };
+        let end = f.completed_end();
+        let entry = f.flatten_node(spec.target, end, &mut Vec::new())?;
+        Ok(FlatProgram {
+            source: spec.source,
+            target: spec.target,
+            entry,
+            verts: f.verts,
+        })
+    }
+
+    /// Iterates over all `Exec` vertices.
+    pub fn execs(&self) -> impl Iterator<Item = (VertexId, NodeId)> + '_ {
+        self.verts.iter().enumerate().filter_map(|(i, v)| match v {
+            FlatVertex::Exec { node, .. } => Some((i, *node)),
+            _ => None,
+        })
+    }
+}
+
+struct Flattener<'g> {
+    graph: &'g ProgramGraph,
+    verts: Vec<FlatVertex>,
+    completed: Option<VertexId>,
+    err_ends: HashMap<NodeId, VertexId>,
+    handler_entries: HashMap<NodeId, VertexId>,
+}
+
+impl<'g> Flattener<'g> {
+    fn push(&mut self, v: FlatVertex) -> VertexId {
+        self.verts.push(v);
+        self.verts.len() - 1
+    }
+
+    fn completed_end(&mut self) -> VertexId {
+        if let Some(v) = self.completed {
+            return v;
+        }
+        let v = self.push(FlatVertex::End {
+            outcome: EndKind::Completed,
+        });
+        self.completed = Some(v);
+        v
+    }
+
+    /// The error continuation for `node`: its handler chain if one is
+    /// declared, otherwise a terminal error end. The runtime releases all
+    /// held locks before following this edge (the flow is terminating and
+    /// two-phase locking has nothing left to protect).
+    fn error_exit(
+        &mut self,
+        node: NodeId,
+        chain: &mut Vec<NodeId>,
+    ) -> Result<VertexId, CompileError> {
+        match self.graph.nodes[node].error_handler {
+            None => {
+                if let Some(&v) = self.err_ends.get(&node) {
+                    return Ok(v);
+                }
+                let v = self.push(FlatVertex::End {
+                    outcome: EndKind::Errored { node },
+                });
+                self.err_ends.insert(node, v);
+                Ok(v)
+            }
+            Some(handler) => {
+                if chain.contains(&handler) {
+                    let mut cycle: Vec<String> =
+                        chain.iter().map(|&n| self.graph.name(n).to_string()).collect();
+                    cycle.push(self.graph.name(handler).to_string());
+                    return Err(CompileError::new(
+                        ErrorKind::RecursiveNode {
+                            name: self.graph.name(handler).to_string(),
+                            cycle,
+                        },
+                        self.graph.nodes[handler].span,
+                    ));
+                }
+                if let Some(&v) = self.handler_entries.get(&node) {
+                    return Ok(v);
+                }
+                chain.push(handler);
+                let handled_end = self.push(FlatVertex::End {
+                    outcome: EndKind::Handled { node, handler },
+                });
+                let handler_err = self.error_exit(handler, chain)?;
+                let exec = self.push(FlatVertex::Exec {
+                    node: handler,
+                    on_ok: handled_end,
+                    on_err: handler_err,
+                });
+                let entry = if self.graph.nodes[handler].constraints.is_empty() {
+                    exec
+                } else {
+                    // The Release after a handler is folded into the
+                    // release-all at flow end; acquiring is still explicit
+                    // so lock contention on handlers is modeled.
+                    self.push(FlatVertex::Acquire {
+                        node: handler,
+                        next: exec,
+                    })
+                };
+                chain.pop();
+                self.handler_entries.insert(node, entry);
+                Ok(entry)
+            }
+        }
+    }
+
+    fn flatten_seq(
+        &mut self,
+        body: &[NodeId],
+        cont: VertexId,
+        chain: &mut Vec<NodeId>,
+    ) -> Result<VertexId, CompileError> {
+        let mut cont = cont;
+        for &child in body.iter().rev() {
+            cont = self.flatten_node(child, cont, chain)?;
+        }
+        Ok(cont)
+    }
+
+    fn flatten_node(
+        &mut self,
+        id: NodeId,
+        cont: VertexId,
+        chain: &mut Vec<NodeId>,
+    ) -> Result<VertexId, CompileError> {
+        let has_locks = !self.graph.nodes[id].constraints.is_empty();
+        let kind = self.graph.nodes[id].kind.clone();
+        match &kind {
+            NodeKind::Concrete { .. } => {
+                let after = if has_locks {
+                    self.push(FlatVertex::Release { node: id, next: cont })
+                } else {
+                    cont
+                };
+                let on_err = self.error_exit(id, chain)?;
+                let exec = self.push(FlatVertex::Exec {
+                    node: id,
+                    on_ok: after,
+                    on_err,
+                });
+                Ok(if has_locks {
+                    self.push(FlatVertex::Acquire { node: id, next: exec })
+                } else {
+                    exec
+                })
+            }
+            NodeKind::Abstract { variants } => {
+                let after = if has_locks {
+                    self.push(FlatVertex::Release { node: id, next: cont })
+                } else {
+                    cont
+                };
+                let body_entry = if variants.len() == 1 && variants[0].is_catch_all() {
+                    self.flatten_seq(&variants[0].body, after, chain)?
+                } else {
+                    let mut arms = Vec::with_capacity(variants.len());
+                    for (i, v) in variants.iter().enumerate() {
+                        let entry = self.flatten_seq(&v.body, after, chain)?;
+                        arms.push(DispatchArm { variant: i, entry });
+                    }
+                    let on_nomatch = self.push(FlatVertex::End {
+                        outcome: EndKind::NoMatch { node: id },
+                    });
+                    self.push(FlatVertex::Dispatch {
+                        node: id,
+                        arms,
+                        on_nomatch,
+                    })
+                };
+                Ok(if has_locks {
+                    self.push(FlatVertex::Acquire {
+                        node: id,
+                        next: body_entry,
+                    })
+                } else {
+                    body_entry
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn flat(src: &str) -> (ProgramGraph, Vec<FlatProgram>) {
+        let (mut g, _) = ProgramGraph::build(&parse(src).unwrap()).unwrap();
+        crate::constraints::analyze(&mut g).unwrap();
+        let flats = g
+            .sources
+            .clone()
+            .into_iter()
+            .map(|s| FlatProgram::build(&g, s).unwrap())
+            .collect();
+        (g, flats)
+    }
+
+    #[test]
+    fn image_server_flattens() {
+        let (g, flats) = flat(crate::fixtures::IMAGE_SERVER);
+        assert_eq!(flats.len(), 1);
+        let f = &flats[0];
+        assert_eq!(g.name(f.source), "Listen");
+        // Exec vertices: ReadRequest, CheckCache, Write, Complete,
+        // ReadInFromDisk, Compress, StoreInCache, FourOhFour.
+        let mut names: Vec<&str> = f.execs().map(|(_, n)| g.name(n)).collect();
+        names.sort_unstable();
+        assert_eq!(
+            names,
+            vec![
+                "CheckCache",
+                "Complete",
+                "Compress",
+                "FourOhFour",
+                "ReadInFromDisk",
+                "ReadRequest",
+                "StoreInCache",
+                "Write",
+            ]
+        );
+        // One dispatch (Handler), with two arms.
+        let dispatches: Vec<_> = f
+            .verts
+            .iter()
+            .filter_map(|v| match v {
+                FlatVertex::Dispatch { node, arms, .. } => Some((g.name(*node), arms.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dispatches, vec![("Handler", 2)]);
+        // CheckCache, StoreInCache, Complete each have Acquire+Release.
+        let acquires = f
+            .verts
+            .iter()
+            .filter(|v| matches!(v, FlatVertex::Acquire { .. }))
+            .count();
+        let releases = f
+            .verts
+            .iter()
+            .filter(|v| matches!(v, FlatVertex::Release { .. }))
+            .count();
+        assert_eq!(acquires, 3);
+        assert_eq!(releases, 3);
+    }
+
+    #[test]
+    fn all_edges_point_to_earlier_vertices() {
+        let (_, flats) = flat(crate::fixtures::IMAGE_SERVER);
+        for f in &flats {
+            for (i, v) in f.verts.iter().enumerate() {
+                for s in v.successors() {
+                    assert!(s < i, "edge {i} -> {s} breaks reverse-topological ids");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_edges_reach_handler() {
+        let (g, flats) = flat(crate::fixtures::IMAGE_SERVER);
+        let f = &flats[0];
+        let (rifd, _) = g.node("ReadInFromDisk").unwrap();
+        let (fof, _) = g.node("FourOhFour").unwrap();
+        // The exec of ReadInFromDisk must error into an exec of FourOhFour.
+        let mut found = false;
+        for v in &f.verts {
+            if let FlatVertex::Exec { node, on_err, .. } = v {
+                if *node == rifd {
+                    // Follow to the handler's exec (possibly via Acquire).
+                    let mut cur = *on_err;
+                    loop {
+                        match &f.verts[cur] {
+                            FlatVertex::Acquire { next, .. } => cur = *next,
+                            FlatVertex::Exec { node, .. } => {
+                                assert_eq!(*node, fof);
+                                found = true;
+                                break;
+                            }
+                            other => panic!("unexpected error chain vertex {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn unhandled_error_terminates() {
+        let (g, flats) = flat(crate::fixtures::MINI_PIPELINE);
+        let f = &flats[0];
+        let (close, _) = g.node("Close").unwrap();
+        for v in &f.verts {
+            if let FlatVertex::Exec { node, on_err, .. } = v {
+                if *node == close {
+                    assert!(matches!(
+                        f.verts[*on_err],
+                        FlatVertex::End {
+                            outcome: EndKind::Errored { node }
+                        } if node == close
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handler_cycle_rejected() {
+        let src = "A (int x) => (); B (int x) => (); \
+                   handle error A => B; handle error B => A; \
+                   S () => (int x); source S => A;";
+        let (g, _) = ProgramGraph::build(&parse(src).unwrap()).unwrap();
+        let err = FlatProgram::build(&g, g.sources[0]).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::RecursiveNode { .. }));
+    }
+
+    #[test]
+    fn shared_handler_memoized() {
+        // Two nodes with the same handler reuse one handler chain per node
+        // (outcome labels differ per erroring node, so entries per node).
+        let (_, flats) = flat(crate::fixtures::MINI_PIPELINE);
+        let f = &flats[0];
+        let handled: Vec<_> = f
+            .verts
+            .iter()
+            .filter(|v| matches!(v, FlatVertex::End { outcome: EndKind::Handled { .. } }))
+            .collect();
+        assert_eq!(handled.len(), 1, "Parse is the only handled node");
+    }
+}

@@ -1,0 +1,577 @@
+//! Program-graph internal representation (compiler pass 1, paper §3.1).
+//!
+//! The first pass links every node referenced in the program's data flows,
+//! merges conditional definitions of the same abstract node into ordered
+//! dispatch variants, attaches error handlers, atomicity constraints and
+//! predicate bindings, and rejects undefined or duplicate names and
+//! recursive (cyclic) flows.
+
+use crate::ast::*;
+use crate::error::{CompileError, CompileErrors, ErrorKind};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// Index of a node in [`ProgramGraph::nodes`].
+pub type NodeId = usize;
+
+/// One dispatch variant of an abstract node: an optional pattern and the
+/// node ids of its body in flow order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// `None` means unconditional (always matches).
+    pub pattern: Option<Vec<PatElem>>,
+    pub body: Vec<NodeId>,
+    pub span: Span,
+}
+
+impl Variant {
+    /// True when this variant matches every input (no pattern, or all
+    /// wildcards).
+    pub fn is_catch_all(&self) -> bool {
+        match &self.pattern {
+            None => true,
+            Some(p) => p.iter().all(|e| matches!(e, PatElem::Wildcard)),
+        }
+    }
+}
+
+/// Whether a node is a C-function leaf or a composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A leaf with a declared signature, implemented by user code.
+    Concrete {
+        inputs: Vec<Param>,
+        outputs: Vec<Param>,
+    },
+    /// A composition of other nodes, possibly with dispatch variants.
+    /// Input/output types are inferred during type checking.
+    Abstract { variants: Vec<Variant> },
+}
+
+/// Everything known about one node after graph construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    pub name: String,
+    pub kind: NodeKind,
+    /// Declared atomicity constraints, kept in canonical (alphabetical)
+    /// order. The deadlock-avoidance pass may add to this list.
+    pub constraints: Vec<ConstraintRef>,
+    /// Error handler node, if `handle error` was declared for this node.
+    pub error_handler: Option<NodeId>,
+    /// True when declared `blocking` (event-runtime off-load extension).
+    pub blocking: bool,
+    pub span: Span,
+}
+
+impl NodeInfo {
+    /// True for concrete (leaf) nodes.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self.kind, NodeKind::Concrete { .. })
+    }
+}
+
+/// A `source` declaration resolved to node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSpec {
+    pub source: NodeId,
+    pub target: NodeId,
+}
+
+/// The linked program graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramGraph {
+    pub nodes: Vec<NodeInfo>,
+    pub by_name: HashMap<String, NodeId>,
+    pub sources: Vec<SourceSpec>,
+    /// Predicate type name -> user predicate function name (`typedef`).
+    pub predicates: HashMap<String, String>,
+}
+
+impl ProgramGraph {
+    /// Looks a node up by name.
+    pub fn node(&self, name: &str) -> Option<(NodeId, &NodeInfo)> {
+        self.by_name.get(name).map(|&id| (id, &self.nodes[id]))
+    }
+
+    /// The name of node `id`.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id].name
+    }
+
+    /// Builds the graph from a parsed program, reporting every resolvable
+    /// error rather than stopping at the first.
+    pub fn build(program: &Program) -> Result<(ProgramGraph, Vec<crate::error::Warning>), CompileErrors> {
+        let mut errors = CompileErrors::default();
+        let mut nodes: Vec<NodeInfo> = Vec::new();
+        let mut by_name: HashMap<String, NodeId> = HashMap::new();
+
+        // Pass A: declare every concrete signature and every abstract name.
+        for item in &program.items {
+            match item {
+                Item::NodeSig(sig) => {
+                    if by_name.contains_key(&sig.name) {
+                        errors.push(CompileError::new(
+                            ErrorKind::Duplicate {
+                                kind: "node",
+                                name: sig.name.clone(),
+                            },
+                            sig.span,
+                        ));
+                        continue;
+                    }
+                    by_name.insert(sig.name.clone(), nodes.len());
+                    nodes.push(NodeInfo {
+                        name: sig.name.clone(),
+                        kind: NodeKind::Concrete {
+                            inputs: sig.inputs.clone(),
+                            outputs: sig.outputs.clone(),
+                        },
+                        constraints: Vec::new(),
+                        error_handler: None,
+                        blocking: false,
+                        span: sig.span,
+                    });
+                }
+                Item::Abstract(def) => {
+                    match by_name.get(&def.name) {
+                        None => {
+                            by_name.insert(def.name.clone(), nodes.len());
+                            nodes.push(NodeInfo {
+                                name: def.name.clone(),
+                                kind: NodeKind::Abstract {
+                                    variants: Vec::new(),
+                                },
+                                constraints: Vec::new(),
+                                error_handler: None,
+                                blocking: false,
+                                span: def.span,
+                            });
+                        }
+                        Some(&id) => {
+                            if nodes[id].is_concrete() {
+                                errors.push(CompileError::new(
+                                    ErrorKind::Duplicate {
+                                        kind: "node (declared both concrete and abstract)",
+                                        name: def.name.clone(),
+                                    },
+                                    def.span,
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Pass B: predicates.
+        let mut predicates: HashMap<String, String> = HashMap::new();
+        for item in &program.items {
+            if let Item::Typedef(td) = item {
+                if predicates
+                    .insert(td.ty_name.clone(), td.func.clone())
+                    .is_some()
+                {
+                    errors.push(CompileError::new(
+                        ErrorKind::Duplicate {
+                            kind: "predicate type",
+                            name: td.ty_name.clone(),
+                        },
+                        td.span,
+                    ));
+                }
+            }
+        }
+
+        // Pass C: attach variants, handlers, constraints, sources, blocking.
+        let mut sources = Vec::new();
+        for item in &program.items {
+            match item {
+                Item::Abstract(def) => {
+                    let Some(&id) = by_name.get(&def.name) else {
+                        continue; // duplicate error already reported
+                    };
+                    let mut body = Vec::with_capacity(def.body.len());
+                    let mut ok = true;
+                    for child in &def.body {
+                        match by_name.get(child) {
+                            Some(&cid) => body.push(cid),
+                            None => {
+                                ok = false;
+                                errors.push(CompileError::new(
+                                    ErrorKind::Undefined {
+                                        kind: "node",
+                                        name: child.clone(),
+                                    },
+                                    def.span,
+                                ));
+                            }
+                        }
+                    }
+                    if let Some(pat) = &def.pattern {
+                        for el in pat {
+                            if let PatElem::Pred(p) = el {
+                                if !predicates.contains_key(p) {
+                                    ok = false;
+                                    errors.push(CompileError::new(
+                                        ErrorKind::Undefined {
+                                            kind: "predicate type",
+                                            name: p.clone(),
+                                        },
+                                        def.span,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        if let NodeKind::Abstract { variants } = &mut nodes[id].kind {
+                            variants.push(Variant {
+                                pattern: def.pattern.clone(),
+                                body,
+                                span: def.span,
+                            });
+                        }
+                    }
+                }
+                Item::Source(s) => {
+                    let src = by_name.get(&s.source).copied();
+                    let tgt = by_name.get(&s.target).copied();
+                    for (found, name) in [(src, &s.source), (tgt, &s.target)] {
+                        if found.is_none() {
+                            errors.push(CompileError::new(
+                                ErrorKind::Undefined {
+                                    kind: "node",
+                                    name: name.clone(),
+                                },
+                                s.span,
+                            ));
+                        }
+                    }
+                    if let (Some(source), Some(target)) = (src, tgt) {
+                        sources.push(SourceSpec { source, target });
+                    }
+                }
+                Item::ErrorHandler(h) => {
+                    let node = by_name.get(&h.node).copied();
+                    let handler = by_name.get(&h.handler).copied();
+                    for (found, name) in [(node, &h.node), (handler, &h.handler)] {
+                        if found.is_none() {
+                            errors.push(CompileError::new(
+                                ErrorKind::Undefined {
+                                    kind: "node",
+                                    name: name.clone(),
+                                },
+                                h.span,
+                            ));
+                        }
+                    }
+                    if let (Some(node), Some(handler)) = (node, handler) {
+                        if !nodes[handler].is_concrete() {
+                            errors.push(CompileError::new(
+                                ErrorKind::HandlerNotConcrete {
+                                    name: h.handler.clone(),
+                                },
+                                h.span,
+                            ));
+                        } else if nodes[node].error_handler.is_some() {
+                            errors.push(CompileError::new(
+                                ErrorKind::Duplicate {
+                                    kind: "error handler for",
+                                    name: h.node.clone(),
+                                },
+                                h.span,
+                            ));
+                        } else {
+                            nodes[node].error_handler = Some(handler);
+                        }
+                    }
+                }
+                Item::Atomic(a) => match by_name.get(&a.node).copied() {
+                    None => errors.push(CompileError::new(
+                        ErrorKind::Undefined {
+                            kind: "node",
+                            name: a.node.clone(),
+                        },
+                        a.span,
+                    )),
+                    Some(id) => {
+                        for c in &a.constraints {
+                            if !nodes[id].constraints.iter().any(|e| e.name == c.name) {
+                                nodes[id].constraints.push(c.clone());
+                            }
+                        }
+                        // Canonical (alphabetical) acquisition order, §3.1.1.
+                        nodes[id].constraints.sort_by(|a, b| a.name.cmp(&b.name));
+                    }
+                },
+                Item::Blocking(b) => match by_name.get(&b.node).copied() {
+                    None => errors.push(CompileError::new(
+                        ErrorKind::Undefined {
+                            kind: "node",
+                            name: b.node.clone(),
+                        },
+                        b.span,
+                    )),
+                    Some(id) => nodes[id].blocking = true,
+                },
+                Item::NodeSig(_) | Item::Typedef(_) => {}
+            }
+        }
+
+        // Abstract nodes must have at least one variant.
+        for node in &nodes {
+            if let NodeKind::Abstract { variants } = &node.kind {
+                if variants.is_empty() && errors.is_empty() {
+                    errors.push(CompileError::new(
+                        ErrorKind::Undefined {
+                            kind: "definition for abstract node",
+                            name: node.name.clone(),
+                        },
+                        node.span,
+                    ));
+                }
+            }
+        }
+
+        let graph = ProgramGraph {
+            nodes,
+            by_name,
+            sources,
+            predicates,
+        };
+
+        // Acyclicity: abstract nodes must not (transitively) contain
+        // themselves. Flux programs are acyclic by construction (§2).
+        if errors.is_empty() {
+            if let Err(e) = graph.check_acyclic() {
+                errors.push(e);
+            }
+        }
+
+        if errors.is_empty() {
+            let warnings = graph.unreachable_warnings();
+            Ok((graph, warnings))
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check_acyclic(&self) -> Result<(), CompileError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.nodes.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+
+        fn visit(
+            g: &ProgramGraph,
+            id: NodeId,
+            marks: &mut [Mark],
+            stack: &mut Vec<NodeId>,
+        ) -> Result<(), CompileError> {
+            match marks[id] {
+                Mark::Black => return Ok(()),
+                Mark::Grey => {
+                    let pos = stack.iter().position(|&n| n == id).unwrap_or(0);
+                    let cycle: Vec<String> = stack[pos..]
+                        .iter()
+                        .chain(std::iter::once(&id))
+                        .map(|&n| g.nodes[n].name.clone())
+                        .collect();
+                    return Err(CompileError::new(
+                        ErrorKind::RecursiveNode {
+                            name: g.nodes[id].name.clone(),
+                            cycle,
+                        },
+                        g.nodes[id].span,
+                    ));
+                }
+                Mark::White => {}
+            }
+            marks[id] = Mark::Grey;
+            stack.push(id);
+            if let NodeKind::Abstract { variants } = &g.nodes[id].kind {
+                for v in variants {
+                    for &child in &v.body {
+                        visit(g, child, marks, stack)?;
+                    }
+                }
+            }
+            stack.pop();
+            marks[id] = Mark::Black;
+            Ok(())
+        }
+
+        for id in 0..self.nodes.len() {
+            visit(self, id, &mut marks, &mut stack)?;
+        }
+        Ok(())
+    }
+
+    /// Nodes reachable from no source, reported as warnings (handlers are
+    /// reachable through the node they handle).
+    fn unreachable_warnings(&self) -> Vec<crate::error::Warning> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut work: Vec<NodeId> = Vec::new();
+        for s in &self.sources {
+            work.push(s.source);
+            work.push(s.target);
+        }
+        while let Some(id) = work.pop() {
+            if std::mem::replace(&mut reachable[id], true) {
+                continue;
+            }
+            if let Some(h) = self.nodes[id].error_handler {
+                work.push(h);
+            }
+            if let NodeKind::Abstract { variants } = &self.nodes[id].kind {
+                for v in variants {
+                    work.extend(v.body.iter().copied());
+                }
+            }
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| !reachable[*id] && !self.sources.is_empty())
+            .map(|(_, n)| crate::error::Warning::UnreachableNode {
+                name: n.name.clone(),
+            })
+            .collect()
+    }
+
+    /// All dispatch variants of `id` (empty for concrete nodes).
+    pub fn variants(&self, id: NodeId) -> &[Variant] {
+        match &self.nodes[id].kind {
+            NodeKind::Abstract { variants } => variants,
+            NodeKind::Concrete { .. } => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn build(src: &str) -> Result<ProgramGraph, CompileErrors> {
+        ProgramGraph::build(&parse(src).unwrap()).map(|(g, _)| g)
+    }
+
+    #[test]
+    fn links_figure2() {
+        let src = crate::fixtures::IMAGE_SERVER;
+        let g = build(src).unwrap();
+        assert_eq!(g.sources.len(), 1);
+        let (_, listen) = g.node("Listen").unwrap();
+        assert!(listen.is_concrete());
+        let (hid, handler) = g.node("Handler").unwrap();
+        assert!(!handler.is_concrete());
+        assert_eq!(g.variants(hid).len(), 2);
+        assert!(!g.variants(hid)[0].is_catch_all());
+        assert!(g.variants(hid)[1].is_catch_all());
+        let (_, rifd) = g.node("ReadInFromDisk").unwrap();
+        let h = rifd.error_handler.unwrap();
+        assert_eq!(g.name(h), "FourOhFour");
+        let (_, cc) = g.node("CheckCache").unwrap();
+        assert_eq!(cc.constraints.len(), 1);
+        assert_eq!(cc.constraints[0].name, "cache");
+    }
+
+    #[test]
+    fn undefined_node_in_body() {
+        let err = build("A () => (); Image = A -> Missing; source A => Image;").unwrap_err();
+        assert!(err.0.iter().any(|e| matches!(
+            &e.kind,
+            ErrorKind::Undefined { kind: "node", name } if name == "Missing"
+        )));
+    }
+
+    #[test]
+    fn undefined_predicate() {
+        let err = build("A () => (); H:[nope] = ;").unwrap_err();
+        assert!(err.0.iter().any(|e| matches!(
+            &e.kind,
+            ErrorKind::Undefined { kind: "predicate type", name } if name == "nope"
+        )));
+    }
+
+    #[test]
+    fn duplicate_concrete() {
+        let err = build("A () => (); A () => ();").unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::Duplicate { .. })));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let err = build(
+            "A (int x) => (int x); Loop = A -> Loop; source S => Loop; S () => (int x);",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::RecursiveNode { .. })));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let err = build("A = B; B = A;").unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::RecursiveNode { .. })));
+    }
+
+    #[test]
+    fn handler_must_be_concrete() {
+        let err = build(
+            "A () => (); B () => (); H = B; handle error A => H; source A => B;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::HandlerNotConcrete { .. })));
+    }
+
+    #[test]
+    fn constraints_sorted_canonically() {
+        let g = build("A () => (); atomic A:{zebra, apple, mango}; source A => A;");
+        // `source A => A` with A concrete: fine structurally.
+        let g = g.unwrap();
+        let (_, a) = g.node("A").unwrap();
+        let names: Vec<_> = a.constraints.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["apple", "mango", "zebra"]);
+    }
+
+    #[test]
+    fn unreachable_warning() {
+        let (_, warns) = ProgramGraph::build(
+            &parse("A () => (); B () => (); source A => A;").unwrap(),
+        )
+        .unwrap();
+        assert!(warns
+            .iter()
+            .any(|w| matches!(w, crate::error::Warning::UnreachableNode { name } if name == "B")));
+    }
+
+    #[test]
+    fn merges_variants_in_order() {
+        let g = build(
+            "typedef p F; A (int x) => (int x); H:[p] = A; H:[_] = A -> A; source S => H; S () => (int x);",
+        )
+        .unwrap();
+        let (hid, _) = g.node("H").unwrap();
+        assert_eq!(g.variants(hid).len(), 2);
+        assert_eq!(g.variants(hid)[0].body.len(), 1);
+        assert_eq!(g.variants(hid)[1].body.len(), 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Hand-written lexer for the Flux surface syntax.
+//!
+//! The paper's implementation used JLex; a hand-rolled scanner is ~100 lines
+//! for this grammar and keeps the crate dependency-free. Line (`// ...`) and
+//! block (`/* ... */`) comments are skipped, and `#` line comments are also
+//! accepted because the paper's published examples use shell-style headers.
+
+use crate::error::{CompileError, ErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Converts Flux source text into a token stream.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lexes the entire input, returning every token (ending with `Eof`) or
+    /// the first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span_here(2);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(
+                                    ErrorKind::UnterminatedComment,
+                                    start,
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn span_here(&self, len: usize) -> Span {
+        Span::new(self.pos, self.pos + len, self.line, self.col)
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let mk = |kind: TokenKind, lo: usize, hi: usize| Token {
+            kind,
+            span: Span::new(lo, hi, line, col),
+        };
+        let b = match self.peek() {
+            None => return Ok(mk(TokenKind::Eof, start, start)),
+            Some(b) => b,
+        };
+        // Identifiers and keywords. `_` alone is the wildcard token; an
+        // identifier may still *start* with `_` (e.g. `__u8`).
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            let kind = match text {
+                "_" => TokenKind::Underscore,
+                "source" => TokenKind::KwSource,
+                "typedef" => TokenKind::KwTypedef,
+                "handle" => TokenKind::KwHandle,
+                "error" => TokenKind::KwError,
+                "atomic" => TokenKind::KwAtomic,
+                "session" => TokenKind::KwSession,
+                "blocking" => TokenKind::KwBlocking,
+                _ => TokenKind::Ident(text.to_string()),
+            };
+            return Ok(mk(kind, start, self.pos));
+        }
+        if b.is_ascii_digit() {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start..self.pos];
+            let n: i64 = text.parse().map_err(|_| {
+                CompileError::new(
+                    ErrorKind::Other(format!("integer literal `{text}` out of range")),
+                    Span::new(start, self.pos, line, col),
+                )
+            })?;
+            return Ok(mk(TokenKind::Int(n), start, self.pos));
+        }
+        self.bump();
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'?' => TokenKind::Question,
+            b'!' => TokenKind::Bang,
+            b'*' => TokenKind::Star,
+            b'=' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::FatArrow
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    return Err(CompileError::new(
+                        ErrorKind::UnexpectedChar('-'),
+                        Span::new(start, self.pos, line, col),
+                    ));
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    ErrorKind::UnexpectedChar(other as char),
+                    Span::new(start, self.pos, line, col),
+                ));
+            }
+        };
+        Ok(mk(kind, start, self.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_source_decl() {
+        assert_eq!(
+            kinds("source Listen => Image;"),
+            vec![
+                TokenKind::KwSource,
+                TokenKind::Ident("Listen".into()),
+                TokenKind::FatArrow,
+                TokenKind::Ident("Image".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows_and_wildcards() {
+        assert_eq!(
+            kinds("Handler:[_, _, hit] = ;"),
+            vec![
+                TokenKind::Ident("Handler".into()),
+                TokenKind::Colon,
+                TokenKind::LBracket,
+                TokenKind::Underscore,
+                TokenKind::Comma,
+                TokenKind::Underscore,
+                TokenKind::Comma,
+                TokenKind::Ident("hit".into()),
+                TokenKind::RBracket,
+                TokenKind::Eq,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pointer_types() {
+        assert_eq!(
+            kinds("image_tag *request"),
+            vec![
+                TokenKind::Ident("image_tag".into()),
+                TokenKind::Star,
+                TokenKind::Ident("request".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_prefixed_ident_is_not_wildcard() {
+        assert_eq!(
+            kinds("__u8 *rgb_data"),
+            vec![
+                TokenKind::Ident("__u8".into()),
+                TokenKind::Star,
+                TokenKind::Ident("rgb_data".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let src = "// line\n/* block\nspanning */ atomic # shell\nA:{x};";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::KwAtomic,
+                TokenKind::Ident("A".into()),
+                TokenKind::Colon,
+                TokenKind::LBrace,
+                TokenKind::Ident("x".into()),
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reader_writer_marks() {
+        assert_eq!(
+            kinds("atomic A:{x?, y!};"),
+            vec![
+                TokenKind::KwAtomic,
+                TokenKind::Ident("A".into()),
+                TokenKind::Colon,
+                TokenKind::LBrace,
+                TokenKind::Ident("x".into()),
+                TokenKind::Question,
+                TokenKind::Comma,
+                TokenKind::Ident("y".into()),
+                TokenKind::Bang,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = Lexer::new("/* oops").tokenize().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('@'));
+    }
+
+    #[test]
+    fn bare_dash_errors() {
+        let err = Lexer::new("a - b").tokenize().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('-'));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("a\nb\n  c").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+        assert_eq!(toks[2].span.col, 3);
+    }
+}

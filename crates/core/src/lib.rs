@@ -1,0 +1,50 @@
+//! # flux-core — the Flux coordination language
+//!
+//! A from-scratch Rust implementation of the Flux language from
+//! *Flux: A Language for Programming High-Performance Servers*
+//! (Burns, Grimaldi, Kostadinov, Berger, Corner — USENIX ATC 2006).
+//!
+//! Flux composes off-the-shelf sequential functions into concurrent
+//! servers. A program declares typed *concrete nodes*, composes them into
+//! *abstract nodes* with `->` arrows, routes flows with *predicate
+//! dispatch*, attaches *error handlers*, and controls shared state with
+//! declarative *atomicity constraints*. The compiler type-checks the
+//! composition, guarantees deadlock freedom by canonical lock ordering
+//! (hoisting constraints when nesting would acquire out of order), and
+//! hands a flattened, path-numbered flow graph to the runtimes in
+//! `flux-runtime`, the profiler, and the simulator in `flux-sim`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! let program = flux_core::compile(flux_core::fixtures::IMAGE_SERVER).unwrap();
+//! assert_eq!(program.flows.len(), 1);
+//! // Every node the runtime must supply an implementation for:
+//! assert!(program.required_nodes().contains(&"Compress".to_string()));
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod compile;
+pub mod constraints;
+pub mod error;
+pub mod fixtures;
+pub mod flat;
+pub mod graph;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod paths;
+pub mod place;
+pub mod span;
+pub mod token;
+pub mod typecheck;
+
+pub use ast::{ConstraintMode, ConstraintRef, ConstraintScope, PatElem, Program};
+pub use compile::{compile, CompiledProgram, Flow};
+pub use error::{CompileError, CompileErrors, ErrorKind, Warning};
+pub use flat::{DispatchArm, EndKind, FlatProgram, FlatVertex, VertexId};
+pub use graph::{NodeId, NodeInfo, NodeKind, ProgramGraph, SourceSpec, Variant};
+pub use paths::{PathInfo, PathTable};
+pub use place::{place, round_robin, PlaceConfig, PlaceError, Placement, TrafficMatrix};
+pub use typecheck::{NodeTypes, TypeTable};

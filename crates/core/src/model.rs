@@ -1,0 +1,162 @@
+//! Performance-model parameters shared by the path profiler (which
+//! observes them on a running server) and the discrete-event simulator
+//! (which replays them; paper §5.1).
+//!
+//! "The simulator can either use observed parameters from a running
+//! system (per-node execution times, source node inter-arrival times,
+//! and observed branching probabilities), or the Flux programmer can
+//! supply estimates for these parameters."
+
+use std::collections::HashMap;
+
+/// Parameters for one flattened flow, keyed by vertex id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowParams {
+    /// Mean inter-arrival time of new flows from this source, in seconds.
+    pub interarrival_mean_s: f64,
+    /// Mean service (CPU) time per `Exec` vertex, in seconds.
+    pub service_mean_s: HashMap<usize, f64>,
+    /// Probability that an `Exec` vertex takes its error edge.
+    pub error_prob: HashMap<usize, f64>,
+    /// For each `Dispatch` vertex, the probability of each arm (same
+    /// order as the arms; should sum to <= 1, remainder = no-match).
+    pub arm_probs: HashMap<usize, Vec<f64>>,
+}
+
+/// Parameters for every flow of a program, in flow declaration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelParams {
+    pub flows: Vec<FlowParams>,
+}
+
+impl ModelParams {
+    /// Convenience: uniform parameters for quick estimates — every node
+    /// takes `service_s`, never errors, all dispatch arms equally likely.
+    pub fn uniform(program: &crate::compile::CompiledProgram, service_s: f64, interarrival_s: f64) -> Self {
+        let flows = program
+            .flows
+            .iter()
+            .map(|flow| {
+                let mut fp = FlowParams {
+                    interarrival_mean_s: interarrival_s,
+                    ..FlowParams::default()
+                };
+                for (vid, vert) in flow.flat.verts.iter().enumerate() {
+                    match vert {
+                        crate::flat::FlatVertex::Exec { .. } => {
+                            fp.service_mean_s.insert(vid, service_s);
+                            fp.error_prob.insert(vid, 0.0);
+                        }
+                        crate::flat::FlatVertex::Dispatch { arms, .. } => {
+                            let p = 1.0 / arms.len() as f64;
+                            fp.arm_probs.insert(vid, vec![p; arms.len()]);
+                        }
+                        _ => {}
+                    }
+                }
+                fp
+            })
+            .collect();
+        ModelParams { flows }
+    }
+
+    /// Overrides the mean service time of every `Exec` vertex running the
+    /// named node, across all flows. Returns how many vertices matched.
+    pub fn set_node_service(
+        &mut self,
+        program: &crate::compile::CompiledProgram,
+        node: &str,
+        service_s: f64,
+    ) -> usize {
+        let mut n = 0;
+        for (flow, fp) in program.flows.iter().zip(self.flows.iter_mut()) {
+            for (vid, nid) in flow.flat.execs() {
+                if program.graph.name(nid) == node {
+                    fp.service_mean_s.insert(vid, service_s);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Overrides the arm probabilities of the dispatch at the named
+    /// abstract node, across all flows. Returns how many matched.
+    pub fn set_dispatch_probs(
+        &mut self,
+        program: &crate::compile::CompiledProgram,
+        node: &str,
+        probs: &[f64],
+    ) -> usize {
+        let mut n = 0;
+        for (flow, fp) in program.flows.iter().zip(self.flows.iter_mut()) {
+            for (vid, vert) in flow.flat.verts.iter().enumerate() {
+                if let crate::flat::FlatVertex::Dispatch { node: nid, arms, .. } = vert {
+                    if program.graph.name(*nid) == node && arms.len() == probs.len() {
+                        fp.arm_probs.insert(vid, probs.to_vec());
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Overrides the error probability of every `Exec` vertex running the
+    /// named node. Returns how many matched.
+    pub fn set_error_prob(
+        &mut self,
+        program: &crate::compile::CompiledProgram,
+        node: &str,
+        prob: f64,
+    ) -> usize {
+        let mut n = 0;
+        for (flow, fp) in program.flows.iter().zip(self.flows.iter_mut()) {
+            for (vid, nid) in flow.flat.execs() {
+                if program.graph.name(nid) == node {
+                    fp.error_prob.insert(vid, prob);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_all_exec_and_dispatch_vertices() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let m = ModelParams::uniform(&p, 0.001, 0.01);
+        let flow = &p.flows[0];
+        let execs = flow.flat.execs().count();
+        assert_eq!(m.flows[0].service_mean_s.len(), execs);
+        assert_eq!(m.flows[0].arm_probs.len(), 1);
+        assert_eq!(m.flows[0].arm_probs.values().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn set_node_service_targets_by_name() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let mut m = ModelParams::uniform(&p, 0.001, 0.01);
+        let hits = m.set_node_service(&p, "Compress", 0.5);
+        assert_eq!(hits, 1);
+        let (vid, _) = p.flows[0]
+            .flat
+            .execs()
+            .find(|&(_, nid)| p.graph.name(nid) == "Compress")
+            .unwrap();
+        assert_eq!(m.flows[0].service_mean_s[&vid], 0.5);
+    }
+
+    #[test]
+    fn set_dispatch_probs_validates_arity() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let mut m = ModelParams::uniform(&p, 0.001, 0.01);
+        assert_eq!(m.set_dispatch_probs(&p, "Handler", &[0.8, 0.2]), 1);
+        assert_eq!(m.set_dispatch_probs(&p, "Handler", &[0.5]), 0, "wrong arity");
+    }
+}

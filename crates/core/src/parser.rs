@@ -1,0 +1,443 @@
+//! Recursive-descent parser for Flux (paper §2, grammar per Figure 2).
+//!
+//! The paper used the CUP LALR generator; the grammar is LL(2), so a small
+//! hand-written parser with one token of lookahead past the current token
+//! is sufficient and produces better diagnostics.
+
+use crate::ast::*;
+use crate::error::{CompileError, ErrorKind};
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete Flux program from source text.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, CompileError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> CompileError {
+        CompileError::new(
+            ErrorKind::UnexpectedToken {
+                expected: expected.to_string(),
+                found: self.peek().kind.describe(),
+            },
+            self.peek().span,
+        )
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), CompileError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(s) => Ok((s, t.span)),
+                    _ => unreachable!("peeked an identifier"),
+                }
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        match &self.peek().kind {
+            TokenKind::KwSource => self.source_decl().map(Item::Source),
+            TokenKind::KwTypedef => self.typedef_decl().map(Item::Typedef),
+            TokenKind::KwHandle => self.handler_decl().map(Item::ErrorHandler),
+            TokenKind::KwAtomic => self.atomic_decl().map(Item::Atomic),
+            TokenKind::KwBlocking => self.blocking_decl().map(Item::Blocking),
+            TokenKind::Ident(_) => match &self.peek2().kind {
+                TokenKind::LParen => self.node_sig().map(Item::NodeSig),
+                TokenKind::Eq | TokenKind::Colon => self.abstract_def().map(Item::Abstract),
+                _ => Err(self.unexpected(
+                    "a declaration (signature `(`, definition `=`, or dispatch `:`) after the name",
+                )),
+            },
+            _ => Err(self.unexpected("a declaration")),
+        }
+    }
+
+    /// `source Listen => Image;`
+    fn source_decl(&mut self) -> Result<SourceDecl, CompileError> {
+        let kw = self.bump();
+        let (source, _) = self.ident("the source node name")?;
+        self.expect(&TokenKind::FatArrow, "`=>`")?;
+        let (target, _) = self.ident("the target node name")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(SourceDecl {
+            source,
+            target,
+            span: kw.span.merge(end.span),
+        })
+    }
+
+    /// `typedef hit TestInCache;`
+    fn typedef_decl(&mut self) -> Result<TypedefDecl, CompileError> {
+        let kw = self.bump();
+        let (ty_name, _) = self.ident("the predicate type name")?;
+        let (func, _) = self.ident("the predicate function name")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(TypedefDecl {
+            ty_name,
+            func,
+            span: kw.span.merge(end.span),
+        })
+    }
+
+    /// `handle error Node => Handler;`
+    fn handler_decl(&mut self) -> Result<HandlerDecl, CompileError> {
+        let kw = self.bump();
+        self.expect(&TokenKind::KwError, "`error`")?;
+        let (node, _) = self.ident("the node whose errors are handled")?;
+        self.expect(&TokenKind::FatArrow, "`=>`")?;
+        let (handler, _) = self.ident("the handler node name")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(HandlerDecl {
+            node,
+            handler,
+            span: kw.span.merge(end.span),
+        })
+    }
+
+    /// `atomic Node:{c1, c2?, c3(session)};`
+    fn atomic_decl(&mut self) -> Result<AtomicDecl, CompileError> {
+        let kw = self.bump();
+        let (node, _) = self.ident("the constrained node name")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut constraints = Vec::new();
+        loop {
+            let (name, _) = self.ident("a constraint name")?;
+            let mode = match self.peek().kind {
+                TokenKind::Question => {
+                    self.bump();
+                    ConstraintMode::Reader
+                }
+                TokenKind::Bang => {
+                    self.bump();
+                    ConstraintMode::Writer
+                }
+                _ => ConstraintMode::Writer,
+            };
+            let scope = if self.peek().kind == TokenKind::LParen {
+                self.bump();
+                self.expect(&TokenKind::KwSession, "`session`")?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                ConstraintScope::Session
+            } else {
+                ConstraintScope::Program
+            };
+            constraints.push(ConstraintRef { name, mode, scope });
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::RBrace => break,
+                _ => return Err(self.unexpected("`,` or `}`")),
+            }
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(AtomicDecl {
+            node,
+            constraints,
+            span: kw.span.merge(end.span),
+        })
+    }
+
+    /// `blocking Node;` (extension)
+    fn blocking_decl(&mut self) -> Result<BlockingDecl, CompileError> {
+        let kw = self.bump();
+        let (node, _) = self.ident("the blocking node name")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(BlockingDecl {
+            node,
+            span: kw.span.merge(end.span),
+        })
+    }
+
+    /// `Name (in) => (out);`
+    fn node_sig(&mut self) -> Result<NodeSig, CompileError> {
+        let (name, start) = self.ident("the node name")?;
+        let inputs = self.param_list()?;
+        self.expect(&TokenKind::FatArrow, "`=>`")?;
+        let outputs = self.param_list()?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(NodeSig {
+            name,
+            inputs,
+            outputs,
+            span: start.merge(end.span),
+        })
+    }
+
+    /// `( type name, type *name, ... )` possibly empty.
+    fn param_list(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek().kind == TokenKind::RParen {
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            params.push(self.param()?);
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::RParen => {
+                    self.bump();
+                    return Ok(params);
+                }
+                _ => return Err(self.unexpected("`,` or `)`")),
+            }
+        }
+    }
+
+    /// One parameter: a run of identifiers and `*`s where the final
+    /// identifier is the name and everything before it is the type. This is
+    /// how C declarations like `image_tag *request` or `unsigned int n`
+    /// are read without a C type grammar.
+    fn param(&mut self) -> Result<Param, CompileError> {
+        let mut words: Vec<String> = Vec::new();
+        let mut stars_after: Vec<usize> = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Ident(_) => {
+                    let (w, _) = self.ident("a type or parameter name")?;
+                    words.push(w);
+                }
+                TokenKind::Star => {
+                    self.bump();
+                    if words.is_empty() {
+                        return Err(self.unexpected("a type name before `*`"));
+                    }
+                    stars_after.push(words.len());
+                }
+                _ => break,
+            }
+        }
+        if words.len() < 2 {
+            return Err(self.unexpected("`type name` (both a type and a parameter name)"));
+        }
+        let name = words.pop().expect("checked len >= 2");
+        let stars = stars_after.iter().filter(|&&i| i >= words.len()).count()
+            + stars_after.iter().filter(|&&i| i < words.len()).count();
+        let mut ty = words.join(" ");
+        for _ in 0..stars {
+            ty.push('*');
+        }
+        Ok(Param { ty, name })
+    }
+
+    /// `Name = A -> B;` or `Name:[_, hit] = A -> B;` (body may be empty).
+    fn abstract_def(&mut self) -> Result<AbstractDef, CompileError> {
+        let (name, start) = self.ident("the abstract node name")?;
+        let pattern = if self.peek().kind == TokenKind::Colon {
+            self.bump();
+            self.expect(&TokenKind::LBracket, "`[`")?;
+            let mut pats = Vec::new();
+            loop {
+                match &self.peek().kind {
+                    TokenKind::Underscore => {
+                        self.bump();
+                        pats.push(PatElem::Wildcard);
+                    }
+                    TokenKind::Ident(_) => {
+                        let (p, _) = self.ident("a predicate type")?;
+                        pats.push(PatElem::Pred(p));
+                    }
+                    _ => return Err(self.unexpected("`_` or a predicate type")),
+                }
+                match self.peek().kind {
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    TokenKind::RBracket => break,
+                    _ => return Err(self.unexpected("`,` or `]`")),
+                }
+            }
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            Some(pats)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let mut body = Vec::new();
+        if self.peek().kind != TokenKind::Semi {
+            loop {
+                let (n, _) = self.ident("a node name in the flow body")?;
+                body.push(n);
+                match self.peek().kind {
+                    TokenKind::Arrow => {
+                        self.bump();
+                    }
+                    TokenKind::Semi => break,
+                    _ => return Err(self.unexpected("`->` or `;`")),
+                }
+            }
+        }
+        let end = self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(AbstractDef {
+            name,
+            pattern,
+            body,
+            span: start.merge(end.span),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fixtures::IMAGE_SERVER as FIGURE2;
+
+    #[test]
+    fn parses_figure2() {
+        let p = parse(FIGURE2).unwrap();
+        assert_eq!(p.node_sigs().count(), 9);
+        assert_eq!(p.sources().count(), 1);
+        assert_eq!(p.abstract_defs().count(), 3);
+        let handlers: Vec<_> = p
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::ErrorHandler(_)))
+            .collect();
+        assert_eq!(handlers.len(), 1);
+        let atomics: Vec<_> = p
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Atomic(_)))
+            .collect();
+        assert_eq!(atomics.len(), 3);
+    }
+
+    #[test]
+    fn parses_pointer_params() {
+        let p = parse("N (image_tag *request, __u8 *rgb) => ();").unwrap();
+        let sig = p.node_sigs().next().unwrap();
+        assert_eq!(sig.inputs[0].ty, "image_tag*");
+        assert_eq!(sig.inputs[0].name, "request");
+        assert_eq!(sig.inputs[1].ty, "__u8*");
+        assert_eq!(sig.inputs[1].name, "rgb");
+        assert!(sig.outputs.is_empty());
+    }
+
+    #[test]
+    fn parses_multiword_types() {
+        let p = parse("N (unsigned int n) => (long long x);").unwrap();
+        let sig = p.node_sigs().next().unwrap();
+        assert_eq!(sig.inputs[0].ty, "unsigned int");
+        assert_eq!(sig.inputs[0].name, "n");
+        assert_eq!(sig.outputs[0].ty, "long long");
+    }
+
+    #[test]
+    fn parses_empty_variant_body() {
+        let p = parse("Handler:[_, _, hit] = ;").unwrap();
+        let a = p.abstract_defs().next().unwrap();
+        assert_eq!(a.name, "Handler");
+        assert_eq!(
+            a.pattern,
+            Some(vec![
+                PatElem::Wildcard,
+                PatElem::Wildcard,
+                PatElem::Pred("hit".into())
+            ])
+        );
+        assert!(a.body.is_empty());
+    }
+
+    #[test]
+    fn parses_reader_writer_session_constraints() {
+        let p = parse("atomic A:{cache?, log!, state(session)};").unwrap();
+        let Item::Atomic(a) = &p.items[0] else {
+            panic!("expected atomic decl");
+        };
+        assert_eq!(a.constraints.len(), 3);
+        assert_eq!(a.constraints[0].mode, ConstraintMode::Reader);
+        assert_eq!(a.constraints[1].mode, ConstraintMode::Writer);
+        assert_eq!(a.constraints[2].scope, ConstraintScope::Session);
+        assert_eq!(a.constraints[0].scope, ConstraintScope::Program);
+    }
+
+    #[test]
+    fn parses_blocking_extension() {
+        let p = parse("blocking ReadInFromDisk;").unwrap();
+        let Item::Blocking(b) = &p.items[0] else {
+            panic!("expected blocking decl");
+        };
+        assert_eq!(b.node, "ReadInFromDisk");
+    }
+
+    #[test]
+    fn rejects_garbage_after_name() {
+        let err = parse("Image ;").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse("source A => B").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn rejects_param_without_name() {
+        let err = parse("N (int) => ();").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn rejects_star_without_type() {
+        let err = parse("N (*x) => ();").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn body_chain_roundtrip() {
+        let p = parse("Image = A -> B -> C;").unwrap();
+        let a = p.abstract_defs().next().unwrap();
+        assert_eq!(a.body, vec!["A", "B", "C"]);
+        assert_eq!(a.pattern, None);
+    }
+}

@@ -1,0 +1,246 @@
+//! Ball–Larus path numbering (paper §5.2).
+//!
+//! Because Flux graphs are acyclic, the Ball–Larus algorithm assigns each
+//! edge an increment such that summing the increments along any
+//! entry-to-end walk yields a unique, compact path identifier in
+//! `[0, num_paths)`. The runtime adds one increment per transition (the
+//! paper's "one arithmetic operation per node") and records the final sum;
+//! this module also regenerates the node sequence for any identifier so
+//! hot-path reports can print `Listen → GetClients → ... → ERROR` lines.
+
+use crate::flat::{EndKind, FlatProgram, FlatVertex, VertexId};
+use crate::graph::ProgramGraph;
+
+/// Edge increments and path counts for one flattened flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTable {
+    /// Total number of distinct entry-to-end paths.
+    pub num_paths: u64,
+    /// `inc[v][k]` is the increment for taking the `k`-th successor edge
+    /// out of vertex `v`.
+    pub inc: Vec<Vec<u64>>,
+    /// `num_from[v]` is the number of paths from `v` to any end.
+    pub num_from: Vec<u64>,
+}
+
+/// A fully-resolved path: the concrete nodes executed, in order, plus how
+/// the flow ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathInfo {
+    pub id: u64,
+    /// Names of executed concrete nodes (the source node is *not*
+    /// included; callers prepend it for display, as the paper does).
+    pub nodes: Vec<String>,
+    pub outcome: EndKind,
+}
+
+impl PathInfo {
+    /// Renders the path the way the paper prints hot paths:
+    /// `Listen -> GetClients -> ... -> ERROR`.
+    pub fn display(&self, graph: &ProgramGraph, flat: &FlatProgram) -> String {
+        let mut parts = vec![graph.name(flat.source).to_string()];
+        parts.extend(self.nodes.iter().cloned());
+        match self.outcome {
+            EndKind::Completed => {}
+            EndKind::Errored { .. } => parts.push("ERROR".into()),
+            EndKind::Handled { .. } => {}
+            EndKind::NoMatch { .. } => parts.push("NO-MATCH".into()),
+        }
+        parts.join(" -> ")
+    }
+}
+
+impl PathTable {
+    /// Computes Ball–Larus numbering for `flat`.
+    ///
+    /// Returns an error if the path count overflows `u64` (possible only
+    /// for adversarial programs with hundreds of chained dispatches).
+    pub fn build(flat: &FlatProgram) -> Result<PathTable, String> {
+        let n = flat.verts.len();
+        let mut num_from = vec![0u64; n];
+        let mut inc: Vec<Vec<u64>> = vec![Vec::new(); n];
+        // Vertex ids are reverse-topological (every edge points to a lower
+        // id), so a single ascending sweep sees successors first.
+        for v in 0..n {
+            let succs = flat.verts[v].successors();
+            if succs.is_empty() {
+                num_from[v] = 1;
+                continue;
+            }
+            let mut total: u64 = 0;
+            let mut vals = Vec::with_capacity(succs.len());
+            for s in succs {
+                vals.push(total);
+                total = total
+                    .checked_add(num_from[s])
+                    .ok_or_else(|| "path count overflows u64".to_string())?;
+            }
+            num_from[v] = total;
+            inc[v] = vals;
+        }
+        Ok(PathTable {
+            num_paths: num_from[flat.entry],
+            inc,
+            num_from,
+        })
+    }
+
+    /// Regenerates the path with identifier `id` by walking the graph and
+    /// at each vertex taking the largest edge increment not exceeding the
+    /// remaining sum (the standard Ball–Larus regeneration).
+    pub fn path_info(&self, flat: &FlatProgram, graph: &ProgramGraph, id: u64) -> Option<PathInfo> {
+        if id >= self.num_paths {
+            return None;
+        }
+        let mut rem = id;
+        let mut v: VertexId = flat.entry;
+        let mut nodes = Vec::new();
+        loop {
+            match &flat.verts[v] {
+                FlatVertex::End { outcome } => {
+                    return Some(PathInfo {
+                        id,
+                        nodes,
+                        outcome: *outcome,
+                    });
+                }
+                vertex => {
+                    if let FlatVertex::Exec { node, .. } = vertex {
+                        nodes.push(graph.name(*node).to_string());
+                    }
+                    let succs = vertex.successors();
+                    let vals = &self.inc[v];
+                    // Largest k with vals[k] <= rem.
+                    let mut k = 0;
+                    for (i, &val) in vals.iter().enumerate() {
+                        if val <= rem {
+                            k = i;
+                        } else {
+                            break;
+                        }
+                    }
+                    rem -= vals[k];
+                    v = succs[k];
+                }
+            }
+        }
+    }
+
+    /// Enumerates every path (up to `limit`) in identifier order.
+    pub fn enumerate(
+        &self,
+        flat: &FlatProgram,
+        graph: &ProgramGraph,
+        limit: usize,
+    ) -> Vec<PathInfo> {
+        (0..self.num_paths.min(limit as u64))
+            .filter_map(|id| self.path_info(flat, graph, id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatProgram;
+    use crate::graph::ProgramGraph;
+    use crate::parser::parse;
+
+    fn table(src: &str) -> (ProgramGraph, FlatProgram, PathTable) {
+        let (mut g, _) = ProgramGraph::build(&parse(src).unwrap()).unwrap();
+        crate::constraints::analyze(&mut g).unwrap();
+        let flat = FlatProgram::build(&g, g.sources[0]).unwrap();
+        let t = PathTable::build(&flat).unwrap();
+        (g, flat, t)
+    }
+
+    #[test]
+    fn single_chain_paths() {
+        // A -> B, each can error (unhandled): paths are
+        // [A ok, B ok], [A ok, B err], [A err] = 3.
+        let (_, flat, t) = table(
+            "A (int x) => (int x); B (int x) => (); F = A -> B; \
+             S () => (int x); source S => F;",
+        );
+        assert_eq!(t.num_paths, 3);
+        let _ = flat;
+    }
+
+    #[test]
+    fn image_server_path_count() {
+        let (g, flat, t) = table(crate::fixtures::IMAGE_SERVER);
+        // Enumerate and sanity-check all paths exist and are unique.
+        let paths = t.enumerate(&flat, &g, 1000);
+        assert_eq!(paths.len() as u64, t.num_paths);
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.nodes.clone().join("/") + &format!("{:?}", p.outcome)));
+        }
+        // The hit path: ReadRequest -> CheckCache -> Write -> Complete.
+        assert!(paths.iter().any(|p| p.nodes
+            == vec!["ReadRequest", "CheckCache", "Write", "Complete"]
+            && p.outcome == EndKind::Completed));
+        // The miss path adds ReadInFromDisk -> Compress -> StoreInCache.
+        assert!(paths.iter().any(|p| p.nodes
+            == vec![
+                "ReadRequest",
+                "CheckCache",
+                "ReadInFromDisk",
+                "Compress",
+                "StoreInCache",
+                "Write",
+                "Complete"
+            ]
+            && p.outcome == EndKind::Completed));
+        // The 404 path goes through the handler.
+        assert!(paths.iter().any(|p| p.nodes.contains(&"FourOhFour".into())));
+    }
+
+    #[test]
+    fn path_ids_round_trip() {
+        let (g, flat, t) = table(crate::fixtures::IMAGE_SERVER);
+        for id in 0..t.num_paths {
+            let p = t.path_info(&flat, &g, id).unwrap();
+            assert_eq!(p.id, id);
+        }
+        assert!(t.path_info(&flat, &g, t.num_paths).is_none());
+    }
+
+    #[test]
+    fn increments_sum_to_unique_ids() {
+        // Simulate every resolution of the DAG by brute-force DFS and
+        // check the summed increments match enumeration order exactly.
+        let (g, flat, t) = table(crate::fixtures::MINI_PIPELINE);
+        fn walk(
+            flat: &FlatProgram,
+            t: &PathTable,
+            v: usize,
+            sum: u64,
+            out: &mut Vec<u64>,
+        ) {
+            let succs = flat.verts[v].successors();
+            if succs.is_empty() {
+                out.push(sum);
+                return;
+            }
+            for (k, s) in succs.into_iter().enumerate() {
+                walk(flat, t, s, sum + t.inc[v][k], out);
+            }
+        }
+        let mut ids = Vec::new();
+        walk(&flat, &t, flat.entry, 0, &mut ids);
+        ids.sort_unstable();
+        let expect: Vec<u64> = (0..t.num_paths).collect();
+        assert_eq!(ids, expect, "every path id in [0, num_paths) exactly once");
+        let _ = g;
+    }
+
+    #[test]
+    fn display_prepends_source_and_marks_errors() {
+        let (g, flat, t) = table(crate::fixtures::MINI_PIPELINE);
+        let paths = t.enumerate(&flat, &g, 100);
+        let displays: Vec<String> = paths.iter().map(|p| p.display(&g, &flat)).collect();
+        assert!(displays.iter().all(|d| d.starts_with("Listen -> ")));
+        assert!(displays.iter().any(|d| d.ends_with("ERROR")));
+    }
+}

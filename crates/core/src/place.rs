@@ -1,0 +1,920 @@
+//! Constraint-guided cluster placement (paper §8).
+//!
+//! The paper's future work: "we are also planning to extend Flux to
+//! operate on clusters. Because concurrency constraints identify nodes
+//! that share state, we plan to use these constraints to guide the
+//! placement of nodes across a cluster to minimize communication." This
+//! module implements that extension over the compiled program graph:
+//!
+//! 1. **Traffic model.** Expected visit rates for every flat-graph vertex
+//!    are derived from the same [`ModelParams`] the simulator replays
+//!    (arrival rates, dispatch probabilities, error probabilities), and
+//!    reduced to a concrete-node communication graph: `rate(A → B)` is
+//!    the expected number of payload hand-offs per second from node `A`
+//!    directly to node `B`.
+//! 2. **Colocation.** Nodes that share an atomicity constraint share
+//!    state, so they are merged into indivisible *colocation groups*
+//!    (union-find over constraint names; a constraint on an abstract node
+//!    covers every concrete node executed inside its scope). Placing a
+//!    group on one machine makes its constraint a machine-local lock; a
+//!    placement that split the group would need a distributed lock per
+//!    acquisition.
+//! 3. **Partitioning.** Groups are assigned to machines greedily in
+//!    descending load order, maximizing affinity (traffic toward nodes
+//!    already on the machine) subject to a load-balance cap, then refined
+//!    by deterministic local search that moves groups only when the move
+//!    strictly reduces cross-machine traffic without breaking balance.
+//!
+//! The [`round_robin`] baseline ignores constraints entirely; comparing
+//! its [`Placement::remote_lock_rate`] and [`Placement::cut_rate`]
+//! against the guided placement is the experiment the paper's proposal
+//! implies (see `flux-bench`'s ablation binary).
+
+use crate::compile::CompiledProgram;
+use crate::flat::{FlatProgram, FlatVertex};
+use crate::graph::{NodeId, NodeKind};
+use crate::model::{FlowParams, ModelParams};
+use std::collections::HashMap;
+
+/// Placement knobs.
+#[derive(Debug, Clone)]
+pub struct PlaceConfig {
+    /// Number of cluster machines (must be at least 1).
+    pub machines: usize,
+    /// Allowed CPU-load overshoot per machine relative to the perfectly
+    /// balanced share (0.2 = up to 20% above average). The cap is
+    /// soft-relaxed when a single colocation group exceeds it.
+    pub balance_tolerance: f64,
+    /// Maximum local-search refinement passes.
+    pub local_search_passes: usize,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig {
+            machines: 2,
+            balance_tolerance: 0.2,
+            local_search_passes: 8,
+        }
+    }
+}
+
+/// Why a placement could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// `machines` was zero.
+    NoMachines,
+    /// The parameter set has fewer flows than the program.
+    ParamsMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::NoMachines => write!(f, "placement requires at least one machine"),
+            PlaceError::ParamsMismatch { expected, got } => write!(
+                f,
+                "model parameters cover {got} flows but the program has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A computed node-to-machine assignment with its quality metrics.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Number of machines the placement targets.
+    pub machines: usize,
+    /// Machine index for every placed node (sources and reachable
+    /// concrete nodes).
+    pub assignment: HashMap<NodeId, usize>,
+    /// The indivisible colocation groups (singletons included), each
+    /// sorted by node id; the vector itself is sorted by first member.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Expected CPU demand per machine (CPU-seconds per second).
+    pub loads: Vec<f64>,
+    /// Payload hand-offs per second that cross machines.
+    pub cut_rate: f64,
+    /// Total payload hand-offs per second (cut ∪ local).
+    pub total_rate: f64,
+    /// Constraint acquisitions per second that would need a distributed
+    /// lock because the constraint's colocation group spans machines.
+    /// Zero by construction for constraint-guided placements.
+    pub remote_lock_rate: f64,
+}
+
+impl Placement {
+    /// The machine a node was placed on, by name.
+    pub fn machine_of(&self, program: &CompiledProgram, name: &str) -> Option<usize> {
+        let (id, _) = program.graph.node(name)?;
+        self.assignment.get(&id).copied()
+    }
+
+    /// Fraction of hand-off traffic that crosses machines, in `[0, 1]`.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_rate <= 0.0 {
+            0.0
+        } else {
+            self.cut_rate / self.total_rate
+        }
+    }
+
+    /// Renders a human-readable placement report.
+    pub fn render(&self, program: &CompiledProgram) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "placement over {} machines: {:.1} hand-offs/s cut of {:.1} total ({:.1}%), \
+             remote-lock rate {:.1}/s",
+            self.machines,
+            self.cut_rate,
+            self.total_rate,
+            100.0 * self.cut_fraction(),
+            self.remote_lock_rate,
+        );
+        for m in 0..self.machines {
+            let mut names: Vec<&str> = self
+                .assignment
+                .iter()
+                .filter(|&(_, &mm)| mm == m)
+                .map(|(&id, _)| program.graph.name(id))
+                .collect();
+            names.sort_unstable();
+            let _ = writeln!(
+                out,
+                "  machine {m}: load {:.3} cpu/s — {}",
+                self.loads[m],
+                names.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// The weighted node-to-node communication graph of a compiled program.
+///
+/// Built from the same observed-or-estimated parameters the simulator
+/// uses; exposed publicly so tools (the `fluxc` CLI, benches) can report
+/// traffic without recomputing placements.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    /// `rates[(a, b)]` is the hand-offs per second from node `a` directly
+    /// to node `b` (both concrete or source nodes).
+    pub rates: HashMap<(NodeId, NodeId), f64>,
+    /// Expected CPU demand per node (visit rate × mean service time).
+    pub cpu_load: HashMap<NodeId, f64>,
+    /// Expected constraint acquisitions per second, per constraint name.
+    pub lock_rates: HashMap<String, f64>,
+}
+
+impl TrafficMatrix {
+    /// Total hand-off rate across all edges.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.values().sum()
+    }
+
+    /// Builds the matrix for `program` under `params`.
+    ///
+    /// Flows whose `interarrival_mean_s` is not positive contribute at a
+    /// nominal rate of one flow per second, so purely structural
+    /// placements (no observations yet) still weight every path.
+    pub fn build(program: &CompiledProgram, params: &ModelParams) -> Result<Self, PlaceError> {
+        if params.flows.len() != program.flows.len() {
+            return Err(PlaceError::ParamsMismatch {
+                expected: program.flows.len(),
+                got: params.flows.len(),
+            });
+        }
+        let mut tm = TrafficMatrix::default();
+        for (flow, fp) in program.flows.iter().zip(&params.flows) {
+            let arrival_rate = if fp.interarrival_mean_s > 0.0 {
+                1.0 / fp.interarrival_mean_s
+            } else {
+                1.0
+            };
+            let rates = vertex_rates(&flow.flat, fp, arrival_rate);
+            // Next-exec distribution from every vertex, memoized; vertex
+            // ids are reverse-topological so ascending order sees
+            // successors first.
+            let reach = reach_table(&flow.flat, fp);
+            // Source -> first executed node(s).
+            for &(node, p) in &reach[flow.flat.entry] {
+                add_rate(&mut tm.rates, flow.flat.source, node, arrival_rate * p);
+            }
+            for (vid, vert) in flow.flat.verts.iter().enumerate() {
+                let r = rates[vid];
+                if r <= 0.0 {
+                    continue;
+                }
+                match vert {
+                    FlatVertex::Exec {
+                        node,
+                        on_ok,
+                        on_err,
+                    } => {
+                        let e = fp.error_prob.get(&vid).copied().unwrap_or(0.0);
+                        for (succ, p_branch) in [(*on_ok, 1.0 - e), (*on_err, e)] {
+                            if p_branch <= 0.0 {
+                                continue;
+                            }
+                            for &(next, p) in &reach[succ] {
+                                add_rate(&mut tm.rates, *node, next, r * p_branch * p);
+                            }
+                        }
+                        let service = fp.service_mean_s.get(&vid).copied().unwrap_or(0.0);
+                        *tm.cpu_load.entry(*node).or_insert(0.0) += r * service;
+                    }
+                    FlatVertex::Acquire { node, .. } => {
+                        for c in &program.graph.nodes[*node].constraints {
+                            *tm.lock_rates.entry(c.name.clone()).or_insert(0.0) += r;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(tm)
+    }
+}
+
+fn add_rate(rates: &mut HashMap<(NodeId, NodeId), f64>, a: NodeId, b: NodeId, r: f64) {
+    if r > 0.0 {
+        *rates.entry((a, b)).or_insert(0.0) += r;
+    }
+}
+
+/// Expected visits per second for every vertex of `flat`, by forward
+/// mass propagation from the entry at `arrival_rate`.
+fn vertex_rates(flat: &FlatProgram, fp: &FlowParams, arrival_rate: f64) -> Vec<f64> {
+    let n = flat.verts.len();
+    let mut mass = vec![0.0f64; n];
+    mass[flat.entry] = arrival_rate;
+    // Every edge points to a lower id; a descending sweep sees each
+    // vertex after all its predecessors.
+    for v in (0..n).rev() {
+        let m = mass[v];
+        if m <= 0.0 {
+            continue;
+        }
+        match &flat.verts[v] {
+            FlatVertex::Acquire { next, .. } | FlatVertex::Release { next, .. } => {
+                mass[*next] += m;
+            }
+            FlatVertex::Exec { on_ok, on_err, .. } => {
+                let e = fp.error_prob.get(&v).copied().unwrap_or(0.0);
+                mass[*on_ok] += m * (1.0 - e);
+                mass[*on_err] += m * e;
+            }
+            FlatVertex::Dispatch {
+                arms, on_nomatch, ..
+            } => {
+                let probs = fp
+                    .arm_probs
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| vec![1.0 / arms.len() as f64; arms.len()]);
+                let mut rest = 1.0;
+                for (arm, p) in arms.iter().zip(&probs) {
+                    mass[arm.entry] += m * p;
+                    rest -= p;
+                }
+                if rest > 1e-12 {
+                    mass[*on_nomatch] += m * rest;
+                }
+            }
+            FlatVertex::End { .. } => {}
+        }
+    }
+    mass
+}
+
+/// For every vertex, the distribution over the *next concrete node to
+/// execute* when a flow stands at that vertex (flows that reach an end
+/// without executing anything else simply drop out of the distribution).
+fn reach_table(flat: &FlatProgram, fp: &FlowParams) -> Vec<Vec<(NodeId, f64)>> {
+    let n = flat.verts.len();
+    let mut reach: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    // Ascending order: successors (lower ids) are resolved first.
+    for v in 0..n {
+        reach[v] = match &flat.verts[v] {
+            FlatVertex::Exec { node, .. } => vec![(*node, 1.0)],
+            FlatVertex::End { .. } => Vec::new(),
+            FlatVertex::Acquire { next, .. } | FlatVertex::Release { next, .. } => {
+                reach[*next].clone()
+            }
+            FlatVertex::Dispatch {
+                arms, on_nomatch, ..
+            } => {
+                let probs = fp
+                    .arm_probs
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| vec![1.0 / arms.len() as f64; arms.len()]);
+                let mut acc: HashMap<NodeId, f64> = HashMap::new();
+                let mut rest = 1.0;
+                for (arm, p) in arms.iter().zip(&probs) {
+                    rest -= p;
+                    for &(node, q) in &reach[arm.entry] {
+                        *acc.entry(node).or_insert(0.0) += p * q;
+                    }
+                }
+                if rest > 1e-12 {
+                    for &(node, q) in &reach[*on_nomatch] {
+                        *acc.entry(node).or_insert(0.0) += rest * q;
+                    }
+                }
+                let mut v: Vec<(NodeId, f64)> = acc.into_iter().collect();
+                v.sort_by_key(|&(id, _)| id);
+                v
+            }
+        };
+    }
+    reach
+}
+
+/// Union-find over node ids.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller id becomes the root.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// All concrete nodes that execute while `root`'s constraints are held:
+/// `root` itself if concrete, else every concrete node in its variants,
+/// transitively.
+fn constraint_footprint(program: &CompiledProgram, root: NodeId, out: &mut Vec<NodeId>) {
+    match &program.graph.nodes[root].kind {
+        NodeKind::Concrete { .. } => out.push(root),
+        NodeKind::Abstract { variants } => {
+            for v in variants {
+                for &child in &v.body {
+                    constraint_footprint(program, child, out);
+                }
+            }
+        }
+    }
+}
+
+/// The nodes a placement must assign: every source plus every concrete
+/// node reachable from any flow (error handlers included).
+fn placeable_nodes(program: &CompiledProgram) -> Vec<NodeId> {
+    let mut seen = vec![false; program.graph.nodes.len()];
+    let mut out = Vec::new();
+    for flow in &program.flows {
+        for node in std::iter::once(flow.flat.source).chain(flow.flat.execs().map(|(_, n)| n)) {
+            if !std::mem::replace(&mut seen[node], true) {
+                out.push(node);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Computes a constraint-guided placement of `program` over
+/// `config.machines` machines, weighting traffic and load by `params`.
+pub fn place(
+    program: &CompiledProgram,
+    params: &ModelParams,
+    config: &PlaceConfig,
+) -> Result<Placement, PlaceError> {
+    if config.machines == 0 {
+        return Err(PlaceError::NoMachines);
+    }
+    let traffic = TrafficMatrix::build(program, params)?;
+    let nodes = placeable_nodes(program);
+
+    // Colocation groups: union every constraint's footprint.
+    let mut dsu = Dsu::new(program.graph.nodes.len());
+    let mut by_constraint: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for (id, info) in program.graph.nodes.iter().enumerate() {
+        for c in &info.constraints {
+            let mut fp = Vec::new();
+            constraint_footprint(program, id, &mut fp);
+            by_constraint.entry(c.name.as_str()).or_default().extend(fp);
+        }
+    }
+    for members in by_constraint.values() {
+        for w in members.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+    finish_placement(program, &traffic, &nodes, dsu, config)
+}
+
+/// The constraint-blind baseline: nodes are dealt to machines round-robin
+/// in node-id order, one node per group. Metrics (cut rate, remote-lock
+/// rate) are computed identically to [`place`] so the two compare
+/// directly.
+pub fn round_robin(
+    program: &CompiledProgram,
+    params: &ModelParams,
+    machines: usize,
+) -> Result<Placement, PlaceError> {
+    if machines == 0 {
+        return Err(PlaceError::NoMachines);
+    }
+    let traffic = TrafficMatrix::build(program, params)?;
+    let nodes = placeable_nodes(program);
+    let mut assignment = HashMap::new();
+    let mut loads = vec![0.0; machines];
+    for (i, &node) in nodes.iter().enumerate() {
+        let m = i % machines;
+        assignment.insert(node, m);
+        loads[m] += traffic.cpu_load.get(&node).copied().unwrap_or(0.0);
+    }
+    let groups = nodes.iter().map(|&n| vec![n]).collect();
+    Ok(finalize(
+        program, &traffic, machines, assignment, groups, loads,
+    ))
+}
+
+fn finish_placement(
+    program: &CompiledProgram,
+    traffic: &TrafficMatrix,
+    nodes: &[NodeId],
+    mut dsu: Dsu,
+    config: &PlaceConfig,
+) -> Result<Placement, PlaceError> {
+    // Materialize groups over placeable nodes only.
+    let mut group_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for &node in nodes {
+        let root = dsu.find(node);
+        let g = *group_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(node);
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+
+    let gcount = groups.len();
+    let group_of: HashMap<NodeId, usize> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.iter().map(move |&n| (n, gi)))
+        .collect();
+
+    // Group loads and group-to-group symmetric affinity.
+    let mut gload = vec![0.0f64; gcount];
+    for (gi, g) in groups.iter().enumerate() {
+        for n in g {
+            gload[gi] += traffic.cpu_load.get(n).copied().unwrap_or(0.0);
+        }
+    }
+    let mut affinity: HashMap<(usize, usize), f64> = HashMap::new();
+    for (&(a, b), &r) in &traffic.rates {
+        let (Some(&ga), Some(&gb)) = (group_of.get(&a), group_of.get(&b)) else {
+            continue;
+        };
+        if ga != gb {
+            *affinity.entry((ga.min(gb), ga.max(gb))).or_insert(0.0) += r;
+        }
+    }
+
+    let total_load: f64 = gload.iter().sum();
+    let cap = (total_load / config.machines as f64) * (1.0 + config.balance_tolerance);
+
+    // Greedy: heaviest group first; among machines with room, maximize
+    // affinity toward already-placed groups, breaking ties toward the
+    // least-loaded machine, then the lowest index.
+    let mut order: Vec<usize> = (0..gcount).collect();
+    order.sort_by(|&a, &b| {
+        gload[b]
+            .partial_cmp(&gload[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut machine_of_group = vec![usize::MAX; gcount];
+    let mut loads = vec![0.0f64; config.machines];
+    let aff = |g: usize, machine: usize, machine_of_group: &[usize]| -> f64 {
+        let mut s = 0.0;
+        for (&(a, b), &r) in &affinity {
+            let other = if a == g {
+                b
+            } else if b == g {
+                a
+            } else {
+                continue;
+            };
+            if machine_of_group[other] == machine {
+                s += r;
+            }
+        }
+        s
+    };
+    for &g in &order {
+        let mut best: Option<(usize, f64, f64)> = None; // (machine, affinity, load)
+        for m in 0..config.machines {
+            let fits = loads[m] + gload[g] <= cap || loads[m] == 0.0;
+            if !fits {
+                continue;
+            }
+            let a = aff(g, m, &machine_of_group);
+            let better = match best {
+                None => true,
+                Some((_, ba, bl)) => {
+                    a > ba + 1e-12 || ((a - ba).abs() <= 1e-12 && loads[m] + 1e-12 < bl)
+                }
+            };
+            if better {
+                best = Some((m, a, loads[m]));
+            }
+        }
+        let m = match best {
+            Some((m, _, _)) => m,
+            // Nothing fits under the cap: least-loaded machine.
+            None => (0..config.machines)
+                .min_by(|&a, &b| {
+                    loads[a]
+                        .partial_cmp(&loads[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0),
+        };
+        machine_of_group[g] = m;
+        loads[m] += gload[g];
+    }
+
+    // Local search: move a group when it strictly reduces cut traffic and
+    // stays within the cap.
+    for _ in 0..config.local_search_passes {
+        let mut improved = false;
+        for g in 0..gcount {
+            let cur = machine_of_group[g];
+            let cur_aff = aff(g, cur, &machine_of_group);
+            let mut best_move: Option<(usize, f64)> = None;
+            for m in 0..config.machines {
+                if m == cur || loads[m] + gload[g] > cap {
+                    continue;
+                }
+                let a = aff(g, m, &machine_of_group);
+                if a > cur_aff + 1e-12 && best_move.map(|(_, ba)| a > ba).unwrap_or(true) {
+                    best_move = Some((m, a));
+                }
+            }
+            if let Some((m, _)) = best_move {
+                loads[cur] -= gload[g];
+                loads[m] += gload[g];
+                machine_of_group[g] = m;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let assignment: HashMap<NodeId, usize> = group_of
+        .iter()
+        .map(|(&n, &g)| (n, machine_of_group[g]))
+        .collect();
+    Ok(finalize(
+        program,
+        traffic,
+        config.machines,
+        assignment,
+        groups,
+        loads,
+    ))
+}
+
+/// Computes the shared metrics for any assignment.
+fn finalize(
+    program: &CompiledProgram,
+    traffic: &TrafficMatrix,
+    machines: usize,
+    assignment: HashMap<NodeId, usize>,
+    groups: Vec<Vec<NodeId>>,
+    loads: Vec<f64>,
+) -> Placement {
+    let mut cut = 0.0;
+    let mut total = 0.0;
+    for (&(a, b), &r) in &traffic.rates {
+        let (Some(&ma), Some(&mb)) = (assignment.get(&a), assignment.get(&b)) else {
+            continue;
+        };
+        total += r;
+        if ma != mb {
+            cut += r;
+        }
+    }
+    // Remote locks: a constraint whose *combined* footprint (the union
+    // over every node declaring it) spans machines pays a distributed
+    // acquisition at that constraint's acquire rate.
+    let mut footprints: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for (id, info) in program.graph.nodes.iter().enumerate() {
+        for c in &info.constraints {
+            let fp = footprints.entry(c.name.as_str()).or_default();
+            constraint_footprint(program, id, fp);
+        }
+    }
+    let mut remote = 0.0;
+    for (name, rate) in &traffic.lock_rates {
+        let Some(fp) = footprints.get(name.as_str()) else {
+            continue;
+        };
+        let mut ms = fp.iter().filter_map(|n| assignment.get(n));
+        if let Some(&first) = ms.next() {
+            if ms.any(|&m| m != first) {
+                remote += rate;
+            }
+        }
+    }
+    Placement {
+        machines,
+        assignment,
+        groups,
+        loads,
+        cut_rate: cut,
+        total_rate: total,
+        remote_lock_rate: remote,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelParams;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        crate::compile(src).unwrap()
+    }
+
+    fn uniform(p: &CompiledProgram) -> ModelParams {
+        ModelParams::uniform(p, 0.001, 0.01)
+    }
+
+    #[test]
+    fn image_server_cache_nodes_colocate() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let params = uniform(&p);
+        for machines in 2..=4 {
+            let pl = place(
+                &p,
+                &params,
+                &PlaceConfig {
+                    machines,
+                    ..PlaceConfig::default()
+                },
+            )
+            .unwrap();
+            let cc = pl.machine_of(&p, "CheckCache").unwrap();
+            assert_eq!(pl.machine_of(&p, "StoreInCache"), Some(cc));
+            assert_eq!(pl.machine_of(&p, "Complete"), Some(cc));
+            assert_eq!(pl.remote_lock_rate, 0.0, "guided placement never splits");
+        }
+    }
+
+    #[test]
+    fn all_reachable_nodes_assigned_once() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let pl = place(&p, &uniform(&p), &PlaceConfig::default()).unwrap();
+        for name in [
+            "Listen",
+            "ReadRequest",
+            "CheckCache",
+            "ReadInFromDisk",
+            "Compress",
+            "StoreInCache",
+            "Write",
+            "Complete",
+            "FourOhFour",
+        ] {
+            let m = pl.machine_of(&p, name);
+            assert!(m.is_some(), "{name} must be placed");
+            assert!(m.unwrap() < pl.machines);
+        }
+        // Handler is abstract: it has no machine of its own.
+        assert_eq!(pl.machine_of(&p, "Handler"), None);
+    }
+
+    #[test]
+    fn guided_beats_round_robin_on_remote_locks() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let params = uniform(&p);
+        let guided = place(
+            &p,
+            &params,
+            &PlaceConfig {
+                machines: 3,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        let rr = round_robin(&p, &params, 3).unwrap();
+        assert_eq!(guided.remote_lock_rate, 0.0);
+        assert!(
+            rr.remote_lock_rate > 0.0,
+            "round-robin splits the cache constraint across machines"
+        );
+        assert!(guided.cut_rate <= rr.cut_rate + 1e-9);
+    }
+
+    #[test]
+    fn one_machine_has_zero_cut() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let pl = place(
+            &p,
+            &uniform(&p),
+            &PlaceConfig {
+                machines: 1,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pl.cut_rate, 0.0);
+        assert_eq!(pl.remote_lock_rate, 0.0);
+        assert!(pl.total_rate > 0.0);
+    }
+
+    #[test]
+    fn zero_machines_rejected() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let err = place(
+            &p,
+            &uniform(&p),
+            &PlaceConfig {
+                machines: 0,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, PlaceError::NoMachines);
+    }
+
+    #[test]
+    fn params_mismatch_rejected() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let err = place(&p, &ModelParams::default(), &PlaceConfig::default()).unwrap_err();
+        assert!(matches!(err, PlaceError::ParamsMismatch { .. }));
+    }
+
+    #[test]
+    fn traffic_respects_dispatch_probabilities() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let mut params = uniform(&p);
+        // All hits: the miss arm (ReadInFromDisk et al.) gets no traffic.
+        params.set_dispatch_probs(&p, "Handler", &[1.0, 0.0]);
+        let tm = TrafficMatrix::build(&p, &params).unwrap();
+        let (disk, _) = p.graph.node("ReadInFromDisk").unwrap();
+        let disk_in: f64 = tm
+            .rates
+            .iter()
+            .filter(|&(&(_, b), _)| b == disk)
+            .map(|(_, &r)| r)
+            .sum();
+        assert!(disk_in.abs() < 1e-9, "no traffic into the miss arm");
+        // All misses: the disk node sees the full arrival rate.
+        params.set_dispatch_probs(&p, "Handler", &[0.0, 1.0]);
+        let tm = TrafficMatrix::build(&p, &params).unwrap();
+        let disk_in: f64 = tm
+            .rates
+            .iter()
+            .filter(|&(&(_, b), _)| b == disk)
+            .map(|(_, &r)| r)
+            .sum();
+        assert!((disk_in - 100.0).abs() < 1e-6, "1/0.01s arrivals: {disk_in}");
+    }
+
+    #[test]
+    fn traffic_conserves_arrival_rate_on_a_chain() {
+        let p = compiled(
+            "Gen () => (int v); A (int v) => (int v); B (int v) => ();
+             F = A -> B; source Gen => F;",
+        );
+        let params = ModelParams::uniform(&p, 0.002, 0.05); // 20 flows/s
+        let tm = TrafficMatrix::build(&p, &params).unwrap();
+        let (gen, _) = p.graph.node("Gen").unwrap();
+        let (a, _) = p.graph.node("A").unwrap();
+        let (b, _) = p.graph.node("B").unwrap();
+        assert!((tm.rates[&(gen, a)] - 20.0).abs() < 1e-9);
+        assert!((tm.rates[&(a, b)] - 20.0).abs() < 1e-9);
+        // CPU load: 20/s × 2 ms = 0.04 cpu/s each.
+        assert!((tm.cpu_load[&a] - 0.04).abs() < 1e-9);
+        assert!((tm.cpu_load[&b] - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_probability_diverts_traffic_to_handler() {
+        let p = compiled(
+            "Gen () => (int v); A (int v) => (int v); B (int v) => ();
+             H (int v) => ();
+             F = A -> B; source Gen => F; handle error A => H;",
+        );
+        let mut params = ModelParams::uniform(&p, 0.001, 0.1); // 10 flows/s
+        params.set_error_prob(&p, "A", 0.25);
+        let tm = TrafficMatrix::build(&p, &params).unwrap();
+        let (a, _) = p.graph.node("A").unwrap();
+        let (b, _) = p.graph.node("B").unwrap();
+        let (h, _) = p.graph.node("H").unwrap();
+        assert!((tm.rates[&(a, b)] - 7.5).abs() < 1e-9);
+        assert!((tm.rates[&(a, h)] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abstract_constraint_footprint_colocates_children() {
+        // A constraint on the abstract node spans its whole body; the
+        // children must land together even though none of them declares
+        // the constraint itself.
+        let p = compiled(
+            "Gen () => (int v); A (int v) => (int v); B (int v) => (int v);
+             C (int v) => ();
+             F = A -> B -> C; source Gen => F; atomic F: {big};",
+        );
+        let pl = place(
+            &p,
+            &ModelParams::uniform(&p, 0.001, 0.01),
+            &PlaceConfig {
+                machines: 3,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        let a = pl.machine_of(&p, "A").unwrap();
+        assert_eq!(pl.machine_of(&p, "B"), Some(a));
+        assert_eq!(pl.machine_of(&p, "C"), Some(a));
+        assert_eq!(pl.remote_lock_rate, 0.0);
+    }
+
+    #[test]
+    fn loads_sum_to_total_cpu_demand() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let params = uniform(&p);
+        let tm = TrafficMatrix::build(&p, &params).unwrap();
+        let want: f64 = tm.cpu_load.values().sum();
+        let pl = place(
+            &p,
+            &params,
+            &PlaceConfig {
+                machines: 2,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        let got: f64 = pl.loads.iter().sum();
+        assert!((want - got).abs() < 1e-9, "want {want}, got {got}");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let params = uniform(&p);
+        let cfg = PlaceConfig {
+            machines: 3,
+            ..PlaceConfig::default()
+        };
+        let a = place(&p, &params, &cfg).unwrap();
+        let b = place(&p, &params, &cfg).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cut_rate, b.cut_rate);
+    }
+
+    #[test]
+    fn render_lists_every_machine() {
+        let p = compiled(crate::fixtures::IMAGE_SERVER);
+        let pl = place(
+            &p,
+            &uniform(&p),
+            &PlaceConfig {
+                machines: 2,
+                ..PlaceConfig::default()
+            },
+        )
+        .unwrap();
+        let text = pl.render(&p);
+        assert!(text.contains("machine 0:"));
+        assert!(text.contains("machine 1:"));
+        assert!(text.contains("CheckCache"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Source locations used by the lexer, parser and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with the line/column of its
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+    /// 1-based line number of `lo`.
+    pub line: u32,
+    /// 1-based column number of `lo`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized items.
+    pub const DUMMY: Span = Span {
+        lo: 0,
+        hi: 0,
+        line: 0,
+        col: 0,
+    };
+
+    /// Creates a span from raw parts.
+    pub fn new(lo: usize, hi: usize, line: u32, col: u32) -> Self {
+        Span { lo, hi, line, col }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The line/column of the earlier span is kept.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::DUMMY {
+            return other;
+        }
+        if other == Span::DUMMY {
+            return self;
+        }
+        let (first, _) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Extracts the spanned slice from `src`, if in bounds.
+    pub fn snippet<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.lo..self.hi)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_lo() {
+        let a = Span::new(10, 20, 2, 1);
+        let b = Span::new(5, 12, 1, 6);
+        let m = a.merge(b);
+        assert_eq!(m.lo, 5);
+        assert_eq!(m.hi, 20);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.col, 6);
+    }
+
+    #[test]
+    fn merge_with_dummy_keeps_other() {
+        let a = Span::new(3, 9, 1, 4);
+        assert_eq!(Span::DUMMY.merge(a), a);
+        assert_eq!(a.merge(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn snippet_extracts_range() {
+        let src = "source Listen => Image;";
+        let s = Span::new(7, 13, 1, 8);
+        assert_eq!(s.snippet(src), Some("Listen"));
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

@@ -1,0 +1,399 @@
+//! Type checking (compiler pass 2, paper §3.1).
+//!
+//! The second pass decorates every node with input/output types, infers
+//! signatures for abstract nodes from their bodies, and verifies that the
+//! output types of each node match the inputs of the nodes they connect to.
+//! Types are positional: parameter names do not participate.
+
+use crate::ast::{ConstraintScope, PatElem, Param};
+use crate::error::{CompileError, CompileErrors, ErrorKind};
+use crate::graph::{NodeId, NodeKind, ProgramGraph};
+use std::collections::HashMap;
+
+/// The inferred positional type signature of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTypes {
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+}
+
+/// The result of type checking: a signature for every node (concrete
+/// signatures are copied; abstract ones inferred).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeTable {
+    pub types: Vec<NodeTypes>,
+}
+
+impl TypeTable {
+    /// The signature of node `id`.
+    pub fn of(&self, id: NodeId) -> &NodeTypes {
+        &self.types[id]
+    }
+}
+
+fn tys(params: &[Param]) -> Vec<String> {
+    params.iter().map(|p| p.ty.clone()).collect()
+}
+
+/// Runs the full type check over a linked graph.
+pub fn check(graph: &ProgramGraph) -> Result<TypeTable, CompileErrors> {
+    let mut errors = CompileErrors::default();
+    let mut memo: HashMap<NodeId, NodeTypes> = HashMap::new();
+
+    // Infer every node (concrete nodes are immediate; abstract nodes
+    // recurse into their bodies; the graph is already known acyclic).
+    for id in 0..graph.nodes.len() {
+        if let Err(e) = infer(graph, id, &mut memo) {
+            errors.push(e);
+        }
+    }
+
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    // Source rules: the source node takes no inputs, and its outputs must
+    // match the target's inputs exactly.
+    for spec in &graph.sources {
+        let src = &memo[&spec.source];
+        if !src.inputs.is_empty() {
+            errors.push(CompileError::new(
+                ErrorKind::SourceHasInputs {
+                    name: graph.name(spec.source).to_string(),
+                },
+                graph.nodes[spec.source].span,
+            ));
+        }
+        let tgt = &memo[&spec.target];
+        if src.outputs != tgt.inputs {
+            errors.push(CompileError::new(
+                ErrorKind::TypeMismatch {
+                    from: graph.name(spec.source).to_string(),
+                    to: graph.name(spec.target).to_string(),
+                    expected: tgt.inputs.clone(),
+                    found: src.outputs.clone(),
+                },
+                graph.nodes[spec.target].span,
+            ));
+        }
+    }
+
+    // Error-handler rule: the handler consumes what the failing node was
+    // given (its inputs), since the node produced no valid output.
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let Some(h) = node.error_handler {
+            let node_in = &memo[&id].inputs;
+            let handler_in = &memo[&h].inputs;
+            if node_in != handler_in {
+                errors.push(CompileError::new(
+                    ErrorKind::TypeMismatch {
+                        from: node.name.clone(),
+                        to: graph.name(h).to_string(),
+                        expected: handler_in.clone(),
+                        found: node_in.clone(),
+                    },
+                    node.span,
+                ));
+            }
+        }
+    }
+
+    // Session-scoped constraints require the node to live under some
+    // source (checked structurally elsewhere); nothing further to verify
+    // here, but pattern arity is checked during inference.
+    let _ = ConstraintScope::Session;
+
+    if errors.is_empty() {
+        let types = (0..graph.nodes.len())
+            .map(|id| memo.remove(&id).expect("every node inferred"))
+            .collect();
+        Ok(TypeTable { types })
+    } else {
+        Err(errors)
+    }
+}
+
+fn infer(
+    graph: &ProgramGraph,
+    id: NodeId,
+    memo: &mut HashMap<NodeId, NodeTypes>,
+) -> Result<(), CompileError> {
+    if memo.contains_key(&id) {
+        return Ok(());
+    }
+    let node = &graph.nodes[id];
+    match &node.kind {
+        NodeKind::Concrete { inputs, outputs } => {
+            memo.insert(
+                id,
+                NodeTypes {
+                    inputs: tys(inputs),
+                    outputs: tys(outputs),
+                },
+            );
+            Ok(())
+        }
+        NodeKind::Abstract { variants } => {
+            let mut sig: Option<NodeTypes> = None;
+            for variant in variants {
+                // Infer children first (acyclicity guarantees termination).
+                for &child in &variant.body {
+                    infer(graph, child, memo)?;
+                }
+                // Chain the body: out(i) must equal in(i+1).
+                for pair in variant.body.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    let out = memo[&a].outputs.clone();
+                    let inp = memo[&b].inputs.clone();
+                    if out != inp {
+                        return Err(CompileError::new(
+                            ErrorKind::TypeMismatch {
+                                from: graph.name(a).to_string(),
+                                to: graph.name(b).to_string(),
+                                expected: inp,
+                                found: out,
+                            },
+                            variant.span,
+                        ));
+                    }
+                }
+                let this = match (variant.body.first(), variant.body.last()) {
+                    (Some(&first), Some(&last)) => NodeTypes {
+                        inputs: memo[&first].inputs.clone(),
+                        outputs: memo[&last].outputs.clone(),
+                    },
+                    // Empty body: pass-through. Inputs/outputs are fixed by
+                    // the sibling variants (or by context if this is the
+                    // only variant, which we reject as uninferable unless a
+                    // sibling pins it down).
+                    _ => match &sig {
+                        Some(s) => {
+                            if s.inputs != s.outputs {
+                                return Err(CompileError::new(
+                                    ErrorKind::InvalidPassthrough {
+                                        node: node.name.clone(),
+                                    },
+                                    variant.span,
+                                ));
+                            }
+                            s.clone()
+                        }
+                        None => {
+                            // Defer: scan the remaining variants for a
+                            // non-empty one to pin the signature.
+                            let mut pinned = None;
+                            for v2 in variants {
+                                if let (Some(&f), Some(&l)) = (v2.body.first(), v2.body.last()) {
+                                    infer(graph, f, memo)?;
+                                    infer(graph, l, memo)?;
+                                    pinned = Some(NodeTypes {
+                                        inputs: memo[&f].inputs.clone(),
+                                        outputs: memo[&l].outputs.clone(),
+                                    });
+                                    break;
+                                }
+                            }
+                            match pinned {
+                                Some(s) if s.inputs == s.outputs => s,
+                                Some(_) => {
+                                    return Err(CompileError::new(
+                                        ErrorKind::InvalidPassthrough {
+                                            node: node.name.clone(),
+                                        },
+                                        variant.span,
+                                    ));
+                                }
+                                None => {
+                                    return Err(CompileError::new(
+                                        ErrorKind::Other(format!(
+                                            "cannot infer types for `{}`: every variant is empty",
+                                            node.name
+                                        )),
+                                        variant.span,
+                                    ));
+                                }
+                            }
+                        }
+                    },
+                };
+                // Pattern arity must match the (inferred) input arity.
+                if let Some(pat) = &variant.pattern {
+                    if pat.len() != this.inputs.len() {
+                        return Err(CompileError::new(
+                            ErrorKind::PatternArity {
+                                node: node.name.clone(),
+                                expected: this.inputs.len(),
+                                found: pat.len(),
+                            },
+                            variant.span,
+                        ));
+                    }
+                    // Predicate elements are already resolved against the
+                    // typedef table during graph construction.
+                    for el in pat {
+                        let _ = matches!(el, PatElem::Pred(_));
+                    }
+                }
+                match &sig {
+                    None => sig = Some(this),
+                    Some(s) => {
+                        if s != &this {
+                            return Err(CompileError::new(
+                                ErrorKind::VariantMismatch {
+                                    node: node.name.clone(),
+                                    detail: format!(
+                                        "one variant is ({}) => ({}), another is ({}) => ({})",
+                                        s.inputs.join(", "),
+                                        s.outputs.join(", "),
+                                        this.inputs.join(", "),
+                                        this.outputs.join(", ")
+                                    ),
+                                },
+                                variant.span,
+                            ));
+                        }
+                    }
+                }
+            }
+            let sig = sig.expect("graph pass guarantees at least one variant");
+            memo.insert(id, sig);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProgramGraph;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(ProgramGraph, TypeTable), CompileErrors> {
+        let (g, _) = ProgramGraph::build(&parse(src).unwrap())?;
+        let t = check(&g)?;
+        Ok((g, t))
+    }
+
+    #[test]
+    fn figure2_typechecks() {
+        let (g, t) = check_src(crate::fixtures::IMAGE_SERVER).unwrap();
+        let (img, _) = g.node("Image").unwrap();
+        assert_eq!(t.of(img).inputs, vec!["int"]);
+        assert!(t.of(img).outputs.is_empty());
+        let (h, _) = g.node("Handler").unwrap();
+        assert_eq!(t.of(h).inputs, vec!["int", "bool", "image_tag*"]);
+        assert_eq!(t.of(h).outputs, vec!["int", "bool", "image_tag*"]);
+    }
+
+    #[test]
+    fn mini_pipeline_typechecks() {
+        let (g, t) = check_src(crate::fixtures::MINI_PIPELINE).unwrap();
+        let (r, _) = g.node("Route").unwrap();
+        assert_eq!(t.of(r).inputs, vec!["int", "bool"]);
+        assert_eq!(t.of(r).outputs, vec!["int"]);
+    }
+
+    #[test]
+    fn chain_mismatch_rejected() {
+        let err = check_src(
+            "A () => (int x); B (bool y) => (); F = A -> B; S () => (); source S => F;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::TypeMismatch { from, to, .. }
+                if from == "A" && to == "B")));
+    }
+
+    #[test]
+    fn source_output_must_match_target_input() {
+        let err = check_src("S () => (int x); B (bool y) => (); source S => B;").unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn source_with_inputs_rejected() {
+        let err = check_src("S (int x) => (int x); source S => S;").unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::SourceHasInputs { .. })));
+    }
+
+    #[test]
+    fn pattern_arity_checked() {
+        let err = check_src(
+            "typedef p F; A (int x) => (int x); H:[p, p] = A; S () => (int x); source S => H;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::PatternArity { expected: 1, found: 2, .. })));
+    }
+
+    #[test]
+    fn variant_signature_mismatch() {
+        let err = check_src(
+            "typedef p F; A (int x) => (int x); B (int x) => (bool y); \
+             H:[p] = A; H:[_] = B; S () => (int x); source S => H;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::VariantMismatch { .. })));
+    }
+
+    #[test]
+    fn passthrough_requires_matching_in_out() {
+        // A maps int -> bool, so an empty sibling variant is illegal.
+        let err = check_src(
+            "typedef p F; A (int x) => (bool y); H:[p] = ; H:[_] = A; \
+             S () => (int x); source S => H;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::InvalidPassthrough { .. })));
+    }
+
+    #[test]
+    fn all_empty_variants_uninferable() {
+        let err = check_src("typedef p F; H:[p] = ; H:[_] = ;").unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::Other(_))));
+    }
+
+    #[test]
+    fn handler_input_must_match_node_input() {
+        let err = check_src(
+            "A (int x) => (int x); H (bool b) => (); handle error A => H; \
+             S () => (int x); source S => A;",
+        )
+        .unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn nested_abstract_inference() {
+        let (g, t) = check_src(
+            "A (int x) => (bool y); B (bool y) => (); Inner = A; Outer = Inner -> B; \
+             S () => (int x); source S => Outer;",
+        )
+        .unwrap();
+        let (o, _) = g.node("Outer").unwrap();
+        assert_eq!(t.of(o).inputs, vec!["int"]);
+        assert!(t.of(o).outputs.is_empty());
+    }
+}

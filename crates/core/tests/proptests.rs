@@ -1,0 +1,251 @@
+//! Property-based tests for the Flux compiler: generated programs must
+//! lex/parse deterministically, Ball–Larus ids must be unique and
+//! compact, and constraint analysis must terminate in canonical order.
+
+use flux_core::{compile, ConstraintMode, EndKind};
+use proptest::prelude::*;
+
+/// Generates a syntactically valid node name.
+fn name_strat() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,6}".prop_map(|s| format!("N{s}"))
+}
+
+/// Generates a random but well-typed linear-pipeline Flux program:
+/// `source Gen => Flow; Flow = A -> B -> ...` where every node maps
+/// `(int x)` to `(int x)`, with random constraints sprinkled on.
+fn pipeline_strat() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(name_strat(), 1..8),
+        proptest::collection::vec(("[a-c]", 0..3usize), 0..6),
+    )
+        .prop_map(|(mut names, constraints)| {
+            names.sort();
+            names.dedup();
+            let mut src = String::from("Gen () => (int x);\nSink (int x) => ();\n");
+            for n in &names {
+                src.push_str(&format!("{n} (int x) => (int x);\n"));
+            }
+            src.push_str("source Gen => Flow;\nFlow = ");
+            for n in &names {
+                src.push_str(n);
+                src.push_str(" -> ");
+            }
+            src.push_str("Sink;\n");
+            for (lock, idx) in &constraints {
+                if let Some(n) = names.get(idx % names.len().max(1)) {
+                    src.push_str(&format!("atomic {n}: {{{lock}}};\n"));
+                }
+            }
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated pipeline compiles, and its path ids are exactly
+    /// the integers [0, num_paths) with unique node sequences.
+    #[test]
+    fn pipeline_paths_unique_and_compact(src in pipeline_strat()) {
+        let program = compile(&src).expect("generated pipeline compiles");
+        let flow = &program.flows[0];
+        let n = flow.paths.num_paths;
+        // A linear pipeline of k execs has k+1 paths (each error exit
+        // plus completion).
+        let execs = flow.flat.execs().count() as u64;
+        prop_assert_eq!(n, execs + 1);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..n {
+            let info = flow.paths.path_info(&flow.flat, &program.graph, id)
+                .expect("id in range regenerates");
+            let fresh = seen.insert(format!("{:?}{:?}", info.nodes, info.outcome));
+            prop_assert!(fresh);
+        }
+        prop_assert!(flow.paths.path_info(&flow.flat, &program.graph, n).is_none());
+    }
+
+    /// Compilation is deterministic: same source, same graph and paths.
+    #[test]
+    fn compilation_deterministic(src in pipeline_strat()) {
+        let a = compile(&src).expect("compiles");
+        let b = compile(&src).expect("compiles");
+        prop_assert_eq!(a.graph, b.graph);
+        prop_assert_eq!(a.flows.len(), b.flows.len());
+        for (fa, fb) in a.flows.iter().zip(&b.flows) {
+            prop_assert_eq!(&fa.flat, &fb.flat);
+            prop_assert_eq!(&fa.paths, &fb.paths);
+        }
+    }
+
+    /// After constraint analysis, every node's list is sorted and every
+    /// transitive acquisition order along the (linear) flow respects the
+    /// canonical order for *nested* scopes. Pipelines have no nesting,
+    /// so per-node sortedness is the full invariant.
+    #[test]
+    fn constraints_sorted_after_analysis(src in pipeline_strat()) {
+        let program = compile(&src).expect("compiles");
+        for node in &program.graph.nodes {
+            let names: Vec<&str> = node.constraints.iter().map(|c| c.name.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(names, sorted);
+        }
+    }
+
+    /// Lexer round-trip: lexing arbitrary token-ish text never panics.
+    #[test]
+    fn lexer_total(s in "[ -~\n\t]{0,200}") {
+        let _ = flux_core::lexer::Lexer::new(&s).tokenize();
+    }
+
+    /// Parser is total over arbitrary input: errors, never panics.
+    #[test]
+    fn parser_total(s in "[ -~\n\t]{0,200}") {
+        let _ = flux_core::parser::parse(&s);
+    }
+}
+
+// Nested constraint programs: random two-level nesting must always end
+// canonical (the §3.1.1 algorithm terminates and fixes the order).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nested_constraints_end_canonical(
+        outer_lock in "[a-e]",
+        inner_lock in "[a-e]",
+        with_mid in any::<bool>(),
+    ) {
+        let mid = if with_mid { "Mid = Inner;\n" } else { "" };
+        let mid_name = if with_mid { "Mid" } else { "Inner" };
+        let src = format!(
+            "Leaf (int v) => (int v);\n\
+             Inner = Leaf;\n\
+             {mid}\
+             Outer = {mid_name};\n\
+             S () => (int v);\n\
+             source S => Outer;\n\
+             atomic Outer: {{{outer_lock}}};\n\
+             atomic Leaf: {{{inner_lock}}};\n"
+        );
+        let program = compile(&src).expect("compiles");
+        // Invariant: walking the nesting, the acquisition sequence is
+        // non-decreasing once reentrancy is accounted for.
+        let (oid, outer) = program.graph.node("Outer").unwrap();
+        let mut held: Vec<String> = Vec::new();
+        let mut stack = vec![oid];
+        let mut ok = true;
+        while let Some(id) = stack.pop() {
+            for c in &program.graph.nodes[id].constraints {
+                if held.contains(&c.name) {
+                    continue;
+                }
+                if held.iter().any(|h| h.as_str() > c.name.as_str()) {
+                    ok = false;
+                }
+                held.push(c.name.clone());
+            }
+            for v in program.graph.variants(id) {
+                for &child in &v.body {
+                    stack.push(child);
+                }
+            }
+        }
+        prop_assert!(ok, "non-canonical order survived analysis: {:?}", outer.constraints);
+    }
+}
+
+// Cluster placement (paper §8): random chain programs with random
+// constraint assignments must satisfy the placement invariants.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn placement_invariants_hold(
+        // Constraint pool index per node: 0 = unconstrained, 1..=3 pick a
+        // shared name from {ca, cb, cc}.
+        constraint_picks in proptest::collection::vec(0usize..4, 2..10),
+        machines in 1usize..5,
+        interarrival_ms in 1u32..50,
+    ) {
+        let n = constraint_picks.len();
+        let mut src = String::from("Gen () => (int v);\n");
+        for i in 0..n {
+            src.push_str(&format!("N{i} (int v) => (int v);\n"));
+        }
+        src.push_str("Sink (int v) => ();\n");
+        let chain: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        src.push_str(&format!("F = {} -> Sink;\n", chain.join(" -> ")));
+        src.push_str("source Gen => F;\n");
+        let pool = ["ca", "cb", "cc"];
+        for (i, &pick) in constraint_picks.iter().enumerate() {
+            if pick > 0 {
+                src.push_str(&format!("atomic N{i}: {{{}}};\n", pool[pick - 1]));
+            }
+        }
+        let program = compile(&src).expect("generated program compiles");
+        let params = flux_core::model::ModelParams::uniform(
+            &program,
+            0.001,
+            interarrival_ms as f64 / 1000.0,
+        );
+        let cfg = flux_core::PlaceConfig { machines, ..Default::default() };
+        let pl = flux_core::place(&program, &params, &cfg).expect("placement succeeds");
+
+        // Every placeable node is assigned to a valid machine.
+        for name in std::iter::once("Gen".to_string())
+            .chain(chain.iter().cloned())
+            .chain(std::iter::once("Sink".to_string()))
+        {
+            let m = pl.machine_of(&program, &name);
+            prop_assert!(m.is_some(), "{name} unplaced");
+            prop_assert!(m.unwrap() < machines);
+        }
+        // Constraint sharers are colocated; the guided placement never
+        // pays distributed locks.
+        for (i, &pi) in constraint_picks.iter().enumerate() {
+            if pi == 0 { continue; }
+            for (j, &pj) in constraint_picks.iter().enumerate().skip(i + 1) {
+                if pj == pi {
+                    prop_assert_eq!(
+                        pl.machine_of(&program, &format!("N{i}")),
+                        pl.machine_of(&program, &format!("N{j}")),
+                        "nodes sharing {} split", pool[pi - 1]
+                    );
+                }
+            }
+        }
+        prop_assert!(pl.remote_lock_rate == 0.0);
+        // Metric sanity.
+        prop_assert!(pl.cut_rate >= 0.0 && pl.cut_rate <= pl.total_rate + 1e-9);
+        prop_assert!(pl.loads.iter().all(|&l| l >= 0.0));
+        prop_assert_eq!(pl.loads.len(), machines);
+        if machines == 1 {
+            prop_assert!(pl.cut_rate == 0.0);
+        }
+        // The round-robin baseline is never better on remote locks.
+        let rr = flux_core::round_robin(&program, &params, machines).unwrap();
+        prop_assert!(rr.remote_lock_rate >= 0.0);
+        // Determinism.
+        let again = flux_core::place(&program, &params, &cfg).unwrap();
+        prop_assert_eq!(&pl.assignment, &again.assignment);
+    }
+}
+
+/// Randomized end-to-end: run random pipelines on the runtime and check
+/// flow accounting (moved here to reuse the generator).
+#[test]
+fn error_paths_and_outcomes_consistent() {
+    let src = "Gen () => (int x); A (int x) => (int x); B (int x) => (int x); \
+               Sink (int x) => (); source Gen => Flow; Flow = A -> B -> Sink;";
+    let program = compile(src).unwrap();
+    let flow = &program.flows[0];
+    let all = flow.paths.enumerate(&flow.flat, &program.graph, 100);
+    let completed = all
+        .iter()
+        .filter(|p| p.outcome == EndKind::Completed)
+        .count();
+    assert_eq!(completed, 1, "exactly one success path in a pipeline");
+    assert_eq!(all.len(), 4, "A-err, B-err, Sink-err, success");
+    let _ = ConstraintMode::Reader;
+}

@@ -1,0 +1,12 @@
+//! # flux-game — the multiplayer Tag substrate (paper §4.4)
+//!
+//! The heartbeat-style game server's shared state and wire protocol:
+//! the Tag world rules (bounded board, tag-and-teleport, "it" transfer)
+//! and the compact UDP message format broadcast at 10 Hz. Both the Flux
+//! game server and the hand-written baseline build on this crate.
+
+pub mod protocol;
+pub mod world;
+
+pub use protocol::{decode_snapshot, encode_snapshot, ClientMsg, TICK_MS};
+pub use world::{Move, Pos, Snapshot, World, MAX_STEP, TAG_RADIUS, WORLD_H, WORLD_W};

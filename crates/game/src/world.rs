@@ -1,0 +1,262 @@
+//! The game of Tag (paper §4.4): world rules and state.
+//!
+//! "Players can not move beyond the boundaries of the game world. When
+//! a player is tagged by the player who is 'it', that player becomes
+//! the new 'it' and is teleported to a new random location on the
+//! board." The server holds this shared state and broadcasts it at
+//! heartbeat intervals (10 Hz).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Board dimensions.
+pub const WORLD_W: i32 = 1000;
+pub const WORLD_H: i32 = 1000;
+/// Two players within this distance are touching.
+pub const TAG_RADIUS: i32 = 10;
+/// Maximum movement per tick along each axis.
+pub const MAX_STEP: i32 = 25;
+
+/// A player's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Pos {
+    /// Chebyshev-ish squared Euclidean distance.
+    pub fn dist2(&self, other: &Pos) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+}
+
+/// A move request from a client: desired velocity for this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    pub player: u32,
+    pub dx: i32,
+    pub dy: i32,
+}
+
+/// The authoritative game state.
+#[derive(Debug, Clone)]
+pub struct World {
+    players: HashMap<u32, Pos>,
+    it: Option<u32>,
+    rng: StdRng,
+    /// Monotonic tick counter, included in every state broadcast.
+    pub tick: u64,
+    /// Total tags since the game started.
+    pub tags: u64,
+}
+
+impl World {
+    /// Creates an empty world with a deterministic RNG.
+    pub fn new(seed: u64) -> World {
+        World {
+            players: HashMap::new(),
+            it: None,
+            rng: StdRng::seed_from_u64(seed),
+            tick: 0,
+            tags: 0,
+        }
+    }
+
+    /// Adds a player at a random position; the first player is "it".
+    pub fn join(&mut self, player: u32) -> Pos {
+        let pos = self.random_pos();
+        self.players.insert(player, pos);
+        if self.it.is_none() {
+            self.it = Some(player);
+        }
+        pos
+    }
+
+    /// Removes a player; if they were "it", the closest remaining player
+    /// becomes "it".
+    pub fn leave(&mut self, player: u32) {
+        self.players.remove(&player);
+        if self.it == Some(player) {
+            self.it = self.players.keys().next().copied();
+        }
+    }
+
+    /// Number of players.
+    pub fn len(&self) -> usize {
+        self.players.len()
+    }
+
+    /// True when nobody has joined.
+    pub fn is_empty(&self) -> bool {
+        self.players.is_empty()
+    }
+
+    /// The current "it" player.
+    pub fn it(&self) -> Option<u32> {
+        self.it
+    }
+
+    /// A player's position.
+    pub fn pos(&self, player: u32) -> Option<Pos> {
+        self.players.get(&player).copied()
+    }
+
+    fn random_pos(&mut self) -> Pos {
+        Pos {
+            x: self.rng.gen_range(0..WORLD_W),
+            y: self.rng.gen_range(0..WORLD_H),
+        }
+    }
+
+    /// Applies one player's move: clamps the step and the board bounds.
+    pub fn apply_move(&mut self, m: Move) {
+        if let Some(p) = self.players.get_mut(&m.player) {
+            let dx = m.dx.clamp(-MAX_STEP, MAX_STEP);
+            let dy = m.dy.clamp(-MAX_STEP, MAX_STEP);
+            p.x = (p.x + dx).clamp(0, WORLD_W - 1);
+            p.y = (p.y + dy).clamp(0, WORLD_H - 1);
+        }
+    }
+
+    /// Advances one heartbeat: resolves tags, bumps the tick, and
+    /// returns the new state snapshot to broadcast.
+    pub fn step(&mut self) -> Snapshot {
+        if let Some(it) = self.it {
+            if let Some(it_pos) = self.players.get(&it).copied() {
+                let victim = self
+                    .players
+                    .iter()
+                    .filter(|(&id, _)| id != it)
+                    .filter(|(_, p)| p.dist2(&it_pos) <= (TAG_RADIUS as i64).pow(2))
+                    .map(|(&id, _)| id)
+                    .min(); // deterministic choice
+                if let Some(v) = victim {
+                    // The tagged player becomes "it" and teleports.
+                    self.it = Some(v);
+                    self.tags += 1;
+                    let pos = self.random_pos();
+                    if let Some(p) = self.players.get_mut(&v) {
+                        *p = pos;
+                    }
+                }
+            }
+        }
+        self.tick += 1;
+        self.snapshot()
+    }
+
+    /// The current state snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut players: Vec<(u32, Pos)> =
+            self.players.iter().map(|(&id, &p)| (id, p)).collect();
+        players.sort_by_key(|&(id, _)| id);
+        Snapshot {
+            tick: self.tick,
+            it: self.it,
+            players,
+        }
+    }
+}
+
+/// A broadcastable state snapshot: identical for every client at a given
+/// tick (the paper's consistency requirement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub tick: u64,
+    pub it: Option<u32>,
+    pub players: Vec<(u32, Pos)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_player_is_it() {
+        let mut w = World::new(1);
+        w.join(10);
+        w.join(20);
+        assert_eq!(w.it(), Some(10));
+    }
+
+    #[test]
+    fn moves_clamped_to_board_and_step() {
+        let mut w = World::new(2);
+        w.join(1);
+        // Try to move far past the board edge.
+        for _ in 0..200 {
+            w.apply_move(Move {
+                player: 1,
+                dx: 1000,
+                dy: -1000,
+            });
+        }
+        let p = w.pos(1).unwrap();
+        assert_eq!(p.x, WORLD_W - 1);
+        assert_eq!(p.y, 0);
+    }
+
+    #[test]
+    fn tagging_transfers_it_and_teleports() {
+        let mut w = World::new(3);
+        w.join(1);
+        w.join(2);
+        // Force both players to the same spot by walking player 2 onto
+        // player 1.
+        let target = w.pos(1).unwrap();
+        loop {
+            let p2 = w.pos(2).unwrap();
+            if p2 == target {
+                break;
+            }
+            w.apply_move(Move {
+                player: 2,
+                dx: (target.x - p2.x).clamp(-MAX_STEP, MAX_STEP),
+                dy: (target.y - p2.y).clamp(-MAX_STEP, MAX_STEP),
+            });
+        }
+        let snap = w.step();
+        assert_eq!(snap.it, Some(2), "tagged player becomes it");
+        assert_eq!(w.tags, 1);
+        // Teleported away (with overwhelming probability not in radius).
+        let p2 = w.pos(2).unwrap();
+        let p1 = w.pos(1).unwrap();
+        assert!(p2.dist2(&p1) > (TAG_RADIUS as i64).pow(2));
+    }
+
+    #[test]
+    fn leave_reassigns_it() {
+        let mut w = World::new(4);
+        w.join(1);
+        w.join(2);
+        w.leave(1);
+        assert_eq!(w.it(), Some(2));
+        w.leave(2);
+        assert_eq!(w.it(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_sorted() {
+        let mut w = World::new(5);
+        for id in [5u32, 1, 9, 3] {
+            w.join(id);
+        }
+        let s = w.snapshot();
+        let ids: Vec<u32> = s.players.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        assert_eq!(w.snapshot(), w.snapshot());
+    }
+
+    #[test]
+    fn tick_advances() {
+        let mut w = World::new(6);
+        w.join(1);
+        assert_eq!(w.step().tick, 1);
+        assert_eq!(w.step().tick, 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! MIME types and the in-memory document root the web servers serve
+//! from (the SPECweb99-like working set lives in memory, as the paper's
+//! ~32 MB set fit in RAM and stressed CPU, not disk).
+
+use std::collections::HashMap;
+
+/// Maps a file extension to a MIME content type.
+pub fn mime_for(path: &str) -> &'static str {
+    match path.rsplit_once('.').map(|(_, ext)| ext) {
+        Some("html") | Some("htm") => "text/html",
+        Some("txt") => "text/plain",
+        Some("css") => "text/css",
+        Some("js") => "application/javascript",
+        Some("json") => "application/json",
+        Some("jpg") | Some("jpeg") => "image/jpeg",
+        Some("png") => "image/png",
+        Some("gif") => "image/gif",
+        Some("ppm") => "image/x-portable-pixmap",
+        Some("fxs") => "text/html", // FluxScript renders to HTML
+        Some("xml") => "application/xml",
+        Some("pdf") => "application/pdf",
+        _ => "application/octet-stream",
+    }
+}
+
+/// An in-memory document tree: path -> file bytes.
+///
+/// `*.fxs` files are FluxScript templates executed per request; anything
+/// else is served verbatim.
+#[derive(Debug, Default, Clone)]
+pub struct DocRoot {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl DocRoot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a file under `path` (must start with `/`).
+    pub fn insert(&mut self, path: &str, content: impl Into<Vec<u8>>) -> &mut Self {
+        assert!(path.starts_with('/'), "doc paths are absolute: {path}");
+        self.files.insert(path.to_string(), content.into());
+        self
+    }
+
+    /// Fetches a file; `/` resolves to `/index.html`.
+    pub fn get(&self, path: &str) -> Option<&[u8]> {
+        let path = if path == "/" { "/index.html" } else { path };
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes across all files (the "working set" size).
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|v| v.len()).sum()
+    }
+
+    /// Iterates `(path, size)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mime_lookup() {
+        assert_eq!(mime_for("/a/b.html"), "text/html");
+        assert_eq!(mime_for("/x.jpg"), "image/jpeg");
+        assert_eq!(mime_for("/x.fxs"), "text/html");
+        assert_eq!(mime_for("/noext"), "application/octet-stream");
+    }
+
+    #[test]
+    fn docroot_basics() {
+        let mut root = DocRoot::new();
+        root.insert("/index.html", "<h1>hi</h1>").insert("/a.txt", "aaa");
+        assert_eq!(root.get("/"), Some("<h1>hi</h1>".as_bytes()));
+        assert_eq!(root.get("/a.txt"), Some("aaa".as_bytes()));
+        assert_eq!(root.get("/missing"), None);
+        assert_eq!(root.len(), 2);
+        assert_eq!(root.total_bytes(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute")]
+    fn relative_path_rejected() {
+        DocRoot::new().insert("rel.html", "x");
+    }
+}

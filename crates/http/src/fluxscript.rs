@@ -1,0 +1,789 @@
+//! FluxScript — a tiny PHP-flavoured template interpreter.
+//!
+//! The paper's web server gains dynamic pages "just by implementing a
+//! required PHP interface layer" around the real PHP interpreter. We
+//! cannot ship PHP, so the dynamic-page engine is this interpreter: a
+//! deliberately PHP-shaped language (``$variables``, `.` concatenation,
+//! `echo`) embedded in HTML between `<?fx ... ?>` markers. What matters
+//! for the reproduction is the architecture — an off-the-shelf
+//! interpreter with per-request CPU cost sitting behind one Flux node —
+//! and FluxScript exercises exactly that path.
+//!
+//! Language summary:
+//!
+//! ```text
+//! <?fx
+//!   $n = 10;
+//!   $total = 0;
+//!   for ($i = 1; $i <= $n; $i = $i + 1) { $total = $total + $i; }
+//!   if ($total > 50) { echo "big: " . $total; } else { echo "small"; }
+//!   while ($n > 0) { $n = $n - 1; }
+//! ?>
+//! ```
+//!
+//! Values are integers, floats, strings and booleans. Request query
+//! parameters are pre-bound as `$name`. Builtins: `strlen(s)`,
+//! `substr(s, start, len)`, `upper(s)`, `lower(s)`, `abs(x)`, `min`,
+//! `max`, `str(x)`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A FluxScript runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Int(n) => *n != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bool(b) => *b,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => f.write_str(if *b { "1" } else { "" }),
+        }
+    }
+}
+
+/// A script evaluation error with a short message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError(pub String);
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fluxscript error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ScriptError> {
+    Err(ScriptError(msg.into()))
+}
+
+/// Runaway-loop guard.
+const MAX_STEPS: u64 = 5_000_000;
+
+/// Renders a template: literal text is copied, `<?fx ... ?>` blocks are
+/// executed with `vars` pre-bound.
+pub fn render(template: &str, vars: &HashMap<String, Value>) -> Result<String, ScriptError> {
+    let mut out = String::with_capacity(template.len());
+    let mut env: HashMap<String, Value> = vars.clone();
+    let mut rest = template;
+    let mut steps = 0u64;
+    while let Some(open) = rest.find("<?fx") {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 4..];
+        let close = after
+            .find("?>")
+            .ok_or_else(|| ScriptError("unterminated <?fx block".into()))?;
+        let code = &after[..close];
+        let stmts = Parser::new(code).block_body()?;
+        exec_block(&stmts, &mut env, &mut out, &mut steps)?;
+        rest = &after[close + 2..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Executes a bare script (no template text), returning its output.
+pub fn eval(code: &str, vars: &HashMap<String, Value>) -> Result<String, ScriptError> {
+    render(&format!("<?fx {code} ?>"), vars)
+}
+
+// ---------------------------------------------------------------- AST --
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Echo(Expr),
+    Assign(String, Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(Value),
+    Var(String),
+    Unary(char, Box<Expr>),
+    Binary(String, Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+}
+
+// -------------------------------------------------------------- parser --
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'/' && self.src.get(self.pos + 1) == Some(&b'/') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ScriptError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            err(format!(
+                "expected `{s}` at byte {} of script block",
+                self.pos
+            ))
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn ident(&mut self) -> Result<String, ScriptError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return err(format!("expected identifier at byte {start}"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        let mut stmts = Vec::new();
+        while !self.at_end() {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn braced_block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat("}") {
+                return Ok(stmts);
+            }
+            if self.at_end() {
+                return err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.skip_ws();
+        if self.eat("echo") {
+            let e = self.expr()?;
+            self.expect(";")?;
+            return Ok(Stmt::Echo(e));
+        }
+        if self.eat("if") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then = self.braced_block()?;
+            let els = if self.eat("else") {
+                if self.peek() == Some(b'i') && self.src[self.pos..].starts_with(b"if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.braced_block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat("while") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let body = self.braced_block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat("for") {
+            self.expect("(")?;
+            let init = self.assign_stmt()?;
+            self.expect(";")?;
+            let cond = self.expr()?;
+            self.expect(";")?;
+            let step = self.assign_stmt()?;
+            self.expect(")")?;
+            let body = self.braced_block()?;
+            return Ok(Stmt::For(Box::new(init), cond, Box::new(step), body));
+        }
+        let s = self.assign_stmt()?;
+        self.expect(";")?;
+        Ok(s)
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.expect("$")?;
+        let name = self.ident()?;
+        self.expect("=")?;
+        let e = self.expr()?;
+        Ok(Stmt::Assign(name, e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary("||".into(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary("&&".into(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.add_expr()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat(op) {
+                let rhs = self.add_expr()?;
+                return Ok(Expr::Binary(op.into(), Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary("+".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary("-".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat(".") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary(".".into(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat("*") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("*".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat("/") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("/".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat("%") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary("%".into(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ScriptError> {
+        if self.eat("!") {
+            return Ok(Expr::Unary('!', Box::new(self.unary_expr()?)));
+        }
+        if self.eat("-") {
+            return Ok(Expr::Unary('-', Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ScriptError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.expect("(")?;
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(b'$') => {
+                self.expect("$")?;
+                Ok(Expr::Var(self.ident()?))
+            }
+            Some(b'"') | Some(b'\'') => self.string_lit(),
+            Some(b) if b.is_ascii_digit() => self.number_lit(),
+            Some(b) if b.is_ascii_alphabetic() => {
+                let name = self.ident()?;
+                match name.as_str() {
+                    "true" => Ok(Expr::Lit(Value::Bool(true))),
+                    "false" => Ok(Expr::Lit(Value::Bool(false))),
+                    _ => {
+                        self.expect("(")?;
+                        let mut args = Vec::new();
+                        if !self.eat(")") {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.eat(")") {
+                                    break;
+                                }
+                                self.expect(",")?;
+                            }
+                        }
+                        Ok(Expr::Call(name, args))
+                    }
+                }
+            }
+            other => err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<Expr, ScriptError> {
+        self.skip_ws();
+        let quote = self.src[self.pos];
+        self.pos += 1;
+        let mut s = String::new();
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            self.pos += 1;
+            if b == quote {
+                return Ok(Expr::Lit(Value::Str(s)));
+            }
+            if b == b'\\' && self.pos < self.src.len() {
+                let esc = self.src[self.pos];
+                self.pos += 1;
+                s.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => other as char,
+                });
+            } else {
+                s.push(b as char);
+            }
+        }
+        err("unterminated string literal")
+    }
+
+    fn number_lit(&mut self) -> Result<Expr, ScriptError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+        if text.contains('.') {
+            text.parse::<f64>()
+                .map(|f| Expr::Lit(Value::Float(f)))
+                .map_err(|_| ScriptError(format!("bad float `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(|n| Expr::Lit(Value::Int(n)))
+                .map_err(|_| ScriptError(format!("bad int `{text}`")))
+        }
+    }
+}
+
+// ------------------------------------------------------------ evaluate --
+
+fn exec_block(
+    stmts: &[Stmt],
+    env: &mut HashMap<String, Value>,
+    out: &mut String,
+    steps: &mut u64,
+) -> Result<(), ScriptError> {
+    for s in stmts {
+        exec(s, env, out, steps)?;
+    }
+    Ok(())
+}
+
+fn bump(steps: &mut u64) -> Result<(), ScriptError> {
+    *steps += 1;
+    if *steps > MAX_STEPS {
+        return err("script exceeded execution budget");
+    }
+    Ok(())
+}
+
+fn exec(
+    s: &Stmt,
+    env: &mut HashMap<String, Value>,
+    out: &mut String,
+    steps: &mut u64,
+) -> Result<(), ScriptError> {
+    bump(steps)?;
+    match s {
+        Stmt::Echo(e) => {
+            let v = eval_expr(e, env, steps)?;
+            out.push_str(&v.to_string());
+            Ok(())
+        }
+        Stmt::Assign(name, e) => {
+            let v = eval_expr(e, env, steps)?;
+            env.insert(name.clone(), v);
+            Ok(())
+        }
+        Stmt::If(cond, then, els) => {
+            if eval_expr(cond, env, steps)?.truthy() {
+                exec_block(then, env, out, steps)
+            } else {
+                exec_block(els, env, out, steps)
+            }
+        }
+        Stmt::While(cond, body) => {
+            while eval_expr(cond, env, steps)?.truthy() {
+                bump(steps)?;
+                exec_block(body, env, out, steps)?;
+            }
+            Ok(())
+        }
+        Stmt::For(init, cond, step, body) => {
+            exec(init, env, out, steps)?;
+            while eval_expr(cond, env, steps)?.truthy() {
+                bump(steps)?;
+                exec_block(body, env, out, steps)?;
+                exec(step, env, out, steps)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn eval_expr(
+    e: &Expr,
+    env: &HashMap<String, Value>,
+    steps: &mut u64,
+) -> Result<Value, ScriptError> {
+    bump(steps)?;
+    match e {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ScriptError(format!("undefined variable ${name}"))),
+        Expr::Unary('!', inner) => Ok(Value::Bool(!eval_expr(inner, env, steps)?.truthy())),
+        Expr::Unary('-', inner) => match eval_expr(inner, env, steps)? {
+            Value::Int(n) => Ok(Value::Int(-n)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => err(format!("cannot negate {other:?}")),
+        },
+        Expr::Unary(op, _) => err(format!("unknown unary operator {op}")),
+        Expr::Binary(op, lhs, rhs) => {
+            // Short-circuit logic first.
+            if op == "&&" {
+                return Ok(Value::Bool(
+                    eval_expr(lhs, env, steps)?.truthy() && eval_expr(rhs, env, steps)?.truthy(),
+                ));
+            }
+            if op == "||" {
+                return Ok(Value::Bool(
+                    eval_expr(lhs, env, steps)?.truthy() || eval_expr(rhs, env, steps)?.truthy(),
+                ));
+            }
+            let a = eval_expr(lhs, env, steps)?;
+            let b = eval_expr(rhs, env, steps)?;
+            binary(op, a, b)
+        }
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_expr(a, env, steps))
+                .collect::<Result<_, _>>()?;
+            builtin(name, &vals)
+        }
+    }
+}
+
+fn binary(op: &str, a: Value, b: Value) -> Result<Value, ScriptError> {
+    if op == "." {
+        return Ok(Value::Str(format!("{a}{b}")));
+    }
+    // String equality compares as strings; other comparisons numeric.
+    if matches!(op, "==" | "!=") {
+        if let (Value::Str(x), Value::Str(y)) = (&a, &b) {
+            let eq = x == y;
+            return Ok(Value::Bool(if op == "==" { eq } else { !eq }));
+        }
+    }
+    // Integer fast path keeps arithmetic exact.
+    if let (Value::Int(x), Value::Int(y)) = (&a, &b) {
+        let (x, y) = (*x, *y);
+        return match op {
+            "+" => Ok(Value::Int(x.wrapping_add(y))),
+            "-" => Ok(Value::Int(x.wrapping_sub(y))),
+            "*" => Ok(Value::Int(x.wrapping_mul(y))),
+            "/" => {
+                if y == 0 {
+                    err("division by zero")
+                } else {
+                    Ok(Value::Int(x / y))
+                }
+            }
+            "%" => {
+                if y == 0 {
+                    err("modulo by zero")
+                } else {
+                    Ok(Value::Int(x % y))
+                }
+            }
+            "==" => Ok(Value::Bool(x == y)),
+            "!=" => Ok(Value::Bool(x != y)),
+            "<" => Ok(Value::Bool(x < y)),
+            "<=" => Ok(Value::Bool(x <= y)),
+            ">" => Ok(Value::Bool(x > y)),
+            ">=" => Ok(Value::Bool(x >= y)),
+            _ => err(format!("unknown operator {op}")),
+        };
+    }
+    let (x, y) = match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return err(format!("operator `{op}` needs numeric operands")),
+    };
+    match op {
+        "+" => Ok(Value::Float(x + y)),
+        "-" => Ok(Value::Float(x - y)),
+        "*" => Ok(Value::Float(x * y)),
+        "/" => {
+            if y == 0.0 {
+                err("division by zero")
+            } else {
+                Ok(Value::Float(x / y))
+            }
+        }
+        "%" => err("modulo needs integers"),
+        "==" => Ok(Value::Bool(x == y)),
+        "!=" => Ok(Value::Bool(x != y)),
+        "<" => Ok(Value::Bool(x < y)),
+        "<=" => Ok(Value::Bool(x <= y)),
+        ">" => Ok(Value::Bool(x > y)),
+        ">=" => Ok(Value::Bool(x >= y)),
+        _ => err(format!("unknown operator {op}")),
+    }
+}
+
+fn builtin(name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+    match (name, args) {
+        ("strlen", [Value::Str(s)]) => Ok(Value::Int(s.len() as i64)),
+        ("upper", [Value::Str(s)]) => Ok(Value::Str(s.to_uppercase())),
+        ("lower", [Value::Str(s)]) => Ok(Value::Str(s.to_lowercase())),
+        ("str", [v]) => Ok(Value::Str(v.to_string())),
+        ("abs", [Value::Int(n)]) => Ok(Value::Int(n.abs())),
+        ("abs", [Value::Float(f)]) => Ok(Value::Float(f.abs())),
+        ("min", [a, b]) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(if x <= y { a.clone() } else { b.clone() }),
+            _ => err("min needs numbers"),
+        },
+        ("max", [a, b]) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(if x >= y { a.clone() } else { b.clone() }),
+            _ => err("max needs numbers"),
+        },
+        ("substr", [Value::Str(s), Value::Int(start), Value::Int(len)]) => {
+            let start = (*start).max(0) as usize;
+            let len = (*len).max(0) as usize;
+            Ok(Value::Str(s.chars().skip(start).take(len).collect()))
+        }
+        _ => err(format!(
+            "unknown function `{name}` with {} argument(s)",
+            args.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(code: &str) -> String {
+        eval(code, &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn echo_and_arithmetic() {
+        assert_eq!(run("echo 1 + 2 * 3;"), "7");
+        assert_eq!(run("echo (1 + 2) * 3;"), "9");
+        assert_eq!(run("echo 10 % 3;"), "1");
+        assert_eq!(run("echo -4 + 1;"), "-3");
+    }
+
+    #[test]
+    fn variables_and_concat() {
+        assert_eq!(run("$x = 5; $y = $x * 2; echo \"v=\" . $y;"), "v=10");
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(run("$x = 3; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"), "big");
+        assert_eq!(run("$x = 1; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"), "small");
+    }
+
+    #[test]
+    fn loops() {
+        assert_eq!(
+            run("$t = 0; for ($i = 1; $i <= 10; $i = $i + 1) { $t = $t + $i; } echo $t;"),
+            "55"
+        );
+        assert_eq!(run("$n = 3; while ($n > 0) { echo $n; $n = $n - 1; }"), "321");
+    }
+
+    #[test]
+    fn template_interleaves_html() {
+        let html = render(
+            "<h1>Sum</h1><?fx $t = 0; for ($i = 1; $i <= 3; $i = $i + 1) { $t = $t + $i; } echo $t; ?><p>done</p>",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(html, "<h1>Sum</h1>6<p>done</p>");
+    }
+
+    #[test]
+    fn multiple_blocks_share_state() {
+        let html = render(
+            "<?fx $x = 21; ?>mid<?fx echo $x * 2; ?>",
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(html, "mid42");
+    }
+
+    #[test]
+    fn query_vars_prebound() {
+        let mut vars = HashMap::new();
+        vars.insert("n".to_string(), Value::Int(4));
+        vars.insert("name".to_string(), Value::Str("flux".into()));
+        let out = eval("echo $name . \"-\" . ($n * $n);", &vars).unwrap();
+        assert_eq!(out, "flux-16");
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(run("echo strlen(\"hello\");"), "5");
+        assert_eq!(run("echo upper(\"php\");"), "PHP");
+        assert_eq!(run("echo substr(\"abcdef\", 2, 3);"), "cde");
+        assert_eq!(run("echo min(3, 8) . max(3, 8);"), "38");
+        assert_eq!(run("echo abs(-9);"), "9");
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        assert_eq!(run("echo (1 < 2) && (2 < 3);"), "1");
+        assert_eq!(run("echo (1 > 2) || (2 > 3);"), "");
+        // RHS of && not evaluated when LHS false: $undefined would error.
+        assert_eq!(run("if ((1 > 2) && ($undefined == 1)) { echo \"x\"; } echo \"ok\";"), "ok");
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(run("echo \"a\" == \"a\";"), "1");
+        assert_eq!(run("echo \"a\" != \"b\";"), "1");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(eval("echo 1 / 0;", &HashMap::new()).is_err());
+        assert!(eval("echo 1 % 0;", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let e = eval("echo $nope;", &HashMap::new()).unwrap_err();
+        assert!(e.0.contains("nope"));
+    }
+
+    #[test]
+    fn runaway_loop_bounded() {
+        assert!(eval("$x = 1; while ($x > 0) { $x = $x + 1; }", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(render("<?fx echo 1;", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(run("echo 1.5 + 2.25;"), "3.75");
+        assert_eq!(run("echo 3 / 2;"), "1");
+        assert_eq!(run("echo 3.0 / 2;"), "1.5");
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let code = "$x = 2; if ($x == 1) { echo \"a\"; } else if ($x == 2) { echo \"b\"; } else { echo \"c\"; }";
+        assert_eq!(run(code), "b");
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        assert_eq!(run("echo \"a\\nb\";"), "a\nb");
+        assert_eq!(run("echo 'it\\'s';"), "it's");
+    }
+}

@@ -1,0 +1,17 @@
+//! # flux-image — image substrate for the Flux image-compression server
+//!
+//! Everything the paper's image server (§2, Figure 2) needs, built from
+//! scratch: a PPM codec with box scaling (the benchmark requests eight
+//! sizes of each image), a baseline JFIF JPEG encoder *and* decoder
+//! (libjpeg substitute; the encoder is the CPU-bound `Compress` node of
+//! the Figure 6 experiment), and the LFU cache with reference counts
+//! whose `CheckCache`/`StoreInCache`/`Complete` protocol the paper's
+//! atomicity constraints protect.
+
+pub mod cache;
+pub mod jpeg;
+pub mod ppm;
+
+pub use cache::LfuCache;
+pub use jpeg::{decode as jpeg_decode, encode as jpeg_encode, probe as jpeg_probe, psnr, JpegError, JpegInfo};
+pub use ppm::{Image, PpmError};

@@ -1,0 +1,278 @@
+//! The connection driver: a readiness queue over a table of connections.
+//!
+//! Flux flows are acyclic, so a keep-alive connection cannot loop inside
+//! one flow; instead (as in the paper's web and BitTorrent servers, whose
+//! source nodes select over existing clients) the *source* multiplexes:
+//! it emits one unit of work per ready connection. The driver supplies
+//! that readiness stream: new connections from an acceptor thread and
+//! readable events from per-connection watches (in-memory transport) or
+//! one-shot helper threads (TCP — the paper itself used a helper thread
+//! around `select` to simulate asynchronous I/O).
+
+use crate::traits::{Conn, Listener};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A registered connection's identity.
+pub type Token = u64;
+
+/// What the driver reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverEvent {
+    /// A new connection was accepted and registered.
+    Incoming(Token),
+    /// A watched connection became readable (or hit EOF).
+    Readable(Token),
+}
+
+/// A shared handle to a registered connection. Nodes lock it for the
+/// duration of one read/write interaction.
+pub type SharedConn = Arc<Mutex<Box<dyn Conn>>>;
+
+/// Multiplexes connection readiness into a single event stream.
+pub struct ConnDriver {
+    tx: Sender<DriverEvent>,
+    rx: Receiver<DriverEvent>,
+    conns: Mutex<HashMap<Token, SharedConn>>,
+    next_token: AtomicU64,
+    stopping: AtomicBool,
+}
+
+impl Default for ConnDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConnDriver {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        ConnDriver {
+            tx,
+            rx,
+            conns: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers an existing connection, returning its token. No
+    /// readiness watch is armed until [`ConnDriver::arm`].
+    pub fn add(&self, conn: Box<dyn Conn>) -> Token {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().insert(token, Arc::new(Mutex::new(conn)));
+        token
+    }
+
+    /// The shared handle for `token`.
+    pub fn get(&self, token: Token) -> Option<SharedConn> {
+        self.conns.lock().get(&token).cloned()
+    }
+
+    /// Removes (closes) the connection.
+    pub fn remove(&self, token: Token) -> Option<SharedConn> {
+        self.conns.lock().remove(&token)
+    }
+
+    /// Number of registered connections.
+    pub fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// True when no connections are registered.
+    pub fn is_empty(&self) -> bool {
+        self.conns.lock().is_empty()
+    }
+
+    /// Arms a one-shot readability watch: when the connection has data
+    /// (or EOF), a [`DriverEvent::Readable`] is queued. For transports
+    /// without watch support a helper thread performs the wait.
+    pub fn arm(self: &Arc<Self>, token: Token) {
+        let Some(shared) = self.get(token) else {
+            return;
+        };
+        let tx = self.tx.clone();
+        let watched = {
+            let conn = shared.lock();
+            conn.set_read_watch(Box::new({
+                let tx = tx.clone();
+                move || {
+                    let _ = tx.send(DriverEvent::Readable(token));
+                }
+            }))
+        };
+        if !watched {
+            // Helper thread (the paper's select-simulation thread): use an
+            // independent clone so flows can use the connection meanwhile.
+            let this = self.clone();
+            let clone = {
+                let conn = shared.lock();
+                conn.try_clone()
+            };
+            std::thread::Builder::new()
+                .name("flux-net-watch".into())
+                .spawn(move || {
+                    let Ok(conn) = clone else {
+                        let _ = tx.send(DriverEvent::Readable(token));
+                        return;
+                    };
+                    loop {
+                        if this.stopping.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match conn.wait_readable(Some(Duration::from_millis(100))) {
+                            Ok(true) => {
+                                let _ = tx.send(DriverEvent::Readable(token));
+                                return;
+                            }
+                            Ok(false) => continue,
+                            Err(_) => {
+                                let _ = tx.send(DriverEvent::Readable(token));
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn watch thread");
+        }
+    }
+
+    /// Accepts connections from `listener` on a background thread,
+    /// registering each and queueing [`DriverEvent::Incoming`]. The
+    /// thread exits when [`ConnDriver::stop`] is called.
+    pub fn spawn_acceptor(self: &Arc<Self>, listener: Box<dyn Listener>) {
+        let this = self.clone();
+        listener.set_accept_timeout(Some(Duration::from_millis(50)));
+        std::thread::Builder::new()
+            .name("flux-net-accept".into())
+            .spawn(move || loop {
+                if this.stopping.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok(conn) => {
+                        let token = this.add(conn);
+                        let _ = this.tx.send(DriverEvent::Incoming(token));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn acceptor thread");
+    }
+
+    /// Next readiness event, or `None` on timeout.
+    pub fn next_event(&self, timeout: Duration) -> Option<DriverEvent> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Injects a synthetic event (used by timer sources).
+    pub fn inject(&self, ev: DriverEvent) {
+        let _ = self.tx.send(ev);
+    }
+
+    /// Stops acceptor and watcher threads (cooperatively).
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemNet;
+    use std::io::Write;
+
+    #[test]
+    fn incoming_and_readable_events() {
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+
+        let mut client = net.connect("srv").unwrap();
+        let ev = driver.next_event(Duration::from_secs(2)).unwrap();
+        let DriverEvent::Incoming(token) = ev else {
+            panic!("expected Incoming, got {ev:?}");
+        };
+        driver.arm(token);
+        assert!(
+            driver.next_event(Duration::from_millis(50)).is_none(),
+            "no data yet"
+        );
+        client.write_all(b"hello").unwrap();
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::Readable(token))
+        );
+        driver.stop();
+    }
+
+    #[test]
+    fn arm_fires_on_eof() {
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+        let client = net.connect("srv").unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        driver.arm(token);
+        drop(client);
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::Readable(token))
+        );
+        driver.stop();
+    }
+
+    #[test]
+    fn remove_drops_connection() {
+        let driver = Arc::new(ConnDriver::new());
+        let (a, _b) = crate::mem::MemConn::pair();
+        let t = driver.add(Box::new(a));
+        assert_eq!(driver.len(), 1);
+        assert!(driver.remove(t).is_some());
+        assert!(driver.is_empty());
+        assert!(driver.get(t).is_none());
+    }
+
+    #[test]
+    fn inject_synthetic_events() {
+        let driver = ConnDriver::new();
+        driver.inject(DriverEvent::Readable(99));
+        assert_eq!(
+            driver.next_event(Duration::from_millis(10)),
+            Some(DriverEvent::Readable(99))
+        );
+    }
+
+    #[test]
+    fn tcp_fallback_watch() {
+        let acceptor = crate::tcp::TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(acceptor));
+        let mut client = crate::tcp::TcpConn::connect(&addr).unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        driver.arm(token);
+        client.write_all(b"x").unwrap();
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::Readable(token))
+        );
+        driver.stop();
+    }
+}

@@ -1,0 +1,25 @@
+//! # flux-net — network substrate for the Flux servers
+//!
+//! The paper's servers sit on POSIX sockets; this crate abstracts the
+//! transport behind [`Conn`]/[`Listener`]/[`Datagram`] traits with three
+//! implementations:
+//!
+//! * **mem** — a hermetic in-memory transport (duplex pipes, a listener
+//!   registry, datagram sockets) with optional aggregate link shaping,
+//!   so benchmarks are reproducible and can exhibit network saturation;
+//! * **tcp** — real TCP/UDP over `std::net` for examples and interop;
+//! * **driver** — a readiness multiplexer ([`ConnDriver`]) that turns
+//!   accepts and per-connection readability into one event stream, which
+//!   Flux source nodes consume (the paper's select loop).
+
+pub mod driver;
+pub mod mem;
+pub mod shaper;
+pub mod tcp;
+pub mod traits;
+
+pub use driver::{ConnDriver, DriverEvent, SharedConn, Token};
+pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
+pub use shaper::Shaper;
+pub use tcp::{TcpAcceptor, TcpConn, UdpDatagram};
+pub use traits::{read_exact_timeout, Conn, Datagram, Listener};

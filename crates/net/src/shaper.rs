@@ -1,0 +1,120 @@
+//! Link shaping: a shared token bucket that bounds aggregate bytes/sec,
+//! used to reproduce network-saturation behaviour (Figure 4's BitTorrent
+//! throughput plateau) on the in-memory transport.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A blocking token bucket: `consume(n)` waits until `n` byte-tokens are
+/// available. Shared across every connection of a shaped network, so the
+/// bucket's rate is the *link* capacity, not a per-connection cap.
+#[derive(Debug)]
+pub struct Shaper {
+    rate_bytes_per_s: f64,
+    burst_bytes: f64,
+    state: Mutex<BucketState>,
+    cond: Condvar,
+}
+
+impl Shaper {
+    /// Creates a shaper with the given sustained rate; bursts of up to
+    /// 64 KiB (or 10 ms worth of tokens, whichever is larger) pass
+    /// without delay.
+    pub fn new(rate_bytes_per_s: f64) -> Self {
+        let burst_bytes = (rate_bytes_per_s * 0.010).max(64.0 * 1024.0);
+        Shaper {
+            rate_bytes_per_s,
+            burst_bytes,
+            state: Mutex::new(BucketState {
+                tokens: burst_bytes,
+                last_refill: Instant::now(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn refill(&self, s: &mut BucketState) {
+        let now = Instant::now();
+        let dt = now.duration_since(s.last_refill).as_secs_f64();
+        s.tokens = (s.tokens + dt * self.rate_bytes_per_s).min(self.burst_bytes);
+        s.last_refill = now;
+    }
+
+    /// Blocks until `bytes` tokens are consumed.
+    pub fn consume(&self, bytes: usize) {
+        let mut need = bytes as f64;
+        let mut s = self.state.lock();
+        loop {
+            self.refill(&mut s);
+            if s.tokens >= need {
+                s.tokens -= need;
+                return;
+            }
+            // Take what is there and wait for the rest.
+            need -= s.tokens;
+            s.tokens = 0.0;
+            let wait_s = need / self.rate_bytes_per_s;
+            let timeout = Duration::from_secs_f64(wait_s.min(0.050));
+            self.cond.wait_for(&mut s, timeout);
+        }
+    }
+
+    /// The configured sustained rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn burst_passes_instantly() {
+        let s = Shaper::new(1_000_000.0);
+        let t0 = Instant::now();
+        s.consume(10_000);
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sustained_rate_enforced() {
+        // 1 MB/s, ask for ~200 KB beyond the burst: ~200 ms.
+        let s = Shaper::new(1_000_000.0);
+        s.consume(64 * 1024); // drain the burst
+        let t0 = Instant::now();
+        s.consume(200_000);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.15, "took {dt}s, expected ~0.2s");
+        assert!(dt < 0.5, "took {dt}s, expected ~0.2s");
+    }
+
+    #[test]
+    fn shared_across_threads_caps_aggregate() {
+        let s = Arc::new(Shaper::new(2_000_000.0));
+        s.consume(128 * 1024); // drain burst (burst = 64KiB vs 20ms => 40KB; 64KiB)
+        let t0 = Instant::now();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    s.consume(10_000);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // 400 KB at 2 MB/s ≈ 200 ms regardless of thread count.
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.12, "aggregate rate enforced, took {dt}s");
+    }
+}

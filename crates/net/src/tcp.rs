@@ -1,0 +1,266 @@
+//! Real TCP/UDP transports over `std::net`, for examples and
+//! interoperability testing. Benchmarks use the in-memory transport.
+
+use crate::traits::{Conn, Datagram, Listener};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::time::Duration;
+
+/// A TCP connection implementing [`Conn`].
+pub struct TcpConn {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpConn {
+    pub fn new(stream: TcpStream) -> Self {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        TcpConn { stream, peer }
+    }
+
+    /// Connects to `addr` (e.g. `127.0.0.1:8080`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Ok(TcpConn::new(TcpStream::connect(addr)?))
+    }
+}
+
+impl io::Read for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl io::Write for TcpConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+impl Conn for TcpConn {
+    fn peer_addr(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(d)
+    }
+
+    fn wait_readable(&self, timeout: Option<Duration>) -> io::Result<bool> {
+        // `peek` blocks until at least one byte is available or the peer
+        // closes (returns 0); the read timeout bounds the wait.
+        self.stream.set_read_timeout(timeout)?;
+        let mut byte = [0u8; 1];
+        match self.stream.peek(&mut byte) {
+            Ok(_) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(TcpConn {
+            stream: self.stream.try_clone()?,
+            peer: self.peer.clone(),
+        }))
+    }
+
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// A TCP listener implementing [`Listener`]. Accept timeouts are emulated
+/// with a non-blocking accept + sleep loop, since `std` exposes no
+/// `SO_RCVTIMEO` for listeners.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    timeout: Mutex<Option<Duration>>,
+}
+
+impl TcpAcceptor {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpAcceptor {
+            listener,
+            timeout: Mutex::new(None),
+        })
+    }
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        let timeout = *self.timeout.lock();
+        match timeout {
+            None => {
+                self.listener.set_nonblocking(false)?;
+                let (s, _) = self.listener.accept()?;
+                Ok(Box::new(TcpConn::new(s)))
+            }
+            Some(d) => {
+                self.listener.set_nonblocking(true)?;
+                let deadline = std::time::Instant::now() + d;
+                loop {
+                    match self.listener.accept() {
+                        Ok((s, _)) => {
+                            s.set_nonblocking(false)?;
+                            return Ok(Box::new(TcpConn::new(s)));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if std::time::Instant::now() >= deadline {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::TimedOut,
+                                    "accept timed out",
+                                ));
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_accept_timeout(&self, d: Option<Duration>) {
+        *self.timeout.lock() = d;
+    }
+
+    fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into())
+    }
+}
+
+/// A UDP socket implementing [`Datagram`].
+pub struct UdpDatagram {
+    socket: UdpSocket,
+}
+
+impl UdpDatagram {
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(UdpDatagram {
+            socket: UdpSocket::bind(addr)?,
+        })
+    }
+}
+
+impl Datagram for UdpDatagram {
+    fn send_to(&self, buf: &[u8], addr: &str) -> io::Result<usize> {
+        self.socket.send_to(buf, addr)
+    }
+
+    fn recv_from(
+        &self,
+        buf: &mut [u8],
+        timeout: Option<Duration>,
+    ) -> io::Result<Option<(usize, String)>> {
+        self.socket.set_read_timeout(timeout)?;
+        match self.socket.recv_from(buf) {
+            Ok((n, from)) => Ok(Some((n, from.to_string()))),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.socket
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::thread;
+
+    #[test]
+    fn tcp_round_trip() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let t = thread::spawn(move || {
+            let mut c = TcpConn::connect(&addr).unwrap();
+            c.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut server = acceptor.accept().unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        server.write_all(b"pong").unwrap();
+        assert_eq!(&t.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn tcp_accept_timeout() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        acceptor.set_accept_timeout(Some(Duration::from_millis(30)));
+        let err = acceptor.accept().err().unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn tcp_wait_readable() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let t = thread::spawn(move || {
+            let mut c = TcpConn::connect(&addr).unwrap();
+            thread::sleep(Duration::from_millis(30));
+            c.write_all(b"!").unwrap();
+            thread::sleep(Duration::from_millis(50));
+        });
+        let server = acceptor.accept().unwrap();
+        assert!(!server
+            .wait_readable(Some(Duration::from_millis(5)))
+            .unwrap());
+        assert!(server
+            .wait_readable(Some(Duration::from_secs(2)))
+            .unwrap());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let a = UdpDatagram::bind("127.0.0.1:0").unwrap();
+        let b = UdpDatagram::bind("127.0.0.1:0").unwrap();
+        a.send_to(b"tick", &b.local_addr()).unwrap();
+        let mut buf = [0u8; 16];
+        let (n, from) = b
+            .recv_from(&mut buf, Some(Duration::from_secs(1)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(&buf[..n], b"tick");
+        assert_eq!(from, a.local_addr());
+    }
+
+    #[test]
+    fn udp_timeout_returns_none() {
+        let a = UdpDatagram::bind("127.0.0.1:0").unwrap();
+        let mut buf = [0u8; 4];
+        assert!(a
+            .recv_from(&mut buf, Some(Duration::from_millis(20)))
+            .unwrap()
+            .is_none());
+    }
+}

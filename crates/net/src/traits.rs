@@ -1,0 +1,96 @@
+//! Transport abstraction: byte-stream connections and listeners.
+//!
+//! The paper's servers use POSIX sockets directly; this crate puts a thin
+//! trait in front so the same server code runs on real TCP (examples,
+//! interop) and on a hermetic in-memory transport (tests, benchmarks)
+//! with optional link shaping.
+
+use std::io;
+use std::time::Duration;
+
+/// A bidirectional byte stream (one TCP connection or an in-memory
+/// duplex pipe).
+pub trait Conn: io::Read + io::Write + Send {
+    /// Peer address, for logging.
+    fn peer_addr(&self) -> String;
+
+    /// Sets the read timeout (None blocks forever).
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()>;
+
+    /// Blocks until the connection has readable data or has been closed
+    /// by the peer; returns `Ok(true)` in both cases (a subsequent read
+    /// returns data or EOF), `Ok(false)` on timeout.
+    fn wait_readable(&self, timeout: Option<Duration>) -> io::Result<bool>;
+
+    /// Registers a one-shot callback fired as soon as the connection is
+    /// readable (or closed). Returns `false` when the transport cannot
+    /// watch without a thread (TCP); callers then fall back to
+    /// [`Conn::wait_readable`] on a helper thread — exactly the paper's
+    /// select-simulation thread.
+    fn set_read_watch(&self, watch: Box<dyn FnOnce() + Send>) -> bool {
+        let _ = watch;
+        false
+    }
+
+    /// Creates an independent handle to the same connection (for
+    /// concurrent reader/writer threads).
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Closes the write side, signalling EOF to the peer.
+    fn shutdown_write(&mut self) -> io::Result<()>;
+}
+
+/// Accepts incoming connections.
+pub trait Listener: Send {
+    /// Waits for the next connection. With an accept timeout configured,
+    /// returns `ErrorKind::TimedOut` when none arrives in time.
+    fn accept(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Sets the accept timeout (None blocks forever). Sources use this to
+    /// poll their shutdown flag.
+    fn set_accept_timeout(&self, d: Option<Duration>);
+
+    /// The address clients connect to.
+    fn local_addr(&self) -> String;
+}
+
+/// A connectionless datagram socket (UDP or in-memory), used by the game
+/// server's 10 Hz heartbeat protocol.
+pub trait Datagram: Send + Sync {
+    /// Sends one datagram to `addr`.
+    fn send_to(&self, buf: &[u8], addr: &str) -> io::Result<usize>;
+
+    /// Receives one datagram; `Ok(None)` on timeout.
+    fn recv_from(
+        &self,
+        buf: &mut [u8],
+        timeout: Option<Duration>,
+    ) -> io::Result<Option<(usize, String)>>;
+
+    /// The local address peers send to.
+    fn local_addr(&self) -> String;
+}
+
+/// Reads exactly `buf.len()` bytes or fails.
+pub fn read_exact_timeout(
+    conn: &mut dyn Conn,
+    buf: &mut [u8],
+    timeout: Option<Duration>,
+) -> io::Result<()> {
+    conn.set_read_timeout(timeout)?;
+    let mut read = 0;
+    while read < buf.len() {
+        match conn.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-message",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # flux-runtime — runtime systems for Flux programs
+//!
+//! Executes programs compiled by `flux-core` on any of the paper's three
+//! runtime systems (thread-per-flow, thread-pool, event-driven), with the
+//! atomicity-constraint lock manager and optional Ball–Larus path
+//! profiling.
+//!
+//! ```
+//! use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome, FluxServer};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//!
+//! const PROGRAM: &str = "
+//!     Gen () => (int v);
+//!     Double (int v) => (int v);
+//!     Print (int v) => ();
+//!     Flow = Double -> Print;
+//!     source Gen => Flow;
+//! ";
+//!
+//! struct Payload { v: u32 }
+//!
+//! let program = flux_core::compile(PROGRAM).unwrap();
+//! let mut reg: NodeRegistry<Payload> = NodeRegistry::new();
+//! let n = AtomicU32::new(0);
+//! reg.source("Gen", move || {
+//!     match n.fetch_add(1, Ordering::SeqCst) {
+//!         0..=9 => SourceOutcome::New(Payload { v: n.load(Ordering::SeqCst) }),
+//!         _ => SourceOutcome::Shutdown,
+//!     }
+//! });
+//! reg.node("Double", |p: &mut Payload| { p.v *= 2; NodeOutcome::Ok });
+//! reg.node("Print", |_p: &mut Payload| NodeOutcome::Ok);
+//!
+//! let server = std::sync::Arc::new(FluxServer::new(program, reg).unwrap());
+//! let handle = flux_runtime::start(
+//!     server.clone(),
+//!     flux_runtime::RuntimeKind::ThreadPool { workers: 2 },
+//! );
+//! handle.join();
+//! assert_eq!(server.stats.finished(), 10);
+//! ```
+
+pub mod locks;
+pub mod profile;
+pub mod profile_socket;
+pub mod registry;
+pub mod runtimes;
+pub mod server;
+pub mod stats;
+
+pub use locks::{FlowId, LockManager, ReentrantRwLock};
+pub use profile::{HotOrder, HotPath, PathProfiler};
+pub use profile_socket::handle_profile_conn;
+pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
+pub use runtimes::{start, RuntimeKind, ServerHandle};
+pub use server::{FlowCursor, FluxServer, LockWait, Step};
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,0 +1,370 @@
+//! The atomicity-constraint lock manager (paper §2.5).
+//!
+//! Constraints are named reader-writer locks acquired under two-phase
+//! locking in canonical order (the compiler guarantees the order; this
+//! module provides the locks). Three properties distinguish them from
+//! ordinary locks:
+//!
+//! * **Flow-keyed reentrancy.** Ownership belongs to a *flow*, not a
+//!   thread. In the event-driven runtime, consecutive steps of one flow
+//!   may run on different threads while an abstract-node constraint is
+//!   held across them; in the thread runtimes, nested scopes re-acquire
+//!   the same lock. Both work because identity is the flow id.
+//! * **Reader/writer modes.** Multiple readers share; writers exclude.
+//!   Re-acquiring as a reader while holding the writer keeps the writer
+//!   (paper §3.1.1).
+//! * **Session scoping.** A `(session)` constraint maps to one lock per
+//!   session id; program-scoped constraints map to a single lock.
+
+use flux_core::{ConstraintMode, ConstraintScope};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a flow for lock-ownership purposes.
+pub type FlowId = u64;
+
+#[derive(Debug, Default)]
+struct LockState {
+    writer: Option<FlowId>,
+    writer_depth: usize,
+    /// Reader flow id -> re-entrancy depth.
+    readers: HashMap<FlowId, usize>,
+}
+
+impl LockState {
+    fn can_write(&self, flow: FlowId) -> bool {
+        (self.writer.is_none() || self.writer == Some(flow))
+            && self.readers.keys().all(|&r| r == flow)
+    }
+
+    fn can_read(&self, flow: FlowId) -> bool {
+        self.writer.is_none() || self.writer == Some(flow)
+    }
+}
+
+/// A reentrant reader-writer lock keyed by flow id.
+#[derive(Debug, Default)]
+pub struct ReentrantRwLock {
+    state: Mutex<LockState>,
+    cond: Condvar,
+}
+
+impl ReentrantRwLock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires the lock in `mode` for `flow`, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics on read-to-write upgrade by the same flow: the compiler's
+    /// promotion pass makes the first acquisition a writer whenever a
+    /// flow acquires both ways, so an upgrade is a compiler bug, and
+    /// waiting for it would deadlock.
+    pub fn acquire(&self, flow: FlowId, mode: ConstraintMode) {
+        let mut s = self.state.lock();
+        match mode {
+            ConstraintMode::Writer => {
+                assert!(
+                    !(s.readers.contains_key(&flow) && s.writer != Some(flow)),
+                    "read-to-write upgrade (flow {flow}): compiler promotion should prevent this"
+                );
+                while !s.can_write(flow) {
+                    self.cond.wait(&mut s);
+                }
+                s.writer = Some(flow);
+                s.writer_depth += 1;
+            }
+            ConstraintMode::Reader => {
+                if s.writer == Some(flow) {
+                    // Re-acquire as reader while holding writer: keep the
+                    // writer lock (paper §3.1.1).
+                    s.writer_depth += 1;
+                    return;
+                }
+                while !s.can_read(flow) {
+                    self.cond.wait(&mut s);
+                }
+                *s.readers.entry(flow).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Non-blocking acquire; returns whether the lock was taken.
+    pub fn try_acquire(&self, flow: FlowId, mode: ConstraintMode) -> bool {
+        let mut s = self.state.lock();
+        match mode {
+            ConstraintMode::Writer => {
+                if s.readers.contains_key(&flow) && s.writer != Some(flow) {
+                    panic!(
+                        "read-to-write upgrade (flow {flow}): compiler promotion should prevent this"
+                    );
+                }
+                if s.can_write(flow) {
+                    s.writer = Some(flow);
+                    s.writer_depth += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            ConstraintMode::Reader => {
+                if s.writer == Some(flow) {
+                    s.writer_depth += 1;
+                    true
+                } else if s.can_read(flow) {
+                    *s.readers.entry(flow).or_insert(0) += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Releases one acquisition made by `flow` in `mode`.
+    pub fn release(&self, flow: FlowId, mode: ConstraintMode) {
+        let mut s = self.state.lock();
+        let wake = match mode {
+            _ if s.writer == Some(flow) => {
+                // Both writer releases and reader releases made while the
+                // writer was held decrement the writer depth.
+                s.writer_depth -= 1;
+                if s.writer_depth == 0 {
+                    s.writer = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            ConstraintMode::Reader => {
+                let depth = s
+                    .readers
+                    .get_mut(&flow)
+                    .expect("releasing a reader lock the flow does not hold");
+                *depth -= 1;
+                if *depth == 0 {
+                    s.readers.remove(&flow);
+                    true
+                } else {
+                    false
+                }
+            }
+            ConstraintMode::Writer => {
+                panic!("releasing a writer lock the flow does not hold (flow {flow})")
+            }
+        };
+        if wake {
+            drop(s);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Observability hook for tests: (has writer, reader count).
+    pub fn snapshot(&self) -> (bool, usize) {
+        let s = self.state.lock();
+        (s.writer.is_some(), s.readers.len())
+    }
+}
+
+/// Identity of a lock instance: constraint name plus session (None for
+/// program scope).
+pub type LockKey = (String, Option<u64>);
+
+/// Lazily materializes one [`ReentrantRwLock`] per lock key.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: Mutex<HashMap<LockKey, Arc<ReentrantRwLock>>>,
+}
+
+impl LockManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lock instance for `name` under `scope`, given the flow's
+    /// session id. A session-scoped constraint without a session id falls
+    /// back to the program-wide instance (conservative, like the
+    /// simulator's treatment in §5.1).
+    pub fn lock_for(
+        &self,
+        name: &str,
+        scope: ConstraintScope,
+        session: Option<u64>,
+    ) -> Arc<ReentrantRwLock> {
+        let key: LockKey = match (scope, session) {
+            (ConstraintScope::Session, Some(sid)) => (name.to_string(), Some(sid)),
+            _ => (name.to_string(), None),
+        };
+        let mut map = self.locks.lock();
+        map.entry(key).or_default().clone()
+    }
+
+    /// Number of distinct lock instances materialized so far.
+    pub fn len(&self) -> usize {
+        self.locks.lock().len()
+    }
+
+    /// True when no lock instance has been created.
+    pub fn is_empty(&self) -> bool {
+        self.locks.lock().is_empty()
+    }
+}
+
+/// A held lock, recorded so error exits can release everything in
+/// reverse order (two-phase locking's shrink phase).
+#[derive(Clone)]
+pub struct HeldLock {
+    pub lock: Arc<ReentrantRwLock>,
+    pub mode: ConstraintMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn writer_excludes_writer() {
+        let l = Arc::new(ReentrantRwLock::new());
+        l.acquire(1, ConstraintMode::Writer);
+        assert!(!l.try_acquire(2, ConstraintMode::Writer));
+        l.release(1, ConstraintMode::Writer);
+        assert!(l.try_acquire(2, ConstraintMode::Writer));
+    }
+
+    #[test]
+    fn readers_share() {
+        let l = ReentrantRwLock::new();
+        assert!(l.try_acquire(1, ConstraintMode::Reader));
+        assert!(l.try_acquire(2, ConstraintMode::Reader));
+        assert!(!l.try_acquire(3, ConstraintMode::Writer));
+        l.release(1, ConstraintMode::Reader);
+        l.release(2, ConstraintMode::Reader);
+        assert!(l.try_acquire(3, ConstraintMode::Writer));
+    }
+
+    #[test]
+    fn writer_reentrant_same_flow() {
+        let l = ReentrantRwLock::new();
+        l.acquire(7, ConstraintMode::Writer);
+        l.acquire(7, ConstraintMode::Writer);
+        l.release(7, ConstraintMode::Writer);
+        assert!(!l.try_acquire(8, ConstraintMode::Writer), "still held once");
+        l.release(7, ConstraintMode::Writer);
+        assert!(l.try_acquire(8, ConstraintMode::Writer));
+    }
+
+    #[test]
+    fn reader_reacquire_under_writer_keeps_writer() {
+        let l = ReentrantRwLock::new();
+        l.acquire(7, ConstraintMode::Writer);
+        l.acquire(7, ConstraintMode::Reader);
+        // Another reader must still be excluded: the writer is kept.
+        assert!(!l.try_acquire(8, ConstraintMode::Reader));
+        l.release(7, ConstraintMode::Reader);
+        assert!(!l.try_acquire(8, ConstraintMode::Reader));
+        l.release(7, ConstraintMode::Writer);
+        assert!(l.try_acquire(8, ConstraintMode::Reader));
+    }
+
+    #[test]
+    fn reader_reentrant_same_flow() {
+        let l = ReentrantRwLock::new();
+        l.acquire(1, ConstraintMode::Reader);
+        l.acquire(1, ConstraintMode::Reader);
+        l.release(1, ConstraintMode::Reader);
+        assert!(!l.try_acquire(2, ConstraintMode::Writer));
+        l.release(1, ConstraintMode::Reader);
+        assert!(l.try_acquire(2, ConstraintMode::Writer));
+    }
+
+    #[test]
+    #[should_panic(expected = "upgrade")]
+    fn upgrade_panics() {
+        let l = ReentrantRwLock::new();
+        l.acquire(1, ConstraintMode::Reader);
+        l.acquire(1, ConstraintMode::Writer);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_up() {
+        let l = Arc::new(ReentrantRwLock::new());
+        l.acquire(1, ConstraintMode::Writer);
+        let l2 = l.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = done.clone();
+        let h = thread::spawn(move || {
+            l2.acquire(2, ConstraintMode::Writer);
+            d2.store(1, Ordering::SeqCst);
+            l2.release(2, ConstraintMode::Writer);
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "must wait for flow 1");
+        l.release(1, ConstraintMode::Writer);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cross_thread_flow_ownership() {
+        // The same flow id can release on a different thread than it
+        // acquired on — required by the event-driven runtime.
+        let l = Arc::new(ReentrantRwLock::new());
+        l.acquire(42, ConstraintMode::Writer);
+        let l2 = l.clone();
+        thread::spawn(move || {
+            l2.release(42, ConstraintMode::Writer);
+        })
+        .join()
+        .unwrap();
+        assert!(l.try_acquire(43, ConstraintMode::Writer));
+    }
+
+    #[test]
+    fn manager_scopes_sessions() {
+        let m = LockManager::new();
+        let a = m.lock_for("cache", ConstraintScope::Program, Some(1));
+        let b = m.lock_for("cache", ConstraintScope::Program, Some(2));
+        assert!(Arc::ptr_eq(&a, &b), "program scope ignores sessions");
+        let c = m.lock_for("state", ConstraintScope::Session, Some(1));
+        let d = m.lock_for("state", ConstraintScope::Session, Some(2));
+        assert!(!Arc::ptr_eq(&c, &d), "session scope separates sessions");
+        let e = m.lock_for("state", ConstraintScope::Session, None);
+        let f = m.lock_for("state", ConstraintScope::Session, None);
+        assert!(Arc::ptr_eq(&e, &f), "missing session falls back to global");
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn contended_counter_is_consistent() {
+        // N flows increment a plain counter under the writer lock; the
+        // final value proves mutual exclusion.
+        let l = Arc::new(ReentrantRwLock::new());
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut joins = Vec::new();
+        for flow in 0..8u64 {
+            let l = l.clone();
+            let counter = counter.clone();
+            joins.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    l.acquire(flow, ConstraintMode::Writer);
+                    let mut c = counter.lock();
+                    let v = *c;
+                    thread::yield_now();
+                    *c = v + 1;
+                    drop(c);
+                    l.release(flow, ConstraintMode::Writer);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8 * 200);
+    }
+}

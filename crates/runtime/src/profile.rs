@@ -1,0 +1,363 @@
+//! Ball–Larus path profiling at runtime (paper §5.2).
+//!
+//! "Profiling adds just one arithmetic operation and two high-resolution
+//! timer calls to each node." The flow cursor accumulates the Ball–Larus
+//! path sum as it takes edges; at flow end the profiler bumps one counter
+//! and adds the flow's wall time. Per-vertex edge counters and per-node
+//! service timers are also kept so a profiled run can parameterize the
+//! discrete-event simulator (§5.1), exactly as the paper does.
+
+use flux_core::model::{FlowParams, ModelParams};
+use flux_core::{CompiledProgram, FlatVertex, PathInfo};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-path counters for one flow.
+struct FlowProfile {
+    /// Hit count per path id (dense; path counts are small for real
+    /// servers — the BitTorrent peer of Figure 7 has a few dozen).
+    path_count: Vec<AtomicU64>,
+    /// Total flow wall time per path id, in nanoseconds.
+    path_ns: Vec<AtomicU64>,
+    /// Edge counters: `edges[v][k]` counts traversals of vertex `v`'s
+    /// `k`-th out-edge (gives branch and error probabilities).
+    edges: Vec<Vec<AtomicU64>>,
+    /// Per-vertex execution time for `Exec` vertices, in nanoseconds.
+    exec_ns: Vec<AtomicU64>,
+    /// Per-vertex execution count.
+    exec_count: Vec<AtomicU64>,
+    /// Inter-arrival tracking for the source.
+    arrivals: Mutex<ArrivalStats>,
+}
+
+#[derive(Default)]
+struct ArrivalStats {
+    last: Option<Instant>,
+    total_ns: u64,
+    count: u64,
+}
+
+/// Collects path, edge and timing statistics for a running server.
+pub struct PathProfiler {
+    flows: Vec<FlowProfile>,
+    /// Paths beyond this bound are aggregated into the last slot (kept
+    /// tiny in practice; a guard against adversarial programs).
+    overflow: AtomicU64,
+}
+
+/// Dense path-count ceiling per flow; programs with more paths aggregate
+/// the tail (real Flux servers have well under a thousand).
+const MAX_DENSE_PATHS: u64 = 1 << 20;
+
+impl PathProfiler {
+    /// Creates a profiler shaped for `program`.
+    pub fn new(program: &CompiledProgram) -> Self {
+        let flows = program
+            .flows
+            .iter()
+            .map(|flow| {
+                let n_paths = flow.paths.num_paths.min(MAX_DENSE_PATHS) as usize;
+                let n_verts = flow.flat.verts.len();
+                FlowProfile {
+                    path_count: (0..n_paths).map(|_| AtomicU64::new(0)).collect(),
+                    path_ns: (0..n_paths).map(|_| AtomicU64::new(0)).collect(),
+                    edges: flow
+                        .flat
+                        .verts
+                        .iter()
+                        .map(|v| {
+                            (0..v.successors().len())
+                                .map(|_| AtomicU64::new(0))
+                                .collect()
+                        })
+                        .collect(),
+                    exec_ns: (0..n_verts).map(|_| AtomicU64::new(0)).collect(),
+                    exec_count: (0..n_verts).map(|_| AtomicU64::new(0)).collect(),
+                    arrivals: Mutex::new(ArrivalStats::default()),
+                }
+            })
+            .collect();
+        PathProfiler {
+            flows,
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a new flow arrival on flow `fi`.
+    pub fn record_arrival(&self, fi: usize, now: Instant) {
+        let mut a = self.flows[fi].arrivals.lock();
+        if let Some(last) = a.last {
+            a.total_ns += now.duration_since(last).as_nanos() as u64;
+            a.count += 1;
+        }
+        a.last = Some(now);
+    }
+
+    /// Records taking out-edge `k` of vertex `v`.
+    #[inline]
+    pub fn record_edge(&self, fi: usize, v: usize, k: usize) {
+        self.flows[fi].edges[v][k].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one execution of the `Exec` vertex `v` taking `ns`.
+    #[inline]
+    pub fn record_exec(&self, fi: usize, v: usize, ns: u64) {
+        self.flows[fi].exec_ns[v].fetch_add(ns, Ordering::Relaxed);
+        self.flows[fi].exec_count[v].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished flow with its Ball–Larus path sum and duration.
+    pub fn record_path(&self, fi: usize, path_id: u64, ns: u64) {
+        let f = &self.flows[fi];
+        let idx = path_id as usize;
+        if idx < f.path_count.len() {
+            f.path_count[idx].fetch_add(1, Ordering::Relaxed);
+            f.path_ns[idx].fetch_add(ns, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Produces the hot-path report for flow `fi`: every executed path
+    /// with count and mean time, sorted by `order`.
+    pub fn report(
+        &self,
+        program: &CompiledProgram,
+        fi: usize,
+        order: HotOrder,
+    ) -> Vec<HotPath> {
+        let flow = &program.flows[fi];
+        let f = &self.flows[fi];
+        let mut out = Vec::new();
+        for (id, count) in f.path_count.iter().enumerate() {
+            let count = count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let total_ns = f.path_ns[id].load(Ordering::Relaxed);
+            if let Some(info) = flow.paths.path_info(&flow.flat, &program.graph, id as u64) {
+                out.push(HotPath {
+                    info,
+                    count,
+                    total_ns,
+                });
+            }
+        }
+        match order {
+            HotOrder::ByCount => out.sort_by(|a, b| b.count.cmp(&a.count)),
+            HotOrder::ByTotalTime => out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns)),
+            HotOrder::ByMeanTime => out.sort_by(|a, b| {
+                (b.total_ns / b.count.max(1)).cmp(&(a.total_ns / a.count.max(1)))
+            }),
+        }
+        out
+    }
+
+    /// Extracts simulator parameters from the observations, exactly what
+    /// §5.1 feeds CSIM: per-node service means, branch probabilities and
+    /// source inter-arrival times.
+    pub fn observed_params(&self, program: &CompiledProgram) -> ModelParams {
+        let mut params = ModelParams::default();
+        for (fi, flow) in program.flows.iter().enumerate() {
+            let f = &self.flows[fi];
+            let mut fp = FlowParams::default();
+            {
+                let a = f.arrivals.lock();
+                fp.interarrival_mean_s = if a.count > 0 {
+                    a.total_ns as f64 / a.count as f64 / 1e9
+                } else {
+                    0.0
+                };
+            }
+            for (vid, vert) in flow.flat.verts.iter().enumerate() {
+                match vert {
+                    FlatVertex::Exec { .. } => {
+                        let n = f.exec_count[vid].load(Ordering::Relaxed);
+                        let ns = f.exec_ns[vid].load(Ordering::Relaxed);
+                        if n > 0 {
+                            fp.service_mean_s.insert(vid, ns as f64 / n as f64 / 1e9);
+                            let ok = f.edges[vid][0].load(Ordering::Relaxed);
+                            let err = f.edges[vid][1].load(Ordering::Relaxed);
+                            let total = (ok + err).max(1);
+                            fp.error_prob.insert(vid, err as f64 / total as f64);
+                        }
+                    }
+                    FlatVertex::Dispatch { arms, .. } => {
+                        let counts: Vec<u64> = (0..=arms.len())
+                            .map(|k| f.edges[vid][k].load(Ordering::Relaxed))
+                            .collect();
+                        let total: u64 = counts.iter().sum();
+                        if total > 0 {
+                            fp.arm_probs.insert(
+                                vid,
+                                counts[..arms.len()]
+                                    .iter()
+                                    .map(|&c| c as f64 / total as f64)
+                                    .collect(),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            params.flows.push(fp);
+        }
+        params
+    }
+
+    /// Total flows whose path id exceeded the dense table (0 in practice).
+    pub fn overflowed(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Renders a text hot-path report across every flow, at most `limit`
+    /// paths per flow — the payload the paper's profiling socket serves
+    /// to a connected performance analyst (§5.2).
+    pub fn render(&self, program: &CompiledProgram, order: HotOrder, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (fi, flow) in program.flows.iter().enumerate() {
+            let source = program.graph.name(flow.flat.source);
+            let report = self.report(program, fi, order);
+            let _ = writeln!(
+                out,
+                "flow {fi} (source {source}): {} hot path(s), order {order:?}",
+                report.len()
+            );
+            for h in report.iter().take(limit) {
+                let _ = writeln!(
+                    out,
+                    "  {:>10}x  {:>10.3} ms  {:>5.1}%  {}",
+                    h.count,
+                    h.mean_ms(),
+                    100.0 * h.share_of(&report),
+                    h.info.display(&program.graph, &flow.flat)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Sort order for hot-path reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotOrder {
+    /// Most frequently executed first (the paper's 780,510× no-op path).
+    ByCount,
+    /// Largest total time first (share of server execution time).
+    ByTotalTime,
+    /// Most expensive per execution first (the 0.295 ms transfer path).
+    ByMeanTime,
+}
+
+/// One line of a hot-path report.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    pub info: PathInfo,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+impl HotPath {
+    /// Mean time per execution in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// This path's share of the total time across `all` paths (the
+    /// paper's "13% of BitTorrent's execution time").
+    pub fn share_of(&self, all: &[HotPath]) -> f64 {
+        let total: u64 = all.iter().map(|h| h.total_ns).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
+        let prof = PathProfiler::new(&program);
+        prof.record_path(0, 0, 1_000_000);
+        prof.record_path(0, 0, 3_000_000);
+        prof.record_path(0, 1, 500_000);
+        let by_count = prof.report(&program, 0, HotOrder::ByCount);
+        assert_eq!(by_count[0].count, 2);
+        assert!((by_count[0].mean_ms() - 2.0).abs() < 1e-9);
+        let by_time = prof.report(&program, 0, HotOrder::ByTotalTime);
+        assert_eq!(by_time[0].total_ns, 4_000_000);
+        let share = by_time[0].share_of(&by_time);
+        assert!((share - 4.0 / 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_params_reflect_edges() {
+        let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
+        let prof = PathProfiler::new(&program);
+        let flow = &program.flows[0];
+        // Find the dispatch vertex and feed arm counts 3:1.
+        let (dv, arms) = flow
+            .flat
+            .verts
+            .iter()
+            .enumerate()
+            .find_map(|(i, v)| match v {
+                FlatVertex::Dispatch { arms, .. } => Some((i, arms.len())),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(arms, 2);
+        for _ in 0..3 {
+            prof.record_edge(0, dv, 0);
+        }
+        prof.record_edge(0, dv, 1);
+        // Execute one exec vertex with service time 2ms, one error in four.
+        let (ev, _) = flow.flat.execs().next().unwrap();
+        for _ in 0..4 {
+            prof.record_exec(0, ev, 2_000_000);
+        }
+        for _ in 0..3 {
+            prof.record_edge(0, ev, 0);
+        }
+        prof.record_edge(0, ev, 1);
+        let params = prof.observed_params(&program);
+        let fp = &params.flows[0];
+        let probs = &fp.arm_probs[&dv];
+        assert!((probs[0] - 0.75).abs() < 1e-9);
+        assert!((probs[1] - 0.25).abs() < 1e-9);
+        assert!((fp.service_mean_s[&ev] - 0.002).abs() < 1e-12);
+        assert!((fp.error_prob[&ev] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interarrival_mean() {
+        let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
+        let prof = PathProfiler::new(&program);
+        let t0 = Instant::now();
+        prof.record_arrival(0, t0);
+        prof.record_arrival(0, t0 + std::time::Duration::from_millis(10));
+        prof.record_arrival(0, t0 + std::time::Duration::from_millis(30));
+        let params = prof.observed_params(&program);
+        let m = params.flows[0].interarrival_mean_s;
+        assert!((m - 0.015).abs() < 1e-6, "mean of 10ms and 20ms, got {m}");
+    }
+
+    #[test]
+    fn overflow_paths_counted_not_crashed() {
+        let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
+        let prof = PathProfiler::new(&program);
+        prof.record_path(0, u64::MAX, 1);
+        assert_eq!(prof.overflowed(), 1);
+    }
+}

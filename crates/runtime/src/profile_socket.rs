@@ -1,0 +1,184 @@
+//! The profiling socket (paper §5.2).
+//!
+//! "A performance analyst can obtain path profiles from a running Flux
+//! server by connecting to a dedicated socket." This module implements
+//! the per-connection protocol over any bidirectional byte stream, so it
+//! works with real TCP and the hermetic in-memory transport alike (the
+//! accept loop lives beside the servers, in `flux-servers`).
+//!
+//! Protocol: the client sends one command line, the server answers with
+//! a text report and closes.
+//!
+//! | command  | reply                                              |
+//! |----------|----------------------------------------------------|
+//! | `time`   | hot paths by total time (default for an empty line) |
+//! | `count`  | hot paths by execution count                       |
+//! | `mean`   | hot paths by mean per-execution time               |
+//! | `stats`  | flow counters (started/completed/errored/...)      |
+
+use crate::server::FluxServer;
+use crate::HotOrder;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::sync::atomic::Ordering;
+
+/// Maximum hot paths rendered per flow.
+const REPORT_LIMIT: usize = 50;
+
+/// Serves one profiling connection: reads a command line, writes the
+/// report. Returns an error only for transport failures; unknown
+/// commands get a usage message.
+pub fn handle_profile_conn<P: Send + 'static, C: Read + Write>(
+    server: &FluxServer<P>,
+    conn: C,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut conn = reader.into_inner();
+    let cmd = line.trim().to_ascii_lowercase();
+    let reply = match cmd.as_str() {
+        "" | "time" => profile_reply(server, HotOrder::ByTotalTime),
+        "count" => profile_reply(server, HotOrder::ByCount),
+        "mean" => profile_reply(server, HotOrder::ByMeanTime),
+        "stats" => {
+            let s = &server.stats;
+            format!(
+                "started {}\ncompleted {}\nerrored {}\nhandled {}\nnomatch {}\n\
+                 mean_latency_us {}\n",
+                s.started.load(Ordering::Relaxed),
+                s.completed.load(Ordering::Relaxed),
+                s.errored.load(Ordering::Relaxed),
+                s.handled.load(Ordering::Relaxed),
+                s.nomatch.load(Ordering::Relaxed),
+                s.latency.mean().as_micros(),
+            )
+        }
+        other => format!("unknown command `{other}`; try time | count | mean | stats\n"),
+    };
+    conn.write_all(reply.as_bytes())?;
+    conn.flush()
+}
+
+fn profile_reply<P: Send + 'static>(server: &FluxServer<P>, order: HotOrder) -> String {
+    match server.profiler() {
+        Some(prof) => prof.render(server.program(), order, REPORT_LIMIT),
+        None => "profiling is not enabled on this server\n".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{NodeOutcome, NodeRegistry, SourceOutcome};
+    use crate::runtimes::{start, RuntimeKind};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn run_profiled(total: u64) -> Arc<FluxServer<u64>> {
+        let program = flux_core::compile(
+            "Gen () => (int n); Work (int n) => (int n); Out (int n) => ();
+             F = Work -> Out; source Gen => F;",
+        )
+        .unwrap();
+        let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+        let produced = AtomicU64::new(0);
+        reg.source("Gen", move || {
+            let i = produced.fetch_add(1, Ordering::SeqCst);
+            if i >= total {
+                SourceOutcome::Shutdown
+            } else {
+                SourceOutcome::New(i)
+            }
+        });
+        reg.node("Work", |n: &mut u64| {
+            if *n % 10 == 0 {
+                NodeOutcome::Err(1)
+            } else {
+                NodeOutcome::Ok
+            }
+        });
+        reg.node("Out", |_| NodeOutcome::Ok);
+        let server = Arc::new(FluxServer::with_profiling(program, reg).unwrap());
+        start(server.clone(), RuntimeKind::ThreadPool { workers: 2 }).join();
+        server
+    }
+
+    /// An in-memory duplex stream standing in for a socket.
+    struct Duplex {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn ask(server: &FluxServer<u64>, cmd: &str) -> String {
+        let mut conn = Duplex {
+            input: io::Cursor::new(format!("{cmd}\n").into_bytes()),
+            output: Vec::new(),
+        };
+        handle_profile_conn(server, &mut conn).unwrap();
+        String::from_utf8(conn.output).unwrap()
+    }
+
+    #[test]
+    fn count_report_lists_paths_with_counts() {
+        let server = run_profiled(100);
+        let reply = ask(&server, "count");
+        assert!(reply.contains("flow 0 (source Gen)"), "{reply}");
+        assert!(reply.contains("Gen -> Work -> Out"), "{reply}");
+        assert!(reply.contains("90x") || reply.contains("        90"), "{reply}");
+        // The error path appears too (10 injected failures).
+        assert!(reply.contains("ERROR"), "{reply}");
+    }
+
+    #[test]
+    fn stats_report_counts_outcomes() {
+        let server = run_profiled(100);
+        let reply = ask(&server, "stats");
+        assert!(reply.contains("started 100"), "{reply}");
+        assert!(reply.contains("completed 90"), "{reply}");
+        assert!(reply.contains("errored 10"), "{reply}");
+    }
+
+    #[test]
+    fn empty_command_defaults_to_time_order() {
+        let server = run_profiled(50);
+        let reply = ask(&server, "");
+        assert!(reply.contains("ByTotalTime"), "{reply}");
+    }
+
+    #[test]
+    fn unknown_command_gets_usage() {
+        let server = run_profiled(10);
+        let reply = ask(&server, "bogus");
+        assert!(reply.contains("unknown command"), "{reply}");
+    }
+
+    #[test]
+    fn unprofiled_server_reports_disabled() {
+        let program = flux_core::compile(
+            "Gen () => (int n); Out (int n) => (); F = Out; source Gen => F;",
+        )
+        .unwrap();
+        let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+        reg.source("Gen", || SourceOutcome::Shutdown);
+        reg.node("Out", |_| NodeOutcome::Ok);
+        let server = Arc::new(FluxServer::new(program, reg).unwrap());
+        let reply = ask(&server, "time");
+        assert!(reply.contains("not enabled"), "{reply}");
+    }
+}

@@ -1,0 +1,653 @@
+//! The three runtime systems of paper §3.2.
+//!
+//! * **Thread-per-flow** — "a thread is created for every different data
+//!   flow"; high overhead under load, included as the paper's naïve
+//!   baseline.
+//! * **Thread-pool** — "a fixed number of threads are allocated to
+//!   service data flows. If all threads are occupied when a new data
+//!   flow is created, the data flow is queued and handled in first-in
+//!   first-out order."
+//! * **Event-driven** — "every input to a functional node is treated as
+//!   an event ... handled in turn by a single thread." Nodes flagged as
+//!   blocking are off-loaded to an I/O helper pool that posts a
+//!   completion event back to the queue — the moral equivalent of the
+//!   paper's LD_PRELOAD shim plus its select-based callback-simulation
+//!   thread.
+//! * **Staged** — a SEDA-style runtime (paper §3.2.3 reports a prototype
+//!   "that targets Java, using both SEDA and a custom runtime
+//!   implementation"): every concrete node is a stage with its own FIFO
+//!   queue and worker pool; flows hop from stage to stage, giving
+//!   cohort-style batching of each node's executions.
+//!
+//! Because Flux programs are runtime-independent, the same
+//! [`FluxServer`] value runs unchanged on any of the four.
+
+use crate::server::{FlowCursor, FluxServer, LockWait, Step};
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Which runtime to launch (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// One OS thread per flow.
+    ThreadPerFlow,
+    /// Fixed worker pool with a FIFO queue.
+    ThreadPool { workers: usize },
+    /// Single dispatcher thread; blocking nodes off-loaded to `io_workers`
+    /// helpers.
+    EventDriven { io_workers: usize },
+    /// SEDA-style: one FIFO queue + `stage_workers` threads per concrete
+    /// node (paper §3.2.3's SEDA target).
+    Staged { stage_workers: usize },
+}
+
+/// A running server: join it or stop it.
+pub struct ServerHandle<P: Send + 'static> {
+    server: Arc<FluxServer<P>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<P: Send + 'static> ServerHandle<P> {
+    /// The underlying server (stats, profiler, shutdown).
+    pub fn server(&self) -> &Arc<FluxServer<P>> {
+        &self.server
+    }
+
+    /// Requests shutdown and joins every runtime thread. Source
+    /// implementations must return periodically (`SourceOutcome::Skip`
+    /// on a timeout) for this to complete.
+    pub fn stop(self) {
+        self.server.request_shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until all runtime threads exit on their own (sources
+    /// returned `Shutdown`).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts `server` on the chosen runtime.
+pub fn start<P: Send + 'static>(
+    server: Arc<FluxServer<P>>,
+    kind: RuntimeKind,
+) -> ServerHandle<P> {
+    let threads = match kind {
+        RuntimeKind::ThreadPerFlow => start_thread_per_flow(&server),
+        RuntimeKind::ThreadPool { workers } => start_thread_pool(&server, workers.max(1)),
+        RuntimeKind::EventDriven { io_workers } => start_event_driven(&server, io_workers.max(1)),
+        RuntimeKind::Staged { stage_workers } => start_staged(&server, stage_workers.max(1)),
+    };
+    ServerHandle { server, threads }
+}
+
+fn source_loop<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    fi: usize,
+    submit: impl Fn(FlowCursor, P) + Send + 'static,
+) -> JoinHandle<()> {
+    source_loop_counted(server, fi, submit, None)
+}
+
+fn source_loop_counted<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    fi: usize,
+    submit: impl Fn(FlowCursor, P) + Send + 'static,
+    active: Option<Arc<std::sync::atomic::AtomicUsize>>,
+) -> JoinHandle<()> {
+    let server = server.clone();
+    thread::Builder::new()
+        .name(format!("flux-source-{}", server.source_name(fi)))
+        .spawn(move || {
+            loop {
+                match server.poll_source(fi) {
+                    None => break,
+                    Some(None) => continue,
+                    Some(Some((cursor, payload))) => submit(cursor, payload),
+                }
+            }
+            if let Some(active) = active {
+                active.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        })
+        .expect("spawn source thread")
+}
+
+fn start_thread_per_flow<P: Send + 'static>(server: &Arc<FluxServer<P>>) -> Vec<JoinHandle<()>> {
+    (0..server.flow_count())
+        .map(|fi| {
+            let srv = server.clone();
+            source_loop(server, fi, move |cursor, payload| {
+                let srv = srv.clone();
+                // One thread per flow, as in the paper's naive runtime.
+                let _ = thread::Builder::new()
+                    .name("flux-flow".into())
+                    .spawn(move || {
+                        srv.run_flow(cursor, payload);
+                    });
+            })
+        })
+        .collect()
+}
+
+fn start_thread_pool<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    workers: usize,
+) -> Vec<JoinHandle<()>> {
+    let (tx, rx): (Sender<(FlowCursor, P)>, Receiver<(FlowCursor, P)>) = channel::unbounded();
+    let mut threads: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let srv = server.clone();
+            let rx = rx.clone();
+            thread::Builder::new()
+                .name(format!("flux-worker-{i}"))
+                .spawn(move || {
+                    // FIFO: a single shared channel preserves submission
+                    // order across workers.
+                    while let Ok((cursor, payload)) = rx.recv() {
+                        srv.run_flow(cursor, payload);
+                    }
+                })
+                .expect("spawn pool worker")
+        })
+        .collect();
+    for fi in 0..server.flow_count() {
+        let tx = tx.clone();
+        threads.push(source_loop(server, fi, move |cursor, payload| {
+            let _ = tx.send((cursor, payload));
+        }));
+    }
+    // Dropping the original sender here means workers exit when all
+    // source loops have exited and the queue drains.
+    drop(tx);
+    threads
+}
+
+struct Event<P> {
+    cursor: FlowCursor,
+    payload: P,
+}
+
+fn start_event_driven<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    io_workers: usize,
+) -> Vec<JoinHandle<()>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let (main_tx, main_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
+    let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
+    // Sources still running, and flows currently off-loaded to the I/O
+    // pool: the dispatcher may only exit when both reach zero and its
+    // queues are drained.
+    let active_sources = Arc::new(AtomicUsize::new(server.flow_count()));
+    let offloaded = Arc::new(AtomicUsize::new(0));
+
+    let mut threads = Vec::new();
+
+    // I/O helper pool: runs exactly one (blocking) node execution, then
+    // posts the flow back to the main queue — the paper's asynchronous
+    // completion signal.
+    for i in 0..io_workers {
+        let srv = server.clone();
+        let io_rx = io_rx.clone();
+        let main_tx = main_tx.clone();
+        let offloaded = offloaded.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("flux-io-{i}"))
+                .spawn(move || {
+                    while let Ok(mut ev) = io_rx.recv() {
+                        match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Block) {
+                            Step::Done(_) => {}
+                            Step::Continue => {
+                                let _ = main_tx.send(ev);
+                            }
+                            Step::WouldBlock => unreachable!("Block mode"),
+                        }
+                        offloaded.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+                .expect("spawn io worker"),
+        );
+    }
+    drop(io_rx);
+
+    // The single dispatcher: handles each event in turn. A "unit" is
+    // everything up to and including the next node execution, matching
+    // the paper's one-event-per-node-input model while keeping
+    // bookkeeping vertices (locks, dispatch) out of the queue. Events
+    // that must wait (lock contention, fairness re-queues) go to a local
+    // deque so the channel disconnect semantics stay clean.
+    {
+        let srv = server.clone();
+        let active_sources = active_sources.clone();
+        let offloaded = offloaded.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("flux-dispatcher".into())
+                .spawn(move || {
+                    let mut local: std::collections::VecDeque<Event<P>> =
+                        std::collections::VecDeque::new();
+                    let mut blocked_streak = 0usize;
+                    let offload = |ev: Event<P>| {
+                        offloaded.fetch_add(1, Ordering::SeqCst);
+                        let _ = io_tx.send(ev);
+                    };
+                    loop {
+                        // Drain the channel into the local deque, then
+                        // take the oldest event.
+                        while let Ok(ev) = main_rx.try_recv() {
+                            local.push_back(ev);
+                        }
+                        let Some(mut ev) = local.pop_front() else {
+                            if active_sources.load(Ordering::SeqCst) == 0
+                                && offloaded.load(Ordering::SeqCst) == 0
+                                && main_rx.is_empty()
+                            {
+                                return;
+                            }
+                            match main_rx.recv_timeout(Duration::from_millis(5)) {
+                                Ok(ev) => local.push_back(ev),
+                                Err(channel::RecvTimeoutError::Timeout) => {}
+                                Err(channel::RecvTimeoutError::Disconnected) => return,
+                            }
+                            continue;
+                        };
+                        let mut executed_node = false;
+                        loop {
+                            if srv.at_blocking_exec(&ev.cursor) {
+                                offload(ev);
+                                blocked_streak = 0;
+                                break;
+                            }
+                            let at_exec = srv.at_exec(&ev.cursor);
+                            if at_exec && executed_node {
+                                // One node execution per queue turn:
+                                // re-queue for fairness.
+                                local.push_back(ev);
+                                break;
+                            }
+                            match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Try) {
+                                Step::Continue => {
+                                    blocked_streak = 0;
+                                    if at_exec {
+                                        executed_node = true;
+                                    }
+                                }
+                                Step::Done(_) => {
+                                    blocked_streak = 0;
+                                    break;
+                                }
+                                Step::WouldBlock => {
+                                    blocked_streak += 1;
+                                    // Every queued event may be waiting on
+                                    // a lock held by an off-loaded flow;
+                                    // back off instead of spinning.
+                                    if blocked_streak > local.len().max(4) {
+                                        thread::sleep(Duration::from_micros(100));
+                                    }
+                                    local.push_back(ev);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn dispatcher"),
+        );
+    }
+
+    for fi in 0..server.flow_count() {
+        let main_tx = main_tx.clone();
+        threads.push(source_loop_counted(
+            server,
+            fi,
+            move |cursor, payload| {
+                let _ = main_tx.send(Event { cursor, payload });
+            },
+            Some(active_sources.clone()),
+        ));
+    }
+    drop(main_tx);
+    threads
+}
+
+/// The SEDA-style staged runtime: one queue and worker pool per concrete
+/// node. A flow is routed (through lock and dispatch vertices) to the
+/// queue of the next node it must execute; a stage worker runs exactly
+/// that node, then routes the flow onward.
+fn start_staged<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    stage_workers: usize,
+) -> Vec<JoinHandle<()>> {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // One stage per concrete node reachable from any flow.
+    let mut senders: HashMap<usize, Sender<(FlowCursor, P)>> = HashMap::new();
+    let mut receivers: Vec<(usize, Receiver<(FlowCursor, P)>)> = Vec::new();
+    for flow in &server.program().flows {
+        for (_, node) in flow.flat.execs() {
+            senders.entry(node).or_insert_with(|| {
+                let (tx, rx) = channel::unbounded();
+                receivers.push((node, rx));
+                tx
+            });
+        }
+    }
+    let senders = Arc::new(senders);
+    let active_sources = Arc::new(AtomicUsize::new(server.flow_count()));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+
+    // Routes a flow to its next stage, running lock/dispatch vertices
+    // inline; accounts for completion when the flow ends between stages.
+    fn route<P: Send + 'static>(
+        srv: &FluxServer<P>,
+        senders: &HashMap<usize, Sender<(FlowCursor, P)>>,
+        in_flight: &std::sync::atomic::AtomicUsize,
+        mut cursor: FlowCursor,
+        mut payload: P,
+    ) {
+        loop {
+            if let Some(node) = srv.exec_node(&cursor) {
+                let _ = senders[&node].send((cursor, payload));
+                return;
+            }
+            match srv.step(&mut cursor, &mut payload, LockWait::Block) {
+                Step::Continue => {}
+                Step::Done(_) => {
+                    in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    return;
+                }
+                Step::WouldBlock => unreachable!("Block mode"),
+            }
+        }
+    }
+
+    let mut threads = Vec::new();
+    for (node, rx) in receivers {
+        for w in 0..stage_workers {
+            let srv = server.clone();
+            let rx = rx.clone();
+            let senders = senders.clone();
+            let active_sources = active_sources.clone();
+            let in_flight = in_flight.clone();
+            let name = format!("flux-stage-{}-{w}", srv.program().graph.name(node));
+            threads.push(
+                thread::Builder::new()
+                    .name(name)
+                    .spawn(move || loop {
+                        match rx.recv_timeout(Duration::from_millis(5)) {
+                            Ok((mut cursor, mut payload)) => {
+                                // Exactly one node execution, then onward.
+                                match srv.step(&mut cursor, &mut payload, LockWait::Block) {
+                                    Step::Done(_) => {
+                                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                    Step::Continue => {
+                                        route(&srv, &senders, &in_flight, cursor, payload);
+                                    }
+                                    Step::WouldBlock => unreachable!("Block mode"),
+                                }
+                            }
+                            Err(channel::RecvTimeoutError::Timeout) => {
+                                if active_sources.load(Ordering::SeqCst) == 0
+                                    && in_flight.load(Ordering::SeqCst) == 0
+                                {
+                                    return;
+                                }
+                            }
+                            Err(channel::RecvTimeoutError::Disconnected) => return,
+                        }
+                    })
+                    .expect("spawn stage worker"),
+            );
+        }
+    }
+
+    for fi in 0..server.flow_count() {
+        let srv = server.clone();
+        let senders = senders.clone();
+        let in_flight = in_flight.clone();
+        threads.push(source_loop_counted(
+            server,
+            fi,
+            move |cursor, payload| {
+                in_flight.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                route(&srv, &senders, &in_flight, cursor, payload);
+            },
+            Some(active_sources.clone()),
+        ));
+    }
+    threads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{NodeOutcome, NodeRegistry, SourceOutcome};
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct P {
+        n: u64,
+        valid: bool,
+    }
+
+    /// A source that produces `total` flows, then shuts down.
+    fn counting_registry(total: u64, sum: Arc<AtomicU64>) -> NodeRegistry<P> {
+        let mut r = NodeRegistry::new();
+        let produced = AtomicU64::new(0);
+        r.source("Listen", move || {
+            let i = produced.fetch_add(1, Ordering::SeqCst);
+            if i >= total {
+                SourceOutcome::Shutdown
+            } else {
+                SourceOutcome::New(P {
+                    n: i,
+                    valid: i % 2 == 0,
+                })
+            }
+        });
+        r.node("Parse", |_| NodeOutcome::Ok);
+        let s1 = sum.clone();
+        r.node("Respond", move |p: &mut P| {
+            s1.fetch_add(p.n, Ordering::SeqCst);
+            NodeOutcome::Ok
+        });
+        r.node("Retry", |_| NodeOutcome::Ok);
+        r.node("Close", |_| NodeOutcome::Ok);
+        r.node("Oops", |_| NodeOutcome::Ok);
+        r.predicate("IsValid", |p: &P| p.valid);
+        r
+    }
+
+    fn run_on(kind: RuntimeKind, total: u64) -> (u64, u64) {
+        let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
+        let sum = Arc::new(AtomicU64::new(0));
+        let server = Arc::new(
+            crate::server::FluxServer::new(program, counting_registry(total, sum.clone()))
+                .unwrap(),
+        );
+        let handle = start(server.clone(), kind);
+        handle.join();
+        // Event runtime: the dispatcher drains after sources exit; wait
+        // for completion counts.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.stats.finished() < total && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        (server.stats.finished(), sum.load(Ordering::SeqCst))
+    }
+
+    #[test]
+    fn thread_per_flow_completes_all() {
+        let (done, sum) = run_on(RuntimeKind::ThreadPerFlow, 100);
+        assert_eq!(done, 100);
+        assert_eq!(sum, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn thread_pool_completes_all() {
+        let (done, sum) = run_on(RuntimeKind::ThreadPool { workers: 4 }, 500);
+        assert_eq!(done, 500);
+        assert_eq!(sum, (0..500).sum::<u64>());
+    }
+
+    #[test]
+    fn event_driven_completes_all() {
+        let (done, sum) = run_on(RuntimeKind::EventDriven { io_workers: 2 }, 500);
+        assert_eq!(done, 500);
+        assert_eq!(sum, (0..500).sum::<u64>());
+    }
+
+    #[test]
+    fn staged_completes_all() {
+        let (done, sum) = run_on(RuntimeKind::Staged { stage_workers: 2 }, 500);
+        assert_eq!(done, 500);
+        assert_eq!(sum, (0..500).sum::<u64>());
+    }
+
+    /// The staged runtime actually stages: consecutive nodes of one flow
+    /// run on different stage threads.
+    #[test]
+    fn staged_runs_nodes_on_stage_threads() {
+        const SRC: &str = "
+            Gen () => (int v);
+            A (int v) => (int v);
+            B (int v) => ();
+            Flow = A -> B;
+            source Gen => Flow;
+        ";
+        let program = flux_core::compile(SRC).unwrap();
+        let mut r: NodeRegistry<()> = NodeRegistry::new();
+        let produced = AtomicU64::new(0);
+        r.source("Gen", move || {
+            if produced.fetch_add(1, Ordering::SeqCst) >= 50 {
+                SourceOutcome::Shutdown
+            } else {
+                SourceOutcome::New(())
+            }
+        });
+        let names: Arc<Mutex<std::collections::HashSet<String>>> =
+            Arc::new(Mutex::new(std::collections::HashSet::new()));
+        for node in ["A", "B"] {
+            let names = names.clone();
+            r.node(node, move |_| {
+                names
+                    .lock()
+                    .insert(thread::current().name().unwrap_or("?").to_string());
+                NodeOutcome::Ok
+            });
+        }
+        let server = Arc::new(crate::server::FluxServer::new(program, r).unwrap());
+        let handle = start(server.clone(), RuntimeKind::Staged { stage_workers: 1 });
+        handle.join();
+        assert_eq!(server.stats.finished(), 50);
+        let names = names.lock();
+        assert!(
+            names.iter().any(|n| n.starts_with("flux-stage-A")),
+            "{names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.starts_with("flux-stage-B")),
+            "{names:?}"
+        );
+    }
+
+    /// Atomicity constraints must hold on every runtime: concurrent
+    /// increments of an unsynchronized counter stay exact because the
+    /// node is constrained.
+    #[test]
+    fn constraints_serialize_on_all_runtimes() {
+        const SRC: &str = "
+            Gen () => (int v);
+            Bump (int v) => (int v);
+            Done (int v) => ();
+            Flow = Bump -> Done;
+            source Gen => Flow;
+            atomic Bump: {counter};
+        ";
+        for kind in [
+            RuntimeKind::ThreadPerFlow,
+            RuntimeKind::ThreadPool { workers: 8 },
+            RuntimeKind::EventDriven { io_workers: 4 },
+            RuntimeKind::Staged { stage_workers: 4 },
+        ] {
+            let program = flux_core::compile(SRC).unwrap();
+            let total = 150u64;
+            // A deliberately racy counter: read, yield, write.
+            let racy = Arc::new(Mutex::new(0u64));
+            let mut r: NodeRegistry<()> = NodeRegistry::new();
+            let produced = AtomicU64::new(0);
+            r.source("Gen", move || {
+                if produced.fetch_add(1, Ordering::SeqCst) >= total {
+                    SourceOutcome::Shutdown
+                } else {
+                    SourceOutcome::New(())
+                }
+            });
+            let racy2 = racy.clone();
+            // Mark blocking so the event runtime runs these concurrently
+            // on the I/O pool — the constraint must still serialize them.
+            r.node_blocking("Bump", move |_| {
+                let v = *racy2.lock();
+                thread::yield_now();
+                *racy2.lock() = v + 1;
+                NodeOutcome::Ok
+            });
+            r.node("Done", |_| NodeOutcome::Ok);
+            let server =
+                Arc::new(crate::server::FluxServer::new(program, r).unwrap());
+            let handle = start(server.clone(), kind);
+            handle.join();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while server.stats.finished() < total
+                && std::time::Instant::now() < deadline
+            {
+                thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(server.stats.finished(), total, "{kind:?}");
+            assert_eq!(*racy.lock(), total, "{kind:?} must serialize Bump");
+        }
+    }
+
+    /// The §3.1.1 program must not deadlock even with flows hammering
+    /// both lock orders concurrently (the compiler hoisted `x` onto `C`).
+    #[test]
+    fn deadlock_example_does_not_deadlock() {
+        let program = flux_core::compile(flux_core::fixtures::DEADLOCK_EXAMPLE).unwrap();
+        let total = 200u64;
+        let mut r: NodeRegistry<()> = NodeRegistry::new();
+        for src in ["SrcA", "SrcC"] {
+            let produced = AtomicU64::new(0);
+            r.source(src, move || {
+                if produced.fetch_add(1, Ordering::SeqCst) >= total {
+                    SourceOutcome::Shutdown
+                } else {
+                    SourceOutcome::New(())
+                }
+            });
+        }
+        for n in ["B", "D"] {
+            r.node(n, |_| {
+                thread::yield_now();
+                NodeOutcome::Ok
+            });
+        }
+        let server = Arc::new(crate::server::FluxServer::new(program, r).unwrap());
+        let handle = start(server.clone(), RuntimeKind::ThreadPool { workers: 8 });
+        // If lock ordering were wrong this join would hang; the harness
+        // timeout is the failure signal.
+        handle.join();
+        assert_eq!(server.stats.finished(), total * 2);
+    }
+}

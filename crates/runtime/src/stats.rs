@@ -1,0 +1,175 @@
+//! Lightweight concurrent server statistics: flow counts and a
+//! log-scaled latency histogram, cheap enough to stay on in production
+//! (the benchmark harness reads throughput and latency from here).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds; bucket 0 holds `< 2 µs`.
+const BUCKETS: usize = 40;
+
+/// Concurrent latency histogram with power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        let us = (ns / 1_000).max(1);
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let c = self.count();
+        if c == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / c)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from bucket boundaries:
+    /// returns the upper edge of the bucket containing the quantile.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let c = self.count();
+        if c == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((c as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Counters for every way a flow can finish, plus latency.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub started: AtomicU64,
+    pub completed: AtomicU64,
+    pub errored: AtomicU64,
+    pub handled: AtomicU64,
+    pub nomatch: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finished flow.
+    pub fn record_end(&self, outcome: flux_core::EndKind, latency: Duration) {
+        match outcome {
+            flux_core::EndKind::Completed => &self.completed,
+            flux_core::EndKind::Errored { .. } => &self.errored,
+            flux_core::EndKind::Handled { .. } => &self.handled,
+            flux_core::EndKind::NoMatch { .. } => &self.nomatch,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Total finished flows.
+    pub fn finished(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+            + self.errored.load(Ordering::Relaxed)
+            + self.handled.load(Ordering::Relaxed)
+            + self.nomatch.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Duration::from_micros(200));
+        assert_eq!(h.max(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(10));
+        let p50 = h.quantile(0.5);
+        assert!(p50 <= Duration::from_micros(16), "p50 {p50:?}");
+        let p999 = h.quantile(0.999);
+        assert!(p999 >= Duration::from_millis(8), "p99.9 {p999:?}");
+    }
+
+    #[test]
+    fn stats_outcomes_routed() {
+        let s = ServerStats::new();
+        s.record_end(flux_core::EndKind::Completed, Duration::from_micros(5));
+        s.record_end(
+            flux_core::EndKind::Errored { node: 0 },
+            Duration::from_micros(5),
+        );
+        s.record_end(
+            flux_core::EndKind::Handled { node: 0, handler: 1 },
+            Duration::from_micros(5),
+        );
+        assert_eq!(s.completed.load(Ordering::Relaxed), 1);
+        assert_eq!(s.errored.load(Ordering::Relaxed), 1);
+        assert_eq!(s.handled.load(Ordering::Relaxed), 1);
+        assert_eq!(s.finished(), 3);
+    }
+
+    #[test]
+    fn zero_duration_sample() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,20 @@
+//! # flux-servers — the paper's four servers, written in Flux
+//!
+//! Each module embeds its Flux program source (compiled at start-up by
+//! `flux-core`), the Rust node implementations it binds, and a `spawn`
+//! helper. The same server runs unchanged on any of the three runtimes
+//! — the paper's "runtime independence" claim, exercised by the test
+//! suites of every module.
+//!
+//! | module | paper section | style |
+//! |--------|---------------|-------|
+//! | [`web`]   | §4.2 | request-response (HTTP/1.1 + FluxScript) |
+//! | [`image`] | §2, §5.1 | request-response (PPM -> JPEG, LFU cache) |
+//! | [`bt`]    | §4.3 | peer-to-peer (BitTorrent, Figure 7) |
+//! | [`game`]  | §4.4 | heartbeat client-server (Tag at 10 Hz) |
+
+pub mod bt;
+pub mod game;
+pub mod image;
+pub mod profile_service;
+pub mod web;

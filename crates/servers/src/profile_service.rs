@@ -1,0 +1,109 @@
+//! The dedicated profiling socket of §5.2, as a service.
+//!
+//! "A performance analyst can obtain path profiles from a running Flux
+//! server by connecting to a dedicated socket." [`spawn`] attaches that
+//! socket — any [`flux_net::Listener`], real TCP or in-memory — to a
+//! running [`FluxServer`]; each accepted connection is answered by
+//! `flux_runtime::handle_profile_conn` (one command line in, one text
+//! report out).
+
+use flux_net::Listener;
+use flux_runtime::FluxServer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running profiling service; drop-off is explicit via [`stop`].
+pub struct ProfileService {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+/// Serves profiling requests for `server` on `listener` until stopped.
+pub fn spawn<P: Send + 'static>(
+    server: Arc<FluxServer<P>>,
+    listener: Box<dyn Listener>,
+) -> ProfileService {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    listener.set_accept_timeout(Some(Duration::from_millis(50)));
+    let thread = std::thread::Builder::new()
+        .name("flux-profile-socket".into())
+        .spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok(mut conn) => {
+                        let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = flux_runtime::handle_profile_conn(&*server, &mut *conn);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn profile socket thread");
+    ProfileService { stop, thread }
+}
+
+/// Stops the service and joins its thread.
+pub fn stop(service: ProfileService) {
+    service.stop.store(true, Ordering::SeqCst);
+    let _ = service.thread.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_net::MemNet;
+    use flux_runtime::{NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome};
+    use std::io::{Read as _, Write as _};
+    use std::sync::atomic::AtomicU64;
+
+    /// End-to-end §5.2: profile a running server through the socket.
+    #[test]
+    fn analyst_reads_hot_paths_over_the_socket() {
+        let program = flux_core::compile(
+            "Gen () => (int n); Work (int n) => (int n); Out (int n) => ();
+             F = Work -> Out; source Gen => F;",
+        )
+        .unwrap();
+        let total = 120u64;
+        let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+        let produced = AtomicU64::new(0);
+        reg.source("Gen", move || {
+            let i = produced.fetch_add(1, Ordering::SeqCst);
+            if i >= total {
+                SourceOutcome::Shutdown
+            } else {
+                SourceOutcome::New(i)
+            }
+        });
+        reg.node("Work", |_| NodeOutcome::Ok);
+        reg.node("Out", |_| NodeOutcome::Ok);
+        let server =
+            Arc::new(FluxServer::with_profiling(program, reg).expect("registry complete"));
+        let handle = flux_runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 2 });
+
+        let net = MemNet::new();
+        let service = spawn(server.clone(), Box::new(net.listen("profile").unwrap()));
+        handle.join();
+
+        // The analyst connects while the server object is live.
+        let mut conn = net.connect("profile").unwrap();
+        conn.write_all(b"count\n").unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("Gen -> Work -> Out"), "{reply}");
+        assert!(reply.contains("120"), "{reply}");
+
+        // Stats over a fresh connection.
+        let mut conn = net.connect("profile").unwrap();
+        conn.write_all(b"stats\n").unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("completed 120"), "{reply}");
+
+        stop(service);
+    }
+}

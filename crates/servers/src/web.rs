@@ -1,0 +1,391 @@
+//! The Flux web server (paper §4.2): HTTP/1.1 with static files and
+//! FluxScript dynamic pages (the PHP substitute).
+//!
+//! Flux programs are acyclic, so a keep-alive connection is not a loop
+//! in the graph: the `Listen` source multiplexes readiness over all
+//! connections (via [`flux_net::ConnDriver`]) and emits one flow per
+//! ready request; `Complete` either closes the connection or re-arms it
+//! for the next request. This mirrors the paper's web and BitTorrent
+//! servers, whose source nodes select over existing clients.
+
+use flux_core::CompiledProgram;
+use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
+use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
+use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The Flux program, as the paper would write it (~36 lines).
+pub const FLUX_SRC: &str = r#"
+    Listen () => (int token);
+    ReadRequest (int token)
+      => (int token, bool close, http_request *req);
+    RunScript (int token, bool close, http_request *req)
+      => (int token, bool close, http_response *resp);
+    ReadFromDisk (int token, bool close, http_request *req)
+      => (int token, bool close, http_response *resp);
+    Write (int token, bool close, http_response *resp)
+      => (int token, bool close);
+    Complete (int token, bool close) => ();
+    BadRequest (int token) => ();
+    FourOhFour (int token, bool close, http_request *req) => ();
+    FiveHundred (int token, bool close, http_request *req) => ();
+
+    typedef script IsScript;
+
+    source Listen => Page;
+    Page = ReadRequest -> Handler -> Write -> Complete;
+    Handler:[_, _, script] = RunScript;
+    Handler:[_, _, _] = ReadFromDisk;
+
+    handle error ReadRequest => BadRequest;
+    handle error ReadFromDisk => FourOhFour;
+    handle error RunScript => FiveHundred;
+
+    blocking ReadRequest;
+    blocking Write;
+"#;
+
+/// Per-flow payload: the union of fields flowing between nodes, exactly
+/// like the paper's per-flow C struct.
+pub struct WebFlow {
+    pub token: Token,
+    pub close: bool,
+    pub request: Option<Request>,
+    pub response: Option<Response>,
+    conn: Option<SharedConn>,
+}
+
+/// Shared server context captured by the node closures.
+pub struct WebCtx {
+    pub driver: Arc<ConnDriver>,
+    pub docroot: DocRoot,
+    /// Total response bytes written (throughput accounting).
+    pub bytes_out: AtomicU64,
+    /// Requests served (any status).
+    pub requests: AtomicU64,
+}
+
+impl WebCtx {
+    fn conn(&self, token: Token) -> Option<SharedConn> {
+        self.driver.get(token)
+    }
+
+    fn finish(&self, token: Token, close: bool) {
+        if close {
+            self.driver.remove(token);
+        } else {
+            self.driver.arm(token);
+        }
+    }
+
+    fn write_response(&self, flow_conn: &SharedConn, resp: &Response, close: bool) -> bool {
+        let mut conn = flow_conn.lock();
+        let ok = resp.write_to(&mut **conn, !close).is_ok();
+        if ok {
+            self.bytes_out
+                .fetch_add(resp.wire_len(!close) as u64, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+/// Builds the compiled program, node registry and shared context.
+///
+/// `accept_timeout` bounds how long `Listen` blocks before yielding
+/// (`SourceOutcome::Skip`) so shutdown stays responsive.
+pub fn build(
+    listener: Box<dyn Listener>,
+    docroot: DocRoot,
+) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
+    let program = flux_core::compile(FLUX_SRC).expect("web server Flux program compiles");
+    let driver = Arc::new(ConnDriver::new());
+    driver.spawn_acceptor(listener);
+    let ctx = Arc::new(WebCtx {
+        driver,
+        docroot,
+        bytes_out: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+    });
+
+    let mut reg: NodeRegistry<WebFlow> = NodeRegistry::new();
+
+    // Source: the readiness multiplexer. New connections are armed for
+    // their first request; readable connections become flows.
+    let c = ctx.clone();
+    reg.source("Listen", move || {
+        match c.driver.next_event(Duration::from_millis(20)) {
+            None => SourceOutcome::Skip,
+            Some(DriverEvent::Incoming(token)) => {
+                c.driver.arm(token);
+                SourceOutcome::Skip
+            }
+            Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
+                token,
+                close: false,
+                request: None,
+                response: None,
+                conn: c.driver.get(token),
+            }),
+        }
+    });
+
+    let c = ctx.clone();
+    reg.node_blocking("ReadRequest", move |f: &mut WebFlow| {
+        let Some(conn) = f.conn.clone().or_else(|| c.conn(f.token)) else {
+            return NodeOutcome::Err(1); // connection already gone
+        };
+        f.conn = Some(conn.clone());
+        let mut guard = conn.lock();
+        match read_request(&mut **guard) {
+            Ok(req) => {
+                drop(guard);
+                c.requests.fetch_add(1, Ordering::Relaxed);
+                f.close = !req.keep_alive();
+                f.request = Some(req);
+                NodeOutcome::Ok
+            }
+            Err(ParseError::ConnectionClosed) => {
+                drop(guard);
+                c.driver.remove(f.token);
+                NodeOutcome::Err(2)
+            }
+            Err(_) => {
+                drop(guard);
+                NodeOutcome::Err(3)
+            }
+        }
+    });
+
+    reg.predicate("IsScript", |f: &WebFlow| {
+        f.request
+            .as_ref()
+            .is_some_and(|r| r.path.ends_with(".fxs"))
+    });
+
+    let c = ctx.clone();
+    reg.node("ReadFromDisk", move |f: &mut WebFlow| {
+        let req = f.request.as_ref().expect("ReadRequest ran");
+        match c.docroot.get(&req.path) {
+            Some(body) => {
+                f.response = Some(Response::ok(mime_for(&req.path), body.to_vec()));
+                NodeOutcome::Ok
+            }
+            None => NodeOutcome::Err(404),
+        }
+    });
+
+    let c = ctx.clone();
+    reg.node("RunScript", move |f: &mut WebFlow| {
+        let req = f.request.as_ref().expect("ReadRequest ran");
+        let Some(template) = c.docroot.get(&req.path) else {
+            return NodeOutcome::Err(404);
+        };
+        let template = String::from_utf8_lossy(template).into_owned();
+        let mut vars: HashMap<String, Value> = HashMap::new();
+        for (k, v) in req.query_params() {
+            let val = v
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Str(v.clone()));
+            vars.insert(k, val);
+        }
+        match flux_http::fxs_render(&template, &vars) {
+            Ok(html) => {
+                f.response = Some(Response::ok("text/html", html.into_bytes()));
+                NodeOutcome::Ok
+            }
+            Err(_) => NodeOutcome::Err(500),
+        }
+    });
+
+    let c = ctx.clone();
+    reg.node_blocking("Write", move |f: &mut WebFlow| {
+        let resp = f.response.as_ref().expect("handler set a response");
+        let Some(conn) = f.conn.clone() else {
+            return NodeOutcome::Err(1);
+        };
+        if c.write_response(&conn, resp, f.close) {
+            NodeOutcome::Ok
+        } else {
+            f.close = true;
+            NodeOutcome::Ok // delivery failure still completes the flow
+        }
+    });
+
+    let c = ctx.clone();
+    reg.node("Complete", move |f: &mut WebFlow| {
+        c.finish(f.token, f.close);
+        NodeOutcome::Ok
+    });
+
+    // Error handlers write a diagnostic response and close or re-arm.
+    let c = ctx.clone();
+    reg.node("BadRequest", move |f: &mut WebFlow| {
+        if let Some(conn) = f.conn.clone() {
+            let _ = c.write_response(&conn, &Response::error(400), true);
+        }
+        c.driver.remove(f.token);
+        NodeOutcome::Ok
+    });
+    let c = ctx.clone();
+    reg.node("FourOhFour", move |f: &mut WebFlow| {
+        if let Some(conn) = f.conn.clone() {
+            if c.write_response(&conn, &Response::not_found(), f.close) {
+                c.finish(f.token, f.close);
+                return NodeOutcome::Ok;
+            }
+        }
+        c.driver.remove(f.token);
+        NodeOutcome::Ok
+    });
+    let c = ctx.clone();
+    reg.node("FiveHundred", move |f: &mut WebFlow| {
+        if let Some(conn) = f.conn.clone() {
+            if c.write_response(&conn, &Response::error(500), f.close) {
+                c.finish(f.token, f.close);
+                return NodeOutcome::Ok;
+            }
+        }
+        c.driver.remove(f.token);
+        NodeOutcome::Ok
+    });
+
+    (program, reg, ctx)
+}
+
+/// A running Flux web server plus its context.
+pub struct WebServer {
+    pub handle: flux_runtime::ServerHandle<WebFlow>,
+    pub ctx: Arc<WebCtx>,
+}
+
+/// Compiles, binds and starts the web server on the given runtime.
+pub fn spawn(
+    listener: Box<dyn Listener>,
+    docroot: DocRoot,
+    runtime: flux_runtime::RuntimeKind,
+    profile: bool,
+) -> WebServer {
+    let (program, reg, ctx) = build(listener, docroot);
+    let server = if profile {
+        flux_runtime::FluxServer::with_profiling(program, reg)
+    } else {
+        flux_runtime::FluxServer::new(program, reg)
+    }
+    .expect("registry satisfies the program");
+    let handle = flux_runtime::start(Arc::new(server), runtime);
+    WebServer { handle, ctx }
+}
+
+/// Stops a web server: shuts down sources, the driver and runtime.
+pub fn stop(server: WebServer) {
+    server.ctx.driver.stop();
+    server.handle.server().request_shutdown();
+    server.handle.stop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_http::read_response;
+    use flux_net::MemNet;
+    use flux_runtime::RuntimeKind;
+    use std::io::Write;
+
+    fn docroot() -> DocRoot {
+        let mut root = DocRoot::new();
+        root.insert("/index.html", "<h1>home</h1>");
+        root.insert("/a.txt", "alpha");
+        root.insert(
+            "/sum.fxs",
+            "<?fx $t = 0; for ($i = 1; $i <= $n; $i = $i + 1) { $t = $t + $i; } echo $t; ?>",
+        );
+        root.insert("/bad.fxs", "<?fx echo $undefined_variable; ?>");
+        root
+    }
+
+    fn get(net: &Arc<MemNet>, path: &str) -> (u16, Vec<u8>) {
+        let mut conn = net.connect("web").unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        read_response(&mut conn).unwrap()
+    }
+
+    fn run_web_test(runtime: RuntimeKind) {
+        let net = MemNet::new();
+        let listener = net.listen("web").unwrap();
+        let server = spawn(Box::new(listener), docroot(), runtime, false);
+
+        let (status, body) = get(&net, "/index.html");
+        assert_eq!((status, body.as_slice()), (200, b"<h1>home</h1>".as_ref()));
+
+        let (status, body) = get(&net, "/sum.fxs?n=10");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"55");
+
+        let (status, _) = get(&net, "/missing.html");
+        assert_eq!(status, 404);
+
+        let (status, _) = get(&net, "/bad.fxs");
+        assert_eq!(status, 500);
+
+        assert!(server.ctx.requests.load(Ordering::Relaxed) >= 4);
+        stop(server);
+    }
+
+    #[test]
+    fn serves_on_thread_pool() {
+        run_web_test(RuntimeKind::ThreadPool { workers: 4 });
+    }
+
+    #[test]
+    fn serves_on_event_runtime() {
+        run_web_test(RuntimeKind::EventDriven { io_workers: 4 });
+    }
+
+    #[test]
+    fn serves_on_thread_per_flow() {
+        run_web_test(RuntimeKind::ThreadPerFlow);
+    }
+
+    #[test]
+    fn keep_alive_serves_five_requests_per_connection() {
+        let net = MemNet::new();
+        let listener = net.listen("web").unwrap();
+        let server = spawn(
+            Box::new(listener),
+            docroot(),
+            RuntimeKind::ThreadPool { workers: 2 },
+            false,
+        );
+        let mut conn = net.connect("web").unwrap();
+        for i in 0..5 {
+            let last = i == 4;
+            let connection = if last { "close" } else { "keep-alive" };
+            write!(
+                conn,
+                "GET /a.txt HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n\r\n"
+            )
+            .unwrap();
+            let (status, body) = read_response(&mut conn).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, b"alpha");
+        }
+        assert_eq!(server.ctx.requests.load(Ordering::Relaxed), 5);
+        stop(server);
+    }
+
+    #[test]
+    fn program_compiles_and_is_small() {
+        let program = flux_core::compile(FLUX_SRC).unwrap();
+        assert_eq!(program.flows.len(), 1);
+        // Table 1: the paper's web server is 36 lines of Flux.
+        let lines = FLUX_SRC
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//"))
+            .count();
+        assert!(lines <= 40, "Flux web server stays small: {lines} lines");
+    }
+}

@@ -1,0 +1,247 @@
+//! Discrete-event simulation core: the event calendar and the random
+//! distributions the performance model draws from (our CSIM substitute).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time, in seconds.
+pub type SimTime = f64;
+
+/// An entry in the event calendar.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    /// Tie-breaker preserving schedule order at equal times.
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A minimal event calendar: schedule events at absolute times, pop them
+/// in time order.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = if at < self.now { self.now } else { at };
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` seconds.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        let at = self.now + delay.max(0.0);
+        self.schedule_at(at, event);
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn next(&mut self) -> Option<E> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        Some(s.event)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Service/arrival distributions (the paper uses exponential service
+/// times parameterized by observed means, and both open-loop
+/// deterministic and Poisson arrivals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always exactly `mean` (useful for calibration tests).
+    Deterministic(f64),
+    /// Exponential with the given mean.
+    Exponential(f64),
+    /// Uniform over `[lo, hi]`.
+    Uniform(f64, f64),
+}
+
+impl Dist {
+    /// Draws one sample, never negative.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            Dist::Deterministic(m) => m.max(0.0),
+            Dist::Exponential(mean) => {
+                if mean <= 0.0 {
+                    return 0.0;
+                }
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+            Dist::Uniform(lo, hi) => {
+                if hi <= lo {
+                    lo.max(0.0)
+                } else {
+                    rng.gen_range(lo..hi).max(0.0)
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Deterministic(m) => m,
+            Dist::Exponential(m) => m,
+            Dist::Uniform(lo, hi) => (lo + hi) / 2.0,
+        }
+    }
+}
+
+/// Creates a seeded RNG for reproducible simulations.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_pops_in_time_order() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.schedule_at(3.0, 3);
+        c.schedule_at(1.0, 1);
+        c.schedule_at(2.0, 2);
+        assert_eq!(c.next(), Some(1));
+        assert_eq!(c.now(), 1.0);
+        assert_eq!(c.next(), Some(2));
+        assert_eq!(c.next(), Some(3));
+        assert_eq!(c.now(), 3.0);
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn equal_times_preserve_fifo() {
+        let mut c: Calendar<u32> = Calendar::new();
+        for i in 0..10 {
+            c.schedule_at(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(c.next(), Some(i));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut c: Calendar<&str> = Calendar::new();
+        c.schedule_at(10.0, "a");
+        assert_eq!(c.next(), Some("a"));
+        c.schedule_in(5.0, "b");
+        assert_eq!(c.next(), Some("b"));
+        assert_eq!(c.now(), 15.0);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut c: Calendar<&str> = Calendar::new();
+        c.schedule_at(10.0, "a");
+        c.next();
+        c.schedule_at(1.0, "late");
+        assert_eq!(c.next(), Some("late"));
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng(42);
+        let d = Dist::Exponential(2.5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut r = rng(1);
+        assert_eq!(Dist::Deterministic(0.5).sample(&mut r), 0.5);
+        assert_eq!(Dist::Deterministic(-1.0).sample(&mut r), 0.0);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut r = rng(7);
+        let d = Dist::Uniform(1.0, 2.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seeded_rng_reproducible() {
+        let d = Dist::Exponential(1.0);
+        let a: Vec<f64> = {
+            let mut r = rng(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

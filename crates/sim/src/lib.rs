@@ -1,0 +1,33 @@
+//! # flux-sim — discrete-event performance prediction for Flux programs
+//!
+//! The Flux compiler can transform a program into a discrete-event
+//! simulator that predicts server performance under synthetic workloads
+//! and different hardware (paper §5.1, Figure 6). The paper generated
+//! CSIM code; this crate is the executable equivalent: a from-scratch
+//! DES engine that interprets the same flattened flow graphs the
+//! runtimes execute, against a k-server CPU resource and reader-writer
+//! lock resources, parameterized by observed or estimated node service
+//! times, branch probabilities and arrival rates.
+//!
+//! ```
+//! use flux_sim::{FluxSimulation, SimConfig};
+//! use flux_core::model::ModelParams;
+//!
+//! let program = flux_core::compile(flux_core::fixtures::IMAGE_SERVER).unwrap();
+//! let mut params = ModelParams::uniform(&program, 0.001, 0.01);
+//! params.set_node_service(&program, "Compress", 0.05);
+//! params.set_dispatch_probs(&program, "Handler", &[0.7, 0.3]);
+//! let report = FluxSimulation::new(&program, params, SimConfig {
+//!     cpus: 4,
+//!     duration_s: 10.0,
+//!     warmup_s: 1.0,
+//!     ..SimConfig::default()
+//! }).run();
+//! assert!(report.completed > 0);
+//! ```
+
+pub mod engine;
+pub mod model;
+
+pub use engine::{Calendar, Dist, SimTime};
+pub use model::{FluxSimulation, SimConfig, SimReport};

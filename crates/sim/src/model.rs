@@ -1,0 +1,942 @@
+//! The Flux performance model: replays a compiled program's flattened
+//! flows against CPU and lock resources (paper §5.1).
+//!
+//! "CPUs are modeled as resources that each Flux node acquires for a
+//! given amount of time. ... The simulator can model an arbitrary number
+//! of processors by increasing the number of nodes that may
+//! simultaneously acquire the CPU resource. When a node uses a given
+//! atomicity constraint, it treats it as a lock and acquires it for the
+//! duration of the node's execution. While the simulator accurately
+//! models both reader and writer constraints, it conservatively treats
+//! session-level constraints as globals." Disk and network resources
+//! are, as in the paper, not modeled.
+
+use crate::engine::{rng, Calendar, Dist, SimTime};
+use flux_core::model::ModelParams;
+use flux_core::{CompiledProgram, ConstraintMode, ConstraintScope, EndKind, FlatVertex};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processors (k-server CPU resource).
+    pub cpus: usize,
+    /// Simulated duration in seconds (after warmup).
+    pub duration_s: f64,
+    /// Warmup period excluded from statistics.
+    pub warmup_s: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Draw service times from exponential distributions around the
+    /// observed means (the paper's choice); `false` makes them
+    /// deterministic.
+    pub exponential_service: bool,
+    /// Draw inter-arrival gaps from an exponential (Poisson arrivals);
+    /// `false` gives the paper's fixed-rate load tester (one request per
+    /// 1/n seconds).
+    pub poisson_arrivals: bool,
+    /// Model `(session)`-scoped constraints as one lock per session.
+    ///
+    /// The paper's simulator "conservatively treats session-level
+    /// constraints as globals" (§5.1) and lists per-session simulator
+    /// support as future work (§8); this flag implements that extension.
+    /// `false` (the default) reproduces the paper's conservative
+    /// treatment.
+    pub session_aware: bool,
+    /// Number of distinct concurrently-active sessions that arriving
+    /// flows are drawn from (uniformly) when `session_aware` is set.
+    /// Ignored — and no randomness is consumed — when `session_aware` is
+    /// off or `sessions <= 1`, so conservative runs reproduce exactly.
+    pub sessions: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cpus: 1,
+            duration_s: 60.0,
+            warmup_s: 5.0,
+            seed: 0x5eed,
+            exponential_service: true,
+            poisson_arrivals: false,
+            session_aware: false,
+            sessions: 1,
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Flows completed during the measured window.
+    pub completed: u64,
+    /// Flows that ended on an error/no-match path.
+    pub errored: u64,
+    /// Completions per second.
+    pub throughput: f64,
+    /// Mean end-to-end flow latency in seconds.
+    pub mean_latency_s: f64,
+    /// Latency percentiles (p50, p95, p99) in seconds.
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub p99_s: f64,
+    /// Fraction of CPU capacity used during the measured window.
+    pub cpu_utilization: f64,
+    /// Mean number of flows in the system (Little's law check).
+    pub mean_in_flight: f64,
+}
+
+/// Index of a live flow in the simulation's slab.
+type FlowRef = usize;
+
+#[derive(Debug)]
+struct SimFlow {
+    flow_idx: usize,
+    vertex: usize,
+    started: SimTime,
+    acquire_progress: usize,
+    held: Vec<(usize, ConstraintMode)>,
+    /// Session id drawn at arrival; keys `(session)` locks when the
+    /// simulation is session-aware.
+    session: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A new flow arrives from source `flow_idx`.
+    Arrival { flow_idx: usize },
+    /// Process the flow's current vertex.
+    Advance { flow: FlowRef },
+    /// The flow's CPU hold for its current Exec vertex finished.
+    ServiceDone { flow: FlowRef },
+}
+
+#[derive(Debug, Default)]
+struct SimLockState {
+    writer: Option<FlowRef>,
+    writer_depth: usize,
+    readers: HashMap<FlowRef, usize>,
+    waiters: VecDeque<(FlowRef, ConstraintMode)>,
+}
+
+/// The discrete-event simulator for one compiled program.
+pub struct FluxSimulation<'p> {
+    program: &'p CompiledProgram,
+    params: ModelParams,
+    config: SimConfig,
+}
+
+impl<'p> FluxSimulation<'p> {
+    /// Creates a simulation of `program` under `params`.
+    pub fn new(program: &'p CompiledProgram, params: ModelParams, config: SimConfig) -> Self {
+        FluxSimulation {
+            program,
+            params,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(&self) -> SimReport {
+        Runner::new(self.program, &self.params, &self.config).run()
+    }
+}
+
+struct Runner<'p> {
+    program: &'p CompiledProgram,
+    params: &'p ModelParams,
+    cfg: &'p SimConfig,
+    cal: Calendar<Ev>,
+    rng: StdRng,
+    flows: Vec<Option<SimFlow>>,
+    free: Vec<FlowRef>,
+    // Lock table: program-scoped constraints (and, by default, session
+    // ones — the paper's conservative treatment) key on the constraint
+    // name alone (session key 0); with `session_aware`, `(session)`
+    // constraints key on (name, session) with lock states created lazily.
+    name_ids: HashMap<String, usize>,
+    lock_table: HashMap<(usize, u64), usize>,
+    locks: Vec<SimLockState>,
+    // CPU resource.
+    cpu_busy: usize,
+    cpu_queue: VecDeque<FlowRef>,
+    busy_integral: f64,
+    last_busy_change: SimTime,
+    inflight_integral: f64,
+    last_inflight_change: SimTime,
+    in_flight: usize,
+    // Stats (collected only after warmup).
+    completed: u64,
+    errored: u64,
+    latencies: Vec<f64>,
+    end_at: SimTime,
+}
+
+impl<'p> Runner<'p> {
+    fn new(program: &'p CompiledProgram, params: &'p ModelParams, cfg: &'p SimConfig) -> Self {
+        let mut name_ids = HashMap::new();
+        for node in &program.graph.nodes {
+            for c in &node.constraints {
+                let next = name_ids.len();
+                name_ids.entry(c.name.clone()).or_insert(next);
+            }
+        }
+        Runner {
+            program,
+            params,
+            cfg,
+            cal: Calendar::new(),
+            rng: rng(cfg.seed),
+            flows: Vec::new(),
+            free: Vec::new(),
+            name_ids,
+            lock_table: HashMap::new(),
+            locks: Vec::new(),
+            cpu_busy: 0,
+            cpu_queue: VecDeque::new(),
+            busy_integral: 0.0,
+            last_busy_change: 0.0,
+            inflight_integral: 0.0,
+            last_inflight_change: 0.0,
+            in_flight: 0,
+            completed: 0,
+            errored: 0,
+            latencies: Vec::new(),
+            end_at: cfg.warmup_s + cfg.duration_s,
+        }
+    }
+
+    fn arrival_dist(&self, fi: usize) -> Dist {
+        let mean = self.params.flows[fi].interarrival_mean_s;
+        if self.cfg.poisson_arrivals {
+            Dist::Exponential(mean)
+        } else {
+            Dist::Deterministic(mean)
+        }
+    }
+
+    fn service_dist(&self, fi: usize, vid: usize) -> Dist {
+        let mean = self.params.flows[fi]
+            .service_mean_s
+            .get(&vid)
+            .copied()
+            .unwrap_or(0.0);
+        if self.cfg.exponential_service {
+            Dist::Exponential(mean)
+        } else {
+            Dist::Deterministic(mean)
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        for fi in 0..self.program.flows.len() {
+            if self.params.flows[fi].interarrival_mean_s > 0.0 {
+                let d = self.arrival_dist(fi).sample(&mut self.rng);
+                self.cal.schedule_in(d, Ev::Arrival { flow_idx: fi });
+            }
+        }
+        while let Some(ev) = self.cal.next() {
+            if self.cal.now() > self.end_at {
+                break;
+            }
+            match ev {
+                Ev::Arrival { flow_idx } => self.on_arrival(flow_idx),
+                Ev::Advance { flow } => self.advance(flow),
+                Ev::ServiceDone { flow } => self.on_service_done(flow),
+            }
+        }
+        self.report()
+    }
+
+    fn track_busy(&mut self, delta: isize) {
+        let now = self.cal.now();
+        self.busy_integral += self.cpu_busy as f64 * (now - self.last_busy_change).max(0.0);
+        self.last_busy_change = now;
+        self.cpu_busy = (self.cpu_busy as isize + delta) as usize;
+    }
+
+    fn track_inflight(&mut self, delta: isize) {
+        let now = self.cal.now();
+        self.inflight_integral +=
+            self.in_flight as f64 * (now - self.last_inflight_change).max(0.0);
+        self.last_inflight_change = now;
+        self.in_flight = (self.in_flight as isize + delta) as usize;
+    }
+
+    /// The lock-table index for constraint `name` as seen by a flow in
+    /// `session`, honouring the session-awareness configuration.
+    fn lock_index(&mut self, name: &str, scope: ConstraintScope, session: u64) -> usize {
+        let nid = self.name_ids[name];
+        let skey = match scope {
+            ConstraintScope::Session if self.cfg.session_aware => session,
+            _ => 0,
+        };
+        *self.lock_table.entry((nid, skey)).or_insert_with(|| {
+            self.locks.push(SimLockState::default());
+            self.locks.len() - 1
+        })
+    }
+
+    fn on_arrival(&mut self, fi: usize) {
+        // Schedule the next arrival first (open-loop source).
+        let gap = self.arrival_dist(fi).sample(&mut self.rng);
+        self.cal.schedule_in(gap, Ev::Arrival { flow_idx: fi });
+
+        // Only consume randomness when the session actually matters, so
+        // conservative runs reproduce bit-for-bit under the same seed.
+        let session = if self.cfg.session_aware && self.cfg.sessions > 1 {
+            self.rng.gen_range(0..self.cfg.sessions as u64)
+        } else {
+            0
+        };
+        let flow = SimFlow {
+            flow_idx: fi,
+            vertex: self.program.flows[fi].flat.entry,
+            started: self.cal.now(),
+            acquire_progress: 0,
+            held: Vec::new(),
+            session,
+        };
+        let fref = match self.free.pop() {
+            Some(i) => {
+                self.flows[i] = Some(flow);
+                i
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        self.track_inflight(1);
+        self.cal.schedule_in(0.0, Ev::Advance { flow: fref });
+    }
+
+    fn advance(&mut self, fref: FlowRef) {
+        let Some(flow) = self.flows[fref].as_ref() else {
+            return;
+        };
+        let fi = flow.flow_idx;
+        let vid = flow.vertex;
+        let vert = self.program.flows[fi].flat.verts[vid].clone();
+        match vert {
+            FlatVertex::Acquire { node, next } => {
+                let cs = self.program.graph.nodes[node].constraints.clone();
+                let session = self.flows[fref].as_ref().unwrap().session;
+                loop {
+                    let progress = self.flows[fref].as_ref().unwrap().acquire_progress;
+                    if progress >= cs.len() {
+                        let f = self.flows[fref].as_mut().unwrap();
+                        f.acquire_progress = 0;
+                        f.vertex = next;
+                        self.cal.schedule_in(0.0, Ev::Advance { flow: fref });
+                        return;
+                    }
+                    let c = &cs[progress];
+                    let lid = self.lock_index(&c.name, c.scope, session);
+                    if self.try_lock(lid, fref, c.mode) {
+                        let f = self.flows[fref].as_mut().unwrap();
+                        f.held.push((lid, c.mode));
+                        f.acquire_progress += 1;
+                    } else {
+                        self.locks[lid].waiters.push_back((fref, c.mode));
+                        return; // parked; release will re-schedule us
+                    }
+                }
+            }
+            FlatVertex::Release { node, next } => {
+                let n = self.program.graph.nodes[node].constraints.len();
+                for _ in 0..n {
+                    let (lid, mode) = self.flows[fref].as_mut().unwrap().held.pop().unwrap();
+                    self.unlock(lid, fref, mode);
+                }
+                self.flows[fref].as_mut().unwrap().vertex = next;
+                self.cal.schedule_in(0.0, Ev::Advance { flow: fref });
+            }
+            FlatVertex::Exec { .. } => {
+                let mean = self.params.flows[fi]
+                    .service_mean_s
+                    .get(&vid)
+                    .copied()
+                    .unwrap_or(0.0);
+                if mean <= 0.0 {
+                    // Zero-cost nodes do not contend for the CPU.
+                    self.resolve_exec(fref);
+                } else if self.cpu_busy < self.cfg.cpus {
+                    self.grant_cpu(fref);
+                } else {
+                    self.cpu_queue.push_back(fref);
+                }
+            }
+            FlatVertex::Dispatch { arms, on_nomatch, .. } => {
+                let probs = self.params.flows[fi]
+                    .arm_probs
+                    .get(&vid)
+                    .cloned()
+                    .unwrap_or_else(|| vec![1.0 / arms.len() as f64; arms.len()]);
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                let mut acc = 0.0;
+                let mut target = on_nomatch;
+                for (arm, p) in arms.iter().zip(&probs) {
+                    acc += p;
+                    if u < acc {
+                        target = arm.entry;
+                        break;
+                    }
+                }
+                self.flows[fref].as_mut().unwrap().vertex = target;
+                self.cal.schedule_in(0.0, Ev::Advance { flow: fref });
+            }
+            FlatVertex::End { outcome } => {
+                self.finish(fref, outcome);
+            }
+        }
+    }
+
+    fn grant_cpu(&mut self, fref: FlowRef) {
+        self.track_busy(1);
+        let flow = self.flows[fref].as_ref().unwrap();
+        let d = self.service_dist(flow.flow_idx, flow.vertex);
+        let t = d.sample(&mut self.rng);
+        self.cal.schedule_in(t, Ev::ServiceDone { flow: fref });
+    }
+
+    fn on_service_done(&mut self, fref: FlowRef) {
+        self.track_busy(-1);
+        // Hand the CPU to the next queued flow, if any.
+        if let Some(next) = self.cpu_queue.pop_front() {
+            self.grant_cpu(next);
+        }
+        self.resolve_exec(fref);
+    }
+
+    /// Takes the success or error edge out of the flow's current `Exec`
+    /// vertex after its service completed (or was free).
+    fn resolve_exec(&mut self, fref: FlowRef) {
+        let flow = self.flows[fref].as_ref().unwrap();
+        let fi = flow.flow_idx;
+        let vid = flow.vertex;
+        let FlatVertex::Exec { on_ok, on_err, .. } = self.program.flows[fi].flat.verts[vid]
+        else {
+            unreachable!("ServiceDone on a non-exec vertex");
+        };
+        let err_p = self.params.flows[fi]
+            .error_prob
+            .get(&vid)
+            .copied()
+            .unwrap_or(0.0);
+        let errored = err_p > 0.0 && self.rng.gen_range(0.0..1.0) < err_p;
+        if errored {
+            // Two-phase shrink before the handler chain, as at runtime.
+            let held = std::mem::take(&mut self.flows[fref].as_mut().unwrap().held);
+            for (lid, mode) in held.into_iter().rev() {
+                self.unlock(lid, fref, mode);
+            }
+            self.flows[fref].as_mut().unwrap().vertex = on_err;
+        } else {
+            self.flows[fref].as_mut().unwrap().vertex = on_ok;
+        }
+        self.cal.schedule_in(0.0, Ev::Advance { flow: fref });
+    }
+
+    fn finish(&mut self, fref: FlowRef, outcome: EndKind) {
+        let held = std::mem::take(&mut self.flows[fref].as_mut().unwrap().held);
+        for (lid, mode) in held.into_iter().rev() {
+            self.unlock(lid, fref, mode);
+        }
+        let flow = self.flows[fref].take().unwrap();
+        self.free.push(fref);
+        self.track_inflight(-1);
+        if self.cal.now() >= self.cfg.warmup_s {
+            match outcome {
+                EndKind::Completed | EndKind::Handled { .. } => self.completed += 1,
+                EndKind::Errored { .. } | EndKind::NoMatch { .. } => self.errored += 1,
+            }
+            self.latencies.push(self.cal.now() - flow.started);
+        }
+    }
+
+    fn try_lock(&mut self, lid: usize, fref: FlowRef, mode: ConstraintMode) -> bool {
+        let s = &mut self.locks[lid];
+        match mode {
+            ConstraintMode::Writer => {
+                if (s.writer.is_none() || s.writer == Some(fref))
+                    && s.readers.keys().all(|&r| r == fref)
+                {
+                    s.writer = Some(fref);
+                    s.writer_depth += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            ConstraintMode::Reader => {
+                if s.writer == Some(fref) {
+                    s.writer_depth += 1;
+                    true
+                } else if s.writer.is_none() {
+                    *s.readers.entry(fref).or_insert(0) += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn unlock(&mut self, lid: usize, fref: FlowRef, mode: ConstraintMode) {
+        let s = &mut self.locks[lid];
+        let freed = if s.writer == Some(fref) {
+            s.writer_depth -= 1;
+            if s.writer_depth == 0 {
+                s.writer = None;
+                true
+            } else {
+                false
+            }
+        } else {
+            match mode {
+                ConstraintMode::Reader => {
+                    let d = s.readers.get_mut(&fref).expect("reader held");
+                    *d -= 1;
+                    if *d == 0 {
+                        s.readers.remove(&fref);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                ConstraintMode::Writer => unreachable!("writer release without ownership"),
+            }
+        };
+        if freed {
+            // FIFO handoff: wake the head waiter; if it is a reader, wake
+            // the consecutive readers behind it too (they can share). A
+            // woken flow retries its Acquire vertex and re-parks if an
+            // intervening arrival beat it to the lock.
+            let s = &mut self.locks[lid];
+            if let Some((w, m)) = s.waiters.pop_front() {
+                self.cal.schedule_in(0.0, Ev::Advance { flow: w });
+                if m == ConstraintMode::Reader {
+                    while let Some(&(r, ConstraintMode::Reader)) = s.waiters.front() {
+                        s.waiters.pop_front();
+                        self.cal.schedule_in(0.0, Ev::Advance { flow: r });
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(mut self) -> SimReport {
+        let now = self.cal.now().min(self.end_at);
+        self.busy_integral += self.cpu_busy as f64 * (now - self.last_busy_change).max(0.0);
+        self.inflight_integral +=
+            self.in_flight as f64 * (now - self.last_inflight_change).max(0.0);
+        let window = (now - self.cfg.warmup_s).max(1e-9);
+        self.latencies
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |v: &Vec<f64>, q: f64| -> f64 {
+            if v.is_empty() {
+                0.0
+            } else {
+                v[((v.len() as f64 - 1.0) * q).round() as usize]
+            }
+        };
+        let mean = if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+        };
+        SimReport {
+            completed: self.completed,
+            errored: self.errored,
+            throughput: self.completed as f64 / window,
+            mean_latency_s: mean,
+            p50_s: pct(&self.latencies, 0.50),
+            p95_s: pct(&self.latencies, 0.95),
+            p99_s: pct(&self.latencies, 0.99),
+            cpu_utilization: self.busy_integral / (now.max(1e-9) * self.cfg.cpus as f64),
+            mean_in_flight: self.inflight_integral / now.max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_core::model::ModelParams;
+
+    const CHAIN: &str = "
+        Gen () => (int v);
+        Work (int v) => (int v);
+        Out (int v) => ();
+        Flow = Work -> Out;
+        source Gen => Flow;
+    ";
+
+    fn sim(
+        src: &str,
+        edit: impl FnOnce(&CompiledProgram, &mut ModelParams),
+        cfg: SimConfig,
+    ) -> SimReport {
+        let p = flux_core::compile(src).unwrap();
+        let mut params = ModelParams::uniform(&p, 0.0, 0.01);
+        edit(&p, &mut params);
+        FluxSimulation::new(&p, params, cfg).run()
+    }
+
+    /// M/M/1 sanity: λ=50/s, μ=100/s → ρ=0.5, mean sojourn 1/(μ-λ)=20ms.
+    #[test]
+    fn mm1_latency_matches_theory() {
+        let report = sim(
+            CHAIN,
+            |p, m| {
+                m.flows[0].interarrival_mean_s = 0.02;
+                m.set_node_service(p, "Work", 0.01);
+                m.set_node_service(p, "Out", 0.0);
+            },
+            SimConfig {
+                cpus: 1,
+                duration_s: 400.0,
+                warmup_s: 20.0,
+                poisson_arrivals: true,
+                exponential_service: true,
+                ..SimConfig::default()
+            },
+        );
+        assert!((report.cpu_utilization - 0.5).abs() < 0.03, "{report:?}");
+        assert!(
+            (report.mean_latency_s - 0.020).abs() < 0.003,
+            "M/M/1 W = 20ms, got {}",
+            report.mean_latency_s
+        );
+        assert!((report.throughput - 50.0).abs() < 2.0);
+    }
+
+    /// Two CPUs double capacity: at λ=150/s, μ=100/s per CPU the system
+    /// is stable only with 2 CPUs.
+    #[test]
+    fn more_cpus_increase_capacity() {
+        let run = |cpus| {
+            sim(
+                CHAIN,
+                |p, m| {
+                    m.flows[0].interarrival_mean_s = 1.0 / 150.0;
+                    m.set_node_service(p, "Work", 0.01);
+                    m.set_node_service(p, "Out", 0.0);
+                },
+                SimConfig {
+                    cpus,
+                    duration_s: 60.0,
+                    warmup_s: 10.0,
+                    poisson_arrivals: true,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(one.throughput < 110.0, "1 CPU saturates at μ: {one:?}");
+        assert!(two.throughput > 140.0, "2 CPUs keep up: {two:?}");
+        assert!(two.mean_latency_s < one.mean_latency_s / 5.0);
+    }
+
+    /// A writer constraint serializes the constrained node even with many
+    /// CPUs: throughput caps at 1/service.
+    #[test]
+    fn writer_lock_serializes() {
+        const LOCKED: &str = "
+            Gen () => (int v);
+            Work (int v) => (int v);
+            Out (int v) => ();
+            Flow = Work -> Out;
+            source Gen => Flow;
+            atomic Work: {state};
+        ";
+        let report = sim(
+            LOCKED,
+            |p, m| {
+                m.flows[0].interarrival_mean_s = 1.0 / 400.0;
+                m.set_node_service(p, "Work", 0.01);
+                m.set_node_service(p, "Out", 0.0);
+            },
+            SimConfig {
+                cpus: 16,
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                poisson_arrivals: true,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            report.throughput < 115.0,
+            "lock caps at ~100/s, got {}",
+            report.throughput
+        );
+    }
+
+    /// Reader constraints allow parallelism; writers don't.
+    #[test]
+    fn readers_outscale_writers() {
+        const READ: &str = "
+            Gen () => (int v);
+            Work (int v) => (int v);
+            Out (int v) => ();
+            Flow = Work -> Out;
+            source Gen => Flow;
+            atomic Work: {state?};
+        ";
+        const WRITE: &str = "
+            Gen () => (int v);
+            Work (int v) => (int v);
+            Out (int v) => ();
+            Flow = Work -> Out;
+            source Gen => Flow;
+            atomic Work: {state!};
+        ";
+        let cfg = SimConfig {
+            cpus: 8,
+            duration_s: 30.0,
+            warmup_s: 5.0,
+            poisson_arrivals: true,
+            ..SimConfig::default()
+        };
+        let edit = |p: &CompiledProgram, m: &mut ModelParams| {
+            m.flows[0].interarrival_mean_s = 1.0 / 300.0;
+            m.set_node_service(p, "Work", 0.01);
+            m.set_node_service(p, "Out", 0.0);
+        };
+        let r = sim(READ, edit, cfg.clone());
+        let w = sim(WRITE, edit, cfg);
+        assert!(
+            r.throughput > w.throughput * 2.0,
+            "readers {} vs writers {}",
+            r.throughput,
+            w.throughput
+        );
+    }
+
+    /// Dispatch probabilities steer load: with the cheap arm at 100%,
+    /// latency collapses versus the expensive arm at 100%.
+    #[test]
+    fn dispatch_probabilities_respected() {
+        const BRANCHY: &str = "
+            Gen () => (int v);
+            Cheap (int v) => (int v);
+            Costly (int v) => (int v);
+            Out (int v) => ();
+            typedef fast IsFast;
+            Route:[fast] = Cheap;
+            Route:[_] = Costly;
+            Flow = Route -> Out;
+            source Gen => Flow;
+        ";
+        let run = |p_cheap: f64| {
+            sim(
+                BRANCHY,
+                |p, m| {
+                    m.flows[0].interarrival_mean_s = 0.02;
+                    m.set_node_service(p, "Cheap", 0.0001);
+                    m.set_node_service(p, "Costly", 0.015);
+                    m.set_node_service(p, "Out", 0.0);
+                    m.set_dispatch_probs(p, "Route", &[p_cheap, 1.0 - p_cheap]);
+                },
+                SimConfig {
+                    cpus: 1,
+                    duration_s: 120.0,
+                    warmup_s: 10.0,
+                    poisson_arrivals: true,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let cheap = run(1.0);
+        let costly = run(0.0);
+        assert!(cheap.mean_latency_s < costly.mean_latency_s / 10.0);
+    }
+
+    /// Error probability sends flows down the error edge and shortens
+    /// them (no downstream service).
+    #[test]
+    fn error_probability_shortens_flows() {
+        let report = sim(
+            CHAIN,
+            |p, m| {
+                m.flows[0].interarrival_mean_s = 0.02;
+                m.set_node_service(p, "Work", 0.005);
+                m.set_node_service(p, "Out", 0.005);
+                m.set_error_prob(p, "Work", 1.0);
+            },
+            SimConfig {
+                cpus: 1,
+                duration_s: 30.0,
+                warmup_s: 5.0,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(report.completed, 0, "every flow errors");
+        assert!(report.errored > 0);
+        assert!(report.mean_latency_s < 0.012, "no Out service after error");
+    }
+
+    /// Little's law: N = λ·W must hold within simulation noise.
+    #[test]
+    fn littles_law_holds() {
+        let report = sim(
+            CHAIN,
+            |p, m| {
+                m.flows[0].interarrival_mean_s = 0.02;
+                m.set_node_service(p, "Work", 0.012);
+                m.set_node_service(p, "Out", 0.0);
+            },
+            SimConfig {
+                cpus: 1,
+                duration_s: 300.0,
+                warmup_s: 30.0,
+                poisson_arrivals: true,
+                ..SimConfig::default()
+            },
+        );
+        let n = report.mean_in_flight;
+        let lw = report.throughput * report.mean_latency_s;
+        assert!(
+            (n - lw).abs() / lw.max(1e-9) < 0.15,
+            "N={n}, λW={lw}, report={report:?}"
+        );
+    }
+
+    const SESSION_LOCKED: &str = "
+        Gen () => (int v);
+        Work (int v) => (int v);
+        Out (int v) => ();
+        Flow = Work -> Out;
+        source Gen => Flow;
+        atomic Work: {chunks(session)};
+    ";
+
+    fn session_cfg(session_aware: bool, sessions: usize) -> SimConfig {
+        SimConfig {
+            cpus: 8,
+            duration_s: 8.0,
+            warmup_s: 2.0,
+            poisson_arrivals: true,
+            session_aware,
+            sessions,
+            ..SimConfig::default()
+        }
+    }
+
+    fn session_edit(p: &CompiledProgram, m: &mut ModelParams) {
+        m.flows[0].interarrival_mean_s = 1.0 / 400.0;
+        m.set_node_service(p, "Work", 0.01);
+        m.set_node_service(p, "Out", 0.0);
+    }
+
+    /// §5.1: by default session constraints are conservatively global, so
+    /// the session-locked node serializes exactly like a writer lock.
+    #[test]
+    fn conservative_session_treatment_serializes() {
+        let p = flux_core::compile(SESSION_LOCKED).unwrap();
+        let mut m = ModelParams::uniform(&p, 0.0, 0.01);
+        session_edit(&p, &mut m);
+        let r = FluxSimulation::new(&p, m, session_cfg(false, 8)).run();
+        assert!(
+            r.throughput < 115.0,
+            "conservative treatment caps at ~1/service: {r:?}"
+        );
+    }
+
+    /// §8 extension: session-aware simulation lets distinct sessions
+    /// proceed in parallel, lifting throughput toward the CPU bound.
+    #[test]
+    fn session_awareness_restores_parallelism() {
+        let p = flux_core::compile(SESSION_LOCKED).unwrap();
+        let run = |aware: bool, sessions: usize| {
+            let mut m = ModelParams::uniform(&p, 0.0, 0.01);
+            session_edit(&p, &mut m);
+            FluxSimulation::new(&p, m, session_cfg(aware, sessions)).run()
+        };
+        let conservative = run(false, 16);
+        let aware = run(true, 16);
+        assert!(
+            aware.throughput > conservative.throughput * 3.0,
+            "16 sessions on 8 CPUs should roughly track the CPU bound: \
+             aware {} vs conservative {}",
+            aware.throughput,
+            conservative.throughput
+        );
+        // More sessions, more parallelism (up to the CPU count).
+        let few = run(true, 2);
+        assert!(
+            aware.throughput > few.throughput * 1.5,
+            "16 sessions {} vs 2 sessions {}",
+            aware.throughput,
+            few.throughput
+        );
+    }
+
+    /// Program-scoped constraints are unaffected by session awareness.
+    #[test]
+    fn session_awareness_ignores_program_constraints() {
+        const GLOBAL: &str = "
+            Gen () => (int v);
+            Work (int v) => (int v);
+            Out (int v) => ();
+            Flow = Work -> Out;
+            source Gen => Flow;
+            atomic Work: {state};
+        ";
+        let p = flux_core::compile(GLOBAL).unwrap();
+        let mut m = ModelParams::uniform(&p, 0.0, 0.01);
+        session_edit(&p, &mut m);
+        let r = FluxSimulation::new(&p, m, session_cfg(true, 16)).run();
+        assert!(
+            r.throughput < 115.0,
+            "a program-wide writer still serializes: {r:?}"
+        );
+    }
+
+    /// With one session, the session-aware run reproduces the
+    /// conservative run bit-for-bit (no extra randomness is consumed).
+    #[test]
+    fn single_session_matches_conservative_exactly() {
+        let p = flux_core::compile(SESSION_LOCKED).unwrap();
+        let run = |aware: bool| {
+            let mut m = ModelParams::uniform(&p, 0.0, 0.01);
+            session_edit(&p, &mut m);
+            let cfg = SimConfig {
+                duration_s: 10.0,
+                ..session_cfg(aware, 1)
+            };
+            FluxSimulation::new(&p, m, cfg).run()
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+    }
+
+    /// Determinism: same seed, same report.
+    #[test]
+    fn seeded_runs_reproduce() {
+        let go = || {
+            sim(
+                CHAIN,
+                |p, m| {
+                    m.flows[0].interarrival_mean_s = 0.02;
+                    m.set_node_service(p, "Work", 0.01);
+                },
+                SimConfig {
+                    duration_s: 10.0,
+                    warmup_s: 1.0,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the discrete-event simulator: queueing-theory
+//! bounds that must hold for any parameterization, and the session-
+//! awareness equivalence guarantee.
+
+use flux_core::model::ModelParams;
+use flux_core::CompiledProgram;
+use flux_sim::{FluxSimulation, SimConfig};
+use proptest::prelude::*;
+
+const CHAIN: &str = "
+    Gen () => (int v);
+    Work (int v) => (int v);
+    Out (int v) => ();
+    Flow = Work -> Out;
+    source Gen => Flow;
+";
+
+const SESSION_LOCKED: &str = "
+    Gen () => (int v);
+    Work (int v) => (int v);
+    Out (int v) => ();
+    Flow = Work -> Out;
+    source Gen => Flow;
+    atomic Work: {chunks(session)};
+";
+
+fn run(
+    src: &str,
+    service_ms: f64,
+    interarrival_ms: f64,
+    cfg: SimConfig,
+) -> flux_sim::SimReport {
+    let p: CompiledProgram = flux_core::compile(src).unwrap();
+    let mut m = ModelParams::uniform(&p, 0.0, interarrival_ms / 1e3);
+    m.set_node_service(&p, "Work", service_ms / 1e3);
+    m.set_node_service(&p, "Out", 0.0);
+    FluxSimulation::new(&p, m, cfg).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stability bound: for any sub-saturation load, throughput equals
+    /// the arrival rate within simulation noise, utilization is
+    /// lambda x service, and latency is at least the service time.
+    #[test]
+    fn subcritical_throughput_matches_arrivals(
+        service_ms in 1.0f64..8.0,
+        utilization in 0.1f64..0.8,
+        seed in 0u64..1024,
+    ) {
+        let interarrival_ms = service_ms / utilization;
+        let report = run(
+            CHAIN,
+            service_ms,
+            interarrival_ms,
+            SimConfig {
+                cpus: 1,
+                duration_s: 60.0,
+                warmup_s: 10.0,
+                seed,
+                poisson_arrivals: true,
+                exponential_service: true,
+                ..SimConfig::default()
+            },
+        );
+        let lambda = 1e3 / interarrival_ms;
+        prop_assert!(
+            (report.throughput - lambda).abs() / lambda < 0.15,
+            "lambda {lambda}, got {}",
+            report.throughput
+        );
+        prop_assert!(
+            (report.cpu_utilization - utilization).abs() < 0.1,
+            "rho {utilization}, got {}",
+            report.cpu_utilization
+        );
+        prop_assert!(report.mean_latency_s * 1e3 >= service_ms * 0.8);
+        // Little's law within noise.
+        let lw = report.throughput * report.mean_latency_s;
+        prop_assert!(
+            (report.mean_in_flight - lw).abs() / lw.max(1e-9) < 0.3,
+            "N {} vs lambda.W {lw}",
+            report.mean_in_flight
+        );
+    }
+
+    /// M/D/1 never has higher mean waiting time than M/M/1 at the same
+    /// utilization (Pollaczek-Khinchine: deterministic service halves
+    /// the queueing term).
+    #[test]
+    fn deterministic_service_waits_less_than_exponential(
+        utilization in 0.5f64..0.85,
+        seed in 0u64..1024,
+    ) {
+        let service_ms = 4.0;
+        let interarrival_ms = service_ms / utilization;
+        let cfg = |exponential_service| SimConfig {
+            cpus: 1,
+            duration_s: 120.0,
+            warmup_s: 20.0,
+            seed,
+            poisson_arrivals: true,
+            exponential_service,
+            ..SimConfig::default()
+        };
+        let md1 = run(CHAIN, service_ms, interarrival_ms, cfg(false));
+        let mm1 = run(CHAIN, service_ms, interarrival_ms, cfg(true));
+        prop_assert!(
+            md1.mean_latency_s <= mm1.mean_latency_s * 1.15,
+            "M/D/1 {} vs M/M/1 {}",
+            md1.mean_latency_s,
+            mm1.mean_latency_s
+        );
+    }
+
+    /// Session awareness with a single session is bit-for-bit identical
+    /// to the paper's conservative treatment, for any seed and load.
+    #[test]
+    fn single_session_equivalence_for_any_seed(
+        seed in 0u64..4096,
+        service_ms in 1.0f64..10.0,
+        interarrival_ms in 2.0f64..20.0,
+    ) {
+        let cfg = |session_aware| SimConfig {
+            cpus: 4,
+            duration_s: 20.0,
+            warmup_s: 2.0,
+            seed,
+            poisson_arrivals: true,
+            session_aware,
+            sessions: 1,
+            ..SimConfig::default()
+        };
+        let a = run(SESSION_LOCKED, service_ms, interarrival_ms, cfg(false));
+        let b = run(SESSION_LOCKED, service_ms, interarrival_ms, cfg(true));
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        prop_assert_eq!(a.cpu_utilization, b.cpu_utilization);
+    }
+
+    /// More sessions never hurt: session-aware throughput is monotone
+    /// (within noise) in the session count for a session-locked node.
+    #[test]
+    fn session_throughput_monotone(seed in 0u64..512) {
+        let cfg = |sessions| SimConfig {
+            cpus: 8,
+            duration_s: 20.0,
+            warmup_s: 4.0,
+            seed,
+            poisson_arrivals: true,
+            session_aware: true,
+            sessions,
+            ..SimConfig::default()
+        };
+        let few = run(SESSION_LOCKED, 10.0, 2.5, cfg(2));
+        let many = run(SESSION_LOCKED, 10.0, 2.5, cfg(8));
+        prop_assert!(
+            many.throughput >= few.throughput * 0.9,
+            "sessions 8 {} vs sessions 2 {}",
+            many.throughput,
+            few.throughput
+        );
+    }
+}

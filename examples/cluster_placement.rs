@@ -1,0 +1,78 @@
+//! Constraint-guided cluster placement (paper §8 future work).
+//!
+//! ```sh
+//! cargo run --example cluster_placement
+//! ```
+//!
+//! The paper proposes extending Flux to clusters: "because concurrency
+//! constraints identify nodes that share state, we plan to use these
+//! constraints to guide the placement of nodes across a cluster to
+//! minimize communication." This example places the paper's image server
+//! (Figure 2) and the BitTorrent peer (Figure 7) over 2-4 machines and
+//! compares the constraint-guided partitioner against a constraint-blind
+//! round-robin baseline.
+
+use flux::core::model::ModelParams;
+use flux::core::{place, round_robin, PlaceConfig};
+
+fn study(name: &str, src: &str, tune: impl Fn(&flux::core::CompiledProgram, &mut ModelParams)) {
+    let program = flux::core::compile(src).expect("program compiles");
+    let mut params = ModelParams::uniform(&program, 0.001, 0.01);
+    tune(&program, &mut params);
+
+    println!("== {name} ==");
+    for machines in [2usize, 3, 4] {
+        let guided = place(
+            &program,
+            &params,
+            &PlaceConfig {
+                machines,
+                ..PlaceConfig::default()
+            },
+        )
+        .expect("guided placement");
+        let rr = round_robin(&program, &params, machines).expect("baseline placement");
+        println!(
+            "{machines} machines: guided cut {:6.1}/s ({:4.1}%), remote locks {:6.1}/s | \
+             round-robin cut {:6.1}/s ({:4.1}%), remote locks {:6.1}/s",
+            guided.cut_rate,
+            100.0 * guided.cut_fraction(),
+            guided.remote_lock_rate,
+            rr.cut_rate,
+            100.0 * rr.cut_fraction(),
+            rr.remote_lock_rate,
+        );
+        if machines == 2 {
+            print!("{}", guided.render(&program));
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // The image server: hits dominate (86% in the paper's Figure 6
+    // calibration), Compress is the expensive node.
+    study(
+        "image server (Figure 2)",
+        flux::core::fixtures::IMAGE_SERVER,
+        |p, m| {
+            m.set_dispatch_probs(p, "Handler", &[0.86, 0.14]);
+            m.set_node_service(p, "Compress", 0.5);
+        },
+    );
+
+    // The BitTorrent peer: the transfer path dominates traffic; the
+    // request arm of HandleMessage carries most of the message mix
+    // (roughly the §5.2 profile).
+    study(
+        "BitTorrent peer (Figure 7)",
+        flux::servers::bt::FLUX_SRC,
+        |p, m| {
+            m.set_dispatch_probs(
+                p,
+                "HandleMessage",
+                &[0.55, 0.15, 0.08, 0.05, 0.05, 0.04, 0.03, 0.03, 0.01, 0.01],
+            );
+        },
+    );
+}

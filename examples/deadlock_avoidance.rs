@@ -1,0 +1,66 @@
+//! The §3.1.1 deadlock-avoidance walk-through: the compiler detects the
+//! out-of-order nested acquisition, hoists the constraint, warns, and
+//! the resulting server survives a two-sided lock storm that would
+//! deadlock without the fix.
+//!
+//! ```sh
+//! cargo run --example deadlock_avoidance
+//! ```
+
+use flux::core::fixtures::DEADLOCK_EXAMPLE;
+use flux::runtime::{start, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    println!("--- the paper's example ---");
+    println!("{}", DEADLOCK_EXAMPLE.trim());
+    println!();
+
+    let program = flux::core::compile(DEADLOCK_EXAMPLE).expect("compiles");
+    println!("compiler warnings:");
+    for w in &program.warnings {
+        println!("  {w}");
+    }
+    for name in ["A", "B", "C", "D"] {
+        let (_, node) = program.graph.node(name).unwrap();
+        let cs: Vec<String> = node.constraints.iter().map(|c| c.to_string()).collect();
+        println!("  atomic {name}: {{{}}}", cs.join(", "));
+    }
+    println!();
+    println!("C acquired only y in the source; the compiler added x so every");
+    println!("flow locks in canonical (alphabetical) order — no deadlock is possible.");
+    println!();
+
+    // Now hammer both flows concurrently. Without the hoist, flows
+    // through A (lock x then y) and through C (y then x) interleave into
+    // a classic deadly embrace within seconds.
+    let total = 2000u64;
+    let mut reg: NodeRegistry<()> = NodeRegistry::new();
+    for src in ["SrcA", "SrcC"] {
+        let produced = AtomicU64::new(0);
+        reg.source(src, move || {
+            if produced.fetch_add(1, Ordering::SeqCst) >= total {
+                SourceOutcome::Shutdown
+            } else {
+                SourceOutcome::New(())
+            }
+        });
+    }
+    for n in ["B", "D"] {
+        reg.node(n, |_| {
+            std::thread::yield_now();
+            NodeOutcome::Ok
+        });
+    }
+    let server = Arc::new(FluxServer::new(program, reg).expect("registry complete"));
+    let t0 = std::time::Instant::now();
+    let handle = start(server.clone(), RuntimeKind::ThreadPool { workers: 8 });
+    handle.join();
+    println!(
+        "ran {} opposing-order flows on 8 workers in {:?} without deadlock.",
+        server.stats.finished(),
+        t0.elapsed()
+    );
+    assert_eq!(server.stats.finished(), total * 2);
+}

@@ -1,0 +1,88 @@
+//! Performance prediction (§5.1): profile a running Flux server, feed
+//! the observations to the generated discrete-event simulator, and
+//! predict how the same server behaves with more processors — before
+//! buying them.
+//!
+//! ```sh
+//! cargo run --release --example simulate
+//! ```
+
+use flux::runtime::RuntimeKind;
+use flux::servers::image::{build, CompressMode, ImageConfig, ImageSource};
+use flux::sim::{FluxSimulation, SimConfig};
+use flux_core::codegen::{sim::SimGenerator, CodeGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. Run the image server on one worker with profiling on.
+    let service = Duration::from_millis(10);
+    let (program, reg, _ctx) = build(ImageConfig {
+        source: ImageSource::Synthetic {
+            interarrival: Duration::from_millis(50),
+            total: 200,
+        },
+        compress: CompressMode::TimedHold(service),
+        images: 5,
+        image_size: 32,
+        cache_bytes: 12 * 1024 + 512,
+    });
+    println!("profiling a 1-CPU run of the Figure 2 image server...");
+    let server = Arc::new(
+        flux::runtime::FluxServer::with_profiling(program, reg).expect("registry complete"),
+    );
+    let handle = flux::runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 1 });
+    handle.join();
+
+    // 2. Extract the observed parameters (what the paper feeds CSIM).
+    let profiler = server.profiler().expect("profiling enabled");
+    let observed = profiler.observed_params(server.program());
+    println!(
+        "observed: inter-arrival {:.1} ms, cache-hit probability {:.2}",
+        observed.flows[0].interarrival_mean_s * 1e3,
+        observed.flows[0]
+            .arm_probs
+            .values()
+            .next()
+            .map(|v| v[0])
+            .unwrap_or(0.0),
+    );
+
+    // A glimpse of the generated CSIM-style code (Figure 5).
+    let csim = SimGenerator.generate(server.program());
+    println!("--- generated simulator source (excerpt) ---");
+    for line in csim.lines().take(14) {
+        println!("{line}");
+    }
+    println!("...");
+
+    // 3. Predict latency under 4x the load for 1, 2, 4, 8 CPUs.
+    println!();
+    println!("prediction: mean response time at 4x observed load");
+    let mut params = observed.clone();
+    params.flows[0].interarrival_mean_s = observed.flows[0].interarrival_mean_s / 4.0;
+    for cpus in [1usize, 2, 4, 8] {
+        let report = FluxSimulation::new(
+            server.program(),
+            params.clone(),
+            SimConfig {
+                cpus,
+                duration_s: 60.0,
+                warmup_s: 5.0,
+                seed: 1,
+                exponential_service: false,
+                poisson_arrivals: false,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        println!(
+            "  {cpus:>2} CPUs: {:>8.2} ms mean latency, {:>6.1} flows/s, {:>5.1}% CPU",
+            report.mean_latency_s * 1e3,
+            report.throughput,
+            report.cpu_utilization * 100.0
+        );
+    }
+    println!();
+    println!("the contention collapse from 1 to 2 CPUs is exactly what Figure 6 shows.");
+}

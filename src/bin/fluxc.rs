@@ -1,0 +1,299 @@
+//! `fluxc` — the Flux compiler driver.
+//!
+//! The paper's compiler reads a Flux program, type-checks it, applies the
+//! deadlock-avoidance pass, and hands the graph to a pluggable code
+//! generator (§3.1); it can also emit a discrete-event simulator (§5.1)
+//! and path-profiling metadata (§5.2). This binary exposes the same
+//! pipeline from the command line:
+//!
+//! ```text
+//! fluxc check  server.flux              type-check, report warnings
+//! fluxc dot    server.flux              Graphviz DOT of the program graph
+//! fluxc rust   server.flux              runnable Rust skeleton (stubs)
+//! fluxc csim   server.flux              CSIM-style simulator source
+//! fluxc paths  server.flux [--limit N]  Ball-Larus path table per flow
+//! fluxc sim    server.flux [--cpus N] [--duration S] [--service-ms M]
+//!              [--interarrival-ms M] [--sessions N --session-aware]
+//!                                       run the discrete-event simulator
+//! fluxc place  server.flux [--machines K]
+//!                                       constraint-guided cluster placement
+//! ```
+//!
+//! Exit status: 0 on success, 1 on compile errors, 2 on usage errors.
+
+use flux::core::codegen::{dot::DotGenerator, rust::RustGenerator, sim::SimGenerator, CodeGenerator};
+use flux::core::model::ModelParams;
+use flux::core::{place, round_robin, CompiledProgram, PlaceConfig};
+use flux::sim::{FluxSimulation, SimConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fluxc — the Flux compiler (USENIX ATC 2006, reproduced in Rust)
+
+USAGE:
+    fluxc <COMMAND> <FILE.flux> [OPTIONS]
+
+COMMANDS:
+    check    compile and type-check; print warnings and a program summary
+    dot      emit a Graphviz DOT rendering of the program graph (Figure 7)
+    rust     emit a runnable Rust skeleton with node stubs (the paper's
+             generated stubs + Makefile)
+    csim     emit CSIM-style discrete-event simulator source (Figure 5)
+    paths    enumerate Ball-Larus paths for every flow (§5.2)
+    sim      run the discrete-event simulator on a uniform performance
+             model (§5.1)
+    place    compute a constraint-guided cluster placement (§8) and
+             compare it with a round-robin baseline
+
+OPTIONS (sim):
+    --cpus N               processors to model          [default: 1]
+    --duration S           simulated seconds            [default: 30]
+    --service-ms M         mean node service time       [default: 1]
+    --interarrival-ms M    mean flow inter-arrival gap  [default: 10]
+    --sessions N           active sessions              [default: 1]
+    --session-aware        per-session locks for (session) constraints
+
+OPTIONS (paths):
+    --limit N              maximum paths to print per flow [default: 64]
+
+OPTIONS (place):
+    --machines K           cluster machines             [default: 2]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Io(path, e)) => {
+            eprintln!("fluxc: cannot read `{path}`: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Compile(errors)) => {
+            eprintln!("{errors}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    Usage(String),
+    Io(String, std::io::Error),
+    Compile(flux::core::CompileErrors),
+}
+
+/// Parsed `--key value` / `--flag` options.
+struct Options {
+    cpus: usize,
+    duration_s: f64,
+    service_ms: f64,
+    interarrival_ms: f64,
+    sessions: usize,
+    session_aware: bool,
+    machines: usize,
+    limit: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cpus: 1,
+            duration_s: 30.0,
+            service_ms: 1.0,
+            interarrival_ms: 10.0,
+            sessions: 1,
+            session_aware: false,
+            machines: 2,
+            limit: 64,
+        }
+    }
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, CliError> {
+    let mut o = Options::default();
+    let mut it = rest.iter();
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, CliError> {
+        it.next()
+            .ok_or_else(|| CliError::Usage(format!("`{flag}` requires a value")))
+    }
+    fn number<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+        s.parse()
+            .map_err(|_| CliError::Usage(format!("`{flag}` got a malformed value `{s}`")))
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cpus" => o.cpus = number(value(&mut it, a)?, a)?,
+            "--duration" => o.duration_s = number(value(&mut it, a)?, a)?,
+            "--service-ms" => o.service_ms = number(value(&mut it, a)?, a)?,
+            "--interarrival-ms" => o.interarrival_ms = number(value(&mut it, a)?, a)?,
+            "--sessions" => o.sessions = number(value(&mut it, a)?, a)?,
+            "--session-aware" => o.session_aware = true,
+            "--machines" => o.machines = number(value(&mut it, a)?, a)?,
+            "--limit" => o.limit = number(value(&mut it, a)?, a)?,
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<(CompiledProgram, String), CliError> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let program = flux::core::compile(&src).map_err(CliError::Compile)?;
+    Ok((program, src))
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), _) if c == "--help" || c == "-h" || c == "help" => {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return Err(CliError::Usage("expected a command and a file".into())),
+    };
+    let opts = parse_options(&args[2..])?;
+    let (program, source_text) = load(file)?;
+    for w in &program.warnings {
+        eprintln!("{w}");
+    }
+    match cmd {
+        "check" => cmd_check(&program),
+        "dot" => print!("{}", DotGenerator::default().generate(&program)),
+        "rust" => {
+            let gen = RustGenerator {
+                source_text: Some(source_text),
+                ..RustGenerator::default()
+            };
+            print!("{}", gen.generate(&program));
+        }
+        "csim" => print!("{}", SimGenerator::default().generate(&program)),
+        "paths" => cmd_paths(&program, &opts),
+        "sim" => cmd_sim(&program, &opts),
+        "place" => cmd_place(&program, &opts)?,
+        other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+    Ok(())
+}
+
+fn cmd_check(program: &CompiledProgram) {
+    let concrete = program
+        .graph
+        .nodes
+        .iter()
+        .filter(|n| n.is_concrete())
+        .count();
+    let abstract_ = program.graph.nodes.len() - concrete;
+    println!(
+        "ok: {} source flow(s), {concrete} concrete node(s), {abstract_} abstract node(s), \
+         {} predicate type(s), {} warning(s)",
+        program.flows.len(),
+        program.graph.predicates.len(),
+        program.warnings.len(),
+    );
+    for flow in &program.flows {
+        let source = program.graph.name(flow.flat.source);
+        println!(
+            "  source {source}: {} vertices, {} paths",
+            flow.flat.verts.len(),
+            flow.paths.num_paths
+        );
+    }
+    let impls = program.required_nodes();
+    println!("  implement: {}", impls.join(", "));
+    let preds = program.required_predicates();
+    if !preds.is_empty() {
+        println!("  predicates: {}", preds.join(", "));
+    }
+}
+
+fn cmd_paths(program: &CompiledProgram, opts: &Options) {
+    for flow in &program.flows {
+        let source = program.graph.name(flow.flat.source);
+        println!("flow from `{source}`: {} path(s)", flow.paths.num_paths);
+        for p in flow.paths.enumerate(&flow.flat, &program.graph, opts.limit) {
+            println!("  [{:>4}] {}", p.id, p.display(&program.graph, &flow.flat));
+        }
+        if flow.paths.num_paths > opts.limit as u64 {
+            println!("  ... {} more (raise --limit)", flow.paths.num_paths - opts.limit as u64);
+        }
+    }
+}
+
+fn cmd_sim(program: &CompiledProgram, opts: &Options) {
+    let params = ModelParams::uniform(
+        program,
+        opts.service_ms / 1e3,
+        opts.interarrival_ms / 1e3,
+    );
+    let report = FluxSimulation::new(
+        program,
+        params,
+        SimConfig {
+            cpus: opts.cpus,
+            duration_s: opts.duration_s,
+            warmup_s: opts.duration_s / 10.0,
+            session_aware: opts.session_aware,
+            sessions: opts.sessions,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    println!(
+        "simulated {} CPU(s), {:.0}s, service {}ms, interarrival {}ms{}",
+        opts.cpus,
+        opts.duration_s,
+        opts.service_ms,
+        opts.interarrival_ms,
+        if opts.session_aware {
+            format!(", session-aware over {} sessions", opts.sessions)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  throughput {:.1} flows/s, errored {}, cpu {:.1}%",
+        report.throughput,
+        report.errored,
+        100.0 * report.cpu_utilization
+    );
+    println!(
+        "  latency mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.mean_latency_s * 1e3,
+        report.p50_s * 1e3,
+        report.p95_s * 1e3,
+        report.p99_s * 1e3
+    );
+}
+
+fn cmd_place(program: &CompiledProgram, opts: &Options) -> Result<(), CliError> {
+    let params = ModelParams::uniform(
+        program,
+        opts.service_ms / 1e3,
+        opts.interarrival_ms / 1e3,
+    );
+    let cfg = PlaceConfig {
+        machines: opts.machines,
+        ..PlaceConfig::default()
+    };
+    let guided = place(program, &params, &cfg)
+        .map_err(|e| CliError::Usage(format!("placement failed: {e}")))?;
+    let rr = round_robin(program, &params, opts.machines)
+        .map_err(|e| CliError::Usage(format!("placement failed: {e}")))?;
+    print!("{}", guided.render(program));
+    println!(
+        "round-robin baseline: cut {:.1}/s ({:.1}%), remote locks {:.1}/s",
+        rr.cut_rate,
+        100.0 * rr.cut_fraction(),
+        rr.remote_lock_rate
+    );
+    Ok(())
+}

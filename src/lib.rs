@@ -1,0 +1,65 @@
+//! # Flux — a language for programming high-performance servers
+//!
+//! A from-scratch Rust reproduction of *Flux: A Language for Programming
+//! High-Performance Servers* (Burns, Grimaldi, Kostadinov, Berger,
+//! Corner — USENIX ATC 2006). This umbrella crate re-exports the whole
+//! system:
+//!
+//! * [`core`] — the language: parser, type checker, deadlock-avoidance
+//!   constraint analysis, Ball–Larus path numbering, code generators,
+//!   and constraint-guided cluster placement (paper §8).
+//! * [`runtime`] — the four runtimes (thread-per-flow, thread-pool,
+//!   event-driven, staged), the lock manager, the path profiler and the
+//!   §5.2 profiling-socket handler.
+//! * [`sim`] — the discrete-event simulator (the paper's CSIM
+//!   substitute), with optional per-session constraint modeling.
+//! * [`net`], [`http`], [`image`], [`bittorrent`], [`game`] — the
+//!   substrates; [`servers`] — the paper's four servers written in
+//!   Flux; [`baselines`] — the hand-written comparators.
+//!
+//! The `fluxc` binary drives the compiler from the command line over
+//! the `.flux` sources in `programs/`.
+//!
+//! ## Example
+//!
+//! ```
+//! use flux::runtime::{FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let program = flux::core::compile(
+//!     "Gen () => (int n);
+//!      Double (int n) => (int n);
+//!      Print (int n) => ();
+//!      Flow = Double -> Print;
+//!      source Gen => Flow;",
+//! )
+//! .unwrap();
+//!
+//! let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+//! let produced = AtomicU64::new(0);
+//! reg.source("Gen", move || match produced.fetch_add(1, Ordering::SeqCst) {
+//!     0..=9 => SourceOutcome::New(1),
+//!     _ => SourceOutcome::Shutdown,
+//! });
+//! reg.node("Double", |n: &mut u64| {
+//!     *n *= 2;
+//!     NodeOutcome::Ok
+//! });
+//! reg.node("Print", |_| NodeOutcome::Ok);
+//!
+//! let server = Arc::new(FluxServer::new(program, reg).unwrap());
+//! flux::runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 2 }).join();
+//! assert_eq!(server.stats.finished(), 10);
+//! ```
+
+pub use flux_baselines as baselines;
+pub use flux_bittorrent as bittorrent;
+pub use flux_core as core;
+pub use flux_game as game;
+pub use flux_http as http;
+pub use flux_image as image;
+pub use flux_net as net;
+pub use flux_runtime as runtime;
+pub use flux_servers as servers;
+pub use flux_sim as sim;

@@ -1,0 +1,227 @@
+//! Integration tests for the `fluxc` compiler driver.
+//!
+//! Each test drives the real binary (via `CARGO_BIN_EXE_fluxc`) over the
+//! checked-in programs in `programs/`, which are the exact Flux sources
+//! the in-tree servers embed.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn fluxc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fluxc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("fluxc runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn programs_directory_is_complete() {
+    for f in [
+        "programs/figure2_image_server.flux",
+        "programs/image_server.flux",
+        "programs/web_server.flux",
+        "programs/bittorrent.flux",
+        "programs/game_server.flux",
+    ] {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(f).exists(),
+            "{f} missing"
+        );
+    }
+}
+
+#[test]
+fn check_accepts_every_shipped_program() {
+    for f in [
+        "programs/figure2_image_server.flux",
+        "programs/image_server.flux",
+        "programs/web_server.flux",
+        "programs/bittorrent.flux",
+        "programs/game_server.flux",
+    ] {
+        let out = fluxc(&["check", f]);
+        assert!(out.status.success(), "{f}: {}", stderr(&out));
+        assert!(stdout(&out).starts_with("ok:"), "{f}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn check_reports_figure2_shape() {
+    let out = fluxc(&["check", "programs/figure2_image_server.flux"]);
+    let text = stdout(&out);
+    assert!(text.contains("1 source flow(s)"));
+    assert!(text.contains("13 paths"));
+    assert!(text.contains("predicates: TestInCache"));
+}
+
+#[test]
+fn compile_errors_exit_one_with_diagnostics() {
+    let dir = std::env::temp_dir().join("fluxc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.flux");
+    std::fs::write(&bad, "F = A -> B; source S => F;").unwrap();
+    let out = fluxc(&["check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("undefined node `A`"), "{err}");
+    assert!(err.contains("undefined node `B`"), "{err}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = fluxc(&["check", "no/such/file.flux"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = fluxc(&["frobnicate", "programs/web_server.flux"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+    let out = fluxc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = fluxc(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE:"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = fluxc(&["dot", "programs/bittorrent.flux"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("HandleMessage"));
+    assert!(text.contains("->"));
+}
+
+#[test]
+fn rust_emits_stub_skeleton() {
+    let out = fluxc(&["rust", "programs/figure2_image_server.flux"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("fn main()"), "{text}");
+    assert!(text.contains("Compress"));
+    assert!(text.contains("TestInCache"));
+}
+
+#[test]
+fn csim_emits_figure5_shape() {
+    let out = fluxc(&["csim", "programs/figure2_image_server.flux"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("processor->reserve()"));
+    assert!(text.contains("hold(exponential("));
+}
+
+#[test]
+fn paths_lists_hot_path_candidates() {
+    let out = fluxc(&["paths", "programs/bittorrent.flux", "--limit", "2000"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // The famous §5.2 no-work path exists in the enumeration.
+    assert!(
+        text.contains("Listen -> GetClients -> SelectSockets -> CheckSockets -> ERROR"),
+        "{text}"
+    );
+    // All four sources enumerated.
+    for src in ["Listen", "TrackerTimer", "ChokeTimer", "KeepAliveTimer"] {
+        assert!(text.contains(&format!("flow from `{src}`")), "{src}");
+    }
+}
+
+#[test]
+fn sim_reports_throughput_and_latency() {
+    let out = fluxc(&[
+        "sim",
+        "programs/figure2_image_server.flux",
+        "--cpus",
+        "2",
+        "--duration",
+        "5",
+        "--service-ms",
+        "1",
+        "--interarrival-ms",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("throughput"), "{text}");
+    assert!(text.contains("latency mean"), "{text}");
+}
+
+#[test]
+fn sim_session_aware_flag_accepted() {
+    let dir = std::env::temp_dir().join("fluxc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("session.flux");
+    std::fs::write(
+        &prog,
+        "Gen () => (int v); Work (int v) => (); F = Work;
+         source Gen => F; atomic Work: {chunks(session)};",
+    )
+    .unwrap();
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "sim",
+            prog.to_str().unwrap(),
+            "--cpus",
+            "4",
+            "--duration",
+            "5",
+            "--interarrival-ms",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        let out = fluxc(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    let conservative = run(&[]);
+    let aware = run(&["--session-aware", "--sessions", "8"]);
+    assert!(!conservative.contains("session-aware"));
+    assert!(aware.contains("session-aware over 8 sessions"), "{aware}");
+}
+
+#[test]
+fn place_reports_guided_and_baseline() {
+    let out = fluxc(&["place", "programs/bittorrent.flux", "--machines", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("placement over 3 machines"));
+    assert!(text.contains("remote-lock rate 0.0/s"));
+    assert!(text.contains("round-robin baseline"));
+}
+
+#[test]
+fn warnings_go_to_stderr_and_do_not_fail() {
+    let dir = std::env::temp_dir().join("fluxc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let hoist = dir.join("hoist.flux");
+    std::fs::write(
+        &hoist,
+        "B (int v) => (int v); D (int v) => (int v);
+         SrcA () => (int v); SrcC () => (int v);
+         A = B; C = D;
+         source SrcA => A; source SrcC => C;
+         atomic A: {x}; atomic B: {y}; atomic C: {y}; atomic D: {x};",
+    )
+    .unwrap();
+    let out = fluxc(&["check", hoist.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("hoisted"), "{}", stderr(&out));
+}
