@@ -63,12 +63,13 @@ impl HandGameServer {
                                     world.lock().leave(player);
                                     clients.lock().remove(&player);
                                 }
-                                Some(ClientMsg::Move(m)) => {
-                                    if clients.lock().contains_key(&m.player) {
-                                        world.lock().apply_move(m);
-                                        stats.moves_applied.fetch_add(1, Ordering::Relaxed);
-                                    }
+                                Some(ClientMsg::Move(m))
+                                    if clients.lock().contains_key(&m.player) =>
+                                {
+                                    world.lock().apply_move(m);
+                                    stats.moves_applied.fetch_add(1, Ordering::Relaxed);
                                 }
+                                Some(ClientMsg::Move(_)) => {}
                                 None => {}
                             }
                         }

@@ -169,7 +169,11 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, b"<h1>knot</h1>");
 
-        write!(conn, "GET /calc.fxs?a=6&b=7 HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /calc.fxs?a=6&b=7 HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let (status, body) = read_response(&mut conn).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, b"42");

@@ -227,7 +227,11 @@ mod tests {
         let server = SedaServer::start(Box::new(listener), docroot, SedaConfig::default());
 
         let mut conn = net.connect("seda").unwrap();
-        write!(conn, "GET /index.html HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /index.html HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"
+        )
+        .unwrap();
         let (status, body) = read_response(&mut conn).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, b"<h1>seda</h1>");
@@ -246,8 +250,7 @@ mod tests {
     fn missing_file_404s() {
         let net = MemNet::new();
         let listener = net.listen("seda2").unwrap();
-        let server =
-            SedaServer::start(Box::new(listener), DocRoot::new(), SedaConfig::default());
+        let server = SedaServer::start(Box::new(listener), DocRoot::new(), SedaConfig::default());
         let mut conn = net.connect("seda2").unwrap();
         write!(conn, "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         let (status, _) = read_response(&mut conn).unwrap();

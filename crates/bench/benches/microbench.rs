@@ -64,7 +64,8 @@ fn bench_substrates(c: &mut Criterion) {
         })
     });
 
-    let script = "<?fx $t = 0; for ($i = 0; $i < 100; $i = $i + 1) { $t = $t + $i * $i; } echo $t; ?>";
+    let script =
+        "<?fx $t = 0; for ($i = 0; $i < 100; $i = $i + 1) { $t = $t + $i * $i; } echo $t; ?>";
     g.bench_function("fluxscript/loop100", |b| {
         let vars = std::collections::HashMap::new();
         b.iter(|| flux_http::fxs_render(black_box(script), &vars).unwrap())

@@ -138,7 +138,13 @@ fn run_io_pool(io_workers: usize, secs: f64) -> f64 {
     reg.node("Out", |_| NodeOutcome::Ok);
     let server = Arc::new(FluxServer::new(compiled, reg).unwrap());
     let t0 = std::time::Instant::now();
-    let handle = start(server.clone(), RuntimeKind::EventDriven { io_workers });
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers,
+        },
+    );
     handle.join();
     // Dispatcher drains after sources stop.
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
@@ -147,6 +153,64 @@ fn run_io_pool(io_workers: usize, secs: f64) -> f64 {
         std::thread::sleep(Duration::from_millis(10));
     }
     server.stats.finished() as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Ablation 5 (sharded event runtime): web-workload throughput as the
+/// event dispatcher sweeps shard counts. One measured point per shard
+/// count on the same SPECweb-like keep-alive workload as Figure 3.
+fn run_event_shards(shards: usize, workers: usize, secs: f64) -> (flux_bench::LoadReport, u64) {
+    use flux_bench::{run_web_load, WebSet};
+    use flux_net::MemNet;
+
+    let set = std::sync::Arc::new(WebSet::build(2 << 20));
+    let net = MemNet::new();
+    let listener = net.listen("web").unwrap();
+    let server = flux_servers::web::spawn(
+        Box::new(listener),
+        set.docroot.clone(),
+        RuntimeKind::EventDriven {
+            shards,
+            io_workers: workers,
+        },
+        false,
+    );
+    let report = run_web_load(
+        &net,
+        "web",
+        &set,
+        64,
+        Duration::from_secs_f64(secs),
+        Duration::from_secs_f64((secs / 4.0).clamp(0.25, 2.0)),
+    );
+    let steals = server.handle.server().stats.total_steals();
+    flux_servers::web::stop(server);
+    (report, steals)
+}
+
+/// Minimal JSON encoder for the shard-sweep record (no serde in the
+/// offline build).
+fn shards_json(rows: &[(usize, flux_bench::LoadReport, u64)]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"bench\": \"event_shards_web\",\n  \"host_cores\": {cores},\n  \"points\": [\n"
+    );
+    for (i, (shards, r, steals)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"rps\": {:.1}, \"mbps\": {:.2}, \
+             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \"steals\": {}}}{}\n",
+            shards,
+            r.rps(),
+            r.mbps(),
+            r.mean_latency.as_secs_f64() * 1e3,
+            r.p95_latency.as_secs_f64() * 1e3,
+            steals,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Predicted (conservative and session-aware) and measured throughput of
@@ -251,6 +315,40 @@ fn main() {
     println!("# the paper's LD_PRELOAD shim had the same effective knob (outstanding async ops).");
     println!();
 
+    let mut t5 = Table::new(
+        "Ablation 5: sharded event runtime — web throughput vs dispatcher shards",
+        &["shards", "req_s", "mbps", "mean_ms", "p95_ms", "steals"],
+    );
+    let mut shard_rows: Vec<(usize, flux_bench::LoadReport, u64)> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (report, steals) = run_event_shards(shards, workers, secs);
+        eprintln!(
+            "# shards={shards:<2} {} req/s {} Mb/s steals {steals}",
+            f(report.rps()),
+            f(report.mbps()),
+        );
+        t5.row(&[
+            shards.to_string(),
+            f(report.rps()),
+            f(report.mbps()),
+            format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+            steals.to_string(),
+        ]);
+        shard_rows.push((shards, report, steals));
+    }
+    print!("{}", t5.render());
+    println!();
+    println!("# shards=1 is the paper's single dispatcher; extra shards use the remaining cores,");
+    println!("# with session-affine routing and work stealing (see flux-runtime::runtimes docs).");
+    println!();
+    let json = shards_json(&shard_rows);
+    let json_path = "BENCH_event_shards.json";
+    match std::fs::write(json_path, &json) {
+        Ok(()) => eprintln!("# wrote {json_path}"),
+        Err(e) => eprintln!("# could not write {json_path}: {e}"),
+    }
+
     let mut t3 = Table::new(
         "Ablation 3: session-scoped constraints — conservative vs session-aware simulator (flows/s)",
         &[
@@ -273,7 +371,9 @@ fn main() {
     print!("{}", t3.render());
     println!();
     println!("# the conservative prediction (paper §5.1) stays pinned at one-session throughput;");
-    println!("# the session-aware extension (paper §8) tracks the measured scaling across sessions.");
+    println!(
+        "# the session-aware extension (paper §8) tracks the measured scaling across sessions."
+    );
     println!();
 
     let mut t4 = Table::new(
@@ -288,11 +388,7 @@ fn main() {
         ],
     );
     let programs: [(&str, &str, &[f64]); 2] = [
-        (
-            "image",
-            flux_core::fixtures::IMAGE_SERVER,
-            &[0.86, 0.14],
-        ),
+        ("image", flux_core::fixtures::IMAGE_SERVER, &[0.86, 0.14]),
         (
             "bittorrent",
             flux_servers::bt::FLUX_SRC,
@@ -302,7 +398,11 @@ fn main() {
     for (name, src, probs) in programs {
         let compiled = flux_core::compile(src).expect("placement program compiles");
         let mut params = ModelParams::uniform(&compiled, 0.001, 0.01);
-        let dispatch = if name == "image" { "Handler" } else { "HandleMessage" };
+        let dispatch = if name == "image" {
+            "Handler"
+        } else {
+            "HandleMessage"
+        };
         params.set_dispatch_probs(&compiled, dispatch, probs);
         for machines in [2usize, 4] {
             let cfg = flux_core::PlaceConfig {
@@ -330,6 +430,8 @@ fn main() {
     }
     print!("{}", t4.render());
     println!();
-    println!("# constraints identify shared state (paper §8): colocating their footprints keeps every");
+    println!(
+        "# constraints identify shared state (paper §8): colocating their footprints keeps every"
+    );
     println!("# lock machine-local and cuts cross-machine hand-offs by an order of magnitude.");
 }

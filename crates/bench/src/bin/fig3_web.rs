@@ -3,6 +3,9 @@
 //!
 //! * `flux-threadpool` — the Flux web server on the thread-pool runtime
 //! * `flux-event`      — the Flux web server on the event-driven runtime
+//!   (paper configuration: one dispatcher shard)
+//! * `flux-event-s2`, `flux-event-s4` — the same server with 2 and 4
+//!   dispatcher shards (session-affine routing + work stealing)
 //! * `flux-staged`     — the Flux web server on the SEDA-style staged
 //!   runtime (our §3.2.3 extension; compare with hand-written haboob)
 //! * `flux-thread`     — the naive one-thread-per-flow runtime
@@ -64,6 +67,8 @@ fn main() {
             "haboob",
             "flux-threadpool",
             "flux-event",
+            "flux-event-s2",
+            "flux-event-s4",
             "flux-staged",
             "flux-thread",
         ] {
@@ -99,7 +104,21 @@ fn main() {
                 _ => {
                     let kind = match server {
                         "flux-threadpool" => RuntimeKind::ThreadPool { workers },
-                        "flux-event" => RuntimeKind::EventDriven { io_workers: workers },
+                        // The shard sweep of the event runtime: the
+                        // paper's single dispatcher versus 2- and 4-core
+                        // sharded dispatch.
+                        "flux-event" => RuntimeKind::EventDriven {
+                            shards: 1,
+                            io_workers: workers,
+                        },
+                        "flux-event-s2" => RuntimeKind::EventDriven {
+                            shards: 2,
+                            io_workers: workers,
+                        },
+                        "flux-event-s4" => RuntimeKind::EventDriven {
+                            shards: 4,
+                            io_workers: workers,
+                        },
                         "flux-staged" => RuntimeKind::Staged {
                             stage_workers: workers / 4 + 1,
                         },
@@ -141,12 +160,7 @@ fn main() {
         &["server", "clients", "mean_ms", "p95_ms"],
     );
     for p in &points {
-        tput.row(&[
-            p.server.into(),
-            p.clients.to_string(),
-            f(p.mbps),
-            f(p.rps),
-        ]);
+        tput.row(&[p.server.into(), p.clients.to_string(), f(p.mbps), f(p.rps)]);
         lat.row(&[
             p.server.into(),
             p.clients.to_string(),

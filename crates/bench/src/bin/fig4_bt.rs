@@ -57,7 +57,10 @@ fn main() {
                 _ => {
                     let kind = match server {
                         "flux-threadpool" => RuntimeKind::ThreadPool { workers },
-                        "flux-event" => RuntimeKind::EventDriven { io_workers: workers },
+                        "flux-event" => RuntimeKind::EventDriven {
+                            shards: 1,
+                            io_workers: workers,
+                        },
                         _ => RuntimeKind::ThreadPerFlow,
                     };
                     let s = flux_servers::bt::spawn(

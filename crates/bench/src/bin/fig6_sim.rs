@@ -28,7 +28,10 @@ const CACHE_BYTES: usize = 12 * 1024 + 512;
 
 fn image_config(interarrival: Duration, total: u64, service: Duration) -> ImageConfig {
     ImageConfig {
-        source: ImageSource::Synthetic { interarrival, total },
+        source: ImageSource::Synthetic {
+            interarrival,
+            total,
+        },
         compress: CompressMode::TimedHold(service),
         images: 5,
         image_size: 32,
@@ -80,8 +83,7 @@ fn main() {
         service,
     ));
     let server = Arc::new(
-        flux_runtime::FluxServer::with_profiling(program, reg)
-            .expect("registry satisfies program"),
+        flux_runtime::FluxServer::with_profiling(program, reg).expect("registry satisfies program"),
     );
     let handle = flux_runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 1 });
     handle.join();

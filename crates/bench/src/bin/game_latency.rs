@@ -28,7 +28,14 @@ fn main() {
 
     let mut t = Table::new(
         "Game server: heartbeat stability vs players (10 Hz tick)",
-        &["server", "players", "rate_hz", "mean_gap_ms", "max_gap_ms", "moves"],
+        &[
+            "server",
+            "players",
+            "rate_hz",
+            "mean_gap_ms",
+            "max_gap_ms",
+            "moves",
+        ],
     );
     for &n in &players {
         for server in ["hand-written", "flux-threadpool", "flux-event"] {
@@ -44,7 +51,10 @@ fn main() {
                 _ => {
                     let kind = match server {
                         "flux-threadpool" => RuntimeKind::ThreadPool { workers: 4 },
-                        _ => RuntimeKind::EventDriven { io_workers: 2 },
+                        _ => RuntimeKind::EventDriven {
+                            shards: 1,
+                            io_workers: 2,
+                        },
                     };
                     let s = flux_servers::game::spawn(
                         flux_servers::game::GameConfig {

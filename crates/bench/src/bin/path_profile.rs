@@ -21,7 +21,11 @@ use std::time::Duration;
 fn main() {
     let secs: f64 = env_or("FLUX_BENCH_SECS", 2.0);
     let full: bool = env_or("FLUX_BENCH_FULL", 0u8) == 1;
-    let loads: Vec<usize> = if full { vec![25, 50, 100] } else { vec![25, 50] };
+    let loads: Vec<usize> = if full {
+        vec![25, 50, 100]
+    } else {
+        vec![25, 50]
+    };
     let file_len = if full { 8 << 20 } else { 1 << 20 };
     let duration = Duration::from_secs_f64(secs);
     let warmup = Duration::from_secs_f64((secs / 4.0).clamp(0.25, 2.0));

@@ -27,7 +27,12 @@ fn rust_lines(paths: &[&str]) -> usize {
 fn main() {
     let mut t = Table::new(
         "Table 1: Servers implemented using Flux",
-        &["Server", "Style", "Lines of Flux code", "Lines of Rust node code"],
+        &[
+            "Server",
+            "Style",
+            "Lines of Flux code",
+            "Lines of Rust node code",
+        ],
     );
     let web_flux = flux_lines(flux_servers::web::FLUX_SRC);
     let image_flux = flux_lines(flux_servers::image::FLUX_SRC);

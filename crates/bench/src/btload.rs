@@ -7,9 +7,7 @@
 //! reconnects as a fresh client so load is sustained, with keep-alives
 //! interleaved as chatty peers do.
 
-use flux_bittorrent::{
-    BlockResult, Handshake, Message, Metainfo, PieceAssembler, BLOCK_SIZE,
-};
+use flux_bittorrent::{BlockResult, Handshake, Message, Metainfo, PieceAssembler, BLOCK_SIZE};
 use flux_net::MemNet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -83,8 +81,16 @@ pub fn run_bt_load(
                     let mut rng = StdRng::seed_from_u64(cid as u64 + 1000);
                     while !stop.load(Ordering::Relaxed) {
                         match download_once(
-                            &net, &addr, &meta, cid, &mut rng, &stop, &measuring, &blocks,
-                            &bytes_down, &latency_ns,
+                            &net,
+                            &addr,
+                            &meta,
+                            cid,
+                            &mut rng,
+                            &stop,
+                            &measuring,
+                            &blocks,
+                            &bytes_down,
+                            &latency_ns,
                         ) {
                             Ok(true) => {
                                 if measuring.load(Ordering::Relaxed) {
@@ -121,11 +127,12 @@ pub fn run_bt_load(
         completions: completions.load(Ordering::Relaxed),
         blocks: b,
         bytes_down: bytes_down.load(Ordering::Relaxed),
-        mean_block_latency: if b == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(latency_ns.load(Ordering::Relaxed) / b)
-        },
+        mean_block_latency: Duration::from_nanos(
+            latency_ns
+                .load(Ordering::Relaxed)
+                .checked_div(b)
+                .unwrap_or(0),
+        ),
         errors: errors.load(Ordering::Relaxed),
     }
 }
@@ -176,7 +183,7 @@ fn download_once(
             let length = BLOCK_SIZE.min(size - begin);
             // Interleave keep-alives (chatty-peer behaviour; these drive
             // the paper's most-frequent "no work" path on the server).
-            if msg_count % 2 == 0 {
+            if msg_count.is_multiple_of(2) {
                 Message::KeepAlive.write_to(&mut conn)?;
             }
             msg_count += 1;
@@ -189,7 +196,11 @@ fn download_once(
             .write_to(&mut conn)?;
             loop {
                 match Message::read_from(&mut conn)? {
-                    Message::Piece { index, begin: b0, data } => {
+                    Message::Piece {
+                        index,
+                        begin: b0,
+                        data,
+                    } => {
                         let dt = t0.elapsed().as_nanos() as u64;
                         if measuring.load(Ordering::Relaxed) {
                             blocks.fetch_add(1, Ordering::Relaxed);

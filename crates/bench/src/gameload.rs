@@ -90,21 +90,20 @@ pub fn run_game_load(
                             moves_sent.fetch_add(1, Ordering::Relaxed);
                             next_move += move_period;
                         }
-                        match sock.recv_from(&mut buf, Some(Duration::from_millis(10))) {
-                            Ok(Some((n, _))) => {
-                                if decode_snapshot(&buf[..n]).is_some() {
-                                    let now = Instant::now();
-                                    snapshots.fetch_add(1, Ordering::Relaxed);
-                                    if let Some(prev) = last_snap {
-                                        let dt = now.duration_since(prev).as_nanos() as u64;
-                                        inter_ns.fetch_add(dt, Ordering::Relaxed);
-                                        inter_count.fetch_add(1, Ordering::Relaxed);
-                                        max_inter_ns.fetch_max(dt, Ordering::Relaxed);
-                                    }
-                                    last_snap = Some(now);
+                        if let Ok(Some((n, _))) =
+                            sock.recv_from(&mut buf, Some(Duration::from_millis(10)))
+                        {
+                            if decode_snapshot(&buf[..n]).is_some() {
+                                let now = Instant::now();
+                                snapshots.fetch_add(1, Ordering::Relaxed);
+                                if let Some(prev) = last_snap {
+                                    let dt = now.duration_since(prev).as_nanos() as u64;
+                                    inter_ns.fetch_add(dt, Ordering::Relaxed);
+                                    inter_count.fetch_add(1, Ordering::Relaxed);
+                                    max_inter_ns.fetch_max(dt, Ordering::Relaxed);
                                 }
+                                last_snap = Some(now);
                             }
-                            _ => {}
                         }
                     }
                     let _ = sock.send_to(&ClientMsg::Leave { player }.encode(), &addr);
@@ -125,11 +124,9 @@ pub fn run_game_load(
         players,
         duration: measured,
         snapshots: snapshots.load(Ordering::Relaxed),
-        mean_interarrival: if n == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(inter_ns.load(Ordering::Relaxed) / n)
-        },
+        mean_interarrival: Duration::from_nanos(
+            inter_ns.load(Ordering::Relaxed).checked_div(n).unwrap_or(0),
+        ),
         max_interarrival: Duration::from_nanos(max_inter_ns.load(Ordering::Relaxed)),
         moves_sent: moves_sent.load(Ordering::Relaxed),
     }
@@ -143,8 +140,7 @@ mod tests {
     fn measures_the_hand_written_server() {
         let net = MemNet::new();
         let sock = Arc::new(net.bind_datagram("game").unwrap());
-        let server =
-            flux_baselines::HandGameServer::start(sock, Duration::from_millis(20), 1);
+        let server = flux_baselines::HandGameServer::start(sock, Duration::from_millis(20), 1);
         let report = run_game_load(&net, "game", 3, 10.0, Duration::from_millis(600));
         assert!(report.snapshots > 0, "{report:?}");
         assert!(report.moves_sent > 0);

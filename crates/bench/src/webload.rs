@@ -8,8 +8,8 @@
 //! distribution."
 
 use crate::webset::WebSet;
-use flux_net::MemNet;
 use flux_http::read_response;
+use flux_net::MemNet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write as _;
@@ -156,11 +156,12 @@ pub fn run_web_load(
         requests: reqs,
         errors: errors.load(Ordering::Relaxed),
         bytes_in: bytes_in.load(Ordering::Relaxed),
-        mean_latency: if reqs == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(latency_ns.load(Ordering::Relaxed) / reqs)
-        },
+        mean_latency: Duration::from_nanos(
+            latency_ns
+                .load(Ordering::Relaxed)
+                .checked_div(reqs)
+                .unwrap_or(0),
+        ),
         p95_latency: p95,
     }
 }
@@ -176,8 +177,7 @@ mod tests {
         let set = Arc::new(WebSet::build(256 * 1024));
         let net = MemNet::new();
         let listener = net.listen("w").unwrap();
-        let server =
-            flux_baselines::KnotServer::start(Box::new(listener), set.docroot.clone(), 4);
+        let server = flux_baselines::KnotServer::start(Box::new(listener), set.docroot.clone(), 4);
         let report = run_web_load(
             &net,
             "w",

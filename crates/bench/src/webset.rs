@@ -16,10 +16,10 @@ use rand::Rng;
 /// class scales linearly).
 fn file_size(class: usize, idx: usize) -> usize {
     let base = match class {
-        0 => 102,          // 0.1 KB .. 0.9 KB
-        1 => 1_024,        // 1 KB .. 9 KB
-        2 => 10_240,       // 10 KB .. 90 KB
-        _ => 102_400,      // 100 KB .. 900 KB
+        0 => 102,     // 0.1 KB .. 0.9 KB
+        1 => 1_024,   // 1 KB .. 9 KB
+        2 => 10_240,  // 10 KB .. 90 KB
+        _ => 102_400, // 100 KB .. 900 KB
     };
     base * (idx + 1)
 }

@@ -162,11 +162,10 @@ fn parse(data: &[u8], pos: &mut usize) -> Result<Bencode, BencodeError> {
             if data.get(*pos) != Some(&b'e') {
                 return fail(start, "unterminated integer");
             }
-            let text = std::str::from_utf8(&data[start..*pos])
-                .map_err(|_| BencodeError {
-                    at: start,
-                    msg: "non-ascii integer".into(),
-                })?;
+            let text = std::str::from_utf8(&data[start..*pos]).map_err(|_| BencodeError {
+                at: start,
+                msg: "non-ascii integer".into(),
+            })?;
             if text.is_empty()
                 || text == "-"
                 || (text.starts_with('0') && text.len() > 1)
@@ -174,12 +173,10 @@ fn parse(data: &[u8], pos: &mut usize) -> Result<Bencode, BencodeError> {
             {
                 return fail(start, format!("invalid integer `{text}`"));
             }
-            let n: i64 = text
-                .parse()
-                .map_err(|_| BencodeError {
-                    at: start,
-                    msg: format!("integer `{text}` out of range"),
-                })?;
+            let n: i64 = text.parse().map_err(|_| BencodeError {
+                at: start,
+                msg: format!("integer `{text}` out of range"),
+            })?;
             *pos += 1;
             Ok(Bencode::Int(n))
         }
@@ -279,10 +276,7 @@ mod tests {
 
     #[test]
     fn strings() {
-        assert_eq!(
-            Bencode::decode(b"4:spam").unwrap(),
-            Bencode::str("spam")
-        );
+        assert_eq!(Bencode::decode(b"4:spam").unwrap(), Bencode::str("spam"));
         assert_eq!(Bencode::decode(b"0:").unwrap(), Bencode::str(""));
         assert!(Bencode::decode(b"5:spam").is_err());
         assert!(Bencode::decode(b"4spam").is_err());

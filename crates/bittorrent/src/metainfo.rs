@@ -45,12 +45,7 @@ impl Metainfo {
         }
     }
 
-    fn info_dict(
-        name: &str,
-        piece_len: usize,
-        total_len: usize,
-        hashes: &[Digest],
-    ) -> Bencode {
+    fn info_dict(name: &str, piece_len: usize, total_len: usize, hashes: &[Digest]) -> Bencode {
         let mut pieces = Vec::with_capacity(hashes.len() * 20);
         for h in hashes {
             pieces.extend_from_slice(h);

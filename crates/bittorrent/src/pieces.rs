@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn bitfield_wire_validation() {
         assert!(Bitfield::from_bytes(&[0xff, 0xc0], 10).is_some());
-        assert!(Bitfield::from_bytes(&[0xff, 0xe0], 10).is_none(), "spare bit set");
+        assert!(
+            Bitfield::from_bytes(&[0xff, 0xe0], 10).is_none(),
+            "spare bit set"
+        );
         assert!(Bitfield::from_bytes(&[0xff], 10).is_none(), "wrong length");
     }
 
@@ -336,7 +339,7 @@ mod tests {
         }
         assert!(!asm.have().get(0), "piece discarded after mismatch");
         // Can re-request: fresh blocks accepted again.
-        assert_eq!(asm.add_block(0, 0, &vec![1; 100]), BlockResult::Accepted);
+        assert_eq!(asm.add_block(0, 0, &[1; 100]), BlockResult::Accepted);
     }
 
     #[test]

@@ -92,12 +92,9 @@ fn parse_response(body: &[u8]) -> io::Result<TrackerResponse> {
     let doc = Bencode::decode(body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     if let Some(fail) = doc.get("failure reason").and_then(|v| v.as_str()) {
-        return Err(io::Error::new(io::ErrorKind::Other, fail.to_string()));
+        return Err(io::Error::other(fail.to_string()));
     }
-    let interval_s = doc
-        .get("interval")
-        .and_then(|v| v.as_int())
-        .unwrap_or(1800) as u32;
+    let interval_s = doc.get("interval").and_then(|v| v.as_int()).unwrap_or(1800) as u32;
     let mut peers = Vec::new();
     if let Some(list) = doc.get("peers").and_then(|v| v.as_list()) {
         for p in list {

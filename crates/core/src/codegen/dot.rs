@@ -54,8 +54,7 @@ fn logical(p: &CompiledProgram) -> String {
         match &node.kind {
             NodeKind::Concrete { .. } => {
                 if !node.constraints.is_empty() {
-                    let cs: Vec<String> =
-                        node.constraints.iter().map(|c| c.to_string()).collect();
+                    let cs: Vec<String> = node.constraints.iter().map(|c| c.to_string()).collect();
                     let _ = writeln!(
                         out,
                         "  \"{}\" [xlabel=\"{{{}}}\"];",

@@ -37,7 +37,7 @@ mod tests {
         let gens: Vec<Box<dyn CodeGenerator>> = vec![
             Box::new(rust::RustGenerator::default()),
             Box::new(dot::DotGenerator::default()),
-            Box::new(sim::SimGenerator::default()),
+            Box::new(sim::SimGenerator),
         ];
         for g in gens {
             let out = g.generate(&p);

@@ -76,8 +76,12 @@ pub fn compile(src: &str) -> Result<CompiledProgram, CompileErrors> {
     let mut flows = Vec::with_capacity(graph.sources.len());
     for spec in graph.sources.clone() {
         let flat = FlatProgram::build(&graph, spec).map_err(single)?;
-        let paths = PathTable::build(&flat)
-            .map_err(|m| single(CompileError::new(crate::error::ErrorKind::Other(m), crate::span::Span::DUMMY)))?;
+        let paths = PathTable::build(&flat).map_err(|m| {
+            single(CompileError::new(
+                crate::error::ErrorKind::Other(m),
+                crate::span::Span::DUMMY,
+            ))
+        })?;
         flows.push(Flow { flat, paths });
     }
     Ok(CompiledProgram {

@@ -351,7 +351,10 @@ mod tests {
         )
         .unwrap();
         let err = analyze(&mut g).unwrap_err();
-        assert!(err.0.iter().any(|e| matches!(&e.kind, ErrorKind::Other(m) if m.contains("x"))));
+        assert!(err
+            .0
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::Other(m) if m.contains("x"))));
     }
 
     #[test]

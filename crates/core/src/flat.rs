@@ -175,8 +175,10 @@ impl<'g> Flattener<'g> {
             }
             Some(handler) => {
                 if chain.contains(&handler) {
-                    let mut cycle: Vec<String> =
-                        chain.iter().map(|&n| self.graph.name(n).to_string()).collect();
+                    let mut cycle: Vec<String> = chain
+                        .iter()
+                        .map(|&n| self.graph.name(n).to_string())
+                        .collect();
                     cycle.push(self.graph.name(handler).to_string());
                     return Err(CompileError::new(
                         ErrorKind::RecursiveNode {
@@ -241,7 +243,10 @@ impl<'g> Flattener<'g> {
         match &kind {
             NodeKind::Concrete { .. } => {
                 let after = if has_locks {
-                    self.push(FlatVertex::Release { node: id, next: cont })
+                    self.push(FlatVertex::Release {
+                        node: id,
+                        next: cont,
+                    })
                 } else {
                     cont
                 };
@@ -252,14 +257,20 @@ impl<'g> Flattener<'g> {
                     on_err,
                 });
                 Ok(if has_locks {
-                    self.push(FlatVertex::Acquire { node: id, next: exec })
+                    self.push(FlatVertex::Acquire {
+                        node: id,
+                        next: exec,
+                    })
                 } else {
                     exec
                 })
             }
             NodeKind::Abstract { variants } => {
                 let after = if has_locks {
-                    self.push(FlatVertex::Release { node: id, next: cont })
+                    self.push(FlatVertex::Release {
+                        node: id,
+                        next: cont,
+                    })
                 } else {
                     cont
                 };
@@ -438,7 +449,14 @@ mod tests {
         let handled: Vec<_> = f
             .verts
             .iter()
-            .filter(|v| matches!(v, FlatVertex::End { outcome: EndKind::Handled { .. } }))
+            .filter(|v| {
+                matches!(
+                    v,
+                    FlatVertex::End {
+                        outcome: EndKind::Handled { .. }
+                    }
+                )
+            })
             .collect();
         assert_eq!(handled.len(), 1, "Parse is the only handled node");
     }

@@ -100,7 +100,9 @@ impl ProgramGraph {
 
     /// Builds the graph from a parsed program, reporting every resolvable
     /// error rather than stopping at the first.
-    pub fn build(program: &Program) -> Result<(ProgramGraph, Vec<crate::error::Warning>), CompileErrors> {
+    pub fn build(
+        program: &Program,
+    ) -> Result<(ProgramGraph, Vec<crate::error::Warning>), CompileErrors> {
         let mut errors = CompileErrors::default();
         let mut nodes: Vec<NodeInfo> = Vec::new();
         let mut by_name: HashMap<String, NodeId> = HashMap::new();
@@ -132,34 +134,32 @@ impl ProgramGraph {
                         span: sig.span,
                     });
                 }
-                Item::Abstract(def) => {
-                    match by_name.get(&def.name) {
-                        None => {
-                            by_name.insert(def.name.clone(), nodes.len());
-                            nodes.push(NodeInfo {
-                                name: def.name.clone(),
-                                kind: NodeKind::Abstract {
-                                    variants: Vec::new(),
+                Item::Abstract(def) => match by_name.get(&def.name) {
+                    None => {
+                        by_name.insert(def.name.clone(), nodes.len());
+                        nodes.push(NodeInfo {
+                            name: def.name.clone(),
+                            kind: NodeKind::Abstract {
+                                variants: Vec::new(),
+                            },
+                            constraints: Vec::new(),
+                            error_handler: None,
+                            blocking: false,
+                            span: def.span,
+                        });
+                    }
+                    Some(&id) => {
+                        if nodes[id].is_concrete() {
+                            errors.push(CompileError::new(
+                                ErrorKind::Duplicate {
+                                    kind: "node (declared both concrete and abstract)",
+                                    name: def.name.clone(),
                                 },
-                                constraints: Vec::new(),
-                                error_handler: None,
-                                blocking: false,
-                                span: def.span,
-                            });
-                        }
-                        Some(&id) => {
-                            if nodes[id].is_concrete() {
-                                errors.push(CompileError::new(
-                                    ErrorKind::Duplicate {
-                                        kind: "node (declared both concrete and abstract)",
-                                        name: def.name.clone(),
-                                    },
-                                    def.span,
-                                ));
-                            }
+                                def.span,
+                            ));
                         }
                     }
-                }
+                },
                 _ => {}
             }
         }
@@ -511,10 +511,9 @@ mod tests {
 
     #[test]
     fn recursion_detected() {
-        let err = build(
-            "A (int x) => (int x); Loop = A -> Loop; source S => Loop; S () => (int x);",
-        )
-        .unwrap_err();
+        let err =
+            build("A (int x) => (int x); Loop = A -> Loop; source S => Loop; S () => (int x);")
+                .unwrap_err();
         assert!(err
             .0
             .iter()
@@ -532,10 +531,8 @@ mod tests {
 
     #[test]
     fn handler_must_be_concrete() {
-        let err = build(
-            "A () => (); B () => (); H = B; handle error A => H; source A => B;",
-        )
-        .unwrap_err();
+        let err = build("A () => (); B () => (); H = B; handle error A => H; source A => B;")
+            .unwrap_err();
         assert!(err
             .0
             .iter()
@@ -554,10 +551,8 @@ mod tests {
 
     #[test]
     fn unreachable_warning() {
-        let (_, warns) = ProgramGraph::build(
-            &parse("A () => (); B () => (); source A => A;").unwrap(),
-        )
-        .unwrap();
+        let (_, warns) =
+            ProgramGraph::build(&parse("A () => (); B () => (); source A => A;").unwrap()).unwrap();
         assert!(warns
             .iter()
             .any(|w| matches!(w, crate::error::Warning::UnreachableNode { name } if name == "B")));

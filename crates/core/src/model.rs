@@ -32,7 +32,11 @@ pub struct ModelParams {
 impl ModelParams {
     /// Convenience: uniform parameters for quick estimates — every node
     /// takes `service_s`, never errors, all dispatch arms equally likely.
-    pub fn uniform(program: &crate::compile::CompiledProgram, service_s: f64, interarrival_s: f64) -> Self {
+    pub fn uniform(
+        program: &crate::compile::CompiledProgram,
+        service_s: f64,
+        interarrival_s: f64,
+    ) -> Self {
         let flows = program
             .flows
             .iter()
@@ -91,7 +95,10 @@ impl ModelParams {
         let mut n = 0;
         for (flow, fp) in program.flows.iter().zip(self.flows.iter_mut()) {
             for (vid, vert) in flow.flat.verts.iter().enumerate() {
-                if let crate::flat::FlatVertex::Dispatch { node: nid, arms, .. } = vert {
+                if let crate::flat::FlatVertex::Dispatch {
+                    node: nid, arms, ..
+                } = vert
+                {
                     if program.graph.name(*nid) == node && arms.len() == probs.len() {
                         fp.arm_probs.insert(vid, probs.to_vec());
                         n += 1;
@@ -157,6 +164,10 @@ mod tests {
         let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
         let mut m = ModelParams::uniform(&p, 0.001, 0.01);
         assert_eq!(m.set_dispatch_probs(&p, "Handler", &[0.8, 0.2]), 1);
-        assert_eq!(m.set_dispatch_probs(&p, "Handler", &[0.5]), 0, "wrong arity");
+        assert_eq!(
+            m.set_dispatch_probs(&p, "Handler", &[0.5]),
+            0,
+            "wrong arity"
+        );
     }
 }

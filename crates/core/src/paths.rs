@@ -211,13 +211,7 @@ mod tests {
         // Simulate every resolution of the DAG by brute-force DFS and
         // check the summed increments match enumeration order exactly.
         let (g, flat, t) = table(crate::fixtures::MINI_PIPELINE);
-        fn walk(
-            flat: &FlatProgram,
-            t: &PathTable,
-            v: usize,
-            sum: u64,
-            out: &mut Vec<u64>,
-        ) {
+        fn walk(flat: &FlatProgram, t: &PathTable, v: usize, sum: u64, out: &mut Vec<u64>) {
             let succs = flat.verts[v].successors();
             if succs.is_empty() {
                 out.push(sum);

@@ -535,8 +535,8 @@ fn finish_placement(
     };
     for &g in &order {
         let mut best: Option<(usize, f64, f64)> = None; // (machine, affinity, load)
-        for m in 0..config.machines {
-            let fits = loads[m] + gload[g] <= cap || loads[m] == 0.0;
+        for (m, &load) in loads.iter().enumerate().take(config.machines) {
+            let fits = load + gload[g] <= cap || load == 0.0;
             if !fits {
                 continue;
             }
@@ -574,8 +574,8 @@ fn finish_placement(
             let cur = machine_of_group[g];
             let cur_aff = aff(g, cur, &machine_of_group);
             let mut best_move: Option<(usize, f64)> = None;
-            for m in 0..config.machines {
-                if m == cur || loads[m] + gload[g] > cap {
+            for (m, &load) in loads.iter().enumerate().take(config.machines) {
+                if m == cur || load + gload[g] > cap {
                     continue;
                 }
                 let a = aff(g, m, &machine_of_group);
@@ -804,7 +804,10 @@ mod tests {
             .filter(|&(&(_, b), _)| b == disk)
             .map(|(_, &r)| r)
             .sum();
-        assert!((disk_in - 100.0).abs() < 1e-6, "1/0.01s arrivals: {disk_in}");
+        assert!(
+            (disk_in - 100.0).abs() < 1e-6,
+            "1/0.01s arrivals: {disk_in}"
+        );
     }
 
     #[test]

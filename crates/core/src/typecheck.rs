@@ -5,7 +5,7 @@
 //! output types of each node match the inputs of the nodes they connect to.
 //! Types are positional: parameter names do not participate.
 
-use crate::ast::{ConstraintScope, PatElem, Param};
+use crate::ast::{ConstraintScope, Param, PatElem};
 use crate::error::{CompileError, CompileErrors, ErrorKind};
 use crate::graph::{NodeId, NodeKind, ProgramGraph};
 use std::collections::HashMap;
@@ -295,15 +295,13 @@ mod tests {
 
     #[test]
     fn chain_mismatch_rejected() {
-        let err = check_src(
-            "A () => (int x); B (bool y) => (); F = A -> B; S () => (); source S => F;",
-        )
-        .unwrap_err();
-        assert!(err
-            .0
-            .iter()
-            .any(|e| matches!(&e.kind, ErrorKind::TypeMismatch { from, to, .. }
-                if from == "A" && to == "B")));
+        let err =
+            check_src("A () => (int x); B (bool y) => (); F = A -> B; S () => (); source S => F;")
+                .unwrap_err();
+        assert!(err.0.iter().any(
+            |e| matches!(&e.kind, ErrorKind::TypeMismatch { from, to, .. }
+                if from == "A" && to == "B")
+        ));
     }
 
     #[test]
@@ -330,10 +328,14 @@ mod tests {
             "typedef p F; A (int x) => (int x); H:[p, p] = A; S () => (int x); source S => H;",
         )
         .unwrap_err();
-        assert!(err
-            .0
-            .iter()
-            .any(|e| matches!(&e.kind, ErrorKind::PatternArity { expected: 1, found: 2, .. })));
+        assert!(err.0.iter().any(|e| matches!(
+            &e.kind,
+            ErrorKind::PatternArity {
+                expected: 1,
+                found: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -366,10 +368,7 @@ mod tests {
     #[test]
     fn all_empty_variants_uninferable() {
         let err = check_src("typedef p F; H:[p] = ; H:[_] = ;").unwrap_err();
-        assert!(err
-            .0
-            .iter()
-            .any(|e| matches!(&e.kind, ErrorKind::Other(_))));
+        assert!(err.0.iter().any(|e| matches!(&e.kind, ErrorKind::Other(_))));
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
         let s = Snapshot {
             tick: 42,
             it: Some(3),
-            players: vec![
-                (1, Pos { x: 10, y: 20 }),
-                (3, Pos { x: 500, y: 999 }),
-            ],
+            players: vec![(1, Pos { x: 10, y: 20 }), (3, Pos { x: 500, y: 999 })],
         };
         assert_eq!(decode_snapshot(&encode_snapshot(&s)), Some(s));
     }

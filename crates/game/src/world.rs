@@ -151,8 +151,7 @@ impl World {
 
     /// The current state snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let mut players: Vec<(u32, Pos)> =
-            self.players.iter().map(|(&id, &p)| (id, p)).collect();
+        let mut players: Vec<(u32, Pos)> = self.players.iter().map(|(&id, &p)| (id, p)).collect();
         players.sort_by_key(|&(id, _)| id);
         Snapshot {
             tick: self.tick,

@@ -86,7 +86,8 @@ mod tests {
     #[test]
     fn docroot_basics() {
         let mut root = DocRoot::new();
-        root.insert("/index.html", "<h1>hi</h1>").insert("/a.txt", "aaa");
+        root.insert("/index.html", "<h1>hi</h1>")
+            .insert("/a.txt", "aaa");
         assert_eq!(root.get("/"), Some("<h1>hi</h1>".as_bytes()));
         assert_eq!(root.get("/a.txt"), Some("aaa".as_bytes()));
         assert_eq!(root.get("/missing"), None);

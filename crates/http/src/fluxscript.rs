@@ -681,8 +681,14 @@ mod tests {
 
     #[test]
     fn conditionals() {
-        assert_eq!(run("$x = 3; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"), "big");
-        assert_eq!(run("$x = 1; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"), "small");
+        assert_eq!(
+            run("$x = 3; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"),
+            "big"
+        );
+        assert_eq!(
+            run("$x = 1; if ($x > 2) { echo \"big\"; } else { echo \"small\"; }"),
+            "small"
+        );
     }
 
     #[test]
@@ -691,7 +697,10 @@ mod tests {
             run("$t = 0; for ($i = 1; $i <= 10; $i = $i + 1) { $t = $t + $i; } echo $t;"),
             "55"
         );
-        assert_eq!(run("$n = 3; while ($n > 0) { echo $n; $n = $n - 1; }"), "321");
+        assert_eq!(
+            run("$n = 3; while ($n > 0) { echo $n; $n = $n - 1; }"),
+            "321"
+        );
     }
 
     #[test]
@@ -706,11 +715,7 @@ mod tests {
 
     #[test]
     fn multiple_blocks_share_state() {
-        let html = render(
-            "<?fx $x = 21; ?>mid<?fx echo $x * 2; ?>",
-            &HashMap::new(),
-        )
-        .unwrap();
+        let html = render("<?fx $x = 21; ?>mid<?fx echo $x * 2; ?>", &HashMap::new()).unwrap();
         assert_eq!(html, "mid42");
     }
 
@@ -737,7 +742,10 @@ mod tests {
         assert_eq!(run("echo (1 < 2) && (2 < 3);"), "1");
         assert_eq!(run("echo (1 > 2) || (2 > 3);"), "");
         // RHS of && not evaluated when LHS false: $undefined would error.
-        assert_eq!(run("if ((1 > 2) && ($undefined == 1)) { echo \"x\"; } echo \"ok\";"), "ok");
+        assert_eq!(
+            run("if ((1 > 2) && ($undefined == 1)) { echo \"x\"; } echo \"ok\";"),
+            "ok"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Request {
 
     /// Whether the connection should stay open after this exchange.
     pub fn keep_alive(&self) -> bool {
-        match self.headers.get("connection").map(|s| s.to_ascii_lowercase()) {
+        match self
+            .headers
+            .get("connection")
+            .map(|s| s.to_ascii_lowercase())
+        {
             Some(v) if v.contains("close") => false,
             Some(v) if v.contains("keep-alive") => true,
             _ => self.http11,
@@ -445,8 +449,7 @@ mod tests {
 
     #[test]
     fn reads_post_body() {
-        let req =
-            parse(b"POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        let req = parse(b"POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.body, b"hello");
     }
@@ -473,10 +476,7 @@ mod tests {
 
     #[test]
     fn eof_mid_request() {
-        assert!(matches!(
-            parse(b"GET / HT"),
-            Err(ParseError::Malformed(_))
-        ));
+        assert!(matches!(parse(b"GET / HT"), Err(ParseError::Malformed(_))));
     }
 
     #[test]

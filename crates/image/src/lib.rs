@@ -13,5 +13,7 @@ pub mod jpeg;
 pub mod ppm;
 
 pub use cache::LfuCache;
-pub use jpeg::{decode as jpeg_decode, encode as jpeg_encode, probe as jpeg_probe, psnr, JpegError, JpegInfo};
+pub use jpeg::{
+    decode as jpeg_decode, encode as jpeg_encode, probe as jpeg_probe, psnr, JpegError, JpegInfo,
+};
 pub use ppm::{Image, PpmError};

@@ -133,10 +133,7 @@ impl Image {
                 }
                 Ok(Image { width, height, rgb })
             }
-            other => err(format!(
-                "bad magic {:?}",
-                String::from_utf8_lossy(other)
-            )),
+            other => err(format!("bad magic {:?}", String::from_utf8_lossy(other))),
         }
     }
 

@@ -4,10 +4,23 @@
 //! one flow; instead (as in the paper's web and BitTorrent servers, whose
 //! source nodes select over existing clients) the *source* multiplexes:
 //! it emits one unit of work per ready connection. The driver supplies
-//! that readiness stream: new connections from an acceptor thread and
-//! readable events from per-connection watches (in-memory transport) or
-//! one-shot helper threads (TCP — the paper itself used a helper thread
-//! around `select` to simulate asynchronous I/O).
+//! that readiness stream from three producers feeding one channel:
+//!
+//! * an **acceptor thread** per listener, queueing
+//!   [`DriverEvent::Incoming`];
+//! * the in-memory transport's **watch callbacks** (zero threads: the
+//!   writer's thread fires the callback at write time);
+//! * the shared **poll(2) reactor** ([`crate::reactor::Reactor`]) for
+//!   every transport that exposes a raw file descriptor (TCP). One
+//!   reactor thread serves *all* registered sockets — the seed's
+//!   one-helper-thread-per-connection readiness path is gone, and with
+//!   it the hidden thread-per-connection scaling cliff. A per-connection
+//!   helper thread survives only as a fallback for hypothetical
+//!   transports with neither watch support nor a file descriptor.
+//!
+//! Watches are one-shot: after a `Readable` event the connection is
+//! quiescent until [`ConnDriver::arm`] is called again (the web server's
+//! `Complete` node re-arms keep-alive connections).
 
 use crate::traits::{Conn, Listener};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -40,6 +53,10 @@ pub struct ConnDriver {
     conns: Mutex<HashMap<Token, SharedConn>>,
     next_token: AtomicU64,
     stopping: AtomicBool,
+    /// The poll(2) multiplexer for fd-backed transports. Its thread is
+    /// spawned lazily on the first fd registration.
+    #[cfg(unix)]
+    reactor: Arc<crate::reactor::Reactor>,
 }
 
 impl Default for ConnDriver {
@@ -52,6 +69,8 @@ impl ConnDriver {
     pub fn new() -> Self {
         let (tx, rx) = unbounded();
         ConnDriver {
+            #[cfg(unix)]
+            reactor: crate::reactor::Reactor::new(tx.clone()),
             tx,
             rx,
             conns: Mutex::new(HashMap::new()),
@@ -73,9 +92,15 @@ impl ConnDriver {
         self.conns.lock().get(&token).cloned()
     }
 
-    /// Removes (closes) the connection.
+    /// Removes (closes) the connection, dropping any armed reactor
+    /// watch so the reactor stops polling a soon-to-be-closed fd.
     pub fn remove(&self, token: Token) -> Option<SharedConn> {
-        self.conns.lock().remove(&token)
+        let conn = self.conns.lock().remove(&token);
+        #[cfg(unix)]
+        if conn.is_some() {
+            self.reactor.deregister(token);
+        }
+        conn
     }
 
     /// Number of registered connections.
@@ -89,8 +114,10 @@ impl ConnDriver {
     }
 
     /// Arms a one-shot readability watch: when the connection has data
-    /// (or EOF), a [`DriverEvent::Readable`] is queued. For transports
-    /// without watch support a helper thread performs the wait.
+    /// (or EOF), a [`DriverEvent::Readable`] is queued. In-memory
+    /// transports install a watch callback; fd-backed transports (TCP)
+    /// are registered with the shared poll(2) reactor thread. Only a
+    /// transport with neither capability falls back to a helper thread.
     pub fn arm(self: &Arc<Self>, token: Token) {
         let Some(shared) = self.get(token) else {
             return;
@@ -105,40 +132,59 @@ impl ConnDriver {
                 }
             }))
         };
-        if !watched {
-            // Helper thread (the paper's select-simulation thread): use an
-            // independent clone so flows can use the connection meanwhile.
-            let this = self.clone();
-            let clone = {
-                let conn = shared.lock();
-                conn.try_clone()
-            };
-            std::thread::Builder::new()
-                .name("flux-net-watch".into())
-                .spawn(move || {
-                    let Ok(conn) = clone else {
-                        let _ = tx.send(DriverEvent::Readable(token));
+        if watched {
+            return;
+        }
+        #[cfg(unix)]
+        {
+            let fd = shared.lock().raw_fd();
+            if let Some(fd) = fd {
+                self.reactor.register(fd, token);
+                return;
+            }
+        }
+        self.arm_with_helper_thread(shared, token, tx);
+    }
+
+    /// Last-resort watch for transports with neither watch callbacks nor
+    /// a raw fd: one helper thread performs the wait (the paper's
+    /// select-simulation thread). No in-tree transport takes this path.
+    fn arm_with_helper_thread(
+        self: &Arc<Self>,
+        shared: SharedConn,
+        token: Token,
+        tx: Sender<DriverEvent>,
+    ) {
+        let this = self.clone();
+        let clone = {
+            let conn = shared.lock();
+            conn.try_clone()
+        };
+        std::thread::Builder::new()
+            .name("flux-net-watch".into())
+            .spawn(move || {
+                let Ok(conn) = clone else {
+                    let _ = tx.send(DriverEvent::Readable(token));
+                    return;
+                };
+                loop {
+                    if this.stopping.load(Ordering::Relaxed) {
                         return;
-                    };
-                    loop {
-                        if this.stopping.load(Ordering::Relaxed) {
+                    }
+                    match conn.wait_readable(Some(Duration::from_millis(100))) {
+                        Ok(true) => {
+                            let _ = tx.send(DriverEvent::Readable(token));
                             return;
                         }
-                        match conn.wait_readable(Some(Duration::from_millis(100))) {
-                            Ok(true) => {
-                                let _ = tx.send(DriverEvent::Readable(token));
-                                return;
-                            }
-                            Ok(false) => continue,
-                            Err(_) => {
-                                let _ = tx.send(DriverEvent::Readable(token));
-                                return;
-                            }
+                        Ok(false) => continue,
+                        Err(_) => {
+                            let _ = tx.send(DriverEvent::Readable(token));
+                            return;
                         }
                     }
-                })
-                .expect("spawn watch thread");
-        }
+                }
+            })
+            .expect("spawn watch thread");
     }
 
     /// Accepts connections from `listener` on a background thread,
@@ -178,9 +224,18 @@ impl ConnDriver {
         let _ = self.tx.send(ev);
     }
 
-    /// Stops acceptor and watcher threads (cooperatively).
+    /// Stops acceptor, reactor and watcher threads (cooperatively).
     pub fn stop(&self) {
         self.stopping.store(true, Ordering::Relaxed);
+        #[cfg(unix)]
+        self.reactor.stop();
+    }
+
+    /// The number of readiness events delivered by the poll reactor
+    /// (fd-backed transports only; watch-based events are not counted).
+    #[cfg(unix)]
+    pub fn reactor_events(&self) -> u64 {
+        self.reactor.events_delivered()
     }
 }
 
@@ -257,7 +312,7 @@ mod tests {
     }
 
     #[test]
-    fn tcp_fallback_watch() {
+    fn tcp_readiness_via_reactor() {
         let acceptor = crate::tcp::TcpAcceptor::bind("127.0.0.1:0").unwrap();
         let addr = acceptor.local_addr();
         let driver = Arc::new(ConnDriver::new());
@@ -273,6 +328,50 @@ mod tests {
             driver.next_event(Duration::from_secs(2)),
             Some(DriverEvent::Readable(token))
         );
+        #[cfg(unix)]
+        assert_eq!(
+            driver.reactor_events(),
+            1,
+            "TCP readiness must come from the poll reactor, not helper threads"
+        );
+        driver.stop();
+    }
+
+    /// Many armed TCP connections are all served by the single reactor
+    /// thread — the acceptance criterion for retiring the per-connection
+    /// helper threads.
+    #[test]
+    #[cfg(unix)]
+    fn one_reactor_thread_serves_many_tcp_conns() {
+        let acceptor = crate::tcp::TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(acceptor));
+        let mut clients = Vec::new();
+        let mut tokens = Vec::new();
+        for _ in 0..32 {
+            clients.push(crate::tcp::TcpConn::connect(&addr).unwrap());
+            let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+            else {
+                panic!()
+            };
+            driver.arm(token);
+            tokens.push(token);
+        }
+        for c in &mut clients {
+            c.write_all(b"!").unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < 32 {
+            match driver.next_event(Duration::from_secs(2)) {
+                Some(DriverEvent::Readable(t)) => {
+                    seen.insert(t);
+                }
+                other => panic!("expected Readable, got {other:?}"),
+            }
+        }
+        assert_eq!(seen, tokens.iter().copied().collect());
+        assert_eq!(driver.reactor_events(), 32);
         driver.stop();
     }
 }

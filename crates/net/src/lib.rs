@@ -10,16 +10,22 @@
 //! * **tcp** — real TCP/UDP over `std::net` for examples and interop;
 //! * **driver** — a readiness multiplexer ([`ConnDriver`]) that turns
 //!   accepts and per-connection readability into one event stream, which
-//!   Flux source nodes consume (the paper's select loop).
+//!   Flux source nodes consume (the paper's select loop);
+//! * **reactor** — the poll(2) thread behind the driver: every
+//!   registered TCP socket is multiplexed through a single `poll` call
+//!   instead of one helper thread per connection.
 
 pub mod driver;
 pub mod mem;
+pub mod reactor;
 pub mod shaper;
 pub mod tcp;
 pub mod traits;
 
 pub use driver::{ConnDriver, DriverEvent, SharedConn, Token};
 pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
+#[cfg(unix)]
+pub use reactor::Reactor;
 pub use shaper::Shaper;
 pub use tcp::{TcpAcceptor, TcpConn, UdpDatagram};
 pub use traits::{read_exact_timeout, Conn, Datagram, Listener};

@@ -60,8 +60,7 @@ impl Pipe {
             match timeout {
                 None => self.cond.wait(&mut s),
                 Some(d) => {
-                    if self.cond.wait_for(&mut s, d).timed_out() && s.data.is_empty() && !s.closed
-                    {
+                    if self.cond.wait_for(&mut s, d).timed_out() && s.data.is_empty() && !s.closed {
                         return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
                     }
                 }
@@ -78,8 +77,7 @@ impl Pipe {
             match timeout {
                 None => self.cond.wait(&mut s),
                 Some(d) => {
-                    if self.cond.wait_for(&mut s, d).timed_out() && s.data.is_empty() && !s.closed
-                    {
+                    if self.cond.wait_for(&mut s, d).timed_out() && s.data.is_empty() && !s.closed {
                         return Ok(false);
                     }
                 }
@@ -280,9 +278,9 @@ impl MemNet {
         let shaper = self.shaper.lock().clone();
         let (client, server) = MemConn::pair_shaped(shaper);
         let (ack_tx, ack_rx) = bounded(1);
-        entry_tx.send((server, ack_tx)).map_err(|_| {
-            io::Error::new(io::ErrorKind::ConnectionRefused, "listener closed")
-        })?;
+        entry_tx
+            .send((server, ack_tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener closed"))?;
         // Wait for accept so connect() has TCP-like semantics.
         ack_rx
             .recv_timeout(Duration::from_secs(10))

@@ -55,15 +55,26 @@ impl Conn for TcpConn {
 
     fn wait_readable(&self, timeout: Option<Duration>) -> io::Result<bool> {
         // `peek` blocks until at least one byte is available or the peer
-        // closes (returns 0); the read timeout bounds the wait.
+        // closes (returns 0); the read timeout bounds the wait. The
+        // caller-configured timeout is restored afterwards so the wait
+        // does not clobber subsequent reads.
+        let previous = self.stream.read_timeout()?;
         self.stream.set_read_timeout(timeout)?;
         let mut byte = [0u8; 1];
-        match self.stream.peek(&mut byte) {
+        let result = match self.stream.peek(&mut byte) {
             Ok(_) => Ok(true),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(false),
             Err(e) if e.kind() == io::ErrorKind::TimedOut => Ok(false),
             Err(e) => Err(e),
-        }
+        };
+        self.stream.set_read_timeout(previous)?;
+        result
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<std::os::fd::RawFd> {
+        use std::os::fd::AsRawFd;
+        Some(self.stream.as_raw_fd())
     }
 
     fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
@@ -170,8 +181,7 @@ impl Datagram for UdpDatagram {
         match self.socket.recv_from(buf) {
             Ok((n, from)) => Ok(Some((n, from.to_string()))),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
@@ -234,9 +244,7 @@ mod tests {
         assert!(!server
             .wait_readable(Some(Duration::from_millis(5)))
             .unwrap());
-        assert!(server
-            .wait_readable(Some(Duration::from_secs(2)))
-            .unwrap());
+        assert!(server.wait_readable(Some(Duration::from_secs(2))).unwrap());
         t.join().unwrap();
     }
 

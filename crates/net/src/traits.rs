@@ -32,6 +32,15 @@ pub trait Conn: io::Read + io::Write + Send {
         false
     }
 
+    /// The raw OS file descriptor backing this connection, when one
+    /// exists. Transports that return `Some` are multiplexed by the
+    /// driver's poll(2) reactor thread instead of per-connection helper
+    /// threads; in-memory transports return `None` and use watches.
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<std::os::fd::RawFd> {
+        None
+    }
+
     /// Creates an independent handle to the same connection (for
     /// concurrent reader/writer threads).
     fn try_clone(&self) -> io::Result<Box<dyn Conn>>;

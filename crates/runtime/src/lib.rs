@@ -52,6 +52,6 @@ pub use locks::{FlowId, LockManager, ReentrantRwLock};
 pub use profile::{HotOrder, HotPath, PathProfiler};
 pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
-pub use runtimes::{start, RuntimeKind, ServerHandle};
+pub use runtimes::{shard_index, start, RuntimeKind, ServerHandle};
 pub use server::{FlowCursor, FluxServer, LockWait, Step};
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{LatencyHistogram, ServerStats, ShardStat};

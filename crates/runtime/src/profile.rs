@@ -121,12 +121,7 @@ impl PathProfiler {
 
     /// Produces the hot-path report for flow `fi`: every executed path
     /// with count and mean time, sorted by `order`.
-    pub fn report(
-        &self,
-        program: &CompiledProgram,
-        fi: usize,
-        order: HotOrder,
-    ) -> Vec<HotPath> {
+    pub fn report(&self, program: &CompiledProgram, fi: usize, order: HotOrder) -> Vec<HotPath> {
         let flow = &program.flows[fi];
         let f = &self.flows[fi];
         let mut out = Vec::new();
@@ -145,11 +140,11 @@ impl PathProfiler {
             }
         }
         match order {
-            HotOrder::ByCount => out.sort_by(|a, b| b.count.cmp(&a.count)),
-            HotOrder::ByTotalTime => out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns)),
-            HotOrder::ByMeanTime => out.sort_by(|a, b| {
-                (b.total_ns / b.count.max(1)).cmp(&(a.total_ns / a.count.max(1)))
-            }),
+            HotOrder::ByCount => out.sort_by_key(|h| std::cmp::Reverse(h.count)),
+            HotOrder::ByTotalTime => out.sort_by_key(|h| std::cmp::Reverse(h.total_ns)),
+            HotOrder::ByMeanTime => {
+                out.sort_by_key(|h| std::cmp::Reverse(h.total_ns / h.count.max(1)))
+            }
         }
         out
     }

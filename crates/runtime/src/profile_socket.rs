@@ -91,7 +91,7 @@ mod tests {
             }
         });
         reg.node("Work", |n: &mut u64| {
-            if *n % 10 == 0 {
+            if (*n).is_multiple_of(10) {
                 NodeOutcome::Err(1)
             } else {
                 NodeOutcome::Ok
@@ -140,7 +140,10 @@ mod tests {
         let reply = ask(&server, "count");
         assert!(reply.contains("flow 0 (source Gen)"), "{reply}");
         assert!(reply.contains("Gen -> Work -> Out"), "{reply}");
-        assert!(reply.contains("90x") || reply.contains("        90"), "{reply}");
+        assert!(
+            reply.contains("90x") || reply.contains("        90"),
+            "{reply}"
+        );
         // The error path appears too (10 injected failures).
         assert!(reply.contains("ERROR"), "{reply}");
     }
@@ -170,10 +173,9 @@ mod tests {
 
     #[test]
     fn unprofiled_server_reports_disabled() {
-        let program = flux_core::compile(
-            "Gen () => (int n); Out (int n) => (); F = Out; source Gen => F;",
-        )
-        .unwrap();
+        let program =
+            flux_core::compile("Gen () => (int n); Out (int n) => (); F = Out; source Gen => F;")
+                .unwrap();
         let mut reg: NodeRegistry<u64> = NodeRegistry::new();
         reg.source("Gen", || SourceOutcome::Shutdown);
         reg.node("Out", |_| NodeOutcome::Ok);

@@ -8,11 +8,37 @@
 //!   flow is created, the data flow is queued and handled in first-in
 //!   first-out order."
 //! * **Event-driven** — "every input to a functional node is treated as
-//!   an event ... handled in turn by a single thread." Nodes flagged as
+//!   an event ... handled in turn by a single thread." Our runtime
+//!   generalizes the paper's single dispatcher to `shards` dispatcher
+//!   threads so flow execution scales across cores; `shards: 1`
+//!   reproduces the paper's configuration exactly. Nodes flagged as
 //!   blocking are off-loaded to an I/O helper pool that posts a
-//!   completion event back to the queue — the moral equivalent of the
+//!   completion event back to the queues — the moral equivalent of the
 //!   paper's LD_PRELOAD shim plus its select-based callback-simulation
-//!   thread.
+//!   thread (now a real poll(2) reactor on the network side; see
+//!   `flux-net`'s reactor module).
+//!
+//!   **Sharding design.** Each shard owns a local FIFO run queue of
+//!   [`FlowCursor`] events. New flows are routed by *session affinity*:
+//!   a cursor whose source declared a session function hashes its
+//!   session id to a fixed home shard, so session-scoped constraint
+//!   locks stay core-local; sessionless cursors hash their flow id,
+//!   which spreads load round-robin-ish. When a shard's queue drains it
+//!   *steals* the oldest event from a sibling's queue (preserving FIFO
+//!   latency ordering), keeping all cores busy under skew; fairness
+//!   re-queues stay on the executing shard rather than re-routing
+//!   home. A `Step::WouldBlock` retry is re-routed
+//!   to the cursor's home shard rather than the thief's queue, so a
+//!   blocked session flow stops ping-ponging between cores while the
+//!   lock holder (pinned to the same home shard) makes progress.
+//!   Per-shard queue-depth, steal and affinity counters land in
+//!   [`crate::stats::ShardStat`].
+//!
+//!   **Shutdown.** A shard may exit only when every source loop has
+//!   exited *and* the global live-event count is zero; the count is
+//!   incremented at submission and decremented at `Step::Done`, so
+//!   events parked in sibling queues or the I/O pool keep every shard
+//!   alive until the system is fully drained.
 //! * **Staged** — a SEDA-style runtime (paper §3.2.3 reports a prototype
 //!   "that targets Java, using both SEDA and a custom runtime
 //!   implementation"): every concrete node is a stage with its own FIFO
@@ -23,7 +49,11 @@
 //! [`FluxServer`] value runs unchanged on any of the four.
 
 use crate::server::{FlowCursor, FluxServer, LockWait, Step};
+use crate::stats::ShardStat;
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -35,12 +65,28 @@ pub enum RuntimeKind {
     ThreadPerFlow,
     /// Fixed worker pool with a FIFO queue.
     ThreadPool { workers: usize },
-    /// Single dispatcher thread; blocking nodes off-loaded to `io_workers`
-    /// helpers.
-    EventDriven { io_workers: usize },
+    /// `shards` dispatcher threads with session-affine routing and work
+    /// stealing; blocking nodes off-loaded to `io_workers` helpers.
+    /// `shards: 1` is the paper's single-dispatcher configuration.
+    EventDriven { shards: usize, io_workers: usize },
     /// SEDA-style: one FIFO queue + `stage_workers` threads per concrete
     /// node (paper §3.2.3's SEDA target).
     Staged { stage_workers: usize },
+}
+
+impl RuntimeKind {
+    /// The paper's single-dispatcher event-driven runtime (`shards: 1`).
+    pub fn event_driven(io_workers: usize) -> Self {
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers,
+        }
+    }
+
+    /// The multi-core event-driven runtime.
+    pub fn event_driven_sharded(shards: usize, io_workers: usize) -> Self {
+        RuntimeKind::EventDriven { shards, io_workers }
+    }
 }
 
 /// A running server: join it or stop it.
@@ -75,14 +121,13 @@ impl<P: Send + 'static> ServerHandle<P> {
 }
 
 /// Starts `server` on the chosen runtime.
-pub fn start<P: Send + 'static>(
-    server: Arc<FluxServer<P>>,
-    kind: RuntimeKind,
-) -> ServerHandle<P> {
+pub fn start<P: Send + 'static>(server: Arc<FluxServer<P>>, kind: RuntimeKind) -> ServerHandle<P> {
     let threads = match kind {
         RuntimeKind::ThreadPerFlow => start_thread_per_flow(&server),
         RuntimeKind::ThreadPool { workers } => start_thread_pool(&server, workers.max(1)),
-        RuntimeKind::EventDriven { io_workers } => start_event_driven(&server, io_workers.max(1)),
+        RuntimeKind::EventDriven { shards, io_workers } => {
+            start_event_driven(&server, shards.max(1), io_workers.max(1))
+        }
         RuntimeKind::Staged { stage_workers } => start_staged(&server, stage_workers.max(1)),
     };
     ServerHandle { server, threads }
@@ -93,7 +138,7 @@ fn source_loop<P: Send + 'static>(
     fi: usize,
     submit: impl Fn(FlowCursor, P) + Send + 'static,
 ) -> JoinHandle<()> {
-    source_loop_counted(server, fi, submit, None)
+    source_loop_on_exit(server, fi, submit, || {})
 }
 
 fn source_loop_counted<P: Send + 'static>(
@@ -101,6 +146,22 @@ fn source_loop_counted<P: Send + 'static>(
     fi: usize,
     submit: impl Fn(FlowCursor, P) + Send + 'static,
     active: Option<Arc<std::sync::atomic::AtomicUsize>>,
+) -> JoinHandle<()> {
+    source_loop_on_exit(server, fi, submit, move || {
+        if let Some(active) = active {
+            active.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    })
+}
+
+/// The one source-lifecycle protocol every runtime shares: poll the
+/// source until it shuts down, hand each new flow to `submit`, then run
+/// `on_exit` (runtime-specific bookkeeping) exactly once.
+fn source_loop_on_exit<P: Send + 'static>(
+    server: &Arc<FluxServer<P>>,
+    fi: usize,
+    submit: impl Fn(FlowCursor, P) + Send + 'static,
+    on_exit: impl FnOnce() + Send + 'static,
 ) -> JoinHandle<()> {
     let server = server.clone();
     thread::Builder::new()
@@ -113,9 +174,7 @@ fn source_loop_counted<P: Send + 'static>(
                     Some(Some((cursor, payload))) => submit(cursor, payload),
                 }
             }
-            if let Some(active) = active {
-                active.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-            }
+            on_exit();
         })
         .expect("spawn source thread")
 }
@@ -175,43 +234,135 @@ struct Event<P> {
     payload: P,
 }
 
+/// The session-affinity routing hash of the sharded event runtime: maps
+/// a session id (or flow id for sessionless cursors) to its home shard.
+/// Public so tests and benchmarks can predict placements; Fibonacci
+/// hashing keeps consecutive ids from correlating with the shard count.
+pub fn shard_index(key: u64, shards: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards.max(1)
+}
+
+/// One dispatcher shard: a local FIFO run queue plus a wake-up condvar.
+struct Shard<P> {
+    queue: Mutex<VecDeque<Event<P>>>,
+    cond: Condvar,
+}
+
+/// The shared state of the sharded event-driven runtime.
+struct ShardSet<P> {
+    shards: Vec<Shard<P>>,
+    /// This run's per-shard counters (also published into the server's
+    /// [`crate::stats::ServerStats`] for observers).
+    stats: Arc<[ShardStat]>,
+    /// Source loops still running; shards may not exit while a source
+    /// could still produce events.
+    active_sources: AtomicUsize,
+    /// Events alive anywhere in the system — queued on any shard, being
+    /// executed, or parked in the I/O pool. Incremented at submission,
+    /// decremented at `Step::Done`.
+    live: AtomicUsize,
+}
+
+impl<P> ShardSet<P> {
+    fn new(n: usize, sources: usize) -> Self {
+        ShardSet {
+            shards: (0..n)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+            stats: (0..n).map(|_| ShardStat::default()).collect(),
+            active_sources: AtomicUsize::new(sources),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// The home shard for a cursor: session id when the source declares
+    /// one (affinity keeps session-scoped locks core-local), otherwise
+    /// the flow id (spreads sessionless flows evenly).
+    fn home_of(&self, cursor: &FlowCursor) -> usize {
+        shard_index(cursor.session.unwrap_or(cursor.flow_id), self.shards.len())
+    }
+
+    /// Enqueues an event on its home shard (affinity routing: new
+    /// flows, I/O completions, `WouldBlock` retries) and wakes the
+    /// dispatcher. Session-carrying events count toward the home
+    /// shard's `affine` counter.
+    fn route_home(&self, ev: Event<P>) {
+        let home = self.home_of(&ev.cursor);
+        if ev.cursor.session.is_some() {
+            self.stats[home].affine.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enqueue(home, ev);
+    }
+
+    /// Enqueues an event on shard `si` without affinity accounting
+    /// (fairness re-queues stay wherever the event is running).
+    fn enqueue(&self, si: usize, ev: Event<P>) {
+        let mut q = self.shards[si].queue.lock();
+        q.push_back(ev);
+        let depth = q.len() as u64;
+        self.stats[si].enqueue(depth);
+        drop(q);
+        self.shards[si].cond.notify_one();
+        // Backlog building on one shard: nudge a sibling so an idle
+        // thief notices without waiting out its idle timeout.
+        if depth > 1 && self.shards.len() > 1 {
+            let sibling = (si + 1) % self.shards.len();
+            self.shards[sibling].cond.notify_one();
+        }
+    }
+
+    /// Wakes every shard so it can re-check the exit condition.
+    fn wake_all(&self) {
+        for s in &self.shards {
+            s.cond.notify_all();
+        }
+    }
+
+    /// True when no event exists anywhere and none can be created.
+    fn drained(&self) -> bool {
+        self.active_sources.load(Ordering::SeqCst) == 0 && self.live.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sharded event-driven runtime. With `shards == 1` this is the
+/// paper's single-dispatcher configuration; with more shards, flow
+/// execution spreads over cores with session-affine routing and work
+/// stealing (see the module docs for the full design).
 fn start_event_driven<P: Send + 'static>(
     server: &Arc<FluxServer<P>>,
+    shards: usize,
     io_workers: usize,
 ) -> Vec<JoinHandle<()>> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let (main_tx, main_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
     let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
-    // Sources still running, and flows currently off-loaded to the I/O
-    // pool: the dispatcher may only exit when both reach zero and its
-    // queues are drained.
-    let active_sources = Arc::new(AtomicUsize::new(server.flow_count()));
-    let offloaded = Arc::new(AtomicUsize::new(0));
+    let set = Arc::new(ShardSet::<P>::new(shards, server.flow_count()));
+    server.stats.install_shards(set.stats.clone());
 
     let mut threads = Vec::new();
 
     // I/O helper pool: runs exactly one (blocking) node execution, then
-    // posts the flow back to the main queue — the paper's asynchronous
-    // completion signal.
+    // posts the flow back to its home shard — the paper's asynchronous
+    // completion signal, now with core affinity.
     for i in 0..io_workers {
         let srv = server.clone();
         let io_rx = io_rx.clone();
-        let main_tx = main_tx.clone();
-        let offloaded = offloaded.clone();
+        let set = set.clone();
         threads.push(
             thread::Builder::new()
                 .name(format!("flux-io-{i}"))
                 .spawn(move || {
                     while let Ok(mut ev) = io_rx.recv() {
                         match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Block) {
-                            Step::Done(_) => {}
-                            Step::Continue => {
-                                let _ = main_tx.send(ev);
+                            Step::Done(_) => {
+                                if set.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                    set.wake_all();
+                                }
                             }
+                            Step::Continue => set.route_home(ev),
                             Step::WouldBlock => unreachable!("Block mode"),
                         }
-                        offloaded.fetch_sub(1, Ordering::SeqCst);
                     }
                 })
                 .expect("spawn io worker"),
@@ -219,104 +370,145 @@ fn start_event_driven<P: Send + 'static>(
     }
     drop(io_rx);
 
-    // The single dispatcher: handles each event in turn. A "unit" is
-    // everything up to and including the next node execution, matching
-    // the paper's one-event-per-node-input model while keeping
-    // bookkeeping vertices (locks, dispatch) out of the queue. Events
-    // that must wait (lock contention, fairness re-queues) go to a local
-    // deque so the channel disconnect semantics stay clean.
-    {
+    // Dispatcher shards: each handles events from its own queue in turn.
+    // A "unit" is everything up to and including the next node
+    // execution, matching the paper's one-event-per-node-input model
+    // while keeping bookkeeping vertices (locks, dispatch) out of the
+    // queues.
+    for si in 0..shards {
         let srv = server.clone();
-        let active_sources = active_sources.clone();
-        let offloaded = offloaded.clone();
+        let set = set.clone();
+        let io_tx = io_tx.clone();
         threads.push(
             thread::Builder::new()
-                .name("flux-dispatcher".into())
-                .spawn(move || {
-                    let mut local: std::collections::VecDeque<Event<P>> =
-                        std::collections::VecDeque::new();
-                    let mut blocked_streak = 0usize;
-                    let offload = |ev: Event<P>| {
-                        offloaded.fetch_add(1, Ordering::SeqCst);
-                        let _ = io_tx.send(ev);
-                    };
-                    loop {
-                        // Drain the channel into the local deque, then
-                        // take the oldest event.
-                        while let Ok(ev) = main_rx.try_recv() {
-                            local.push_back(ev);
-                        }
-                        let Some(mut ev) = local.pop_front() else {
-                            if active_sources.load(Ordering::SeqCst) == 0
-                                && offloaded.load(Ordering::SeqCst) == 0
-                                && main_rx.is_empty()
-                            {
-                                return;
-                            }
-                            match main_rx.recv_timeout(Duration::from_millis(5)) {
-                                Ok(ev) => local.push_back(ev),
-                                Err(channel::RecvTimeoutError::Timeout) => {}
-                                Err(channel::RecvTimeoutError::Disconnected) => return,
-                            }
-                            continue;
-                        };
-                        let mut executed_node = false;
-                        loop {
-                            if srv.at_blocking_exec(&ev.cursor) {
-                                offload(ev);
-                                blocked_streak = 0;
-                                break;
-                            }
-                            let at_exec = srv.at_exec(&ev.cursor);
-                            if at_exec && executed_node {
-                                // One node execution per queue turn:
-                                // re-queue for fairness.
-                                local.push_back(ev);
-                                break;
-                            }
-                            match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Try) {
-                                Step::Continue => {
-                                    blocked_streak = 0;
-                                    if at_exec {
-                                        executed_node = true;
-                                    }
-                                }
-                                Step::Done(_) => {
-                                    blocked_streak = 0;
-                                    break;
-                                }
-                                Step::WouldBlock => {
-                                    blocked_streak += 1;
-                                    // Every queued event may be waiting on
-                                    // a lock held by an off-loaded flow;
-                                    // back off instead of spinning.
-                                    if blocked_streak > local.len().max(4) {
-                                        thread::sleep(Duration::from_micros(100));
-                                    }
-                                    local.push_back(ev);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                })
-                .expect("spawn dispatcher"),
+                .name(format!("flux-shard-{si}"))
+                .spawn(move || run_shard(&srv, &set, si, &io_tx))
+                .expect("spawn dispatcher shard"),
         );
     }
+    drop(io_tx);
 
     for fi in 0..server.flow_count() {
-        let main_tx = main_tx.clone();
-        threads.push(source_loop_counted(
+        let submit_set = set.clone();
+        let exit_set = set.clone();
+        threads.push(source_loop_on_exit(
             server,
             fi,
             move |cursor, payload| {
-                let _ = main_tx.send(Event { cursor, payload });
+                submit_set.live.fetch_add(1, Ordering::SeqCst);
+                submit_set.route_home(Event { cursor, payload });
             },
-            Some(active_sources.clone()),
+            move || {
+                if exit_set.active_sources.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    exit_set.wake_all();
+                }
+            },
         ));
     }
-    drop(main_tx);
     threads
+}
+
+/// One dispatcher shard's main loop.
+fn run_shard<P: Send + 'static>(
+    srv: &FluxServer<P>,
+    set: &ShardSet<P>,
+    si: usize,
+    io_tx: &Sender<Event<P>>,
+) {
+    let stats = &set.stats;
+    let n = set.shards.len();
+    let mut blocked_streak = 0usize;
+    loop {
+        // Own queue first, then steal the *oldest* event from a
+        // sibling's queue (both ends share one lock, so front-stealing
+        // costs nothing extra and preserves FIFO latency ordering under
+        // skew), then wait.
+        let mut next = {
+            let mut q = set.shards[si].queue.lock();
+            let ev = q.pop_front();
+            if ev.is_some() {
+                stats[si].depth.store(q.len() as u64, Ordering::Relaxed);
+                stats[si].executed.fetch_add(1, Ordering::Relaxed);
+            }
+            ev
+        };
+        if next.is_none() && n > 1 {
+            for k in 1..n {
+                let j = (si + k) % n;
+                let mut qj = set.shards[j].queue.lock();
+                if let Some(ev) = qj.pop_front() {
+                    stats[j].depth.store(qj.len() as u64, Ordering::Relaxed);
+                    drop(qj);
+                    stats[si].stolen.fetch_add(1, Ordering::Relaxed);
+                    next = Some(ev);
+                    break;
+                }
+            }
+        }
+        let Some(mut ev) = next else {
+            if set.drained() {
+                return;
+            }
+            let mut q = set.shards[si].queue.lock();
+            if q.is_empty() && !set.drained() {
+                // Wake-ups come from submissions to this shard, backlog
+                // nudges from busy siblings, and drain/shutdown
+                // broadcasts; the timeout is only a backstop, so idle
+                // shards cost ~100 wakeups/s, not a hot poll.
+                set.shards[si]
+                    .cond
+                    .wait_for(&mut q, Duration::from_millis(10));
+            }
+            continue;
+        };
+        let mut executed_node = false;
+        loop {
+            if srv.at_blocking_exec(&ev.cursor) {
+                // The event stays live while parked in the I/O pool.
+                let _ = io_tx.send(ev);
+                blocked_streak = 0;
+                break;
+            }
+            let at_exec = srv.at_exec(&ev.cursor);
+            if at_exec && executed_node {
+                // One node execution per queue turn: re-queue locally
+                // for fairness (not affinity routing — a stolen event
+                // keeps running on the thief).
+                set.enqueue(si, ev);
+                break;
+            }
+            match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Try) {
+                Step::Continue => {
+                    blocked_streak = 0;
+                    if at_exec {
+                        executed_node = true;
+                    }
+                }
+                Step::Done(_) => {
+                    blocked_streak = 0;
+                    if set.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        set.wake_all();
+                    }
+                    break;
+                }
+                Step::WouldBlock => {
+                    blocked_streak += 1;
+                    // Every queued event may be waiting on a lock held
+                    // by an off-loaded flow; back off instead of
+                    // spinning.
+                    let depth = set.shards[si].queue.lock().len();
+                    if blocked_streak > depth.max(4) {
+                        thread::sleep(Duration::from_micros(100));
+                    }
+                    // Retry on the cursor's home shard: a blocked
+                    // session flow waits where its lock holder runs
+                    // instead of ping-ponging between thieves.
+                    set.route_home(ev);
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// The SEDA-style staged runtime: one queue and worker pool per concrete
@@ -453,7 +645,7 @@ mod tests {
             } else {
                 SourceOutcome::New(P {
                     n: i,
-                    valid: i % 2 == 0,
+                    valid: i.is_multiple_of(2),
                 })
             }
         });
@@ -474,8 +666,7 @@ mod tests {
         let program = flux_core::compile(flux_core::fixtures::MINI_PIPELINE).unwrap();
         let sum = Arc::new(AtomicU64::new(0));
         let server = Arc::new(
-            crate::server::FluxServer::new(program, counting_registry(total, sum.clone()))
-                .unwrap(),
+            crate::server::FluxServer::new(program, counting_registry(total, sum.clone())).unwrap(),
         );
         let handle = start(server.clone(), kind);
         handle.join();
@@ -504,9 +695,30 @@ mod tests {
 
     #[test]
     fn event_driven_completes_all() {
-        let (done, sum) = run_on(RuntimeKind::EventDriven { io_workers: 2 }, 500);
+        let (done, sum) = run_on(
+            RuntimeKind::EventDriven {
+                shards: 1,
+                io_workers: 2,
+            },
+            500,
+        );
         assert_eq!(done, 500);
         assert_eq!(sum, (0..500).sum::<u64>());
+    }
+
+    #[test]
+    fn event_driven_sharded_completes_all() {
+        for shards in [2, 4, 8] {
+            let (done, sum) = run_on(
+                RuntimeKind::EventDriven {
+                    shards,
+                    io_workers: 2,
+                },
+                500,
+            );
+            assert_eq!(done, 500, "shards={shards}");
+            assert_eq!(sum, (0..500).sum::<u64>(), "shards={shards}");
+        }
     }
 
     #[test]
@@ -579,7 +791,14 @@ mod tests {
         for kind in [
             RuntimeKind::ThreadPerFlow,
             RuntimeKind::ThreadPool { workers: 8 },
-            RuntimeKind::EventDriven { io_workers: 4 },
+            RuntimeKind::EventDriven {
+                shards: 1,
+                io_workers: 4,
+            },
+            RuntimeKind::EventDriven {
+                shards: 4,
+                io_workers: 4,
+            },
             RuntimeKind::Staged { stage_workers: 4 },
         ] {
             let program = flux_core::compile(SRC).unwrap();
@@ -605,14 +824,11 @@ mod tests {
                 NodeOutcome::Ok
             });
             r.node("Done", |_| NodeOutcome::Ok);
-            let server =
-                Arc::new(crate::server::FluxServer::new(program, r).unwrap());
+            let server = Arc::new(crate::server::FluxServer::new(program, r).unwrap());
             let handle = start(server.clone(), kind);
             handle.join();
             let deadline = std::time::Instant::now() + Duration::from_secs(10);
-            while server.stats.finished() < total
-                && std::time::Instant::now() < deadline
-            {
+            while server.stats.finished() < total && std::time::Instant::now() < deadline {
                 thread::sleep(Duration::from_millis(5));
             }
             assert_eq!(server.stats.finished(), total, "{kind:?}");

@@ -137,12 +137,13 @@ impl<P: Send + 'static> FluxServer<P> {
                         count: graph.nodes[*node].constraints.len(),
                         next: *next,
                     },
-                    FlatVertex::Exec { node, on_ok, on_err } => {
+                    FlatVertex::Exec {
+                        node,
+                        on_ok,
+                        on_err,
+                    } => {
                         let name = graph.name(*node);
-                        let entry = registry
-                            .node_entry(name)
-                            .expect("validated above")
-                            .clone();
+                        let entry = registry.node_entry(name).expect("validated above").clone();
                         let may_block = entry.may_block || graph.nodes[*node].blocking;
                         ResolvedVertex::Exec {
                             entry,
@@ -277,7 +278,10 @@ impl<P: Send + 'static> FluxServer<P> {
     pub fn at_blocking_exec(&self, cur: &FlowCursor) -> bool {
         matches!(
             self.flows[cur.flow_idx].verts[cur.vertex],
-            ResolvedVertex::Exec { may_block: true, .. }
+            ResolvedVertex::Exec {
+                may_block: true,
+                ..
+            }
         )
     }
 
@@ -332,10 +336,7 @@ impl<P: Send + 'static> FluxServer<P> {
                     if !acquired {
                         return Step::WouldBlock;
                     }
-                    cur.held.push(HeldLock {
-                        lock,
-                        mode: c.mode,
-                    });
+                    cur.held.push(HeldLock { lock, mode: c.mode });
                     cur.acquire_progress += 1;
                 }
                 cur.acquire_progress = 0;
@@ -363,11 +364,7 @@ impl<P: Send + 'static> FluxServer<P> {
                 let t0 = profiling.then(Instant::now);
                 let outcome = (entry.f)(payload);
                 if let (Some(prof), Some(t0)) = (&self.profiler, t0) {
-                    prof.record_exec(
-                        cur.flow_idx,
-                        cur.vertex,
-                        t0.elapsed().as_nanos() as u64,
-                    );
+                    prof.record_exec(cur.flow_idx, cur.vertex, t0.elapsed().as_nanos() as u64);
                 }
                 match outcome {
                     NodeOutcome::Ok => self.take_edge(cur, 0, *on_ok),
@@ -512,16 +509,15 @@ mod tests {
             let cursor = s.new_cursor(0, &payload);
             s.run_flow(cursor, payload);
         }
-        let report = s
-            .profiler()
-            .unwrap()
-            .report(s.program(), 0, crate::profile::HotOrder::ByCount);
+        let report =
+            s.profiler()
+                .unwrap()
+                .report(s.program(), 0, crate::profile::HotOrder::ByCount);
         assert_eq!(report.len(), 3, "three distinct paths executed");
         assert_eq!(report[0].count, 2);
-        let display = report[0].info.display(
-            &s.program().graph,
-            &s.program().flows[0].flat,
-        );
+        let display = report[0]
+            .info
+            .display(&s.program().graph, &s.program().flows[0].flat);
         assert!(display.starts_with("Listen -> Parse -> Respond"));
     }
 

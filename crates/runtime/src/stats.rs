@@ -83,6 +83,30 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-shard counters for the sharded event-driven runtime: queue depth
+/// (current and high-water), executed events, and work-stealing traffic.
+#[derive(Debug, Default)]
+pub struct ShardStat {
+    /// Events currently queued on this shard.
+    pub depth: AtomicU64,
+    /// High-water mark of `depth`.
+    pub max_depth: AtomicU64,
+    /// Events this shard dequeued from its own queue.
+    pub executed: AtomicU64,
+    /// Events this shard stole from other shards' queues.
+    pub stolen: AtomicU64,
+    /// Events routed to this shard because of session affinity (the
+    /// cursor carried a session id).
+    pub affine: AtomicU64,
+}
+
+impl ShardStat {
+    pub(crate) fn enqueue(&self, new_depth: u64) {
+        self.depth.store(new_depth, Ordering::Relaxed);
+        self.max_depth.fetch_max(new_depth, Ordering::Relaxed);
+    }
+}
+
 /// Counters for every way a flow can finish, plus latency.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -92,6 +116,11 @@ pub struct ServerStats {
     pub handled: AtomicU64,
     pub nomatch: AtomicU64,
     pub latency: LatencyHistogram,
+    /// Installed by the sharded event-driven runtime at start; `None`
+    /// under the other runtimes. Every `start` installs a fresh block
+    /// sized to its own shard count, so restarting the same server with
+    /// a different count never reads a stale (or too-small) block.
+    shards: parking_lot::Mutex<Option<std::sync::Arc<[ShardStat]>>>,
 }
 
 impl ServerStats {
@@ -109,6 +138,24 @@ impl ServerStats {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.latency.record(latency);
+    }
+
+    /// Publishes the per-shard counter block of the run being started,
+    /// replacing any block from a previous run of this server.
+    pub(crate) fn install_shards(&self, block: std::sync::Arc<[ShardStat]>) {
+        *self.shards.lock() = Some(block);
+    }
+
+    /// Per-shard counters of the most recent sharded event-runtime run.
+    pub fn shard_stats(&self) -> Option<std::sync::Arc<[ShardStat]>> {
+        self.shards.lock().clone()
+    }
+
+    /// Total events stolen across all shards (work-stealing traffic).
+    pub fn total_steals(&self) -> u64 {
+        self.shard_stats()
+            .map(|s| s.iter().map(|st| st.stolen.load(Ordering::Relaxed)).sum())
+            .unwrap_or(0)
     }
 
     /// Total finished flows.
@@ -156,7 +203,10 @@ mod tests {
             Duration::from_micros(5),
         );
         s.record_end(
-            flux_core::EndKind::Handled { node: 0, handler: 1 },
+            flux_core::EndKind::Handled {
+                node: 0,
+                handler: 1,
+            },
             Duration::from_micros(5),
         );
         assert_eq!(s.completed.load(Ordering::Relaxed), 1);

@@ -2,10 +2,10 @@
 //! random interleavings, and flow accounting across runtimes for random
 //! programs.
 
+use flux_core::ConstraintMode;
 use flux_runtime::{
     start, FluxServer, NodeOutcome, NodeRegistry, ReentrantRwLock, RuntimeKind, SourceOutcome,
 };
-use flux_core::ConstraintMode;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,7 +81,7 @@ proptest! {
         });
         let em = err_mod;
         reg.node("Check", move |n: &mut u64| {
-            if *n % em == 0 { NodeOutcome::Err(1) } else { NodeOutcome::Ok }
+            if (*n).is_multiple_of(em) { NodeOutcome::Err(1) } else { NodeOutcome::Ok }
         });
         let sc = small_cut;
         reg.predicate("IsSmall", move |n: &u64| *n < sc);

@@ -392,8 +392,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
         let _ = guard.flush();
         drop(guard);
         c.blocks_served.fetch_add(1, Ordering::Relaxed);
-        c.bytes_up
-            .fetch_add(length as u64 + 13, Ordering::Relaxed);
+        c.bytes_up.fetch_add(length as u64 + 13, Ordering::Relaxed);
         NodeOutcome::Ok
     });
 
@@ -414,9 +413,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
         if let Some(Message::Bitfield(bits)) = &f.msg {
             if let Some(p) = c.peers.lock().get_mut(&f.token) {
                 for (i, h) in p.have.iter_mut().enumerate() {
-                    *h = bits
-                        .get(i / 8)
-                        .is_some_and(|b| b & (0x80 >> (i % 8)) != 0);
+                    *h = bits.get(i / 8).is_some_and(|b| b & (0x80 >> (i % 8)) != 0);
                 }
             }
         }
@@ -529,12 +526,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
     reg.node("SendChokeUnchoke", move |_f: &mut BtFlow| {
         // All peers unchoked: nothing to send, but touch the table under
         // the reader constraint as the real policy would.
-        let _interested = c
-            .peers
-            .lock()
-            .values()
-            .filter(|p| p.interested)
-            .count();
+        let _interested = c.peers.lock().values().filter(|p| p.interested).count();
         NodeOutcome::Ok
     });
 
@@ -548,7 +540,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
         for t in tokens {
             if let Some(conn) = c.driver.get(t) {
                 let mut guard = conn.lock();
-                
+
                 let _ = Message::KeepAlive.write_to(&mut **guard);
             }
         }
@@ -620,7 +612,7 @@ pub mod client {
         for piece in 0..meta.num_pieces() as u32 {
             for (begin, length) in piece_blocks(meta, piece) {
                 if let Some(k) = keepalive_every {
-                    if sent % k == 0 {
+                    if sent.is_multiple_of(k) {
                         Message::KeepAlive.write_to(&mut *conn)?;
                     }
                 }
@@ -711,8 +703,8 @@ mod tests {
         let (config, meta, file) = setup(&net, 200_000);
         let server = spawn(config, runtime, false);
         let conn = net.connect("peer").unwrap();
-        let got = client::download(Box::new(conn), &meta, *b"-FX0001-leecher00001", Some(3))
-            .unwrap();
+        let got =
+            client::download(Box::new(conn), &meta, *b"-FX0001-leecher00001", Some(3)).unwrap();
         assert_eq!(got, file, "downloaded file matches the seed");
         assert!(server.ctx.blocks_served.load(Ordering::Relaxed) > 0);
         assert!(server.ctx.keepalives_seen.load(Ordering::Relaxed) > 0);
@@ -726,7 +718,10 @@ mod tests {
 
     #[test]
     fn download_on_event_runtime() {
-        run_download_test(RuntimeKind::EventDriven { io_workers: 4 });
+        run_download_test(RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 4,
+        });
     }
 
     #[test]

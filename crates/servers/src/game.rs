@@ -103,7 +103,10 @@ pub fn build(config: GameConfig) -> (CompiledProgram, NodeRegistry<GameFlow>, Ar
             return SourceOutcome::Shutdown;
         }
         let mut buf = [0u8; 256];
-        match c.socket.recv_from(&mut buf, Some(Duration::from_millis(20))) {
+        match c
+            .socket
+            .recv_from(&mut buf, Some(Duration::from_millis(20)))
+        {
             Ok(Some((n, from))) => match ClientMsg::decode(&buf[..n]) {
                 Some(msg) => SourceOutcome::New(GameFlow {
                     msg: Some(msg),
@@ -219,11 +222,7 @@ pub struct GameServer {
 }
 
 /// Builds and starts the game server.
-pub fn spawn(
-    config: GameConfig,
-    runtime: flux_runtime::RuntimeKind,
-    profile: bool,
-) -> GameServer {
+pub fn spawn(config: GameConfig, runtime: flux_runtime::RuntimeKind, profile: bool) -> GameServer {
     let (program, reg, ctx) = build(config);
     let server = if profile {
         flux_runtime::FluxServer::with_profiling(program, reg)
@@ -330,7 +329,10 @@ mod tests {
 
     #[test]
     fn plays_on_event_runtime() {
-        run_game_test(RuntimeKind::EventDriven { io_workers: 2 });
+        run_game_test(RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 2,
+        });
     }
 
     #[test]

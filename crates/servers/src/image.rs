@@ -17,10 +17,10 @@
 //!   paper's 16-processor SunFire; see DESIGN.md §4).
 
 use flux_core::CompiledProgram;
+use flux_http::{read_request, ParseError, Response};
 use flux_image::{jpeg_encode, Image, LfuCache};
 use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
-use flux_http::{read_request, ParseError, Response};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,10 +102,7 @@ pub enum ImageSource {
     /// Open-loop synthetic arrivals: one request every `interarrival`,
     /// for `total` flows (the paper's load tester with n clients issues
     /// one request per 1/n s).
-    Synthetic {
-        interarrival: Duration,
-        total: u64,
-    },
+    Synthetic { interarrival: Duration, total: u64 },
 }
 
 /// Per-flow payload (the paper's per-flow struct).
@@ -166,9 +163,7 @@ impl Default for ImageConfig {
 }
 
 /// Builds the compiled Figure 2 program, registry and context.
-pub fn build(
-    config: ImageConfig,
-) -> (CompiledProgram, NodeRegistry<ImageFlow>, Arc<ImageCtx>) {
+pub fn build(config: ImageConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, Arc<ImageCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("image server Flux program compiles");
     let driver = match &config.source {
         ImageSource::Net(_) => Some(Arc::new(ConnDriver::new())),
@@ -181,7 +176,9 @@ pub fn build(
     let ctx = Arc::new(ImageCtx {
         driver: driver.clone(),
         disk: synth_disk(config.images, config.image_size),
-        cache: Mutex::new(LfuCache::new(config.cache_bytes, |v: &Arc<Vec<u8>>| v.len())),
+        cache: Mutex::new(LfuCache::new(config.cache_bytes, |v: &Arc<Vec<u8>>| {
+            v.len()
+        })),
         compress_mode: config.compress,
         bytes_out: AtomicU64::new(0),
         served: AtomicU64::new(0),
@@ -264,7 +261,10 @@ pub fn build(
                 NodeOutcome::Ok
             });
         }
-        ImageSource::Synthetic { interarrival, total } => {
+        ImageSource::Synthetic {
+            interarrival,
+            total,
+        } => {
             // Deterministic round-robin over (image, scale), matching the
             // paper's "randomly requests one of eight sizes of a
             // randomly-chosen image" in distribution.
@@ -469,7 +469,10 @@ mod tests {
                 image_size: 32,
                 cache_bytes: 1 << 20,
             },
-            RuntimeKind::EventDriven { io_workers: 2 },
+            RuntimeKind::EventDriven {
+                shards: 1,
+                io_workers: 2,
+            },
             false,
         );
         server.handle.join();
@@ -522,13 +525,21 @@ mod tests {
             false,
         );
         let mut conn = net.connect("img").unwrap();
-        write!(conn, "GET /img1-4.jpg HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /img1-4.jpg HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let (status, body) = flux_http::read_response(&mut conn).unwrap();
         assert_eq!(status, 200);
         assert!(flux_image::jpeg_probe(&body).is_ok(), "serves a real JPEG");
         // A missing image 404s through the error handler.
         let mut conn = net.connect("img").unwrap();
-        write!(conn, "GET /img99-4.jpg HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /img99-4.jpg HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let (status, _) = flux_http::read_response(&mut conn).unwrap();
         assert_eq!(status, 404);
 
@@ -552,22 +563,17 @@ mod tests {
             image_size: 32,
             cache_bytes: 1 << 20,
         });
-        let server = Arc::new(
-            flux_runtime::FluxServer::with_profiling(program, reg).unwrap(),
-        );
-        let handle = flux_runtime::start(
-            server.clone(),
-            RuntimeKind::ThreadPool { workers: 2 },
-        );
+        let server = Arc::new(flux_runtime::FluxServer::with_profiling(program, reg).unwrap());
+        let handle = flux_runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 2 });
         handle.join();
-        let report = server
-            .profiler()
-            .unwrap()
-            .report(server.program(), 0, flux_runtime::HotOrder::ByCount);
-        let hit = report.iter().find(|h| {
-            h.info.nodes
-                == vec!["ReadRequest", "CheckCache", "Write", "Complete"]
-        });
+        let report =
+            server
+                .profiler()
+                .unwrap()
+                .report(server.program(), 0, flux_runtime::HotOrder::ByCount);
+        let hit = report
+            .iter()
+            .find(|h| h.info.nodes == vec!["ReadRequest", "CheckCache", "Write", "Complete"]);
         assert!(hit.is_some(), "hit path executed: {report:?}");
         let _ = ctx;
     }

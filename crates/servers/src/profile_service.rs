@@ -81,8 +81,7 @@ mod tests {
         });
         reg.node("Work", |_| NodeOutcome::Ok);
         reg.node("Out", |_| NodeOutcome::Ok);
-        let server =
-            Arc::new(FluxServer::with_profiling(program, reg).expect("registry complete"));
+        let server = Arc::new(FluxServer::with_profiling(program, reg).expect("registry complete"));
         let handle = flux_runtime::start(server.clone(), RuntimeKind::ThreadPool { workers: 2 });
 
         let net = MemNet::new();

@@ -9,9 +9,9 @@
 //! servers, whose source nodes select over existing clients.
 
 use flux_core::CompiledProgram;
+use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
 use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
-use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -160,9 +160,7 @@ pub fn build(
     });
 
     reg.predicate("IsScript", |f: &WebFlow| {
-        f.request
-            .as_ref()
-            .is_some_and(|r| r.path.ends_with(".fxs"))
+        f.request.as_ref().is_some_and(|r| r.path.ends_with(".fxs"))
     });
 
     let c = ctx.clone();
@@ -309,7 +307,11 @@ mod tests {
 
     fn get(net: &Arc<MemNet>, path: &str) -> (u16, Vec<u8>) {
         let mut conn = net.connect("web").unwrap();
-        write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         read_response(&mut conn).unwrap()
     }
 
@@ -342,7 +344,18 @@ mod tests {
 
     #[test]
     fn serves_on_event_runtime() {
-        run_web_test(RuntimeKind::EventDriven { io_workers: 4 });
+        run_web_test(RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 4,
+        });
+    }
+
+    #[test]
+    fn serves_on_sharded_event_runtime() {
+        run_web_test(RuntimeKind::EventDriven {
+            shards: 4,
+            io_workers: 4,
+        });
     }
 
     #[test]

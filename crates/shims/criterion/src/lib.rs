@@ -1,0 +1,173 @@
+//! Minimal in-repo stand-in for the `criterion` crate (no crates.io
+//! access in the build environment). Runs each benchmark closure with a
+//! short warm-up, then measures for roughly the configured measurement
+//! time and prints mean ns/iter — enough to keep `cargo bench` and the
+//! microbench suite working without the real statistical machinery.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside the timing when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        let mut line = format!(
+            "{}/{}: {:>12.1} ns/iter ({} iters)",
+            self.name, id, per_iter_ns, b.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_s = match t {
+                Throughput::Bytes(n) => {
+                    format!(
+                        "{:.1} MiB/s",
+                        n as f64 / per_iter_ns.max(1.0) * 1e9 / (1 << 20) as f64
+                    )
+                }
+                Throughput::Elements(n) => {
+                    format!("{:.0} elem/s", n as f64 / per_iter_ns.max(1.0) * 1e9)
+                }
+            };
+            line.push_str(&format!("  [{per_s}]"));
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: time a handful of iterations.
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let per = (t0.elapsed() / 3).max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / per.as_nanos().max(1)).clamp(10, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = target;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,628 @@
+//! Minimal in-repo stand-in for the `proptest` crate (no crates.io
+//! access in the build environment). Generation-only property testing:
+//! the same `proptest!`/`Strategy` surface the workspace uses, driven by
+//! a deterministic per-test RNG. No shrinking — a failing case panics
+//! with the rendered assertion, which is enough to reproduce (cases are
+//! deterministic per test name and case index).
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Deterministic test RNG (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Builds the deterministic RNG for one test function.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::new(h)
+}
+
+/// Runner configuration (`cases` is the number of generated inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Cloneable so strategies compose and recurse.
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy {
+            gen: Arc::new(move |rng| s.generate(rng)),
+        }
+    }
+
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+        O: 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            gen: Arc::new(move |rng| f(s.generate(rng))),
+        }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            gen: Arc::new(move |rng| f(s.generate(rng)).generate(rng)),
+        }
+    }
+
+    /// Recursive strategies: applies `expand` up to `depth` times over
+    /// the leaf strategy. Generation-only, so `_size`/`_branch` hints
+    /// are unused.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            cur = expand(cur).boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: self.gen.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub fn union<T: 'static>(alts: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!alts.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        gen: Arc::new(move |rng| {
+            let k = rng.below(alts.len() as u64) as usize;
+            alts[k].generate(rng)
+        }),
+    }
+}
+
+// ---- primitive strategies --------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = self.clone().into_inner();
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// `&str` strategies are regex-subset generators: literals, `[...]`
+/// character classes (ranges, `\n`/`\t`/`\\` escapes) and `{m}`/`{m,n}`
+/// repetition — the subset this workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+enum RegexAtom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("checked");
+                let hi = chars.next().expect("peeked");
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                let esc = chars.next().unwrap_or('\\');
+                let lit = match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                pending = Some(lit);
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    ranges
+}
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(RegexAtom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => RegexAtom::Class(parse_class(&mut chars)),
+            '\\' => {
+                let esc = chars.next().unwrap_or('\\');
+                RegexAtom::Literal(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                })
+            }
+            other => RegexAtom::Literal(other),
+        };
+        let (mut lo, mut hi) = (1usize, 1usize);
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => {
+                    lo = a.trim().parse().unwrap_or(0);
+                    hi = b.trim().parse().unwrap_or(lo);
+                }
+                None => {
+                    lo = spec.trim().parse().unwrap_or(1);
+                    hi = lo;
+                }
+            }
+        } else if chars.peek() == Some(&'*') {
+            chars.next();
+            lo = 0;
+            hi = 8;
+        } else if chars.peek() == Some(&'+') {
+            chars.next();
+            lo = 1;
+            hi = 8;
+        } else if chars.peek() == Some(&'?') {
+            chars.next();
+            lo = 0;
+            hi = 1;
+        }
+        atoms.push((atom, lo, hi));
+    }
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            match &atom {
+                RegexAtom::Literal(c) => out.push(*c),
+                RegexAtom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (a, b) in ranges {
+                        let span = (*b as u64) - (*a as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick as u32).unwrap_or(*a));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---- tuples ----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ---- any::<T>() ------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Full-domain strategy for `T` (`any::<u8>()` and friends).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy {
+        gen: Arc::new(|rng| T::arbitrary(rng)),
+    }
+}
+
+// ---- collections -----------------------------------------------------
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// Vec of `len` (sampled from `len_range`) elements.
+    pub fn vec<S>(element: S, len_range: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy,
+        S::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng: &mut TestRng| {
+                let span = len_range.end.saturating_sub(len_range.start).max(1);
+                let n = len_range.start + (rng.next_u64() % span as u64) as usize;
+                (0..n).map(|_| element.generate(rng)).collect()
+            }),
+        }
+    }
+
+    /// BTreeMap with up to `len_range` entries (duplicate keys collapse,
+    /// as in real proptest).
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        len_range: Range<usize>,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + 'static,
+        V::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng: &mut TestRng| {
+                let span = len_range.end.saturating_sub(len_range.start).max(1);
+                let n = len_range.start + (rng.next_u64() % span as u64) as usize;
+                (0..n)
+                    .map(|_| (key.generate(rng), value.generate(rng)))
+                    .collect()
+            }),
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of not-yet-known size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The `prop::` module path used by the prelude (`prop::sample::Index`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---- macros ----------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", a, b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                a, b, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!("prop_assert_ne failed: both {:?}", a);
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The test-defining macro. Each property becomes one `#[test]` running
+/// `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                        $body
+                    }));
+                    if let Err(e) = result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed",
+                            case + 1,
+                            cfg.cases,
+                            stringify!($name)
+                        );
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_rng("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = crate::test_rng("vec");
+        let strat = crate::collection::vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0u32..50, s in "[a-c]{1,3}") {
+            prop_assert!(x < 50);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursive(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

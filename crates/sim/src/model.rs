@@ -369,7 +369,9 @@ impl<'p> Runner<'p> {
                     self.cpu_queue.push_back(fref);
                 }
             }
-            FlatVertex::Dispatch { arms, on_nomatch, .. } => {
+            FlatVertex::Dispatch {
+                arms, on_nomatch, ..
+            } => {
                 let probs = self.params.flows[fi]
                     .arm_probs
                     .get(&vid)
@@ -417,8 +419,7 @@ impl<'p> Runner<'p> {
         let flow = self.flows[fref].as_ref().unwrap();
         let fi = flow.flow_idx;
         let vid = flow.vertex;
-        let FlatVertex::Exec { on_ok, on_err, .. } = self.program.flows[fi].flat.verts[vid]
-        else {
+        let FlatVertex::Exec { on_ok, on_err, .. } = self.program.flows[fi].flat.verts[vid] else {
             unreachable!("ServiceDone on a non-exec vertex");
         };
         let err_p = self.params.flows[fi]

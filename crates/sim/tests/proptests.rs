@@ -24,12 +24,7 @@ const SESSION_LOCKED: &str = "
     atomic Work: {chunks(session)};
 ";
 
-fn run(
-    src: &str,
-    service_ms: f64,
-    interarrival_ms: f64,
-    cfg: SimConfig,
-) -> flux_sim::SimReport {
+fn run(src: &str, service_ms: f64, interarrival_ms: f64, cfg: SimConfig) -> flux_sim::SimReport {
     let p: CompiledProgram = flux_core::compile(src).unwrap();
     let mut m = ModelParams::uniform(&p, 0.0, interarrival_ms / 1e3);
     m.set_node_service(&p, "Work", service_ms / 1e3);

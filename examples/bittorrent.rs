@@ -95,13 +95,8 @@ fn main() {
                 .expect("tracker lists the seeder");
             let conn = net.connect(&seeder.addr).expect("seeder reachable");
             let t0 = std::time::Instant::now();
-            let got = flux::servers::bt::client::download(
-                Box::new(conn),
-                &meta,
-                peer_id,
-                Some(3),
-            )
-            .expect("download");
+            let got = flux::servers::bt::client::download(Box::new(conn), &meta, peer_id, Some(3))
+                .expect("download");
             assert_eq!(got, file, "leecher {i} got the exact file");
             println!(
                 "leecher {i}: {} KiB verified in {:?}",

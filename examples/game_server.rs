@@ -39,8 +39,7 @@ fn main() {
             let mut my_pos = None;
             let mut other_pos = None;
             for _ in 0..40 {
-                if let Ok(Some((n, _))) =
-                    sock.recv_from(&mut buf, Some(Duration::from_millis(150)))
+                if let Ok(Some((n, _))) = sock.recv_from(&mut buf, Some(Duration::from_millis(150)))
                 {
                     if let Some(snap) = decode_snapshot(&buf[..n]) {
                         for &(id, p) in &snap.players {

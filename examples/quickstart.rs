@@ -62,7 +62,7 @@ fn build_registry(
     });
     reg.node("Validate", |p: &mut Payload| {
         // Multiples of 10 are "invalid" and go to the error handler.
-        if p.n % 10 == 0 {
+        if p.n.is_multiple_of(10) {
             NodeOutcome::Err(22)
         } else {
             NodeOutcome::Ok
@@ -97,7 +97,10 @@ fn main() {
     for kind in [
         RuntimeKind::ThreadPerFlow,
         RuntimeKind::ThreadPool { workers: 4 },
-        RuntimeKind::EventDriven { io_workers: 2 },
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 2,
+        },
         RuntimeKind::Staged { stage_workers: 2 },
     ] {
         let program = flux::core::compile(PROGRAM).expect("program compiles");
@@ -134,7 +137,8 @@ fn main() {
         );
         assert_eq!(server.stats.finished(), total);
         assert_eq!(
-            small.load(Ordering::Relaxed) + big.load(Ordering::Relaxed)
+            small.load(Ordering::Relaxed)
+                + big.load(Ordering::Relaxed)
                 + rejected.load(Ordering::Relaxed),
             total
         );

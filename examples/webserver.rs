@@ -36,12 +36,25 @@ fn main() {
         .unwrap_or(0);
     let acceptor = TcpAcceptor::bind(&format!("127.0.0.1:{port}")).expect("bind");
     let addr = acceptor.local_addr();
-    println!("Flux web server (event-driven runtime) on http://{addr}/");
+    // One dispatcher shard per core (FLUX_SHARDS overrides); TCP
+    // readiness comes from the single poll(2) reactor thread.
+    let shards: usize = std::env::var("FLUX_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    println!("Flux web server (event-driven runtime, {shards} shard(s)) on http://{addr}/");
 
     let server = flux::servers::web::spawn(
         Box::new(acceptor),
         docroot(),
-        RuntimeKind::EventDriven { io_workers: 4 },
+        RuntimeKind::EventDriven {
+            shards,
+            io_workers: 4,
+        },
         false,
     );
 

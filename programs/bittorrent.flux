@@ -1,0 +1,101 @@
+    Listen () => (int token, bool isnew);
+    GetClients (int token, bool isnew) => (int token, bool isnew);
+    SelectSockets (int token, bool isnew) => (int token, bool isnew);
+    CheckSockets (int token, bool isnew)
+      => (int token, bool isnew, bt_message *msg);
+
+    AcceptHandshake (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    SendBitfield (int token, bool isnew, bt_message *msg) => ();
+
+    ReadMessage (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Request (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Piece (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Have (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Bitfield (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Interested (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Uninterested (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Choke (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Unchoke (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    Cancel (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    UnknownMessage (int token, bool isnew, bt_message *msg)
+      => (int token, bool isnew, bt_message *msg);
+    MessageDone (int token, bool isnew, bt_message *msg) => ();
+    DropPeer (int token, bool isnew, bt_message *msg) => ();
+
+    TrackerTimer () => (int tick);
+    CheckinWithTracker (int tick) => (int tick);
+    SendRequestToTracker (int tick) => (int tick, tracker_response *resp);
+    GetTrackerResponse (int tick, tracker_response *resp) => ();
+
+    ChokeTimer () => (int tick);
+    UpdateChokeList (int tick) => (int tick);
+    PickChoked (int tick) => (int tick);
+    SendChokeUnchoke (int tick) => ();
+
+    KeepAliveTimer () => (int tick);
+    SendKeepAlives (int tick) => ();
+
+    typedef is_request IsRequest;
+    typedef is_piece IsPiece;
+    typedef is_have IsHave;
+    typedef is_bitfield IsBitfield;
+    typedef is_interested IsInterested;
+    typedef is_uninterested IsUninterested;
+    typedef is_choke IsChoke;
+    typedef is_unchoke IsUnchoke;
+    typedef is_cancel IsCancel;
+    typedef is_new IsNew;
+
+    source Listen => Peer;
+    Peer = GetClients -> SelectSockets -> CheckSockets -> Work;
+    Work:[_, is_new, _] = AcceptHandshake -> SendBitfield;
+    Work:[_, _, _] = Message;
+    Message = ReadMessage -> HandleMessage -> MessageDone;
+    HandleMessage:[_, _, is_request] = Request;
+    HandleMessage:[_, _, is_piece] = Piece;
+    HandleMessage:[_, _, is_have] = Have;
+    HandleMessage:[_, _, is_bitfield] = Bitfield;
+    HandleMessage:[_, _, is_interested] = Interested;
+    HandleMessage:[_, _, is_uninterested] = Uninterested;
+    HandleMessage:[_, _, is_choke] = Choke;
+    HandleMessage:[_, _, is_unchoke] = Unchoke;
+    HandleMessage:[_, _, is_cancel] = Cancel;
+    HandleMessage:[_, _, _] = UnknownMessage;
+
+    source TrackerTimer => Announce;
+    Announce = CheckinWithTracker -> SendRequestToTracker -> GetTrackerResponse;
+
+    source ChokeTimer => Choking;
+    Choking = UpdateChokeList -> PickChoked -> SendChokeUnchoke;
+
+    source KeepAliveTimer => KeepAlive;
+    KeepAlive = SendKeepAlives;
+
+    handle error ReadMessage => DropPeer;
+    handle error AcceptHandshake => DropPeer;
+    handle error UnknownMessage => DropPeer;
+
+    atomic GetClients: {clients?};
+    atomic AcceptHandshake: {clients};
+    atomic DropPeer: {clients};
+    atomic SendKeepAlives: {clients?};
+    atomic SendChokeUnchoke: {clients?};
+    atomic UpdateChokeList: {choking};
+    atomic PickChoked: {choking};
+
+    blocking CheckSockets;
+    blocking ReadMessage;
+    blocking Request;
+    blocking SendBitfield;
+    blocking SendRequestToTracker;

@@ -1,0 +1,31 @@
+    ReceiveMove () => (game_msg *m);
+    AddPlayer (game_msg *m) => ();
+    RemovePlayer (game_msg *m) => ();
+    Validate (game_msg *m) => (game_msg *m);
+    ApplyMove (game_msg *m) => ();
+    BadMove (game_msg *m) => ();
+
+    Tick () => (int tick);
+    ComputeState (int tick) => (game_state *s);
+    Broadcast (game_state *s) => ();
+
+    typedef is_join IsJoin;
+    typedef is_leave IsLeave;
+
+    source ReceiveMove => MoveFlow;
+    MoveFlow:[is_join] = AddPlayer;
+    MoveFlow:[is_leave] = RemovePlayer;
+    MoveFlow:[_] = Validate -> ApplyMove;
+
+    source Tick => TickFlow;
+    TickFlow = ComputeState -> Broadcast;
+
+    handle error Validate => BadMove;
+
+    atomic AddPlayer: {clients, world};
+    atomic RemovePlayer: {clients, world};
+    atomic ApplyMove: {world};
+    atomic ComputeState: {world};
+    atomic Broadcast: {clients?};
+
+    blocking Broadcast;

@@ -1,0 +1,32 @@
+    Listen () => (int socket);
+    ReadRequest (int socket)
+      => (int socket, bool close, image_tag *request);
+    CheckCache (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    ReadInFromDisk (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request, __u8 *rgb_data);
+    StoreInCache (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    Compress (int socket, bool close, image_tag *request, __u8 *rgb_data)
+      => (int socket, bool close, image_tag *request);
+    Write (int socket, bool close, image_tag *request)
+      => (int socket, bool close, image_tag *request);
+    Complete (int socket, bool close, image_tag *request) => ();
+    FourOhFour (int socket, bool close, image_tag *request) => ();
+
+    source Listen => Image;
+
+    Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+
+    typedef hit TestInCache;
+    Handler:[_, _, hit] = ;
+    Handler:[_, _, _] = ReadInFromDisk -> Compress -> StoreInCache;
+
+    handle error ReadInFromDisk => FourOhFour;
+
+    atomic CheckCache:{cache};
+    atomic StoreInCache:{cache};
+    atomic Complete:{cache};
+
+    blocking ReadRequest;
+    blocking Write;

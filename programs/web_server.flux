@@ -1,0 +1,27 @@
+    Listen () => (int token);
+    ReadRequest (int token)
+      => (int token, bool close, http_request *req);
+    RunScript (int token, bool close, http_request *req)
+      => (int token, bool close, http_response *resp);
+    ReadFromDisk (int token, bool close, http_request *req)
+      => (int token, bool close, http_response *resp);
+    Write (int token, bool close, http_response *resp)
+      => (int token, bool close);
+    Complete (int token, bool close) => ();
+    BadRequest (int token) => ();
+    FourOhFour (int token, bool close, http_request *req) => ();
+    FiveHundred (int token, bool close, http_request *req) => ();
+
+    typedef script IsScript;
+
+    source Listen => Page;
+    Page = ReadRequest -> Handler -> Write -> Complete;
+    Handler:[_, _, script] = RunScript;
+    Handler:[_, _, _] = ReadFromDisk;
+
+    handle error ReadRequest => BadRequest;
+    handle error ReadFromDisk => FourOhFour;
+    handle error RunScript => FiveHundred;
+
+    blocking ReadRequest;
+    blocking Write;

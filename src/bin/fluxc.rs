@@ -21,7 +21,9 @@
 //!
 //! Exit status: 0 on success, 1 on compile errors, 2 on usage errors.
 
-use flux::core::codegen::{dot::DotGenerator, rust::RustGenerator, sim::SimGenerator, CodeGenerator};
+use flux::core::codegen::{
+    dot::DotGenerator, rust::RustGenerator, sim::SimGenerator, CodeGenerator,
+};
 use flux::core::model::ModelParams;
 use flux::core::{place, round_robin, CompiledProgram, PlaceConfig};
 use flux::sim::{FluxSimulation, SimConfig};
@@ -145,8 +147,7 @@ fn parse_options(rest: &[String]) -> Result<Options, CliError> {
 }
 
 fn load(path: &str) -> Result<(CompiledProgram, String), CliError> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    let src = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
     let program = flux::core::compile(&src).map_err(CliError::Compile)?;
     Ok((program, src))
 }
@@ -175,7 +176,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             };
             print!("{}", gen.generate(&program));
         }
-        "csim" => print!("{}", SimGenerator::default().generate(&program)),
+        "csim" => print!("{}", SimGenerator.generate(&program)),
         "paths" => cmd_paths(&program, &opts),
         "sim" => cmd_sim(&program, &opts),
         "place" => cmd_place(&program, &opts)?,
@@ -223,17 +224,16 @@ fn cmd_paths(program: &CompiledProgram, opts: &Options) {
             println!("  [{:>4}] {}", p.id, p.display(&program.graph, &flow.flat));
         }
         if flow.paths.num_paths > opts.limit as u64 {
-            println!("  ... {} more (raise --limit)", flow.paths.num_paths - opts.limit as u64);
+            println!(
+                "  ... {} more (raise --limit)",
+                flow.paths.num_paths - opts.limit as u64
+            );
         }
     }
 }
 
 fn cmd_sim(program: &CompiledProgram, opts: &Options) {
-    let params = ModelParams::uniform(
-        program,
-        opts.service_ms / 1e3,
-        opts.interarrival_ms / 1e3,
-    );
+    let params = ModelParams::uniform(program, opts.service_ms / 1e3, opts.interarrival_ms / 1e3);
     let report = FluxSimulation::new(
         program,
         params,
@@ -275,11 +275,7 @@ fn cmd_sim(program: &CompiledProgram, opts: &Options) {
 }
 
 fn cmd_place(program: &CompiledProgram, opts: &Options) -> Result<(), CliError> {
-    let params = ModelParams::uniform(
-        program,
-        opts.service_ms / 1e3,
-        opts.interarrival_ms / 1e3,
-    );
+    let params = ModelParams::uniform(program, opts.service_ms / 1e3, opts.interarrival_ms / 1e3);
     let cfg = PlaceConfig {
         machines: opts.machines,
         ..PlaceConfig::default()

@@ -34,17 +34,35 @@ fn web_server_runtime_independent() {
     for kind in [
         RuntimeKind::ThreadPerFlow,
         RuntimeKind::ThreadPool { workers: 3 },
-        RuntimeKind::EventDriven { io_workers: 2 },
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 2,
+        },
+        RuntimeKind::EventDriven {
+            shards: 4,
+            io_workers: 2,
+        },
     ] {
         let net = MemNet::new();
         let listener = net.listen("w").unwrap();
         let server = flux::servers::web::spawn(Box::new(listener), docroot.clone(), kind, false);
         let mut conn = net.connect("w").unwrap();
-        write!(conn, "GET /whoami.html HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /whoami.html HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"
+        )
+        .unwrap();
         let (s1, b1) = flux::http::read_response(&mut conn).unwrap();
-        write!(conn, "GET /square.fxs?n=12 HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET /square.fxs?n=12 HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let (s2, b2) = flux::http::read_response(&mut conn).unwrap();
-        assert_eq!((s1, b1.as_slice()), (200, b"the same on every runtime".as_ref()));
+        assert_eq!(
+            (s1, b1.as_slice()),
+            (200, b"the same on every runtime".as_ref())
+        );
         assert_eq!((s2, b2.as_slice()), (200, b"144".as_ref()));
         flux::servers::web::stop(server);
     }
@@ -103,7 +121,10 @@ fn bittorrent_full_stack() {
             choke_period: Duration::from_secs(3600),
             keepalive_period: Duration::from_secs(3600),
         },
-        RuntimeKind::EventDriven { io_workers: 4 },
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 4,
+        },
         false,
     );
     let got = flux::servers::bt::client::download(
@@ -158,7 +179,11 @@ fn image_server_concurrent_cache_integrity() {
         j.join().unwrap();
     }
     let cache = server.ctx.cache.lock();
-    assert_eq!(cache.hits + cache.misses, 60, "every request checked the cache");
+    assert_eq!(
+        cache.hits + cache.misses,
+        60,
+        "every request checked the cache"
+    );
     drop(cache);
     if let Some(d) = &server.ctx.driver {
         d.stop();
@@ -239,7 +264,9 @@ fn hot_paths_of_web_server() {
         .report(fx.program(), 0, flux::runtime::HotOrder::ByCount);
     assert!(!report.is_empty());
     let top = &report[0];
-    let path = top.info.display(&fx.program().graph, &fx.program().flows[0].flat);
+    let path = top
+        .info
+        .display(&fx.program().graph, &fx.program().flows[0].flat);
     assert!(
         path.contains("ReadRequest") && path.contains("ReadFromDisk"),
         "hot path is the static-file path: {path}"

@@ -21,7 +21,10 @@ use std::time::Duration;
 const ALL_RUNTIMES: [RuntimeKind; 4] = [
     RuntimeKind::ThreadPerFlow,
     RuntimeKind::ThreadPool { workers: 4 },
-    RuntimeKind::EventDriven { io_workers: 2 },
+    RuntimeKind::EventDriven {
+        shards: 1,
+        io_workers: 2,
+    },
     RuntimeKind::Staged { stage_workers: 2 },
 ];
 
@@ -123,7 +126,11 @@ fn handled_failures_route_to_handler_exactly() {
             total - failures,
             "{kind:?}: commits"
         );
-        assert_eq!(server.stats.handled.load(Ordering::Relaxed), failures, "{kind:?}");
+        assert_eq!(
+            server.stats.handled.load(Ordering::Relaxed),
+            failures,
+            "{kind:?}"
+        );
         assert_eq!(
             server.stats.completed.load(Ordering::Relaxed),
             total - failures,
@@ -148,7 +155,11 @@ fn unhandled_failures_release_constraints() {
         wait_finished(&server, total);
 
         let failures = (0..total).filter(|n| n % 5 == 0).count() as u64;
-        assert_eq!(server.stats.errored.load(Ordering::Relaxed), failures, "{kind:?}");
+        assert_eq!(
+            server.stats.errored.load(Ordering::Relaxed),
+            failures,
+            "{kind:?}"
+        );
         assert_eq!(
             counters.committed.load(Ordering::SeqCst),
             total - failures,
@@ -185,14 +196,14 @@ fn failing_handler_chains_to_error_end() {
     });
     // Work fails on even payloads; Fixup itself fails when n % 4 == 0.
     reg.node("Work", |n: &mut u64| {
-        if *n % 2 == 0 {
+        if (*n).is_multiple_of(2) {
             NodeOutcome::Err(1)
         } else {
             NodeOutcome::Ok
         }
     });
     reg.node("Fixup", |n: &mut u64| {
-        if *n % 4 == 0 {
+        if (*n).is_multiple_of(4) {
             NodeOutcome::Err(2)
         } else {
             NodeOutcome::Ok
@@ -206,8 +217,14 @@ fn failing_handler_chains_to_error_end() {
 
     let work_fails = (0..total).filter(|n| n % 2 == 0).count() as u64;
     let chain_fails = (0..total).filter(|n| n % 4 == 0).count() as u64;
-    assert_eq!(server.stats.completed.load(Ordering::Relaxed), total - work_fails);
-    assert_eq!(server.stats.handled.load(Ordering::Relaxed), work_fails - chain_fails);
+    assert_eq!(
+        server.stats.completed.load(Ordering::Relaxed),
+        total - work_fails
+    );
+    assert_eq!(
+        server.stats.handled.load(Ordering::Relaxed),
+        work_fails - chain_fails
+    );
     assert_eq!(server.stats.errored.load(Ordering::Relaxed), chain_fails);
 }
 
@@ -234,7 +251,11 @@ fn any_nonzero_code_is_an_error() {
         let handle = start(server.clone(), RuntimeKind::ThreadPool { workers: 2 });
         handle.join();
         wait_finished(&server, 10);
-        assert_eq!(server.stats.errored.load(Ordering::Relaxed), 10, "code {code}");
+        assert_eq!(
+            server.stats.errored.load(Ordering::Relaxed),
+            10,
+            "code {code}"
+        );
     }
 }
 
@@ -315,7 +336,13 @@ fn event_runtime_survives_total_failure_of_blocking_node() {
     });
     reg.node("Done", |_| NodeOutcome::Ok);
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(server.clone(), RuntimeKind::EventDriven { io_workers: 3 });
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 3,
+        },
+    );
     handle.join();
     wait_finished(&server, total);
     assert_eq!(server.stats.errored.load(Ordering::Relaxed), total);

@@ -3,9 +3,7 @@
 //! conventions, session-scoped constraints, and the implicit-loop
 //! source model.
 
-use flux::runtime::{
-    start, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome,
-};
+use flux::runtime::{start, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
