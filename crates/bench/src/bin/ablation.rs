@@ -213,6 +213,80 @@ fn shards_json(rows: &[(usize, flux_bench::LoadReport, u64)]) -> String {
     out
 }
 
+/// Ablation 6 (reactor write path): web-workload throughput with
+/// slow-reader clients over real TCP, blocking-write versus
+/// reactor-write `Write` node. The 8 MiB responses overrun the kernel's
+/// socket buffers, so each one drains at the clients' throttled read
+/// rate for hundreds of milliseconds; blocking writes park an I/O
+/// worker per draining response, reactor writes leave the drain to the
+/// poll thread's `POLLOUT` batch.
+fn run_reactor_writes(
+    mode: flux_servers::web::WriteMode,
+    secs: f64,
+) -> (flux_bench::LoadReport, u64, u64) {
+    use flux_net::{Listener as _, TcpAcceptor};
+
+    let mut docroot = flux_http::DocRoot::new();
+    let body: Vec<u8> = (0..8 * 1024 * 1024).map(|i| (i % 253) as u8).collect();
+    docroot.insert("/big.bin", body);
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.local_addr();
+    let server = flux_servers::web::spawn_with(
+        Box::new(acceptor),
+        docroot,
+        RuntimeKind::EventDriven {
+            shards: 2,
+            io_workers: 4,
+        },
+        false,
+        mode,
+    );
+    let report = flux_bench::run_slow_reader_tcp_load(
+        &addr,
+        "/big.bin",
+        16,
+        Duration::from_secs_f64(secs),
+        32 * 1024,
+        Duration::from_millis(1),
+    );
+    let counters = server
+        .handle
+        .server()
+        .stats
+        .net_counters()
+        .expect("web server installs net counters");
+    let (drained, would_block) = (counters.writes_drained(), counters.write_would_block());
+    flux_servers::web::stop(server);
+    (report, drained, would_block)
+}
+
+/// Minimal JSON encoder for the reactor-write record.
+fn reactor_writes_json(rows: &[(&str, flux_bench::LoadReport, u64, u64)]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"bench\": \"reactor_writes_web_slow_readers\",\n  \"host_cores\": {cores},\n  \"points\": [\n"
+    );
+    for (i, (mode, r, drained, would_block)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"rps\": {:.1}, \"mbps\": {:.2}, \
+             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \"writes_drained\": {}, \
+             \"write_would_block\": {}}}{}\n",
+            mode,
+            r.rps(),
+            r.mbps(),
+            r.mean_latency.as_secs_f64() * 1e3,
+            r.p95_latency.as_secs_f64() * 1e3,
+            drained,
+            would_block,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Predicted (conservative and session-aware) and measured throughput of
 /// a pipeline whose middle node holds a `(session)` writer constraint,
 /// with flows spread round-robin over `sessions` sessions.
@@ -344,6 +418,53 @@ fn main() {
     println!();
     let json = shards_json(&shard_rows);
     let json_path = "BENCH_event_shards.json";
+    match std::fs::write(json_path, &json) {
+        Ok(()) => eprintln!("# wrote {json_path}"),
+        Err(e) => eprintln!("# could not write {json_path}: {e}"),
+    }
+
+    let mut t6 = Table::new(
+        "Ablation 6: reactor vs blocking writes — slow-reader web workload (TCP, 8 MiB file)",
+        &[
+            "write_mode",
+            "req_s",
+            "mbps",
+            "mean_ms",
+            "p95_ms",
+            "writes_drained",
+            "write_would_block",
+        ],
+    );
+    let mut rw_rows: Vec<(&str, flux_bench::LoadReport, u64, u64)> = Vec::new();
+    for (name, mode) in [
+        ("blocking", flux_servers::web::WriteMode::Blocking),
+        ("reactor", flux_servers::web::WriteMode::Reactor),
+    ] {
+        let (report, drained, would_block) = run_reactor_writes(mode, secs);
+        eprintln!(
+            "# write_mode={name:<9} {} req/s {} Mb/s drained {drained} would_block {would_block}",
+            f(report.rps()),
+            f(report.mbps()),
+        );
+        t6.row(&[
+            name.into(),
+            f(report.rps()),
+            f(report.mbps()),
+            format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+            drained.to_string(),
+            would_block.to_string(),
+        ]);
+        rw_rows.push((name, report, drained, would_block));
+    }
+    print!("{}", t6.render());
+    println!();
+    println!("# blocking mode parks an I/O worker per draining response (the seed behaviour);");
+    println!("# reactor mode leaves slow drains to the poll thread's POLLOUT batch, so the");
+    println!("# I/O pool only ever services reads.");
+    println!();
+    let json = reactor_writes_json(&rw_rows);
+    let json_path = "BENCH_reactor_writes.json";
     match std::fs::write(json_path, &json) {
         Ok(()) => eprintln!("# wrote {json_path}"),
         Err(e) => eprintln!("# could not write {json_path}: {e}"),

@@ -7,7 +7,9 @@
 //! that readiness stream from three producers feeding one channel:
 //!
 //! * an **acceptor thread** per listener, queueing
-//!   [`DriverEvent::Incoming`];
+//!   [`DriverEvent::Incoming`]; transient accept failures (`EMFILE`,
+//!   `ECONNABORTED`, …) are retried with a short backoff instead of
+//!   killing the listener, with retries counted in [`DriverCounters`];
 //! * the in-memory transport's **watch callbacks** (zero threads: the
 //!   writer's thread fires the callback at write time);
 //! * the shared **poll(2) reactor** ([`crate::reactor::Reactor`]) for
@@ -18,11 +20,30 @@
 //!   helper thread survives only as a fallback for hypothetical
 //!   transports with neither watch support nor a file descriptor.
 //!
-//! Watches are one-shot: after a `Readable` event the connection is
+//! Read watches are one-shot: after a `Readable` event the connection is
 //! quiescent until [`ConnDriver::arm`] is called again (the web server's
 //! `Complete` node re-arms keep-alive connections).
+//!
+//! **The write path.** [`ConnDriver::submit_write`] queues response
+//! bytes on the connection's output buffer without blocking: transports
+//! that complete synchronously (the in-memory pipe, or TCP with socket
+//! buffer room) emit [`DriverEvent::WriteDone`] immediately; a partial
+//! TCP write arms a `POLLOUT` drain on the reactor, which batches
+//! non-blocking writes until the buffer empties (`WriteDone`) or the
+//! connection breaks (`WriteFailed`, after which the connection is
+//! removed). `Write` nodes therefore never occupy an I/O worker thread
+//! or hold a session lock across a send. [`ConnDriver::remove_when_flushed`]
+//! defers a close until every queued byte has drained, and
+//! [`ConnDriver::set_max_pending_out`] bounds each connection's buffer
+//! (replacing the blocking path's socket-buffer backpressure) so a peer
+//! that never reads cannot grow server memory without limit.
+//!
+//! [`ConnDriver::stop`] is a real shutdown: it joins the reactor,
+//! acceptor and fallback-watch threads (all of which poll the stop flag
+//! on bounded timeouts), so no driver thread can outlive the server and
+//! fire into a dropped channel.
 
-use crate::traits::{Conn, Listener};
+use crate::traits::{Conn, Listener, WriteProgress};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -40,19 +61,63 @@ pub enum DriverEvent {
     Incoming(Token),
     /// A watched connection became readable (or hit EOF).
     Readable(Token),
+    /// One submitted write fully reached the transport.
+    WriteDone(Token),
+    /// A submitted write failed; the connection has been removed.
+    WriteFailed(Token),
 }
 
 /// A shared handle to a registered connection. Nodes lock it for the
 /// duration of one read/write interaction.
 pub type SharedConn = Arc<Mutex<Box<dyn Conn>>>;
 
+/// Driver-level counters, cheap enough to stay on in production. The
+/// server glue publishes them into `flux_runtime::ServerStats` next to
+/// the shard counters.
+#[derive(Debug, Default)]
+pub struct DriverCounters {
+    /// Transient accept errors survived by the acceptor's retry loop.
+    pub accept_retries: AtomicU64,
+    /// Writes handed to [`ConnDriver::submit_write`].
+    pub writes_submitted: AtomicU64,
+    /// Writes fully drained (synchronously or by the reactor).
+    pub writes_drained: AtomicU64,
+    /// Times a write hit `WouldBlock` and (re-)armed a `POLLOUT` drain.
+    pub write_would_block: AtomicU64,
+    /// Writes that failed (connection removed).
+    pub writes_failed: AtomicU64,
+}
+
+/// Per-token bookkeeping for in-flight submitted writes.
+#[derive(Default)]
+struct WriteState {
+    /// Submissions whose bytes are still (partially) buffered.
+    submissions: u64,
+    /// Close the connection once the buffer drains
+    /// ([`ConnDriver::remove_when_flushed`]).
+    close_after: bool,
+}
+
 /// Multiplexes connection readiness into a single event stream.
 pub struct ConnDriver {
     tx: Sender<DriverEvent>,
     rx: Receiver<DriverEvent>,
     conns: Mutex<HashMap<Token, SharedConn>>,
+    /// In-flight write submissions per token. Mutated only while the
+    /// token's connection lock is held, which serializes enqueues,
+    /// drains and completion accounting per connection.
+    writes: Mutex<HashMap<Token, WriteState>>,
+    counters: Arc<DriverCounters>,
+    /// Per-connection output-buffer bound (see
+    /// [`ConnDriver::set_max_pending_out`]).
+    max_pending_out: std::sync::atomic::AtomicUsize,
     next_token: AtomicU64,
     stopping: AtomicBool,
+    /// Acceptor and fallback-watch threads, joined by [`ConnDriver::stop`].
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Work queue of the lazily spawned `flux-net-drain` thread (fd-less
+    /// transports with buffered writes, i.e. the shaped mem transport).
+    drain_tx: Mutex<Option<Sender<(Token, SharedConn)>>>,
     /// The poll(2) multiplexer for fd-backed transports. Its thread is
     /// spawned lazily on the first fd registration.
     #[cfg(unix)]
@@ -74,8 +139,13 @@ impl ConnDriver {
             tx,
             rx,
             conns: Mutex::new(HashMap::new()),
+            writes: Mutex::new(HashMap::new()),
+            counters: Arc::new(DriverCounters::default()),
+            max_pending_out: std::sync::atomic::AtomicUsize::new(64 * 1024 * 1024),
             next_token: AtomicU64::new(1),
             stopping: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            drain_tx: Mutex::new(None),
         }
     }
 
@@ -92,15 +162,50 @@ impl ConnDriver {
         self.conns.lock().get(&token).cloned()
     }
 
-    /// Removes (closes) the connection, dropping any armed reactor
-    /// watch so the reactor stops polling a soon-to-be-closed fd.
+    /// Removes (closes) the connection. The reactor watch is
+    /// deregistered *before* this returns — and before the fd can close,
+    /// since the caller still holds the `SharedConn` being returned — so
+    /// a kernel-reused fd can never be polled under the stale token.
+    /// Pending write submissions are failed (one `WriteFailed` each), so
+    /// `submit_write`'s one-completion-per-call contract holds.
     pub fn remove(&self, token: Token) -> Option<SharedConn> {
+        // Order matters: once the conn leaves the map, no new
+        // `submit_write` can pass its `get` (and one already past it
+        // catches the removal in its own re-validation), so failing the
+        // write state *after* removing the conn cannot strand a
+        // submission that lands in between.
         let conn = self.conns.lock().remove(&token);
+        if let Some(st) = self.writes.lock().remove(&token) {
+            if st.submissions > 0 {
+                self.counters
+                    .writes_failed
+                    .fetch_add(st.submissions, Ordering::Relaxed);
+                for _ in 0..st.submissions {
+                    let _ = self.tx.send(DriverEvent::WriteFailed(token));
+                }
+            }
+        }
         #[cfg(unix)]
         if conn.is_some() {
             self.reactor.deregister(token);
         }
         conn
+    }
+
+    /// Removes the connection once every submitted write has drained:
+    /// immediately when nothing is buffered, otherwise after the reactor
+    /// delivers the final `WriteDone`.
+    pub fn remove_when_flushed(&self, token: Token) {
+        {
+            let mut writes = self.writes.lock();
+            if let Some(st) = writes.get_mut(&token) {
+                if st.submissions > 0 {
+                    st.close_after = true;
+                    return;
+                }
+            }
+        }
+        self.remove(token);
     }
 
     /// Number of registered connections.
@@ -111,6 +216,241 @@ impl ConnDriver {
     /// True when no connections are registered.
     pub fn is_empty(&self) -> bool {
         self.conns.lock().is_empty()
+    }
+
+    /// Driver-level counters (accept retries, write-path traffic).
+    pub fn counters(&self) -> Arc<DriverCounters> {
+        self.counters.clone()
+    }
+
+    /// Bytes submitted for `token` that have not yet reached the
+    /// transport.
+    pub fn pending_out(&self, token: Token) -> usize {
+        self.get(token).map_or(0, |c| c.lock().pending_out())
+    }
+
+    /// Caps how many bytes may sit in one connection's output buffer.
+    /// The blocking write path had natural backpressure (the socket
+    /// buffer stalled the writer); the non-blocking path replaces it
+    /// with this explicit bound: a submission that would exceed it
+    /// fails and the connection is removed, so a peer that never reads
+    /// cannot grow server memory without bound.
+    pub fn set_max_pending_out(&self, bytes: usize) {
+        self.max_pending_out
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Queues `bytes` for transmission on `token` without blocking.
+    ///
+    /// Returns `false` when the connection is unknown. Otherwise exactly
+    /// one [`DriverEvent::WriteDone`] or [`DriverEvent::WriteFailed`]
+    /// per call is (eventually) emitted, in FIFO submission order per
+    /// connection; the bytes themselves are transmitted in submission
+    /// order. On failure — including a buffer overflow past
+    /// [`ConnDriver::set_max_pending_out`] — the connection is removed
+    /// (which fails any earlier still-pending submissions too).
+    pub fn submit_write(self: &Arc<Self>, token: Token, bytes: &[u8]) -> bool {
+        let Some(shared) = self.get(token) else {
+            return false;
+        };
+        self.counters
+            .writes_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        // The connection lock is held across the enqueue *and* the
+        // bookkeeping below, so a reactor drain completing concurrently
+        // cannot retire this submission before its bytes are buffered.
+        let mut conn = shared.lock();
+        let cap = self
+            .max_pending_out
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if conn.pending_out().saturating_add(bytes.len()) > cap {
+            drop(conn);
+            self.finish_writes(token, 1, false);
+            return true;
+        }
+        match conn.enqueue_write(bytes) {
+            Ok(WriteProgress::Complete) => {
+                self.finish_writes(token, 1, true);
+                true
+            }
+            Ok(WriteProgress::Pending) => {
+                self.counters
+                    .write_would_block
+                    .fetch_add(1, Ordering::Relaxed);
+                let first_pending = {
+                    let mut writes = self.writes.lock();
+                    let st = writes.entry(token).or_default();
+                    st.submissions += 1;
+                    st.submissions == 1
+                };
+                if first_pending {
+                    self.arm_drain(&mut conn, &shared, token);
+                }
+                drop(conn);
+                // A concurrent `remove` between our `get` and the watch
+                // registration above could not see the watch or the
+                // write state; re-validate and clean both up ourselves.
+                if self.get(token).is_none() {
+                    #[cfg(unix)]
+                    self.reactor.deregister(token);
+                    self.finish_writes(token, 0, false);
+                }
+                true
+            }
+            Err(_) => {
+                drop(conn);
+                self.finish_writes(token, 1, false);
+                true
+            }
+        }
+    }
+
+    /// Arms the drain path for a connection whose output buffer just
+    /// became non-empty: a `POLLOUT` reactor watch for fd-backed
+    /// transports, a helper thread otherwise (the shaped in-memory
+    /// transport, whose "transmission time" sleep must not run on a
+    /// dispatcher shard). Called with the connection lock held.
+    fn arm_drain(
+        self: &Arc<Self>,
+        conn: &mut parking_lot::MutexGuard<'_, Box<dyn Conn>>,
+        shared: &SharedConn,
+        token: Token,
+    ) {
+        #[cfg(unix)]
+        if let Some(fd) = conn.raw_fd() {
+            let this = Arc::downgrade(self);
+            let drain_conn = shared.clone();
+            self.reactor.register_write(
+                fd,
+                token,
+                Box::new(move |call| {
+                    use crate::reactor::{DrainCall, DrainResult};
+                    let Some(driver) = this.upgrade() else {
+                        return DrainResult::Failed;
+                    };
+                    if matches!(call, DrainCall::Abort) {
+                        driver.finish_writes(token, 0, false);
+                        return DrainResult::Failed;
+                    }
+                    // Never park the reactor thread on a connection
+                    // lock (a flow may hold it across a blocking
+                    // read): report Busy so the reactor re-offers the
+                    // drain after a short park instead of spinning on
+                    // the level-triggered POLLOUT.
+                    let Some(mut conn) = drain_conn.try_lock() else {
+                        return DrainResult::Busy;
+                    };
+                    match conn.drain_out() {
+                        Ok(WriteProgress::Complete) => {
+                            driver.finish_writes(token, 0, true);
+                            DrainResult::Complete
+                        }
+                        Ok(WriteProgress::Pending) => {
+                            driver
+                                .counters
+                                .write_would_block
+                                .fetch_add(1, Ordering::Relaxed);
+                            DrainResult::Pending
+                        }
+                        Err(_) => {
+                            driver.finish_writes(token, 0, false);
+                            DrainResult::Failed
+                        }
+                    }
+                }),
+            );
+            return;
+        }
+        let _ = conn;
+        self.queue_helper_drain(shared.clone(), token);
+    }
+
+    /// Retires `extra` submissions plus every submission tracked for
+    /// `token` (the whole buffer drained, or the whole connection
+    /// failed), emitting one completion event per submission. Callers
+    /// hold the connection lock, which orders completions with enqueues.
+    fn finish_writes(&self, token: Token, extra: u64, ok: bool) {
+        let (n, close_after) = {
+            let mut writes = self.writes.lock();
+            match writes.remove(&token) {
+                Some(st) => (st.submissions + extra, st.close_after),
+                None => (extra, false),
+            }
+        };
+        let (event, counter): (fn(Token) -> DriverEvent, _) = if ok {
+            (DriverEvent::WriteDone, &self.counters.writes_drained)
+        } else {
+            (DriverEvent::WriteFailed, &self.counters.writes_failed)
+        };
+        counter.fetch_add(n, Ordering::Relaxed);
+        for _ in 0..n {
+            let _ = self.tx.send(event(token));
+        }
+        if close_after || !ok {
+            self.remove(token);
+        }
+    }
+
+    /// Drain path for transports with a pending buffer but no raw fd
+    /// (the shaped in-memory transport): one persistent
+    /// `flux-net-drain` thread services a queue of connections,
+    /// absorbing the shaper's transmission-time sleeps — the write-side
+    /// analogue of the paper's select-simulation thread. Draining is
+    /// round-robin chunk by chunk (a connection with more buffered
+    /// bytes re-queues itself), which matches the serial link the
+    /// shaper models while keeping any one connection from starving the
+    /// rest.
+    fn queue_helper_drain(self: &Arc<Self>, shared: SharedConn, token: Token) {
+        let tx = {
+            let mut guard = self.drain_tx.lock();
+            if guard.is_none() {
+                let (tx, rx) = unbounded::<(Token, SharedConn)>();
+                *guard = Some(tx);
+                let this = self.clone();
+                self.spawn_tracked("flux-net-drain", move || this.drain_loop(rx));
+            }
+            guard.as_ref().expect("just installed").clone()
+        };
+        let _ = tx.send((token, shared));
+    }
+
+    /// The persistent drain thread's main loop.
+    fn drain_loop(self: Arc<Self>, rx: Receiver<(Token, SharedConn)>) {
+        loop {
+            if self.stopping.load(Ordering::Relaxed) {
+                return;
+            }
+            let (token, shared) = match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(item) => item,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            if self.get(token).is_none() {
+                // Removed while queued: submissions already failed.
+                continue;
+            }
+            // The lock is held across drain_out *and* the completion
+            // bookkeeping: a submission enqueued concurrently either
+            // lands before the drain (its bytes go out now) or after
+            // the finish (it creates a fresh write state and re-queues
+            // the token) — never in between, where it would be retired
+            // with its bytes still buffered.
+            let mut conn = shared.lock();
+            match conn.drain_out() {
+                Ok(WriteProgress::Complete) => self.finish_writes(token, 0, true),
+                Ok(WriteProgress::Pending) => {
+                    // One chunk transmitted; take the next turn after
+                    // every other waiting connection.
+                    drop(conn);
+                    let guard = self.drain_tx.lock();
+                    if let Some(tx) = guard.as_ref() {
+                        let _ = tx.send((token, shared));
+                    }
+                    continue;
+                }
+                Err(_) => self.finish_writes(token, 0, false),
+            }
+        }
     }
 
     /// Arms a one-shot readability watch: when the connection has data
@@ -140,6 +480,13 @@ impl ConnDriver {
             let fd = shared.lock().raw_fd();
             if let Some(fd) = fd {
                 self.reactor.register(fd, token);
+                // A concurrent `remove` between our `get` and the
+                // registration could not see the watch (and `register`
+                // would have resurrected the liveness entry); re-validate
+                // so a removed token never stays armed.
+                if self.get(token).is_none() {
+                    self.reactor.deregister(token);
+                }
                 return;
             }
         }
@@ -160,55 +507,99 @@ impl ConnDriver {
             let conn = shared.lock();
             conn.try_clone()
         };
-        std::thread::Builder::new()
-            .name("flux-net-watch".into())
-            .spawn(move || {
-                let Ok(conn) = clone else {
-                    let _ = tx.send(DriverEvent::Readable(token));
+        self.spawn_tracked("flux-net-watch", move || {
+            let Ok(conn) = clone else {
+                let _ = tx.send(DriverEvent::Readable(token));
+                return;
+            };
+            loop {
+                if this.stopping.load(Ordering::Relaxed) {
                     return;
-                };
-                loop {
-                    if this.stopping.load(Ordering::Relaxed) {
+                }
+                match conn.wait_readable(Some(Duration::from_millis(100))) {
+                    Ok(true) => {
+                        let _ = tx.send(DriverEvent::Readable(token));
                         return;
                     }
-                    match conn.wait_readable(Some(Duration::from_millis(100))) {
-                        Ok(true) => {
-                            let _ = tx.send(DriverEvent::Readable(token));
-                            return;
-                        }
-                        Ok(false) => continue,
-                        Err(_) => {
-                            let _ = tx.send(DriverEvent::Readable(token));
-                            return;
-                        }
+                    Ok(false) => continue,
+                    Err(_) => {
+                        let _ = tx.send(DriverEvent::Readable(token));
+                        return;
                     }
                 }
-            })
-            .expect("spawn watch thread");
+            }
+        });
+    }
+
+    /// Spawns a driver-owned thread whose handle [`ConnDriver::stop`]
+    /// will join. Finished handles are pruned on each spawn so the list
+    /// stays bounded.
+    fn spawn_tracked(&self, name: &str, f: impl FnOnce() + Send + 'static) {
+        let handle = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(f)
+            .unwrap_or_else(|e| panic!("spawn {name} thread: {e}"));
+        let mut threads = self.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
     }
 
     /// Accepts connections from `listener` on a background thread,
-    /// registering each and queueing [`DriverEvent::Incoming`]. The
-    /// thread exits when [`ConnDriver::stop`] is called.
+    /// registering each and queueing [`DriverEvent::Incoming`].
+    ///
+    /// Transient accept errors (`EMFILE`, `ECONNABORTED`, a momentarily
+    /// exhausted backlog) make the loop back off — briefly at first,
+    /// capped at 500 ms — and retry instead of silently killing the
+    /// listener for the life of the server; each retry increments
+    /// [`DriverCounters::accept_retries`]. Errors that mean the listener
+    /// itself is gone (`BrokenPipe`, `NotConnected`, `InvalidInput`,
+    /// `AddrNotAvailable`) end the loop, since no amount of retrying
+    /// brings a dead listener back. The thread also exits when
+    /// [`ConnDriver::stop`] is called.
     pub fn spawn_acceptor(self: &Arc<Self>, listener: Box<dyn Listener>) {
+        use std::io::ErrorKind;
         let this = self.clone();
         listener.set_accept_timeout(Some(Duration::from_millis(50)));
-        std::thread::Builder::new()
-            .name("flux-net-accept".into())
-            .spawn(move || loop {
+        self.spawn_tracked("flux-net-accept", move || {
+            let mut backoff = Duration::from_millis(10);
+            loop {
                 if this.stopping.load(Ordering::Relaxed) {
                     return;
                 }
                 match listener.accept() {
                     Ok(conn) => {
+                        backoff = Duration::from_millis(10);
                         let token = this.add(conn);
                         let _ = this.tx.send(DriverEvent::Incoming(token));
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
-                    Err(_) => return,
+                    Err(e) if e.kind() == ErrorKind::TimedOut => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::BrokenPipe
+                                | ErrorKind::NotConnected
+                                | ErrorKind::InvalidInput
+                                | ErrorKind::AddrNotAvailable
+                        ) =>
+                    {
+                        return; // the listener itself is dead
+                    }
+                    Err(_) => {
+                        this.counters.accept_retries.fetch_add(1, Ordering::Relaxed);
+                        // Sleep in short slices so stop() stays prompt
+                        // even at the backoff cap.
+                        let deadline = std::time::Instant::now() + backoff;
+                        while std::time::Instant::now() < deadline {
+                            if this.stopping.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        backoff = (backoff * 2).min(Duration::from_millis(500));
+                    }
                 }
-            })
-            .expect("spawn acceptor thread");
+            }
+        });
     }
 
     /// Next readiness event, or `None` on timeout.
@@ -224,11 +615,21 @@ impl ConnDriver {
         let _ = self.tx.send(ev);
     }
 
-    /// Stops acceptor, reactor and watcher threads (cooperatively).
+    /// Stops and **joins** the acceptor, reactor and watcher threads.
+    /// All of them poll the stop flag on bounded timeouts (50–250 ms),
+    /// so the join completes promptly; after `stop` returns, no driver
+    /// thread survives to fire into a dropped channel.
     pub fn stop(&self) {
         self.stopping.store(true, Ordering::Relaxed);
         #[cfg(unix)]
         self.reactor.stop();
+        let handles = std::mem::take(&mut *self.threads.lock());
+        let me = std::thread::current().id();
+        for h in handles {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
     }
 
     /// The number of readiness events delivered by the poll reactor
@@ -243,7 +644,7 @@ impl ConnDriver {
 mod tests {
     use super::*;
     use crate::mem::MemNet;
-    use std::io::Write;
+    use std::io::{Read, Write};
 
     #[test]
     fn incoming_and_readable_events() {
@@ -372,6 +773,340 @@ mod tests {
         }
         assert_eq!(seen, tokens.iter().copied().collect());
         assert_eq!(driver.reactor_events(), 32);
+        driver.stop();
+    }
+
+    /// A synchronous (in-memory) write completes with an immediate
+    /// `WriteDone` and the bytes arrive at the peer.
+    #[test]
+    fn submit_write_mem_completes_synchronously() {
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+        let mut client = net.connect("srv").unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        assert!(driver.submit_write(token, b"response"));
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::WriteDone(token))
+        );
+        let mut buf = [0u8; 8];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"response");
+        assert_eq!(driver.counters().writes_drained.load(Ordering::Relaxed), 1);
+        assert_eq!(driver.pending_out(token), 0);
+        driver.stop();
+    }
+
+    #[test]
+    fn submit_write_unknown_token_is_refused() {
+        let driver = Arc::new(ConnDriver::new());
+        assert!(!driver.submit_write(42, b"x"));
+    }
+
+    /// On a shaped (rate-limited) in-memory link, `submit_write` must
+    /// return immediately — the shaper's transmission-time sleep runs on
+    /// the drain helper, never the submitting thread.
+    #[test]
+    fn shaped_mem_write_does_not_block_the_submitter() {
+        let net = MemNet::new();
+        net.set_link_capacity(Some(1_000_000.0)); // 1 MB/s, 64 KiB burst
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+        let mut client = net.connect("srv").unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        // 320 KiB past the burst at 1 MB/s ≈ 250+ ms of shaper sleep.
+        let payload = vec![7u8; 384 * 1024];
+        let t0 = std::time::Instant::now();
+        assert!(driver.submit_write(token, &payload));
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "submit must not absorb the shaped transmission time \
+             (took {:?})",
+            t0.elapsed()
+        );
+        assert_eq!(
+            driver.next_event(Duration::from_secs(10)),
+            Some(DriverEvent::WriteDone(token))
+        );
+        let mut got = 0usize;
+        let mut buf = vec![0u8; 64 * 1024];
+        while got < payload.len() {
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0);
+            got += n;
+        }
+        driver.stop();
+    }
+
+    /// A submission that would overflow the per-connection output bound
+    /// fails (`WriteFailed`) and removes the connection instead of
+    /// growing server memory without limit.
+    #[test]
+    #[cfg(unix)]
+    fn overflowing_pending_out_fails_the_write() {
+        let (driver, _client, token) = tcp_pair();
+        driver.set_max_pending_out(256 * 1024);
+        assert!(driver.submit_write(token, &vec![0u8; 512 * 1024]));
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::WriteFailed(token))
+        );
+        assert!(driver.get(token).is_none(), "overflowing conn removed");
+        assert_eq!(driver.counters().writes_failed.load(Ordering::Relaxed), 1);
+        driver.stop();
+    }
+
+    /// `remove` fails still-pending submissions so every `submit_write`
+    /// gets its completion event.
+    #[test]
+    #[cfg(unix)]
+    fn remove_fails_pending_submissions() {
+        let (driver, _client, token) = tcp_pair();
+        // Large enough to stay partially buffered (client never reads).
+        assert!(driver.submit_write(token, &vec![1u8; 8 * 1024 * 1024]));
+        assert!(driver.pending_out(token) > 0);
+        driver.remove(token);
+        assert_eq!(
+            driver.next_event(Duration::from_secs(2)),
+            Some(DriverEvent::WriteFailed(token))
+        );
+        driver.stop();
+    }
+
+    /// The acceptor must survive transient accept errors (the seed
+    /// version returned, killing the listener for the life of the
+    /// server on a single `EMFILE`/`ECONNABORTED`).
+    #[test]
+    fn acceptor_survives_transient_accept_errors() {
+        /// Fails the first `fail` accepts, then delegates.
+        struct FlakyListener {
+            inner: Box<dyn Listener>,
+            remaining: AtomicU64,
+        }
+        impl Listener for FlakyListener {
+            fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+                if self.remaining.load(Ordering::Relaxed) > 0 {
+                    self.remaining.fetch_sub(1, Ordering::Relaxed);
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "transient accept failure",
+                    ));
+                }
+                self.inner.accept()
+            }
+            fn set_accept_timeout(&self, d: Option<Duration>) {
+                self.inner.set_accept_timeout(d);
+            }
+            fn local_addr(&self) -> String {
+                self.inner.local_addr()
+            }
+        }
+
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(FlakyListener {
+            inner: Box::new(listener),
+            remaining: AtomicU64::new(3),
+        }));
+        // The seed acceptor would be dead by now; the fixed one retries
+        // through the injected errors and still accepts.
+        let _client = net.connect("srv").unwrap();
+        let ev = driver.next_event(Duration::from_secs(5));
+        assert!(
+            matches!(ev, Some(DriverEvent::Incoming(_))),
+            "acceptor must survive transient errors, got {ev:?}"
+        );
+        assert!(
+            driver.counters().accept_retries.load(Ordering::Relaxed) >= 3,
+            "retries surfaced in counters"
+        );
+        driver.stop();
+    }
+
+    /// Accepts one TCP connection through the driver and returns
+    /// `(driver, client, token)`.
+    #[cfg(unix)]
+    fn tcp_pair() -> (Arc<ConnDriver>, crate::tcp::TcpConn, Token) {
+        let acceptor = crate::tcp::TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(acceptor));
+        let client = crate::tcp::TcpConn::connect(&addr).unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        (driver, client, token)
+    }
+
+    /// A write larger than the kernel socket buffers completes via the
+    /// reactor's POLLOUT drain once the (initially slow) client reads.
+    #[test]
+    #[cfg(unix)]
+    fn partial_tcp_write_completes_via_pollout() {
+        let (driver, mut client, token) = tcp_pair();
+        // Big enough to overrun loopback socket buffers by a wide margin.
+        let payload: Vec<u8> = (0..8 * 1024 * 1024).map(|i| (i % 251) as u8).collect();
+        assert!(driver.submit_write(token, &payload));
+        assert!(
+            driver.pending_out(token) > 0,
+            "an 8 MiB write must not complete synchronously"
+        );
+        assert!(
+            driver.next_event(Duration::from_millis(100)).is_none(),
+            "no completion while the client reads nothing"
+        );
+        // Slow reader: the reactor drains in batches as buffer space opens.
+        let mut got = Vec::with_capacity(payload.len());
+        let mut buf = vec![0u8; 64 * 1024];
+        while got.len() < payload.len() {
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0, "EOF before the payload drained");
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, payload, "drained bytes match");
+        assert_eq!(
+            driver.next_event(Duration::from_secs(5)),
+            Some(DriverEvent::WriteDone(token))
+        );
+        let counters = driver.counters();
+        assert!(
+            counters.write_would_block.load(Ordering::Relaxed) > 0,
+            "the drain must have hit WouldBlock at least once"
+        );
+        assert_eq!(counters.writes_drained.load(Ordering::Relaxed), 1);
+        driver.stop();
+    }
+
+    /// Two writes submitted while the socket is full drain in FIFO
+    /// order, with one WriteDone per submission.
+    #[test]
+    #[cfg(unix)]
+    fn queued_writes_drain_fifo() {
+        let (driver, mut client, token) = tcp_pair();
+        let first: Vec<u8> = vec![b'a'; 8 * 1024 * 1024];
+        let second: Vec<u8> = vec![b'b'; 1024];
+        assert!(driver.submit_write(token, &first));
+        assert!(driver.submit_write(token, &second));
+        let mut got = Vec::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        while got.len() < first.len() + second.len() {
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert!(got[..first.len()].iter().all(|&b| b == b'a'), "FIFO order");
+        assert!(got[first.len()..].iter().all(|&b| b == b'b'), "FIFO order");
+        let mut done = 0;
+        while done < 2 {
+            match driver.next_event(Duration::from_secs(5)) {
+                Some(DriverEvent::WriteDone(t)) => {
+                    assert_eq!(t, token);
+                    done += 1;
+                }
+                other => panic!("expected WriteDone, got {other:?}"),
+            }
+        }
+        driver.stop();
+    }
+
+    /// `remove_when_flushed` keeps the connection open until the buffer
+    /// drains, then closes it — the client sees the full payload
+    /// followed by EOF.
+    #[test]
+    #[cfg(unix)]
+    fn remove_when_flushed_defers_close_until_drained() {
+        let (driver, mut client, token) = tcp_pair();
+        let payload: Vec<u8> = vec![b'z'; 8 * 1024 * 1024];
+        assert!(driver.submit_write(token, &payload));
+        driver.remove_when_flushed(token);
+        assert!(
+            driver.get(token).is_some(),
+            "close must be deferred while bytes are buffered"
+        );
+        let mut got = 0usize;
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = client.read(&mut buf).unwrap();
+            if n == 0 {
+                break; // EOF only after the whole payload
+            }
+            assert!(buf[..n].iter().all(|&b| b == b'z'));
+            got += n;
+        }
+        assert_eq!(got, payload.len(), "every byte drained before close");
+        assert_eq!(
+            driver.next_event(Duration::from_secs(5)),
+            Some(DriverEvent::WriteDone(token))
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while driver.get(token).is_some() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(driver.get(token).is_none(), "removed after the drain");
+        driver.stop();
+    }
+
+    /// The fd-reuse race end-to-end: remove a connection (closing its
+    /// fd) and immediately accept a new one that reuses it. The stale
+    /// token must never fire.
+    #[test]
+    #[cfg(unix)]
+    fn removed_token_never_fires_after_fd_reuse() {
+        let acceptor = crate::tcp::TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(acceptor));
+        let mut dead_tokens = std::collections::HashSet::new();
+        for round in 0..25 {
+            let old_client = crate::tcp::TcpConn::connect(&addr).unwrap();
+            let DriverEvent::Incoming(old_token) =
+                driver.next_event(Duration::from_secs(2)).unwrap()
+            else {
+                panic!()
+            };
+            driver.arm(old_token);
+            // Remove while the watch is armed and no data has arrived:
+            // the fd closes here, may be reused by the next accept, and
+            // any Readable(old_token) from now on is a stale delivery
+            // (POLLNVAL on the closed fd, or the new connection's data
+            // observed under the old token).
+            drop(driver.remove(old_token));
+            dead_tokens.insert(old_token);
+            drop(old_client);
+
+            // The next accept very likely reuses the freed fd.
+            let mut new_client = crate::tcp::TcpConn::connect(&addr).unwrap();
+            let DriverEvent::Incoming(new_token) =
+                driver.next_event(Duration::from_secs(2)).unwrap()
+            else {
+                panic!()
+            };
+            driver.arm(new_token);
+            new_client.write_all(b"fresh").unwrap();
+            match driver.next_event(Duration::from_secs(2)) {
+                Some(DriverEvent::Readable(t)) => {
+                    assert!(
+                        !dead_tokens.contains(&t),
+                        "stale watch fired for removed token {t} (round {round})"
+                    );
+                    assert_eq!(t, new_token);
+                }
+                other => panic!("expected Readable({new_token}), got {other:?}"),
+            }
+            driver.remove(new_token);
+            dead_tokens.insert(new_token);
+        }
         driver.stop();
     }
 }

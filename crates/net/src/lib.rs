@@ -9,11 +9,16 @@
 //!   so benchmarks are reproducible and can exhibit network saturation;
 //! * **tcp** — real TCP/UDP over `std::net` for examples and interop;
 //! * **driver** — a readiness multiplexer ([`ConnDriver`]) that turns
-//!   accepts and per-connection readability into one event stream, which
-//!   Flux source nodes consume (the paper's select loop);
+//!   accepts, per-connection readability and asynchronous write
+//!   completions into one event stream, which Flux source nodes consume
+//!   (the paper's select loop). [`ConnDriver::submit_write`] queues
+//!   response bytes without blocking; `WriteDone`/`WriteFailed` events
+//!   report completion;
 //! * **reactor** — the poll(2) thread behind the driver: every
 //!   registered TCP socket is multiplexed through a single `poll` call
-//!   instead of one helper thread per connection.
+//!   with per-token `POLLIN | POLLOUT` interest, draining output
+//!   buffers on writability instead of parking an I/O worker in
+//!   `send(2)`.
 
 pub mod driver;
 pub mod mem;
@@ -22,10 +27,10 @@ pub mod shaper;
 pub mod tcp;
 pub mod traits;
 
-pub use driver::{ConnDriver, DriverEvent, SharedConn, Token};
+pub use driver::{ConnDriver, DriverCounters, DriverEvent, SharedConn, Token};
 pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
 #[cfg(unix)]
 pub use reactor::Reactor;
 pub use shaper::Shaper;
 pub use tcp::{TcpAcceptor, TcpConn, UdpDatagram};
-pub use traits::{read_exact_timeout, Conn, Datagram, Listener};
+pub use traits::{read_exact_timeout, Conn, Datagram, Listener, WriteProgress};

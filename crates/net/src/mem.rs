@@ -113,6 +113,9 @@ pub struct MemConn {
     tx: Arc<Pipe>,
     read_timeout: Option<Duration>,
     shaper: Option<Arc<Shaper>>,
+    /// Output buffer for enqueued writes on *shaped* links, drained by
+    /// the driver's drain thread (see [`Conn::enqueue_write`] below).
+    out: VecDeque<u8>,
     local: String,
     peer: String,
 }
@@ -133,6 +136,7 @@ impl MemConn {
                 tx: b.clone(),
                 read_timeout: None,
                 shaper: shaper.clone(),
+                out: VecDeque::new(),
                 local: "mem:client".into(),
                 peer: "mem:server".into(),
             },
@@ -141,6 +145,7 @@ impl MemConn {
                 tx: a,
                 read_timeout: None,
                 shaper,
+                out: VecDeque::new(),
                 local: "mem:server".into(),
                 peer: "mem:client".into(),
             },
@@ -189,12 +194,58 @@ impl Conn for MemConn {
         true
     }
 
+    fn enqueue_write(&mut self, bytes: &[u8]) -> io::Result<crate::traits::WriteProgress> {
+        if let Some(shaper) = self.shaper.clone() {
+            // A shaped link *blocks* in the token bucket to model
+            // transmission time. Burst-sized traffic whose tokens are
+            // available passes synchronously; anything past the bucket
+            // is buffered for the driver's drain thread, which can
+            // afford the sleep (the submitting dispatcher shard cannot).
+            if !self.out.is_empty() || !shaper.try_consume(bytes.len()) {
+                self.out.extend(bytes.iter().copied());
+                return Ok(crate::traits::WriteProgress::Pending);
+            }
+            // Tokens already consumed: write to the pipe directly so
+            // the shaper is not charged twice.
+            self.tx.write(bytes)?;
+            return Ok(crate::traits::WriteProgress::Complete);
+        }
+        // The unshaped pipe never exerts backpressure: enqueues complete
+        // synchronously and no drain watch is needed.
+        io::Write::write_all(self, bytes)?;
+        Ok(crate::traits::WriteProgress::Complete)
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len()
+    }
+
+    fn drain_out(&mut self) -> io::Result<crate::traits::WriteProgress> {
+        if self.out.is_empty() {
+            return Ok(crate::traits::WriteProgress::Complete);
+        }
+        // Runs on the driver's flux-net-drain thread, which may sleep in
+        // the shaper. One bounded chunk per call keeps the connection
+        // lock's hold time to a single chunk's transmission, so flows
+        // and fresh enqueues interleave with a long drain.
+        const DRAIN_CHUNK: usize = 16 * 1024;
+        let n = self.out.len().min(DRAIN_CHUNK);
+        let chunk: Vec<u8> = self.out.drain(..n).collect();
+        io::Write::write_all(self, &chunk)?;
+        Ok(if self.out.is_empty() {
+            crate::traits::WriteProgress::Complete
+        } else {
+            crate::traits::WriteProgress::Pending
+        })
+    }
+
     fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
         Ok(Box::new(MemConn {
             rx: self.rx.clone(),
             tx: self.tx.clone(),
             read_timeout: self.read_timeout,
             shaper: self.shaper.clone(),
+            out: VecDeque::new(),
             local: self.local.clone(),
             peer: self.peer.clone(),
         }))

@@ -1,20 +1,40 @@
 //! A readiness reactor over `poll(2)`: one thread multiplexes every
-//! registered file descriptor.
+//! registered file descriptor, for **both** directions.
 //!
 //! The paper's event-driven runtime simulated asynchronous I/O with a
 //! helper thread wrapped around `select`; the seed reproduction took the
 //! same shortcut *per connection*, which silently degenerated into
 //! thread-per-connection. This module is the real thing: the
-//! [`ConnDriver`](crate::driver::ConnDriver) registers `(fd, token)`
-//! pairs and a single `flux-net-reactor` thread parks in one `poll(2)`
-//! call across all of them, emitting
-//! [`DriverEvent::Readable`](crate::driver::DriverEvent) into the
-//! driver's unified event stream as sockets become readable. Watches are
-//! one-shot, mirroring the driver's `arm` contract.
+//! [`ConnDriver`](crate::driver::ConnDriver) registers per-token
+//! *interest* and a single `flux-net-reactor` thread parks in one
+//! `poll(2)` call across all of it. The watch table is interest-based —
+//! each token carries a `POLLIN | POLLOUT` bit set:
+//!
+//! * **Read interest** is one-shot, mirroring the driver's `arm`
+//!   contract: a readable (or EOF'd) socket emits
+//!   [`DriverEvent::Readable`](crate::driver::DriverEvent) and the
+//!   `POLLIN` bit is cleared until the next `arm`.
+//! * **Write interest** carries a *drain closure* supplied by the
+//!   driver. On `POLLOUT` the reactor calls it to flush that
+//!   connection's output buffer (batched: the drain writes until
+//!   `WouldBlock`); the bit stays armed until the buffer empties, then
+//!   the driver's completion bookkeeping emits `WriteDone`. Response
+//!   transmission therefore never occupies an I/O worker thread.
+//!
+//! **fd-reuse safety.** Deregistration is a *synchronous* update to a
+//! shared liveness table tagged with a per-registration generation:
+//! [`Reactor::deregister`] removes the token's generation before the
+//! caller can drop (and the kernel can reuse) the file descriptor, and
+//! the reactor thread checks the generation before delivering any event
+//! or running any drain. A stale watch — one whose fd the kernel has
+//! already handed to a newly accepted connection — therefore delivers
+//! nothing; it is purged the first time the thread looks at it.
 //!
 //! The reactor wakes for control-plane changes (register/deregister/
 //! stop) through a self-pipe, so registrations made while it is parked
-//! in `poll` take effect immediately.
+//! in `poll` take effect immediately. [`Reactor::stop`] joins the
+//! thread, which exits promptly on the self-pipe wakeup, so no reactor
+//! thread can outlive the driver that spawned it.
 
 #![cfg(unix)]
 
@@ -44,6 +64,7 @@ mod libc_shim {
     pub type nfds_t = std::ffi::c_ulong;
 
     pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
     pub const POLLERR: c_short = 0x008;
     pub const POLLHUP: c_short = 0x010;
     pub const POLLNVAL: c_short = 0x020;
@@ -53,9 +74,41 @@ mod libc_shim {
     }
 }
 
+/// How the reactor invokes a write-drain closure.
+pub(crate) enum DrainCall {
+    /// The socket reported writable: flush as much as it accepts.
+    Drain,
+    /// The watch is being discarded (poll failure): fail the write so
+    /// the driver emits `WriteFailed` instead of leaving it in limbo.
+    Abort,
+}
+
+/// What a drain closure reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DrainResult {
+    /// Output buffer empty: clear `POLLOUT` interest.
+    Complete,
+    /// More bytes remain: keep `POLLOUT` armed.
+    Pending,
+    /// The connection lock is contended (a flow holds it across a
+    /// blocking read): park `POLLOUT` briefly so the level-triggered
+    /// readiness does not spin the reactor, then re-offer the drain.
+    Busy,
+    /// The connection broke: drop the watch.
+    Failed,
+}
+
+/// Flushes one connection's output buffer; owned by the watch table and
+/// called only from the reactor thread. The closure holds the shared
+/// connection handle, which also keeps the fd open (and hence
+/// un-reusable) until the watch itself is discarded.
+pub(crate) type DrainFn = Box<dyn FnMut(DrainCall) -> DrainResult + Send>;
+
 enum Control {
-    /// Arm a one-shot readability watch on `fd` for `token`.
-    Register(RawFd, Token),
+    /// Arm a one-shot readability watch on `fd` for `(token, gen)`.
+    ReadInterest(RawFd, Token, u64),
+    /// Arm a write-drain watch on `fd` for `(token, gen)`.
+    WriteInterest(RawFd, Token, u64, DrainFn),
     /// Drop any watch for `token` (connection removed).
     Deregister(Token),
 }
@@ -65,11 +118,57 @@ struct Shared {
     thread_started: bool,
 }
 
+/// One token's entry in the reactor thread's watch table.
+struct Watch {
+    fd: RawFd,
+    gen: u64,
+    /// `POLLIN | POLLOUT` bit set currently armed.
+    interest: libc_shim::c_short,
+    drain: Option<DrainFn>,
+    /// While set (and in the future), `POLLOUT` is masked from the poll
+    /// set — a [`DrainResult::Busy`] backoff.
+    parked_until: Option<std::time::Instant>,
+}
+
+/// Fetches (or creates) `token`'s watch entry for generation `gen`,
+/// replacing a stale entry from a prior registration wholesale.
+fn upsert_watch(
+    watches: &mut HashMap<Token, Watch>,
+    fd: RawFd,
+    token: Token,
+    gen: u64,
+) -> &mut Watch {
+    let w = watches.entry(token).or_insert(Watch {
+        fd,
+        gen,
+        interest: 0,
+        drain: None,
+        parked_until: None,
+    });
+    if w.gen != gen {
+        *w = Watch {
+            fd,
+            gen,
+            interest: 0,
+            drain: None,
+            parked_until: None,
+        };
+    }
+    w
+}
+
 /// One thread, many sockets: the poll-based readiness multiplexer.
 pub struct Reactor {
     shared: Mutex<Shared>,
+    /// Current generation per live token. Deregistration removes the
+    /// entry *synchronously*, before the fd can close — the reactor
+    /// thread delivers nothing for a token/generation not found here.
+    live: Mutex<HashMap<Token, u64>>,
+    next_gen: AtomicU64,
     /// Write end of the self-pipe; a byte here interrupts `poll`.
     wake: Mutex<Option<std::io::PipeWriter>>,
+    /// The reactor thread, joined by [`Reactor::stop`].
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     stopping: AtomicBool,
     events_delivered: AtomicU64,
     tx: Sender<DriverEvent>,
@@ -82,32 +181,64 @@ impl Reactor {
                 control: Vec::new(),
                 thread_started: false,
             }),
+            live: Mutex::new(HashMap::new()),
+            next_gen: AtomicU64::new(1),
             wake: Mutex::new(None),
+            thread: Mutex::new(None),
             stopping: AtomicBool::new(false),
             events_delivered: AtomicU64::new(0),
             tx,
         })
     }
 
-    /// Number of readiness events the reactor has delivered (test and
-    /// stats hook).
+    /// Number of readiness (read) events the reactor has delivered
+    /// (test and stats hook).
     pub fn events_delivered(&self) -> u64 {
         self.events_delivered.load(Ordering::Relaxed)
+    }
+
+    /// The token's current generation, allocating one if this is its
+    /// first registration since the last deregister.
+    fn live_gen(&self, token: Token) -> u64 {
+        *self
+            .live
+            .lock()
+            .entry(token)
+            .or_insert_with(|| self.next_gen.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Arms a one-shot readability watch. The reactor thread is spawned
     /// lazily on the first registration.
     pub(crate) fn register(self: &Arc<Self>, fd: RawFd, token: Token) {
+        let gen = self.live_gen(token);
         let mut shared = self.shared.lock();
-        shared.control.push(Control::Register(fd, token));
+        shared.control.push(Control::ReadInterest(fd, token, gen));
         self.ensure_thread(&mut shared);
         drop(shared);
         self.wake_up();
     }
 
-    /// Drops any pending watch for `token` (the fd may already be
-    /// closed; the reactor must stop polling it).
+    /// Arms a write-drain watch: `drain` is called from the reactor
+    /// thread whenever the socket reports writable, until it returns
+    /// [`DrainResult::Complete`] or [`DrainResult::Failed`].
+    pub(crate) fn register_write(self: &Arc<Self>, fd: RawFd, token: Token, drain: DrainFn) {
+        let gen = self.live_gen(token);
+        let mut shared = self.shared.lock();
+        shared
+            .control
+            .push(Control::WriteInterest(fd, token, gen, drain));
+        self.ensure_thread(&mut shared);
+        drop(shared);
+        self.wake_up();
+    }
+
+    /// Drops any watch for `token`. The liveness entry is removed
+    /// *before* this returns, so once `deregister` completes the caller
+    /// may close the fd: even if the kernel reuses it immediately, the
+    /// stale watch's generation no longer matches and it delivers
+    /// nothing.
     pub(crate) fn deregister(&self, token: Token) {
+        self.live.lock().remove(&token);
         let mut shared = self.shared.lock();
         if !shared.thread_started {
             return;
@@ -117,10 +248,16 @@ impl Reactor {
         self.wake_up();
     }
 
-    /// Asks the reactor thread to exit.
+    /// Asks the reactor thread to exit and joins it (the self-pipe
+    /// wakeup bounds the wait to one poll round).
     pub(crate) fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
         self.wake_up();
+        if let Some(handle) = self.thread.lock().take() {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
     }
 
     fn wake_up(&self) {
@@ -137,15 +274,21 @@ impl Reactor {
         let (pipe_rx, pipe_tx) = std::io::pipe().expect("reactor self-pipe");
         *self.wake.lock() = Some(pipe_tx);
         let this = self.clone();
-        std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("flux-net-reactor".into())
             .spawn(move || this.run(pipe_rx))
             .expect("spawn reactor thread");
+        *self.thread.lock() = Some(handle);
+    }
+
+    /// True when `(token, gen)` is still the current registration.
+    fn is_live(&self, token: Token, gen: u64) -> bool {
+        self.live.lock().get(&token) == Some(&gen)
     }
 
     fn run(self: Arc<Self>, mut pipe_rx: std::io::PipeReader) {
         let wake_fd = pipe_rx.as_raw_fd();
-        let mut watches: HashMap<Token, RawFd> = HashMap::new();
+        let mut watches: HashMap<Token, Watch> = HashMap::new();
         let mut pollfds: Vec<PollFd> = Vec::new();
         let mut tokens: Vec<Token> = Vec::new();
         loop {
@@ -153,8 +296,20 @@ impl Reactor {
                 let mut shared = self.shared.lock();
                 for ctl in shared.control.drain(..) {
                     match ctl {
-                        Control::Register(fd, token) => {
-                            watches.insert(token, fd);
+                        Control::ReadInterest(fd, token, gen) => {
+                            if !self.is_live(token, gen) {
+                                continue; // raced with deregister
+                            }
+                            upsert_watch(&mut watches, fd, token, gen).interest |=
+                                libc_shim::POLLIN;
+                        }
+                        Control::WriteInterest(fd, token, gen, drain) => {
+                            if !self.is_live(token, gen) {
+                                continue;
+                            }
+                            let w = upsert_watch(&mut watches, fd, token, gen);
+                            w.interest |= libc_shim::POLLOUT;
+                            w.drain = Some(drain);
                         }
                         Control::Deregister(token) => {
                             watches.remove(&token);
@@ -173,21 +328,46 @@ impl Reactor {
                 events: libc_shim::POLLIN,
                 revents: 0,
             });
-            for (&token, &fd) in &watches {
+            let now = std::time::Instant::now();
+            let mut nearest_park: Option<std::time::Instant> = None;
+            for (&token, watch) in &mut watches {
+                let mut events = watch.interest;
+                if let Some(until) = watch.parked_until {
+                    if until <= now {
+                        watch.parked_until = None;
+                    } else {
+                        // Busy backoff: keep the fd in the set (errors
+                        // must still surface) but without POLLOUT.
+                        events &= !libc_shim::POLLOUT;
+                        nearest_park =
+                            Some(nearest_park.map_or(until, |t: std::time::Instant| t.min(until)));
+                    }
+                }
                 pollfds.push(PollFd {
-                    fd,
-                    events: libc_shim::POLLIN,
+                    fd: watch.fd,
+                    events,
                     revents: 0,
                 });
                 tokens.push(token);
             }
 
-            // Bounded timeout: a backstop for a missed wake-up byte.
+            // Bounded timeout: a backstop for a missed wake-up byte,
+            // shortened to the nearest Busy-park expiry so deferred
+            // drains resume promptly.
+            let timeout_ms: libc_shim::c_int = match nearest_park {
+                Some(t) => t
+                    .saturating_duration_since(now)
+                    .as_millis()
+                    .clamp(1, 250)
+                    .try_into()
+                    .unwrap_or(250),
+                None => 250,
+            };
             let n = unsafe {
                 libc_shim::poll(
                     pollfds.as_mut_ptr(),
                     pollfds.len() as libc_shim::nfds_t,
-                    250,
+                    timeout_ms,
                 )
             };
             if n < 0 {
@@ -196,11 +376,19 @@ impl Reactor {
                     continue;
                 }
                 // Unexpected poll failure: report every watched socket
-                // so flows can observe the error on read, then retire.
-                for &token in watches.keys() {
-                    let _ = self.tx.send(DriverEvent::Readable(token));
+                // so flows can observe the error on read, fail pending
+                // writes, then retire the table.
+                for (token, mut watch) in watches.drain() {
+                    if !self.is_live(token, watch.gen) {
+                        continue;
+                    }
+                    if watch.interest & libc_shim::POLLIN != 0 {
+                        let _ = self.tx.send(DriverEvent::Readable(token));
+                    }
+                    if let Some(drain) = watch.drain.as_mut() {
+                        let _ = drain(DrainCall::Abort);
+                    }
                 }
-                watches.clear();
                 continue;
             }
             if pollfds[0].revents != 0 {
@@ -208,14 +396,53 @@ impl Reactor {
                 let mut buf = [0u8; 64];
                 let _ = pipe_rx.read(&mut buf);
             }
-            const READY: libc_shim::c_short =
-                libc_shim::POLLIN | libc_shim::POLLERR | libc_shim::POLLHUP | libc_shim::POLLNVAL;
+            const ERRS: libc_shim::c_short =
+                libc_shim::POLLERR | libc_shim::POLLHUP | libc_shim::POLLNVAL;
             for (pfd, &token) in pollfds[1..].iter().zip(&tokens) {
-                if pfd.revents & READY != 0 {
-                    // One-shot: the driver re-arms after the flow reads.
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let Some(watch) = watches.get_mut(&token) else {
+                    continue;
+                };
+                if !self.is_live(token, watch.gen) {
+                    // Deregistered (possibly with the fd already reused
+                    // by a new connection): deliver nothing.
                     watches.remove(&token);
+                    continue;
+                }
+                if watch.interest & libc_shim::POLLIN != 0
+                    && pfd.revents & (libc_shim::POLLIN | ERRS) != 0
+                {
+                    // One-shot: the driver re-arms after the flow reads.
+                    watch.interest &= !libc_shim::POLLIN;
                     self.events_delivered.fetch_add(1, Ordering::Relaxed);
                     let _ = self.tx.send(DriverEvent::Readable(token));
+                }
+                if watch.interest & libc_shim::POLLOUT != 0
+                    && watch.parked_until.is_none()
+                    && pfd.revents & (libc_shim::POLLOUT | ERRS) != 0
+                {
+                    let result = watch
+                        .drain
+                        .as_mut()
+                        .map(|d| d(DrainCall::Drain))
+                        .unwrap_or(DrainResult::Failed);
+                    match result {
+                        DrainResult::Pending => {}
+                        DrainResult::Busy => {
+                            watch.parked_until = Some(
+                                std::time::Instant::now() + std::time::Duration::from_millis(5),
+                            );
+                        }
+                        DrainResult::Complete | DrainResult::Failed => {
+                            watch.interest &= !libc_shim::POLLOUT;
+                            watch.drain = None;
+                        }
+                    }
+                }
+                if watch.interest == 0 {
+                    watches.remove(&token);
                 }
             }
         }
@@ -281,5 +508,64 @@ mod tests {
             "deregistered watch must not fire"
         );
         reactor.stop();
+    }
+
+    /// The fd-reuse race at the reactor level: deregister a token, close
+    /// its fd, and immediately register the (very likely reused) fd
+    /// under a new token. The stale generation must deliver nothing; the
+    /// new registration must fire.
+    #[test]
+    fn stale_generation_never_fires_on_reused_fd() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let (tx, rx) = unbounded();
+        let reactor = Reactor::new(tx);
+        for round in 0..20u64 {
+            let old_token = 1000 + round * 2;
+            let new_token = 1001 + round * 2;
+            let old_client = TcpConn::connect(&addr).unwrap();
+            let old_server = acceptor.accept().unwrap();
+            reactor.register(old_server.raw_fd().unwrap(), old_token);
+            // Tear the socket down immediately: the watch may still be
+            // in the reactor's table (its Deregister is only queued)
+            // when the fd closes and gets reused below. No data ever
+            // arrived while `old_token` was live, so any Readable for it
+            // is a stale delivery.
+            reactor.deregister(old_token);
+            drop(old_server); // fd closes; the kernel may reuse it now
+            drop(old_client);
+            let mut new_client = TcpConn::connect(&addr).unwrap();
+            let new_server = acceptor.accept().unwrap();
+            reactor.register(new_server.raw_fd().unwrap(), new_token);
+            new_client.write_all(b"fresh").unwrap();
+            match rx.recv_timeout(Duration::from_secs(2)) {
+                Ok(DriverEvent::Readable(t)) => {
+                    assert_eq!(t, new_token, "stale watch fired for a reused fd")
+                }
+                other => panic!("expected Readable({new_token}), got {other:?}"),
+            }
+            assert!(
+                rx.try_recv().is_err(),
+                "exactly one event per round (round {round})"
+            );
+            reactor.deregister(new_token);
+        }
+        reactor.stop();
+    }
+
+    #[test]
+    fn stop_joins_reactor_thread() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let _client = TcpConn::connect(&addr).unwrap();
+        let server = acceptor.accept().unwrap();
+        let (tx, _rx) = unbounded();
+        let reactor = Reactor::new(tx);
+        reactor.register(server.raw_fd().unwrap(), 1);
+        reactor.stop();
+        assert!(
+            reactor.thread.lock().is_none(),
+            "stop() must take and join the thread handle"
+        );
     }
 }

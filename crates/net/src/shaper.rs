@@ -65,6 +65,22 @@ impl Shaper {
         }
     }
 
+    /// Consumes `bytes` tokens only if all are available right now;
+    /// returns `false` (consuming nothing) otherwise. The non-blocking
+    /// fast path for enqueued writes: burst-sized traffic passes
+    /// synchronously, anything past the bucket is left to a drain
+    /// thread that can afford to block in [`Shaper::consume`].
+    pub fn try_consume(&self, bytes: usize) -> bool {
+        let mut s = self.state.lock();
+        self.refill(&mut s);
+        if s.tokens >= bytes as f64 {
+            s.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The configured sustained rate.
     pub fn rate(&self) -> f64 {
         self.rate_bytes_per_s

@@ -1,16 +1,26 @@
 //! Real TCP/UDP transports over `std::net`, for examples and
 //! interoperability testing. Benchmarks use the in-memory transport.
 
-use crate::traits::{Conn, Datagram, Listener};
+use crate::traits::{Conn, Datagram, Listener, WriteProgress};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{TcpListener, TcpStream, UdpSocket};
 use std::time::Duration;
 
 /// A TCP connection implementing [`Conn`].
+///
+/// Besides the plain blocking [`io::Write`] path, the connection keeps a
+/// per-handle output buffer behind [`Conn::enqueue_write`]: writes that
+/// would block are buffered and drained with non-blocking partial
+/// writes, so the reactor can finish them on `POLLOUT` without ever
+/// parking a thread in `send(2)`.
 pub struct TcpConn {
     stream: TcpStream,
     peer: String,
+    /// Output buffer for reactor-drained writes; `out_pos` marks how
+    /// much of it has already reached the socket.
+    out: Vec<u8>,
+    out_pos: usize,
 }
 
 impl TcpConn {
@@ -19,13 +29,80 @@ impl TcpConn {
             .peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "<unknown>".into());
-        TcpConn { stream, peer }
+        TcpConn {
+            stream,
+            peer,
+            out: Vec::new(),
+            out_pos: 0,
+        }
     }
 
     /// Connects to `addr` (e.g. `127.0.0.1:8080`).
     pub fn connect(addr: &str) -> io::Result<Self> {
         Ok(TcpConn::new(TcpStream::connect(addr)?))
     }
+
+    /// Empties the output buffer, releasing oversized capacity so an
+    /// idle keep-alive connection does not pin the high-water mark of
+    /// its largest response.
+    fn release_out(&mut self) {
+        self.out.clear();
+        self.out_pos = 0;
+        if self.out.capacity() > 64 * 1024 {
+            self.out.shrink_to(64 * 1024);
+        }
+    }
+
+    /// Non-blocking drain of the output buffer. The socket is switched
+    /// to non-blocking mode only for the duration of the call; callers
+    /// hold the connection lock, so blocking reads elsewhere never
+    /// observe the mode flip.
+    fn drain_nonblocking(&mut self) -> io::Result<WriteProgress> {
+        if self.out_pos >= self.out.len() {
+            self.release_out();
+            return Ok(WriteProgress::Complete);
+        }
+        let n = nb_write(&self.stream, &self.out[self.out_pos..])?;
+        self.out_pos += n;
+        if self.out_pos >= self.out.len() {
+            self.release_out();
+            return Ok(WriteProgress::Complete);
+        }
+        // Keep the buffer from holding on to drained prefixes forever.
+        if self.out_pos > 64 * 1024 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(WriteProgress::Pending)
+    }
+}
+
+/// Writes as much of `buf` as the socket accepts without blocking,
+/// returning the number of bytes taken (the socket's non-blocking flag
+/// is restored before returning).
+fn nb_write(stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+    use std::io::Write as _;
+    stream.set_nonblocking(true)?;
+    let mut done = 0;
+    let result = loop {
+        if done >= buf.len() {
+            break Ok(done);
+        }
+        match (&mut &*stream).write(&buf[done..]) {
+            Ok(0) => {
+                break Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(done),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => break Err(e),
+        }
+    };
+    stream.set_nonblocking(false)?;
+    result
 }
 
 impl io::Read for TcpConn {
@@ -77,11 +154,33 @@ impl Conn for TcpConn {
         Some(self.stream.as_raw_fd())
     }
 
+    fn enqueue_write(&mut self, bytes: &[u8]) -> io::Result<WriteProgress> {
+        if self.out_pos >= self.out.len() {
+            // Fast path: nothing buffered, write straight from the
+            // caller's slice and keep only the unwritten tail.
+            let n = nb_write(&self.stream, bytes)?;
+            if n >= bytes.len() {
+                return Ok(WriteProgress::Complete);
+            }
+            self.out.clear();
+            self.out_pos = 0;
+            self.out.extend_from_slice(&bytes[n..]);
+            return Ok(WriteProgress::Pending);
+        }
+        self.out.extend_from_slice(bytes);
+        self.drain_nonblocking()
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn drain_out(&mut self) -> io::Result<WriteProgress> {
+        self.drain_nonblocking()
+    }
+
     fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
-        Ok(Box::new(TcpConn {
-            stream: self.stream.try_clone()?,
-            peer: self.peer.clone(),
-        }))
+        Ok(Box::new(TcpConn::new(self.stream.try_clone()?)))
     }
 
     fn shutdown_write(&mut self) -> io::Result<()> {

@@ -8,6 +8,17 @@
 use std::io;
 use std::time::Duration;
 
+/// Progress of a buffered (reactor-drained) write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Every byte was handed to the transport; nothing is buffered.
+    Complete,
+    /// Bytes remain in the connection's output buffer. The owner must
+    /// call [`Conn::drain_out`] again when the transport is writable
+    /// (the driver arms a `POLLOUT` watch on the reactor for this).
+    Pending,
+}
+
 /// A bidirectional byte stream (one TCP connection or an in-memory
 /// duplex pipe).
 pub trait Conn: io::Read + io::Write + Send {
@@ -41,8 +52,38 @@ pub trait Conn: io::Read + io::Write + Send {
         None
     }
 
+    /// Queues `bytes` for transmission without blocking the caller.
+    ///
+    /// Transports that can stall (TCP with a full socket buffer) append
+    /// to a per-connection output buffer and return
+    /// [`WriteProgress::Pending`] after a partial write; the reactor
+    /// then drains the rest via [`Conn::drain_out`] on `POLLOUT`.
+    /// Transports that cannot stall (the in-memory pipe) complete the
+    /// enqueue synchronously. The default implementation performs a
+    /// blocking `write_all`, which is correct for any transport but
+    /// forfeits the non-blocking guarantee.
+    fn enqueue_write(&mut self, bytes: &[u8]) -> io::Result<WriteProgress> {
+        self.write_all(bytes)?;
+        self.flush()?;
+        Ok(WriteProgress::Complete)
+    }
+
+    /// Bytes accepted by [`Conn::enqueue_write`] but not yet handed to
+    /// the transport.
+    fn pending_out(&self) -> usize {
+        0
+    }
+
+    /// Writes as much of the output buffer as the transport accepts
+    /// without blocking. Returns [`WriteProgress::Complete`] when the
+    /// buffer is empty.
+    fn drain_out(&mut self) -> io::Result<WriteProgress> {
+        Ok(WriteProgress::Complete)
+    }
+
     /// Creates an independent handle to the same connection (for
-    /// concurrent reader/writer threads).
+    /// concurrent reader/writer threads). The output buffer is **not**
+    /// shared: buffered bytes stay with the handle that enqueued them.
     fn try_clone(&self) -> io::Result<Box<dyn Conn>>;
 
     /// Closes the write side, signalling EOF to the peer.

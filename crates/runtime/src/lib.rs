@@ -54,4 +54,4 @@ pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
 pub use runtimes::{shard_index, start, RuntimeKind, ServerHandle};
 pub use server::{FlowCursor, FluxServer, LockWait, Step};
-pub use stats::{LatencyHistogram, ServerStats, ShardStat};
+pub use stats::{LatencyHistogram, NetCounters, ServerStats, ShardStat};

@@ -16,7 +16,12 @@
 //!   completion event back to the queues — the moral equivalent of the
 //!   paper's LD_PRELOAD shim plus its select-based callback-simulation
 //!   thread (now a real poll(2) reactor on the network side; see
-//!   `flux-net`'s reactor module).
+//!   `flux-net`'s reactor module). Since the reactor also drains
+//!   per-connection output buffers on `POLLOUT`, response-writing nodes
+//!   are ordinary non-blocking nodes: the pool services only genuinely
+//!   blocking work (reads, disk), never sends. The driver's write-path
+//!   counters surface next to [`crate::stats::ShardStat`] through
+//!   [`crate::stats::NetCounters`].
 //!
 //!   **Sharding design.** Each shard owns a local FIFO run queue of
 //!   [`FlowCursor`] events. New flows are routed by *session affinity*:

@@ -107,6 +107,26 @@ impl ShardStat {
     }
 }
 
+/// Read-only view of the network driver's counters (accept retries and
+/// reactor write-path traffic), published next to the shard counters.
+///
+/// The runtime crate has no dependency on the net crate, so the server
+/// glue (`flux-servers`) installs an adapter over the driver's counter
+/// block via [`ServerStats::install_net`].
+pub trait NetCounters: Send + Sync + std::fmt::Debug {
+    /// Transient accept errors survived by the acceptor's retry loop.
+    fn accept_retries(&self) -> u64;
+    /// Writes handed to the driver's non-blocking submit path.
+    fn writes_submitted(&self) -> u64;
+    /// Writes fully drained (synchronously or by the reactor's POLLOUT
+    /// path).
+    fn writes_drained(&self) -> u64;
+    /// Times a write hit `WouldBlock` and was left to the reactor.
+    fn write_would_block(&self) -> u64;
+    /// Writes that failed (connection removed).
+    fn writes_failed(&self) -> u64;
+}
+
 /// Counters for every way a flow can finish, plus latency.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -121,6 +141,9 @@ pub struct ServerStats {
     /// sized to its own shard count, so restarting the same server with
     /// a different count never reads a stale (or too-small) block.
     shards: parking_lot::Mutex<Option<std::sync::Arc<[ShardStat]>>>,
+    /// Installed by servers that drive a network `ConnDriver`; `None`
+    /// for purely computational servers.
+    net: parking_lot::Mutex<Option<std::sync::Arc<dyn NetCounters>>>,
 }
 
 impl ServerStats {
@@ -149,6 +172,16 @@ impl ServerStats {
     /// Per-shard counters of the most recent sharded event-runtime run.
     pub fn shard_stats(&self) -> Option<std::sync::Arc<[ShardStat]>> {
         self.shards.lock().clone()
+    }
+
+    /// Publishes the network driver's counter view (server glue).
+    pub fn install_net(&self, counters: std::sync::Arc<dyn NetCounters>) {
+        *self.net.lock() = Some(counters);
+    }
+
+    /// The network driver's counters, when a server installed them.
+    pub fn net_counters(&self) -> Option<std::sync::Arc<dyn NetCounters>> {
+        self.net.lock().clone()
     }
 
     /// Total events stolen across all shards (work-stealing traffic).

@@ -14,6 +14,12 @@
 //! returns an error when a wakeup carries no work (the peer sent only a
 //! keep-alive) — that is the paper's famous most-frequent hot path
 //! `Listen -> GetClients -> SelectSockets -> CheckSockets -> ERROR`.
+//!
+//! Every reply (handshake, bitfield, piece blocks, keep-alives) is
+//! *enqueued* on the driver's non-blocking write path and drained by
+//! the reactor on `POLLOUT`; the seed version held the connection lock
+//! across `write_all` inside `Request`, occupying an I/O worker (and
+//! blocking every other node touching that session) for the whole send.
 
 use flux_bittorrent::{Handshake, Message, Metainfo, PieceStore};
 use flux_core::CompiledProgram;
@@ -125,8 +131,6 @@ pub const FLUX_SRC: &str = r#"
 
     blocking CheckSockets;
     blocking ReadMessage;
-    blocking Request;
-    blocking SendBitfield;
     blocking SendRequestToTracker;
 "#;
 
@@ -226,6 +230,13 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
             Some(DriverEvent::Incoming(token)) => {
                 SourceOutcome::New(BtFlow::empty(token, true, c.driver.get(token)))
             }
+            Some(DriverEvent::WriteDone(_)) => SourceOutcome::Skip,
+            Some(DriverEvent::WriteFailed(token)) => {
+                // The driver already removed the broken connection;
+                // forget the peer as well.
+                c.peers.lock().remove(&token);
+                SourceOutcome::Skip
+            }
             Some(DriverEvent::Readable(token)) => {
                 SourceOutcome::New(BtFlow::empty(token, false, c.driver.get(token)))
             }
@@ -291,6 +302,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
             Ok(hs) => hs,
             Err(_) => return NodeOutcome::Err(2),
         };
+        drop(guard);
         if hs.info_hash != c.store.metainfo().info_hash {
             return NodeOutcome::Err(3);
         }
@@ -298,11 +310,11 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
             info_hash: c.store.metainfo().info_hash,
             peer_id: c.peer_id,
         };
-        use std::io::Write as _;
-        if guard.write_all(&reply.encode()).is_err() {
+        // Enqueue the reply; the per-connection buffer keeps it ordered
+        // ahead of the bitfield SendBitfield enqueues next.
+        if !c.driver.submit_write(f.token, &reply.encode()) {
             return NodeOutcome::Err(4);
         }
-        drop(guard);
         c.peers.lock().insert(
             f.token,
             PeerState {
@@ -316,19 +328,12 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
     });
 
     let c = ctx.clone();
-    reg.node_blocking("SendBitfield", move |f: &mut BtFlow| {
-        let Some(conn) = f.conn.clone() else {
-            return NodeOutcome::Err(1);
-        };
+    reg.node("SendBitfield", move |f: &mut BtFlow| {
         let bits = c.store.bitfield();
         let msg = Message::Bitfield(bits.as_bytes().to_vec());
-        let mut guard = conn.lock();
-        use std::io::Write as _;
-        if msg.write_to(&mut **guard).is_err() {
+        if !c.driver.submit_write(f.token, &msg.encode()) {
             return NodeOutcome::Err(2);
         }
-        let _ = guard.flush();
-        drop(guard);
         c.driver.arm(f.token);
         NodeOutcome::Ok
     });
@@ -362,9 +367,13 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
     kind_pred!("IsUnchoke", "unchoke");
     kind_pred!("IsCancel", "cancel");
 
-    // The hot node: serve a block.
+    // The hot node: serve a block. The piece reply is *enqueued*, not
+    // written: the seed version held the connection lock across
+    // `write_all` on an I/O worker — exactly the hidden blocking the
+    // event-driven runtime exists to avoid. The reactor drains the
+    // bytes via POLLOUT if the peer's socket is full.
     let c = ctx.clone();
-    reg.node_blocking("Request", move |f: &mut BtFlow| {
+    reg.node("Request", move |f: &mut BtFlow| {
         let Some(Message::Request {
             index,
             begin,
@@ -381,16 +390,9 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
             begin,
             data: block.to_vec(),
         };
-        let Some(conn) = f.conn.clone() else {
-            return NodeOutcome::Err(3);
-        };
-        let mut guard = conn.lock();
-        use std::io::Write as _;
-        if reply.write_to(&mut **guard).is_err() {
+        if !c.driver.submit_write(f.token, &reply.encode()) {
             return NodeOutcome::Err(4);
         }
-        let _ = guard.flush();
-        drop(guard);
         c.blocks_served.fetch_add(1, Ordering::Relaxed);
         c.bytes_up.fetch_add(length as u64 + 13, Ordering::Relaxed);
         NodeOutcome::Ok
@@ -537,12 +539,12 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
     let c = ctx.clone();
     reg.node("SendKeepAlives", move |_f: &mut BtFlow| {
         let tokens: Vec<Token> = c.peers.lock().keys().copied().collect();
+        let keepalive = Message::KeepAlive.encode();
         for t in tokens {
-            if let Some(conn) = c.driver.get(t) {
-                let mut guard = conn.lock();
-
-                let _ = Message::KeepAlive.write_to(&mut **guard);
-            }
+            // Enqueue-and-complete: a peer with a full socket must not
+            // stall the keep-alive sweep (which holds the `clients?`
+            // constraint) — the reactor drains stragglers.
+            let _ = c.driver.submit_write(t, &keepalive);
         }
         NodeOutcome::Ok
     });
@@ -565,6 +567,9 @@ pub fn spawn(config: BtConfig, runtime: flux_runtime::RuntimeKind, profile: bool
         flux_runtime::FluxServer::new(program, reg)
     }
     .expect("registry satisfies the program");
+    server
+        .stats
+        .install_net(Arc::new(crate::DriverNetCounters(ctx.driver.counters())));
     let handle = flux_runtime::start(Arc::new(server), runtime);
     BtServer { handle, ctx }
 }

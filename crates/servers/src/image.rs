@@ -199,6 +199,9 @@ pub fn build(config: ImageConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, 
                         d.arm(token);
                         SourceOutcome::Skip
                     }
+                    Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => {
+                        SourceOutcome::Skip
+                    }
                     Some(DriverEvent::Readable(token)) => SourceOutcome::New(ImageFlow {
                         socket: token,
                         close: false,

@@ -18,3 +18,37 @@ pub mod game;
 pub mod image;
 pub mod profile_service;
 pub mod web;
+
+/// Adapter publishing a [`flux_net::DriverCounters`] block through the
+/// runtime's [`flux_runtime::NetCounters`] stats view (the runtime
+/// crate does not depend on the net crate).
+#[derive(Debug)]
+pub struct DriverNetCounters(pub std::sync::Arc<flux_net::DriverCounters>);
+
+impl flux_runtime::NetCounters for DriverNetCounters {
+    fn accept_retries(&self) -> u64 {
+        self.0
+            .accept_retries
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn writes_submitted(&self) -> u64 {
+        self.0
+            .writes_submitted
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn writes_drained(&self) -> u64 {
+        self.0
+            .writes_drained
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn write_would_block(&self) -> u64 {
+        self.0
+            .write_would_block
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn writes_failed(&self) -> u64 {
+        self.0
+            .writes_failed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+}

@@ -4,9 +4,16 @@
 //! Flux programs are acyclic, so a keep-alive connection is not a loop
 //! in the graph: the `Listen` source multiplexes readiness over all
 //! connections (via [`flux_net::ConnDriver`]) and emits one flow per
-//! ready request; `Complete` either closes the connection or re-arms it
-//! for the next request. This mirrors the paper's web and BitTorrent
-//! servers, whose source nodes select over existing clients.
+//! ready request; `Complete` either closes the connection (deferred
+//! until the response drains) or re-arms it for the next request. This
+//! mirrors the paper's web and BitTorrent servers, whose source nodes
+//! select over existing clients.
+//!
+//! Response transmission defaults to [`WriteMode::Reactor`]: the
+//! `Write` node enqueues the serialized response on the driver's
+//! non-blocking write path and completes immediately, leaving partial
+//! writes to the reactor's `POLLOUT` drain — no I/O worker is ever
+//! parked in `send(2)` and no connection lock is held across a send.
 
 use flux_core::CompiledProgram;
 use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
@@ -45,8 +52,22 @@ pub const FLUX_SRC: &str = r#"
     handle error RunScript => FiveHundred;
 
     blocking ReadRequest;
-    blocking Write;
 "#;
+
+/// How the `Write` node transmits responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Enqueue on the connection's output buffer and complete: the
+    /// reactor drains partial writes via `POLLOUT`, so `Write` never
+    /// occupies an I/O worker or holds the connection lock across a
+    /// send. This is the default.
+    #[default]
+    Reactor,
+    /// The seed behaviour: `Write` is a blocking node that parks an I/O
+    /// worker in `write_all` under the connection lock for the full
+    /// send. Kept for the ablation benchmark.
+    Blocking,
+}
 
 /// Per-flow payload: the union of fields flowing between nodes, exactly
 /// like the paper's per-flow C struct.
@@ -75,12 +96,16 @@ impl WebCtx {
 
     fn finish(&self, token: Token, close: bool) {
         if close {
-            self.driver.remove(token);
+            // Deferred close: the connection goes away only after the
+            // reactor has drained any still-buffered response bytes.
+            self.driver.remove_when_flushed(token);
         } else {
             self.driver.arm(token);
         }
     }
 
+    /// Blocking-mode transmission: holds the connection lock across the
+    /// full send (the seed behaviour, kept for the ablation benchmark).
     fn write_response(&self, flow_conn: &SharedConn, resp: &Response, close: bool) -> bool {
         let mut conn = flow_conn.lock();
         let ok = resp.write_to(&mut **conn, !close).is_ok();
@@ -90,15 +115,45 @@ impl WebCtx {
         }
         ok
     }
+
+    /// Reactor-mode transmission: serializes the response and enqueues
+    /// it on the driver's non-blocking write path. Completion (and any
+    /// failure) arrives on the event stream as `WriteDone`/`WriteFailed`.
+    /// `bytes_out` counts bytes *accepted for transmission*; a write
+    /// that later fails mid-drain is still counted (benchmark goodput
+    /// is measured client-side, so this only affects the server's own
+    /// gauge).
+    fn send_response(&self, token: Token, resp: &Response, close: bool) -> bool {
+        let mut bytes = Vec::with_capacity(resp.wire_len(!close));
+        resp.write_to(&mut bytes, !close)
+            .expect("serializing a response to memory cannot fail");
+        if self.driver.submit_write(token, &bytes) {
+            self.bytes_out
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
 }
 
-/// Builds the compiled program, node registry and shared context.
+/// Builds the compiled program, node registry and shared context with
+/// the default (reactor) write mode.
 ///
 /// `accept_timeout` bounds how long `Listen` blocks before yielding
 /// (`SourceOutcome::Skip`) so shutdown stays responsive.
 pub fn build(
     listener: Box<dyn Listener>,
     docroot: DocRoot,
+) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
+    build_with(listener, docroot, WriteMode::Reactor)
+}
+
+/// Builds the compiled program, node registry and shared context.
+pub fn build_with(
+    listener: Box<dyn Listener>,
+    docroot: DocRoot,
+    write_mode: WriteMode,
 ) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("web server Flux program compiles");
     let driver = Arc::new(ConnDriver::new());
@@ -113,13 +168,19 @@ pub fn build(
     let mut reg: NodeRegistry<WebFlow> = NodeRegistry::new();
 
     // Source: the readiness multiplexer. New connections are armed for
-    // their first request; readable connections become flows.
+    // their first request; readable connections become flows. Write
+    // completions need no action here — the driver already retired the
+    // submission (and performed any deferred close on the final
+    // `WriteDone`, or removed the connection on `WriteFailed`).
     let c = ctx.clone();
     reg.source("Listen", move || {
         match c.driver.next_event(Duration::from_millis(20)) {
             None => SourceOutcome::Skip,
             Some(DriverEvent::Incoming(token)) => {
                 c.driver.arm(token);
+                SourceOutcome::Skip
+            }
+            Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => {
                 SourceOutcome::Skip
             }
             Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
@@ -199,19 +260,41 @@ pub fn build(
         }
     });
 
-    let c = ctx.clone();
-    reg.node_blocking("Write", move |f: &mut WebFlow| {
-        let resp = f.response.as_ref().expect("handler set a response");
-        let Some(conn) = f.conn.clone() else {
-            return NodeOutcome::Err(1);
-        };
-        if c.write_response(&conn, resp, f.close) {
-            NodeOutcome::Ok
-        } else {
-            f.close = true;
-            NodeOutcome::Ok // delivery failure still completes the flow
+    match write_mode {
+        WriteMode::Reactor => {
+            // Enqueue-and-complete: the node returns as soon as the
+            // response bytes are buffered; the reactor drains them via
+            // POLLOUT. Runs on a dispatcher shard, never the I/O pool.
+            let c = ctx.clone();
+            reg.node("Write", move |f: &mut WebFlow| {
+                debug_assert!(
+                    !std::thread::current()
+                        .name()
+                        .unwrap_or("")
+                        .starts_with("flux-io-"),
+                    "reactor-mode Write must not occupy an I/O worker"
+                );
+                let resp = f.response.as_ref().expect("handler set a response");
+                if !c.send_response(f.token, resp, f.close) {
+                    f.close = true; // connection already gone
+                }
+                NodeOutcome::Ok // delivery failure still completes the flow
+            });
         }
-    });
+        WriteMode::Blocking => {
+            let c = ctx.clone();
+            reg.node_blocking("Write", move |f: &mut WebFlow| {
+                let resp = f.response.as_ref().expect("handler set a response");
+                let Some(conn) = f.conn.clone() else {
+                    return NodeOutcome::Err(1);
+                };
+                if !c.write_response(&conn, resp, f.close) {
+                    f.close = true;
+                }
+                NodeOutcome::Ok // delivery failure still completes the flow
+            });
+        }
+    }
 
     let c = ctx.clone();
     reg.node("Complete", move |f: &mut WebFlow| {
@@ -219,35 +302,34 @@ pub fn build(
         NodeOutcome::Ok
     });
 
-    // Error handlers write a diagnostic response and close or re-arm.
+    // Error handlers enqueue a diagnostic response and close or re-arm
+    // (the driver's non-blocking write path works on every runtime, so
+    // these stay non-blocking nodes in both write modes).
     let c = ctx.clone();
     reg.node("BadRequest", move |f: &mut WebFlow| {
-        if let Some(conn) = f.conn.clone() {
-            let _ = c.write_response(&conn, &Response::error(400), true);
+        if c.send_response(f.token, &Response::error(400), true) {
+            c.driver.remove_when_flushed(f.token);
+        } else {
+            c.driver.remove(f.token);
         }
-        c.driver.remove(f.token);
         NodeOutcome::Ok
     });
     let c = ctx.clone();
     reg.node("FourOhFour", move |f: &mut WebFlow| {
-        if let Some(conn) = f.conn.clone() {
-            if c.write_response(&conn, &Response::not_found(), f.close) {
-                c.finish(f.token, f.close);
-                return NodeOutcome::Ok;
-            }
+        if c.send_response(f.token, &Response::not_found(), f.close) {
+            c.finish(f.token, f.close);
+        } else {
+            c.driver.remove(f.token);
         }
-        c.driver.remove(f.token);
         NodeOutcome::Ok
     });
     let c = ctx.clone();
     reg.node("FiveHundred", move |f: &mut WebFlow| {
-        if let Some(conn) = f.conn.clone() {
-            if c.write_response(&conn, &Response::error(500), f.close) {
-                c.finish(f.token, f.close);
-                return NodeOutcome::Ok;
-            }
+        if c.send_response(f.token, &Response::error(500), f.close) {
+            c.finish(f.token, f.close);
+        } else {
+            c.driver.remove(f.token);
         }
-        c.driver.remove(f.token);
         NodeOutcome::Ok
     });
 
@@ -260,20 +342,35 @@ pub struct WebServer {
     pub ctx: Arc<WebCtx>,
 }
 
-/// Compiles, binds and starts the web server on the given runtime.
+/// Compiles, binds and starts the web server on the given runtime with
+/// the default (reactor) write mode.
 pub fn spawn(
     listener: Box<dyn Listener>,
     docroot: DocRoot,
     runtime: flux_runtime::RuntimeKind,
     profile: bool,
 ) -> WebServer {
-    let (program, reg, ctx) = build(listener, docroot);
+    spawn_with(listener, docroot, runtime, profile, WriteMode::Reactor)
+}
+
+/// Compiles, binds and starts the web server on the given runtime.
+pub fn spawn_with(
+    listener: Box<dyn Listener>,
+    docroot: DocRoot,
+    runtime: flux_runtime::RuntimeKind,
+    profile: bool,
+    write_mode: WriteMode,
+) -> WebServer {
+    let (program, reg, ctx) = build_with(listener, docroot, write_mode);
     let server = if profile {
         flux_runtime::FluxServer::with_profiling(program, reg)
     } else {
         flux_runtime::FluxServer::new(program, reg)
     }
     .expect("registry satisfies the program");
+    server
+        .stats
+        .install_net(Arc::new(crate::DriverNetCounters(ctx.driver.counters())));
     let handle = flux_runtime::start(Arc::new(server), runtime);
     WebServer { handle, ctx }
 }

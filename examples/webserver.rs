@@ -87,5 +87,17 @@ fn main() {
         "served {} requests over real TCP",
         server.ctx.requests.load(Ordering::Relaxed)
     );
+    // Responses ride the reactor's non-blocking write path: every one
+    // drains through the driver, hitting POLLOUT only when the socket
+    // buffer fills.
+    if let Some(net) = server.handle.server().stats.net_counters() {
+        println!(
+            "write path: {} submitted / {} drained, {} WouldBlock deferrals, {} accept retries",
+            net.writes_submitted(),
+            net.writes_drained(),
+            net.write_would_block(),
+            net.accept_retries(),
+        );
+    }
     flux::servers::web::stop(server);
 }

@@ -96,6 +96,4 @@
 
     blocking CheckSockets;
     blocking ReadMessage;
-    blocking Request;
-    blocking SendBitfield;
     blocking SendRequestToTracker;

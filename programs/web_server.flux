@@ -24,4 +24,3 @@
     handle error RunScript => FiveHundred;
 
     blocking ReadRequest;
-    blocking Write;

@@ -257,6 +257,13 @@ fn hot_paths_of_web_server() {
         write!(conn, "GET /x.html HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         let _ = flux::http::read_response(&mut conn).unwrap();
     }
+    // The client has every response (Content-Length framing) as soon as
+    // `Write` enqueues it; wait for the final flow's `Complete` to land
+    // in the profiler before reporting.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.handle.server().stats.finished() < 20 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
     let fx = server.handle.server().clone();
     let report = fx
         .profiler()
