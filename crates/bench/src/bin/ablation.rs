@@ -19,8 +19,14 @@
 //!    constraint-guided partitioner versus a constraint-blind
 //!    round-robin baseline, on the paper's image server and BitTorrent
 //!    programs.
+//! 7. **Poller backends**: the slow-reader web workload over real TCP,
+//!    poll(2) versus epoll(7) behind the same `Reactor`, swept over
+//!    connection counts — the regime where poll's O(watched fds) per
+//!    wakeup starts to tell. Writes `BENCH_poller_backends.json`.
 //!
-//! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point).
+//! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point); `FLUX_BENCH_ONLY`
+//! (comma-separated ablation numbers, e.g. `FLUX_BENCH_ONLY=7`, default
+//! all).
 
 use flux_bench::{env_or, f, Table};
 use flux_core::model::ModelParams;
@@ -165,15 +171,15 @@ fn run_event_shards(shards: usize, workers: usize, secs: f64) -> (flux_bench::Lo
     let set = std::sync::Arc::new(WebSet::build(2 << 20));
     let net = MemNet::new();
     let listener = net.listen("web").unwrap();
-    let server = flux_servers::web::spawn(
+    let server = flux_servers::ServerBuilder::new(flux_servers::web::WebSpec::new(
         Box::new(listener),
         set.docroot.clone(),
-        RuntimeKind::EventDriven {
-            shards,
-            io_workers: workers,
-        },
-        false,
-    );
+    ))
+    .runtime(RuntimeKind::EventDriven {
+        shards,
+        io_workers: workers,
+    })
+    .spawn();
     let report = run_web_load(
         &net,
         "web",
@@ -231,16 +237,14 @@ fn run_reactor_writes(
     docroot.insert("/big.bin", body);
     let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
     let addr = acceptor.local_addr();
-    let server = flux_servers::web::spawn_with(
-        Box::new(acceptor),
-        docroot,
-        RuntimeKind::EventDriven {
-            shards: 2,
-            io_workers: 4,
-        },
-        false,
-        mode,
-    );
+    let server = flux_servers::ServerBuilder::new(
+        flux_servers::web::WebSpec::new(Box::new(acceptor), docroot).write_mode(mode),
+    )
+    .runtime(RuntimeKind::EventDriven {
+        shards: 2,
+        io_workers: 4,
+    })
+    .spawn();
     let report = flux_bench::run_slow_reader_tcp_load(
         &addr,
         "/big.bin",
@@ -280,6 +284,76 @@ fn reactor_writes_json(rows: &[(&str, flux_bench::LoadReport, u64, u64)]) -> Str
             r.p95_latency.as_secs_f64() * 1e3,
             drained,
             would_block,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Ablation 7 (poller backends): the slow-reader web workload over real
+/// TCP with `clients` concurrent throttled readers, on one readiness
+/// backend. Every connection keeps a watch registered in the reactor
+/// for most of its life (its response drains at the client's throttled
+/// rate), so the watched-fd count tracks the client count — the regime
+/// where poll(2)'s O(watched) wakeups diverge from epoll's O(ready).
+/// Returns the load report and the backend actually used.
+fn run_poller_backend(
+    backend: flux_net::PollerBackend,
+    clients: usize,
+    secs: f64,
+) -> (flux_bench::LoadReport, &'static str) {
+    use flux_net::{Listener as _, TcpAcceptor};
+
+    let mut docroot = flux_http::DocRoot::new();
+    // 256 KiB responses: big enough to overrun socket buffers and park
+    // a POLLOUT drain per connection, small enough that 1024 concurrent
+    // drains stay within container memory.
+    let body: Vec<u8> = (0..256 * 1024).map(|i| (i % 253) as u8).collect();
+    docroot.insert("/chunk.bin", body);
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.local_addr();
+    let server = flux_servers::ServerBuilder::new(flux_servers::web::WebSpec::new(
+        Box::new(acceptor),
+        docroot,
+    ))
+    .runtime(RuntimeKind::EventDriven {
+        shards: 2,
+        io_workers: 4,
+    })
+    .backend(backend)
+    .spawn();
+    let name = server.ctx.driver.poller_backend();
+    let report = flux_bench::run_slow_reader_tcp_load(
+        &addr,
+        "/chunk.bin",
+        clients,
+        Duration::from_secs_f64(secs),
+        16 * 1024,
+        Duration::from_millis(1),
+    );
+    flux_servers::web::stop(server);
+    (report, name)
+}
+
+/// Minimal JSON encoder for the poller-backend record.
+fn poller_backends_json(rows: &[(&'static str, usize, flux_bench::LoadReport)]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"bench\": \"poller_backends_web_slow_readers\",\n  \"host_cores\": {cores},\n  \"points\": [\n"
+    );
+    for (i, (backend, clients, r)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"clients\": {}, \"rps\": {:.1}, \"mbps\": {:.2}, \
+             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}}}{}\n",
+            backend,
+            clients,
+            r.rps(),
+            r.mbps(),
+            r.mean_latency.as_secs_f64() * 1e3,
+            r.p95_latency.as_secs_f64() * 1e3,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -358,119 +432,185 @@ fn run_sessions(sessions: usize, workers: usize, secs: f64) -> (f64, f64, f64) {
 fn main() {
     let secs: f64 = env_or("FLUX_BENCH_SECS", 1.5);
     let workers = env_or("FLUX_BENCH_WORKERS", 8usize);
+    let only: String = std::env::var("FLUX_BENCH_ONLY").unwrap_or_default();
+    let should = |n: u32| only.is_empty() || only.split(',').any(|s| s.trim() == n.to_string());
 
-    let mut t = Table::new(
-        "Ablation 1: constraint granularity (3-stage pipeline, 0.5 ms/node)",
-        &["granularity", "predicted_flows_s", "measured_flows_s"],
-    );
-    for g in ["none", "fine", "coarse", "readers"] {
-        let (p, m) = run_granularity(g, workers, secs);
-        eprintln!("# {g:>8}: predicted {} measured {}", f(p), f(m));
-        t.row(&[g.into(), f(p), f(m)]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("# coarse serializes the whole flow (worst); readers run fully parallel;");
-    println!("# fine writer locks pipeline between stages. The simulator predicts the order.");
-    println!();
-
-    let mut t2 = Table::new(
-        "Ablation 2: event-runtime I/O pool size (1 ms blocking node)",
-        &["io_workers", "flows_s"],
-    );
-    for io in [1usize, 2, 4, 8, 16] {
-        let tput = run_io_pool(io, secs);
-        eprintln!("# io_workers={io:<3} {} flows/s", f(tput));
-        t2.row(&[io.to_string(), f(tput)]);
-    }
-    print!("{}", t2.render());
-    println!();
-    println!("# throughput scales with the pool until the 1 ms blocking call stops dominating —");
-    println!("# the paper's LD_PRELOAD shim had the same effective knob (outstanding async ops).");
-    println!();
-
-    let mut t5 = Table::new(
-        "Ablation 5: sharded event runtime — web throughput vs dispatcher shards",
-        &["shards", "req_s", "mbps", "mean_ms", "p95_ms", "steals"],
-    );
-    let mut shard_rows: Vec<(usize, flux_bench::LoadReport, u64)> = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
-        let (report, steals) = run_event_shards(shards, workers, secs);
-        eprintln!(
-            "# shards={shards:<2} {} req/s {} Mb/s steals {steals}",
-            f(report.rps()),
-            f(report.mbps()),
+    if should(1) {
+        let mut t = Table::new(
+            "Ablation 1: constraint granularity (3-stage pipeline, 0.5 ms/node)",
+            &["granularity", "predicted_flows_s", "measured_flows_s"],
         );
-        t5.row(&[
-            shards.to_string(),
-            f(report.rps()),
-            f(report.mbps()),
-            format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
-            format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
-            steals.to_string(),
-        ]);
-        shard_rows.push((shards, report, steals));
-    }
-    print!("{}", t5.render());
-    println!();
-    println!("# shards=1 is the paper's single dispatcher; extra shards use the remaining cores,");
-    println!("# with session-affine routing and work stealing (see flux-runtime::runtimes docs).");
-    println!();
-    let json = shards_json(&shard_rows);
-    let json_path = "BENCH_event_shards.json";
-    match std::fs::write(json_path, &json) {
-        Ok(()) => eprintln!("# wrote {json_path}"),
-        Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        for g in ["none", "fine", "coarse", "readers"] {
+            let (p, m) = run_granularity(g, workers, secs);
+            eprintln!("# {g:>8}: predicted {} measured {}", f(p), f(m));
+            t.row(&[g.into(), f(p), f(m)]);
+        }
+        print!("{}", t.render());
+        println!();
+        println!("# coarse serializes the whole flow (worst); readers run fully parallel;");
+        println!("# fine writer locks pipeline between stages. The simulator predicts the order.");
+        println!();
     }
 
-    let mut t6 = Table::new(
-        "Ablation 6: reactor vs blocking writes — slow-reader web workload (TCP, 8 MiB file)",
-        &[
-            "write_mode",
-            "req_s",
-            "mbps",
-            "mean_ms",
-            "p95_ms",
-            "writes_drained",
-            "write_would_block",
-        ],
-    );
-    let mut rw_rows: Vec<(&str, flux_bench::LoadReport, u64, u64)> = Vec::new();
-    for (name, mode) in [
-        ("blocking", flux_servers::web::WriteMode::Blocking),
-        ("reactor", flux_servers::web::WriteMode::Reactor),
-    ] {
-        let (report, drained, would_block) = run_reactor_writes(mode, secs);
-        eprintln!(
+    if should(2) {
+        let mut t2 = Table::new(
+            "Ablation 2: event-runtime I/O pool size (1 ms blocking node)",
+            &["io_workers", "flows_s"],
+        );
+        for io in [1usize, 2, 4, 8, 16] {
+            let tput = run_io_pool(io, secs);
+            eprintln!("# io_workers={io:<3} {} flows/s", f(tput));
+            t2.row(&[io.to_string(), f(tput)]);
+        }
+        print!("{}", t2.render());
+        println!();
+        println!(
+            "# throughput scales with the pool until the 1 ms blocking call stops dominating —"
+        );
+        println!(
+            "# the paper's LD_PRELOAD shim had the same effective knob (outstanding async ops)."
+        );
+        println!();
+    }
+
+    if should(5) {
+        let mut t5 = Table::new(
+            "Ablation 5: sharded event runtime — web throughput vs dispatcher shards",
+            &["shards", "req_s", "mbps", "mean_ms", "p95_ms", "steals"],
+        );
+        let mut shard_rows: Vec<(usize, flux_bench::LoadReport, u64)> = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let (report, steals) = run_event_shards(shards, workers, secs);
+            eprintln!(
+                "# shards={shards:<2} {} req/s {} Mb/s steals {steals}",
+                f(report.rps()),
+                f(report.mbps()),
+            );
+            t5.row(&[
+                shards.to_string(),
+                f(report.rps()),
+                f(report.mbps()),
+                format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
+                format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+                steals.to_string(),
+            ]);
+            shard_rows.push((shards, report, steals));
+        }
+        print!("{}", t5.render());
+        println!();
+        println!(
+            "# shards=1 is the paper's single dispatcher; extra shards use the remaining cores,"
+        );
+        println!(
+            "# with session-affine routing and work stealing (see flux-runtime::runtimes docs)."
+        );
+        println!();
+        let json = shards_json(&shard_rows);
+        let json_path = "BENCH_event_shards.json";
+        match std::fs::write(json_path, &json) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
+    }
+
+    if should(6) {
+        let mut t6 = Table::new(
+            "Ablation 6: reactor vs blocking writes — slow-reader web workload (TCP, 8 MiB file)",
+            &[
+                "write_mode",
+                "req_s",
+                "mbps",
+                "mean_ms",
+                "p95_ms",
+                "writes_drained",
+                "write_would_block",
+            ],
+        );
+        let mut rw_rows: Vec<(&str, flux_bench::LoadReport, u64, u64)> = Vec::new();
+        for (name, mode) in [
+            ("blocking", flux_servers::web::WriteMode::Blocking),
+            ("reactor", flux_servers::web::WriteMode::Reactor),
+        ] {
+            let (report, drained, would_block) = run_reactor_writes(mode, secs);
+            eprintln!(
             "# write_mode={name:<9} {} req/s {} Mb/s drained {drained} would_block {would_block}",
             f(report.rps()),
             f(report.mbps()),
         );
-        t6.row(&[
-            name.into(),
-            f(report.rps()),
-            f(report.mbps()),
-            format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
-            format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
-            drained.to_string(),
-            would_block.to_string(),
-        ]);
-        rw_rows.push((name, report, drained, would_block));
-    }
-    print!("{}", t6.render());
-    println!();
-    println!("# blocking mode parks an I/O worker per draining response (the seed behaviour);");
-    println!("# reactor mode leaves slow drains to the poll thread's POLLOUT batch, so the");
-    println!("# I/O pool only ever services reads.");
-    println!();
-    let json = reactor_writes_json(&rw_rows);
-    let json_path = "BENCH_reactor_writes.json";
-    match std::fs::write(json_path, &json) {
-        Ok(()) => eprintln!("# wrote {json_path}"),
-        Err(e) => eprintln!("# could not write {json_path}: {e}"),
+            t6.row(&[
+                name.into(),
+                f(report.rps()),
+                f(report.mbps()),
+                format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
+                format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+                drained.to_string(),
+                would_block.to_string(),
+            ]);
+            rw_rows.push((name, report, drained, would_block));
+        }
+        print!("{}", t6.render());
+        println!();
+        println!("# blocking mode parks an I/O worker per draining response (the seed behaviour);");
+        println!("# reactor mode leaves slow drains to the poll thread's POLLOUT batch, so the");
+        println!("# I/O pool only ever services reads.");
+        println!();
+        let json = reactor_writes_json(&rw_rows);
+        let json_path = "BENCH_reactor_writes.json";
+        match std::fs::write(json_path, &json) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
     }
 
-    let mut t3 = Table::new(
+    if should(7) {
+        let mut t7 = Table::new(
+            "Ablation 7: poller backends — slow-reader web workload (TCP, 256 KiB file)",
+            &["backend", "clients", "req_s", "mbps", "mean_ms", "p95_ms"],
+        );
+        let mut pb_rows: Vec<(&'static str, usize, flux_bench::LoadReport)> = Vec::new();
+        for clients in [64usize, 256, 1024] {
+            for backend in [
+                flux_net::PollerBackend::Poll,
+                flux_net::PollerBackend::Epoll,
+            ] {
+                let (report, name) = run_poller_backend(backend, clients, secs);
+                eprintln!(
+                    "# backend={name:<6} clients={clients:<5} {} req/s {} Mb/s mean {:.3} ms",
+                    f(report.rps()),
+                    f(report.mbps()),
+                    report.mean_latency.as_secs_f64() * 1e3,
+                );
+                t7.row(&[
+                    name.into(),
+                    clients.to_string(),
+                    f(report.rps()),
+                    f(report.mbps()),
+                    format!("{:.3}", report.mean_latency.as_secs_f64() * 1e3),
+                    format!("{:.3}", report.p95_latency.as_secs_f64() * 1e3),
+                ]);
+                pb_rows.push((name, clients, report));
+            }
+        }
+        print!("{}", t7.render());
+        println!();
+        println!(
+            "# every connection holds a reactor watch while its throttled response drains, so"
+        );
+        println!(
+            "# the watched-fd count tracks the client count: poll pays O(watched) per wakeup,"
+        );
+        println!("# epoll pays O(ready) — the gap opens as connections grow.");
+        println!();
+        let json = poller_backends_json(&pb_rows);
+        let json_path = "BENCH_poller_backends.json";
+        match std::fs::write(json_path, &json) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
+    }
+
+    if should(3) {
+        let mut t3 = Table::new(
         "Ablation 3: session-scoped constraints — conservative vs session-aware simulator (flows/s)",
         &[
             "sessions",
@@ -479,80 +619,85 @@ fn main() {
             "measured",
         ],
     );
-    for sessions in [1usize, 2, 4, 8, 16] {
-        let (cons, aware, meas) = run_sessions(sessions, workers, secs);
-        eprintln!(
-            "# sessions={sessions:<3} conservative {} aware {} measured {}",
-            f(cons),
-            f(aware),
-            f(meas)
-        );
-        t3.row(&[sessions.to_string(), f(cons), f(aware), f(meas)]);
-    }
-    print!("{}", t3.render());
-    println!();
-    println!("# the conservative prediction (paper §5.1) stays pinned at one-session throughput;");
-    println!(
-        "# the session-aware extension (paper §8) tracks the measured scaling across sessions."
-    );
-    println!();
-
-    let mut t4 = Table::new(
-        "Ablation 4: constraint-guided cluster placement vs round-robin",
-        &[
-            "program",
-            "machines",
-            "guided_cut_pct",
-            "guided_remote_locks_s",
-            "rr_cut_pct",
-            "rr_remote_locks_s",
-        ],
-    );
-    let programs: [(&str, &str, &[f64]); 2] = [
-        ("image", flux_core::fixtures::IMAGE_SERVER, &[0.86, 0.14]),
-        (
-            "bittorrent",
-            flux_servers::bt::FLUX_SRC,
-            &[0.55, 0.15, 0.08, 0.05, 0.05, 0.04, 0.03, 0.03, 0.01, 0.01],
-        ),
-    ];
-    for (name, src, probs) in programs {
-        let compiled = flux_core::compile(src).expect("placement program compiles");
-        let mut params = ModelParams::uniform(&compiled, 0.001, 0.01);
-        let dispatch = if name == "image" {
-            "Handler"
-        } else {
-            "HandleMessage"
-        };
-        params.set_dispatch_probs(&compiled, dispatch, probs);
-        for machines in [2usize, 4] {
-            let cfg = flux_core::PlaceConfig {
-                machines,
-                ..Default::default()
-            };
-            let guided = flux_core::place(&compiled, &params, &cfg).unwrap();
-            let rr = flux_core::round_robin(&compiled, &params, machines).unwrap();
+        for sessions in [1usize, 2, 4, 8, 16] {
+            let (cons, aware, meas) = run_sessions(sessions, workers, secs);
             eprintln!(
+                "# sessions={sessions:<3} conservative {} aware {} measured {}",
+                f(cons),
+                f(aware),
+                f(meas)
+            );
+            t3.row(&[sessions.to_string(), f(cons), f(aware), f(meas)]);
+        }
+        print!("{}", t3.render());
+        println!();
+        println!(
+            "# the conservative prediction (paper §5.1) stays pinned at one-session throughput;"
+        );
+        println!(
+            "# the session-aware extension (paper §8) tracks the measured scaling across sessions."
+        );
+        println!();
+    }
+
+    if should(4) {
+        let mut t4 = Table::new(
+            "Ablation 4: constraint-guided cluster placement vs round-robin",
+            &[
+                "program",
+                "machines",
+                "guided_cut_pct",
+                "guided_remote_locks_s",
+                "rr_cut_pct",
+                "rr_remote_locks_s",
+            ],
+        );
+        let programs: [(&str, &str, &[f64]); 2] = [
+            ("image", flux_core::fixtures::IMAGE_SERVER, &[0.86, 0.14]),
+            (
+                "bittorrent",
+                flux_servers::bt::FLUX_SRC,
+                &[0.55, 0.15, 0.08, 0.05, 0.05, 0.04, 0.03, 0.03, 0.01, 0.01],
+            ),
+        ];
+        for (name, src, probs) in programs {
+            let compiled = flux_core::compile(src).expect("placement program compiles");
+            let mut params = ModelParams::uniform(&compiled, 0.001, 0.01);
+            let dispatch = if name == "image" {
+                "Handler"
+            } else {
+                "HandleMessage"
+            };
+            params.set_dispatch_probs(&compiled, dispatch, probs);
+            for machines in [2usize, 4] {
+                let cfg = flux_core::PlaceConfig {
+                    machines,
+                    ..Default::default()
+                };
+                let guided = flux_core::place(&compiled, &params, &cfg).unwrap();
+                let rr = flux_core::round_robin(&compiled, &params, machines).unwrap();
+                eprintln!(
                 "# {name:>10} machines={machines}: guided cut {:.1}% remote {:.1}/s | rr cut {:.1}% remote {:.1}/s",
                 100.0 * guided.cut_fraction(),
                 guided.remote_lock_rate,
                 100.0 * rr.cut_fraction(),
                 rr.remote_lock_rate,
             );
-            t4.row(&[
-                name.into(),
-                machines.to_string(),
-                format!("{:.1}", 100.0 * guided.cut_fraction()),
-                f(guided.remote_lock_rate),
-                format!("{:.1}", 100.0 * rr.cut_fraction()),
-                f(rr.remote_lock_rate),
-            ]);
+                t4.row(&[
+                    name.into(),
+                    machines.to_string(),
+                    format!("{:.1}", 100.0 * guided.cut_fraction()),
+                    f(guided.remote_lock_rate),
+                    format!("{:.1}", 100.0 * rr.cut_fraction()),
+                    f(rr.remote_lock_rate),
+                ]);
+            }
         }
-    }
-    print!("{}", t4.render());
-    println!();
-    println!(
+        print!("{}", t4.render());
+        println!();
+        println!(
         "# constraints identify shared state (paper §8): colocating their footprints keeps every"
     );
-    println!("# lock machine-local and cuts cross-machine hand-offs by an order of magnitude.");
+        println!("# lock machine-local and cuts cross-machine hand-offs by an order of magnitude.");
+    }
 }

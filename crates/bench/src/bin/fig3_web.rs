@@ -124,12 +124,12 @@ fn main() {
                         },
                         _ => RuntimeKind::ThreadPerFlow,
                     };
-                    let s = flux_servers::web::spawn(
+                    let s = flux_servers::ServerBuilder::new(flux_servers::web::WebSpec::new(
                         Box::new(listener),
                         set.docroot.clone(),
-                        kind,
-                        false,
-                    );
+                    ))
+                    .runtime(kind)
+                    .spawn();
                     report = run_web_load(&net, "web", &set, n, duration, warmup);
                     flux_servers::web::stop(s);
                 }

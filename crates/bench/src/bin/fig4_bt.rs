@@ -63,21 +63,19 @@ fn main() {
                         },
                         _ => RuntimeKind::ThreadPerFlow,
                     };
-                    let s = flux_servers::bt::spawn(
-                        flux_servers::bt::BtConfig {
-                            listener: Box::new(listener),
-                            meta: meta.clone(),
-                            file: file.clone(),
-                            tracker_dial: None,
-                            peer_id: *b"-FX0001-benchseed001",
-                            addr: "mem:seed".into(),
-                            tracker_period: Duration::from_secs(3600),
-                            choke_period: Duration::from_secs(3600),
-                            keepalive_period: Duration::from_secs(3600),
-                        },
-                        kind,
-                        false,
-                    );
+                    let s = flux_servers::ServerBuilder::new(flux_servers::bt::BtConfig {
+                        listener: Box::new(listener),
+                        meta: meta.clone(),
+                        file: file.clone(),
+                        tracker_dial: None,
+                        peer_id: *b"-FX0001-benchseed001",
+                        addr: "mem:seed".into(),
+                        tracker_period: Duration::from_secs(3600),
+                        choke_period: Duration::from_secs(3600),
+                        keepalive_period: Duration::from_secs(3600),
+                    })
+                    .runtime(kind)
+                    .spawn();
                     report = run_bt_load(&net, "seed", &meta, n, duration, warmup);
                     flux_servers::bt::stop(s);
                 }

@@ -17,7 +17,7 @@
 use flux_bench::{env_or, f, Table};
 use flux_core::model::ModelParams;
 use flux_runtime::RuntimeKind;
-use flux_servers::image::{build, spawn, CompressMode, ImageConfig, ImageSource};
+use flux_servers::image::{build, CompressMode, ImageConfig, ImageSource};
 use flux_sim::{FluxSimulation, SimConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,11 +43,10 @@ fn image_config(interarrival: Duration, total: u64, service: Duration) -> ImageC
 fn observe(cpus: usize, rate: f64, secs: f64, service: Duration) -> (f64, f64) {
     let total = (rate * secs).ceil() as u64;
     let interarrival = Duration::from_secs_f64(1.0 / rate);
-    let flux_servers::image::ImageServer { handle, ctx } = spawn(
-        image_config(interarrival, total, service),
-        RuntimeKind::ThreadPool { workers: cpus },
-        false,
-    );
+    let flux_servers::image::ImageServer { handle, ctx } =
+        flux_servers::ServerBuilder::new(image_config(interarrival, total, service))
+            .runtime(RuntimeKind::ThreadPool { workers: cpus })
+            .spawn();
     let fx = handle.server().clone();
     let t0 = std::time::Instant::now();
     handle.join();

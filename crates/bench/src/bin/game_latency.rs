@@ -56,15 +56,13 @@ fn main() {
                             io_workers: 2,
                         },
                     };
-                    let s = flux_servers::game::spawn(
-                        flux_servers::game::GameConfig {
-                            socket: sock,
-                            tick,
-                            seed: 7,
-                        },
-                        kind,
-                        false,
-                    );
+                    let s = flux_servers::ServerBuilder::new(flux_servers::game::GameConfig {
+                        socket: sock,
+                        tick,
+                        seed: 7,
+                    })
+                    .runtime(kind)
+                    .spawn();
                     report = run_game_load(&net, "game", n, 10.0, duration);
                     flux_servers::game::stop(s);
                 }

@@ -36,21 +36,20 @@ fn main() {
     for &clients in &loads {
         let net = MemNet::new();
         let listener = net.listen("seed").unwrap();
-        let server = flux_servers::bt::spawn(
-            flux_servers::bt::BtConfig {
-                listener: Box::new(listener),
-                meta: meta.clone(),
-                file: file.clone(),
-                tracker_dial: None,
-                peer_id: *b"-FX0001-profseed0001",
-                addr: "mem:seed".into(),
-                tracker_period: Duration::from_secs(3600),
-                choke_period: Duration::from_secs(3600),
-                keepalive_period: Duration::from_secs(3600),
-            },
-            RuntimeKind::ThreadPool { workers: 8 },
-            true, // profiling on
-        );
+        let server = flux_servers::ServerBuilder::new(flux_servers::bt::BtConfig {
+            listener: Box::new(listener),
+            meta: meta.clone(),
+            file: file.clone(),
+            tracker_dial: None,
+            peer_id: *b"-FX0001-profseed0001",
+            addr: "mem:seed".into(),
+            tracker_period: Duration::from_secs(3600),
+            choke_period: Duration::from_secs(3600),
+            keepalive_period: Duration::from_secs(3600),
+        })
+        .runtime(RuntimeKind::ThreadPool { workers: 8 })
+        .profile(true)
+        .spawn();
         let _load = run_bt_load(&net, "seed", &meta, clients, duration, warmup);
 
         let fx = server.handle.server().clone();

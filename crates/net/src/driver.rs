@@ -12,9 +12,11 @@
 //!   killing the listener, with retries counted in [`DriverCounters`];
 //! * the in-memory transport's **watch callbacks** (zero threads: the
 //!   writer's thread fires the callback at write time);
-//! * the shared **poll(2) reactor** ([`crate::reactor::Reactor`]) for
+//! * the shared **readiness reactor** ([`crate::reactor::Reactor`]) for
 //!   every transport that exposes a raw file descriptor (TCP). One
-//!   reactor thread serves *all* registered sockets — the seed's
+//!   reactor thread serves *all* registered sockets over the configured
+//!   [`crate::poller::Poller`] backend (`poll(2)`, or `epoll(7)` — the
+//!   Linux default; see [`NetConfig`]) — the seed's
 //!   one-helper-thread-per-connection readiness path is gone, and with
 //!   it the hidden thread-per-connection scaling cliff. A per-connection
 //!   helper thread survives only as a fallback for hypothetical
@@ -53,6 +55,36 @@ use std::time::Duration;
 
 /// A registered connection's identity.
 pub type Token = u64;
+
+/// Network-layer configuration, consumed by [`ConnDriver::with_config`]
+/// and carried by `flux_servers::ServerBuilder` so every server,
+/// example, bench harness and test constructs its driver the same way.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Which readiness backend multiplexes fd-backed transports.
+    /// Defaults to epoll on Linux (with automatic fallback to poll);
+    /// `FLUX_POLLER=poll|epoll` overrides at runtime.
+    #[cfg(unix)]
+    pub backend: crate::poller::PollerBackend,
+    /// Per-connection output-buffer bound for the non-blocking write
+    /// path (see [`ConnDriver::set_max_pending_out`]). Default 64 MiB.
+    pub max_pending_out: usize,
+    /// How long event consumers (server `Listen` sources) block in
+    /// [`ConnDriver::next_event`] per poll before re-checking their
+    /// shutdown flag. Default 20 ms.
+    pub io_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            #[cfg(unix)]
+            backend: crate::poller::PollerBackend::default(),
+            max_pending_out: 64 * 1024 * 1024,
+            io_timeout: Duration::from_millis(20),
+        }
+    }
+}
 
 /// What the driver reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,8 +150,9 @@ pub struct ConnDriver {
     /// Work queue of the lazily spawned `flux-net-drain` thread (fd-less
     /// transports with buffered writes, i.e. the shaped mem transport).
     drain_tx: Mutex<Option<Sender<(Token, SharedConn)>>>,
-    /// The poll(2) multiplexer for fd-backed transports. Its thread is
-    /// spawned lazily on the first fd registration.
+    /// The readiness multiplexer for fd-backed transports (poll or
+    /// epoll, per [`NetConfig::backend`]). Its thread is spawned lazily
+    /// on the first fd registration.
     #[cfg(unix)]
     reactor: Arc<crate::reactor::Reactor>,
 }
@@ -131,21 +164,42 @@ impl Default for ConnDriver {
 }
 
 impl ConnDriver {
+    /// A driver with the default [`NetConfig`] (epoll on Linux with
+    /// poll fallback, honouring `FLUX_POLLER`).
     pub fn new() -> Self {
+        Self::with_config(&NetConfig::default())
+    }
+
+    /// A driver configured explicitly — the path every
+    /// `flux_servers::ServerBuilder` takes.
+    pub fn with_config(config: &NetConfig) -> Self {
         let (tx, rx) = unbounded();
         ConnDriver {
             #[cfg(unix)]
-            reactor: crate::reactor::Reactor::new(tx.clone()),
+            reactor: crate::reactor::Reactor::new(tx.clone(), config.backend),
             tx,
             rx,
             conns: Mutex::new(HashMap::new()),
             writes: Mutex::new(HashMap::new()),
             counters: Arc::new(DriverCounters::default()),
-            max_pending_out: std::sync::atomic::AtomicUsize::new(64 * 1024 * 1024),
+            max_pending_out: std::sync::atomic::AtomicUsize::new(config.max_pending_out),
             next_token: AtomicU64::new(1),
             stopping: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             drain_tx: Mutex::new(None),
+        }
+    }
+
+    /// The readiness backend actually in use (`"poll"` or `"epoll"`,
+    /// after any fallback); `"none"` on non-unix hosts.
+    pub fn poller_backend(&self) -> &'static str {
+        #[cfg(unix)]
+        {
+            self.reactor.backend_name()
+        }
+        #[cfg(not(unix))]
+        {
+            "none"
         }
     }
 
@@ -456,7 +510,7 @@ impl ConnDriver {
     /// Arms a one-shot readability watch: when the connection has data
     /// (or EOF), a [`DriverEvent::Readable`] is queued. In-memory
     /// transports install a watch callback; fd-backed transports (TCP)
-    /// are registered with the shared poll(2) reactor thread. Only a
+    /// are registered with the shared reactor thread. Only a
     /// transport with neither capability falls back to a helper thread.
     pub fn arm(self: &Arc<Self>, token: Token) {
         let Some(shared) = self.get(token) else {
@@ -619,6 +673,13 @@ impl ConnDriver {
     /// All of them poll the stop flag on bounded timeouts (50–250 ms),
     /// so the join completes promptly; after `stop` returns, no driver
     /// thread survives to fire into a dropped channel.
+    ///
+    /// Every still-registered connection is then removed: a connection
+    /// whose [`ConnDriver::remove_when_flushed`] was pending when the
+    /// reactor stopped (its drain can no longer complete) must not
+    /// outlive the driver holding a buffered response — its pending
+    /// submissions are failed and its output buffer dropped, so no
+    /// token stays registered after `stop` returns.
     pub fn stop(&self) {
         self.stopping.store(true, Ordering::Relaxed);
         #[cfg(unix)]
@@ -630,9 +691,13 @@ impl ConnDriver {
                 let _ = h.join();
             }
         }
+        let tokens: Vec<Token> = self.conns.lock().keys().copied().collect();
+        for token in tokens {
+            drop(self.remove(token));
+        }
     }
 
-    /// The number of readiness events delivered by the poll reactor
+    /// The number of readiness events delivered by the reactor
     /// (fd-backed transports only; watch-based events are not counted).
     #[cfg(unix)]
     pub fn reactor_events(&self) -> u64 {
@@ -733,7 +798,7 @@ mod tests {
         assert_eq!(
             driver.reactor_events(),
             1,
-            "TCP readiness must come from the poll reactor, not helper threads"
+            "TCP readiness must come from the reactor, not helper threads"
         );
         driver.stop();
     }

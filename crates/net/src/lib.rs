@@ -1,8 +1,8 @@
 //! # flux-net — network substrate for the Flux servers
 //!
 //! The paper's servers sit on POSIX sockets; this crate abstracts the
-//! transport behind [`Conn`]/[`Listener`]/[`Datagram`] traits with three
-//! implementations:
+//! transport behind [`Conn`]/[`Listener`]/[`Datagram`] traits and the
+//! readiness machinery behind a layered, swappable stack:
 //!
 //! * **mem** — a hermetic in-memory transport (duplex pipes, a listener
 //!   registry, datagram sockets) with optional aggregate link shaping,
@@ -13,22 +13,37 @@
 //!   completions into one event stream, which Flux source nodes consume
 //!   (the paper's select loop). [`ConnDriver::submit_write`] queues
 //!   response bytes without blocking; `WriteDone`/`WriteFailed` events
-//!   report completion;
-//! * **reactor** — the poll(2) thread behind the driver: every
-//!   registered TCP socket is multiplexed through a single `poll` call
-//!   with per-token `POLLIN | POLLOUT` interest, draining output
-//!   buffers on writability instead of parking an I/O worker in
-//!   `send(2)`.
+//!   report completion. Construction goes through [`NetConfig`]
+//!   (backend choice, output-buffer bound, event-poll timeout) —
+//!   servers reach it via `flux_servers::ServerBuilder`;
+//! * **reactor** — the single multiplexer thread behind the driver:
+//!   every registered TCP socket carries read/write *interest*, output
+//!   buffers drain on writability instead of parking an I/O worker in
+//!   `send(2)`, and the fd-reuse (generation) and shutdown invariants
+//!   are enforced here once, above the backend;
+//! * **poller** — the syscall-facing core, behind the [`Poller`] trait
+//!   (`add`/`modify`/`delete`/`wait` over interest-tagged fds): a
+//!   portable `poll(2)` backend (O(watched) per wakeup) and a raw-FFI
+//!   `epoll(7)` backend (O(ready) per wakeup, one-shot re-arm), the
+//!   Linux default. `FLUX_POLLER=poll|epoll` selects at runtime; both
+//!   backends pass the same conformance suite in `tests/`. Future
+//!   kqueue/io_uring backends slot in behind the same four methods.
 
 pub mod driver;
 pub mod mem;
+#[cfg(unix)]
+pub mod poller;
 pub mod reactor;
 pub mod shaper;
 pub mod tcp;
 pub mod traits;
 
-pub use driver::{ConnDriver, DriverCounters, DriverEvent, SharedConn, Token};
+pub use driver::{ConnDriver, DriverCounters, DriverEvent, NetConfig, SharedConn, Token};
 pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
+#[cfg(target_os = "linux")]
+pub use poller::EpollPoller;
+#[cfg(unix)]
+pub use poller::{Interest, PollPoller, Poller, PollerBackend, PollerEvent};
 #[cfg(unix)]
 pub use reactor::Reactor;
 pub use shaper::Shaper;

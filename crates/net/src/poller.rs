@@ -1,0 +1,572 @@
+//! Pluggable readiness backends: the syscall-facing core of the
+//! reactor, extracted behind the [`Poller`] trait.
+//!
+//! The paper's central claim is runtime independence — the same Flux
+//! program runs on any concurrency substrate. This module extends that
+//! symmetry one layer down: the [`Reactor`](crate::reactor::Reactor)
+//! owns *policy* (interest bookkeeping, generation-tagged liveness
+//! against fd reuse, drain scheduling, the self-pipe wakeup) while the
+//! backend owns only the *mechanism* of waiting on file descriptors:
+//!
+//! * [`PollPoller`] — the portable `poll(2)` backend. Stateless per
+//!   wait: the fd set is rebuilt from the interest table on every call,
+//!   which costs O(watched fds) per wakeup.
+//! * [`EpollPoller`] — raw-FFI `epoll(7)` (Linux). Interest lives in
+//!   the kernel (`EPOLL_CTL_ADD`/`MOD`/`DEL`) and every registration
+//!   carries `EPOLLONESHOT`, so a wait costs O(ready fds) and a fired
+//!   watch stays quiet until it is re-armed. This is the Linux default.
+//!
+//! **The one-shot contract.** Both backends deliver *one-shot* events:
+//! after [`Poller::wait`] reports an fd, that fd is disarmed until the
+//! caller re-issues [`Poller::modify`] (or removes it with
+//! [`Poller::delete`]). The reactor therefore finishes handling every
+//! reported fd with exactly one `modify`/`delete` call before its next
+//! `wait`. `poll(2)` has no kernel-side one-shot, so [`PollPoller`]
+//! emulates it by masking fired interest bits until the re-arm —
+//! keeping the two backends observationally identical, which is what
+//! the conformance suite in `crates/net/tests/` checks.
+//!
+//! Backend selection: [`PollerBackend::default()`] picks epoll on
+//! Linux and poll elsewhere; the `FLUX_POLLER` environment variable
+//! (`poll` / `epoll`) overrides at runtime, and an epoll that fails to
+//! initialize falls back to poll automatically. Future backends
+//! (kqueue, io_uring) slot in behind the same four methods.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Which readiness conditions a watch cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    pub read: bool,
+    pub write: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+
+    /// No conditions armed. The fd stays registered (errors and hangups
+    /// still surface on both backends) but delivers no read/write
+    /// readiness — the reactor's Busy-park state.
+    pub fn none() -> Interest {
+        Interest::default()
+    }
+}
+
+/// One readiness event out of [`Poller::wait`]. Error/hangup conditions
+/// (`POLLERR`/`POLLHUP`/`POLLNVAL`, `EPOLLERR`/`EPOLLHUP`) are folded
+/// into **both** flags so the read path can observe the error on its
+/// next read and the write path can fail its drain — mirroring how the
+/// reactor treated raw `revents`.
+#[derive(Debug, Clone, Copy)]
+pub struct PollerEvent {
+    pub fd: RawFd,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// A readiness multiplexer over interest-tagged file descriptors.
+///
+/// Implementations are driven from a single thread (the reactor's); the
+/// trait is `Send` so the whole poller moves into that thread, not
+/// `Sync`. See the module docs for the one-shot contract shared by all
+/// backends.
+pub trait Poller: Send {
+    /// The backend's name, for stats, logs and benchmark records.
+    fn name(&self) -> &'static str;
+
+    /// Registers `fd` with `interest`. Registering an already-watched
+    /// fd replaces its interest (upsert), so callers need not track
+    /// which of add/modify applies after an fd was reused.
+    fn add(&mut self, fd: RawFd, interest: Interest) -> io::Result<()>;
+
+    /// Re-arms `fd` with `interest` — the one-shot re-arm. Modifying an
+    /// unregistered fd registers it.
+    fn modify(&mut self, fd: RawFd, interest: Interest) -> io::Result<()>;
+
+    /// Drops the watch on `fd`. Deleting an fd that is not registered
+    /// (or already closed by the kernel) is not an error.
+    fn delete(&mut self, fd: RawFd) -> io::Result<()>;
+
+    /// Blocks until at least one watched fd is ready or `timeout`
+    /// elapses, appending ready fds to `events` (cleared first). Each
+    /// reported fd is disarmed until the caller re-issues
+    /// [`Poller::modify`] for it.
+    fn wait(&mut self, events: &mut Vec<PollerEvent>, timeout: Duration) -> io::Result<()>;
+}
+
+/// Which [`Poller`] implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollerBackend {
+    /// Portable `poll(2)`: O(watched fds) per wakeup.
+    Poll,
+    /// Linux `epoll(7)`: O(ready fds) per wakeup, kernel-held interest.
+    Epoll,
+}
+
+impl Default for PollerBackend {
+    /// Epoll on Linux, poll elsewhere — unless `FLUX_POLLER` overrides
+    /// (`FLUX_POLLER=poll` selects the fallback at runtime, the knob the
+    /// CI matrix leg exercises).
+    fn default() -> Self {
+        match std::env::var("FLUX_POLLER").as_deref() {
+            Ok("poll") => PollerBackend::Poll,
+            Ok("epoll") => PollerBackend::Epoll,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    PollerBackend::Epoll
+                } else {
+                    PollerBackend::Poll
+                }
+            }
+        }
+    }
+}
+
+/// Instantiates the chosen backend, falling back to [`PollPoller`] when
+/// epoll is unavailable (non-Linux hosts, or a failed `epoll_create1`).
+pub fn create_poller(backend: PollerBackend) -> Box<dyn Poller> {
+    match backend {
+        PollerBackend::Poll => Box::new(PollPoller::new()),
+        PollerBackend::Epoll => {
+            #[cfg(target_os = "linux")]
+            let poller: Box<dyn Poller> = match EpollPoller::new() {
+                Ok(p) => Box::new(p),
+                Err(_) => Box::new(PollPoller::new()),
+            };
+            #[cfg(not(target_os = "linux"))]
+            let poller: Box<dyn Poller> = Box::new(PollPoller::new());
+            poller
+        }
+    }
+}
+
+/// The tiny slice of libc the backends need, declared directly so the
+/// offline build does not depend on the `libc` crate.
+#[allow(non_camel_case_types)]
+mod sys {
+    pub type c_short = i16;
+    pub type c_int = i32;
+    pub type nfds_t = std::ffi::c_ulong;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: super::RawFd,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLONESHOT: u32 = 1 << 30;
+
+        pub const EPOLL_CTL_ADD: super::c_int = 1;
+        pub const EPOLL_CTL_DEL: super::c_int = 2;
+        pub const EPOLL_CTL_MOD: super::c_int = 3;
+        pub const EPOLL_CLOEXEC: super::c_int = 0o2000000;
+
+        /// `struct epoll_event`; packed on x86-64, naturally aligned on
+        /// every other architecture (matching the kernel ABI).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: super::c_int) -> super::c_int;
+            pub fn epoll_ctl(
+                epfd: super::c_int,
+                op: super::c_int,
+                fd: super::c_int,
+                event: *mut epoll_event,
+            ) -> super::c_int;
+            pub fn epoll_wait(
+                epfd: super::c_int,
+                events: *mut epoll_event,
+                maxevents: super::c_int,
+                timeout: super::c_int,
+            ) -> super::c_int;
+            pub fn close(fd: super::c_int) -> super::c_int;
+        }
+    }
+}
+
+/// Clamps a wait timeout to poll/epoll's millisecond argument.
+fn timeout_ms(timeout: Duration) -> sys::c_int {
+    timeout.as_millis().clamp(0, sys::c_int::MAX as u128) as sys::c_int
+}
+
+/// The portable `poll(2)` backend: interest lives in a user-space map,
+/// and every wait rebuilds the `pollfd` array from it — O(watched fds)
+/// per wakeup, which is exactly the cost epoll exists to avoid.
+pub struct PollPoller {
+    /// Current interest per fd; `fired` bits are masked out until the
+    /// one-shot re-arm (see the module docs).
+    interests: HashMap<RawFd, PollEntry>,
+    pollfds: Vec<sys::pollfd>,
+}
+
+struct PollEntry {
+    interest: Interest,
+    /// One-shot emulation: set when an event was reported, cleared by
+    /// `modify`. While set, the fd is polled with no requested events
+    /// (errors still surface, exactly like a fired EPOLLONESHOT watch).
+    fired: bool,
+}
+
+impl PollPoller {
+    pub fn new() -> Self {
+        PollPoller {
+            interests: HashMap::new(),
+            pollfds: Vec::new(),
+        }
+    }
+}
+
+impl Default for PollPoller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Poller for PollPoller {
+    fn name(&self) -> &'static str {
+        "poll"
+    }
+
+    fn add(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        self.interests.insert(
+            fd,
+            PollEntry {
+                interest,
+                fired: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        self.add(fd, interest)
+    }
+
+    fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+        self.interests.remove(&fd);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<PollerEvent>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        self.pollfds.clear();
+        for (&fd, entry) in &self.interests {
+            let mut bits: sys::c_short = 0;
+            if !entry.fired {
+                if entry.interest.read {
+                    bits |= sys::POLLIN;
+                }
+                if entry.interest.write {
+                    bits |= sys::POLLOUT;
+                }
+            }
+            self.pollfds.push(sys::pollfd {
+                fd,
+                events: bits,
+                revents: 0,
+            });
+        }
+        let n = unsafe {
+            sys::poll(
+                self.pollfds.as_mut_ptr(),
+                self.pollfds.len() as sys::nfds_t,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        const ERRS: sys::c_short = sys::POLLERR | sys::POLLHUP | sys::POLLNVAL;
+        for pfd in &self.pollfds {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let readable = pfd.revents & (sys::POLLIN | ERRS) != 0;
+            let writable = pfd.revents & (sys::POLLOUT | ERRS) != 0;
+            if let Some(entry) = self.interests.get_mut(&pfd.fd) {
+                entry.fired = true;
+            }
+            events.push(PollerEvent {
+                fd: pfd.fd,
+                readable,
+                writable,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The Linux `epoll(7)` backend: raw FFI, no `libc` crate. Interest is
+/// held by the kernel; every registration carries `EPOLLONESHOT`, so a
+/// fired watch stays disarmed until [`Poller::modify`] re-arms it and a
+/// wakeup costs O(ready fds) regardless of how many are watched.
+#[cfg(target_os = "linux")]
+pub struct EpollPoller {
+    epfd: RawFd,
+    buf: Vec<sys::epoll::epoll_event>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller {
+            epfd,
+            buf: vec![sys::epoll::epoll_event { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut events = sys::epoll::EPOLLONESHOT;
+        if interest.read {
+            events |= sys::epoll::EPOLLIN;
+        }
+        if interest.write {
+            events |= sys::epoll::EPOLLOUT;
+        }
+        events
+    }
+
+    fn ctl(&self, op: sys::c_int, fd: RawFd, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::epoll::epoll_event {
+            events: Self::mask(interest),
+            data: fd as u64,
+        };
+        let rc = unsafe { sys::epoll::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::epoll::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for EpollPoller {
+    fn name(&self) -> &'static str {
+        "epoll"
+    }
+
+    fn add(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        match self.ctl(sys::epoll::EPOLL_CTL_ADD, fd, interest) {
+            Ok(()) => Ok(()),
+            // Already registered (a reused fd raced ahead of its
+            // delete): replace the interest instead.
+            Err(e) if e.raw_os_error() == Some(17 /* EEXIST */) => {
+                self.ctl(sys::epoll::EPOLL_CTL_MOD, fd, interest)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn modify(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        match self.ctl(sys::epoll::EPOLL_CTL_MOD, fd, interest) {
+            Ok(()) => Ok(()),
+            // The kernel dropped the registration when the fd closed
+            // (or it was never added): register fresh.
+            Err(e) if e.raw_os_error() == Some(2 /* ENOENT */) => self.add(fd, interest),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+        let rc = unsafe {
+            sys::epoll::epoll_ctl(
+                self.epfd,
+                sys::epoll::EPOLL_CTL_DEL,
+                fd,
+                std::ptr::null_mut(),
+            )
+        };
+        // ENOENT/EBADF: the kernel already dropped it with the fd.
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if !matches!(e.raw_os_error(), Some(2) | Some(9)) {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<PollerEvent>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        let n = unsafe {
+            sys::epoll::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as sys::c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for ev in &self.buf[..n as usize] {
+            let bits = ev.events;
+            const ERRS: u32 = sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP;
+            events.push(PollerEvent {
+                fd: ev.data as RawFd,
+                readable: bits & (sys::epoll::EPOLLIN | ERRS) != 0,
+                writable: bits & (sys::epoll::EPOLLOUT | ERRS) != 0,
+            });
+        }
+        // A full buffer means more events may be pending: grow so a
+        // burst cannot starve high-numbered fds across rounds.
+        if n as usize == self.buf.len() {
+            self.buf.resize(
+                self.buf.len() * 2,
+                sys::epoll::epoll_event { events: 0, data: 0 },
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Box<dyn Poller>> {
+        let mut v: Vec<Box<dyn Poller>> = vec![Box::new(PollPoller::new())];
+        #[cfg(target_os = "linux")]
+        v.push(Box::new(EpollPoller::new().expect("epoll_create1")));
+        v
+    }
+
+    /// Both backends: readable fires once (one-shot), stays quiet until
+    /// re-armed, and delete drops the watch.
+    #[test]
+    fn oneshot_contract_holds_on_every_backend() {
+        for mut p in backends() {
+            let (rx, mut tx) = std::io::pipe().unwrap();
+            let fd = rx.as_raw_fd();
+            p.add(fd, Interest::READ).unwrap();
+            let mut events = Vec::new();
+
+            p.wait(&mut events, Duration::from_millis(10)).unwrap();
+            assert!(events.is_empty(), "{}: nothing readable yet", p.name());
+
+            tx.write_all(b"x").unwrap();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}", p.name());
+            assert_eq!(events[0].fd, fd);
+            assert!(events[0].readable);
+
+            // One-shot: without a re-arm the level-triggered condition
+            // must not be re-reported.
+            p.wait(&mut events, Duration::from_millis(20)).unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: fired watch must stay quiet",
+                p.name()
+            );
+
+            // Re-arm: the still-unread byte fires again.
+            p.modify(fd, Interest::READ).unwrap();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}: re-arm re-delivers", p.name());
+
+            p.delete(fd).unwrap();
+            p.modify(events[0].fd, Interest::none()).ok();
+            p.delete(fd).unwrap(); // idempotent
+        }
+    }
+
+    /// Write interest: a pipe with buffer space reports writable.
+    #[test]
+    fn write_interest_fires_when_writable() {
+        for mut p in backends() {
+            let (_rx, tx) = std::io::pipe().unwrap();
+            let fd = tx.as_raw_fd();
+            p.add(fd, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}", p.name());
+            assert!(events[0].writable, "{}", p.name());
+            p.delete(fd).unwrap();
+        }
+    }
+
+    /// Interest::none keeps the fd registered without read/write
+    /// delivery (the Busy-park state).
+    #[test]
+    fn empty_interest_delivers_nothing() {
+        for mut p in backends() {
+            let (rx, mut tx) = std::io::pipe().unwrap();
+            let fd = rx.as_raw_fd();
+            p.add(fd, Interest::none()).unwrap();
+            tx.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            p.wait(&mut events, Duration::from_millis(20)).unwrap();
+            assert!(events.is_empty(), "{}: parked fd delivered", p.name());
+            // Re-arm with read interest: delivery resumes.
+            p.modify(fd, Interest::READ).unwrap();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}", p.name());
+            p.delete(fd).unwrap();
+        }
+    }
+
+    #[test]
+    fn env_override_selects_backend() {
+        // Not testing the env var itself (process-global), just the
+        // fallback construction paths.
+        let p = create_poller(PollerBackend::Poll);
+        assert_eq!(p.name(), "poll");
+        let p = create_poller(PollerBackend::Epoll);
+        if cfg!(target_os = "linux") {
+            assert_eq!(p.name(), "epoll");
+        } else {
+            assert_eq!(p.name(), "poll");
+        }
+    }
+}

@@ -1,5 +1,6 @@
-//! A readiness reactor over `poll(2)`: one thread multiplexes every
-//! registered file descriptor, for **both** directions.
+//! The readiness reactor: one thread multiplexes every registered file
+//! descriptor, for **both** directions, over a pluggable [`Poller`]
+//! backend (`poll(2)` or `epoll(7)` — see [`crate::poller`]).
 //!
 //! The paper's event-driven runtime simulated asynchronous I/O with a
 //! helper thread wrapped around `select`; the seed reproduction took the
@@ -7,38 +8,50 @@
 //! thread-per-connection. This module is the real thing: the
 //! [`ConnDriver`](crate::driver::ConnDriver) registers per-token
 //! *interest* and a single `flux-net-reactor` thread parks in one
-//! `poll(2)` call across all of it. The watch table is interest-based —
-//! each token carries a `POLLIN | POLLOUT` bit set:
+//! backend `wait` call across all of it. The watch table is
+//! interest-based — each token carries a read/write interest pair:
 //!
 //! * **Read interest** is one-shot, mirroring the driver's `arm`
 //!   contract: a readable (or EOF'd) socket emits
-//!   [`DriverEvent::Readable`](crate::driver::DriverEvent) and the
-//!   `POLLIN` bit is cleared until the next `arm`.
+//!   [`DriverEvent::Readable`](crate::driver::DriverEvent) and the read
+//!   bit is cleared until the next `arm`.
 //! * **Write interest** carries a *drain closure* supplied by the
-//!   driver. On `POLLOUT` the reactor calls it to flush that
+//!   driver. On writability the reactor calls it to flush that
 //!   connection's output buffer (batched: the drain writes until
 //!   `WouldBlock`); the bit stays armed until the buffer empties, then
 //!   the driver's completion bookkeeping emits `WriteDone`. Response
 //!   transmission therefore never occupies an I/O worker thread.
 //!
-//! **fd-reuse safety.** Deregistration is a *synchronous* update to a
-//! shared liveness table tagged with a per-registration generation:
-//! [`Reactor::deregister`] removes the token's generation before the
-//! caller can drop (and the kernel can reuse) the file descriptor, and
-//! the reactor thread checks the generation before delivering any event
-//! or running any drain. A stale watch — one whose fd the kernel has
-//! already handed to a newly accepted connection — therefore delivers
-//! nothing; it is purged the first time the thread looks at it.
+//! **Division of labour.** The backend owns only the mechanism of
+//! waiting on fds; every invariant that used to live in the poll loop
+//! is enforced *here*, once, above the [`Poller`] trait — so both
+//! backends (and any future kqueue/io_uring one) inherit it:
+//!
+//! * **fd-reuse safety.** Deregistration is a *synchronous* update to a
+//!   shared liveness table tagged with a per-registration generation:
+//!   [`Reactor::deregister`] removes the token's generation before the
+//!   caller can drop (and the kernel can reuse) the file descriptor,
+//!   and the reactor thread checks the generation before delivering any
+//!   event or running any drain. A stale watch delivers nothing; it is
+//!   purged the first time the thread looks at it.
+//! * **One-shot re-arm.** After the backend reports an fd, the watch is
+//!   disarmed until the reactor re-issues `modify` — which it does
+//!   exactly once per reported fd, with the post-delivery interest.
+//! * **Busy parking.** A drain that finds the connection lock contended
+//!   parks write interest for a few milliseconds (via `modify`) instead
+//!   of spinning on level-triggered writability.
 //!
 //! The reactor wakes for control-plane changes (register/deregister/
-//! stop) through a self-pipe, so registrations made while it is parked
-//! in `poll` take effect immediately. [`Reactor::stop`] joins the
-//! thread, which exits promptly on the self-pipe wakeup, so no reactor
-//! thread can outlive the driver that spawned it.
+//! stop) through a self-pipe registered with the same backend, so
+//! registrations made while it is parked in `wait` take effect
+//! immediately. [`Reactor::stop`] joins the thread, which exits
+//! promptly on the self-pipe wakeup, so no reactor thread can outlive
+//! the driver that spawned it.
 
 #![cfg(unix)]
 
 use crate::driver::{DriverEvent, Token};
+use crate::poller::{create_poller, Interest, Poller, PollerBackend, PollerEvent};
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -46,39 +59,13 @@ use std::io::{Read, Write};
 use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-
-#[repr(C)]
-#[derive(Clone, Copy)]
-struct PollFd {
-    fd: RawFd,
-    events: libc_shim::c_short,
-    revents: libc_shim::c_short,
-}
-
-/// The tiny slice of libc the reactor needs, declared directly so the
-/// offline build does not depend on the `libc` crate.
-#[allow(non_camel_case_types)]
-mod libc_shim {
-    pub type c_short = i16;
-    pub type c_int = i32;
-    pub type nfds_t = std::ffi::c_ulong;
-
-    pub const POLLIN: c_short = 0x001;
-    pub const POLLOUT: c_short = 0x004;
-    pub const POLLERR: c_short = 0x008;
-    pub const POLLHUP: c_short = 0x010;
-    pub const POLLNVAL: c_short = 0x020;
-
-    extern "C" {
-        pub fn poll(fds: *mut super::PollFd, nfds: nfds_t, timeout: c_int) -> c_int;
-    }
-}
+use std::time::{Duration, Instant};
 
 /// How the reactor invokes a write-drain closure.
 pub(crate) enum DrainCall {
     /// The socket reported writable: flush as much as it accepts.
     Drain,
-    /// The watch is being discarded (poll failure): fail the write so
+    /// The watch is being discarded (backend failure): fail the write so
     /// the driver emits `WriteFailed` instead of leaving it in limbo.
     Abort,
 }
@@ -86,13 +73,14 @@ pub(crate) enum DrainCall {
 /// What a drain closure reports back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DrainResult {
-    /// Output buffer empty: clear `POLLOUT` interest.
+    /// Output buffer empty: clear write interest.
     Complete,
-    /// More bytes remain: keep `POLLOUT` armed.
+    /// More bytes remain: keep write interest armed.
     Pending,
     /// The connection lock is contended (a flow holds it across a
-    /// blocking read): park `POLLOUT` briefly so the level-triggered
-    /// readiness does not spin the reactor, then re-offer the drain.
+    /// blocking read): park write interest briefly so the
+    /// level-triggered readiness does not spin the reactor, then
+    /// re-offer the drain.
     Busy,
     /// The connection broke: drop the watch.
     Failed,
@@ -122,42 +110,27 @@ struct Shared {
 struct Watch {
     fd: RawFd,
     gen: u64,
-    /// `POLLIN | POLLOUT` bit set currently armed.
-    interest: libc_shim::c_short,
+    /// Read/write interest currently armed.
+    interest: Interest,
     drain: Option<DrainFn>,
-    /// While set (and in the future), `POLLOUT` is masked from the poll
-    /// set — a [`DrainResult::Busy`] backoff.
-    parked_until: Option<std::time::Instant>,
+    /// While set (and in the future), write interest is masked from the
+    /// backend — a [`DrainResult::Busy`] backoff.
+    parked_until: Option<Instant>,
 }
 
-/// Fetches (or creates) `token`'s watch entry for generation `gen`,
-/// replacing a stale entry from a prior registration wholesale.
-fn upsert_watch(
-    watches: &mut HashMap<Token, Watch>,
-    fd: RawFd,
-    token: Token,
-    gen: u64,
-) -> &mut Watch {
-    let w = watches.entry(token).or_insert(Watch {
-        fd,
-        gen,
-        interest: 0,
-        drain: None,
-        parked_until: None,
-    });
-    if w.gen != gen {
-        *w = Watch {
-            fd,
-            gen,
-            interest: 0,
-            drain: None,
-            parked_until: None,
-        };
+impl Watch {
+    /// The interest actually handed to the backend: write is masked
+    /// while the watch is Busy-parked (the fd stays registered so
+    /// errors surface).
+    fn effective(&self) -> Interest {
+        Interest {
+            read: self.interest.read,
+            write: self.interest.write && self.parked_until.is_none(),
+        }
     }
-    w
 }
 
-/// One thread, many sockets: the poll-based readiness multiplexer.
+/// One thread, many sockets: the backend-agnostic readiness multiplexer.
 pub struct Reactor {
     shared: Mutex<Shared>,
     /// Current generation per live token. Deregistration removes the
@@ -165,17 +138,24 @@ pub struct Reactor {
     /// thread delivers nothing for a token/generation not found here.
     live: Mutex<HashMap<Token, u64>>,
     next_gen: AtomicU64,
-    /// Write end of the self-pipe; a byte here interrupts `poll`.
+    /// Write end of the self-pipe; a byte here interrupts `wait`.
     wake: Mutex<Option<std::io::PipeWriter>>,
     /// The reactor thread, joined by [`Reactor::stop`].
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The backend, created eagerly (so fallback is resolved and
+    /// [`Reactor::backend_name`] is stable) and moved into the thread
+    /// on first registration.
+    poller: Mutex<Option<Box<dyn Poller>>>,
+    backend_name: &'static str,
     stopping: AtomicBool,
     events_delivered: AtomicU64,
     tx: Sender<DriverEvent>,
 }
 
 impl Reactor {
-    pub(crate) fn new(tx: Sender<DriverEvent>) -> Arc<Self> {
+    pub(crate) fn new(tx: Sender<DriverEvent>, backend: PollerBackend) -> Arc<Self> {
+        let poller = create_poller(backend);
+        let backend_name = poller.name();
         Arc::new(Reactor {
             shared: Mutex::new(Shared {
                 control: Vec::new(),
@@ -185,6 +165,8 @@ impl Reactor {
             next_gen: AtomicU64::new(1),
             wake: Mutex::new(None),
             thread: Mutex::new(None),
+            poller: Mutex::new(Some(poller)),
+            backend_name,
             stopping: AtomicBool::new(false),
             events_delivered: AtomicU64::new(0),
             tx,
@@ -195,6 +177,12 @@ impl Reactor {
     /// (test and stats hook).
     pub fn events_delivered(&self) -> u64 {
         self.events_delivered.load(Ordering::Relaxed)
+    }
+
+    /// The backend actually in use (`"poll"` or `"epoll"`), after any
+    /// fallback.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
     }
 
     /// The token's current generation, allocating one if this is its
@@ -239,6 +227,14 @@ impl Reactor {
     /// nothing.
     pub(crate) fn deregister(&self, token: Token) {
         self.live.lock().remove(&token);
+        if self.stopping.load(Ordering::SeqCst) {
+            // The reactor thread is gone (or going): the liveness
+            // removal above is the only part that still matters, and
+            // queueing controls or writing the dead self-pipe would be
+            // pure waste — `ConnDriver::stop`'s post-join cleanup
+            // removes every remaining connection through this path.
+            return;
+        }
         let mut shared = self.shared.lock();
         if !shared.thread_started {
             return;
@@ -273,10 +269,11 @@ impl Reactor {
         shared.thread_started = true;
         let (pipe_rx, pipe_tx) = std::io::pipe().expect("reactor self-pipe");
         *self.wake.lock() = Some(pipe_tx);
+        let poller = self.poller.lock().take().expect("poller created once");
         let this = self.clone();
         let handle = std::thread::Builder::new()
             .name("flux-net-reactor".into())
-            .spawn(move || this.run(pipe_rx))
+            .spawn(move || this.run(pipe_rx, poller))
             .expect("spawn reactor thread");
         *self.thread.lock() = Some(handle);
     }
@@ -286,11 +283,63 @@ impl Reactor {
         self.live.lock().get(&token) == Some(&gen)
     }
 
-    fn run(self: Arc<Self>, mut pipe_rx: std::io::PipeReader) {
+    fn run(self: Arc<Self>, mut pipe_rx: std::io::PipeReader, mut poller: Box<dyn Poller>) {
         let wake_fd = pipe_rx.as_raw_fd();
+        let _ = poller.add(wake_fd, Interest::READ);
         let mut watches: HashMap<Token, Watch> = HashMap::new();
-        let mut pollfds: Vec<PollFd> = Vec::new();
-        let mut tokens: Vec<Token> = Vec::new();
+        // The backend reports fds; this maps them back to tokens. Kept
+        // in lockstep with `watches` (one fd per live watch).
+        let mut fd_to_token: HashMap<RawFd, Token> = HashMap::new();
+        // Tokens currently Busy-parked, scanned for expiry each round
+        // (kept separate so an epoll wakeup stays O(ready + parked),
+        // not O(watched)).
+        let mut parked: Vec<Token> = Vec::new();
+        let mut events: Vec<PollerEvent> = Vec::new();
+
+        /// Removes a token's watch from every structure, including the
+        /// backend registration, returning the watch for any
+        /// notification the caller still owes.
+        fn discard(
+            watches: &mut HashMap<Token, Watch>,
+            fd_to_token: &mut HashMap<RawFd, Token>,
+            poller: &mut dyn Poller,
+            token: Token,
+        ) -> Option<Watch> {
+            let w = watches.remove(&token)?;
+            if fd_to_token.get(&w.fd) == Some(&token) {
+                fd_to_token.remove(&w.fd);
+                let _ = poller.delete(w.fd);
+            }
+            Some(w)
+        }
+
+        /// Fails a watch whose backend registration was refused (an fd
+        /// the backend cannot multiplex, e.g. a regular file under
+        /// epoll): the flow observes the error on its next read,
+        /// pending writes abort, and the watch is discarded — the same
+        /// treatment as a failed wait, so the one-completion-per-submit
+        /// contract holds on every backend.
+        fn fail_watch(
+            this: &Reactor,
+            watches: &mut HashMap<Token, Watch>,
+            fd_to_token: &mut HashMap<RawFd, Token>,
+            poller: &mut dyn Poller,
+            token: Token,
+        ) {
+            let Some(mut w) = discard(watches, fd_to_token, poller, token) else {
+                return;
+            };
+            if !this.is_live(token, w.gen) {
+                return;
+            }
+            if w.interest.read {
+                let _ = this.tx.send(DriverEvent::Readable(token));
+            }
+            if let Some(drain) = w.drain.as_mut() {
+                let _ = drain(DrainCall::Abort);
+            }
+        }
+
         loop {
             {
                 let mut shared = self.shared.lock();
@@ -300,19 +349,41 @@ impl Reactor {
                             if !self.is_live(token, gen) {
                                 continue; // raced with deregister
                             }
-                            upsert_watch(&mut watches, fd, token, gen).interest |=
-                                libc_shim::POLLIN;
+                            let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                            w.interest.read = true;
+                            let eff = w.effective();
+                            if poller.modify(fd, eff).is_err() {
+                                fail_watch(
+                                    &self,
+                                    &mut watches,
+                                    &mut fd_to_token,
+                                    &mut *poller,
+                                    token,
+                                );
+                            }
                         }
                         Control::WriteInterest(fd, token, gen, drain) => {
                             if !self.is_live(token, gen) {
                                 continue;
                             }
-                            let w = upsert_watch(&mut watches, fd, token, gen);
-                            w.interest |= libc_shim::POLLOUT;
+                            let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                            w.interest.write = true;
                             w.drain = Some(drain);
+                            // A fresh drain supersedes any Busy backoff.
+                            w.parked_until = None;
+                            let eff = w.effective();
+                            if poller.modify(fd, eff).is_err() {
+                                fail_watch(
+                                    &self,
+                                    &mut watches,
+                                    &mut fd_to_token,
+                                    &mut *poller,
+                                    token,
+                                );
+                            }
                         }
                         Control::Deregister(token) => {
-                            watches.remove(&token);
+                            let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
                         }
                     }
                 }
@@ -321,108 +392,89 @@ impl Reactor {
                 return;
             }
 
-            pollfds.clear();
-            tokens.clear();
-            pollfds.push(PollFd {
-                fd: wake_fd,
-                events: libc_shim::POLLIN,
-                revents: 0,
-            });
-            let now = std::time::Instant::now();
-            let mut nearest_park: Option<std::time::Instant> = None;
-            for (&token, watch) in &mut watches {
-                let mut events = watch.interest;
-                if let Some(until) = watch.parked_until {
-                    if until <= now {
-                        watch.parked_until = None;
-                    } else {
-                        // Busy backoff: keep the fd in the set (errors
-                        // must still surface) but without POLLOUT.
-                        events &= !libc_shim::POLLOUT;
-                        nearest_park =
-                            Some(nearest_park.map_or(until, |t: std::time::Instant| t.min(until)));
+            // Un-park expired Busy backoffs (re-arming their write
+            // interest) and find the nearest still-pending expiry.
+            let now = Instant::now();
+            let mut nearest_park: Option<Instant> = None;
+            let mut unpark_failed: Vec<Token> = Vec::new();
+            parked.retain(|&token| {
+                let Some(w) = watches.get_mut(&token) else {
+                    return false;
+                };
+                match w.parked_until {
+                    Some(until) if until <= now => {
+                        w.parked_until = None;
+                        if poller.modify(w.fd, w.effective()).is_err() {
+                            unpark_failed.push(token);
+                        }
+                        false
                     }
+                    Some(until) => {
+                        nearest_park = Some(nearest_park.map_or(until, |t: Instant| t.min(until)));
+                        true
+                    }
+                    None => false,
                 }
-                pollfds.push(PollFd {
-                    fd: watch.fd,
-                    events,
-                    revents: 0,
-                });
-                tokens.push(token);
+            });
+            for token in unpark_failed {
+                fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
             }
 
             // Bounded timeout: a backstop for a missed wake-up byte,
             // shortened to the nearest Busy-park expiry so deferred
             // drains resume promptly.
-            let timeout_ms: libc_shim::c_int = match nearest_park {
+            let timeout = match nearest_park {
                 Some(t) => t
                     .saturating_duration_since(now)
-                    .as_millis()
-                    .clamp(1, 250)
-                    .try_into()
-                    .unwrap_or(250),
-                None => 250,
+                    .clamp(Duration::from_millis(1), Duration::from_millis(250)),
+                None => Duration::from_millis(250),
             };
-            let n = unsafe {
-                libc_shim::poll(
-                    pollfds.as_mut_ptr(),
-                    pollfds.len() as libc_shim::nfds_t,
-                    timeout_ms,
-                )
-            };
-            if n < 0 {
-                let err = std::io::Error::last_os_error();
+            if let Err(err) = poller.wait(&mut events, timeout) {
                 if err.kind() == std::io::ErrorKind::Interrupted {
                     continue;
                 }
-                // Unexpected poll failure: report every watched socket
-                // so flows can observe the error on read, fail pending
-                // writes, then retire the table.
-                for (token, mut watch) in watches.drain() {
-                    if !self.is_live(token, watch.gen) {
-                        continue;
-                    }
-                    if watch.interest & libc_shim::POLLIN != 0 {
-                        let _ = self.tx.send(DriverEvent::Readable(token));
-                    }
-                    if let Some(drain) = watch.drain.as_mut() {
-                        let _ = drain(DrainCall::Abort);
-                    }
+                // Unexpected backend failure: fail every watch, so
+                // flows observe the error on read, pending writes
+                // abort, and the table retires.
+                let tokens: Vec<Token> = watches.keys().copied().collect();
+                for token in tokens {
+                    fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
                 }
+                parked.clear();
                 continue;
             }
-            if pollfds[0].revents != 0 {
-                // Drain the self-pipe; control is re-read next loop.
-                let mut buf = [0u8; 64];
-                let _ = pipe_rx.read(&mut buf);
-            }
-            const ERRS: libc_shim::c_short =
-                libc_shim::POLLERR | libc_shim::POLLHUP | libc_shim::POLLNVAL;
-            for (pfd, &token) in pollfds[1..].iter().zip(&tokens) {
-                if pfd.revents == 0 {
+
+            for ev in events.iter().copied() {
+                if ev.fd == wake_fd {
+                    // Drain the self-pipe; control is re-read next loop.
+                    let mut buf = [0u8; 64];
+                    let _ = pipe_rx.read(&mut buf);
+                    let _ = poller.modify(wake_fd, Interest::READ);
                     continue;
                 }
+                let Some(&token) = fd_to_token.get(&ev.fd) else {
+                    // No watch claims this fd: drop the registration.
+                    let _ = poller.delete(ev.fd);
+                    continue;
+                };
                 let Some(watch) = watches.get_mut(&token) else {
+                    fd_to_token.remove(&ev.fd);
+                    let _ = poller.delete(ev.fd);
                     continue;
                 };
                 if !self.is_live(token, watch.gen) {
                     // Deregistered (possibly with the fd already reused
                     // by a new connection): deliver nothing.
-                    watches.remove(&token);
+                    let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
                     continue;
                 }
-                if watch.interest & libc_shim::POLLIN != 0
-                    && pfd.revents & (libc_shim::POLLIN | ERRS) != 0
-                {
+                if watch.interest.read && ev.readable {
                     // One-shot: the driver re-arms after the flow reads.
-                    watch.interest &= !libc_shim::POLLIN;
+                    watch.interest.read = false;
                     self.events_delivered.fetch_add(1, Ordering::Relaxed);
                     let _ = self.tx.send(DriverEvent::Readable(token));
                 }
-                if watch.interest & libc_shim::POLLOUT != 0
-                    && watch.parked_until.is_none()
-                    && pfd.revents & (libc_shim::POLLOUT | ERRS) != 0
-                {
+                if watch.interest.write && watch.parked_until.is_none() && ev.writable {
                     let result = watch
                         .drain
                         .as_mut()
@@ -431,22 +483,64 @@ impl Reactor {
                     match result {
                         DrainResult::Pending => {}
                         DrainResult::Busy => {
-                            watch.parked_until = Some(
-                                std::time::Instant::now() + std::time::Duration::from_millis(5),
-                            );
+                            watch.parked_until = Some(Instant::now() + Duration::from_millis(5));
+                            parked.push(token);
                         }
                         DrainResult::Complete | DrainResult::Failed => {
-                            watch.interest &= !libc_shim::POLLOUT;
+                            watch.interest.write = false;
                             watch.drain = None;
                         }
                     }
                 }
-                if watch.interest == 0 {
-                    watches.remove(&token);
+                // The post-delivery re-arm: every reported fd ends its
+                // round with exactly one modify (or delete, when no
+                // interest remains) — the one-shot contract both
+                // backends rely on.
+                if !watch.interest.read && !watch.interest.write {
+                    let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
+                } else {
+                    let eff = watch.effective();
+                    let fd = watch.fd;
+                    if poller.modify(fd, eff).is_err() {
+                        fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                    }
                 }
             }
         }
     }
+}
+
+/// Fetches (or creates) `token`'s watch entry for generation `gen`,
+/// replacing a stale entry from a prior registration wholesale and
+/// keeping the fd-to-token map in lockstep.
+fn upsert_watch<'a>(
+    watches: &'a mut HashMap<Token, Watch>,
+    fd_to_token: &mut HashMap<RawFd, Token>,
+    fd: RawFd,
+    token: Token,
+    gen: u64,
+) -> &'a mut Watch {
+    let w = watches.entry(token).or_insert(Watch {
+        fd,
+        gen,
+        interest: Interest::none(),
+        drain: None,
+        parked_until: None,
+    });
+    if w.gen != gen || w.fd != fd {
+        if fd_to_token.get(&w.fd) == Some(&token) {
+            fd_to_token.remove(&w.fd);
+        }
+        *w = Watch {
+            fd,
+            gen,
+            interest: Interest::none(),
+            drain: None,
+            parked_until: None,
+        };
+    }
+    fd_to_token.insert(fd, token);
+    w
 }
 
 #[cfg(test)]
@@ -458,56 +552,69 @@ mod tests {
     use crossbeam::channel::unbounded;
     use std::time::Duration;
 
+    fn backends() -> Vec<PollerBackend> {
+        if cfg!(target_os = "linux") {
+            vec![PollerBackend::Poll, PollerBackend::Epoll]
+        } else {
+            vec![PollerBackend::Poll]
+        }
+    }
+
     #[test]
     fn reactor_reports_readable_and_eof() {
-        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
-        let addr = acceptor.local_addr();
-        let mut c1 = TcpConn::connect(&addr).unwrap();
-        let s1 = acceptor.accept().unwrap();
-        let c2 = TcpConn::connect(&addr).unwrap();
-        let s2 = acceptor.accept().unwrap();
+        for backend in backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let mut c1 = TcpConn::connect(&addr).unwrap();
+            let s1 = acceptor.accept().unwrap();
+            let c2 = TcpConn::connect(&addr).unwrap();
+            let s2 = acceptor.accept().unwrap();
 
-        let (tx, rx) = unbounded();
-        let reactor = Reactor::new(tx);
-        reactor.register(s1.raw_fd().unwrap(), 1);
-        reactor.register(s2.raw_fd().unwrap(), 2);
-        assert!(
-            rx.recv_timeout(Duration::from_millis(50)).is_err(),
-            "nothing readable yet"
-        );
+            let (tx, rx) = unbounded();
+            let reactor = Reactor::new(tx, backend);
+            reactor.register(s1.raw_fd().unwrap(), 1);
+            reactor.register(s2.raw_fd().unwrap(), 2);
+            assert!(
+                rx.recv_timeout(Duration::from_millis(50)).is_err(),
+                "nothing readable yet"
+            );
 
-        c1.write_all(b"x").unwrap();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_secs(2)),
-            Ok(DriverEvent::Readable(1))
-        );
-        drop(c2); // EOF wakes the second watch
-        assert_eq!(
-            rx.recv_timeout(Duration::from_secs(2)),
-            Ok(DriverEvent::Readable(2))
-        );
-        assert_eq!(reactor.events_delivered(), 2);
-        reactor.stop();
+            c1.write_all(b"x").unwrap();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)),
+                Ok(DriverEvent::Readable(1))
+            );
+            drop(c2); // EOF wakes the second watch
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)),
+                Ok(DriverEvent::Readable(2))
+            );
+            assert_eq!(reactor.events_delivered(), 2);
+            reactor.stop();
+        }
     }
 
     #[test]
     fn deregister_suppresses_events() {
-        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
-        let addr = acceptor.local_addr();
-        let mut client = TcpConn::connect(&addr).unwrap();
-        let server = acceptor.accept().unwrap();
+        for backend in backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let mut client = TcpConn::connect(&addr).unwrap();
+            let server = acceptor.accept().unwrap();
 
-        let (tx, rx) = unbounded();
-        let reactor = Reactor::new(tx);
-        reactor.register(server.raw_fd().unwrap(), 7);
-        reactor.deregister(7);
-        std::thread::sleep(Duration::from_millis(20));
-        client.write_all(b"x").unwrap();
-        assert!(
-            rx.recv_timeout(Duration::from_millis(100)).is_err(),
-            "deregistered watch must not fire"
-        );
-        reactor.stop();
+            let (tx, rx) = unbounded();
+            let reactor = Reactor::new(tx, backend);
+            reactor.register(server.raw_fd().unwrap(), 7);
+            reactor.deregister(7);
+            std::thread::sleep(Duration::from_millis(20));
+            client.write_all(b"x").unwrap();
+            assert!(
+                rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                "deregistered watch must not fire ({})",
+                reactor.backend_name()
+            );
+            reactor.stop();
+        }
     }
 
     /// The fd-reuse race at the reactor level: deregister a token, close
@@ -516,56 +623,77 @@ mod tests {
     /// new registration must fire.
     #[test]
     fn stale_generation_never_fires_on_reused_fd() {
-        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
-        let addr = acceptor.local_addr();
-        let (tx, rx) = unbounded();
-        let reactor = Reactor::new(tx);
-        for round in 0..20u64 {
-            let old_token = 1000 + round * 2;
-            let new_token = 1001 + round * 2;
-            let old_client = TcpConn::connect(&addr).unwrap();
-            let old_server = acceptor.accept().unwrap();
-            reactor.register(old_server.raw_fd().unwrap(), old_token);
-            // Tear the socket down immediately: the watch may still be
-            // in the reactor's table (its Deregister is only queued)
-            // when the fd closes and gets reused below. No data ever
-            // arrived while `old_token` was live, so any Readable for it
-            // is a stale delivery.
-            reactor.deregister(old_token);
-            drop(old_server); // fd closes; the kernel may reuse it now
-            drop(old_client);
-            let mut new_client = TcpConn::connect(&addr).unwrap();
-            let new_server = acceptor.accept().unwrap();
-            reactor.register(new_server.raw_fd().unwrap(), new_token);
-            new_client.write_all(b"fresh").unwrap();
-            match rx.recv_timeout(Duration::from_secs(2)) {
-                Ok(DriverEvent::Readable(t)) => {
-                    assert_eq!(t, new_token, "stale watch fired for a reused fd")
+        for backend in backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let (tx, rx) = unbounded();
+            let reactor = Reactor::new(tx, backend);
+            for round in 0..20u64 {
+                let old_token = 1000 + round * 2;
+                let new_token = 1001 + round * 2;
+                let old_client = TcpConn::connect(&addr).unwrap();
+                let old_server = acceptor.accept().unwrap();
+                reactor.register(old_server.raw_fd().unwrap(), old_token);
+                // Tear the socket down immediately: the watch may still be
+                // in the reactor's table (its Deregister is only queued)
+                // when the fd closes and gets reused below. No data ever
+                // arrived while `old_token` was live, so any Readable for it
+                // is a stale delivery.
+                reactor.deregister(old_token);
+                drop(old_server); // fd closes; the kernel may reuse it now
+                drop(old_client);
+                let mut new_client = TcpConn::connect(&addr).unwrap();
+                let new_server = acceptor.accept().unwrap();
+                reactor.register(new_server.raw_fd().unwrap(), new_token);
+                new_client.write_all(b"fresh").unwrap();
+                match rx.recv_timeout(Duration::from_secs(2)) {
+                    Ok(DriverEvent::Readable(t)) => {
+                        assert_eq!(t, new_token, "stale watch fired for a reused fd")
+                    }
+                    other => panic!("expected Readable({new_token}), got {other:?}"),
                 }
-                other => panic!("expected Readable({new_token}), got {other:?}"),
+                assert!(
+                    rx.try_recv().is_err(),
+                    "exactly one event per round (round {round})"
+                );
+                reactor.deregister(new_token);
             }
-            assert!(
-                rx.try_recv().is_err(),
-                "exactly one event per round (round {round})"
-            );
-            reactor.deregister(new_token);
+            reactor.stop();
         }
-        reactor.stop();
     }
 
     #[test]
     fn stop_joins_reactor_thread() {
-        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
-        let addr = acceptor.local_addr();
-        let _client = TcpConn::connect(&addr).unwrap();
-        let server = acceptor.accept().unwrap();
+        for backend in backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let _client = TcpConn::connect(&addr).unwrap();
+            let server = acceptor.accept().unwrap();
+            let (tx, _rx) = unbounded();
+            let reactor = Reactor::new(tx, backend);
+            reactor.register(server.raw_fd().unwrap(), 1);
+            reactor.stop();
+            assert!(
+                reactor.thread.lock().is_none(),
+                "stop() must take and join the thread handle"
+            );
+        }
+    }
+
+    /// The backend chosen matches the request (with fallback resolved at
+    /// construction, before the thread starts).
+    #[test]
+    fn backend_name_reports_resolved_backend() {
         let (tx, _rx) = unbounded();
-        let reactor = Reactor::new(tx);
-        reactor.register(server.raw_fd().unwrap(), 1);
+        let reactor = Reactor::new(tx, PollerBackend::Poll);
+        assert_eq!(reactor.backend_name(), "poll");
         reactor.stop();
-        assert!(
-            reactor.thread.lock().is_none(),
-            "stop() must take and join the thread handle"
-        );
+        #[cfg(target_os = "linux")]
+        {
+            let (tx, _rx) = unbounded();
+            let reactor = Reactor::new(tx, PollerBackend::Epoll);
+            assert_eq!(reactor.backend_name(), "epoll");
+            reactor.stop();
+        }
     }
 }

@@ -45,7 +45,7 @@ pub trait Conn: io::Read + io::Write + Send {
 
     /// The raw OS file descriptor backing this connection, when one
     /// exists. Transports that return `Some` are multiplexed by the
-    /// driver's poll(2) reactor thread instead of per-connection helper
+    /// driver's reactor thread instead of per-connection helper
     /// threads; in-memory transports return `None` and use watches.
     #[cfg(unix)]
     fn raw_fd(&self) -> Option<std::os::fd::RawFd> {

@@ -1,0 +1,30 @@
+//! Shared helpers for the integration-test binaries: one place that
+//! knows which [`PollerBackend`]s exist on this host, so adding a
+//! backend (kqueue, io_uring) extends every suite at once.
+
+use flux_net::{ConnDriver, NetConfig, PollerBackend};
+use std::sync::Arc;
+
+/// Every backend available on this host.
+pub fn backends() -> Vec<PollerBackend> {
+    if cfg!(target_os = "linux") {
+        vec![PollerBackend::Poll, PollerBackend::Epoll]
+    } else {
+        vec![PollerBackend::Poll]
+    }
+}
+
+/// A driver configured for `backend`, asserting the request was
+/// honoured (no silent fallback on a host that has the backend).
+pub fn driver_on(backend: PollerBackend) -> Arc<ConnDriver> {
+    let driver = Arc::new(ConnDriver::with_config(&NetConfig {
+        backend,
+        ..NetConfig::default()
+    }));
+    let expect = match backend {
+        PollerBackend::Poll => "poll",
+        PollerBackend::Epoll => "epoll",
+    };
+    assert_eq!(driver.poller_backend(), expect, "backend honoured");
+    driver
+}

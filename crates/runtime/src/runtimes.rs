@@ -15,7 +15,7 @@
 //!   blocking are off-loaded to an I/O helper pool that posts a
 //!   completion event back to the queues — the moral equivalent of the
 //!   paper's LD_PRELOAD shim plus its select-based callback-simulation
-//!   thread (now a real poll(2) reactor on the network side; see
+//!   thread (now a real readiness reactor on the network side; see
 //!   `flux-net`'s reactor module). Since the reactor also drains
 //!   per-connection output buffers on `POLLOUT`, response-writing nodes
 //!   are ordinary non-blocking nodes: the pool services only genuinely
@@ -29,8 +29,11 @@
 //!   session id to a fixed home shard, so session-scoped constraint
 //!   locks stay core-local; sessionless cursors hash their flow id,
 //!   which spreads load round-robin-ish. When a shard's queue drains it
-//!   *steals* the oldest event from a sibling's queue (preserving FIFO
-//!   latency ordering), keeping all cores busy under skew; fairness
+//!   *steals* the oldest half of a sibling's queue (preserving FIFO
+//!   latency ordering): the oldest event runs immediately, the rest
+//!   move to the thief's own queue in the same lock acquisition — so a
+//!   saturated shard sheds backlog without per-event lock traffic
+//!   (`ShardStat::stolen_batch` counts the bulk moves). Fairness
 //!   re-queues stay on the executing shard rather than re-routing
 //!   home. A `Step::WouldBlock` retry is re-routed
 //!   to the cursor's home shard rather than the thief's queue, so a
@@ -424,10 +427,13 @@ fn run_shard<P: Send + 'static>(
     let n = set.shards.len();
     let mut blocked_streak = 0usize;
     loop {
-        // Own queue first, then steal the *oldest* event from a
-        // sibling's queue (both ends share one lock, so front-stealing
-        // costs nothing extra and preserves FIFO latency ordering under
-        // skew), then wait.
+        // Own queue first, then steal from a sibling's queue, then
+        // wait. A steal takes the oldest *half* of the victim's queue
+        // (front-stealing shares the victim's one lock and preserves
+        // FIFO latency ordering under skew): the oldest event executes
+        // immediately and the rest move to the thief's own queue, so a
+        // saturated shard sheds backlog in one lock acquisition instead
+        // of one per event.
         let mut next = {
             let mut q = set.shards[si].queue.lock();
             let ev = q.pop_front();
@@ -442,9 +448,28 @@ fn run_shard<P: Send + 'static>(
                 let j = (si + k) % n;
                 let mut qj = set.shards[j].queue.lock();
                 if let Some(ev) = qj.pop_front() {
+                    // Half the victim's queue, rounded up to include
+                    // the event executing now.
+                    let extra = (qj.len() + 1).div_ceil(2).saturating_sub(1);
+                    let batch: Vec<Event<P>> = qj.drain(..extra).collect();
                     stats[j].depth.store(qj.len() as u64, Ordering::Relaxed);
                     drop(qj);
                     stats[si].stolen.fetch_add(1, Ordering::Relaxed);
+                    if !batch.is_empty() {
+                        stats[si]
+                            .stolen_batch
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        let mut q = set.shards[si].queue.lock();
+                        q.extend(batch);
+                        let depth = q.len() as u64;
+                        stats[si].enqueue(depth);
+                        drop(q);
+                        // The thief is busy with `ev`: nudge a sibling
+                        // so another idle shard notices the transferred
+                        // backlog without waiting out its idle timeout
+                        // (same rationale as ShardSet::enqueue's nudge).
+                        set.shards[(si + 1) % n].cond.notify_one();
+                    }
                     next = Some(ev);
                     break;
                 }

@@ -93,8 +93,15 @@ pub struct ShardStat {
     pub max_depth: AtomicU64,
     /// Events this shard dequeued from its own queue.
     pub executed: AtomicU64,
-    /// Events this shard stole from other shards' queues.
+    /// Steals this shard performed: each takes the oldest event from a
+    /// sibling's queue for immediate execution (plus a bulk transfer
+    /// counted in [`ShardStat::stolen_batch`]).
     pub stolen: AtomicU64,
+    /// Extra events bulk-transferred onto this shard's own queue by
+    /// steal batching — thieves take half the victim's queue per steal
+    /// instead of one event, cutting lock traffic under heavy skew.
+    /// These events are later counted in `executed` when dequeued.
+    pub stolen_batch: AtomicU64,
     /// Events routed to this shard because of session affinity (the
     /// cursor carried a session id).
     pub affine: AtomicU64,
@@ -184,10 +191,18 @@ impl ServerStats {
         self.net.lock().clone()
     }
 
-    /// Total events stolen across all shards (work-stealing traffic).
+    /// Total events moved by work stealing across all shards: the
+    /// directly-executed steals plus the events bulk-transferred by
+    /// steal batching.
     pub fn total_steals(&self) -> u64 {
         self.shard_stats()
-            .map(|s| s.iter().map(|st| st.stolen.load(Ordering::Relaxed)).sum())
+            .map(|s| {
+                s.iter()
+                    .map(|st| {
+                        st.stolen.load(Ordering::Relaxed) + st.stolen_batch.load(Ordering::Relaxed)
+                    })
+                    .sum()
+            })
             .unwrap_or(0)
     }
 

@@ -152,6 +152,72 @@ fn work_stealing_makes_progress_from_saturated_shard() {
     );
 }
 
+/// Steal batching: a thief takes half the victim's queue per steal, so
+/// under a saturated home shard the bulk-transfer counter moves and
+/// every event still completes exactly once.
+#[test]
+fn steals_take_half_the_victims_queue() {
+    const SHARDS: usize = 4;
+    let sessions = Arc::new(sessions_on_shard_zero(SHARDS, 8));
+    let program = flux_core::compile(
+        "
+        Gen () => (int sid);
+        Spin (int sid) => ();
+        Flow = Spin;
+        source Gen => Flow;
+        ",
+    )
+    .unwrap();
+    // A burst far larger than the per-steal unit: with every session
+    // homed on shard 0, thieves must move work in bulk to drain it.
+    let total = 2_000u64;
+    let produced = AtomicU64::new(0);
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    let s2 = sessions.clone();
+    reg.source("Gen", move || {
+        let i = produced.fetch_add(1, Ordering::SeqCst);
+        if i >= total {
+            SourceOutcome::Shutdown
+        } else {
+            SourceOutcome::New(s2[(i % s2.len() as u64) as usize])
+        }
+    });
+    reg.session("Gen", |sid: &u64| *sid);
+    reg.node("Spin", |_| {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(100) {
+            std::hint::spin_loop();
+        }
+        NodeOutcome::Ok
+    });
+    let server = Arc::new(FluxServer::new(program, reg).unwrap());
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: SHARDS,
+            io_workers: 1,
+        },
+    );
+    handle.join();
+    assert_eq!(server.stats.finished(), total, "no event lost or doubled");
+    let stats = server.stats.shard_stats().unwrap();
+    let steals: u64 = stats.iter().map(|s| s.stolen.load(Ordering::Relaxed)).sum();
+    let batched: u64 = stats
+        .iter()
+        .map(|s| s.stolen_batch.load(Ordering::Relaxed))
+        .sum();
+    assert!(steals > 0, "thieves must steal from the saturated shard");
+    assert!(
+        batched > 0,
+        "with a deep victim queue, steals must bulk-transfer extra events \
+         (steals {steals}, batched {batched})"
+    );
+    // Conservation: everything dequeued somewhere, queues empty.
+    for (i, st) in stats.iter().enumerate() {
+        assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {i} drained");
+    }
+}
+
 /// Requesting shutdown while shard queues are non-empty drains cleanly:
 /// every started flow finishes, none is lost in a queue.
 #[test]

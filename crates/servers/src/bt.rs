@@ -21,9 +21,10 @@
 //! across `write_all` inside `Request`, occupying an I/O worker (and
 //! blocking every other node touching that session) for the whole send.
 
+use crate::builder::{RunningServer, ServerSpec};
 use flux_bittorrent::{Handshake, Message, Metainfo, PieceStore};
 use flux_core::CompiledProgram;
-use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
+use flux_net::{ConnDriver, DriverEvent, Listener, NetConfig, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -197,11 +198,28 @@ pub struct BtConfig {
     pub keepalive_period: Duration,
 }
 
+impl ServerSpec for BtConfig {
+    type Flow = BtFlow;
+    type Ctx = Arc<BtCtx>;
+
+    fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<BtCtx>) {
+        build(self, net)
+    }
+
+    fn driver(ctx: &Arc<BtCtx>) -> Option<Arc<ConnDriver>> {
+        Some(ctx.driver.clone())
+    }
+}
+
 /// Builds the compiled Figure 7 program, registry and context.
-pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<BtCtx>) {
+pub fn build(
+    config: BtConfig,
+    net: &NetConfig,
+) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<BtCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("BitTorrent Flux program compiles");
-    let driver = Arc::new(ConnDriver::new());
+    let driver = Arc::new(ConnDriver::with_config(net));
     driver.spawn_acceptor(config.listener);
+    let io_timeout = net.io_timeout;
     let store = PieceStore::new(config.meta, config.file).expect("seed file matches metainfo");
     let ctx = Arc::new(BtCtx {
         driver,
@@ -225,7 +243,7 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
         if !c.running.load(Ordering::SeqCst) {
             return SourceOutcome::Shutdown;
         }
-        match c.driver.next_event(Duration::from_millis(20)) {
+        match c.driver.next_event(io_timeout) {
             None => SourceOutcome::Skip,
             Some(DriverEvent::Incoming(token)) => {
                 SourceOutcome::New(BtFlow::empty(token, true, c.driver.get(token)))
@@ -552,27 +570,9 @@ pub fn build(config: BtConfig) -> (CompiledProgram, NodeRegistry<BtFlow>, Arc<Bt
     (program, reg, ctx)
 }
 
-/// A running Flux BitTorrent peer.
-pub struct BtServer {
-    pub handle: flux_runtime::ServerHandle<BtFlow>,
-    pub ctx: Arc<BtCtx>,
-}
-
-/// Builds and starts the peer.
-pub fn spawn(config: BtConfig, runtime: flux_runtime::RuntimeKind, profile: bool) -> BtServer {
-    let (program, reg, ctx) = build(config);
-    let server = if profile {
-        flux_runtime::FluxServer::with_profiling(program, reg)
-    } else {
-        flux_runtime::FluxServer::new(program, reg)
-    }
-    .expect("registry satisfies the program");
-    server
-        .stats
-        .install_net(Arc::new(crate::DriverNetCounters(ctx.driver.counters())));
-    let handle = flux_runtime::start(Arc::new(server), runtime);
-    BtServer { handle, ctx }
-}
+/// A running Flux BitTorrent peer — what
+/// [`crate::ServerBuilder::spawn`] returns for a [`BtConfig`].
+pub type BtServer = RunningServer<BtFlow, Arc<BtCtx>>;
 
 /// Stops a peer.
 pub fn stop(server: BtServer) {
@@ -706,7 +706,7 @@ mod tests {
     fn run_download_test(runtime: RuntimeKind) {
         let net = MemNet::new();
         let (config, meta, file) = setup(&net, 200_000);
-        let server = spawn(config, runtime, false);
+        let server = crate::ServerBuilder::new(config).runtime(runtime).spawn();
         let conn = net.connect("peer").unwrap();
         let got =
             client::download(Box::new(conn), &meta, *b"-FX0001-leecher00001", Some(3)).unwrap();
@@ -733,7 +733,9 @@ mod tests {
     fn concurrent_downloads() {
         let net = MemNet::new();
         let (config, meta, file) = setup(&net, 150_000);
-        let server = spawn(config, RuntimeKind::ThreadPool { workers: 8 }, false);
+        let server = crate::ServerBuilder::new(config)
+            .runtime(RuntimeKind::ThreadPool { workers: 8 })
+            .spawn();
         let mut joins = Vec::new();
         for i in 0..6u8 {
             let net = net.clone();
@@ -780,7 +782,9 @@ mod tests {
                 .map(|c| Box::new(c) as Box<dyn flux_net::Conn>)
         }));
         config.tracker_period = Duration::from_millis(60);
-        let server = spawn(config, RuntimeKind::ThreadPool { workers: 2 }, false);
+        let server = crate::ServerBuilder::new(config)
+            .runtime(RuntimeKind::ThreadPool { workers: 2 })
+            .spawn();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while server.ctx.announces.load(Ordering::Relaxed) == 0
             && std::time::Instant::now() < deadline

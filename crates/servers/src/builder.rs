@@ -1,0 +1,154 @@
+//! One typed construction surface for all four servers.
+//!
+//! The paper's runtime-independence claim says the same Flux program
+//! runs on any concurrency substrate; this module makes the *public
+//! API* reflect that. Before it, each server exposed its own divergent
+//! `spawn(config, runtime, profile)` signature; now every server,
+//! example, bench harness and test constructs through one
+//! [`ServerBuilder`]:
+//!
+//! ```ignore
+//! let server = ServerBuilder::new(WebSpec::new(listener, docroot))
+//!     .runtime(RuntimeKind::EventDriven { shards: 4, io_workers: 4 })
+//!     .net(NetConfig::default())   // backend, max_pending_out, io_timeout
+//!     .profile(true)
+//!     .spawn();
+//! ```
+//!
+//! The builder owns the glue every server shared but re-implemented:
+//! compiling the program and binding the registry (via the server's
+//! [`ServerSpec`]), toggling path profiling, installing the network
+//! driver's counters into [`flux_runtime::ServerStats`], and starting
+//! the chosen [`RuntimeKind`]. The [`NetConfig`] travels into the
+//! spec's `build`, so the readiness backend (poll/epoll), the
+//! per-connection output-buffer bound and the event-poll timeout are
+//! decided in exactly one place.
+
+use flux_core::CompiledProgram;
+use flux_net::{ConnDriver, NetConfig};
+use flux_runtime::{NodeRegistry, RuntimeKind};
+use std::sync::Arc;
+
+/// What a server kind must provide to be built: its compiled program,
+/// bound node registry and shared context, plus access to its network
+/// driver (when it has one) for stats installation.
+pub trait ServerSpec {
+    /// The per-flow payload type.
+    type Flow: Send + 'static;
+    /// The shared server context handed back to the caller
+    /// (`Arc<WebCtx>`, `Arc<BtCtx>`, ...).
+    type Ctx;
+
+    /// Compiles the Flux program, binds the node implementations and
+    /// builds the shared context, constructing any [`ConnDriver`]
+    /// through `net`.
+    fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<Self::Flow>, Self::Ctx);
+
+    /// The context's network driver, when the server has one (used to
+    /// publish [`flux_net::DriverCounters`] into the runtime stats).
+    fn driver(ctx: &Self::Ctx) -> Option<Arc<ConnDriver>>;
+}
+
+/// A running server: the runtime handle plus the server's shared
+/// context. The per-server aliases (`web::WebServer`, `bt::BtServer`,
+/// `image::ImageServer`, `game::GameServer`) are instantiations of
+/// this one type.
+pub struct RunningServer<P: Send + 'static, C> {
+    pub handle: flux_runtime::ServerHandle<P>,
+    pub ctx: C,
+}
+
+/// The one typed builder behind all four servers (see module docs).
+pub struct ServerBuilder<S: ServerSpec> {
+    spec: S,
+    runtime: RuntimeKind,
+    net: NetConfig,
+    profile: bool,
+    stats: bool,
+}
+
+impl<S: ServerSpec> ServerBuilder<S> {
+    /// A builder with the defaults: the paper's event-driven runtime
+    /// (one dispatcher shard, four I/O workers), the default
+    /// [`NetConfig`] (epoll on Linux with poll fallback, honouring
+    /// `FLUX_POLLER`), profiling off, stats on.
+    pub fn new(spec: S) -> Self {
+        ServerBuilder {
+            spec,
+            runtime: RuntimeKind::EventDriven {
+                shards: 1,
+                io_workers: 4,
+            },
+            net: NetConfig::default(),
+            profile: false,
+            stats: true,
+        }
+    }
+
+    /// Which runtime executes the flows (paper §3.2).
+    pub fn runtime(mut self, kind: RuntimeKind) -> Self {
+        self.runtime = kind;
+        self
+    }
+
+    /// Replaces the whole network configuration.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Selects the readiness backend (poll or epoll) for this server's
+    /// driver.
+    #[cfg(unix)]
+    pub fn backend(mut self, backend: flux_net::PollerBackend) -> Self {
+        self.net.backend = backend;
+        self
+    }
+
+    /// Caps each connection's output buffer on the non-blocking write
+    /// path.
+    pub fn max_pending_out(mut self, bytes: usize) -> Self {
+        self.net.max_pending_out = bytes;
+        self
+    }
+
+    /// How long the server's `Listen` source blocks per event poll
+    /// before re-checking shutdown.
+    pub fn io_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.net.io_timeout = timeout;
+        self
+    }
+
+    /// Enables Ball–Larus path profiling (paper §5.2).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Publishes the network driver's counters into
+    /// [`flux_runtime::ServerStats`] (on by default).
+    pub fn stats(mut self, on: bool) -> Self {
+        self.stats = on;
+        self
+    }
+
+    /// Compiles, binds and starts the server.
+    pub fn spawn(self) -> RunningServer<S::Flow, S::Ctx> {
+        let (program, registry, ctx) = self.spec.build(&self.net);
+        let server = if self.profile {
+            flux_runtime::FluxServer::with_profiling(program, registry)
+        } else {
+            flux_runtime::FluxServer::new(program, registry)
+        }
+        .expect("registry satisfies the program");
+        if self.stats {
+            if let Some(driver) = S::driver(&ctx) {
+                server
+                    .stats
+                    .install_net(Arc::new(crate::DriverNetCounters(driver.counters())));
+            }
+        }
+        let handle = flux_runtime::start(Arc::new(server), self.runtime);
+        RunningServer { handle, ctx }
+    }
+}

@@ -7,9 +7,10 @@
 //! and broadcasts the identical snapshot to every player — the paper's
 //! consistency requirement.
 
+use crate::builder::{RunningServer, ServerSpec};
 use flux_core::CompiledProgram;
 use flux_game::{encode_snapshot, ClientMsg, Snapshot, World, TICK_MS};
-use flux_net::Datagram;
+use flux_net::{ConnDriver, Datagram, NetConfig};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -82,9 +83,29 @@ pub struct GameConfig {
     pub seed: u64,
 }
 
-/// Builds the compiled program, registry and context.
-pub fn build(config: GameConfig) -> (CompiledProgram, NodeRegistry<GameFlow>, Arc<GameCtx>) {
+impl ServerSpec for GameConfig {
+    type Flow = GameFlow;
+    type Ctx = Arc<GameCtx>;
+
+    fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<GameFlow>, Arc<GameCtx>) {
+        build(self, net)
+    }
+
+    /// The game server speaks datagrams directly; there is no
+    /// connection driver to publish counters for.
+    fn driver(_ctx: &Arc<GameCtx>) -> Option<Arc<ConnDriver>> {
+        None
+    }
+}
+
+/// Builds the compiled program, registry and context. `net.io_timeout`
+/// bounds how long `ReceiveMove` blocks per datagram poll.
+pub fn build(
+    config: GameConfig,
+    net: &NetConfig,
+) -> (CompiledProgram, NodeRegistry<GameFlow>, Arc<GameCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("game server Flux program compiles");
+    let io_timeout = net.io_timeout;
     let ctx = Arc::new(GameCtx {
         socket: config.socket,
         world: Mutex::new(World::new(config.seed)),
@@ -103,10 +124,7 @@ pub fn build(config: GameConfig) -> (CompiledProgram, NodeRegistry<GameFlow>, Ar
             return SourceOutcome::Shutdown;
         }
         let mut buf = [0u8; 256];
-        match c
-            .socket
-            .recv_from(&mut buf, Some(Duration::from_millis(20)))
-        {
+        match c.socket.recv_from(&mut buf, Some(io_timeout)) {
             Ok(Some((n, from))) => match ClientMsg::decode(&buf[..n]) {
                 Some(msg) => SourceOutcome::New(GameFlow {
                     msg: Some(msg),
@@ -215,24 +233,9 @@ pub fn build(config: GameConfig) -> (CompiledProgram, NodeRegistry<GameFlow>, Ar
     (program, reg, ctx)
 }
 
-/// A running Flux game server.
-pub struct GameServer {
-    pub handle: flux_runtime::ServerHandle<GameFlow>,
-    pub ctx: Arc<GameCtx>,
-}
-
-/// Builds and starts the game server.
-pub fn spawn(config: GameConfig, runtime: flux_runtime::RuntimeKind, profile: bool) -> GameServer {
-    let (program, reg, ctx) = build(config);
-    let server = if profile {
-        flux_runtime::FluxServer::with_profiling(program, reg)
-    } else {
-        flux_runtime::FluxServer::new(program, reg)
-    }
-    .expect("registry satisfies the program");
-    let handle = flux_runtime::start(Arc::new(server), runtime);
-    GameServer { handle, ctx }
-}
+/// A running Flux game server — what [`crate::ServerBuilder::spawn`]
+/// returns for a [`GameConfig`].
+pub type GameServer = RunningServer<GameFlow, Arc<GameCtx>>;
 
 /// Stops a game server.
 pub fn stop(server: GameServer) {
@@ -256,15 +259,13 @@ mod tests {
     fn run_game_test(runtime: RuntimeKind) {
         let net = MemNet::new();
         let server_sock = Arc::new(net.bind_datagram("game").unwrap());
-        let server = spawn(
-            GameConfig {
-                socket: server_sock,
-                tick: Duration::from_millis(10),
-                seed: 42,
-            },
-            runtime,
-            false,
-        );
+        let server = crate::ServerBuilder::new(GameConfig {
+            socket: server_sock,
+            tick: Duration::from_millis(10),
+            seed: 42,
+        })
+        .runtime(runtime)
+        .spawn();
 
         // Two clients join and move.
         let c1 = net.bind_datagram("p1").unwrap();
@@ -339,15 +340,13 @@ mod tests {
     fn unknown_player_move_is_bad() {
         let net = MemNet::new();
         let server_sock = Arc::new(net.bind_datagram("game").unwrap());
-        let server = spawn(
-            GameConfig {
-                socket: server_sock,
-                tick: Duration::from_millis(50),
-                seed: 1,
-            },
-            RuntimeKind::ThreadPool { workers: 2 },
-            false,
-        );
+        let server = crate::ServerBuilder::new(GameConfig {
+            socket: server_sock,
+            tick: Duration::from_millis(50),
+            seed: 1,
+        })
+        .runtime(RuntimeKind::ThreadPool { workers: 2 })
+        .spawn();
         let c = net.bind_datagram("ghost").unwrap();
         c.send_to(
             &ClientMsg::Move(flux_game::Move {

@@ -16,10 +16,11 @@
 //!   calibrated timed `Compress` (which lets a small host emulate the
 //!   paper's 16-processor SunFire; see DESIGN.md §4).
 
+use crate::builder::{RunningServer, ServerSpec};
 use flux_core::CompiledProgram;
 use flux_http::{read_request, ParseError, Response};
 use flux_image::{jpeg_encode, Image, LfuCache};
-use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
+use flux_net::{ConnDriver, DriverEvent, Listener, NetConfig, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -162,11 +163,34 @@ impl Default for ImageConfig {
     }
 }
 
-/// Builds the compiled Figure 2 program, registry and context.
+impl ServerSpec for ImageConfig {
+    type Flow = ImageFlow;
+    type Ctx = Arc<ImageCtx>;
+
+    fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, Arc<ImageCtx>) {
+        build_with(self, net)
+    }
+
+    fn driver(ctx: &Arc<ImageCtx>) -> Option<Arc<ConnDriver>> {
+        ctx.driver.clone()
+    }
+}
+
+/// Builds the compiled Figure 2 program, registry and context with the
+/// default network configuration.
 pub fn build(config: ImageConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, Arc<ImageCtx>) {
+    build_with(config, &NetConfig::default())
+}
+
+/// Builds the compiled Figure 2 program, registry and context.
+pub fn build_with(
+    config: ImageConfig,
+    net: &NetConfig,
+) -> (CompiledProgram, NodeRegistry<ImageFlow>, Arc<ImageCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("image server Flux program compiles");
+    let io_timeout = net.io_timeout;
     let driver = match &config.source {
-        ImageSource::Net(_) => Some(Arc::new(ConnDriver::new())),
+        ImageSource::Net(_) => Some(Arc::new(ConnDriver::with_config(net))),
         ImageSource::Synthetic { .. } => None,
     };
     if let (ImageSource::Net(_), Some(d)) = (&config.source, &driver) {
@@ -193,7 +217,7 @@ pub fn build(config: ImageConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, 
             let c = ctx.clone();
             reg.source("Listen", move || {
                 let d = c.driver.as_ref().expect("net mode");
-                match d.next_event(Duration::from_millis(20)) {
+                match d.next_event(io_timeout) {
                     None => SourceOutcome::Skip,
                     Some(DriverEvent::Incoming(token)) => {
                         d.arm(token);
@@ -396,27 +420,18 @@ pub fn build(config: ImageConfig) -> (CompiledProgram, NodeRegistry<ImageFlow>, 
     (program, reg, ctx)
 }
 
-/// A running image server.
-pub struct ImageServer {
-    pub handle: flux_runtime::ServerHandle<ImageFlow>,
-    pub ctx: Arc<ImageCtx>,
-}
+/// A running image server — what [`crate::ServerBuilder::spawn`]
+/// returns for an [`ImageConfig`].
+pub type ImageServer = RunningServer<ImageFlow, Arc<ImageCtx>>;
 
-/// Builds and starts the image server.
-pub fn spawn(
-    config: ImageConfig,
-    runtime: flux_runtime::RuntimeKind,
-    profile: bool,
-) -> ImageServer {
-    let (program, reg, ctx) = build(config);
-    let server = if profile {
-        flux_runtime::FluxServer::with_profiling(program, reg)
-    } else {
-        flux_runtime::FluxServer::new(program, reg)
+/// Stops an image server: shuts down the driver (when one exists),
+/// sources and runtime.
+pub fn stop(server: ImageServer) {
+    if let Some(d) = &server.ctx.driver {
+        d.stop();
     }
-    .expect("registry satisfies the program");
-    let handle = flux_runtime::start(Arc::new(server), runtime);
-    ImageServer { handle, ctx }
+    server.handle.server().request_shutdown();
+    server.handle.stop();
 }
 
 #[cfg(test)]
@@ -437,20 +452,18 @@ mod tests {
 
     #[test]
     fn synthetic_run_completes_and_caches() {
-        let server = spawn(
-            ImageConfig {
-                source: ImageSource::Synthetic {
-                    interarrival: Duration::ZERO,
-                    total: 200,
-                },
-                compress: CompressMode::Real { quality: 60 },
-                images: 5,
-                image_size: 64,
-                cache_bytes: 4 * 1024 * 1024,
+        let server = crate::ServerBuilder::new(ImageConfig {
+            source: ImageSource::Synthetic {
+                interarrival: Duration::ZERO,
+                total: 200,
             },
-            RuntimeKind::ThreadPool { workers: 4 },
-            false,
-        );
+            compress: CompressMode::Real { quality: 60 },
+            images: 5,
+            image_size: 64,
+            cache_bytes: 4 * 1024 * 1024,
+        })
+        .runtime(RuntimeKind::ThreadPool { workers: 4 })
+        .spawn();
         server.handle.join();
         assert_eq!(server.ctx.served.load(Ordering::Relaxed), 200);
         let cache = server.ctx.cache.lock();
@@ -461,23 +474,21 @@ mod tests {
 
     #[test]
     fn synthetic_run_on_event_runtime() {
-        let server = spawn(
-            ImageConfig {
-                source: ImageSource::Synthetic {
-                    interarrival: Duration::ZERO,
-                    total: 100,
-                },
-                compress: CompressMode::TimedHold(Duration::from_micros(200)),
-                images: 3,
-                image_size: 32,
-                cache_bytes: 1 << 20,
+        let server = crate::ServerBuilder::new(ImageConfig {
+            source: ImageSource::Synthetic {
+                interarrival: Duration::ZERO,
+                total: 100,
             },
-            RuntimeKind::EventDriven {
-                shards: 1,
-                io_workers: 2,
-            },
-            false,
-        );
+            compress: CompressMode::TimedHold(Duration::from_micros(200)),
+            images: 3,
+            image_size: 32,
+            cache_bytes: 1 << 20,
+        })
+        .runtime(RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 2,
+        })
+        .spawn();
         server.handle.join();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while server.ctx.served.load(Ordering::Relaxed) < 100
@@ -492,20 +503,18 @@ mod tests {
     /// the identical server definition completes unchanged.
     #[test]
     fn synthetic_run_on_staged_runtime() {
-        let server = spawn(
-            ImageConfig {
-                source: ImageSource::Synthetic {
-                    interarrival: Duration::ZERO,
-                    total: 100,
-                },
-                compress: CompressMode::Real { quality: 60 },
-                images: 3,
-                image_size: 32,
-                cache_bytes: 1 << 20,
+        let server = crate::ServerBuilder::new(ImageConfig {
+            source: ImageSource::Synthetic {
+                interarrival: Duration::ZERO,
+                total: 100,
             },
-            RuntimeKind::Staged { stage_workers: 2 },
-            false,
-        );
+            compress: CompressMode::Real { quality: 60 },
+            images: 3,
+            image_size: 32,
+            cache_bytes: 1 << 20,
+        })
+        .runtime(RuntimeKind::Staged { stage_workers: 2 })
+        .spawn();
         server.handle.join();
         assert_eq!(server.ctx.served.load(Ordering::Relaxed), 100);
     }
@@ -516,17 +525,15 @@ mod tests {
         use std::io::Write as _;
         let net = MemNet::new();
         let listener = net.listen("img").unwrap();
-        let server = spawn(
-            ImageConfig {
-                source: ImageSource::Net(Box::new(listener)),
-                compress: CompressMode::Real { quality: 70 },
-                images: 2,
-                image_size: 48,
-                cache_bytes: 1 << 20,
-            },
-            RuntimeKind::ThreadPool { workers: 2 },
-            false,
-        );
+        let server = crate::ServerBuilder::new(ImageConfig {
+            source: ImageSource::Net(Box::new(listener)),
+            compress: CompressMode::Real { quality: 70 },
+            images: 2,
+            image_size: 48,
+            cache_bytes: 1 << 20,
+        })
+        .runtime(RuntimeKind::ThreadPool { workers: 2 })
+        .spawn();
         let mut conn = net.connect("img").unwrap();
         write!(
             conn,
@@ -546,11 +553,7 @@ mod tests {
         let (status, _) = flux_http::read_response(&mut conn).unwrap();
         assert_eq!(status, 404);
 
-        if let Some(d) = &server.ctx.driver {
-            d.stop();
-        }
-        server.handle.server().request_shutdown();
-        server.handle.stop();
+        stop(server);
     }
 
     #[test]

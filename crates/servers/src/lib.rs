@@ -1,23 +1,45 @@
 //! # flux-servers — the paper's four servers, written in Flux
 //!
 //! Each module embeds its Flux program source (compiled at start-up by
-//! `flux-core`), the Rust node implementations it binds, and a `spawn`
-//! helper. The same server runs unchanged on any of the three runtimes
-//! — the paper's "runtime independence" claim, exercised by the test
-//! suites of every module.
+//! `flux-core`), the Rust node implementations it binds, and a *spec*
+//! type consumed by the one typed [`ServerBuilder`]. The same server
+//! runs unchanged on any of the four runtimes — the paper's "runtime
+//! independence" claim, exercised by the test suites of every module —
+//! and, one layer down, on any readiness backend (`poll(2)` or
+//! `epoll(7)`, chosen through [`flux_net::NetConfig`]).
 //!
-//! | module | paper section | style |
-//! |--------|---------------|-------|
-//! | [`web`]   | §4.2 | request-response (HTTP/1.1 + FluxScript) |
-//! | [`image`] | §2, §5.1 | request-response (PPM -> JPEG, LFU cache) |
-//! | [`bt`]    | §4.3 | peer-to-peer (BitTorrent, Figure 7) |
-//! | [`game`]  | §4.4 | heartbeat client-server (Tag at 10 Hz) |
+//! | module | paper section | style | spec |
+//! |--------|---------------|-------|------|
+//! | [`web`]   | §4.2 | request-response (HTTP/1.1 + FluxScript) | [`web::WebSpec`] |
+//! | [`image`] | §2, §5.1 | request-response (PPM -> JPEG, LFU cache) | [`image::ImageConfig`] |
+//! | [`bt`]    | §4.3 | peer-to-peer (BitTorrent, Figure 7) | [`bt::BtConfig`] |
+//! | [`game`]  | §4.4 | heartbeat client-server (Tag at 10 Hz) | [`game::GameConfig`] |
+//!
+//! Construction is uniform across servers, examples, benches and
+//! tests:
+//!
+//! ```ignore
+//! use flux_servers::{ServerBuilder, web::WebSpec};
+//! let server = ServerBuilder::new(WebSpec::new(listener, docroot))
+//!     .runtime(RuntimeKind::EventDriven { shards: 4, io_workers: 4 })
+//!     .spawn();
+//! // ... server.ctx, server.handle ...
+//! web::stop(server);
+//! ```
+//!
+//! The builder decides runtime kind, network configuration (readiness
+//! backend, per-connection write-buffer bound, event-poll timeout) and
+//! the stats/profiling toggles in one place; each module keeps a
+//! `stop` helper for orderly shutdown.
 
 pub mod bt;
+pub mod builder;
 pub mod game;
 pub mod image;
 pub mod profile_service;
 pub mod web;
+
+pub use builder::{RunningServer, ServerBuilder, ServerSpec};
 
 /// Adapter publishing a [`flux_net::DriverCounters`] block through the
 /// runtime's [`flux_runtime::NetCounters`] stats view (the runtime

@@ -15,14 +15,14 @@
 //! writes to the reactor's `POLLOUT` drain — no I/O worker is ever
 //! parked in `send(2)` and no connection lock is held across a send.
 
+use crate::builder::{RunningServer, ServerSpec};
 use flux_core::CompiledProgram;
 use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
-use flux_net::{ConnDriver, DriverEvent, Listener, SharedConn, Token};
+use flux_net::{ConnDriver, DriverEvent, Listener, NetConfig, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// The Flux program, as the paper would write it (~36 lines).
 pub const FLUX_SRC: &str = r#"
@@ -137,27 +137,67 @@ impl WebCtx {
     }
 }
 
+/// The web server's build spec: what [`crate::ServerBuilder`] consumes.
+pub struct WebSpec {
+    pub listener: Box<dyn Listener>,
+    pub docroot: DocRoot,
+    pub write_mode: WriteMode,
+}
+
+impl WebSpec {
+    /// A spec with the default (reactor) write mode.
+    pub fn new(listener: Box<dyn Listener>, docroot: DocRoot) -> Self {
+        WebSpec {
+            listener,
+            docroot,
+            write_mode: WriteMode::Reactor,
+        }
+    }
+
+    /// Overrides how the `Write` node transmits (the blocking mode is
+    /// kept for the ablation benchmark).
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+}
+
+impl ServerSpec for WebSpec {
+    type Flow = WebFlow;
+    type Ctx = Arc<WebCtx>;
+
+    fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
+        build_with(self.listener, self.docroot, self.write_mode, net)
+    }
+
+    fn driver(ctx: &Arc<WebCtx>) -> Option<Arc<ConnDriver>> {
+        Some(ctx.driver.clone())
+    }
+}
+
 /// Builds the compiled program, node registry and shared context with
-/// the default (reactor) write mode.
-///
-/// `accept_timeout` bounds how long `Listen` blocks before yielding
-/// (`SourceOutcome::Skip`) so shutdown stays responsive.
+/// the default (reactor) write mode and network configuration.
 pub fn build(
     listener: Box<dyn Listener>,
     docroot: DocRoot,
 ) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
-    build_with(listener, docroot, WriteMode::Reactor)
+    build_with(listener, docroot, WriteMode::Reactor, &NetConfig::default())
 }
 
 /// Builds the compiled program, node registry and shared context.
+///
+/// `net.io_timeout` bounds how long `Listen` blocks before yielding
+/// (`SourceOutcome::Skip`) so shutdown stays responsive.
 pub fn build_with(
     listener: Box<dyn Listener>,
     docroot: DocRoot,
     write_mode: WriteMode,
+    net: &NetConfig,
 ) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
     let program = flux_core::compile(FLUX_SRC).expect("web server Flux program compiles");
-    let driver = Arc::new(ConnDriver::new());
+    let driver = Arc::new(ConnDriver::with_config(net));
     driver.spawn_acceptor(listener);
+    let io_timeout = net.io_timeout;
     let ctx = Arc::new(WebCtx {
         driver,
         docroot,
@@ -173,24 +213,20 @@ pub fn build_with(
     // submission (and performed any deferred close on the final
     // `WriteDone`, or removed the connection on `WriteFailed`).
     let c = ctx.clone();
-    reg.source("Listen", move || {
-        match c.driver.next_event(Duration::from_millis(20)) {
-            None => SourceOutcome::Skip,
-            Some(DriverEvent::Incoming(token)) => {
-                c.driver.arm(token);
-                SourceOutcome::Skip
-            }
-            Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => {
-                SourceOutcome::Skip
-            }
-            Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
-                token,
-                close: false,
-                request: None,
-                response: None,
-                conn: c.driver.get(token),
-            }),
+    reg.source("Listen", move || match c.driver.next_event(io_timeout) {
+        None => SourceOutcome::Skip,
+        Some(DriverEvent::Incoming(token)) => {
+            c.driver.arm(token);
+            SourceOutcome::Skip
         }
+        Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => SourceOutcome::Skip,
+        Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
+            token,
+            close: false,
+            request: None,
+            response: None,
+            conn: c.driver.get(token),
+        }),
     });
 
     let c = ctx.clone();
@@ -336,44 +372,9 @@ pub fn build_with(
     (program, reg, ctx)
 }
 
-/// A running Flux web server plus its context.
-pub struct WebServer {
-    pub handle: flux_runtime::ServerHandle<WebFlow>,
-    pub ctx: Arc<WebCtx>,
-}
-
-/// Compiles, binds and starts the web server on the given runtime with
-/// the default (reactor) write mode.
-pub fn spawn(
-    listener: Box<dyn Listener>,
-    docroot: DocRoot,
-    runtime: flux_runtime::RuntimeKind,
-    profile: bool,
-) -> WebServer {
-    spawn_with(listener, docroot, runtime, profile, WriteMode::Reactor)
-}
-
-/// Compiles, binds and starts the web server on the given runtime.
-pub fn spawn_with(
-    listener: Box<dyn Listener>,
-    docroot: DocRoot,
-    runtime: flux_runtime::RuntimeKind,
-    profile: bool,
-    write_mode: WriteMode,
-) -> WebServer {
-    let (program, reg, ctx) = build_with(listener, docroot, write_mode);
-    let server = if profile {
-        flux_runtime::FluxServer::with_profiling(program, reg)
-    } else {
-        flux_runtime::FluxServer::new(program, reg)
-    }
-    .expect("registry satisfies the program");
-    server
-        .stats
-        .install_net(Arc::new(crate::DriverNetCounters(ctx.driver.counters())));
-    let handle = flux_runtime::start(Arc::new(server), runtime);
-    WebServer { handle, ctx }
-}
+/// A running Flux web server plus its context — what
+/// [`crate::ServerBuilder::spawn`] returns for a [`WebSpec`].
+pub type WebServer = RunningServer<WebFlow, Arc<WebCtx>>;
 
 /// Stops a web server: shuts down sources, the driver and runtime.
 pub fn stop(server: WebServer) {
@@ -415,7 +416,9 @@ mod tests {
     fn run_web_test(runtime: RuntimeKind) {
         let net = MemNet::new();
         let listener = net.listen("web").unwrap();
-        let server = spawn(Box::new(listener), docroot(), runtime, false);
+        let server = crate::ServerBuilder::new(WebSpec::new(Box::new(listener), docroot()))
+            .runtime(runtime)
+            .spawn();
 
         let (status, body) = get(&net, "/index.html");
         assert_eq!((status, body.as_slice()), (200, b"<h1>home</h1>".as_ref()));
@@ -464,12 +467,9 @@ mod tests {
     fn keep_alive_serves_five_requests_per_connection() {
         let net = MemNet::new();
         let listener = net.listen("web").unwrap();
-        let server = spawn(
-            Box::new(listener),
-            docroot(),
-            RuntimeKind::ThreadPool { workers: 2 },
-            false,
-        );
+        let server = crate::ServerBuilder::new(WebSpec::new(Box::new(listener), docroot()))
+            .runtime(RuntimeKind::ThreadPool { workers: 2 })
+            .spawn();
         let mut conn = net.connect("web").unwrap();
         for i in 0..5 {
             let last = i == 4;

@@ -39,27 +39,26 @@ fn main() {
         }
     });
 
-    // The Flux seeder (Figure 7's program), announcing periodically.
+    // The Flux seeder (Figure 7's program), announcing periodically,
+    // built through the one typed ServerBuilder.
     let net2 = net.clone();
-    let server = flux::servers::bt::spawn(
-        flux::servers::bt::BtConfig {
-            listener: Box::new(net.listen("seeder").unwrap()),
-            meta: meta.clone(),
-            file: file.clone(),
-            tracker_dial: Some(Box::new(move || {
-                net2.connect("tracker")
-                    .ok()
-                    .map(|c| Box::new(c) as Box<dyn flux::net::Conn>)
-            })),
-            peer_id: *b"-FX0001-exampleseed1",
-            addr: "seeder".into(),
-            tracker_period: Duration::from_millis(100),
-            choke_period: Duration::from_millis(500),
-            keepalive_period: Duration::from_secs(2),
-        },
-        RuntimeKind::ThreadPool { workers: 6 },
-        false,
-    );
+    let server = flux::servers::ServerBuilder::new(flux::servers::bt::BtConfig {
+        listener: Box::new(net.listen("seeder").unwrap()),
+        meta: meta.clone(),
+        file: file.clone(),
+        tracker_dial: Some(Box::new(move || {
+            net2.connect("tracker")
+                .ok()
+                .map(|c| Box::new(c) as Box<dyn flux::net::Conn>)
+        })),
+        peer_id: *b"-FX0001-exampleseed1",
+        addr: "seeder".into(),
+        tracker_period: Duration::from_millis(100),
+        choke_period: Duration::from_millis(500),
+        keepalive_period: Duration::from_secs(2),
+    })
+    .runtime(RuntimeKind::ThreadPool { workers: 6 })
+    .spawn();
 
     // Wait until the seeder has announced itself.
     while server.ctx.announces.load(Ordering::Relaxed) == 0 {

@@ -17,15 +17,13 @@ fn main() {
     let addr = server_sock.local_addr();
     println!("Flux game server (10 Hz heartbeat) on udp://{addr}");
 
-    let server = flux::servers::game::spawn(
-        flux::servers::game::GameConfig {
-            socket: server_sock,
-            tick: Duration::from_millis(100),
-            seed: 99,
-        },
-        RuntimeKind::ThreadPool { workers: 4 },
-        false,
-    );
+    let server = flux::servers::ServerBuilder::new(flux::servers::game::GameConfig {
+        socket: server_sock,
+        tick: Duration::from_millis(100),
+        seed: 99,
+    })
+    .runtime(RuntimeKind::ThreadPool { workers: 4 })
+    .spawn();
 
     // Two bots: one runner, one chaser.
     let mut bots = Vec::new();

@@ -9,7 +9,8 @@
 use flux::image::jpeg_probe;
 use flux::net::MemNet;
 use flux::runtime::RuntimeKind;
-use flux::servers::image::{spawn, CompressMode, ImageConfig, ImageSource};
+use flux::servers::image::{CompressMode, ImageConfig, ImageSource};
+use flux::servers::ServerBuilder;
 use flux_core::codegen::{dot::DotGenerator, CodeGenerator};
 use std::io::Write as _;
 use std::sync::atomic::Ordering;
@@ -32,17 +33,15 @@ fn main() {
 
     let net = MemNet::new();
     let listener = net.listen("image-server").unwrap();
-    let server = spawn(
-        ImageConfig {
-            source: ImageSource::Net(Box::new(listener)),
-            compress: CompressMode::Real { quality: 80 },
-            images: 5,
-            image_size: 128,
-            cache_bytes: 2 * 1024 * 1024,
-        },
-        RuntimeKind::ThreadPool { workers: 4 },
-        false,
-    );
+    let server = ServerBuilder::new(ImageConfig {
+        source: ImageSource::Net(Box::new(listener)),
+        compress: CompressMode::Real { quality: 80 },
+        images: 5,
+        image_size: 128,
+        cache_bytes: 2 * 1024 * 1024,
+    })
+    .runtime(RuntimeKind::ThreadPool { workers: 4 })
+    .spawn();
 
     // Fetch every image at a few scales; repeats hit the cache.
     let mut total_bytes = 0usize;
@@ -82,11 +81,8 @@ fn main() {
     );
     drop(cache);
 
-    if let Some(d) = &server.ctx.driver {
-        d.stop();
-    }
-    server.handle.server().request_shutdown();
-    server.handle.stop();
+    let ctx = server.ctx.clone();
+    flux::servers::image::stop(server);
     println!("done.");
-    let _ = Arc::strong_count(&server.ctx);
+    let _ = Arc::strong_count(&ctx);
 }

@@ -1,11 +1,19 @@
-//! Quickstart: compile a Flux program, bind Rust node implementations,
-//! and run it on all four runtimes.
+//! Quickstart, in two acts:
+//!
+//! 1. compile a Flux program, bind Rust node implementations, and run
+//!    it on all four runtimes — the paper's runtime-independence claim;
+//! 2. stand up a real server (the §4.2 web server) through the one
+//!    typed `ServerBuilder`, which owns the remaining knobs: the
+//!    runtime kind, the network configuration (`NetConfig`: readiness
+//!    backend, write-buffer bound, event-poll timeout) and the
+//!    stats/profiling toggles.
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! FLUX_POLLER=poll cargo run --example quickstart   # poll(2) backend
 //! ```
 //!
-//! The program is a miniature request pipeline with a predicate
+//! The act-1 program is a miniature request pipeline with a predicate
 //! dispatch, an error handler, and an atomicity constraint — every
 //! language feature from §2 of the paper in twenty lines.
 
@@ -144,4 +152,40 @@ fn main() {
         );
     }
     println!("same program, four runtimes — no code changes.");
+
+    // Act 2: a real server through the one typed ServerBuilder. The
+    // spec names the server; the builder owns runtime kind, NetConfig
+    // (readiness backend, per-connection write-buffer bound, event-poll
+    // timeout) and the stats/profile toggles.
+    use flux::net::{MemNet, NetConfig};
+    use flux::servers::{web::WebSpec, ServerBuilder};
+    use std::io::Write as _;
+
+    let net = MemNet::new();
+    let listener = net.listen("quickstart").unwrap();
+    let mut docroot = flux::http::DocRoot::new();
+    docroot.insert("/hello.html", "hello from the builder");
+    let server = ServerBuilder::new(WebSpec::new(Box::new(listener), docroot))
+        .runtime(RuntimeKind::EventDriven {
+            shards: 2,
+            io_workers: 2,
+        })
+        .net(NetConfig::default()) // epoll on Linux; FLUX_POLLER=poll falls back
+        .spawn();
+
+    let mut conn = net.connect("quickstart").unwrap();
+    write!(
+        conn,
+        "GET /hello.html HTTP/1.1\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, body) = flux::http::read_response(&mut conn).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, b"hello from the builder");
+    println!(
+        "web server via ServerBuilder: {} ({} readiness backend)",
+        String::from_utf8_lossy(&body),
+        server.ctx.driver.poller_backend(),
+    );
+    flux::servers::web::stop(server);
 }

@@ -1,14 +1,21 @@
 //! The Flux web server over **real TCP**: static pages plus FluxScript
 //! dynamic pages, exercised by an HTTP client over localhost.
 //!
+//! Construction goes through the one typed `ServerBuilder`: the spec
+//! names the server (`WebSpec`), `.runtime(...)` picks the concurrency
+//! substrate, and `NetConfig` decides the readiness backend — epoll on
+//! Linux by default, `FLUX_POLLER=poll` for the portable fallback.
+//!
 //! ```sh
 //! cargo run --example webserver           # self-test against localhost
 //! PORT=8080 HOLD=1 cargo run --example webserver   # keep serving
+//! FLUX_POLLER=poll cargo run --example webserver   # poll(2) backend
 //! ```
 
 use flux::http::DocRoot;
-use flux::net::{Listener as _, TcpAcceptor, TcpConn};
+use flux::net::{Listener as _, NetConfig, TcpAcceptor, TcpConn};
 use flux::runtime::RuntimeKind;
+use flux::servers::{web::WebSpec, ServerBuilder};
 use std::io::Write as _;
 use std::sync::atomic::Ordering;
 
@@ -46,16 +53,20 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-    println!("Flux web server (event-driven runtime, {shards} shard(s)) on http://{addr}/");
-
-    let server = flux::servers::web::spawn(
-        Box::new(acceptor),
-        docroot(),
-        RuntimeKind::EventDriven {
+    // The builder's NetConfig picks the readiness backend (epoll on
+    // Linux, FLUX_POLLER overrides), the per-connection write-buffer
+    // bound and the Listen source's event-poll timeout.
+    let net = NetConfig::default();
+    let server = ServerBuilder::new(WebSpec::new(Box::new(acceptor), docroot()))
+        .runtime(RuntimeKind::EventDriven {
             shards,
             io_workers: 4,
-        },
-        false,
+        })
+        .net(net)
+        .spawn();
+    println!(
+        "Flux web server (event-driven runtime, {shards} shard(s), {} backend) on http://{addr}/",
+        server.ctx.driver.poller_backend()
     );
 
     if std::env::var("HOLD").is_ok() {

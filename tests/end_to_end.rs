@@ -5,6 +5,7 @@
 use flux::http::DocRoot;
 use flux::net::MemNet;
 use flux::runtime::RuntimeKind;
+use flux::servers::{web::WebSpec, ServerBuilder};
 use std::io::Write as _;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -45,7 +46,9 @@ fn web_server_runtime_independent() {
     ] {
         let net = MemNet::new();
         let listener = net.listen("w").unwrap();
-        let server = flux::servers::web::spawn(Box::new(listener), docroot.clone(), kind, false);
+        let server = ServerBuilder::new(WebSpec::new(Box::new(listener), docroot.clone()))
+            .runtime(kind)
+            .spawn();
         let mut conn = net.connect("w").unwrap();
         write!(
             conn,
@@ -84,12 +87,9 @@ fn flux_and_knot_agree_on_responses() {
     let net = MemNet::new();
     let l1 = net.listen("flux").unwrap();
     let l2 = net.listen("knot").unwrap();
-    let fx = flux::servers::web::spawn(
-        Box::new(l1),
-        docroot.clone(),
-        RuntimeKind::ThreadPool { workers: 2 },
-        false,
-    );
+    let fx = ServerBuilder::new(WebSpec::new(Box::new(l1), docroot.clone()))
+        .runtime(RuntimeKind::ThreadPool { workers: 2 })
+        .spawn();
     let kn = flux::baselines::KnotServer::start(Box::new(l2), docroot, 2);
     for path in ["/a.html", "/calc.fxs?x=41", "/missing"] {
         let a = fetch(&net, "flux", path);
@@ -109,24 +109,22 @@ fn bittorrent_full_stack() {
     let file = flux::bittorrent::synth_file(96 * 1024, 4);
     let meta = flux::bittorrent::Metainfo::from_file("mem:tracker", "f.bin", 32 * 1024, &file);
 
-    let server = flux::servers::bt::spawn(
-        flux::servers::bt::BtConfig {
-            listener: Box::new(net.listen("seeder").unwrap()),
-            meta: meta.clone(),
-            file: file.clone(),
-            tracker_dial: None,
-            peer_id: *b"-FX0001-integration1",
-            addr: "mem:seeder".into(),
-            tracker_period: Duration::from_secs(3600),
-            choke_period: Duration::from_secs(3600),
-            keepalive_period: Duration::from_secs(3600),
-        },
-        RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 4,
-        },
-        false,
-    );
+    let server = ServerBuilder::new(flux::servers::bt::BtConfig {
+        listener: Box::new(net.listen("seeder").unwrap()),
+        meta: meta.clone(),
+        file: file.clone(),
+        tracker_dial: None,
+        peer_id: *b"-FX0001-integration1",
+        addr: "mem:seeder".into(),
+        tracker_period: Duration::from_secs(3600),
+        choke_period: Duration::from_secs(3600),
+        keepalive_period: Duration::from_secs(3600),
+    })
+    .runtime(RuntimeKind::EventDriven {
+        shards: 1,
+        io_workers: 4,
+    })
+    .spawn();
     let got = flux::servers::bt::client::download(
         Box::new(net.connect("seeder").unwrap()),
         &meta,
@@ -145,17 +143,15 @@ fn bittorrent_full_stack() {
 fn image_server_concurrent_cache_integrity() {
     let net = MemNet::new();
     let listener = net.listen("img").unwrap();
-    let server = flux::servers::image::spawn(
-        flux::servers::image::ImageConfig {
-            source: flux::servers::image::ImageSource::Net(Box::new(listener)),
-            compress: flux::servers::image::CompressMode::Real { quality: 60 },
-            images: 3,
-            image_size: 40,
-            cache_bytes: 64 * 1024,
-        },
-        RuntimeKind::ThreadPool { workers: 6 },
-        false,
-    );
+    let server = ServerBuilder::new(flux::servers::image::ImageConfig {
+        source: flux::servers::image::ImageSource::Net(Box::new(listener)),
+        compress: flux::servers::image::CompressMode::Real { quality: 60 },
+        images: 3,
+        image_size: 40,
+        cache_bytes: 64 * 1024,
+    })
+    .runtime(RuntimeKind::ThreadPool { workers: 6 })
+    .spawn();
     let mut joins = Vec::new();
     for t in 0..6 {
         let net = net.clone();
@@ -185,11 +181,7 @@ fn image_server_concurrent_cache_integrity() {
         "every request checked the cache"
     );
     drop(cache);
-    if let Some(d) = &server.ctx.driver {
-        d.stop();
-    }
-    server.handle.server().request_shutdown();
-    server.handle.stop();
+    flux::servers::image::stop(server);
 }
 
 /// Profiled web run feeds the simulator, which predicts a plausible
@@ -246,12 +238,10 @@ fn hot_paths_of_web_server() {
     docroot.insert("/x.html", "payload");
     let net = MemNet::new();
     let listener = net.listen("w").unwrap();
-    let server = flux::servers::web::spawn(
-        Box::new(listener),
-        docroot,
-        RuntimeKind::ThreadPool { workers: 2 },
-        true,
-    );
+    let server = ServerBuilder::new(WebSpec::new(Box::new(listener), docroot))
+        .runtime(RuntimeKind::ThreadPool { workers: 2 })
+        .profile(true)
+        .spawn();
     for _ in 0..20 {
         let mut conn = net.connect("w").unwrap();
         write!(conn, "GET /x.html HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
