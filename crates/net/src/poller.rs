@@ -22,9 +22,13 @@
 //! [`Poller::delete`]). The reactor therefore finishes handling every
 //! reported fd with exactly one `modify`/`delete` call before its next
 //! `wait`. `poll(2)` has no kernel-side one-shot, so [`PollPoller`]
-//! emulates it by masking fired interest bits until the re-arm —
-//! keeping the two backends observationally identical, which is what
-//! the conformance suite in `crates/net/tests/` checks.
+//! emulates it by leaving fired fds out of the poll set until the
+//! re-arm. That includes error conditions: `POLLERR`/`POLLHUP` cannot
+//! be masked on a polled fd, so omission is what makes a fired watch
+//! deliver hangups at most once per arm — exactly like a fired
+//! `EPOLLONESHOT` watch — keeping the two backends observationally
+//! identical, which is what the conformance suite in
+//! `crates/net/tests/` checks.
 //!
 //! Backend selection: [`PollerBackend::default()`] picks epoll on
 //! Linux and poll elsewhere; the `FLUX_POLLER` environment variable
@@ -56,9 +60,14 @@ impl Interest {
         write: true,
     };
 
-    /// No conditions armed. The fd stays registered (errors and hangups
-    /// still surface on both backends) but delivers no read/write
-    /// readiness — the reactor's Busy-park state.
+    /// No conditions armed. The fd stays registered but delivers no
+    /// read/write readiness. Whether unmaskable error conditions
+    /// (ERR/HUP) surface in this state is backend-specific — `poll(2)`
+    /// reports them for any fd in its set, a oneshot epoll arm delivers
+    /// them once — which is why the reactor never hands a backend an
+    /// empty interest: a watch with nothing armed is deleted, and a
+    /// Busy-parked write-only watch is simply left disarmed (fired),
+    /// where both backends are silent until the re-arm.
     pub fn none() -> Interest {
         Interest::default()
     }
@@ -238,8 +247,11 @@ pub struct PollPoller {
 struct PollEntry {
     interest: Interest,
     /// One-shot emulation: set when an event was reported, cleared by
-    /// `modify`. While set, the fd is polled with no requested events
-    /// (errors still surface, exactly like a fired EPOLLONESHOT watch).
+    /// `modify`. While set, the fd is left out of the `pollfd` set
+    /// entirely — `poll(2)` reports `POLLERR`/`POLLHUP` even for an fd
+    /// with no requested events, so merely masking the interest bits
+    /// would re-report hangups every wait where a fired
+    /// `EPOLLONESHOT` watch stays silent until re-armed.
     fired: bool,
 }
 
@@ -287,14 +299,15 @@ impl Poller for PollPoller {
         events.clear();
         self.pollfds.clear();
         for (&fd, entry) in &self.interests {
+            if entry.fired {
+                continue;
+            }
             let mut bits: sys::c_short = 0;
-            if !entry.fired {
-                if entry.interest.read {
-                    bits |= sys::POLLIN;
-                }
-                if entry.interest.write {
-                    bits |= sys::POLLOUT;
-                }
+            if entry.interest.read {
+                bits |= sys::POLLIN;
+            }
+            if entry.interest.write {
+                bits |= sys::POLLOUT;
             }
             self.pollfds.push(sys::pollfd {
                 fd,
@@ -518,6 +531,38 @@ mod tests {
             p.delete(fd).unwrap();
             p.modify(events[0].fd, Interest::none()).ok();
             p.delete(fd).unwrap(); // idempotent
+        }
+    }
+
+    /// A fired (disarmed) entry stays quiet even when the peer hangs
+    /// up. `POLLERR`/`POLLHUP` cannot be masked on a polled fd, so
+    /// [`PollPoller`] drops fired fds from its set entirely — matching
+    /// `EPOLLONESHOT`, which disables the whole watch (hangups
+    /// included) until the re-arm.
+    #[test]
+    fn fired_entry_masks_hangup_until_rearm() {
+        for mut p in backends() {
+            let (rx, mut tx) = std::io::pipe().unwrap();
+            let fd = rx.as_raw_fd();
+            p.add(fd, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            tx.write_all(b"x").unwrap();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}", p.name());
+
+            drop(tx); // hangup while the watch is fired/disarmed
+            p.wait(&mut events, Duration::from_millis(20)).unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: fired watch re-reported the hangup",
+                p.name()
+            );
+
+            p.modify(fd, Interest::READ).unwrap();
+            p.wait(&mut events, Duration::from_secs(2)).unwrap();
+            assert_eq!(events.len(), 1, "{}: re-arm delivers the hangup", p.name());
+            assert!(events[0].readable, "{}", p.name());
+            p.delete(fd).unwrap();
         }
     }
 

@@ -38,8 +38,13 @@
 //!   disarmed until the reactor re-issues `modify` — which it does
 //!   exactly once per reported fd, with the post-delivery interest.
 //! * **Busy parking.** A drain that finds the connection lock contended
-//!   parks write interest for a few milliseconds (via `modify`) instead
-//!   of spinning on level-triggered writability.
+//!   parks the watch's write side for a few milliseconds instead of
+//!   spinning on level-triggered writability: a write-only watch is
+//!   simply not re-armed until the park expires (the unpark pass issues
+//!   the modify), while armed read interest stays live throughout — a
+//!   park never delays read delivery. Events that arrive during a park
+//!   still run the drain, so a broken connection retires immediately
+//!   rather than bouncing unmaskable ERR/HUP readiness.
 //!
 //! The reactor wakes for control-plane changes (register/deregister/
 //! stop) through a self-pipe registered with the same backend, so
@@ -140,6 +145,15 @@ pub struct Reactor {
     next_gen: AtomicU64,
     /// Write end of the self-pipe; a byte here interrupts `wait`.
     wake: Mutex<Option<std::io::PipeWriter>>,
+    /// True while a wake byte is in flight. Deduplicates `wake_up`
+    /// calls so at most one byte is written per reactor round no
+    /// matter how many control ops race ahead of the reactor (the
+    /// round's 64-byte drain keeps the running total near zero) — the
+    /// blocking write in `wake_up` therefore can never fill the pipe
+    /// and stall, not even when the reactor thread itself deregisters
+    /// a connection from inside an Abort drain (it is the pipe's only
+    /// reader).
+    wake_pending: AtomicBool,
     /// The reactor thread, joined by [`Reactor::stop`].
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// The backend, created eagerly (so fallback is resolved and
@@ -164,6 +178,7 @@ impl Reactor {
             live: Mutex::new(HashMap::new()),
             next_gen: AtomicU64::new(1),
             wake: Mutex::new(None),
+            wake_pending: AtomicBool::new(false),
             thread: Mutex::new(None),
             poller: Mutex::new(Some(poller)),
             backend_name,
@@ -257,6 +272,12 @@ impl Reactor {
     }
 
     fn wake_up(&self) {
+        if self.wake_pending.swap(true, Ordering::SeqCst) {
+            // A byte is already in flight: the reactor will re-read
+            // control at the top of its next round, which also covers
+            // everything queued after that byte was written.
+            return;
+        }
         if let Some(w) = self.wake.lock().as_mut() {
             let _ = w.write(&[1]);
         }
@@ -340,51 +361,53 @@ impl Reactor {
             }
         }
 
+        // Control entries are swapped out of `self.shared` and
+        // processed from this buffer with the lock RELEASED: backend
+        // syscalls must not serialize register/arm/submit_write callers
+        // behind the mutex, and fail_watch's Abort drain re-enters the
+        // driver — which calls Reactor::deregister and hence takes
+        // `self.shared` again on this very thread (a self-deadlock if
+        // the lock were still held). The swap leaves the drained Vec's
+        // capacity behind for the producers.
+        let mut pending: Vec<Control> = Vec::new();
         loop {
-            {
-                let mut shared = self.shared.lock();
-                for ctl in shared.control.drain(..) {
-                    match ctl {
-                        Control::ReadInterest(fd, token, gen) => {
-                            if !self.is_live(token, gen) {
-                                continue; // raced with deregister
-                            }
-                            let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
-                            w.interest.read = true;
-                            let eff = w.effective();
-                            if poller.modify(fd, eff).is_err() {
-                                fail_watch(
-                                    &self,
-                                    &mut watches,
-                                    &mut fd_to_token,
-                                    &mut *poller,
-                                    token,
-                                );
-                            }
+            // Allow the next wake byte BEFORE taking the control batch:
+            // a producer that pushes after the swap below either sees
+            // the flag cleared and writes a byte, or loses the flag
+            // race to a producer whose byte is younger than this reset
+            // — either way the next `wait` wakes and re-reads control,
+            // so no registration waits out the backstop timeout.
+            self.wake_pending.store(false, Ordering::SeqCst);
+            std::mem::swap(&mut pending, &mut self.shared.lock().control);
+            for ctl in pending.drain(..) {
+                match ctl {
+                    Control::ReadInterest(fd, token, gen) => {
+                        if !self.is_live(token, gen) {
+                            continue; // raced with deregister
                         }
-                        Control::WriteInterest(fd, token, gen, drain) => {
-                            if !self.is_live(token, gen) {
-                                continue;
-                            }
-                            let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
-                            w.interest.write = true;
-                            w.drain = Some(drain);
-                            // A fresh drain supersedes any Busy backoff.
-                            w.parked_until = None;
-                            let eff = w.effective();
-                            if poller.modify(fd, eff).is_err() {
-                                fail_watch(
-                                    &self,
-                                    &mut watches,
-                                    &mut fd_to_token,
-                                    &mut *poller,
-                                    token,
-                                );
-                            }
+                        let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                        w.interest.read = true;
+                        let eff = w.effective();
+                        if poller.modify(fd, eff).is_err() {
+                            fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
                         }
-                        Control::Deregister(token) => {
-                            let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
+                    }
+                    Control::WriteInterest(fd, token, gen, drain) => {
+                        if !self.is_live(token, gen) {
+                            continue;
                         }
+                        let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                        w.interest.write = true;
+                        w.drain = Some(drain);
+                        // A fresh drain supersedes any Busy backoff.
+                        w.parked_until = None;
+                        let eff = w.effective();
+                        if poller.modify(fd, eff).is_err() {
+                            fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                        }
+                    }
+                    Control::Deregister(token) => {
+                        let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
                     }
                 }
             }
@@ -474,31 +497,52 @@ impl Reactor {
                     self.events_delivered.fetch_add(1, Ordering::Relaxed);
                     let _ = self.tx.send(DriverEvent::Readable(token));
                 }
-                if watch.interest.write && watch.parked_until.is_none() && ev.writable {
+                if watch.interest.write && ev.writable {
+                    // Busy-parked watches still reach here: ERR/HUP
+                    // cannot be masked on either backend. Running the
+                    // drain anyway means a broken connection fails its
+                    // write and retires the watch instead of bouncing
+                    // unmaskable hangup events for the whole park
+                    // window; a still-contended lock just re-parks.
+                    let was_parked = watch.parked_until.is_some();
                     let result = watch
                         .drain
                         .as_mut()
                         .map(|d| d(DrainCall::Drain))
                         .unwrap_or(DrainResult::Failed);
                     match result {
-                        DrainResult::Pending => {}
+                        DrainResult::Pending => {
+                            watch.parked_until = None;
+                        }
                         DrainResult::Busy => {
                             watch.parked_until = Some(Instant::now() + Duration::from_millis(5));
-                            parked.push(token);
+                            if !was_parked {
+                                parked.push(token);
+                            }
                         }
                         DrainResult::Complete | DrainResult::Failed => {
                             watch.interest.write = false;
                             watch.drain = None;
+                            watch.parked_until = None;
                         }
                     }
                 }
                 // The post-delivery re-arm: every reported fd ends its
                 // round with exactly one modify (or delete, when no
                 // interest remains) — the one-shot contract both
-                // backends rely on.
+                // backends rely on. A Busy park masks only the write
+                // side: armed read interest is re-armed immediately
+                // (`effective()` keeps write out), so a park never
+                // delays read delivery, and an ERR/HUP folded into
+                // readability is consumed by the one-shot Readable
+                // rather than spinning the backoff. A parked write-only
+                // watch is left disarmed — re-arming it would let the
+                // unmaskable hangup conditions spin the reactor through
+                // the park — and the unpark pass issues its modify when
+                // the park expires.
                 if !watch.interest.read && !watch.interest.write {
                     let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
-                } else {
+                } else if watch.parked_until.is_none() || watch.interest.read {
                     let eff = watch.effective();
                     let fd = watch.fd;
                     if poller.modify(fd, eff).is_err() {
@@ -678,6 +722,40 @@ mod tests {
                 "stop() must take and join the thread handle"
             );
         }
+    }
+
+    /// Regression: a refused backend registration (a regular-file fd
+    /// under epoll) fails the watch *after* the control lock is
+    /// released. The Abort drain re-enters the driver's remove path —
+    /// modelled here by calling `deregister` from inside the drain —
+    /// which takes `self.shared` on the reactor thread and used to
+    /// self-deadlock, hanging the reactor and `stop()` forever.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn refused_registration_aborts_drain_without_deadlock() {
+        let path = std::env::temp_dir().join("flux-net-epoll-refused.tmp");
+        let file = std::fs::File::create(&path).unwrap();
+        let (tx, _rx) = unbounded();
+        let reactor = Reactor::new(tx, PollerBackend::Epoll);
+        assert_eq!(reactor.backend_name(), "epoll");
+
+        let (done_tx, done_rx) = unbounded();
+        let inner = reactor.clone();
+        let drain: DrainFn = Box::new(move |call| {
+            if matches!(call, DrainCall::Abort) {
+                inner.deregister(9); // the driver's remove path re-enters here
+                let _ = done_tx.send(());
+            }
+            DrainResult::Failed
+        });
+        use std::os::fd::AsRawFd as _;
+        reactor.register_write(file.as_raw_fd(), 9, drain);
+        assert!(
+            done_rx.recv_timeout(Duration::from_secs(2)).is_ok(),
+            "abort drain never completed: reactor self-deadlocked on the control lock"
+        );
+        reactor.stop();
+        let _ = std::fs::remove_file(&path);
     }
 
     /// The backend chosen matches the request (with fallback resolved at

@@ -460,7 +460,13 @@ fn run_shard<P: Send + 'static>(
                             .stolen_batch
                             .fetch_add(batch.len() as u64, Ordering::Relaxed);
                         let mut q = set.shards[si].queue.lock();
-                        q.extend(batch);
+                        // Prepend: events routed here between the two
+                        // lock acquisitions are younger than the stolen
+                        // batch, so the batch goes in front to preserve
+                        // FIFO latency ordering.
+                        for ev in batch.into_iter().rev() {
+                            q.push_front(ev);
+                        }
                         let depth = q.len() as u64;
                         stats[si].enqueue(depth);
                         drop(q);
@@ -468,7 +474,14 @@ fn run_shard<P: Send + 'static>(
                         // so another idle shard notices the transferred
                         // backlog without waiting out its idle timeout
                         // (same rationale as ShardSet::enqueue's nudge).
-                        set.shards[(si + 1) % n].cond.notify_one();
+                        // Skip the victim `j` — it is saturated, not
+                        // idle — which with n == 2 leaves no one to
+                        // nudge.
+                        let t = (si + 1) % n;
+                        let t = if t == j { (si + 2) % n } else { t };
+                        if t != si {
+                            set.shards[t].cond.notify_one();
+                        }
                     }
                     next = Some(ev);
                     break;
