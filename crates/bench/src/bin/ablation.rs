@@ -23,10 +23,18 @@
 //!    poll(2) versus epoll(7) behind the same `Reactor`, swept over
 //!    connection counts — the regime where poll's O(watched fds) per
 //!    wakeup starts to tell. Writes `BENCH_poller_backends.json`.
+//! 8. **Hot path**: old per-event delivery and per-response allocation
+//!    versus the slab/batch/pool hot path (slot-indexed tables, one
+//!    queue lock per readiness burst, recycled payload buffers), on the
+//!    same slow-reader TCP web workload at {64, 256, 1024} connections.
+//!    Writes `BENCH_hot_path.json` with host_cores and thread-pinning
+//!    state alongside each point.
 //!
 //! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point); `FLUX_BENCH_ONLY`
 //! (comma-separated ablation numbers, e.g. `FLUX_BENCH_ONLY=7`, default
-//! all).
+//! all); `FLUX_BENCH_QUICK=1` shrinks ablation 8 to one small point per
+//! mode (seconds, not minutes — the CI smoke leg that catches hot-path
+//! compile or panic regressions without a full sweep).
 
 use flux_bench::{env_or, f, Table};
 use flux_core::model::ModelParams;
@@ -336,7 +344,10 @@ fn run_poller_backend(
     (report, name)
 }
 
-/// Minimal JSON encoder for the poller-backend record.
+/// Minimal JSON encoder for the poller-backend record. The
+/// 1024-connection points saturate the load generator itself on small
+/// hosts (1024 client threads against a 1–2 core container), so they
+/// are annotated as bounds on the *harness*, not the server.
 fn poller_backends_json(rows: &[(&'static str, usize, flux_bench::LoadReport)]) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -345,15 +356,134 @@ fn poller_backends_json(rows: &[(&'static str, usize, flux_bench::LoadReport)]) 
         "{{\n  \"bench\": \"poller_backends_web_slow_readers\",\n  \"host_cores\": {cores},\n  \"points\": [\n"
     );
     for (i, (backend, clients, r)) in rows.iter().enumerate() {
+        let note = if *clients >= 1024 {
+            ", \"note\": \"load-generator-bound: 1024 client threads saturate the bench host \
+             before the server; compare backends at 64-256 connections\""
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "    {{\"backend\": \"{}\", \"clients\": {}, \"rps\": {:.1}, \"mbps\": {:.2}, \
-             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}}}{}\n",
+             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}{}}}{}\n",
             backend,
             clients,
             r.rps(),
             r.mbps(),
             r.mean_latency.as_secs_f64() * 1e3,
             r.p95_latency.as_secs_f64() * 1e3,
+            note,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Ablation 8 (hot path): one mode of the old-vs-new sweep. `PerEvent`
+/// is the pre-slab behaviour (one event per poll, a fresh allocation
+/// per response and request head); `Batched` is the slab/batch/pool
+/// hot path. Same slow-reader TCP web workload as ablation 7, epoll
+/// backend (the Linux default) for both. Returns the load report plus
+/// the batch counters and pinning state recorded during the run.
+struct HotPathPoint {
+    report: flux_bench::LoadReport,
+    batches: u64,
+    batch_events: u64,
+    pinning: String,
+    reactor_pinned: bool,
+}
+
+fn run_hot_path(mode: flux_servers::web::HotPath, clients: usize, secs: f64) -> HotPathPoint {
+    use flux_net::{Listener as _, TcpAcceptor};
+    use std::sync::atomic::Ordering;
+
+    let mut docroot = flux_http::DocRoot::new();
+    let body: Vec<u8> = (0..256 * 1024).map(|i| (i % 253) as u8).collect();
+    docroot.insert("/chunk.bin", body);
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = acceptor.local_addr();
+    let server = flux_servers::ServerBuilder::new(
+        flux_servers::web::WebSpec::new(Box::new(acceptor), docroot).hot_path(mode),
+    )
+    .runtime(RuntimeKind::EventDriven {
+        shards: 2,
+        io_workers: 4,
+    })
+    .spawn();
+    let report = flux_bench::run_slow_reader_tcp_load(
+        &addr,
+        "/chunk.bin",
+        clients,
+        Duration::from_secs_f64(secs),
+        16 * 1024,
+        Duration::from_millis(1),
+    );
+    let stats = &server.handle.server().stats;
+    let (mut batches, mut batch_events) = (0u64, 0u64);
+    if let Some(shards) = stats.shard_stats() {
+        for s in shards.iter() {
+            batches += s.batches.load(Ordering::Relaxed);
+            batch_events += s.batch_events.load(Ordering::Relaxed);
+        }
+    }
+    let pinning = stats.pinning.describe();
+    let reactor_pinned = server.ctx.driver.reactor_pinned();
+    flux_servers::web::stop(server);
+    HotPathPoint {
+        report,
+        batches,
+        batch_events,
+        pinning,
+        reactor_pinned,
+    }
+}
+
+/// Minimal JSON encoder for the hot-path record: host_cores and the
+/// pinning state ride alongside every point, per the perf-record
+/// protocol (1-core containers cannot show parallel speedup, only
+/// lock/allocation removal).
+fn hot_path_json(rows: &[(&'static str, usize, HotPathPoint)]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"bench\": \"hot_path_web_slow_readers\",\n  \"host_cores\": {cores},\n  \"points\": [\n"
+    );
+    for (i, (mode, clients, p)) in rows.iter().enumerate() {
+        let mut notes: Vec<&str> = Vec::new();
+        if cores == 1 {
+            notes.push(
+                "1-core host: no parallel speedup available; deltas reflect \
+                 lock/hash/allocation removal only",
+            );
+        }
+        if *clients >= 1024 {
+            notes.push(
+                "load-generator-bound: 1024 client threads saturate the bench host \
+                 before the server; compare modes at 64-256 connections",
+            );
+        }
+        let note = if notes.is_empty() {
+            String::new()
+        } else {
+            format!(", \"note\": \"{}\"", notes.join("; "))
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"rps\": {:.1}, \"mbps\": {:.2}, \
+             \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \"batches\": {}, \"batch_events\": {}, \
+             \"host_cores\": {}, \"pinning\": \"{}\", \"reactor_pinned\": {}{}}}{}\n",
+            mode,
+            clients,
+            p.report.rps(),
+            p.report.mbps(),
+            p.report.mean_latency.as_secs_f64() * 1e3,
+            p.report.p95_latency.as_secs_f64() * 1e3,
+            p.batches,
+            p.batch_events,
+            cores,
+            p.pinning,
+            p.reactor_pinned,
+            note,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -600,12 +730,98 @@ fn main() {
             "# the watched-fd count tracks the client count: poll pays O(watched) per wakeup,"
         );
         println!("# epoll pays O(ready) — the gap opens as connections grow.");
+        println!(
+            "# NOTE: the 1024-connection points are load-generator-bound on small hosts (1024"
+        );
+        println!(
+            "# client threads saturate the bench host before the server); compare backends at"
+        );
+        println!("# 64-256 connections. The JSON carries the same annotation per point.");
         println!();
         let json = poller_backends_json(&pb_rows);
         let json_path = "BENCH_poller_backends.json";
         match std::fs::write(json_path, &json) {
             Ok(()) => eprintln!("# wrote {json_path}"),
             Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
+    }
+
+    if should(8) {
+        let quick = std::env::var("FLUX_BENCH_QUICK").as_deref() == Ok("1");
+        let (client_points, secs8): (&[usize], f64) = if quick {
+            // The CI smoke leg: one small point per mode, seconds total.
+            (&[16], secs.min(0.3))
+        } else {
+            (&[64, 256, 1024], secs)
+        };
+        let mut t8 = Table::new(
+            "Ablation 8: hot path — per-event vs slab/batch/pool (TCP slow readers, 256 KiB file)",
+            &[
+                "mode",
+                "clients",
+                "req_s",
+                "mbps",
+                "mean_ms",
+                "p95_ms",
+                "batch_events",
+                "pinning",
+            ],
+        );
+        let mut hp_rows: Vec<(&'static str, usize, HotPathPoint)> = Vec::new();
+        for &clients in client_points {
+            for (name, mode) in [
+                ("per_event", flux_servers::web::HotPath::PerEvent),
+                ("batched", flux_servers::web::HotPath::Batched),
+            ] {
+                let p = run_hot_path(mode, clients, secs8);
+                eprintln!(
+                    "# mode={name:<9} clients={clients:<5} {} req/s {} Mb/s p95 {:.3} ms \
+                     batch_events {} ({}; reactor_pinned {})",
+                    f(p.report.rps()),
+                    f(p.report.mbps()),
+                    p.report.p95_latency.as_secs_f64() * 1e3,
+                    p.batch_events,
+                    p.pinning,
+                    p.reactor_pinned,
+                );
+                t8.row(&[
+                    name.into(),
+                    clients.to_string(),
+                    f(p.report.rps()),
+                    f(p.report.mbps()),
+                    format!("{:.3}", p.report.mean_latency.as_secs_f64() * 1e3),
+                    format!("{:.3}", p.report.p95_latency.as_secs_f64() * 1e3),
+                    p.batch_events.to_string(),
+                    p.pinning.clone(),
+                ]);
+                hp_rows.push((name, clients, p));
+            }
+        }
+        print!("{}", t8.render());
+        println!();
+        println!("# per_event re-creates the pre-slab steady state: one channel op, one shard");
+        println!("# queue lock+notify and a fresh allocation per event/response. batched ships");
+        println!("# each reactor round as one recycled vector, appends it to shard queues under");
+        println!("# one lock, skips the notify when the shard is known-awake, and recycles");
+        println!("# response/request buffers through bounded pools.");
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            == 1
+        {
+            println!("# NOTE: 1-core host — no parallel speedup available; deltas reflect");
+            println!("# lock/hash/allocation removal only (recorded per point in the JSON).");
+        }
+        println!();
+        if !quick {
+            let json = hot_path_json(&hp_rows);
+            let json_path = "BENCH_hot_path.json";
+            match std::fs::write(json_path, &json) {
+                Ok(()) => eprintln!("# wrote {json_path}"),
+                Err(e) => eprintln!("# could not write {json_path}: {e}"),
+            }
+        } else {
+            eprintln!("# FLUX_BENCH_QUICK=1: smoke run, BENCH_hot_path.json left untouched");
         }
     }
 

@@ -145,6 +145,20 @@ impl Message {
         }
     }
 
+    /// Frames a `piece` reply straight into `out` (appended) without
+    /// building an owned [`Message::Piece`] first — the seeder's hot
+    /// path serializes into a pooled buffer, so serving a block
+    /// performs no allocation and no intermediate copy of the block
+    /// data.
+    pub fn encode_piece_into(index: u32, begin: u32, data: &[u8], out: &mut Vec<u8>) {
+        out.reserve(13 + data.len());
+        out.extend_from_slice(&(9 + data.len() as u32).to_be_bytes());
+        out.push(7);
+        out.extend_from_slice(&index.to_be_bytes());
+        out.extend_from_slice(&begin.to_be_bytes());
+        out.extend_from_slice(data);
+    }
+
     /// Reads one message (blocking).
     pub fn read_from(r: &mut dyn Read) -> io::Result<Message> {
         let mut len_buf = [0u8; 4];
@@ -244,6 +258,23 @@ mod tests {
             begin: 2,
             length: 3,
         });
+    }
+
+    /// The pooled-buffer fast path frames identically to the owned
+    /// `Message::Piece` encoding (and appends, preserving a prefix).
+    #[test]
+    fn encode_piece_into_matches_owned_encoding() {
+        let data = vec![42u8; 16384];
+        let owned = Message::Piece {
+            index: 3,
+            begin: 32768,
+            data: data.clone(),
+        }
+        .encode();
+        let mut buf = b"prefix".to_vec();
+        Message::encode_piece_into(3, 32768, &data, &mut buf);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], owned.as_slice());
     }
 
     #[test]

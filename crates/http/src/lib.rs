@@ -14,6 +14,6 @@ pub mod message;
 pub use content::{mime_for, DocRoot};
 pub use fluxscript::{eval as fxs_eval, render as fxs_render, ScriptError, Value};
 pub use message::{
-    percent_decode, read_request, read_response, sanitize_path, Method, ParseError, Request,
-    Response,
+    percent_decode, read_request, read_request_buffered, read_response, sanitize_path, Method,
+    ParseError, Request, Response,
 };

@@ -109,8 +109,17 @@ impl From<io::Error> for ParseError {
 
 /// Reads and parses one request from `r`.
 pub fn read_request(r: &mut dyn Read) -> Result<Request, ParseError> {
-    // Accumulate until the blank line.
     let mut head = Vec::with_capacity(512);
+    read_request_buffered(r, &mut head)
+}
+
+/// Like [`read_request`], but accumulates the request head into a
+/// caller-supplied buffer (cleared first). Keep-alive servers pass a
+/// per-connection scratch buffer so steady-state request parsing reuses
+/// one allocation across every request on the connection.
+pub fn read_request_buffered(r: &mut dyn Read, head: &mut Vec<u8>) -> Result<Request, ParseError> {
+    // Accumulate until the blank line.
+    head.clear();
     let mut byte = [0u8; 1];
     loop {
         match r.read(&mut byte) {
@@ -134,8 +143,7 @@ pub fn read_request(r: &mut dyn Read) -> Result<Request, ParseError> {
             Err(e) => return Err(ParseError::Io(e)),
         }
     }
-    let head_str =
-        std::str::from_utf8(&head).map_err(|_| ParseError::Malformed("non-utf8 head"))?;
+    let head_str = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("non-utf8 head"))?;
     let mut lines = head_str.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
     let mut parts = request_line.split_whitespace();

@@ -16,11 +16,27 @@
 //!   every transport that exposes a raw file descriptor (TCP). One
 //!   reactor thread serves *all* registered sockets over the configured
 //!   [`crate::poller::Poller`] backend (`poll(2)`, or `epoll(7)` — the
-//!   Linux default; see [`NetConfig`]) — the seed's
-//!   one-helper-thread-per-connection readiness path is gone, and with
-//!   it the hidden thread-per-connection scaling cliff. A per-connection
-//!   helper thread survives only as a fallback for hypothetical
-//!   transports with neither watch support nor a file descriptor.
+//!   Linux default; see [`NetConfig`]).
+//!
+//! **The hot path is slab-indexed and batched.** A [`Token`] encodes a
+//! `(slot, generation)` pair ([`token_slot`]/[`token_gen`]): the
+//! connection table is a slab of per-slot locks, so looking a token up
+//! costs one shared read of the slot vector plus one uncontended
+//! per-slot mutex — no global `Mutex<HashMap>` and no hashing — and a
+//! `submit_write` on one connection never contends with another
+//! connection's event dispatch. The generation in the token makes
+//! stale handles safe: a removed token's generation never matches the
+//! slot again (the slot's generation advances on every reuse), so a
+//! late `get`/`submit_write`/`arm` against a closed connection is a
+//! clean `None`/`false`, never a hit on the slot's next tenant.
+//!
+//! Readiness events travel in **batches**: the reactor ships one
+//! recycled `Vec<DriverEvent>` per `wait` round and consumers drain it
+//! through [`ConnDriver::next_events`], so a burst of N ready sockets
+//! costs one channel transfer instead of N — the runtime's
+//! `route_home_batch` then appends the whole batch to a shard queue
+//! under one lock. [`ConnDriver::next_event`] remains for
+//! one-at-a-time consumers (and is how non-batching servers poll).
 //!
 //! Read watches are one-shot: after a `Readable` event the connection is
 //! quiescent until [`ConnDriver::arm`] is called again (the web server's
@@ -34,8 +50,13 @@
 //! non-blocking writes until the buffer empties (`WriteDone`) or the
 //! connection breaks (`WriteFailed`, after which the connection is
 //! removed). `Write` nodes therefore never occupy an I/O worker thread
-//! or hold a session lock across a send. [`ConnDriver::remove_when_flushed`]
-//! defers a close until every queued byte has drained, and
+//! or hold a session lock across a send. [`ConnDriver::submit_write_buf`]
+//! is the pooled variant: the payload `Vec` (checked out with
+//! [`ConnDriver::take_write_buf`]) is recycled through a bounded
+//! [`crate::pool::BytePool`] as soon as the transport has taken or
+//! buffered the bytes, so steady-state response serialization performs
+//! no heap allocation. [`ConnDriver::remove_when_flushed`] defers a
+//! close until every queued byte has drained, and
 //! [`ConnDriver::set_max_pending_out`] bounds each connection's buffer
 //! (replacing the blocking path's socket-buffer backpressure) so a peer
 //! that never reads cannot grow server memory without limit.
@@ -45,16 +66,40 @@
 //! on bounded timeouts), so no driver thread can outlive the server and
 //! fire into a dropped channel.
 
+use crate::pool::{BatchPool, BytePool};
 use crate::traits::{Conn, Listener, WriteProgress};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A registered connection's identity.
+/// A registered connection's identity: `(generation << 32) | slot`.
+/// The slot indexes the driver's connection slab; the generation
+/// distinguishes successive tenants of the same slot, so a stale token
+/// can never alias a newer connection (see [`token_slot`]).
 pub type Token = u64;
+
+/// The slab slot a token addresses (low 32 bits).
+#[inline]
+pub fn token_slot(token: Token) -> usize {
+    (token & 0xFFFF_FFFF) as usize
+}
+
+/// The registration generation a token carries (high 32 bits). The
+/// driver's slots start at generation 1, so tokens it issues are
+/// always `> u32::MAX`; small literal tokens (tests, synthetic timer
+/// events) carry generation 0 and can never match a live slot.
+#[inline]
+pub fn token_gen(token: Token) -> u32 {
+    (token >> 32) as u32
+}
+
+#[inline]
+fn make_token(slot: u32, gen: u32) -> Token {
+    ((gen as u64) << 32) | slot as u64
+}
 
 /// Network-layer configuration, consumed by [`ConnDriver::with_config`]
 /// and carried by `flux_servers::ServerBuilder` so every server,
@@ -99,6 +144,14 @@ pub enum DriverEvent {
     WriteFailed(Token),
 }
 
+/// What travels on the driver's event channel: the reactor ships one
+/// recycled batch per `wait` round; everything else (accepts, mem-watch
+/// callbacks, write completions) sends single events.
+pub(crate) enum Delivery {
+    One(DriverEvent),
+    Batch(Vec<DriverEvent>),
+}
+
 /// A shared handle to a registered connection. Nodes lock it for the
 /// duration of one read/write interaction.
 pub type SharedConn = Arc<Mutex<Box<dyn Conn>>>;
@@ -120,30 +173,54 @@ pub struct DriverCounters {
     pub writes_failed: AtomicU64,
 }
 
-/// Per-token bookkeeping for in-flight submitted writes.
+/// One slab slot's state, behind its own lock. `gen` is written only
+/// here (under the lock), so every token check is consistent with the
+/// conn/write state it guards.
 #[derive(Default)]
-struct WriteState {
+struct SlotState {
+    /// Generation of the current (or, while the slot is free, the most
+    /// recent) registration. Advances on every [`ConnDriver::add`], so
+    /// a removed token can only false-match after 2^32 reuses of one
+    /// slot — and even then only while the slot is empty, where every
+    /// operation still observes `conn: None`.
+    gen: u32,
+    conn: Option<SharedConn>,
     /// Submissions whose bytes are still (partially) buffered.
     submissions: u64,
     /// Close the connection once the buffer drains
     /// ([`ConnDriver::remove_when_flushed`]).
     close_after: bool,
+    /// Per-connection read scratch, reused across requests (see
+    /// [`ConnDriver::take_read_buf`]).
+    scratch: Vec<u8>,
 }
+
+type ConnSlot = Mutex<SlotState>;
 
 /// Multiplexes connection readiness into a single event stream.
 pub struct ConnDriver {
-    tx: Sender<DriverEvent>,
-    rx: Receiver<DriverEvent>,
-    conns: Mutex<HashMap<Token, SharedConn>>,
-    /// In-flight write submissions per token. Mutated only while the
-    /// token's connection lock is held, which serializes enqueues,
-    /// drains and completion accounting per connection.
-    writes: Mutex<HashMap<Token, WriteState>>,
+    tx: Sender<Delivery>,
+    rx: Receiver<Delivery>,
+    /// Events unpacked from deliveries, awaiting a consumer. Batches
+    /// are recycled into `event_batches` the moment they are unpacked.
+    pending: Mutex<VecDeque<DriverEvent>>,
+    /// The connection slab: grow-only vector of per-slot locks. The
+    /// outer `RwLock` is write-locked only to grow; every steady-state
+    /// lookup takes the shared read path plus one per-slot mutex.
+    slots: RwLock<Vec<Arc<ConnSlot>>>,
+    /// Slots available for reuse. A slot is pushed here only after its
+    /// reactor watch is deregistered, so a new tenant can never race a
+    /// stale watch on the same slot.
+    free_slots: Mutex<Vec<u32>>,
+    conn_count: AtomicUsize,
     counters: Arc<DriverCounters>,
+    /// Recycled payload buffers for [`ConnDriver::submit_write_buf`].
+    write_bufs: BytePool,
+    /// Recycled event vectors for the reactor's per-round batches.
+    event_batches: Arc<BatchPool<DriverEvent>>,
     /// Per-connection output-buffer bound (see
     /// [`ConnDriver::set_max_pending_out`]).
-    max_pending_out: std::sync::atomic::AtomicUsize,
-    next_token: AtomicU64,
+    max_pending_out: AtomicUsize,
     stopping: AtomicBool,
     /// Acceptor and fallback-watch threads, joined by [`ConnDriver::stop`].
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -174,16 +251,24 @@ impl ConnDriver {
     /// `flux_servers::ServerBuilder` takes.
     pub fn with_config(config: &NetConfig) -> Self {
         let (tx, rx) = unbounded();
+        let event_batches = Arc::new(BatchPool::new(8));
         ConnDriver {
             #[cfg(unix)]
-            reactor: crate::reactor::Reactor::new(tx.clone(), config.backend),
+            reactor: crate::reactor::Reactor::new(
+                tx.clone(),
+                event_batches.clone(),
+                config.backend,
+            ),
             tx,
             rx,
-            conns: Mutex::new(HashMap::new()),
-            writes: Mutex::new(HashMap::new()),
+            pending: Mutex::new(VecDeque::new()),
+            slots: RwLock::new(Vec::new()),
+            free_slots: Mutex::new(Vec::new()),
+            conn_count: AtomicUsize::new(0),
             counters: Arc::new(DriverCounters::default()),
-            max_pending_out: std::sync::atomic::AtomicUsize::new(config.max_pending_out),
-            next_token: AtomicU64::new(1),
+            write_bufs: BytePool::default(),
+            event_batches,
+            max_pending_out: AtomicUsize::new(config.max_pending_out),
             stopping: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             drain_tx: Mutex::new(None),
@@ -203,17 +288,57 @@ impl ConnDriver {
         }
     }
 
+    /// True when the reactor thread pinned itself to a core (multi-core
+    /// hosts with `FLUX_PIN` unset; see [`crate::affinity`]).
+    #[cfg(unix)]
+    pub fn reactor_pinned(&self) -> bool {
+        self.reactor.pinned()
+    }
+
+    fn send_one(&self, ev: DriverEvent) {
+        let _ = self.tx.send(Delivery::One(ev));
+    }
+
+    /// The per-slot lock for a token's slot, if the slot exists. The
+    /// generation is checked by callers under the slot lock.
+    fn slot_arc(&self, token: Token) -> Option<Arc<ConnSlot>> {
+        self.slots.read().get(token_slot(token)).cloned()
+    }
+
     /// Registers an existing connection, returning its token. No
     /// readiness watch is armed until [`ConnDriver::arm`].
     pub fn add(&self, conn: Box<dyn Conn>) -> Token {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        self.conns.lock().insert(token, Arc::new(Mutex::new(conn)));
-        token
+        let (idx, slot) = match self.free_slots.lock().pop() {
+            Some(i) => (i, self.slots.read()[i as usize].clone()),
+            None => {
+                let mut slots = self.slots.write();
+                let i = slots.len() as u32;
+                let s: Arc<ConnSlot> = Arc::new(Mutex::new(SlotState::default()));
+                slots.push(s.clone());
+                (i, s)
+            }
+        };
+        let gen = {
+            let mut st = slot.lock();
+            debug_assert!(st.conn.is_none(), "free slot must be empty");
+            st.gen = st.gen.wrapping_add(1).max(1);
+            st.conn = Some(Arc::new(Mutex::new(conn)));
+            st.submissions = 0;
+            st.close_after = false;
+            st.gen
+        };
+        self.conn_count.fetch_add(1, Ordering::Relaxed);
+        make_token(idx, gen)
     }
 
     /// The shared handle for `token`.
     pub fn get(&self, token: Token) -> Option<SharedConn> {
-        self.conns.lock().get(&token).cloned()
+        let slot = self.slot_arc(token)?;
+        let st = slot.lock();
+        if st.gen != token_gen(token) {
+            return None;
+        }
+        st.conn.clone()
     }
 
     /// Removes (closes) the connection. The reactor watch is
@@ -221,42 +346,46 @@ impl ConnDriver {
     /// since the caller still holds the `SharedConn` being returned — so
     /// a kernel-reused fd can never be polled under the stale token.
     /// Pending write submissions are failed (one `WriteFailed` each), so
-    /// `submit_write`'s one-completion-per-call contract holds.
+    /// `submit_write`'s one-completion-per-call contract holds. The slot
+    /// returns to the free list only after the deregistration, so its
+    /// next tenant can never race the stale watch.
     pub fn remove(&self, token: Token) -> Option<SharedConn> {
-        // Order matters: once the conn leaves the map, no new
-        // `submit_write` can pass its `get` (and one already past it
-        // catches the removal in its own re-validation), so failing the
-        // write state *after* removing the conn cannot strand a
-        // submission that lands in between.
-        let conn = self.conns.lock().remove(&token);
-        if let Some(st) = self.writes.lock().remove(&token) {
-            if st.submissions > 0 {
-                self.counters
-                    .writes_failed
-                    .fetch_add(st.submissions, Ordering::Relaxed);
-                for _ in 0..st.submissions {
-                    let _ = self.tx.send(DriverEvent::WriteFailed(token));
-                }
+        let slot = self.slot_arc(token)?;
+        let (conn, failed) = {
+            let mut st = slot.lock();
+            if st.gen != token_gen(token) {
+                return None;
+            }
+            let conn = st.conn.take()?;
+            let failed = st.submissions;
+            st.submissions = 0;
+            st.close_after = false;
+            (conn, failed)
+        };
+        self.conn_count.fetch_sub(1, Ordering::Relaxed);
+        if failed > 0 {
+            self.counters
+                .writes_failed
+                .fetch_add(failed, Ordering::Relaxed);
+            for _ in 0..failed {
+                self.send_one(DriverEvent::WriteFailed(token));
             }
         }
         #[cfg(unix)]
-        if conn.is_some() {
-            self.reactor.deregister(token);
-        }
-        conn
+        self.reactor.deregister(token);
+        self.free_slots.lock().push(token_slot(token) as u32);
+        Some(conn)
     }
 
     /// Removes the connection once every submitted write has drained:
     /// immediately when nothing is buffered, otherwise after the reactor
     /// delivers the final `WriteDone`.
     pub fn remove_when_flushed(&self, token: Token) {
-        {
-            let mut writes = self.writes.lock();
-            if let Some(st) = writes.get_mut(&token) {
-                if st.submissions > 0 {
-                    st.close_after = true;
-                    return;
-                }
+        if let Some(slot) = self.slot_arc(token) {
+            let mut st = slot.lock();
+            if st.gen == token_gen(token) && st.conn.is_some() && st.submissions > 0 {
+                st.close_after = true;
+                return;
             }
         }
         self.remove(token);
@@ -264,12 +393,12 @@ impl ConnDriver {
 
     /// Number of registered connections.
     pub fn len(&self) -> usize {
-        self.conns.lock().len()
+        self.conn_count.load(Ordering::Relaxed)
     }
 
     /// True when no connections are registered.
     pub fn is_empty(&self) -> bool {
-        self.conns.lock().is_empty()
+        self.len() == 0
     }
 
     /// Driver-level counters (accept retries, write-path traffic).
@@ -290,8 +419,55 @@ impl ConnDriver {
     /// fails and the connection is removed, so a peer that never reads
     /// cannot grow server memory without bound.
     pub fn set_max_pending_out(&self, bytes: usize) {
-        self.max_pending_out
-            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+        self.max_pending_out.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Checks out a recycled payload buffer. Serialize a response into
+    /// it and hand it back through [`ConnDriver::submit_write_buf`]; the
+    /// pool bounds how many (and how large) buffers stay resident.
+    pub fn take_write_buf(&self) -> Vec<u8> {
+        self.write_bufs.take()
+    }
+
+    /// Like [`ConnDriver::submit_write`], but recycles the payload
+    /// buffer into the driver's pool once the transport has taken (or
+    /// buffered) the bytes — `enqueue_write` copies only the unwritten
+    /// tail, so the buffer is reusable the moment the submit returns.
+    pub fn submit_write_buf(self: &Arc<Self>, token: Token, buf: Vec<u8>) -> bool {
+        let ok = self.submit_write(token, &buf);
+        self.write_bufs.put(buf);
+        ok
+    }
+
+    /// Takes the connection's read scratch buffer (empty on first use).
+    /// Request parsers reuse it across every request on the connection;
+    /// return it with [`ConnDriver::put_read_buf`].
+    pub fn take_read_buf(&self, token: Token) -> Vec<u8> {
+        match self.slot_arc(token) {
+            Some(slot) => {
+                let mut st = slot.lock();
+                if st.gen == token_gen(token) {
+                    std::mem::take(&mut st.scratch)
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a read scratch buffer to its connection slot (dropped if
+    /// the connection is gone or the buffer grew past 256 KiB).
+    pub fn put_read_buf(&self, token: Token, buf: Vec<u8>) {
+        if buf.capacity() > 256 * 1024 {
+            return;
+        }
+        if let Some(slot) = self.slot_arc(token) {
+            let mut st = slot.lock();
+            if st.gen == token_gen(token) && st.conn.is_some() {
+                st.scratch = buf;
+            }
+        }
     }
 
     /// Queues `bytes` for transmission on `token` without blocking.
@@ -304,8 +480,18 @@ impl ConnDriver {
     /// [`ConnDriver::set_max_pending_out`] — the connection is removed
     /// (which fails any earlier still-pending submissions too).
     pub fn submit_write(self: &Arc<Self>, token: Token, bytes: &[u8]) -> bool {
-        let Some(shared) = self.get(token) else {
+        let Some(slot) = self.slot_arc(token) else {
             return false;
+        };
+        let shared = {
+            let st = slot.lock();
+            if st.gen != token_gen(token) {
+                return false;
+            }
+            match &st.conn {
+                Some(c) => c.clone(),
+                None => return false,
+            }
         };
         self.counters
             .writes_submitted
@@ -314,9 +500,7 @@ impl ConnDriver {
         // bookkeeping below, so a reactor drain completing concurrently
         // cannot retire this submission before its bytes are buffered.
         let mut conn = shared.lock();
-        let cap = self
-            .max_pending_out
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let cap = self.max_pending_out.load(Ordering::Relaxed);
         if conn.pending_out().saturating_add(bytes.len()) > cap {
             drop(conn);
             self.finish_writes(token, 1, false);
@@ -331,23 +515,37 @@ impl ConnDriver {
                 self.counters
                     .write_would_block
                     .fetch_add(1, Ordering::Relaxed);
+                // Record the pending submission under the slot lock; a
+                // concurrent `remove` either sees it (and fails it) or
+                // already emptied the slot (we fail it ourselves).
                 let first_pending = {
-                    let mut writes = self.writes.lock();
-                    let st = writes.entry(token).or_default();
-                    st.submissions += 1;
-                    st.submissions == 1
+                    let mut st = slot.lock();
+                    if st.gen == token_gen(token) && st.conn.is_some() {
+                        st.submissions += 1;
+                        Some(st.submissions == 1)
+                    } else {
+                        None
+                    }
                 };
-                if first_pending {
-                    self.arm_drain(&mut conn, &shared, token);
-                }
-                drop(conn);
-                // A concurrent `remove` between our `get` and the watch
-                // registration above could not see the watch or the
-                // write state; re-validate and clean both up ourselves.
-                if self.get(token).is_none() {
-                    #[cfg(unix)]
-                    self.reactor.deregister(token);
-                    self.finish_writes(token, 0, false);
+                match first_pending {
+                    None => {
+                        drop(conn);
+                        self.finish_writes(token, 1, false);
+                    }
+                    Some(first) => {
+                        if first {
+                            self.arm_drain(&mut conn, &shared, token);
+                        }
+                        drop(conn);
+                        // A concurrent `remove` between the bookkeeping
+                        // and the watch registration above could not see
+                        // the watch; re-validate and clean up ourselves.
+                        if self.get(token).is_none() {
+                            #[cfg(unix)]
+                            self.reactor.deregister(token);
+                            self.finish_writes(token, 0, false);
+                        }
+                    }
                 }
                 true
             }
@@ -424,12 +622,20 @@ impl ConnDriver {
     /// failed), emitting one completion event per submission. Callers
     /// hold the connection lock, which orders completions with enqueues.
     fn finish_writes(&self, token: Token, extra: u64, ok: bool) {
-        let (n, close_after) = {
-            let mut writes = self.writes.lock();
-            match writes.remove(&token) {
-                Some(st) => (st.submissions + extra, st.close_after),
-                None => (extra, false),
+        let (n, close_after) = match self.slot_arc(token) {
+            Some(slot) => {
+                let mut st = slot.lock();
+                if st.gen == token_gen(token) {
+                    let n = st.submissions;
+                    st.submissions = 0;
+                    let ca = st.close_after;
+                    st.close_after = false;
+                    (n + extra, ca)
+                } else {
+                    (extra, false)
+                }
             }
+            None => (extra, false),
         };
         let (event, counter): (fn(Token) -> DriverEvent, _) = if ok {
             (DriverEvent::WriteDone, &self.counters.writes_drained)
@@ -438,7 +644,7 @@ impl ConnDriver {
         };
         counter.fetch_add(n, Ordering::Relaxed);
         for _ in 0..n {
-            let _ = self.tx.send(event(token));
+            self.send_one(event(token));
         }
         if close_after || !ok {
             self.remove(token);
@@ -522,7 +728,7 @@ impl ConnDriver {
             conn.set_read_watch(Box::new({
                 let tx = tx.clone();
                 move || {
-                    let _ = tx.send(DriverEvent::Readable(token));
+                    let _ = tx.send(Delivery::One(DriverEvent::Readable(token)));
                 }
             }))
         };
@@ -554,7 +760,7 @@ impl ConnDriver {
         self: &Arc<Self>,
         shared: SharedConn,
         token: Token,
-        tx: Sender<DriverEvent>,
+        tx: Sender<Delivery>,
     ) {
         let this = self.clone();
         let clone = {
@@ -563,7 +769,7 @@ impl ConnDriver {
         };
         self.spawn_tracked("flux-net-watch", move || {
             let Ok(conn) = clone else {
-                let _ = tx.send(DriverEvent::Readable(token));
+                let _ = tx.send(Delivery::One(DriverEvent::Readable(token)));
                 return;
             };
             loop {
@@ -572,12 +778,12 @@ impl ConnDriver {
                 }
                 match conn.wait_readable(Some(Duration::from_millis(100))) {
                     Ok(true) => {
-                        let _ = tx.send(DriverEvent::Readable(token));
+                        let _ = tx.send(Delivery::One(DriverEvent::Readable(token)));
                         return;
                     }
                     Ok(false) => continue,
                     Err(_) => {
-                        let _ = tx.send(DriverEvent::Readable(token));
+                        let _ = tx.send(Delivery::One(DriverEvent::Readable(token)));
                         return;
                     }
                 }
@@ -624,7 +830,7 @@ impl ConnDriver {
                     Ok(conn) => {
                         backoff = Duration::from_millis(10);
                         let token = this.add(conn);
-                        let _ = this.tx.send(DriverEvent::Incoming(token));
+                        this.send_one(DriverEvent::Incoming(token));
                     }
                     Err(e) if e.kind() == ErrorKind::TimedOut => continue,
                     Err(e)
@@ -656,17 +862,63 @@ impl ConnDriver {
         });
     }
 
+    /// Moves one delivery (plus anything else already queued) from the
+    /// channel into `pending`. Called with the pending lock held.
+    fn refill(&self, pending: &mut VecDeque<DriverEvent>, timeout: Duration) {
+        match self.rx.recv_timeout(timeout) {
+            Ok(d) => self.unpack(d, pending),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Greedy: pull whatever else the producers already queued so a
+        // burst is unpacked once, not one channel op per event. Bounded
+        // so a firehose producer cannot pin the consumer here.
+        while pending.len() < 4096 {
+            match self.rx.try_recv() {
+                Ok(d) => self.unpack(d, pending),
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn unpack(&self, d: Delivery, pending: &mut VecDeque<DriverEvent>) {
+        match d {
+            Delivery::One(ev) => pending.push_back(ev),
+            Delivery::Batch(mut batch) => {
+                pending.extend(batch.drain(..));
+                self.event_batches.put(batch);
+            }
+        }
+    }
+
     /// Next readiness event, or `None` on timeout.
     pub fn next_event(&self, timeout: Duration) -> Option<DriverEvent> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(ev) => Some(ev),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        let mut pending = self.pending.lock();
+        if let Some(ev) = pending.pop_front() {
+            return Some(ev);
         }
+        self.refill(&mut pending, timeout);
+        pending.pop_front()
+    }
+
+    /// Appends up to `max` ready events to `out`, blocking up to
+    /// `timeout` for the first one; returns how many were delivered.
+    /// This is the batched consumer path: one call drains a whole
+    /// reactor round (plus any accepts/completions queued around it),
+    /// so batch-aware sources can submit the lot to the runtime in one
+    /// shard-queue append.
+    pub fn next_events(&self, out: &mut Vec<DriverEvent>, max: usize, timeout: Duration) -> usize {
+        let mut pending = self.pending.lock();
+        if pending.is_empty() {
+            self.refill(&mut pending, timeout);
+        }
+        let n = pending.len().min(max);
+        out.extend(pending.drain(..n));
+        n
     }
 
     /// Injects a synthetic event (used by timer sources).
     pub fn inject(&self, ev: DriverEvent) {
-        let _ = self.tx.send(ev);
+        self.send_one(ev);
     }
 
     /// Stops and **joins** the acceptor, reactor and watcher threads.
@@ -691,7 +943,17 @@ impl ConnDriver {
                 let _ = h.join();
             }
         }
-        let tokens: Vec<Token> = self.conns.lock().keys().copied().collect();
+        let tokens: Vec<Token> = {
+            let slots = self.slots.read();
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    let st = slot.lock();
+                    st.conn.as_ref().map(|_| make_token(i as u32, st.gen))
+                })
+                .collect()
+        };
         for token in tokens {
             drop(self.remove(token));
         }
@@ -765,6 +1027,75 @@ mod tests {
         assert!(driver.remove(t).is_some());
         assert!(driver.is_empty());
         assert!(driver.get(t).is_none());
+        assert!(driver.remove(t).is_none(), "double remove is a no-op");
+    }
+
+    /// The slab reuses slots, but never tokens: a removed token's
+    /// generation can't match the slot's next tenant.
+    #[test]
+    fn slot_reuse_never_aliases_tokens() {
+        let driver = Arc::new(ConnDriver::new());
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..100 {
+            let (a, _b) = crate::mem::MemConn::pair();
+            let t = driver.add(Box::new(a));
+            assert!(seen.insert(t), "token {t} reissued (round {round})");
+            assert_eq!(token_slot(t), 0, "single live conn reuses slot 0");
+            assert!(driver.get(t).is_some());
+            driver.remove(t);
+            assert!(driver.get(t).is_none(), "stale token resolves to nothing");
+        }
+        // Every retired token still resolves to nothing.
+        let (a, _b) = crate::mem::MemConn::pair();
+        let live = driver.add(Box::new(a));
+        for &t in &seen {
+            assert!(driver.get(t).is_none(), "stale {t} must not see {live}");
+        }
+        assert!(driver.get(live).is_some());
+    }
+
+    /// Model check of the slab table: random interleavings of
+    /// add/remove/get agree with a HashMap reference, stale gets
+    /// included (the generation check subsumes the old `live` map).
+    mod slab_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn slab_matches_model_under_random_ops(seed in 0u64..1_000_000) {
+                let mut rng = proptest::test_rng(&format!("slab-{seed}"));
+                let driver = Arc::new(ConnDriver::new());
+                let mut model: std::collections::HashMap<Token, bool> =
+                    std::collections::HashMap::new(); // token -> live
+                let mut live: Vec<Token> = Vec::new();
+                for _ in 0..200 {
+                    match rng.next_u64() % 3 {
+                        0 => {
+                            let (a, _b) = crate::mem::MemConn::pair();
+                            let t = driver.add(Box::new(a));
+                            prop_assert!(model.insert(t, true).is_none(), "token reissued");
+                            live.push(t);
+                        }
+                        1 if !live.is_empty() => {
+                            let i = (rng.next_u64() as usize) % live.len();
+                            let t = live.swap_remove(i);
+                            prop_assert!(driver.remove(t).is_some());
+                            model.insert(t, false);
+                        }
+                        _ => {
+                            for (&t, &alive) in model.iter() {
+                                prop_assert_eq!(driver.get(t).is_some(), alive,
+                                    "get({}) disagrees with model", t);
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(driver.len(), live.len());
+            }
+        }
     }
 
     #[test]
@@ -774,6 +1105,35 @@ mod tests {
         assert_eq!(
             driver.next_event(Duration::from_millis(10)),
             Some(DriverEvent::Readable(99))
+        );
+    }
+
+    /// `next_events` drains a burst in one call, preserving order.
+    #[test]
+    fn next_events_returns_a_batch() {
+        let driver = ConnDriver::new();
+        for i in 0..5 {
+            driver.inject(DriverEvent::Readable(i));
+        }
+        let mut out = Vec::new();
+        let n = driver.next_events(&mut out, 3, Duration::from_millis(50));
+        assert_eq!(n, 3, "bounded by max");
+        assert_eq!(
+            out,
+            vec![
+                DriverEvent::Readable(0),
+                DriverEvent::Readable(1),
+                DriverEvent::Readable(2)
+            ]
+        );
+        out.clear();
+        let n = driver.next_events(&mut out, 16, Duration::from_millis(50));
+        assert_eq!(n, 2, "remainder of the burst");
+        out.clear();
+        assert_eq!(
+            driver.next_events(&mut out, 16, Duration::from_millis(20)),
+            0,
+            "timeout on empty queue"
         );
     }
 
@@ -864,6 +1224,32 @@ mod tests {
         assert_eq!(&buf, b"response");
         assert_eq!(driver.counters().writes_drained.load(Ordering::Relaxed), 1);
         assert_eq!(driver.pending_out(token), 0);
+        driver.stop();
+    }
+
+    /// The pooled submit path delivers the same bytes and recycles the
+    /// payload buffer for the next response.
+    #[test]
+    fn submit_write_buf_recycles_the_payload() {
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+        let mut client = net.connect("srv").unwrap();
+        let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+        else {
+            panic!()
+        };
+        let mut buf = driver.take_write_buf();
+        buf.extend_from_slice(b"pooled");
+        let cap = buf.capacity();
+        assert!(driver.submit_write_buf(token, buf));
+        let recycled = driver.take_write_buf();
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.capacity(), cap, "payload buffer was recycled");
+        let mut got = [0u8; 6];
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"pooled");
         driver.stop();
     }
 

@@ -23,27 +23,65 @@
 //!   are enforced here once, above the backend;
 //! * **poller** — the syscall-facing core, behind the [`Poller`] trait
 //!   (`add`/`modify`/`delete`/`wait` over interest-tagged fds): a
-//!   portable `poll(2)` backend (O(watched) per wakeup) and a raw-FFI
-//!   `epoll(7)` backend (O(ready) per wakeup, one-shot re-arm), the
-//!   Linux default. `FLUX_POLLER=poll|epoll` selects at runtime; both
+//!   portable `poll(2)` backend (interest maintained incrementally, so
+//!   a wait costs O(changes) in bookkeeping, O(watched) only in the
+//!   kernel scan poll(2) inherently pays) and a raw-FFI `epoll(7)`
+//!   backend (O(ready) per wakeup, one-shot re-arm), the Linux
+//!   default. `FLUX_POLLER=poll|epoll` selects at runtime; both
 //!   backends pass the same conformance suite in `tests/`. Future
 //!   kqueue/io_uring backends slot in behind the same four methods.
+//!
+//! ## The allocation-free hot path (slabs, batches, pools)
+//!
+//! The steady-state event path — socket ready → event delivered → flow
+//! dispatched → response enqueued — performs no hashing, no global
+//! lock and no heap allocation:
+//!
+//! * **Slab tables.** A [`Token`] encodes `(slot, generation)`
+//!   ([`token_slot`]/[`token_gen`]). The driver's connection table is a
+//!   slab of per-slot locks (no `Mutex<HashMap>`), and the reactor's
+//!   watch table, fd map and liveness table are plain vectors indexed
+//!   by slot and fd. The generation check — one atomic load against a
+//!   per-slot cell — subsumes the old liveness `HashMap`: a stale
+//!   token can never observe the slot's next tenant, which is the
+//!   fd-reuse safety invariant PR 2 introduced, now O(1) and lock-free
+//!   on the delivery path.
+//! * **Batched delivery.** One backend `wait` round yields a batch of
+//!   ready fds; the reactor ships the whole round as a single recycled
+//!   `Vec<DriverEvent>` and consumers drain it via
+//!   [`ConnDriver::next_events`] — one channel transfer and (in the
+//!   runtime) one shard-queue lock per round instead of per event.
+//! * **Buffer pooling.** Response payloads are serialized into buffers
+//!   checked out of a bounded [`pool::BytePool`]
+//!   ([`ConnDriver::take_write_buf`]/[`ConnDriver::submit_write_buf`])
+//!   and recycled after the transport takes the bytes; per-connection
+//!   read scratch ([`ConnDriver::take_read_buf`]) is reused across all
+//!   requests on a keep-alive connection.
+//!
+//! On multi-core hosts the reactor thread pins itself to a core
+//! ([`affinity`]; opt out with `FLUX_PIN=0`), matching the runtime's
+//! pinned dispatcher shards.
 
+pub mod affinity;
 pub mod driver;
 pub mod mem;
 #[cfg(unix)]
 pub mod poller;
+pub mod pool;
 pub mod reactor;
 pub mod shaper;
 pub mod tcp;
 pub mod traits;
 
-pub use driver::{ConnDriver, DriverCounters, DriverEvent, NetConfig, SharedConn, Token};
+pub use driver::{
+    token_gen, token_slot, ConnDriver, DriverCounters, DriverEvent, NetConfig, SharedConn, Token,
+};
 pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
 #[cfg(target_os = "linux")]
 pub use poller::EpollPoller;
 #[cfg(unix)]
 pub use poller::{Interest, PollPoller, Poller, PollerBackend, PollerEvent};
+pub use pool::BytePool;
 #[cfg(unix)]
 pub use reactor::Reactor;
 pub use shaper::Shaper;

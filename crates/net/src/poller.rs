@@ -8,9 +8,11 @@
 //! against fd reuse, drain scheduling, the self-pipe wakeup) while the
 //! backend owns only the *mechanism* of waiting on file descriptors:
 //!
-//! * [`PollPoller`] — the portable `poll(2)` backend. Stateless per
-//!   wait: the fd set is rebuilt from the interest table on every call,
-//!   which costs O(watched fds) per wakeup.
+//! * [`PollPoller`] — the portable `poll(2)` backend. The `pollfd`
+//!   array is maintained incrementally on `add`/`modify`/`delete`
+//!   (fired entries are masked in place by negating the fd), so the
+//!   per-wait bookkeeping is O(changes); only the kernel's own scan
+//!   remains O(watched fds).
 //! * [`EpollPoller`] — raw-FFI `epoll(7)` (Linux). Interest lives in
 //!   the kernel (`EPOLL_CTL_ADD`/`MOD`/`DEL`) and every registration
 //!   carries `EPOLLONESHOT`, so a wait costs O(ready fds) and a fired
@@ -38,7 +40,6 @@
 
 #![cfg(unix)]
 
-use std::collections::HashMap;
 use std::io;
 use std::os::fd::RawFd;
 use std::time::Duration;
@@ -234,32 +235,65 @@ fn timeout_ms(timeout: Duration) -> sys::c_int {
     timeout.as_millis().clamp(0, sys::c_int::MAX as u128) as sys::c_int
 }
 
-/// The portable `poll(2)` backend: interest lives in a user-space map,
-/// and every wait rebuilds the `pollfd` array from it — O(watched fds)
-/// per wakeup, which is exactly the cost epoll exists to avoid.
+/// The portable `poll(2)` backend. The `pollfd` array is maintained
+/// *incrementally*: `add`/`modify`/`delete` edit it in place (an
+/// fd-indexed side table maps each fd to its array position), so the
+/// bookkeeping per wait is O(changes since the last wait) — the old
+/// rebuild-from-a-HashMap-every-round cost is gone. The kernel scan
+/// itself remains O(watched fds): that is inherent to `poll(2)` and is
+/// exactly the cost the epoll backend exists to avoid.
+///
+/// One-shot emulation: a fired entry's fd is negated in place
+/// (`poll(2)` ignores negative fds, clearing their `revents`), which
+/// masks even unmaskable `POLLERR`/`POLLHUP` until `modify` re-arms it
+/// by restoring the fd — observationally identical to a fired
+/// `EPOLLONESHOT` watch.
 pub struct PollPoller {
-    /// Current interest per fd; `fired` bits are masked out until the
-    /// one-shot re-arm (see the module docs).
-    interests: HashMap<RawFd, PollEntry>,
     pollfds: Vec<sys::pollfd>,
+    /// fd → index into `pollfds` (`usize::MAX` = not registered),
+    /// indexed by raw fd. Raw fds are small kernel-allocated integers,
+    /// so this is a dense table, not a map.
+    index_of: Vec<usize>,
 }
 
-struct PollEntry {
-    interest: Interest,
-    /// One-shot emulation: set when an event was reported, cleared by
-    /// `modify`. While set, the fd is left out of the `pollfd` set
-    /// entirely — `poll(2)` reports `POLLERR`/`POLLHUP` even for an fd
-    /// with no requested events, so merely masking the interest bits
-    /// would re-report hangups every wait where a fired
-    /// `EPOLLONESHOT` watch stays silent until re-armed.
-    fired: bool,
+/// Masks a fired entry: negative fds are ignored by `poll(2)`.
+fn masked(fd: RawFd) -> RawFd {
+    debug_assert!(fd >= 0);
+    -fd - 1
+}
+
+/// Recovers the registered fd from a possibly-masked `pollfd.fd`.
+fn unmasked(fd: RawFd) -> RawFd {
+    if fd < 0 {
+        -(fd + 1)
+    } else {
+        fd
+    }
+}
+
+fn interest_bits(interest: Interest) -> sys::c_short {
+    let mut bits: sys::c_short = 0;
+    if interest.read {
+        bits |= sys::POLLIN;
+    }
+    if interest.write {
+        bits |= sys::POLLOUT;
+    }
+    bits
 }
 
 impl PollPoller {
     pub fn new() -> Self {
         PollPoller {
-            interests: HashMap::new(),
             pollfds: Vec::new(),
+            index_of: Vec::new(),
+        }
+    }
+
+    fn index(&self, fd: RawFd) -> Option<usize> {
+        match self.index_of.get(fd as usize) {
+            Some(&i) if i != usize::MAX => Some(i),
+            _ => None,
         }
     }
 }
@@ -276,13 +310,33 @@ impl Poller for PollPoller {
     }
 
     fn add(&mut self, fd: RawFd, interest: Interest) -> io::Result<()> {
-        self.interests.insert(
-            fd,
-            PollEntry {
-                interest,
-                fired: false,
-            },
-        );
+        if fd < 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "negative fd"));
+        }
+        let bits = interest_bits(interest);
+        match self.index(fd) {
+            Some(i) => {
+                // Upsert: replace interest and clear the fired mask.
+                self.pollfds[i] = sys::pollfd {
+                    fd,
+                    events: bits,
+                    revents: 0,
+                };
+            }
+            None => {
+                let i = self.pollfds.len();
+                self.pollfds.push(sys::pollfd {
+                    fd,
+                    events: bits,
+                    revents: 0,
+                });
+                let idx = fd as usize;
+                if self.index_of.len() <= idx {
+                    self.index_of.resize(idx + 1, usize::MAX);
+                }
+                self.index_of[idx] = i;
+            }
+        }
         Ok(())
     }
 
@@ -291,30 +345,24 @@ impl Poller for PollPoller {
     }
 
     fn delete(&mut self, fd: RawFd) -> io::Result<()> {
-        self.interests.remove(&fd);
+        if fd < 0 {
+            return Ok(());
+        }
+        let Some(i) = self.index(fd) else {
+            return Ok(()); // not registered: not an error (trait contract)
+        };
+        self.index_of[fd as usize] = usize::MAX;
+        self.pollfds.swap_remove(i);
+        // The former last entry moved into slot `i`: fix its index (it
+        // may be fired, i.e. masked — map back to the registered fd).
+        if let Some(moved) = self.pollfds.get(i) {
+            self.index_of[unmasked(moved.fd) as usize] = i;
+        }
         Ok(())
     }
 
     fn wait(&mut self, events: &mut Vec<PollerEvent>, timeout: Duration) -> io::Result<()> {
         events.clear();
-        self.pollfds.clear();
-        for (&fd, entry) in &self.interests {
-            if entry.fired {
-                continue;
-            }
-            let mut bits: sys::c_short = 0;
-            if entry.interest.read {
-                bits |= sys::POLLIN;
-            }
-            if entry.interest.write {
-                bits |= sys::POLLOUT;
-            }
-            self.pollfds.push(sys::pollfd {
-                fd,
-                events: bits,
-                revents: 0,
-            });
-        }
         let n = unsafe {
             sys::poll(
                 self.pollfds.as_mut_ptr(),
@@ -326,17 +374,23 @@ impl Poller for PollPoller {
             return Err(io::Error::last_os_error());
         }
         const ERRS: sys::c_short = sys::POLLERR | sys::POLLHUP | sys::POLLNVAL;
-        for pfd in &self.pollfds {
-            if pfd.revents == 0 {
+        let mut remaining = n as usize;
+        for pfd in &mut self.pollfds {
+            if remaining == 0 {
+                break;
+            }
+            if pfd.fd < 0 || pfd.revents == 0 {
                 continue;
             }
+            remaining -= 1;
             let readable = pfd.revents & (sys::POLLIN | ERRS) != 0;
             let writable = pfd.revents & (sys::POLLOUT | ERRS) != 0;
-            if let Some(entry) = self.interests.get_mut(&pfd.fd) {
-                entry.fired = true;
-            }
+            let fd = pfd.fd;
+            // One-shot: mask the entry in place until the re-arm.
+            pfd.fd = masked(fd);
+            pfd.revents = 0;
             events.push(PollerEvent {
-                fd: pfd.fd,
+                fd,
                 readable,
                 writable,
             });
@@ -599,6 +653,46 @@ mod tests {
             assert_eq!(events.len(), 1, "{}", p.name());
             p.delete(fd).unwrap();
         }
+    }
+
+    /// Churning add/delete keeps the incrementally-maintained pollfd
+    /// array consistent: after a swap_remove the moved entry (fired or
+    /// not) must still deliver for the right fd.
+    #[test]
+    fn poll_survives_add_delete_churn() {
+        let mut p = PollPoller::new();
+        let pipes: Vec<_> = (0..4).map(|_| std::io::pipe().unwrap()).collect();
+        for (rx, _tx) in &pipes {
+            p.add(rx.as_raw_fd(), Interest::READ).unwrap();
+        }
+        let mut events = Vec::new();
+        // Fire the last entry so it is masked, then delete the first:
+        // the masked entry is swap-moved into slot 0 and must keep a
+        // correct index mapping.
+        pipes[3].1.try_clone().unwrap().write_all(b"x").unwrap();
+        p.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fd, pipes[3].0.as_raw_fd());
+        p.delete(pipes[0].0.as_raw_fd()).unwrap();
+
+        // Re-arm the moved (masked) entry and fire it again.
+        p.modify(pipes[3].0.as_raw_fd(), Interest::READ).unwrap();
+        p.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1, "re-armed moved entry fires");
+        assert_eq!(events[0].fd, pipes[3].0.as_raw_fd());
+
+        // A surviving middle entry still delivers for its own fd.
+        pipes[2].1.try_clone().unwrap().write_all(b"y").unwrap();
+        p.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fd, pipes[2].0.as_raw_fd());
+
+        // Deleting everything (including already-deleted fds) is clean.
+        for (rx, _tx) in &pipes {
+            p.delete(rx.as_raw_fd()).unwrap();
+        }
+        p.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Bounded buffer pools for the allocation-free hot path.
+//!
+//! Two recycling loops keep the steady-state event path off the
+//! allocator:
+//!
+//! * [`BytePool`] recycles `Vec<u8>` payload buffers: servers check one
+//!   out, serialize a response into it, hand it to
+//!   [`crate::ConnDriver::submit_write_buf`], and the driver returns it
+//!   to the pool once the transport has taken (or buffered) the bytes.
+//! * [`BatchPool`] recycles the event vectors the reactor ships to the
+//!   driver: one `Vec<DriverEvent>` per `wait` round travels through
+//!   the channel and comes back empty when the consumer unpacks it.
+//!
+//! Both pools are bounded (a burst allocates, the steady state reuses)
+//! and drop oversized buffers so one huge response cannot pin its
+//! high-water mark forever.
+
+use parking_lot::Mutex;
+
+/// A bounded stack of reusable `Vec<u8>` buffers.
+pub struct BytePool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    /// Maximum buffers retained (excess returns are dropped).
+    max_pooled: usize,
+    /// Buffers whose capacity grew past this are dropped instead of
+    /// pooled, so a one-off giant response does not stay resident.
+    max_capacity: usize,
+}
+
+impl BytePool {
+    pub fn new(max_pooled: usize, max_capacity: usize) -> Self {
+        BytePool {
+            bufs: Mutex::new(Vec::new()),
+            max_pooled,
+            max_capacity,
+        }
+    }
+
+    /// Checks out an empty buffer (pooled capacity when available).
+    pub fn take(&self) -> Vec<u8> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. The contents are cleared; the
+    /// capacity is kept for the next checkout unless it exceeds the
+    /// pool's bound.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.max_capacity {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < self.max_pooled {
+            bufs.push(buf);
+        }
+    }
+
+    /// Buffers currently resident in the pool (test hook).
+    pub fn pooled(&self) -> usize {
+        self.bufs.lock().len()
+    }
+}
+
+impl Default for BytePool {
+    /// 32 buffers of up to 1 MiB each — sized for response payloads.
+    fn default() -> Self {
+        BytePool::new(32, 1024 * 1024)
+    }
+}
+
+/// A bounded stack of reusable event vectors (see module docs).
+pub(crate) struct BatchPool<T> {
+    bufs: Mutex<Vec<Vec<T>>>,
+    max_pooled: usize,
+}
+
+impl<T> BatchPool<T> {
+    pub(crate) fn new(max_pooled: usize) -> Self {
+        BatchPool {
+            bufs: Mutex::new(Vec::new()),
+            max_pooled,
+        }
+    }
+
+    pub(crate) fn take(&self) -> Vec<T> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < self.max_pooled {
+            bufs.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_pool_recycles_capacity() {
+        let pool = BytePool::new(4, 1024);
+        let mut b = pool.take();
+        b.extend_from_slice(&[1, 2, 3]);
+        let cap = b.capacity();
+        pool.put(b);
+        let b2 = pool.take();
+        assert!(b2.is_empty(), "recycled buffer comes back cleared");
+        assert_eq!(b2.capacity(), cap, "capacity survives the round trip");
+    }
+
+    #[test]
+    fn byte_pool_drops_oversized_and_excess() {
+        let pool = BytePool::new(2, 64);
+        pool.put(Vec::with_capacity(1024)); // over max_capacity: dropped
+        assert_eq!(pool.pooled(), 0);
+        pool.put(Vec::with_capacity(16));
+        pool.put(Vec::with_capacity(16));
+        pool.put(Vec::with_capacity(16)); // over max_pooled: dropped
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn batch_pool_round_trip() {
+        let pool: BatchPool<u32> = BatchPool::new(2);
+        let mut v = pool.take();
+        v.push(7);
+        pool.put(v);
+        assert!(pool.take().is_empty());
+    }
+}

@@ -22,16 +22,27 @@
 //!   the driver's completion bookkeeping emits `WriteDone`. Response
 //!   transmission therefore never occupies an I/O worker thread.
 //!
+//! **Hot-path layout.** Tokens encode `(slot, generation)`
+//! ([`crate::token_slot`]), so every reactor-side table is a plain
+//! vector: the watch table is indexed by slot, the fd map by raw fd,
+//! and liveness is a per-slot `Arc<AtomicU64>` cell whose value is the
+//! current registration's generation (0 = dead). Delivering an event
+//! therefore costs two vector indexes and one atomic load — no hashing
+//! and no lock on the reactor thread. All `Readable` events from one
+//! backend `wait` round are shipped to the driver as a single recycled
+//! batch vector, so a burst of N ready sockets costs one channel
+//! transfer.
+//!
 //! **Division of labour.** The backend owns only the mechanism of
 //! waiting on fds; every invariant that used to live in the poll loop
 //! is enforced *here*, once, above the [`Poller`] trait — so both
 //! backends (and any future kqueue/io_uring one) inherit it:
 //!
-//! * **fd-reuse safety.** Deregistration is a *synchronous* update to a
-//!   shared liveness table tagged with a per-registration generation:
-//!   [`Reactor::deregister`] removes the token's generation before the
-//!   caller can drop (and the kernel can reuse) the file descriptor,
-//!   and the reactor thread checks the generation before delivering any
+//! * **fd-reuse safety.** Deregistration *synchronously* zeroes the
+//!   slot's liveness cell: [`Reactor::deregister`] clears the token's
+//!   generation before the caller can drop (and the kernel can reuse)
+//!   the file descriptor, and the reactor thread compares the cell
+//!   against the watch's recorded generation before delivering any
 //!   event or running any drain. A stale watch delivers nothing; it is
 //!   purged the first time the thread looks at it.
 //! * **One-shot re-arm.** After the backend reports an fd, the watch is
@@ -51,15 +62,16 @@
 //! registrations made while it is parked in `wait` take effect
 //! immediately. [`Reactor::stop`] joins the thread, which exits
 //! promptly on the self-pipe wakeup, so no reactor thread can outlive
-//! the driver that spawned it.
+//! the driver that spawned it. On multi-core hosts the thread pins
+//! itself to the last core (`FLUX_PIN=0` opts out).
 
 #![cfg(unix)]
 
-use crate::driver::{DriverEvent, Token};
+use crate::driver::{token_slot, Delivery, DriverEvent, Token};
 use crate::poller::{create_poller, Interest, Poller, PollerBackend, PollerEvent};
+use crate::pool::BatchPool;
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,11 +109,18 @@ pub(crate) enum DrainResult {
 /// un-reusable) until the watch itself is discarded.
 pub(crate) type DrainFn = Box<dyn FnMut(DrainCall) -> DrainResult + Send>;
 
+/// A registration epoch for a control op: the liveness cell and the
+/// generation it held when the op was queued.
+struct Epoch {
+    gen: u64,
+    cell: Arc<AtomicU64>,
+}
+
 enum Control {
-    /// Arm a one-shot readability watch on `fd` for `(token, gen)`.
-    ReadInterest(RawFd, Token, u64),
-    /// Arm a write-drain watch on `fd` for `(token, gen)`.
-    WriteInterest(RawFd, Token, u64, DrainFn),
+    /// Arm a one-shot readability watch on `fd` for `token`.
+    ReadInterest(RawFd, Token, Epoch),
+    /// Arm a write-drain watch on `fd` for `token`.
+    WriteInterest(RawFd, Token, Epoch, DrainFn),
     /// Drop any watch for `token` (connection removed).
     Deregister(Token),
 }
@@ -111,10 +130,24 @@ struct Shared {
     thread_started: bool,
 }
 
+/// The shared liveness slab: one entry per token slot, holding the
+/// token currently registered there and its generation cell (0 = dead).
+/// The reactor thread never touches this table on the event path — each
+/// watch carries a clone of its cell, so the liveness check is a single
+/// atomic load.
+struct LiveEntry {
+    token: Token,
+    gen: Arc<AtomicU64>,
+}
+
 /// One token's entry in the reactor thread's watch table.
 struct Watch {
+    token: Token,
     fd: RawFd,
+    /// The generation this watch was registered under.
     gen: u64,
+    /// The slot's liveness cell; `cell != gen` means stale.
+    live: Arc<AtomicU64>,
     /// Read/write interest currently armed.
     interest: Interest,
     drain: Option<DrainFn>,
@@ -133,15 +166,20 @@ impl Watch {
             write: self.interest.write && self.parked_until.is_none(),
         }
     }
+
+    fn is_live(&self) -> bool {
+        self.live.load(Ordering::SeqCst) == self.gen
+    }
 }
 
 /// One thread, many sockets: the backend-agnostic readiness multiplexer.
 pub struct Reactor {
     shared: Mutex<Shared>,
-    /// Current generation per live token. Deregistration removes the
-    /// entry *synchronously*, before the fd can close — the reactor
-    /// thread delivers nothing for a token/generation not found here.
-    live: Mutex<HashMap<Token, u64>>,
+    /// Liveness slab, indexed by token slot (see [`LiveEntry`]).
+    /// Deregistration zeroes the cell *synchronously*, before the fd
+    /// can close — the reactor thread delivers nothing for a watch
+    /// whose cell no longer holds its generation.
+    live: Mutex<Vec<Option<LiveEntry>>>,
     next_gen: AtomicU64,
     /// Write end of the self-pipe; a byte here interrupts `wait`.
     wake: Mutex<Option<std::io::PipeWriter>>,
@@ -162,12 +200,19 @@ pub struct Reactor {
     poller: Mutex<Option<Box<dyn Poller>>>,
     backend_name: &'static str,
     stopping: AtomicBool,
+    pinned: AtomicBool,
     events_delivered: AtomicU64,
-    tx: Sender<DriverEvent>,
+    tx: Sender<Delivery>,
+    /// Recycled per-round event vectors, shared with the driver.
+    batch_pool: Arc<BatchPool<DriverEvent>>,
 }
 
 impl Reactor {
-    pub(crate) fn new(tx: Sender<DriverEvent>, backend: PollerBackend) -> Arc<Self> {
+    pub(crate) fn new(
+        tx: Sender<Delivery>,
+        batch_pool: Arc<BatchPool<DriverEvent>>,
+        backend: PollerBackend,
+    ) -> Arc<Self> {
         let poller = create_poller(backend);
         let backend_name = poller.name();
         Arc::new(Reactor {
@@ -175,7 +220,7 @@ impl Reactor {
                 control: Vec::new(),
                 thread_started: false,
             }),
-            live: Mutex::new(HashMap::new()),
+            live: Mutex::new(Vec::new()),
             next_gen: AtomicU64::new(1),
             wake: Mutex::new(None),
             wake_pending: AtomicBool::new(false),
@@ -183,8 +228,10 @@ impl Reactor {
             poller: Mutex::new(Some(poller)),
             backend_name,
             stopping: AtomicBool::new(false),
+            pinned: AtomicBool::new(false),
             events_delivered: AtomicU64::new(0),
             tx,
+            batch_pool,
         })
     }
 
@@ -200,22 +247,67 @@ impl Reactor {
         self.backend_name
     }
 
-    /// The token's current generation, allocating one if this is its
-    /// first registration since the last deregister.
-    fn live_gen(&self, token: Token) -> u64 {
-        *self
-            .live
-            .lock()
-            .entry(token)
-            .or_insert_with(|| self.next_gen.fetch_add(1, Ordering::Relaxed))
+    /// True when the reactor thread pinned itself to a core.
+    pub fn pinned(&self) -> bool {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// The token's current registration epoch, allocating a fresh
+    /// generation if the slot is dead. Returns `None` for a stale
+    /// caller whose slot is live under a *different* token — see the
+    /// refusal comment below.
+    fn live_gen(&self, token: Token) -> Option<Epoch> {
+        let slot = token_slot(token);
+        let mut live = self.live.lock();
+        if live.len() <= slot {
+            live.resize_with(slot + 1, || None);
+        }
+        if let Some(e) = &live[slot] {
+            let gen = e.gen.load(Ordering::SeqCst);
+            if e.token == token && gen != 0 {
+                return Some(Epoch {
+                    gen,
+                    cell: e.gen.clone(),
+                });
+            }
+            if e.token != token && gen != 0 {
+                // The slot's LIVE registration belongs to a different
+                // token. Slot reuse always deregisters the old tenant
+                // before the new one can register (the driver frees a
+                // slot only after `deregister` returns), so a caller
+                // naming a different token here is itself stale — a
+                // delayed arm/submit racing the removal of its
+                // connection. Refuse rather than steal the tenant's
+                // liveness cell, which would permanently kill the live
+                // connection's watch.
+                return None;
+            }
+        }
+        let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        // The entry (if any) is dead (gen 0): its cell can be reused —
+        // stale watches recorded a non-zero generation, which can never
+        // match the fresh one.
+        let cell = live[slot]
+            .take()
+            .map(|e| e.gen)
+            .unwrap_or_else(|| Arc::new(AtomicU64::new(0)));
+        cell.store(gen, Ordering::SeqCst);
+        live[slot] = Some(LiveEntry {
+            token,
+            gen: cell.clone(),
+        });
+        Some(Epoch { gen, cell })
     }
 
     /// Arms a one-shot readability watch. The reactor thread is spawned
-    /// lazily on the first registration.
+    /// lazily on the first registration. A stale caller (its slot
+    /// already re-registered by a newer token) is refused silently.
     pub(crate) fn register(self: &Arc<Self>, fd: RawFd, token: Token) {
-        let gen = self.live_gen(token);
+        let Some(epoch) = self.live_gen(token) else {
+            return;
+        };
         let mut shared = self.shared.lock();
-        shared.control.push(Control::ReadInterest(fd, token, gen));
+        shared.control.push(Control::ReadInterest(fd, token, epoch));
         self.ensure_thread(&mut shared);
         drop(shared);
         self.wake_up();
@@ -223,28 +315,42 @@ impl Reactor {
 
     /// Arms a write-drain watch: `drain` is called from the reactor
     /// thread whenever the socket reports writable, until it returns
-    /// [`DrainResult::Complete`] or [`DrainResult::Failed`].
+    /// [`DrainResult::Complete`] or [`DrainResult::Failed`]. A stale
+    /// caller is refused silently; its submissions were (or will be)
+    /// failed by the driver's `remove`, which is what made it stale.
     pub(crate) fn register_write(self: &Arc<Self>, fd: RawFd, token: Token, drain: DrainFn) {
-        let gen = self.live_gen(token);
+        let Some(epoch) = self.live_gen(token) else {
+            return;
+        };
         let mut shared = self.shared.lock();
         shared
             .control
-            .push(Control::WriteInterest(fd, token, gen, drain));
+            .push(Control::WriteInterest(fd, token, epoch, drain));
         self.ensure_thread(&mut shared);
         drop(shared);
         self.wake_up();
     }
 
-    /// Drops any watch for `token`. The liveness entry is removed
+    /// Drops any watch for `token`. The liveness cell is zeroed
     /// *before* this returns, so once `deregister` completes the caller
     /// may close the fd: even if the kernel reuses it immediately, the
     /// stale watch's generation no longer matches and it delivers
-    /// nothing.
+    /// nothing. Exact-token matching makes this safe against slot
+    /// reuse: deregistering a token whose slot already hosts a newer
+    /// registration is a no-op.
     pub(crate) fn deregister(&self, token: Token) {
-        self.live.lock().remove(&token);
+        {
+            let live = self.live.lock();
+            match live.get(token_slot(token)) {
+                Some(Some(e)) if e.token == token => e.gen.store(0, Ordering::SeqCst),
+                // Never registered (or the slot moved on to a newer
+                // token): nothing to tear down.
+                _ => return,
+            }
+        }
         if self.stopping.load(Ordering::SeqCst) {
             // The reactor thread is gone (or going): the liveness
-            // removal above is the only part that still matters, and
+            // zeroing above is the only part that still matters, and
             // queueing controls or writing the dead self-pipe would be
             // pure waste — `ConnDriver::stop`'s post-join cleanup
             // removes every remaining connection through this path.
@@ -299,36 +405,65 @@ impl Reactor {
         *self.thread.lock() = Some(handle);
     }
 
-    /// True when `(token, gen)` is still the current registration.
-    fn is_live(&self, token: Token, gen: u64) -> bool {
-        self.live.lock().get(&token) == Some(&gen)
-    }
-
     fn run(self: Arc<Self>, mut pipe_rx: std::io::PipeReader, mut poller: Box<dyn Poller>) {
+        if crate::affinity::should_pin() {
+            // Pin opposite the dispatcher shards (which fill cores from
+            // 0 upward), so the reactor keeps a core to itself for as
+            // long as the shard count allows.
+            let core = crate::affinity::host_cores().saturating_sub(1);
+            if crate::affinity::pin_current_thread(core) {
+                self.pinned.store(true, Ordering::Relaxed);
+            }
+        }
         let wake_fd = pipe_rx.as_raw_fd();
         let _ = poller.add(wake_fd, Interest::READ);
-        let mut watches: HashMap<Token, Watch> = HashMap::new();
-        // The backend reports fds; this maps them back to tokens. Kept
-        // in lockstep with `watches` (one fd per live watch).
-        let mut fd_to_token: HashMap<RawFd, Token> = HashMap::new();
+        // Watch table indexed by token slot, fd map indexed by raw fd
+        // (usize::MAX = unmapped). Kept in lockstep: one fd per live
+        // watch.
+        let mut watches: Vec<Option<Watch>> = Vec::new();
+        let mut fd_to_slot: Vec<usize> = Vec::new();
         // Tokens currently Busy-parked, scanned for expiry each round
         // (kept separate so an epoll wakeup stays O(ready + parked),
         // not O(watched)).
         let mut parked: Vec<Token> = Vec::new();
         let mut events: Vec<PollerEvent> = Vec::new();
+        // The round's outgoing Readable batch; recycled through the
+        // driver's pool so the steady state allocates nothing.
+        let mut round: Vec<DriverEvent> = self.batch_pool.take();
+
+        fn fd_slot(fd_to_slot: &[usize], fd: RawFd) -> Option<usize> {
+            match fd_to_slot.get(fd as usize) {
+                Some(&s) if s != usize::MAX => Some(s),
+                _ => None,
+            }
+        }
+
+        fn map_fd(fd_to_slot: &mut Vec<usize>, fd: RawFd, slot: usize) {
+            let idx = fd as usize;
+            if fd_to_slot.len() <= idx {
+                fd_to_slot.resize(idx + 1, usize::MAX);
+            }
+            fd_to_slot[idx] = slot;
+        }
 
         /// Removes a token's watch from every structure, including the
         /// backend registration, returning the watch for any
-        /// notification the caller still owes.
+        /// notification the caller still owes. Exact-token matching: a
+        /// slot that moved on to a newer token is left untouched.
         fn discard(
-            watches: &mut HashMap<Token, Watch>,
-            fd_to_token: &mut HashMap<RawFd, Token>,
+            watches: &mut [Option<Watch>],
+            fd_to_slot: &mut [usize],
             poller: &mut dyn Poller,
             token: Token,
         ) -> Option<Watch> {
-            let w = watches.remove(&token)?;
-            if fd_to_token.get(&w.fd) == Some(&token) {
-                fd_to_token.remove(&w.fd);
+            let slot = token_slot(token);
+            let entry = watches.get_mut(slot)?;
+            if entry.as_ref()?.token != token {
+                return None;
+            }
+            let w = entry.take().expect("checked above");
+            if fd_to_slot.get(w.fd as usize) == Some(&slot) {
+                fd_to_slot[w.fd as usize] = usize::MAX;
                 let _ = poller.delete(w.fd);
             }
             Some(w)
@@ -342,23 +477,61 @@ impl Reactor {
         /// contract holds on every backend.
         fn fail_watch(
             this: &Reactor,
-            watches: &mut HashMap<Token, Watch>,
-            fd_to_token: &mut HashMap<RawFd, Token>,
+            watches: &mut [Option<Watch>],
+            fd_to_slot: &mut [usize],
             poller: &mut dyn Poller,
             token: Token,
         ) {
-            let Some(mut w) = discard(watches, fd_to_token, poller, token) else {
+            let Some(mut w) = discard(watches, fd_to_slot, poller, token) else {
                 return;
             };
-            if !this.is_live(token, w.gen) {
+            if !w.is_live() {
                 return;
             }
             if w.interest.read {
-                let _ = this.tx.send(DriverEvent::Readable(token));
+                let _ = this.tx.send(Delivery::One(DriverEvent::Readable(token)));
             }
             if let Some(drain) = w.drain.as_mut() {
                 let _ = drain(DrainCall::Abort);
             }
+        }
+
+        /// Fetches (or creates) `token`'s watch entry for the given
+        /// epoch, replacing a stale entry from a prior registration
+        /// wholesale and keeping the fd map in lockstep.
+        fn upsert_watch<'a>(
+            watches: &'a mut Vec<Option<Watch>>,
+            fd_to_slot: &mut Vec<usize>,
+            fd: RawFd,
+            token: Token,
+            epoch: &Epoch,
+        ) -> &'a mut Watch {
+            let slot = token_slot(token);
+            if watches.len() <= slot {
+                watches.resize_with(slot + 1, || None);
+            }
+            let fresh = match &watches[slot] {
+                Some(w) => w.token != token || w.gen != epoch.gen || w.fd != fd,
+                None => true,
+            };
+            if fresh {
+                if let Some(w) = &watches[slot] {
+                    if fd_to_slot.get(w.fd as usize) == Some(&slot) {
+                        fd_to_slot[w.fd as usize] = usize::MAX;
+                    }
+                }
+                watches[slot] = Some(Watch {
+                    token,
+                    fd,
+                    gen: epoch.gen,
+                    live: epoch.cell.clone(),
+                    interest: Interest::none(),
+                    drain: None,
+                    parked_until: None,
+                });
+            }
+            map_fd(fd_to_slot, fd, slot);
+            watches[slot].as_mut().expect("just ensured")
         }
 
         // Control entries are swapped out of `self.shared` and
@@ -381,33 +554,33 @@ impl Reactor {
             std::mem::swap(&mut pending, &mut self.shared.lock().control);
             for ctl in pending.drain(..) {
                 match ctl {
-                    Control::ReadInterest(fd, token, gen) => {
-                        if !self.is_live(token, gen) {
+                    Control::ReadInterest(fd, token, epoch) => {
+                        if epoch.cell.load(Ordering::SeqCst) != epoch.gen {
                             continue; // raced with deregister
                         }
-                        let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                        let w = upsert_watch(&mut watches, &mut fd_to_slot, fd, token, &epoch);
                         w.interest.read = true;
                         let eff = w.effective();
                         if poller.modify(fd, eff).is_err() {
-                            fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                            fail_watch(&self, &mut watches, &mut fd_to_slot, &mut *poller, token);
                         }
                     }
-                    Control::WriteInterest(fd, token, gen, drain) => {
-                        if !self.is_live(token, gen) {
+                    Control::WriteInterest(fd, token, epoch, drain) => {
+                        if epoch.cell.load(Ordering::SeqCst) != epoch.gen {
                             continue;
                         }
-                        let w = upsert_watch(&mut watches, &mut fd_to_token, fd, token, gen);
+                        let w = upsert_watch(&mut watches, &mut fd_to_slot, fd, token, &epoch);
                         w.interest.write = true;
                         w.drain = Some(drain);
                         // A fresh drain supersedes any Busy backoff.
                         w.parked_until = None;
                         let eff = w.effective();
                         if poller.modify(fd, eff).is_err() {
-                            fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                            fail_watch(&self, &mut watches, &mut fd_to_slot, &mut *poller, token);
                         }
                     }
                     Control::Deregister(token) => {
-                        let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
+                        let _ = discard(&mut watches, &mut fd_to_slot, &mut *poller, token);
                     }
                 }
             }
@@ -421,7 +594,11 @@ impl Reactor {
             let mut nearest_park: Option<Instant> = None;
             let mut unpark_failed: Vec<Token> = Vec::new();
             parked.retain(|&token| {
-                let Some(w) = watches.get_mut(&token) else {
+                let Some(w) = watches
+                    .get_mut(token_slot(token))
+                    .and_then(|e| e.as_mut())
+                    .filter(|w| w.token == token)
+                else {
                     return false;
                 };
                 match w.parked_until {
@@ -440,7 +617,7 @@ impl Reactor {
                 }
             });
             for token in unpark_failed {
-                fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                fail_watch(&self, &mut watches, &mut fd_to_slot, &mut *poller, token);
             }
 
             // Bounded timeout: a backstop for a missed wake-up byte,
@@ -459,9 +636,12 @@ impl Reactor {
                 // Unexpected backend failure: fail every watch, so
                 // flows observe the error on read, pending writes
                 // abort, and the table retires.
-                let tokens: Vec<Token> = watches.keys().copied().collect();
+                let tokens: Vec<Token> = watches
+                    .iter()
+                    .filter_map(|e| e.as_ref().map(|w| w.token))
+                    .collect();
                 for token in tokens {
-                    fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                    fail_watch(&self, &mut watches, &mut fd_to_slot, &mut *poller, token);
                 }
                 parked.clear();
                 continue;
@@ -475,27 +655,31 @@ impl Reactor {
                     let _ = poller.modify(wake_fd, Interest::READ);
                     continue;
                 }
-                let Some(&token) = fd_to_token.get(&ev.fd) else {
+                let Some(slot) = fd_slot(&fd_to_slot, ev.fd) else {
                     // No watch claims this fd: drop the registration.
                     let _ = poller.delete(ev.fd);
                     continue;
                 };
-                let Some(watch) = watches.get_mut(&token) else {
-                    fd_to_token.remove(&ev.fd);
+                let Some(watch) = watches.get_mut(slot).and_then(|e| e.as_mut()) else {
+                    fd_to_slot[ev.fd as usize] = usize::MAX;
                     let _ = poller.delete(ev.fd);
                     continue;
                 };
-                if !self.is_live(token, watch.gen) {
+                let token = watch.token;
+                if !watch.is_live() {
                     // Deregistered (possibly with the fd already reused
                     // by a new connection): deliver nothing.
-                    let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
+                    let _ = discard(&mut watches, &mut fd_to_slot, &mut *poller, token);
                     continue;
                 }
                 if watch.interest.read && ev.readable {
                     // One-shot: the driver re-arms after the flow reads.
+                    // Appended to the round batch — one channel send
+                    // (and one shard-queue append downstream) covers
+                    // every readable socket of this wait round.
                     watch.interest.read = false;
                     self.events_delivered.fetch_add(1, Ordering::Relaxed);
-                    let _ = self.tx.send(DriverEvent::Readable(token));
+                    round.push(DriverEvent::Readable(token));
                 }
                 if watch.interest.write && ev.writable {
                     // Busy-parked watches still reach here: ERR/HUP
@@ -541,50 +725,21 @@ impl Reactor {
                 // the park — and the unpark pass issues its modify when
                 // the park expires.
                 if !watch.interest.read && !watch.interest.write {
-                    let _ = discard(&mut watches, &mut fd_to_token, &mut *poller, token);
+                    let _ = discard(&mut watches, &mut fd_to_slot, &mut *poller, token);
                 } else if watch.parked_until.is_none() || watch.interest.read {
                     let eff = watch.effective();
                     let fd = watch.fd;
                     if poller.modify(fd, eff).is_err() {
-                        fail_watch(&self, &mut watches, &mut fd_to_token, &mut *poller, token);
+                        fail_watch(&self, &mut watches, &mut fd_to_slot, &mut *poller, token);
                     }
                 }
             }
+            if !round.is_empty() {
+                let batch = std::mem::replace(&mut round, self.batch_pool.take());
+                let _ = self.tx.send(Delivery::Batch(batch));
+            }
         }
     }
-}
-
-/// Fetches (or creates) `token`'s watch entry for generation `gen`,
-/// replacing a stale entry from a prior registration wholesale and
-/// keeping the fd-to-token map in lockstep.
-fn upsert_watch<'a>(
-    watches: &'a mut HashMap<Token, Watch>,
-    fd_to_token: &mut HashMap<RawFd, Token>,
-    fd: RawFd,
-    token: Token,
-    gen: u64,
-) -> &'a mut Watch {
-    let w = watches.entry(token).or_insert(Watch {
-        fd,
-        gen,
-        interest: Interest::none(),
-        drain: None,
-        parked_until: None,
-    });
-    if w.gen != gen || w.fd != fd {
-        if fd_to_token.get(&w.fd) == Some(&token) {
-            fd_to_token.remove(&w.fd);
-        }
-        *w = Watch {
-            fd,
-            gen,
-            interest: Interest::none(),
-            drain: None,
-            parked_until: None,
-        };
-    }
-    fd_to_token.insert(fd, token);
-    w
 }
 
 #[cfg(test)]
@@ -593,7 +748,8 @@ mod tests {
     use crate::driver::DriverEvent;
     use crate::tcp::{TcpAcceptor, TcpConn};
     use crate::traits::Listener;
-    use crossbeam::channel::unbounded;
+    use crossbeam::channel::{unbounded, Receiver};
+    use std::collections::VecDeque;
     use std::time::Duration;
 
     fn backends() -> Vec<PollerBackend> {
@@ -602,6 +758,61 @@ mod tests {
         } else {
             vec![PollerBackend::Poll]
         }
+    }
+
+    /// Unpacks the reactor's batched deliveries back into single events
+    /// for assertion-by-assertion consumption.
+    struct EventRx {
+        rx: Receiver<Delivery>,
+        pending: VecDeque<DriverEvent>,
+    }
+
+    impl EventRx {
+        fn recv_timeout(&mut self, d: Duration) -> Result<DriverEvent, ()> {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(ev);
+            }
+            let deadline = Instant::now() + d;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(left) {
+                    Ok(Delivery::One(ev)) => return Ok(ev),
+                    Ok(Delivery::Batch(b)) => {
+                        self.pending.extend(b);
+                        if let Some(ev) = self.pending.pop_front() {
+                            return Ok(ev);
+                        }
+                    }
+                    Err(_) => return Err(()),
+                }
+            }
+        }
+
+        fn try_recv(&mut self) -> Result<DriverEvent, ()> {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(ev);
+            }
+            match self.rx.try_recv() {
+                Ok(Delivery::One(ev)) => Ok(ev),
+                Ok(Delivery::Batch(b)) => {
+                    self.pending.extend(b);
+                    self.pending.pop_front().ok_or(())
+                }
+                Err(_) => Err(()),
+            }
+        }
+    }
+
+    fn test_reactor(backend: PollerBackend) -> (Arc<Reactor>, EventRx) {
+        let (tx, rx) = unbounded();
+        let reactor = Reactor::new(tx, Arc::new(BatchPool::new(4)), backend);
+        (
+            reactor,
+            EventRx {
+                rx,
+                pending: VecDeque::new(),
+            },
+        )
     }
 
     #[test]
@@ -614,8 +825,7 @@ mod tests {
             let c2 = TcpConn::connect(&addr).unwrap();
             let s2 = acceptor.accept().unwrap();
 
-            let (tx, rx) = unbounded();
-            let reactor = Reactor::new(tx, backend);
+            let (reactor, mut rx) = test_reactor(backend);
             reactor.register(s1.raw_fd().unwrap(), 1);
             reactor.register(s2.raw_fd().unwrap(), 2);
             assert!(
@@ -646,8 +856,7 @@ mod tests {
             let mut client = TcpConn::connect(&addr).unwrap();
             let server = acceptor.accept().unwrap();
 
-            let (tx, rx) = unbounded();
-            let reactor = Reactor::new(tx, backend);
+            let (reactor, mut rx) = test_reactor(backend);
             reactor.register(server.raw_fd().unwrap(), 7);
             reactor.deregister(7);
             std::thread::sleep(Duration::from_millis(20));
@@ -670,8 +879,7 @@ mod tests {
         for backend in backends() {
             let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
             let addr = acceptor.local_addr();
-            let (tx, rx) = unbounded();
-            let reactor = Reactor::new(tx, backend);
+            let (reactor, mut rx) = test_reactor(backend);
             for round in 0..20u64 {
                 let old_token = 1000 + round * 2;
                 let new_token = 1001 + round * 2;
@@ -713,8 +921,7 @@ mod tests {
             let addr = acceptor.local_addr();
             let _client = TcpConn::connect(&addr).unwrap();
             let server = acceptor.accept().unwrap();
-            let (tx, _rx) = unbounded();
-            let reactor = Reactor::new(tx, backend);
+            let (reactor, _rx) = test_reactor(backend);
             reactor.register(server.raw_fd().unwrap(), 1);
             reactor.stop();
             assert!(
@@ -735,8 +942,7 @@ mod tests {
     fn refused_registration_aborts_drain_without_deadlock() {
         let path = std::env::temp_dir().join("flux-net-epoll-refused.tmp");
         let file = std::fs::File::create(&path).unwrap();
-        let (tx, _rx) = unbounded();
-        let reactor = Reactor::new(tx, PollerBackend::Epoll);
+        let (reactor, _rx) = test_reactor(PollerBackend::Epoll);
         assert_eq!(reactor.backend_name(), "epoll");
 
         let (done_tx, done_rx) = unbounded();
@@ -758,20 +964,105 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Regression: a stale caller whose slot has already been
+    /// re-registered by a newer token must be refused — reusing the
+    /// tenant's liveness cell for the stale token would permanently
+    /// kill the live connection's watch (the delayed-arm race: arm(A)
+    /// passes its driver check, A is removed, its slot reused by B and
+    /// armed, then the stale arm(A) resumes).
+    #[test]
+    fn stale_registrant_cannot_kill_the_slots_new_tenant() {
+        for backend in backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let (reactor, mut rx) = test_reactor(backend);
+            // Two generations of the same driver slot.
+            let token_a = (1u64 << 32) | 42;
+            let token_b = (2u64 << 32) | 42;
+            let _a_client = TcpConn::connect(&addr).unwrap();
+            let a_server = acceptor.accept().unwrap();
+            reactor.register(a_server.raw_fd().unwrap(), token_a);
+            reactor.deregister(token_a); // driver removes A, then frees the slot
+            let mut b_client = TcpConn::connect(&addr).unwrap();
+            let b_server = acceptor.accept().unwrap();
+            reactor.register(b_server.raw_fd().unwrap(), token_b);
+            // The stale A caller resumes after B went live: refused.
+            reactor.register(a_server.raw_fd().unwrap(), token_a);
+            std::thread::sleep(Duration::from_millis(30));
+            b_client.write_all(b"x").unwrap();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)),
+                Ok(DriverEvent::Readable(token_b)),
+                "tenant watch must survive the stale registrant ({})",
+                reactor.backend_name()
+            );
+            assert!(
+                rx.try_recv().is_err(),
+                "and nothing fires for the stale token"
+            );
+            reactor.stop();
+        }
+    }
+
     /// The backend chosen matches the request (with fallback resolved at
     /// construction, before the thread starts).
     #[test]
     fn backend_name_reports_resolved_backend() {
-        let (tx, _rx) = unbounded();
-        let reactor = Reactor::new(tx, PollerBackend::Poll);
+        let (reactor, _rx) = test_reactor(PollerBackend::Poll);
         assert_eq!(reactor.backend_name(), "poll");
         reactor.stop();
         #[cfg(target_os = "linux")]
         {
-            let (tx, _rx) = unbounded();
-            let reactor = Reactor::new(tx, PollerBackend::Epoll);
+            let (reactor, _rx) = test_reactor(PollerBackend::Epoll);
             assert_eq!(reactor.backend_name(), "epoll");
             reactor.stop();
         }
+    }
+
+    /// A burst of readable sockets arrives as one batch: the reactor
+    /// ships every Readable of a wait round in a single delivery.
+    #[test]
+    fn burst_of_readables_is_batched() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let (tx, rx) = unbounded();
+        let reactor = Reactor::new(tx, Arc::new(BatchPool::new(4)), PollerBackend::default());
+        let mut clients = Vec::new();
+        let mut servers = Vec::new();
+        for i in 0..16u64 {
+            let mut c = TcpConn::connect(&addr).unwrap();
+            let s = acceptor.accept().unwrap();
+            // Data first, registration after: every socket is already
+            // readable when the reactor first polls it.
+            c.write_all(b"!").unwrap();
+            clients.push(c);
+            servers.push(s);
+            let _ = i;
+        }
+        for (i, s) in servers.iter().enumerate() {
+            reactor.register(s.raw_fd().unwrap(), i as Token);
+        }
+        let mut got = 0usize;
+        let mut deliveries = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got < 16 && Instant::now() < deadline {
+            match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(Delivery::Batch(b)) => {
+                    got += b.len();
+                    deliveries += 1;
+                }
+                Ok(Delivery::One(_)) => {
+                    got += 1;
+                    deliveries += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        assert_eq!(got, 16, "all sockets reported");
+        assert!(
+            deliveries < 16,
+            "a burst must coalesce into batches (got {deliveries} deliveries for 16 events)"
+        );
+        reactor.stop();
     }
 }

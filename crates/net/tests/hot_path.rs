@@ -1,0 +1,109 @@
+//! Property tests for the slab-token hot path: random interleavings of
+//! register/deregister/fd-reuse must never deliver an event under a
+//! stale generation, on either poller backend.
+//!
+//! This generalizes the deterministic fd-reuse regression tests (in
+//! `conformance.rs` and the driver's unit tests): every removed token
+//! was silent while live, so *any* later `Readable` for it would be a
+//! stale delivery — a watch surviving deregistration, or a
+//! kernel-reused fd observed under the old token.
+
+#![cfg(unix)]
+
+mod util;
+
+use flux_net::{ConnDriver, DriverEvent, Listener as _, TcpAcceptor, TcpConn, Token};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accepts the next `Incoming` event, skipping write completions.
+fn next_incoming(driver: &Arc<ConnDriver>) -> Token {
+    loop {
+        match driver.next_event(Duration::from_secs(2)) {
+            Some(DriverEvent::Incoming(t)) => return t,
+            Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => continue,
+            other => panic!("expected Incoming, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Interleave register (arm) / deregister (remove) / fd reuse under
+    /// a random schedule: tokens removed while silent must never fire,
+    /// the live connection must always fire, and stale handles must
+    /// resolve to nothing forever.
+    #[test]
+    fn stale_generation_never_delivers_under_random_interleaving(
+        rounds in 2usize..5,
+        churn in 1usize..4,
+        arm_bits in any::<u64>(),
+    ) {
+        for backend in util::backends() {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let driver = util::driver_on(backend);
+            driver.spawn_acceptor(Box::new(acceptor));
+
+            let mut dead: HashSet<Token> = HashSet::new();
+            let mut bit = 0u32;
+            for round in 0..rounds {
+                // Churn: victims are registered, possibly armed, then
+                // removed while still connected and silent — their fds
+                // close right after, free for the kernel to reuse.
+                let mut victims = Vec::new();
+                let mut victim_tokens = Vec::new();
+                for _ in 0..churn {
+                    victims.push(TcpConn::connect(&addr).unwrap());
+                    victim_tokens.push(next_incoming(&driver));
+                }
+                for &t in &victim_tokens {
+                    if arm_bits >> (bit % 64) & 1 == 1 {
+                        driver.arm(t);
+                    }
+                    bit += 1;
+                    prop_assert!(driver.remove(t).is_some());
+                    dead.insert(t);
+                    prop_assert!(driver.get(t).is_none());
+                }
+                drop(victims); // fds close; reuse becomes possible
+
+                // A fresh connection (very likely on a reused fd) must
+                // fire under its own token only.
+                let mut fresh_client = TcpConn::connect(&addr).unwrap();
+                let fresh = next_incoming(&driver);
+                prop_assert!(!dead.contains(&fresh), "token reissued");
+                driver.arm(fresh);
+                fresh_client.write_all(b"fresh").unwrap();
+                let mut saw_fresh = false;
+                let deadline = std::time::Instant::now() + Duration::from_secs(2);
+                while !saw_fresh && std::time::Instant::now() < deadline {
+                    match driver.next_event(Duration::from_millis(200)) {
+                        Some(DriverEvent::Readable(t)) => {
+                            prop_assert!(
+                                !dead.contains(&t),
+                                "stale Readable({}) in round {}", t, round
+                            );
+                            if t == fresh {
+                                saw_fresh = true;
+                            }
+                        }
+                        Some(_) | None => continue,
+                    }
+                }
+                prop_assert!(saw_fresh, "live connection must fire (round {})", round);
+                prop_assert!(driver.remove(fresh).is_some());
+                dead.insert(fresh);
+            }
+            // Every retired token still resolves to nothing.
+            for &t in &dead {
+                prop_assert!(driver.get(t).is_none());
+            }
+            driver.stop();
+        }
+    }
+}

@@ -5,6 +5,20 @@
 //! atomicity-constraint lock manager and optional Ball–Larus path
 //! profiling.
 //!
+//! The sharded event-driven runtime's steady-state event path is
+//! **batched and allocation-free**: sources may return a whole burst of
+//! flows per poll ([`SourceOutcome::Batch`] — the web server hands over
+//! one reactor round's readiness batch at a time), and the runtime
+//! routes the burst to its home shards with one queue lock and at most
+//! one condvar notify per destination shard (`route_home_batch`). A
+//! per-shard *parked* flag, maintained under the shard's queue lock,
+//! lets enqueuers skip the notify entirely when the dispatcher is
+//! provably awake. [`ShardStat::batches`]/[`ShardStat::batch_events`]
+//! expose the amortization factor, and on multi-core hosts each
+//! `flux-shard-N` thread pins itself to core `N mod host_cores`
+//! ([`affinity`]; opt out with `FLUX_PIN=0`), with the resulting state
+//! recorded in [`ServerStats::pinning`].
+//!
 //! ```
 //! use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome, FluxServer};
 //! use std::sync::atomic::{AtomicU32, Ordering};
@@ -40,6 +54,7 @@
 //! assert_eq!(server.stats.finished(), 10);
 //! ```
 
+pub mod affinity;
 pub mod locks;
 pub mod profile;
 pub mod profile_socket;
@@ -54,4 +69,4 @@ pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
 pub use runtimes::{shard_index, start, RuntimeKind, ServerHandle};
 pub use server::{FlowCursor, FluxServer, LockWait, Step};
-pub use stats::{LatencyHistogram, NetCounters, ServerStats, ShardStat};
+pub use stats::{LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardStat};

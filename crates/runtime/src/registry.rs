@@ -36,6 +36,11 @@ impl NodeOutcome {
 pub enum SourceOutcome<P> {
     /// A new flow carrying this payload.
     New(P),
+    /// Several new flows from one poll — a source that multiplexes a
+    /// batched readiness stream (`flux-net`'s `next_events`) hands the
+    /// whole burst over at once, and the sharded event runtime routes
+    /// it to each home shard under a single queue lock and wake-up.
+    Batch(Vec<P>),
     /// Nothing right now (e.g. accept timeout); loop again.
     Skip,
     /// Stop the server's source loop.

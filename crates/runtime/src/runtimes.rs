@@ -61,7 +61,7 @@ use crate::stats::ShardStat;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -144,7 +144,7 @@ pub fn start<P: Send + 'static>(server: Arc<FluxServer<P>>, kind: RuntimeKind) -
 fn source_loop<P: Send + 'static>(
     server: &Arc<FluxServer<P>>,
     fi: usize,
-    submit: impl Fn(FlowCursor, P) + Send + 'static,
+    submit: impl FnMut(&mut Vec<(FlowCursor, P)>) + Send + 'static,
 ) -> JoinHandle<()> {
     source_loop_on_exit(server, fi, submit, || {})
 }
@@ -152,7 +152,7 @@ fn source_loop<P: Send + 'static>(
 fn source_loop_counted<P: Send + 'static>(
     server: &Arc<FluxServer<P>>,
     fi: usize,
-    submit: impl Fn(FlowCursor, P) + Send + 'static,
+    submit: impl FnMut(&mut Vec<(FlowCursor, P)>) + Send + 'static,
     active: Option<Arc<std::sync::atomic::AtomicUsize>>,
 ) -> JoinHandle<()> {
     source_loop_on_exit(server, fi, submit, move || {
@@ -163,23 +163,26 @@ fn source_loop_counted<P: Send + 'static>(
 }
 
 /// The one source-lifecycle protocol every runtime shares: poll the
-/// source until it shuts down, hand each new flow to `submit`, then run
-/// `on_exit` (runtime-specific bookkeeping) exactly once.
+/// source until it shuts down, hand each batch of new flows to `submit`
+/// (one pair for a plain `New`, the whole burst for a `Batch`), then
+/// run `on_exit` (runtime-specific bookkeeping) exactly once. The batch
+/// vector is drained by `submit` and reused across polls, so the
+/// steady-state submission path allocates nothing.
 fn source_loop_on_exit<P: Send + 'static>(
     server: &Arc<FluxServer<P>>,
     fi: usize,
-    submit: impl Fn(FlowCursor, P) + Send + 'static,
+    mut submit: impl FnMut(&mut Vec<(FlowCursor, P)>) + Send + 'static,
     on_exit: impl FnOnce() + Send + 'static,
 ) -> JoinHandle<()> {
     let server = server.clone();
     thread::Builder::new()
         .name(format!("flux-source-{}", server.source_name(fi)))
         .spawn(move || {
-            loop {
-                match server.poll_source(fi) {
-                    None => break,
-                    Some(None) => continue,
-                    Some(Some((cursor, payload))) => submit(cursor, payload),
+            let mut batch: Vec<(FlowCursor, P)> = Vec::new();
+            while server.poll_source_batch(fi, &mut batch) {
+                if !batch.is_empty() {
+                    submit(&mut batch);
+                    batch.clear(); // submit drains; belt and braces
                 }
             }
             on_exit();
@@ -191,14 +194,16 @@ fn start_thread_per_flow<P: Send + 'static>(server: &Arc<FluxServer<P>>) -> Vec<
     (0..server.flow_count())
         .map(|fi| {
             let srv = server.clone();
-            source_loop(server, fi, move |cursor, payload| {
-                let srv = srv.clone();
-                // One thread per flow, as in the paper's naive runtime.
-                let _ = thread::Builder::new()
-                    .name("flux-flow".into())
-                    .spawn(move || {
-                        srv.run_flow(cursor, payload);
-                    });
+            source_loop(server, fi, move |batch: &mut Vec<(FlowCursor, P)>| {
+                for (cursor, payload) in batch.drain(..) {
+                    let srv = srv.clone();
+                    // One thread per flow, as in the paper's naive runtime.
+                    let _ = thread::Builder::new()
+                        .name("flux-flow".into())
+                        .spawn(move || {
+                            srv.run_flow(cursor, payload);
+                        });
+                }
             })
         })
         .collect()
@@ -227,9 +232,15 @@ fn start_thread_pool<P: Send + 'static>(
         .collect();
     for fi in 0..server.flow_count() {
         let tx = tx.clone();
-        threads.push(source_loop(server, fi, move |cursor, payload| {
-            let _ = tx.send((cursor, payload));
-        }));
+        threads.push(source_loop(
+            server,
+            fi,
+            move |batch: &mut Vec<(FlowCursor, P)>| {
+                for pair in batch.drain(..) {
+                    let _ = tx.send(pair);
+                }
+            },
+        ));
     }
     // Dropping the original sender here means workers exit when all
     // source loops have exited and the queue drains.
@@ -254,6 +265,13 @@ pub fn shard_index(key: u64, shards: usize) -> usize {
 struct Shard<P> {
     queue: Mutex<VecDeque<Event<P>>>,
     cond: Condvar,
+    /// True while the dispatcher is (about to be) blocked in its
+    /// condvar wait. Set and cleared under `queue`'s lock, and read by
+    /// enqueuers while they hold that same lock, so the check is
+    /// race-free: a known-awake shard (parked == false) is guaranteed
+    /// to re-examine its queue before it can park, and skipping the
+    /// `notify_one` saves a futex syscall per event on a busy shard.
+    parked: AtomicBool,
 }
 
 /// The shared state of the sharded event-driven runtime.
@@ -278,6 +296,7 @@ impl<P> ShardSet<P> {
                 .map(|_| Shard {
                     queue: Mutex::new(VecDeque::new()),
                     cond: Condvar::new(),
+                    parked: AtomicBool::new(false),
                 })
                 .collect(),
             stats: (0..n).map(|_| ShardStat::default()).collect(),
@@ -305,20 +324,77 @@ impl<P> ShardSet<P> {
         self.enqueue(home, ev);
     }
 
+    /// Routes a whole source batch by home shard: each shard's group is
+    /// appended under one queue lock with at most one wake-up, instead
+    /// of a lock+notify per event. `scratch` is the caller's reusable
+    /// partition buffer (one vector per shard), so the steady state
+    /// allocates nothing.
+    fn route_home_batch(&self, batch: &mut Vec<(FlowCursor, P)>, scratch: &mut Vec<Vec<Event<P>>>) {
+        let n = self.shards.len();
+        if scratch.len() < n {
+            scratch.resize_with(n, Vec::new);
+        }
+        for (cursor, payload) in batch.drain(..) {
+            let home = self.home_of(&cursor);
+            if cursor.session.is_some() {
+                self.stats[home].affine.fetch_add(1, Ordering::Relaxed);
+            }
+            scratch[home].push(Event { cursor, payload });
+        }
+        for (si, group) in scratch.iter_mut().enumerate().take(n) {
+            if !group.is_empty() {
+                self.enqueue_batch(si, group);
+            }
+        }
+    }
+
+    /// Appends `group` to shard `si`'s queue in one lock acquisition,
+    /// waking the dispatcher only if it is parked (a running shard
+    /// re-examines its queue anyway — the notify would be a wasted
+    /// syscall). Counted in [`ShardStat::batches`]/`batch_events`.
+    fn enqueue_batch(&self, si: usize, group: &mut Vec<Event<P>>) {
+        let count = group.len() as u64;
+        let shard = &self.shards[si];
+        let mut q = shard.queue.lock();
+        q.extend(group.drain(..));
+        let depth = q.len() as u64;
+        self.stats[si].enqueue(depth);
+        self.stats[si].batches.fetch_add(1, Ordering::Relaxed);
+        self.stats[si]
+            .batch_events
+            .fetch_add(count, Ordering::Relaxed);
+        let parked = shard.parked.load(Ordering::SeqCst);
+        drop(q);
+        if parked {
+            shard.cond.notify_one();
+        }
+        self.nudge_sibling(si, depth);
+    }
+
     /// Enqueues an event on shard `si` without affinity accounting
     /// (fairness re-queues stay wherever the event is running).
     fn enqueue(&self, si: usize, ev: Event<P>) {
-        let mut q = self.shards[si].queue.lock();
+        let shard = &self.shards[si];
+        let mut q = shard.queue.lock();
         q.push_back(ev);
         let depth = q.len() as u64;
         self.stats[si].enqueue(depth);
+        let parked = shard.parked.load(Ordering::SeqCst);
         drop(q);
-        self.shards[si].cond.notify_one();
-        // Backlog building on one shard: nudge a sibling so an idle
-        // thief notices without waiting out its idle timeout.
+        if parked {
+            shard.cond.notify_one();
+        }
+        self.nudge_sibling(si, depth);
+    }
+
+    /// Backlog building on one shard: nudge a sibling so an idle thief
+    /// notices without waiting out its idle timeout. Unconditional —
+    /// unlike the own-shard notify, a sibling's `parked` flag is not
+    /// read under that sibling's queue lock here, so gating on it could
+    /// miss a shard that is between its empty-check and its park.
+    fn nudge_sibling(&self, si: usize, depth: u64) {
         if depth > 1 && self.shards.len() > 1 {
-            let sibling = (si + 1) % self.shards.len();
-            self.shards[sibling].cond.notify_one();
+            self.shards[(si + 1) % self.shards.len()].cond.notify_one();
         }
     }
 
@@ -347,6 +423,23 @@ fn start_event_driven<P: Send + 'static>(
     let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
     let set = Arc::new(ShardSet::<P>::new(shards, server.flow_count()));
     server.stats.install_shards(set.stats.clone());
+
+    // Core pinning (opt out with FLUX_PIN=0): shard N takes core
+    // N mod host_cores, so session-affine queues stay cache-local. The
+    // state lands in ServerStats so bench artifacts can record whether
+    // a measurement ran pinned.
+    let pin = crate::affinity::should_pin();
+    server.stats.pinning.enabled.store(pin, Ordering::Relaxed);
+    server
+        .stats
+        .pinning
+        .host_cores
+        .store(crate::affinity::host_cores() as u64, Ordering::Relaxed);
+    server
+        .stats
+        .pinning
+        .pinned_threads
+        .store(0, Ordering::Relaxed);
 
     let mut threads = Vec::new();
 
@@ -390,7 +483,15 @@ fn start_event_driven<P: Send + 'static>(
         threads.push(
             thread::Builder::new()
                 .name(format!("flux-shard-{si}"))
-                .spawn(move || run_shard(&srv, &set, si, &io_tx))
+                .spawn(move || {
+                    if pin && crate::affinity::pin_current_thread(si) {
+                        srv.stats
+                            .pinning
+                            .pinned_threads
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    run_shard(&srv, &set, si, &io_tx)
+                })
                 .expect("spawn dispatcher shard"),
         );
     }
@@ -399,12 +500,15 @@ fn start_event_driven<P: Send + 'static>(
     for fi in 0..server.flow_count() {
         let submit_set = set.clone();
         let exit_set = set.clone();
+        // Reusable per-shard partition buffer: a whole source batch is
+        // routed with one queue lock per destination shard.
+        let mut scratch: Vec<Vec<Event<P>>> = Vec::new();
         threads.push(source_loop_on_exit(
             server,
             fi,
-            move |cursor, payload| {
-                submit_set.live.fetch_add(1, Ordering::SeqCst);
-                submit_set.route_home(Event { cursor, payload });
+            move |batch: &mut Vec<(FlowCursor, P)>| {
+                submit_set.live.fetch_add(batch.len(), Ordering::SeqCst);
+                submit_set.route_home_batch(batch, &mut scratch);
             },
             move || {
                 if exit_set.active_sources.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -473,10 +577,12 @@ fn run_shard<P: Send + 'static>(
                         // The thief is busy with `ev`: nudge a sibling
                         // so another idle shard notices the transferred
                         // backlog without waiting out its idle timeout
-                        // (same rationale as ShardSet::enqueue's nudge).
-                        // Skip the victim `j` — it is saturated, not
-                        // idle — which with n == 2 leaves no one to
-                        // nudge.
+                        // (same rationale as ShardSet::enqueue's nudge,
+                        // and unconditional for the same reason as
+                        // `nudge_sibling` — the sibling's parked flag
+                        // is not readable race-free from here). Skip
+                        // the victim `j` — it is saturated, not idle —
+                        // which with n == 2 leaves no one to nudge.
                         let t = (si + 1) % n;
                         let t = if t == j { (si + 2) % n } else { t };
                         if t != si {
@@ -497,10 +603,16 @@ fn run_shard<P: Send + 'static>(
                 // Wake-ups come from submissions to this shard, backlog
                 // nudges from busy siblings, and drain/shutdown
                 // broadcasts; the timeout is only a backstop, so idle
-                // shards cost ~100 wakeups/s, not a hot poll.
+                // shards cost ~100 wakeups/s, not a hot poll. The
+                // parked flag (set and cleared under the queue lock)
+                // tells enqueuers the notify is actually needed —
+                // while it is false the shard is provably awake and
+                // will re-examine its queue, so they skip the syscall.
+                set.shards[si].parked.store(true, Ordering::SeqCst);
                 set.shards[si]
                     .cond
                     .wait_for(&mut q, Duration::from_millis(10));
+                set.shards[si].parked.store(false, Ordering::SeqCst);
             }
             continue;
         };
@@ -654,9 +766,11 @@ fn start_staged<P: Send + 'static>(
         threads.push(source_loop_counted(
             server,
             fi,
-            move |cursor, payload| {
-                in_flight.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                route(&srv, &senders, &in_flight, cursor, payload);
+            move |batch: &mut Vec<(FlowCursor, P)>| {
+                for (cursor, payload) in batch.drain(..) {
+                    in_flight.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    route(&srv, &senders, &in_flight, cursor, payload);
+                }
             },
             Some(active_sources.clone()),
         ));

@@ -238,17 +238,50 @@ impl<P: Send + 'static> FluxServer<P> {
     }
 
     /// Pulls one unit of work from source `fi`. Returns `None` to stop
-    /// the source loop.
+    /// the source loop. Only valid for sources that never return
+    /// [`SourceOutcome::Batch`] (a batch cannot be squeezed into one
+    /// pair without losing events); runtimes use
+    /// [`FluxServer::poll_source_batch`], which handles both.
     pub fn poll_source(&self, fi: usize) -> Option<Option<(FlowCursor, P)>> {
-        if self.is_shutting_down() {
+        let mut out = Vec::with_capacity(1);
+        if !self.poll_source_batch(fi, &mut out) {
             return None;
         }
+        match out.len() {
+            0 => Some(None),
+            1 => Some(out.pop()),
+            n => panic!(
+                "poll_source cannot carry a batch of {n}; use poll_source_batch \
+                 for sources that return SourceOutcome::Batch"
+            ),
+        }
+    }
+
+    /// Pulls the next unit(s) of work from source `fi`, appending a
+    /// cursor/payload pair per new flow to `out` (zero pairs on a
+    /// skip). Returns `false` when the source loop should stop. This is
+    /// the batch-aware source protocol: a [`SourceOutcome::Batch`] of N
+    /// flows costs one poll, and the caller hands the whole vector to
+    /// the runtime's batched submission path.
+    pub fn poll_source_batch(&self, fi: usize, out: &mut Vec<(FlowCursor, P)>) -> bool {
+        if self.is_shutting_down() {
+            return false;
+        }
         match (self.flows[fi].source_fn)() {
-            SourceOutcome::Shutdown => None,
-            SourceOutcome::Skip => Some(None),
+            SourceOutcome::Shutdown => false,
+            SourceOutcome::Skip => true,
             SourceOutcome::New(payload) => {
                 let cursor = self.new_cursor(fi, &payload);
-                Some(Some((cursor, payload)))
+                out.push((cursor, payload));
+                true
+            }
+            SourceOutcome::Batch(payloads) => {
+                out.reserve(payloads.len());
+                for payload in payloads {
+                    let cursor = self.new_cursor(fi, &payload);
+                    out.push((cursor, payload));
+                }
+                true
             }
         }
     }

@@ -105,6 +105,14 @@ pub struct ShardStat {
     /// Events routed to this shard because of session affinity (the
     /// cursor carried a session id).
     pub affine: AtomicU64,
+    /// Batched appends this shard received (`route_home_batch` groups a
+    /// source's burst by home shard; each group lands under one queue
+    /// lock and at most one wake-up).
+    pub batches: AtomicU64,
+    /// Events delivered through those batched appends. `batch_events /
+    /// batches` is the mean batch size — the amortization factor of the
+    /// per-event lock+notify cost.
+    pub batch_events: AtomicU64,
 }
 
 impl ShardStat {
@@ -134,6 +142,34 @@ pub trait NetCounters: Send + Sync + std::fmt::Debug {
     fn writes_failed(&self) -> u64;
 }
 
+/// Thread-pinning state of the most recent sharded event-runtime run,
+/// recorded so benchmark artifacts can report whether a measurement ran
+/// with core affinity (`BENCH_hot_path.json` stores it per point).
+#[derive(Debug, Default)]
+pub struct PinningStat {
+    /// Pinning was attempted (multi-core host, `FLUX_PIN` not `0`).
+    pub enabled: std::sync::atomic::AtomicBool,
+    /// Hardware threads observed at start.
+    pub host_cores: AtomicU64,
+    /// Dispatcher shards that successfully pinned themselves.
+    pub pinned_threads: AtomicU64,
+}
+
+impl PinningStat {
+    /// One-line summary for logs and bench records.
+    pub fn describe(&self) -> String {
+        let cores = self.host_cores.load(Ordering::Relaxed);
+        if !self.enabled.load(Ordering::Relaxed) {
+            return format!("unpinned ({cores} core(s))");
+        }
+        format!(
+            "pinned {} shard(s) across {} core(s)",
+            self.pinned_threads.load(Ordering::Relaxed),
+            cores
+        )
+    }
+}
+
 /// Counters for every way a flow can finish, plus latency.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -143,6 +179,9 @@ pub struct ServerStats {
     pub handled: AtomicU64,
     pub nomatch: AtomicU64,
     pub latency: LatencyHistogram,
+    /// Core-affinity state of the most recent sharded event-runtime
+    /// run (see [`PinningStat`]); all-zero under other runtimes.
+    pub pinning: PinningStat,
     /// Installed by the sharded event-driven runtime at start; `None`
     /// under the other runtimes. Every `start` installs a fresh block
     /// sized to its own shard count, so restarting the same server with

@@ -218,6 +218,135 @@ fn steals_take_half_the_victims_queue() {
     }
 }
 
+/// Batch delivery ordering: a source that hands over bursts via
+/// `SourceOutcome::Batch` keeps exact FIFO execution order on a single
+/// shard — `route_home_batch` appends a burst intact (one queue lock),
+/// and cross-batch order follows submission order.
+#[test]
+fn batched_submission_preserves_fifo_on_single_shard() {
+    let program = flux_core::compile(
+        "
+        Gen () => (int v);
+        Work (int v) => ();
+        Flow = Work;
+        source Gen => Flow;
+        ",
+    )
+    .unwrap();
+    let total = 600u64;
+    let produced = AtomicU64::new(0);
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    reg.source("Gen", move || {
+        let start = produced.load(Ordering::SeqCst);
+        if start >= total {
+            return SourceOutcome::Shutdown;
+        }
+        // Varying batch sizes 1..=7, covering the New/Batch boundary.
+        let k = (start % 7 + 1).min(total - start);
+        produced.fetch_add(k, Ordering::SeqCst);
+        if k == 1 {
+            SourceOutcome::New(start)
+        } else {
+            SourceOutcome::Batch((start..start + k).collect())
+        }
+    });
+    let order: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o2 = order.clone();
+    reg.node("Work", move |v: &mut u64| {
+        o2.lock().push(*v);
+        NodeOutcome::Ok
+    });
+    let server = Arc::new(FluxServer::new(program, reg).unwrap());
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: 1,
+            io_workers: 1,
+        },
+    );
+    handle.join();
+    assert_eq!(server.stats.finished(), total);
+    let order = order.lock();
+    let expect: Vec<u64> = (0..total).collect();
+    assert_eq!(*order, expect, "single-shard execution is exact FIFO");
+    let stats = server.stats.shard_stats().unwrap();
+    assert!(
+        stats[0].batch_events.load(Ordering::Relaxed) >= total,
+        "every event travelled through a batched append"
+    );
+    assert!(
+        stats[0].batches.load(Ordering::Relaxed) < total,
+        "bursts amortize: fewer appends than events"
+    );
+}
+
+/// Batched routing composes with work stealing (the stolen-batch FIFO
+/// prepend from PR 3): with every session homed on one shard and the
+/// source submitting bursts, thieves bulk-transfer backlog and every
+/// event still completes exactly once, leaving all queues empty.
+#[test]
+fn batched_routing_survives_stealing() {
+    const SHARDS: usize = 4;
+    let sessions = Arc::new(sessions_on_shard_zero(SHARDS, 8));
+    let program = flux_core::compile(
+        "
+        Gen () => (int sid);
+        Spin (int sid) => ();
+        Flow = Spin;
+        source Gen => Flow;
+        ",
+    )
+    .unwrap();
+    let total = 2_000u64;
+    let produced = AtomicU64::new(0);
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    let s2 = sessions.clone();
+    reg.source("Gen", move || {
+        let start = produced.load(Ordering::SeqCst);
+        if start >= total {
+            return SourceOutcome::Shutdown;
+        }
+        let k = (start % 5 + 1).min(total - start);
+        produced.fetch_add(k, Ordering::SeqCst);
+        SourceOutcome::Batch(
+            (start..start + k)
+                .map(|i| s2[(i % s2.len() as u64) as usize])
+                .collect(),
+        )
+    });
+    reg.session("Gen", |sid: &u64| *sid);
+    reg.node("Spin", |_| {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(100) {
+            std::hint::spin_loop();
+        }
+        NodeOutcome::Ok
+    });
+    let server = Arc::new(FluxServer::new(program, reg).unwrap());
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: SHARDS,
+            io_workers: 1,
+        },
+    );
+    handle.join();
+    assert_eq!(server.stats.finished(), total, "no event lost or doubled");
+    let stats = server.stats.shard_stats().unwrap();
+    let batched: u64 = stats
+        .iter()
+        .map(|s| s.batch_events.load(Ordering::Relaxed))
+        .sum();
+    assert!(batched >= total, "all submissions took the batched path");
+    assert!(
+        server.stats.total_steals() > 0,
+        "thieves must steal from the saturated home shard"
+    );
+    for (i, st) in stats.iter().enumerate() {
+        assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {i} drained");
+    }
+}
+
 /// Requesting shutdown while shard queues are non-empty drains cleanly:
 /// every started flow finishes, none is lost in a queue.
 #[test]

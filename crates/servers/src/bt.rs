@@ -389,7 +389,10 @@ pub fn build(
     // written: the seed version held the connection lock across
     // `write_all` on an I/O worker — exactly the hidden blocking the
     // event-driven runtime exists to avoid. The reactor drains the
-    // bytes via POLLOUT if the peer's socket is full.
+    // bytes via POLLOUT if the peer's socket is full. The reply is
+    // framed directly from the piece store into a pooled buffer
+    // (`encode_piece_into` + `submit_write_buf`), so the steady-state
+    // seeding path allocates nothing and copies the block once.
     let c = ctx.clone();
     reg.node("Request", move |f: &mut BtFlow| {
         let Some(Message::Request {
@@ -403,12 +406,9 @@ pub fn build(
         let Some(block) = c.store.read_block(index, begin, length) else {
             return NodeOutcome::Err(2);
         };
-        let reply = Message::Piece {
-            index,
-            begin,
-            data: block.to_vec(),
-        };
-        if !c.driver.submit_write(f.token, &reply.encode()) {
+        let mut reply = c.driver.take_write_buf();
+        Message::encode_piece_into(index, begin, block, &mut reply);
+        if !c.driver.submit_write_buf(f.token, reply) {
             return NodeOutcome::Err(4);
         }
         c.blocks_served.fetch_add(1, Ordering::Relaxed);

@@ -14,12 +14,24 @@
 //! non-blocking write path and completes immediately, leaving partial
 //! writes to the reactor's `POLLOUT` drain — no I/O worker is ever
 //! parked in `send(2)` and no connection lock is held across a send.
+//!
+//! Event delivery defaults to [`HotPath::Batched`]: `Listen` drains a
+//! whole reactor round per poll and hands the burst to the runtime as
+//! one `SourceOutcome::Batch` (one shard-queue lock downstream),
+//! responses serialize into the driver's pooled buffers, and request
+//! heads parse into per-connection scratch — the steady-state request
+//! path performs no hashing and no heap allocation.
+//! [`HotPath::PerEvent`] preserves the old behaviour for the
+//! old-vs-new ablation (`BENCH_hot_path.json`).
 
 use crate::builder::{RunningServer, ServerSpec};
 use flux_core::CompiledProgram;
-use flux_http::{mime_for, read_request, DocRoot, ParseError, Request, Response, Value};
+use flux_http::{
+    mime_for, read_request, read_request_buffered, DocRoot, ParseError, Request, Response, Value,
+};
 use flux_net::{ConnDriver, DriverEvent, Listener, NetConfig, SharedConn, Token};
 use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,6 +66,22 @@ pub const FLUX_SRC: &str = r#"
     blocking ReadRequest;
 "#;
 
+/// How events travel from the driver into flows — the new batched,
+/// pooled hot path versus the pre-slab per-event behaviour (kept for
+/// the old-vs-new ablation, `BENCH_hot_path.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HotPath {
+    /// `Listen` drains a whole readiness batch per poll
+    /// (`ConnDriver::next_events` → `SourceOutcome::Batch`, one shard
+    /// queue lock per burst), responses serialize into pooled buffers,
+    /// and request heads parse into per-connection scratch. Default.
+    #[default]
+    Batched,
+    /// One event per poll, a fresh allocation per response and per
+    /// request head — the per-event delivery PRs 1–3 shipped.
+    PerEvent,
+}
+
 /// How the `Write` node transmits responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WriteMode {
@@ -87,6 +115,8 @@ pub struct WebCtx {
     pub bytes_out: AtomicU64,
     /// Requests served (any status).
     pub requests: AtomicU64,
+    /// Buffer pooling on (the [`HotPath::Batched`] configuration).
+    pooled: bool,
 }
 
 impl WebCtx {
@@ -122,18 +152,28 @@ impl WebCtx {
     /// `bytes_out` counts bytes *accepted for transmission*; a write
     /// that later fails mid-drain is still counted (benchmark goodput
     /// is measured client-side, so this only affects the server's own
-    /// gauge).
+    /// gauge). With pooling on, the serialization buffer comes from
+    /// (and returns to) the driver's bounded pool, so the steady-state
+    /// reply path performs no heap allocation.
     fn send_response(&self, token: Token, resp: &Response, close: bool) -> bool {
-        let mut bytes = Vec::with_capacity(resp.wire_len(!close));
+        let mut bytes = if self.pooled {
+            self.driver.take_write_buf()
+        } else {
+            Vec::new()
+        };
+        bytes.reserve(resp.wire_len(!close));
         resp.write_to(&mut bytes, !close)
             .expect("serializing a response to memory cannot fail");
-        if self.driver.submit_write(token, &bytes) {
-            self.bytes_out
-                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-            true
+        let len = bytes.len() as u64;
+        let ok = if self.pooled {
+            self.driver.submit_write_buf(token, bytes)
         } else {
-            false
+            self.driver.submit_write(token, &bytes)
+        };
+        if ok {
+            self.bytes_out.fetch_add(len, Ordering::Relaxed);
         }
+        ok
     }
 }
 
@@ -142,15 +182,18 @@ pub struct WebSpec {
     pub listener: Box<dyn Listener>,
     pub docroot: DocRoot,
     pub write_mode: WriteMode,
+    pub hot_path: HotPath,
 }
 
 impl WebSpec {
-    /// A spec with the default (reactor) write mode.
+    /// A spec with the default (reactor) write mode and the batched,
+    /// pooled hot path.
     pub fn new(listener: Box<dyn Listener>, docroot: DocRoot) -> Self {
         WebSpec {
             listener,
             docroot,
             write_mode: WriteMode::Reactor,
+            hot_path: HotPath::Batched,
         }
     }
 
@@ -160,6 +203,13 @@ impl WebSpec {
         self.write_mode = mode;
         self
     }
+
+    /// Overrides the event-delivery/buffer strategy (the per-event mode
+    /// is kept for the old-vs-new hot-path ablation).
+    pub fn hot_path(mut self, mode: HotPath) -> Self {
+        self.hot_path = mode;
+        self
+    }
 }
 
 impl ServerSpec for WebSpec {
@@ -167,7 +217,7 @@ impl ServerSpec for WebSpec {
     type Ctx = Arc<WebCtx>;
 
     fn build(self, net: &NetConfig) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
-        build_with(self.listener, self.docroot, self.write_mode, net)
+        build_spec(self, net)
     }
 
     fn driver(ctx: &Arc<WebCtx>) -> Option<Arc<ConnDriver>> {
@@ -181,7 +231,7 @@ pub fn build(
     listener: Box<dyn Listener>,
     docroot: DocRoot,
 ) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
-    build_with(listener, docroot, WriteMode::Reactor, &NetConfig::default())
+    build_spec(WebSpec::new(listener, docroot), &NetConfig::default())
 }
 
 /// Builds the compiled program, node registry and shared context.
@@ -194,6 +244,24 @@ pub fn build_with(
     write_mode: WriteMode,
     net: &NetConfig,
 ) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
+    build_spec(WebSpec::new(listener, docroot).write_mode(write_mode), net)
+}
+
+/// How many driver events one `Listen` poll may drain in batched mode.
+/// Bounds a single shard-queue append (and the flow vector) without
+/// ever splitting a typical reactor round.
+const LISTEN_BATCH: usize = 128;
+
+fn build_spec(
+    spec: WebSpec,
+    net: &NetConfig,
+) -> (CompiledProgram, NodeRegistry<WebFlow>, Arc<WebCtx>) {
+    let WebSpec {
+        listener,
+        docroot,
+        write_mode,
+        hot_path,
+    } = spec;
     let program = flux_core::compile(FLUX_SRC).expect("web server Flux program compiles");
     let driver = Arc::new(ConnDriver::with_config(net));
     driver.spawn_acceptor(listener);
@@ -203,6 +271,7 @@ pub fn build_with(
         docroot,
         bytes_out: AtomicU64::new(0),
         requests: AtomicU64::new(0),
+        pooled: hot_path == HotPath::Batched,
     });
 
     let mut reg: NodeRegistry<WebFlow> = NodeRegistry::new();
@@ -212,22 +281,65 @@ pub fn build_with(
     // completions need no action here — the driver already retired the
     // submission (and performed any deferred close on the final
     // `WriteDone`, or removed the connection on `WriteFailed`).
-    let c = ctx.clone();
-    reg.source("Listen", move || match c.driver.next_event(io_timeout) {
-        None => SourceOutcome::Skip,
-        Some(DriverEvent::Incoming(token)) => {
-            c.driver.arm(token);
-            SourceOutcome::Skip
+    match hot_path {
+        HotPath::Batched => {
+            // Batched: one poll drains a whole reactor round; the burst
+            // of readable connections becomes one SourceOutcome::Batch,
+            // which the sharded runtime appends to each home shard
+            // under a single queue lock. The event buffer is reused
+            // across polls (the source closure is shared state, hence
+            // the mutex — it is only ever locked from the one source
+            // thread, so it is never contended).
+            let c = ctx.clone();
+            let events: Mutex<Vec<DriverEvent>> = Mutex::new(Vec::new());
+            reg.source("Listen", move || {
+                let mut buf = events.lock();
+                buf.clear();
+                if c.driver.next_events(&mut buf, LISTEN_BATCH, io_timeout) == 0 {
+                    return SourceOutcome::Skip;
+                }
+                let mut flows: Vec<WebFlow> = Vec::with_capacity(buf.len());
+                for ev in buf.drain(..) {
+                    match ev {
+                        DriverEvent::Incoming(token) => c.driver.arm(token),
+                        DriverEvent::WriteDone(_) | DriverEvent::WriteFailed(_) => {}
+                        DriverEvent::Readable(token) => flows.push(WebFlow {
+                            token,
+                            close: false,
+                            request: None,
+                            response: None,
+                            conn: c.driver.get(token),
+                        }),
+                    }
+                }
+                match flows.len() {
+                    0 => SourceOutcome::Skip,
+                    1 => SourceOutcome::New(flows.pop().expect("len checked")),
+                    _ => SourceOutcome::Batch(flows),
+                }
+            });
         }
-        Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => SourceOutcome::Skip,
-        Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
-            token,
-            close: false,
-            request: None,
-            response: None,
-            conn: c.driver.get(token),
-        }),
-    });
+        HotPath::PerEvent => {
+            let c = ctx.clone();
+            reg.source("Listen", move || match c.driver.next_event(io_timeout) {
+                None => SourceOutcome::Skip,
+                Some(DriverEvent::Incoming(token)) => {
+                    c.driver.arm(token);
+                    SourceOutcome::Skip
+                }
+                Some(DriverEvent::WriteDone(_)) | Some(DriverEvent::WriteFailed(_)) => {
+                    SourceOutcome::Skip
+                }
+                Some(DriverEvent::Readable(token)) => SourceOutcome::New(WebFlow {
+                    token,
+                    close: false,
+                    request: None,
+                    response: None,
+                    conn: c.driver.get(token),
+                }),
+            });
+        }
+    }
 
     let c = ctx.clone();
     reg.node_blocking("ReadRequest", move |f: &mut WebFlow| {
@@ -236,7 +348,19 @@ pub fn build_with(
         };
         f.conn = Some(conn.clone());
         let mut guard = conn.lock();
-        match read_request(&mut **guard) {
+        // Pooled mode parses the request head into the connection's
+        // scratch buffer, reused across every request on a keep-alive
+        // connection (slot lock under conn lock is the crate-wide
+        // order, so taking it here is safe).
+        let parsed = if c.pooled {
+            let mut scratch = c.driver.take_read_buf(f.token);
+            let parsed = read_request_buffered(&mut **guard, &mut scratch);
+            c.driver.put_read_buf(f.token, scratch);
+            parsed
+        } else {
+            read_request(&mut **guard)
+        };
+        match parsed {
             Ok(req) => {
                 drop(guard);
                 c.requests.fetch_add(1, Ordering::Relaxed);
@@ -414,11 +538,17 @@ mod tests {
     }
 
     fn run_web_test(runtime: RuntimeKind) {
+        run_web_test_mode(runtime, HotPath::Batched);
+    }
+
+    fn run_web_test_mode(runtime: RuntimeKind, hot_path: HotPath) {
         let net = MemNet::new();
         let listener = net.listen("web").unwrap();
-        let server = crate::ServerBuilder::new(WebSpec::new(Box::new(listener), docroot()))
-            .runtime(runtime)
-            .spawn();
+        let server = crate::ServerBuilder::new(
+            WebSpec::new(Box::new(listener), docroot()).hot_path(hot_path),
+        )
+        .runtime(runtime)
+        .spawn();
 
         let (status, body) = get(&net, "/index.html");
         assert_eq!((status, body.as_slice()), (200, b"<h1>home</h1>".as_ref()));
@@ -461,6 +591,19 @@ mod tests {
     #[test]
     fn serves_on_thread_per_flow() {
         run_web_test(RuntimeKind::ThreadPerFlow);
+    }
+
+    /// The pre-slab per-event mode (kept for the old-vs-new hot-path
+    /// ablation) must stay fully functional.
+    #[test]
+    fn serves_on_per_event_hot_path() {
+        run_web_test_mode(
+            RuntimeKind::EventDriven {
+                shards: 2,
+                io_workers: 4,
+            },
+            HotPath::PerEvent,
+        );
     }
 
     #[test]
