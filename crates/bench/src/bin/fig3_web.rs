@@ -107,18 +107,9 @@ fn main() {
                         // The shard sweep of the event runtime: the
                         // paper's single dispatcher versus 2- and 4-core
                         // sharded dispatch.
-                        "flux-event" => RuntimeKind::EventDriven {
-                            shards: 1,
-                            io_workers: workers,
-                        },
-                        "flux-event-s2" => RuntimeKind::EventDriven {
-                            shards: 2,
-                            io_workers: workers,
-                        },
-                        "flux-event-s4" => RuntimeKind::EventDriven {
-                            shards: 4,
-                            io_workers: workers,
-                        },
+                        "flux-event" => RuntimeKind::event_driven_sharded(1, workers),
+                        "flux-event-s2" => RuntimeKind::event_driven_sharded(2, workers),
+                        "flux-event-s4" => RuntimeKind::event_driven_sharded(4, workers),
                         "flux-staged" => RuntimeKind::Staged {
                             stage_workers: workers / 4 + 1,
                         },

@@ -57,10 +57,7 @@ fn main() {
                 _ => {
                     let kind = match server {
                         "flux-threadpool" => RuntimeKind::ThreadPool { workers },
-                        "flux-event" => RuntimeKind::EventDriven {
-                            shards: 1,
-                            io_workers: workers,
-                        },
+                        "flux-event" => RuntimeKind::event_driven_sharded(1, workers),
                         _ => RuntimeKind::ThreadPerFlow,
                     };
                     let s = flux_servers::ServerBuilder::new(flux_servers::bt::BtConfig {

@@ -51,10 +51,7 @@ fn main() {
                 _ => {
                     let kind = match server {
                         "flux-threadpool" => RuntimeKind::ThreadPool { workers: 4 },
-                        _ => RuntimeKind::EventDriven {
-                            shards: 1,
-                            io_workers: 2,
-                        },
+                        _ => RuntimeKind::event_driven_sharded(1, 2),
                     };
                     let s = flux_servers::ServerBuilder::new(flux_servers::game::GameConfig {
                         socket: sock,

@@ -25,6 +25,6 @@ pub mod zipf;
 pub use btload::{run_bt_load, BtLoadReport};
 pub use gameload::{run_game_load, GameLoadReport};
 pub use report::{env_or, f, ms, Table};
-pub use webload::{run_slow_reader_tcp_load, run_web_load, LoadReport};
+pub use webload::{percentile_ns, run_slow_reader_tcp_load, run_web_load, LoadReport};
 pub use webset::WebSet;
 pub use zipf::Zipf;

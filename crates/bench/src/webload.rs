@@ -144,12 +144,7 @@ pub fn run_web_load(
 
     let reqs = requests.load(Ordering::Relaxed);
     let mut lat = latencies.lock().clone();
-    lat.sort_unstable();
-    let p95 = if lat.is_empty() {
-        Duration::ZERO
-    } else {
-        Duration::from_nanos(lat[(lat.len() - 1) * 95 / 100])
-    };
+    let p95 = percentile_ns(&mut lat, 0.95);
     LoadReport {
         clients,
         duration: measured,
@@ -264,12 +259,7 @@ pub fn run_slow_reader_tcp_load(
 
     let reqs = requests.load(Ordering::Relaxed);
     let mut lat = latencies.lock().clone();
-    lat.sort_unstable();
-    let p95 = if lat.is_empty() {
-        Duration::ZERO
-    } else {
-        Duration::from_nanos(lat[(lat.len() - 1) * 95 / 100])
-    };
+    let p95 = percentile_ns(&mut lat, 0.95);
     LoadReport {
         clients,
         duration: measured,
@@ -284,6 +274,20 @@ pub fn run_slow_reader_tcp_load(
         ),
         p95_latency: p95,
     }
+}
+
+/// Sorts `lat_ns` and returns the `q`-quantile (`0..=1`) as a
+/// `Duration`, using the floor of `(len - 1) * q` — the one percentile
+/// definition every bench report shares, so p95 columns computed by
+/// different harnesses (closed-loop load reports, ablation 9's trickle
+/// probes) are comparable.
+pub fn percentile_ns(lat_ns: &mut [u64], q: f64) -> Duration {
+    if lat_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    lat_ns.sort_unstable();
+    let idx = ((lat_ns.len() - 1) as f64 * q) as usize;
+    Duration::from_nanos(lat_ns[idx])
 }
 
 #[cfg(test)]

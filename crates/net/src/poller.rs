@@ -241,7 +241,11 @@ fn timeout_ms(timeout: Duration) -> sys::c_int {
 /// bookkeeping per wait is O(changes since the last wait) — the old
 /// rebuild-from-a-HashMap-every-round cost is gone. The kernel scan
 /// itself remains O(watched fds): that is inherent to `poll(2)` and is
-/// exactly the cost the epoll backend exists to avoid.
+/// exactly the cost the epoll backend exists to avoid. Both tables
+/// shrink back after churn (see `maybe_shrink`): when the watch count
+/// falls to a quarter of a table's size, capacity is released, so a
+/// connection spike does not pin peak-fd-sized vectors for the rest of
+/// the server's life.
 ///
 /// One-shot emulation: a fired entry's fd is negated in place
 /// (`poll(2)` ignores negative fds, clearing their `revents`), which
@@ -254,6 +258,12 @@ pub struct PollPoller {
     /// indexed by raw fd. Raw fds are small kernel-allocated integers,
     /// so this is a dense table, not a map.
     index_of: Vec<usize>,
+    /// 1 + the highest registered fd (0 when nothing is registered):
+    /// the live tail of `index_of`, maintained incrementally — bumped
+    /// on `add`, recomputed (one backward scan) only when the highest
+    /// fd itself is deleted — so the shrink check in `maybe_shrink`
+    /// never scans on an ordinary delete.
+    tail: usize,
 }
 
 /// Masks a fired entry: negative fds are ignored by `poll(2)`.
@@ -287,6 +297,7 @@ impl PollPoller {
         PollPoller {
             pollfds: Vec::new(),
             index_of: Vec::new(),
+            tail: 0,
         }
     }
 
@@ -294,6 +305,33 @@ impl PollPoller {
         match self.index_of.get(fd as usize) {
             Some(&i) if i != usize::MAX => Some(i),
             _ => None,
+        }
+    }
+
+    /// Memory footprint observability for the churn-shrink tests and
+    /// debugging: `(pollfd array capacity, fd-index table length)`.
+    /// Not part of the [`Poller`] contract.
+    pub fn footprint(&self) -> (usize, usize) {
+        (self.pollfds.capacity(), self.index_of.len())
+    }
+
+    /// Gives memory back after churn, so a long-lived server that once
+    /// peaked at N connections (or at a high fd number) does not hold
+    /// peak-sized tables forever. Called from `delete`; every check is
+    /// a cheap comparison (the live tail is maintained incrementally,
+    /// see [`PollPoller::tail`]), so deletes stay O(1) outside the rare
+    /// highest-fd recompute.
+    fn maybe_shrink(&mut self) {
+        const FLOOR: usize = 64;
+        if self.pollfds.capacity() > FLOOR && self.pollfds.len() * 4 <= self.pollfds.capacity() {
+            self.pollfds
+                .shrink_to(self.pollfds.len().max(FLOOR / 2) * 2);
+        }
+        // The table is dense by raw fd: everything past the highest
+        // registered fd (`tail`) is reclaimable.
+        if self.index_of.len() > FLOOR && self.tail * 2 <= self.index_of.len() {
+            self.index_of.truncate(self.tail);
+            self.index_of.shrink_to(self.tail.max(FLOOR / 2) * 2);
         }
     }
 }
@@ -335,6 +373,7 @@ impl Poller for PollPoller {
                     self.index_of.resize(idx + 1, usize::MAX);
                 }
                 self.index_of[idx] = i;
+                self.tail = self.tail.max(idx + 1);
             }
         }
         Ok(())
@@ -358,6 +397,16 @@ impl Poller for PollPoller {
         if let Some(moved) = self.pollfds.get(i) {
             self.index_of[unmasked(moved.fd) as usize] = i;
         }
+        // Deleting the highest registered fd moves the live tail down:
+        // recompute it with one backward scan (amortized — each scanned
+        // slot was paid for by the add that grew past it).
+        if fd as usize + 1 == self.tail {
+            self.tail = self.index_of[..self.tail]
+                .iter()
+                .rposition(|&i| i != usize::MAX)
+                .map_or(0, |p| p + 1);
+        }
+        self.maybe_shrink();
         Ok(())
     }
 
@@ -693,6 +742,53 @@ mod tests {
         }
         p.wait(&mut events, Duration::from_millis(10)).unwrap();
         assert!(events.is_empty());
+    }
+
+    /// After a connection spike drains, both of PollPoller's tables
+    /// give their memory back instead of staying peak-sized, and the
+    /// surviving watch still delivers.
+    #[test]
+    fn poll_shrinks_tables_after_churn() {
+        let mut p = PollPoller::new();
+        let keeper = std::io::pipe().unwrap();
+        p.add(keeper.0.as_raw_fd(), Interest::READ).unwrap();
+
+        // Spike: hold 128 pipes (256 fds) watched at once, so both the
+        // pollfd array and the fd-indexed side table grow well past the
+        // shrink floor.
+        let spike: Vec<_> = (0..128).map(|_| std::io::pipe().unwrap()).collect();
+        for (rx, _tx) in &spike {
+            p.add(rx.as_raw_fd(), Interest::READ).unwrap();
+        }
+        let (peak_cap, peak_index) = p.footprint();
+        assert!(peak_cap >= 129, "pollfds grew to the spike ({peak_cap})");
+        assert!(
+            peak_index > 128,
+            "fd table grew to the peak fd ({peak_index})"
+        );
+
+        // Churn out: the spike's connections close.
+        for (rx, _tx) in &spike {
+            p.delete(rx.as_raw_fd()).unwrap();
+        }
+        drop(spike);
+        let (cap, index) = p.footprint();
+        assert!(
+            cap < peak_cap && cap <= 64,
+            "pollfd capacity must shrink after churn ({peak_cap} -> {cap})"
+        );
+        assert!(
+            index < peak_index,
+            "fd-index table must drop its unregistered tail ({peak_index} -> {index})"
+        );
+
+        // The surviving watch is untouched by the shrink.
+        keeper.1.try_clone().unwrap().write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fd, keeper.0.as_raw_fd());
+        p.delete(keeper.0.as_raw_fd()).unwrap();
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //! ([`affinity`]; opt out with `FLUX_PIN=0`), with the resulting state
 //! recorded in [`ServerStats::pinning`].
 //!
+//! The dispatcher set is also **elastic**: with
+//! [`AdaptivePolicy::Adaptive`], a controller loop samples every
+//! shard's depth/steal/batch counters into a [`ShardLoadWindow`] each
+//! tick, parks the highest-indexed dispatcher after a full idle window
+//! and wakes a parked one within a single tick of observing standing
+//! queue depth. The controller's invariants — parks commit only after
+//! the shard drain-forwards its queue to active siblings, enqueuers
+//! can't race a park because the routing prefix and the shard's
+//! deactivated flag change under the same queue lock they hold, and
+//! session routing only ever targets active shards — are spelled out in
+//! the [`runtimes`] module docs ("Adaptive shard scaling").
+//! [`AdaptivePolicy::Static`] (the default) keeps the paper's fixed
+//! dispatcher set, and [`ServerStats::adaptive`] reports the active
+//! count plus cumulative park/wake totals either way.
+//!
 //! ```
 //! use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome, FluxServer};
 //! use std::sync::atomic::{AtomicU32, Ordering};
@@ -67,6 +82,9 @@ pub use locks::{FlowId, LockManager, ReentrantRwLock};
 pub use profile::{HotOrder, HotPath, PathProfiler};
 pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
-pub use runtimes::{shard_index, start, RuntimeKind, ServerHandle};
+pub use runtimes::{shard_index, start, AdaptiveConfig, AdaptivePolicy, RuntimeKind, ServerHandle};
 pub use server::{FlowCursor, FluxServer, LockWait, Step};
-pub use stats::{LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardStat};
+pub use stats::{
+    AdaptiveStat, LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardLoadWindow,
+    ShardSample, ShardStat,
+};

@@ -42,11 +42,40 @@
 //!   Per-shard queue-depth, steal and affinity counters land in
 //!   [`crate::stats::ShardStat`].
 //!
+//!   **Adaptive shard scaling.** With
+//!   [`AdaptivePolicy::Adaptive`], a controller thread
+//!   (`flux-adaptive`) samples every shard's depth/steal/batch counters
+//!   into a [`ShardLoadWindow`](crate::stats::ShardLoadWindow) each
+//!   tick and resizes the *routing prefix* `0..active`: after a full
+//!   idle window it parks the highest active shard, and the first tick
+//!   that shows standing queue depth it wakes the lowest parked one
+//!   (SEDA-style load-driven sizing; `AdaptivePolicy::Static` keeps the
+//!   paper's fixed dispatcher set). The park protocol preserves three
+//!   invariants: (1) *enqueuers can't race a park* — the prefix shrink
+//!   and the shard's `deactivated` flag are written inside that shard's
+//!   queue lock, the same lock every enqueuer holds, so a submitter
+//!   either routes by the new prefix or its event lands where the
+//!   parked dispatcher will see it; (2) *work drains before a park
+//!   commits* — the deactivated dispatcher forwards its whole queue to
+//!   active siblings (counted in `ShardStat::forwarded`) before first
+//!   blocking, and keeps forwarding stragglers while parked, so no
+//!   event is ever executed on, or stranded behind, a parked shard;
+//!   (3) *session affinity follows the prefix* — `home_of` hashes over
+//!   the active count only, so new flows, I/O completions and
+//!   `WouldBlock` retries never target a parked shard (affinity is a
+//!   locality heuristic; the lock manager is global, so a prefix resize
+//!   remaps sessions without any correctness impact). Park/wake totals
+//!   and the live active count surface in
+//!   [`crate::stats::ServerStats::adaptive`].
+//!
 //!   **Shutdown.** A shard may exit only when every source loop has
 //!   exited *and* the global live-event count is zero; the count is
 //!   incremented at submission and decremented at `Step::Done`, so
 //!   events parked in sibling queues or the I/O pool keep every shard
-//!   alive until the system is fully drained.
+//!   alive until the system is fully drained. A controller-parked shard
+//!   obeys the same rule: its wait loop re-checks the drain condition
+//!   (woken by the same `wake_all` broadcasts), so shutdown never hangs
+//!   on a parked dispatcher.
 //! * **Staged** — a SEDA-style runtime (paper §3.2.3 reports a prototype
 //!   "that targets Java, using both SEDA and a custom runtime
 //!   implementation"): every concrete node is a stage with its own FIFO
@@ -57,7 +86,7 @@
 //! [`FluxServer`] value runs unchanged on any of the four.
 
 use crate::server::{FlowCursor, FluxServer, LockWait, Step};
-use crate::stats::ShardStat;
+use crate::stats::{ShardLoadWindow, ShardStat};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -65,6 +94,89 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// How the sharded event-driven runtime sizes its dispatcher set while
+/// running.
+///
+/// [`AdaptivePolicy::Static`] keeps every configured shard hot for the
+/// server's whole life — the paper's fixed-dispatcher semantics (and
+/// with `shards: 1`, its exact single-dispatcher configuration).
+/// [`AdaptivePolicy::Adaptive`] starts all `shards` dispatchers but
+/// runs a controller loop that *parks* idle dispatchers and wakes them
+/// when load returns: SEDA's observation that per-stage controllers
+/// driven by observed load beat static sizing, applied to the paper's
+/// event runtime. See the module docs ("Adaptive shard scaling") for
+/// the park/wake protocol and its invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptivePolicy {
+    /// Fixed dispatcher set; no controller thread. The default, and the
+    /// paper's semantics.
+    #[default]
+    Static,
+    /// Park idle dispatchers and wake them on burst, governed by the
+    /// given controller configuration. With `shards: 1` the controller
+    /// has nothing to do (the floor is one dispatcher), so no
+    /// controller thread is started and
+    /// [`crate::stats::AdaptiveStat::enabled`] reports `false` — the
+    /// runtime is exactly the paper's single-dispatcher configuration.
+    Adaptive(AdaptiveConfig),
+}
+
+impl AdaptivePolicy {
+    /// The adaptive controller with its default tuning
+    /// ([`AdaptiveConfig::default`]).
+    pub fn adaptive() -> Self {
+        AdaptivePolicy::Adaptive(AdaptiveConfig::default())
+    }
+}
+
+/// Tuning of the adaptive shard controller (see [`AdaptivePolicy`]).
+///
+/// The controller samples every shard's depth/steal/batch counters into
+/// a [`ShardLoadWindow`] once per `sample_every` tick, then applies two
+/// rules with deliberate asymmetry — parking is slow (a full idle
+/// window of `park_after` ticks), waking is fast (one tick observing
+/// standing depth) — so bursts never wait on hysteresis but a brief lull
+/// doesn't thrash the dispatcher set:
+///
+/// * **Park** when the trailing `park_after` ticks were all idle (zero
+///   standing depth, at most `park_below` events executed per tick) and
+///   more than `min_shards` dispatchers are active: deactivate the
+///   highest-indexed active shard.
+/// * **Wake** when the most recent tick shows at least `wake_depth`
+///   events of standing queue depth and a parked shard exists:
+///   reactivate the lowest-indexed parked shard — within one sampling
+///   interval of the burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Dispatchers the controller must keep active (clamped to
+    /// `1..=shards`). With `min_shards: 1`, a fully idle server runs
+    /// one dispatcher — the paper's configuration.
+    pub min_shards: usize,
+    /// Controller tick: how often the load window samples the shard
+    /// counters (and therefore the worst-case wake latency).
+    pub sample_every: Duration,
+    /// Consecutive idle ticks required before one shard is parked.
+    pub park_after: u32,
+    /// Executed events per tick (across all shards) at or below which a
+    /// tick counts as idle.
+    pub park_below: u64,
+    /// Standing queue depth (across all shards) at a tick that triggers
+    /// an immediate wake.
+    pub wake_depth: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_shards: 1,
+            sample_every: Duration::from_millis(1),
+            park_after: 16,
+            park_below: 2,
+            wake_depth: 2,
+        }
+    }
+}
 
 /// Which runtime to launch (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +187,15 @@ pub enum RuntimeKind {
     ThreadPool { workers: usize },
     /// `shards` dispatcher threads with session-affine routing and work
     /// stealing; blocking nodes off-loaded to `io_workers` helpers.
-    /// `shards: 1` is the paper's single-dispatcher configuration.
-    EventDriven { shards: usize, io_workers: usize },
+    /// `shards: 1` is the paper's single-dispatcher configuration, and
+    /// `adaptive` decides whether the dispatcher set is fixed
+    /// ([`AdaptivePolicy::Static`]) or resized under load by the
+    /// controller loop ([`AdaptivePolicy::Adaptive`]).
+    EventDriven {
+        shards: usize,
+        io_workers: usize,
+        adaptive: AdaptivePolicy,
+    },
     /// SEDA-style: one FIFO queue + `stage_workers` threads per concrete
     /// node (paper §3.2.3's SEDA target).
     Staged { stage_workers: usize },
@@ -88,12 +207,27 @@ impl RuntimeKind {
         RuntimeKind::EventDriven {
             shards: 1,
             io_workers,
+            adaptive: AdaptivePolicy::Static,
         }
     }
 
-    /// The multi-core event-driven runtime.
+    /// The multi-core event-driven runtime with a fixed dispatcher set.
     pub fn event_driven_sharded(shards: usize, io_workers: usize) -> Self {
-        RuntimeKind::EventDriven { shards, io_workers }
+        RuntimeKind::EventDriven {
+            shards,
+            io_workers,
+            adaptive: AdaptivePolicy::Static,
+        }
+    }
+
+    /// The multi-core event-driven runtime with the adaptive shard
+    /// controller (default tuning).
+    pub fn event_driven_adaptive(shards: usize, io_workers: usize) -> Self {
+        RuntimeKind::EventDriven {
+            shards,
+            io_workers,
+            adaptive: AdaptivePolicy::adaptive(),
+        }
     }
 }
 
@@ -133,9 +267,11 @@ pub fn start<P: Send + 'static>(server: Arc<FluxServer<P>>, kind: RuntimeKind) -
     let threads = match kind {
         RuntimeKind::ThreadPerFlow => start_thread_per_flow(&server),
         RuntimeKind::ThreadPool { workers } => start_thread_pool(&server, workers.max(1)),
-        RuntimeKind::EventDriven { shards, io_workers } => {
-            start_event_driven(&server, shards.max(1), io_workers.max(1))
-        }
+        RuntimeKind::EventDriven {
+            shards,
+            io_workers,
+            adaptive,
+        } => start_event_driven(&server, shards.max(1), io_workers.max(1), adaptive),
         RuntimeKind::Staged { stage_workers } => start_staged(&server, stage_workers.max(1)),
     };
     ServerHandle { server, threads }
@@ -272,11 +408,28 @@ struct Shard<P> {
     /// to re-examine its queue before it can park, and skipping the
     /// `notify_one` saves a futex syscall per event on a busy shard.
     parked: AtomicBool,
+    /// True while the adaptive controller has taken this shard out of
+    /// the routing prefix. Set and cleared under `queue`'s lock (the
+    /// same discipline as `parked`, and by the controller thread only),
+    /// so a racing enqueuer can never observe the old routing prefix
+    /// *and* miss the flag: the dispatcher drain-forwards everything in
+    /// its queue to active siblings before the park commits, and
+    /// forwards any straggler that slips in afterwards.
+    deactivated: AtomicBool,
 }
 
 /// The shared state of the sharded event-driven runtime.
 struct ShardSet<P> {
     shards: Vec<Shard<P>>,
+    /// Length of the *routing prefix*: shards `0..active` receive new
+    /// events, shards `active..shards.len()` are parked by the adaptive
+    /// controller. Always the full count under
+    /// [`AdaptivePolicy::Static`]. Written only by the controller
+    /// thread, inside the affected shard's queue lock (see
+    /// [`ShardSet::park_one`]); read lock-free by routers — a stale
+    /// read can at worst route one event to a freshly-parked shard,
+    /// whose dispatcher forwards it back before committing its park.
+    active: AtomicUsize,
     /// This run's per-shard counters (also published into the server's
     /// [`crate::stats::ServerStats`] for observers).
     stats: Arc<[ShardStat]>,
@@ -297,8 +450,10 @@ impl<P> ShardSet<P> {
                     queue: Mutex::new(VecDeque::new()),
                     cond: Condvar::new(),
                     parked: AtomicBool::new(false),
+                    deactivated: AtomicBool::new(false),
                 })
                 .collect(),
+            active: AtomicUsize::new(n),
             stats: (0..n).map(|_| ShardStat::default()).collect(),
             active_sources: AtomicUsize::new(sources),
             live: AtomicUsize::new(0),
@@ -307,9 +462,14 @@ impl<P> ShardSet<P> {
 
     /// The home shard for a cursor: session id when the source declares
     /// one (affinity keeps session-scoped locks core-local), otherwise
-    /// the flow id (spreads sessionless flows evenly).
+    /// the flow id (spreads sessionless flows evenly). Hashed over the
+    /// *active* routing prefix, never over parked shards — when the
+    /// adaptive controller resizes the prefix, sessions simply remap
+    /// (affinity is a locality heuristic; the lock manager is global,
+    /// so correctness never depends on placement).
     fn home_of(&self, cursor: &FlowCursor) -> usize {
-        shard_index(cursor.session.unwrap_or(cursor.flow_id), self.shards.len())
+        let active = self.active.load(Ordering::SeqCst);
+        shard_index(cursor.session.unwrap_or(cursor.flow_id), active)
     }
 
     /// Enqueues an event on its home shard (affinity routing: new
@@ -321,6 +481,16 @@ impl<P> ShardSet<P> {
         if ev.cursor.session.is_some() {
             self.stats[home].affine.fetch_add(1, Ordering::Relaxed);
         }
+        self.enqueue(home, ev);
+    }
+
+    /// [`ShardSet::route_home`] without the affinity accounting: a
+    /// parked shard handing its backlog to the active prefix is moving
+    /// an event that was already counted when it was first routed, so
+    /// counting it again would make `affine` exceed the number of
+    /// session events actually submitted.
+    fn forward_home(&self, ev: Event<P>) {
+        let home = self.home_of(&ev.cursor);
         self.enqueue(home, ev);
     }
 
@@ -391,11 +561,69 @@ impl<P> ShardSet<P> {
     /// notices without waiting out its idle timeout. Unconditional —
     /// unlike the own-shard notify, a sibling's `parked` flag is not
     /// read under that sibling's queue lock here, so gating on it could
-    /// miss a shard that is between its empty-check and its park.
+    /// miss a shard that is between its empty-check and its park. The
+    /// target comes from the *active* routing prefix so the nudge
+    /// reaches a dispatcher that will actually steal, not one the
+    /// controller parked (`si` itself may be outside the prefix when a
+    /// straggler lands on a freshly-parked shard).
     fn nudge_sibling(&self, si: usize, depth: u64) {
-        if depth > 1 && self.shards.len() > 1 {
-            self.shards[(si + 1) % self.shards.len()].cond.notify_one();
+        let active = self.active.load(Ordering::SeqCst);
+        if depth > 1 && active > 1 {
+            let t = (si + 1) % active;
+            if t != si {
+                self.shards[t].cond.notify_one();
+            }
+        } else if depth > 0 && si >= active && active >= 1 {
+            // A straggler on a parked shard with no thief traffic: make
+            // sure at least one active dispatcher (or the parked
+            // shard's own forwarding loop, already notified by the
+            // enqueue) can pick it up promptly.
+            self.shards[si % active].cond.notify_one();
         }
+    }
+
+    /// Parks the highest-indexed active shard: shrinks the routing
+    /// prefix and flags the shard, both inside that shard's queue lock,
+    /// then wakes its dispatcher so it drain-forwards its backlog and
+    /// commits the park. Returns the parked index, or `None` at the
+    /// `min` floor. Called only from the controller thread (single
+    /// writer of `active` and `deactivated`).
+    fn park_one(&self, min: usize) -> Option<usize> {
+        let active = self.active.load(Ordering::SeqCst);
+        if active <= min.max(1) {
+            return None;
+        }
+        let si = active - 1;
+        let shard = &self.shards[si];
+        let q = shard.queue.lock();
+        // Both writes inside the queue lock: an enqueuer that already
+        // routed here is either holding the lock now (its event will be
+        // drain-forwarded) or will take it later and notify the parked
+        // dispatcher's forwarding loop.
+        self.active.store(si, Ordering::SeqCst);
+        shard.deactivated.store(true, Ordering::SeqCst);
+        drop(q);
+        shard.cond.notify_one();
+        Some(si)
+    }
+
+    /// Wakes the lowest-indexed parked shard: clears its flag and grows
+    /// the routing prefix (inside the queue lock, mirroring
+    /// [`ShardSet::park_one`]), then notifies the dispatcher. Returns
+    /// the woken index, or `None` when every shard is already active.
+    fn wake_one(&self) -> Option<usize> {
+        let active = self.active.load(Ordering::SeqCst);
+        if active >= self.shards.len() {
+            return None;
+        }
+        let si = active;
+        let shard = &self.shards[si];
+        let q = shard.queue.lock();
+        shard.deactivated.store(false, Ordering::SeqCst);
+        self.active.store(active + 1, Ordering::SeqCst);
+        drop(q);
+        shard.cond.notify_one();
+        Some(si)
     }
 
     /// Wakes every shard so it can re-check the exit condition.
@@ -419,10 +647,25 @@ fn start_event_driven<P: Send + 'static>(
     server: &Arc<FluxServer<P>>,
     shards: usize,
     io_workers: usize,
+    adaptive: AdaptivePolicy,
 ) -> Vec<JoinHandle<()>> {
     let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
     let set = Arc::new(ShardSet::<P>::new(shards, server.flow_count()));
     server.stats.install_shards(set.stats.clone());
+
+    // Publish this run's controller state (reset: a server can be
+    // restarted under a different policy or shard count).
+    let controller = match adaptive {
+        AdaptivePolicy::Adaptive(cfg) if shards > 1 => Some(cfg),
+        _ => None,
+    };
+    let ast = &server.stats.adaptive;
+    ast.enabled.store(controller.is_some(), Ordering::Relaxed);
+    ast.configured_shards
+        .store(shards as u64, Ordering::Relaxed);
+    ast.active_shards.store(shards as u64, Ordering::Relaxed);
+    ast.parks.store(0, Ordering::Relaxed);
+    ast.wakes.store(0, Ordering::Relaxed);
 
     // Core pinning (opt out with FLUX_PIN=0): shard N takes core
     // N mod host_cores, so session-affine queues stay cache-local. The
@@ -517,7 +760,61 @@ fn start_event_driven<P: Send + 'static>(
             },
         ));
     }
+
+    // The adaptive shard controller (see the module docs): one thread
+    // sampling the shard counters into a ShardLoadWindow and issuing
+    // park/wake decisions. Exits with the rest of the runtime once the
+    // system is drained.
+    if let Some(cfg) = controller {
+        let srv = server.clone();
+        let set = set.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("flux-adaptive".into())
+                .spawn(move || run_controller(&srv, &set, cfg))
+                .expect("spawn adaptive controller"),
+        );
+    }
     threads
+}
+
+/// The adaptive controller loop: every `cfg.sample_every` it samples
+/// per-shard depth/steal/batch counters into a [`ShardLoadWindow`],
+/// wakes a parked shard the first tick it observes standing queue depth
+/// of at least `cfg.wake_depth`, and parks the highest active shard
+/// after `cfg.park_after` consecutive idle ticks (down to
+/// `cfg.min_shards`). Park/wake totals and the current active count are
+/// published in [`crate::stats::ServerStats::adaptive`].
+fn run_controller<P: Send + 'static>(srv: &FluxServer<P>, set: &ShardSet<P>, cfg: AdaptiveConfig) {
+    let min = cfg.min_shards.clamp(1, set.shards.len());
+    let mut window = ShardLoadWindow::new(
+        set.shards.len(),
+        (cfg.park_after.max(1) as usize).saturating_mul(2).max(8),
+    );
+    let ast = &srv.stats.adaptive;
+    while !set.drained() {
+        thread::sleep(cfg.sample_every.max(Duration::from_micros(50)));
+        window.sample(&set.stats);
+        if window.queued_now() >= cfg.wake_depth {
+            // Burst: events are standing in queues faster than the
+            // active dispatchers drain them. Wake one parked shard per
+            // tick (a sustained burst ramps the whole set back up).
+            if set.wake_one().is_some() {
+                ast.wakes.fetch_add(1, Ordering::Relaxed);
+                ast.active_shards
+                    .store(set.active.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+            }
+        } else if window.idle_streak(cfg.park_below) >= cfg.park_after as usize
+            && set.park_one(min).is_some()
+        {
+            ast.parks.fetch_add(1, Ordering::Relaxed);
+            ast.active_shards
+                .store(set.active.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+            // Demand a fresh full idle window before the next park so a
+            // long lull ramps down gradually, not instantly.
+            window.reset();
+        }
+    }
 }
 
 /// One dispatcher shard's main loop.
@@ -531,6 +828,16 @@ fn run_shard<P: Send + 'static>(
     let n = set.shards.len();
     let mut blocked_streak = 0usize;
     loop {
+        // A shard the controller deactivated stops executing: it
+        // forwards its backlog to the active prefix, commits the park,
+        // and sleeps until woken (or the system drains).
+        if set.shards[si].deactivated.load(Ordering::SeqCst) {
+            park_dispatcher(set, si);
+            if set.drained() {
+                return;
+            }
+            continue;
+        }
         // Own queue first, then steal from a sibling's queue, then
         // wait. A steal takes the oldest *half* of the victim's queue
         // (front-stealing shares the victim's one lock and preserves
@@ -580,12 +887,16 @@ fn run_shard<P: Send + 'static>(
                         // (same rationale as ShardSet::enqueue's nudge,
                         // and unconditional for the same reason as
                         // `nudge_sibling` — the sibling's parked flag
-                        // is not readable race-free from here). Skip
-                        // the victim `j` — it is saturated, not idle —
-                        // which with n == 2 leaves no one to nudge.
-                        let t = (si + 1) % n;
-                        let t = if t == j { (si + 2) % n } else { t };
-                        if t != si {
+                        // is not readable race-free from here). Pick
+                        // from the active routing prefix (a parked
+                        // dispatcher would just forward, not steal) and
+                        // skip the victim `j` — it is saturated, not
+                        // idle — which with 2 active shards leaves no
+                        // one to nudge.
+                        let active = set.active.load(Ordering::SeqCst).max(1);
+                        let t = (si + 1) % active;
+                        let t = if t == j { (si + 2) % active } else { t };
+                        if t != si && t != j {
                             set.shards[t].cond.notify_one();
                         }
                     }
@@ -662,6 +973,55 @@ fn run_shard<P: Send + 'static>(
                     break;
                 }
             }
+        }
+    }
+}
+
+/// One controller-parked dispatcher: the park protocol's shard side.
+///
+/// Before the park commits (i.e. before this thread first blocks), the
+/// whole queue is *drain-forwarded*: every event re-routes through
+/// [`ShardSet::route_home`], whose routing prefix no longer includes
+/// this shard, so it lands on an active sibling and wakes it. While
+/// parked, the dispatcher keeps acting as a forwarder — an enqueuer
+/// that raced the park (it computed its home shard from the old prefix)
+/// notifies this shard's condvar like any other enqueue, and the
+/// straggler is forwarded the same way. Events are therefore never
+/// *executed* on a deactivated shard, and never stranded on one either.
+/// Returns when the controller reactivates the shard or the system
+/// drains.
+fn park_dispatcher<P: Send + 'static>(set: &ShardSet<P>, si: usize) {
+    let shard = &set.shards[si];
+    loop {
+        // Drain-forward: pop one event at a time so the queue lock is
+        // never held across route_home (which takes sibling locks).
+        // Re-check the flag before every pop — once the controller
+        // re-activates this shard, its index is back in the routing
+        // prefix and a forward could land right back here, so
+        // forwarding must stop (the remaining queue simply executes
+        // normally).
+        while shard.deactivated.load(Ordering::SeqCst) {
+            let ev = {
+                let mut q = shard.queue.lock();
+                let ev = q.pop_front();
+                set.stats[si].depth.store(q.len() as u64, Ordering::Relaxed);
+                ev
+            };
+            let Some(ev) = ev else { break };
+            set.stats[si].forwarded.fetch_add(1, Ordering::Relaxed);
+            set.forward_home(ev);
+        }
+        if !shard.deactivated.load(Ordering::SeqCst) || set.drained() {
+            return;
+        }
+        let mut q = shard.queue.lock();
+        if q.is_empty() && shard.deactivated.load(Ordering::SeqCst) && !set.drained() {
+            // Same parked-flag discipline as the idle wait in
+            // `run_shard`: enqueuers and the controller notify through
+            // the condvar; the timeout is a drain/shutdown backstop.
+            shard.parked.store(true, Ordering::SeqCst);
+            shard.cond.wait_for(&mut q, Duration::from_millis(50));
+            shard.parked.store(false, Ordering::SeqCst);
         }
     }
 }
@@ -852,13 +1212,7 @@ mod tests {
 
     #[test]
     fn event_driven_completes_all() {
-        let (done, sum) = run_on(
-            RuntimeKind::EventDriven {
-                shards: 1,
-                io_workers: 2,
-            },
-            500,
-        );
+        let (done, sum) = run_on(RuntimeKind::event_driven_sharded(1, 2), 500);
         assert_eq!(done, 500);
         assert_eq!(sum, (0..500).sum::<u64>());
     }
@@ -866,13 +1220,7 @@ mod tests {
     #[test]
     fn event_driven_sharded_completes_all() {
         for shards in [2, 4, 8] {
-            let (done, sum) = run_on(
-                RuntimeKind::EventDriven {
-                    shards,
-                    io_workers: 2,
-                },
-                500,
-            );
+            let (done, sum) = run_on(RuntimeKind::event_driven_sharded(shards, 2), 500);
             assert_eq!(done, 500, "shards={shards}");
             assert_eq!(sum, (0..500).sum::<u64>(), "shards={shards}");
         }
@@ -948,14 +1296,9 @@ mod tests {
         for kind in [
             RuntimeKind::ThreadPerFlow,
             RuntimeKind::ThreadPool { workers: 8 },
-            RuntimeKind::EventDriven {
-                shards: 1,
-                io_workers: 4,
-            },
-            RuntimeKind::EventDriven {
-                shards: 4,
-                io_workers: 4,
-            },
+            RuntimeKind::event_driven_sharded(1, 4),
+            RuntimeKind::event_driven_sharded(4, 4),
+            RuntimeKind::event_driven_adaptive(4, 4),
             RuntimeKind::Staged { stage_workers: 4 },
         ] {
             let program = flux_core::compile(SRC).unwrap();

@@ -84,7 +84,8 @@ impl LatencyHistogram {
 }
 
 /// Per-shard counters for the sharded event-driven runtime: queue depth
-/// (current and high-water), executed events, and work-stealing traffic.
+/// (current and high-water), executed events, work-stealing traffic and
+/// adaptive-controller forwarding.
 #[derive(Debug, Default)]
 pub struct ShardStat {
     /// Events currently queued on this shard.
@@ -113,6 +114,12 @@ pub struct ShardStat {
     /// batches` is the mean batch size — the amortization factor of the
     /// per-event lock+notify cost.
     pub batch_events: AtomicU64,
+    /// Events this shard re-routed to an active sibling while it was
+    /// deactivated by the adaptive controller: the drain that must
+    /// complete before a park commits, plus any straggler enqueued by a
+    /// racing submitter that had already computed the old routing
+    /// prefix. Zero under [`crate::runtimes::AdaptivePolicy::Static`].
+    pub forwarded: AtomicU64,
 }
 
 impl ShardStat {
@@ -170,6 +177,175 @@ impl PinningStat {
     }
 }
 
+/// State of the adaptive shard controller of the most recent sharded
+/// event-runtime run: how many dispatchers are currently hot, and how
+/// often the controller parked or woke one. All-zero (with
+/// `enabled == false`) under [`crate::runtimes::AdaptivePolicy::Static`]
+/// and the non-event runtimes, except that `configured_shards` and
+/// `active_shards` still record the fixed shard count so observers can
+/// read one field regardless of policy.
+#[derive(Debug, Default)]
+pub struct AdaptiveStat {
+    /// An adaptive controller loop is (was) running for this server.
+    pub enabled: std::sync::atomic::AtomicBool,
+    /// Dispatcher shards the runtime was started with.
+    pub configured_shards: AtomicU64,
+    /// Dispatcher shards currently executing events (the routing
+    /// prefix); the rest are parked. Updated by the controller after
+    /// every park/wake decision.
+    pub active_shards: AtomicU64,
+    /// Shards the controller parked (cumulative).
+    pub parks: AtomicU64,
+    /// Parked shards the controller woke on load (cumulative).
+    pub wakes: AtomicU64,
+}
+
+impl AdaptiveStat {
+    /// One-line summary for logs and bench records.
+    pub fn describe(&self) -> String {
+        let active = self.active_shards.load(Ordering::Relaxed);
+        let configured = self.configured_shards.load(Ordering::Relaxed);
+        if !self.enabled.load(Ordering::Relaxed) {
+            return format!("static ({configured} shard(s))");
+        }
+        format!(
+            "adaptive {active}/{configured} active ({} parks, {} wakes)",
+            self.parks.load(Ordering::Relaxed),
+            self.wakes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One controller tick's observation of one shard: instantaneous queue
+/// depth plus the per-tick deltas of the cumulative [`ShardStat`]
+/// counters the controller feeds on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSample {
+    /// Queue depth at the sample instant.
+    pub depth: u64,
+    /// Events executed since the previous sample (own-queue dequeues
+    /// plus steals — everything this shard actually ran).
+    pub executed: u64,
+    /// Events moved by stealing since the previous sample (the direct
+    /// steal plus its bulk transfer): imbalance pressure.
+    pub stolen: u64,
+    /// Events that arrived through batched appends since the previous
+    /// sample: burst arrival pressure.
+    pub batch_events: u64,
+}
+
+/// A sliding window of per-shard load samples — the adaptive
+/// controller's entire world view. Each [`ShardLoadWindow::sample`]
+/// call reads the cumulative [`ShardStat`] counters, converts them to
+/// per-tick deltas, and appends one tick (bounded by `cap`; the oldest
+/// tick falls off). Decision helpers (`queued_now`, `idle_streak`) are
+/// pure reads over the window, so the controller's policy is unit
+/// testable without threads.
+#[derive(Debug)]
+pub struct ShardLoadWindow {
+    cap: usize,
+    /// Cumulative counter values at the previous sample, per shard:
+    /// (executed+stolen, stolen+stolen_batch, batch_events).
+    prev: Vec<(u64, u64, u64)>,
+    /// Per-tick deltas, oldest first; each tick holds one sample per
+    /// shard.
+    ticks: std::collections::VecDeque<Vec<ShardSample>>,
+}
+
+impl ShardLoadWindow {
+    /// A window over `shards` shards keeping the last `cap` ticks.
+    pub fn new(shards: usize, cap: usize) -> Self {
+        ShardLoadWindow {
+            cap: cap.max(1),
+            prev: vec![(0, 0, 0); shards],
+            ticks: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Reads the cumulative counters and appends one tick of per-shard
+    /// deltas.
+    pub fn sample(&mut self, shards: &[ShardStat]) {
+        // Recycle the evicted tick's buffer once the window is full, so
+        // the steady-state controller tick allocates nothing.
+        let mut tick = if self.ticks.len() == self.cap {
+            let mut t = self.ticks.pop_front().unwrap_or_default();
+            t.clear();
+            t
+        } else {
+            Vec::with_capacity(shards.len())
+        };
+        for (si, st) in shards.iter().enumerate() {
+            let executed = st.executed.load(Ordering::Relaxed) + st.stolen.load(Ordering::Relaxed);
+            let stolen =
+                st.stolen.load(Ordering::Relaxed) + st.stolen_batch.load(Ordering::Relaxed);
+            let batch_events = st.batch_events.load(Ordering::Relaxed);
+            let (pe, ps, pb) = self.prev[si];
+            self.prev[si] = (executed, stolen, batch_events);
+            tick.push(ShardSample {
+                depth: st.depth.load(Ordering::Relaxed),
+                executed: executed.saturating_sub(pe),
+                stolen: stolen.saturating_sub(ps),
+                batch_events: batch_events.saturating_sub(pb),
+            });
+        }
+        self.ticks.push_back(tick);
+    }
+
+    /// Ticks currently held (saturates at the window capacity).
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// The most recent tick's samples, one per shard.
+    pub fn last(&self) -> Option<&[ShardSample]> {
+        self.ticks.back().map(|t| t.as_slice())
+    }
+
+    /// Total queue depth across all shards at the most recent tick —
+    /// the controller's wake signal: a burst outrunning the active
+    /// dispatchers shows up as standing depth within one tick.
+    pub fn queued_now(&self) -> u64 {
+        self.last()
+            .map(|t| t.iter().map(|s| s.depth).sum())
+            .unwrap_or(0)
+    }
+
+    /// Events executed across all shards during the most recent tick.
+    pub fn executed_now(&self) -> u64 {
+        self.last()
+            .map(|t| t.iter().map(|s| s.executed).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of consecutive trailing ticks that were *idle*: zero
+    /// standing queue depth and at most `park_below` executed events
+    /// across all shards — the controller's park signal. A single busy
+    /// tick resets the streak, so one park requires a full quiet
+    /// window.
+    pub fn idle_streak(&self, park_below: u64) -> usize {
+        self.ticks
+            .iter()
+            .rev()
+            .take_while(|t| {
+                let depth: u64 = t.iter().map(|s| s.depth).sum();
+                let executed: u64 = t.iter().map(|s| s.executed).sum();
+                depth == 0 && executed <= park_below
+            })
+            .count()
+    }
+
+    /// Forgets all held ticks (the per-shard cumulative baselines
+    /// survive). Called after a park so the next park decision demands
+    /// a fresh full idle window instead of reusing the old streak.
+    pub fn reset(&mut self) {
+        self.ticks.clear();
+    }
+}
+
 /// Counters for every way a flow can finish, plus latency.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -182,6 +358,10 @@ pub struct ServerStats {
     /// Core-affinity state of the most recent sharded event-runtime
     /// run (see [`PinningStat`]); all-zero under other runtimes.
     pub pinning: PinningStat,
+    /// Adaptive shard-controller state of the most recent sharded
+    /// event-runtime run (see [`AdaptiveStat`]): current active shard
+    /// count plus cumulative park/wake counters.
+    pub adaptive: AdaptiveStat,
     /// Installed by the sharded event-driven runtime at start; `None`
     /// under the other runtimes. Every `start` installs a fresh block
     /// sized to its own shard count, so restarting the same server with
@@ -300,6 +480,71 @@ mod tests {
         assert_eq!(s.errored.load(Ordering::Relaxed), 1);
         assert_eq!(s.handled.load(Ordering::Relaxed), 1);
         assert_eq!(s.finished(), 3);
+    }
+
+    /// Drives a [`ShardLoadWindow`] through busy and idle ticks and
+    /// checks the pure decision helpers the controller relies on.
+    #[test]
+    fn load_window_deltas_and_idle_streak() {
+        let shards: Vec<ShardStat> = (0..2).map(|_| ShardStat::default()).collect();
+        let mut w = ShardLoadWindow::new(2, 4);
+        assert!(w.is_empty());
+        assert_eq!(w.queued_now(), 0);
+        assert_eq!(w.idle_streak(0), 0);
+
+        // Busy tick: shard 0 executed 5 events and has 3 queued.
+        shards[0].executed.store(5, Ordering::Relaxed);
+        shards[0].depth.store(3, Ordering::Relaxed);
+        shards[1].stolen.store(2, Ordering::Relaxed);
+        shards[1].stolen_batch.store(4, Ordering::Relaxed);
+        shards[1].batch_events.store(7, Ordering::Relaxed);
+        w.sample(&shards);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.queued_now(), 3);
+        assert_eq!(
+            w.executed_now(),
+            7,
+            "executed counts own dequeues plus steals"
+        );
+        let last = w.last().unwrap();
+        assert_eq!(last[0].executed, 5);
+        assert_eq!(last[1].stolen, 6);
+        assert_eq!(last[1].batch_events, 7);
+        assert_eq!(w.idle_streak(0), 0, "busy tick is not idle");
+
+        // Counters stop moving and the queue drains: idle ticks.
+        shards[0].depth.store(0, Ordering::Relaxed);
+        w.sample(&shards);
+        w.sample(&shards);
+        assert_eq!(w.idle_streak(0), 2, "deltas are per-tick, not cumulative");
+
+        // A fresh busy tick resets the trailing streak.
+        shards[0].executed.store(25, Ordering::Relaxed);
+        w.sample(&shards);
+        assert_eq!(w.idle_streak(0), 0);
+        assert_eq!(w.executed_now(), 20);
+
+        // The window is bounded by its capacity, and reset() clears the
+        // held ticks without disturbing the delta baselines.
+        w.sample(&shards);
+        assert_eq!(w.len(), 4);
+        w.reset();
+        assert!(w.is_empty());
+        w.sample(&shards);
+        assert_eq!(w.executed_now(), 0, "baseline survived the reset");
+        assert_eq!(w.idle_streak(0), 1);
+    }
+
+    #[test]
+    fn adaptive_stat_describe() {
+        let a = AdaptiveStat::default();
+        a.configured_shards.store(4, Ordering::Relaxed);
+        a.active_shards.store(4, Ordering::Relaxed);
+        assert_eq!(a.describe(), "static (4 shard(s))");
+        a.enabled.store(true, Ordering::Relaxed);
+        a.active_shards.store(1, Ordering::Relaxed);
+        a.parks.store(3, Ordering::Relaxed);
+        assert_eq!(a.describe(), "adaptive 1/4 active (3 parks, 0 wakes)");
     }
 
     #[test]

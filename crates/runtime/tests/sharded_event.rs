@@ -1,9 +1,10 @@
 //! Integration tests for the sharded event-driven runtime: session
-//! affinity, work stealing, per-shard stats, and clean shutdown with
-//! non-empty shard queues.
+//! affinity, work stealing, per-shard stats, adaptive shard
+//! parking/waking, and clean shutdown with non-empty shard queues.
 
 use flux_runtime::{
-    shard_index, start, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome,
+    shard_index, start, AdaptiveConfig, AdaptivePolicy, FluxServer, NodeOutcome, NodeRegistry,
+    RuntimeKind, SourceOutcome,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,13 +78,7 @@ fn same_session_cursors_land_on_home_shard() {
     const SHARDS: usize = 4;
     let sessions = Arc::new(sessions_on_shard_zero(SHARDS, 3));
     let server = session_server(600, sessions);
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: SHARDS,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(SHARDS, 1));
     handle.join();
     assert_eq!(server.stats.finished(), 600);
     let stats = server.stats.shard_stats().expect("sharded runtime ran");
@@ -137,13 +132,7 @@ fn work_stealing_makes_progress_from_saturated_shard() {
         NodeOutcome::Ok
     });
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: SHARDS,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(SHARDS, 1));
     handle.join();
     assert_eq!(server.stats.finished(), total);
     assert!(
@@ -191,13 +180,7 @@ fn steals_take_half_the_victims_queue() {
         NodeOutcome::Ok
     });
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: SHARDS,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(SHARDS, 1));
     handle.join();
     assert_eq!(server.stats.finished(), total, "no event lost or doubled");
     let stats = server.stats.shard_stats().unwrap();
@@ -257,13 +240,7 @@ fn batched_submission_preserves_fifo_on_single_shard() {
         NodeOutcome::Ok
     });
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(1, 1));
     handle.join();
     assert_eq!(server.stats.finished(), total);
     let order = order.lock();
@@ -323,13 +300,7 @@ fn batched_routing_survives_stealing() {
         NodeOutcome::Ok
     });
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: SHARDS,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(SHARDS, 1));
     handle.join();
     assert_eq!(server.stats.finished(), total, "no event lost or doubled");
     let stats = server.stats.shard_stats().unwrap();
@@ -342,6 +313,169 @@ fn batched_routing_survives_stealing() {
         server.stats.total_steals() > 0,
         "thieves must steal from the saturated home shard"
     );
+    for (i, st) in stats.iter().enumerate() {
+        assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {i} drained");
+    }
+}
+
+/// An aggressive controller tuning for tests: ticks of 200 µs, parks
+/// after `park_after` idle ticks, wakes at depth 1 — maximum park/wake
+/// churn, so races in the handshake surface fast.
+fn aggressive(park_after: u32) -> AdaptivePolicy {
+    AdaptivePolicy::Adaptive(AdaptiveConfig {
+        min_shards: 1,
+        sample_every: Duration::from_micros(200),
+        park_after,
+        park_below: 1,
+        wake_depth: 1,
+    })
+}
+
+/// Deterministic park-then-burst scenario. Phase 1: the source idles
+/// (Skip) until the controller has parked down from 4 dispatchers.
+/// Phase 2: the source floods spin events; the controller must wake
+/// parked shards (the wake rule triggers on the first sampling tick
+/// that observes standing depth) and every event must complete.
+#[test]
+fn controller_parks_idle_shards_and_wakes_on_burst() {
+    const SHARDS: usize = 4;
+    const TOTAL: u64 = 800;
+    let program = flux_core::compile(
+        "
+        Gen () => (int v);
+        Spin (int v) => ();
+        Flow = Spin;
+        source Gen => Flow;
+        ",
+    )
+    .unwrap();
+    let burst = Arc::new(AtomicU64::new(0)); // 0 = idle, 1 = burst, 2 = done
+    let produced = AtomicU64::new(0);
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    let b2 = burst.clone();
+    reg.source("Gen", move || match b2.load(Ordering::SeqCst) {
+        0 => {
+            std::thread::sleep(Duration::from_millis(1));
+            SourceOutcome::Skip
+        }
+        _ => {
+            let start = produced.load(Ordering::SeqCst);
+            if start >= TOTAL {
+                return SourceOutcome::Shutdown;
+            }
+            let k = 8.min(TOTAL - start);
+            produced.fetch_add(k, Ordering::SeqCst);
+            SourceOutcome::Batch((start..start + k).collect())
+        }
+    });
+    reg.node("Spin", |_| {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(50) {
+            std::hint::spin_loop();
+        }
+        NodeOutcome::Ok
+    });
+    let server = Arc::new(FluxServer::new(program, reg).unwrap());
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: SHARDS,
+            io_workers: 1,
+            adaptive: aggressive(4),
+        },
+    );
+
+    // Phase 1: with no load, the controller must park below the
+    // configured count (and, given time, down to the floor of 1).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let ast = &server.stats.adaptive;
+    while ast.active_shards.load(Ordering::SeqCst) > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        ast.active_shards.load(Ordering::SeqCst),
+        1,
+        "idle server must park down to min_shards ({})",
+        ast.describe()
+    );
+    let parks_before_burst = ast.parks.load(Ordering::SeqCst);
+    assert!(
+        parks_before_burst >= (SHARDS - 1) as u64,
+        "{}",
+        ast.describe()
+    );
+
+    // Phase 2: burst. The wake rule fires on the first tick that sees
+    // standing depth, so with a 200 µs tick the ramp-up is bounded by
+    // milliseconds; the generous deadline only absorbs CI scheduling
+    // noise, and the burst is sized to outlast the ramp even on a
+    // slow host.
+    burst.store(1, Ordering::SeqCst);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while ast.wakes.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(
+        ast.wakes.load(Ordering::SeqCst) > 0,
+        "burst must wake parked dispatchers within the controller's \
+         sampling cadence ({})",
+        ast.describe()
+    );
+
+    handle.join();
+    assert_eq!(server.stats.finished(), TOTAL, "{}", ast.describe());
+    let stats = server.stats.shard_stats().unwrap();
+    for (i, st) in stats.iter().enumerate() {
+        assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {i} drained");
+    }
+}
+
+/// A server whose load dies and returns repeatedly under an aggressive
+/// controller: parks and wakes interleave with live traffic, and the
+/// accounting still balances.
+#[test]
+fn controller_survives_alternating_idle_and_load() {
+    const SHARDS: usize = 3;
+    let program = flux_core::compile(
+        "
+        Gen () => (int v);
+        Work (int v) => ();
+        Flow = Work;
+        source Gen => Flow;
+        ",
+    )
+    .unwrap();
+    // 12 cycles of (idle 3 ms, burst of 40): each idle gap is ~15
+    // controller ticks, enough to park; each burst must wake and drain.
+    let cycle = AtomicU64::new(0);
+    let mut reg: NodeRegistry<u64> = NodeRegistry::new();
+    reg.source("Gen", move || {
+        let c = cycle.fetch_add(1, Ordering::SeqCst);
+        if c >= 12 {
+            return SourceOutcome::Shutdown;
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        SourceOutcome::Batch((0..40).collect())
+    });
+    reg.node("Work", |_| NodeOutcome::Ok);
+    let server = Arc::new(FluxServer::new(program, reg).unwrap());
+    let handle = start(
+        server.clone(),
+        RuntimeKind::EventDriven {
+            shards: SHARDS,
+            io_workers: 1,
+            adaptive: aggressive(2),
+        },
+    );
+    handle.join();
+    assert_eq!(server.stats.finished(), 12 * 40);
+    let ast = &server.stats.adaptive;
+    assert!(
+        ast.parks.load(Ordering::SeqCst) > 0,
+        "3 ms idle gaps must trigger parks ({})",
+        ast.describe()
+    );
+    let stats = server.stats.shard_stats().unwrap();
     for (i, st) in stats.iter().enumerate() {
         assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {i} drained");
     }
@@ -374,13 +508,7 @@ fn clean_shutdown_drains_non_empty_queues() {
         NodeOutcome::Ok
     });
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 4,
-            io_workers: 2,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(4, 2));
     // Let a backlog build, then stop: sources quit, shards must drain.
     while produced.load(Ordering::SeqCst) < 200 {
         std::thread::sleep(Duration::from_millis(1));
@@ -401,13 +529,7 @@ fn clean_shutdown_drains_non_empty_queues() {
 fn shard_stats_track_depth_and_drain_to_zero() {
     let sessions = Arc::new((0u64..32).collect::<Vec<_>>());
     let server = session_server(2_000, sessions);
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 4,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(4, 1));
     handle.join();
     assert_eq!(server.stats.finished(), 2_000);
     let stats = server.stats.shard_stats().unwrap();
@@ -434,13 +556,7 @@ fn restart_with_more_shards_installs_fresh_stats() {
     let total_per_run = 300u64;
     let sessions = Arc::new((0u64..16).collect::<Vec<_>>());
     let server = session_server(total_per_run, sessions.clone());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 2,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(2, 1));
     handle.join();
     assert_eq!(server.stats.finished(), total_per_run);
     assert_eq!(server.stats.shard_stats().unwrap().len(), 2);
@@ -448,13 +564,7 @@ fn restart_with_more_shards_installs_fresh_stats() {
     // Second run on the same server, more shards. The source fn is
     // exhausted (returns Shutdown immediately), but every shard and
     // source thread must still start, route and exit cleanly.
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 8,
-            io_workers: 1,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(8, 1));
     handle.join();
     assert_eq!(
         server.stats.shard_stats().unwrap().len(),
@@ -483,7 +593,7 @@ mod properties {
             let server = session_server(total, ids);
             let handle = start(
                 server.clone(),
-                RuntimeKind::EventDriven { shards, io_workers },
+                RuntimeKind::event_driven_sharded(shards, io_workers),
             );
             handle.join();
             prop_assert_eq!(server.stats.finished(), total);
@@ -494,6 +604,72 @@ mod properties {
             for (i, st) in stats.iter().enumerate() {
                 prop_assert_eq!(st.depth.load(Ordering::Relaxed), 0, "shard {} drained", i);
             }
+        }
+
+        /// Random enqueue/steal/park/wake interleavings: an aggressive
+        /// adaptive controller (200 µs ticks, parks after 1–4 idle
+        /// ticks, wakes at depth 1) churns the dispatcher set while
+        /// sources submit skewed session traffic. No event may be lost,
+        /// doubled, executed on a parked shard, or stranded behind one.
+        #[test]
+        fn adaptive_interleaving_loses_no_events(
+            shards in 2usize..6,
+            io_workers in 1usize..3,
+            total in 1u64..400,
+            sessions in 1u64..12,
+            park_after in 1u32..5,
+            min_shards in 1usize..3,
+        ) {
+            let ids = Arc::new((0..sessions).collect::<Vec<_>>());
+            let server = session_server(total, ids);
+            let handle = start(
+                server.clone(),
+                RuntimeKind::EventDriven {
+                    shards,
+                    io_workers,
+                    adaptive: AdaptivePolicy::Adaptive(AdaptiveConfig {
+                        min_shards,
+                        sample_every: Duration::from_micros(200),
+                        park_after,
+                        park_below: 1,
+                        wake_depth: 1,
+                    }),
+                },
+            );
+            handle.join();
+            // Conservation: every flow finished exactly once.
+            prop_assert_eq!(server.stats.finished(), total);
+            let stats = server.stats.shard_stats().unwrap();
+            prop_assert_eq!(stats.len(), shards);
+            // Nothing stranded on any shard — in particular not on a
+            // shard that ended the run parked: a parked dispatcher
+            // forwards every straggler before blocking, so a non-zero
+            // final depth there would mean an event was delivered to a
+            // permanently-parked shard.
+            let active = server
+                .stats
+                .adaptive
+                .active_shards
+                .load(Ordering::SeqCst) as usize;
+            prop_assert!(active >= min_shards.min(shards) && active <= shards);
+            for (i, st) in stats.iter().enumerate() {
+                prop_assert_eq!(
+                    st.depth.load(Ordering::Relaxed), 0,
+                    "shard {} (active prefix {}) must end drained", i, active
+                );
+            }
+            // The controller's books balance: it can't have woken more
+            // shards than it parked.
+            let parks = server.stats.adaptive.parks.load(Ordering::SeqCst);
+            let wakes = server.stats.adaptive.wakes.load(Ordering::SeqCst);
+            prop_assert!(wakes <= parks, "wakes {} > parks {}", wakes, parks);
+            // (wakes <= parks just held, so this order cannot underflow
+            // even after many park/wake cycles.)
+            prop_assert_eq!(
+                shards as u64 + wakes - parks,
+                active as u64,
+                "active count must equal configured - parks + wakes"
+            );
         }
     }
 }

@@ -723,10 +723,7 @@ mod tests {
 
     #[test]
     fn download_on_event_runtime() {
-        run_download_test(RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 4,
-        });
+        run_download_test(RuntimeKind::event_driven_sharded(1, 4));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! ```ignore
 //! let server = ServerBuilder::new(WebSpec::new(listener, docroot))
-//!     .runtime(RuntimeKind::EventDriven { shards: 4, io_workers: 4 })
+//!     .runtime(RuntimeKind::event_driven_sharded(4, 4))
 //!     .net(NetConfig::default())   // backend, max_pending_out, io_timeout
 //!     .profile(true)
 //!     .spawn();
@@ -26,7 +26,7 @@
 
 use flux_core::CompiledProgram;
 use flux_net::{ConnDriver, NetConfig};
-use flux_runtime::{NodeRegistry, RuntimeKind};
+use flux_runtime::{AdaptivePolicy, NodeRegistry, RuntimeKind};
 use std::sync::Arc;
 
 /// What a server kind must provide to be built: its compiled program,
@@ -62,6 +62,10 @@ pub struct RunningServer<P: Send + 'static, C> {
 pub struct ServerBuilder<S: ServerSpec> {
     spec: S,
     runtime: RuntimeKind,
+    /// Set by [`ServerBuilder::adaptive`]; applied to the event-driven
+    /// runtime at [`ServerBuilder::spawn`], so `.adaptive(...)` and
+    /// `.runtime(...)` compose in either order.
+    adaptive: Option<AdaptivePolicy>,
     net: NetConfig,
     profile: bool,
     stats: bool,
@@ -75,10 +79,8 @@ impl<S: ServerSpec> ServerBuilder<S> {
     pub fn new(spec: S) -> Self {
         ServerBuilder {
             spec,
-            runtime: RuntimeKind::EventDriven {
-                shards: 1,
-                io_workers: 4,
-            },
+            runtime: RuntimeKind::event_driven_sharded(1, 4),
+            adaptive: None,
             net: NetConfig::default(),
             profile: false,
             stats: true,
@@ -88,6 +90,21 @@ impl<S: ServerSpec> ServerBuilder<S> {
     /// Which runtime executes the flows (paper §3.2).
     pub fn runtime(mut self, kind: RuntimeKind) -> Self {
         self.runtime = kind;
+        self
+    }
+
+    /// Sets the adaptive shard policy of the event-driven runtime:
+    /// [`AdaptivePolicy::Adaptive`] runs the controller loop that parks
+    /// idle dispatchers and wakes them on burst,
+    /// [`AdaptivePolicy::Static`] (the default) keeps the paper's fixed
+    /// dispatcher set. Applied at [`ServerBuilder::spawn`], so it
+    /// composes with [`ServerBuilder::runtime`] in either call order;
+    /// ignored by the non-event runtimes, and inert when the
+    /// event-driven runtime has a single shard (one dispatcher is
+    /// already the controller's floor — `stats.adaptive.describe()`
+    /// reports which state is actually running).
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
         self
     }
 
@@ -133,7 +150,12 @@ impl<S: ServerSpec> ServerBuilder<S> {
     }
 
     /// Compiles, binds and starts the server.
-    pub fn spawn(self) -> RunningServer<S::Flow, S::Ctx> {
+    pub fn spawn(mut self) -> RunningServer<S::Flow, S::Ctx> {
+        if let (Some(policy), RuntimeKind::EventDriven { adaptive, .. }) =
+            (self.adaptive, &mut self.runtime)
+        {
+            *adaptive = policy;
+        }
         let (program, registry, ctx) = self.spec.build(&self.net);
         let server = if self.profile {
             flux_runtime::FluxServer::with_profiling(program, registry)

@@ -330,10 +330,7 @@ mod tests {
 
     #[test]
     fn plays_on_event_runtime() {
-        run_game_test(RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 2,
-        });
+        run_game_test(RuntimeKind::event_driven_sharded(1, 2));
     }
 
     #[test]

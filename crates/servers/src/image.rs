@@ -484,10 +484,7 @@ mod tests {
             image_size: 32,
             cache_bytes: 1 << 20,
         })
-        .runtime(RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 2,
-        })
+        .runtime(RuntimeKind::event_driven_sharded(1, 2))
         .spawn();
         server.handle.join();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);

@@ -21,7 +21,7 @@
 //! ```ignore
 //! use flux_servers::{ServerBuilder, web::WebSpec};
 //! let server = ServerBuilder::new(WebSpec::new(listener, docroot))
-//!     .runtime(RuntimeKind::EventDriven { shards: 4, io_workers: 4 })
+//!     .runtime(RuntimeKind::event_driven_sharded(4, 4))
 //!     .spawn();
 //! // ... server.ctx, server.handle ...
 //! web::stop(server);

@@ -574,18 +574,12 @@ mod tests {
 
     #[test]
     fn serves_on_event_runtime() {
-        run_web_test(RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 4,
-        });
+        run_web_test(RuntimeKind::event_driven_sharded(1, 4));
     }
 
     #[test]
     fn serves_on_sharded_event_runtime() {
-        run_web_test(RuntimeKind::EventDriven {
-            shards: 4,
-            io_workers: 4,
-        });
+        run_web_test(RuntimeKind::event_driven_sharded(4, 4));
     }
 
     #[test]
@@ -597,13 +591,7 @@ mod tests {
     /// ablation) must stay fully functional.
     #[test]
     fn serves_on_per_event_hot_path() {
-        run_web_test_mode(
-            RuntimeKind::EventDriven {
-                shards: 2,
-                io_workers: 4,
-            },
-            HotPath::PerEvent,
-        );
+        run_web_test_mode(RuntimeKind::event_driven_sharded(2, 4), HotPath::PerEvent);
     }
 
     #[test]

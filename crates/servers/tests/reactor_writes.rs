@@ -53,10 +53,7 @@ fn slow_reader_never_occupies_the_io_pool() {
         web::WebSpec::new(Box::new(acceptor), docroot()).write_mode(web::WriteMode::Reactor),
     )
     // One I/O worker: a single blocking write would wedge the pool.
-    .runtime(RuntimeKind::EventDriven {
-        shards: 2,
-        io_workers: 1,
-    })
+    .runtime(RuntimeKind::event_driven_sharded(2, 1))
     .spawn();
 
     // Slow reader: request the big file, read nothing yet. The response

@@ -4,9 +4,10 @@
 //!    it on all four runtimes — the paper's runtime-independence claim;
 //! 2. stand up a real server (the §4.2 web server) through the one
 //!    typed `ServerBuilder`, which owns the remaining knobs: the
-//!    runtime kind, the network configuration (`NetConfig`: readiness
-//!    backend, write-buffer bound, event-poll timeout) and the
-//!    stats/profiling toggles.
+//!    runtime kind, the adaptive shard policy (`AdaptivePolicy`: park
+//!    idle dispatchers, wake them on burst), the network configuration
+//!    (`NetConfig`: readiness backend, write-buffer bound, event-poll
+//!    timeout) and the stats/profiling toggles.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -105,10 +106,7 @@ fn main() {
     for kind in [
         RuntimeKind::ThreadPerFlow,
         RuntimeKind::ThreadPool { workers: 4 },
-        RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 2,
-        },
+        RuntimeKind::event_driven_sharded(1, 2),
         RuntimeKind::Staged { stage_workers: 2 },
     ] {
         let program = flux::core::compile(PROGRAM).expect("program compiles");
@@ -165,11 +163,17 @@ fn main() {
     let listener = net.listen("quickstart").unwrap();
     let mut docroot = flux::http::DocRoot::new();
     docroot.insert("/hello.html", "hello from the builder");
+    // `.adaptive(AdaptivePolicy::adaptive())` makes the dispatcher set
+    // elastic: a controller parks idle shards down to one and wakes
+    // them within a millisecond-scale sampling tick when load returns
+    // (AdaptiveConfig tunes the cadence and thresholds). The default —
+    // AdaptivePolicy::Static — keeps the paper's fixed dispatcher set;
+    // either way `stats.adaptive` reports active shards and park/wake
+    // totals.
+    use flux::runtime::AdaptivePolicy;
     let server = ServerBuilder::new(WebSpec::new(Box::new(listener), docroot))
-        .runtime(RuntimeKind::EventDriven {
-            shards: 2,
-            io_workers: 2,
-        })
+        .runtime(RuntimeKind::event_driven_sharded(2, 2))
+        .adaptive(AdaptivePolicy::adaptive())
         .net(NetConfig::default()) // epoll on Linux; FLUX_POLLER=poll falls back
         .spawn();
 
@@ -183,9 +187,10 @@ fn main() {
     assert_eq!(status, 200);
     assert_eq!(body, b"hello from the builder");
     println!(
-        "web server via ServerBuilder: {} ({} readiness backend)",
+        "web server via ServerBuilder: {} ({} readiness backend, {})",
         String::from_utf8_lossy(&body),
         server.ctx.driver.poller_backend(),
+        server.handle.server().stats.adaptive.describe(),
     );
     flux::servers::web::stop(server);
 }

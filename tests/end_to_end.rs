@@ -35,14 +35,8 @@ fn web_server_runtime_independent() {
     for kind in [
         RuntimeKind::ThreadPerFlow,
         RuntimeKind::ThreadPool { workers: 3 },
-        RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 2,
-        },
-        RuntimeKind::EventDriven {
-            shards: 4,
-            io_workers: 2,
-        },
+        RuntimeKind::event_driven_sharded(1, 2),
+        RuntimeKind::event_driven_sharded(4, 2),
     ] {
         let net = MemNet::new();
         let listener = net.listen("w").unwrap();
@@ -120,10 +114,7 @@ fn bittorrent_full_stack() {
         choke_period: Duration::from_secs(3600),
         keepalive_period: Duration::from_secs(3600),
     })
-    .runtime(RuntimeKind::EventDriven {
-        shards: 1,
-        io_workers: 4,
-    })
+    .runtime(RuntimeKind::event_driven_sharded(1, 4))
     .spawn();
     let got = flux::servers::bt::client::download(
         Box::new(net.connect("seeder").unwrap()),

@@ -12,7 +12,8 @@
 
 use flux::core::EndKind;
 use flux::runtime::{
-    start, FluxServer, HotOrder, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome,
+    start, AdaptivePolicy, FluxServer, HotOrder, NodeOutcome, NodeRegistry, RuntimeKind,
+    SourceOutcome,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +25,7 @@ const ALL_RUNTIMES: [RuntimeKind; 4] = [
     RuntimeKind::EventDriven {
         shards: 1,
         io_workers: 2,
+        adaptive: AdaptivePolicy::Static,
     },
     RuntimeKind::Staged { stage_workers: 2 },
 ];
@@ -336,13 +338,7 @@ fn event_runtime_survives_total_failure_of_blocking_node() {
     });
     reg.node("Done", |_| NodeOutcome::Ok);
     let server = Arc::new(FluxServer::new(program, reg).unwrap());
-    let handle = start(
-        server.clone(),
-        RuntimeKind::EventDriven {
-            shards: 1,
-            io_workers: 3,
-        },
-    );
+    let handle = start(server.clone(), RuntimeKind::event_driven_sharded(1, 3));
     handle.join();
     wait_finished(&server, total);
     assert_eq!(server.stats.errored.load(Ordering::Relaxed), total);
