@@ -11,7 +11,12 @@
 //!   `ECONNABORTED`, …) are retried with a short backoff instead of
 //!   killing the listener, with retries counted in [`DriverCounters`];
 //! * the in-memory transport's **watch callbacks** (zero threads: the
-//!   writer's thread fires the callback at write time);
+//!   writer's thread fires the callback at write time). Callbacks are
+//!   *coalesced*: each appends to a shared buffer and only the
+//!   empty→non-empty transition sends a channel marker
+//!   ([`Delivery::Coalesced`]), so a burst of N mem writes costs one
+//!   channel op, mirroring the reactor's batch delivery
+//!   ([`DriverCounters::watch_coalesced`] counts the saved sends);
 //! * the shared **readiness reactor** ([`crate::reactor::Reactor`]) for
 //!   every transport that exposes a raw file descriptor (TCP). One
 //!   reactor thread serves *all* registered sockets over the configured
@@ -145,11 +150,18 @@ pub enum DriverEvent {
 }
 
 /// What travels on the driver's event channel: the reactor ships one
-/// recycled batch per `wait` round; everything else (accepts, mem-watch
-/// callbacks, write completions) sends single events.
+/// recycled batch per `wait` round; mem-transport watch callbacks
+/// accumulate into the driver's shared coalescing buffer and send one
+/// `Coalesced` marker per empty→non-empty transition; everything else
+/// (accepts, write completions) sends single events.
 pub(crate) enum Delivery {
     One(DriverEvent),
     Batch(Vec<DriverEvent>),
+    /// Marker: the watch coalescing buffer went non-empty. The events
+    /// themselves are in [`ConnDriver::watch_batch`]; `unpack` drains
+    /// it wholesale, so a burst of watch callbacks costs one channel
+    /// send + one unpack instead of one channel op per event.
+    Coalesced,
 }
 
 /// A shared handle to a registered connection. Nodes lock it for the
@@ -171,6 +183,10 @@ pub struct DriverCounters {
     pub write_would_block: AtomicU64,
     /// Writes that failed (connection removed).
     pub writes_failed: AtomicU64,
+    /// Watch-callback events that piggybacked on an already-pending
+    /// `Coalesced` marker instead of sending their own channel op —
+    /// the mem-transport batching amortization factor.
+    pub watch_coalesced: AtomicU64,
 }
 
 /// One slab slot's state, behind its own lock. `gen` is written only
@@ -214,6 +230,11 @@ pub struct ConnDriver {
     free_slots: Mutex<Vec<u32>>,
     conn_count: AtomicUsize,
     counters: Arc<DriverCounters>,
+    /// Coalescing buffer for mem-transport watch callbacks (see
+    /// [`Delivery::Coalesced`]). A separate `Arc` — not `Arc<Self>` —
+    /// so a watch closure held by a connection never forms a
+    /// driver → slot → conn → closure → driver reference cycle.
+    watch_batch: Arc<Mutex<Vec<DriverEvent>>>,
     /// Recycled payload buffers for [`ConnDriver::submit_write_buf`].
     write_bufs: BytePool,
     /// Recycled event vectors for the reactor's per-round batches.
@@ -266,6 +287,7 @@ impl ConnDriver {
             free_slots: Mutex::new(Vec::new()),
             conn_count: AtomicUsize::new(0),
             counters: Arc::new(DriverCounters::default()),
+            watch_batch: Arc::new(Mutex::new(Vec::new())),
             write_bufs: BytePool::default(),
             event_batches,
             max_pending_out: AtomicUsize::new(config.max_pending_out),
@@ -725,10 +747,31 @@ impl ConnDriver {
         let tx = self.tx.clone();
         let watched = {
             let conn = shared.lock();
+            // Coalescing: callbacks append to the shared watch buffer
+            // and send one `Coalesced` marker per empty→non-empty
+            // transition. The buffer lock serializes racing callbacks,
+            // so the transition check is exact: a callback that sees a
+            // non-empty buffer is guaranteed its event rides on a
+            // marker that is still in flight (the consumer drains the
+            // buffer wholesale when it unpacks the marker). The closure
+            // captures the buffer/counter Arcs, never the driver —
+            // avoiding a driver → slot → conn → closure → driver cycle.
             conn.set_read_watch(Box::new({
                 let tx = tx.clone();
+                let batch = self.watch_batch.clone();
+                let counters = self.counters.clone();
                 move || {
-                    let _ = tx.send(Delivery::One(DriverEvent::Readable(token)));
+                    let was_empty = {
+                        let mut b = batch.lock();
+                        let was_empty = b.is_empty();
+                        b.push(DriverEvent::Readable(token));
+                        was_empty
+                    };
+                    if was_empty {
+                        let _ = tx.send(Delivery::Coalesced);
+                    } else {
+                        counters.watch_coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }))
         };
@@ -887,6 +930,12 @@ impl ConnDriver {
                 pending.extend(batch.drain(..));
                 self.event_batches.put(batch);
             }
+            Delivery::Coalesced => {
+                // Drain everything the watch callbacks accumulated
+                // since the marker was sent — including events that
+                // piggybacked after it.
+                pending.extend(self.watch_batch.lock().drain(..));
+            }
         }
     }
 
@@ -1014,6 +1063,57 @@ mod tests {
         assert_eq!(
             driver.next_event(Duration::from_secs(2)),
             Some(DriverEvent::Readable(token))
+        );
+        driver.stop();
+    }
+
+    /// A burst of mem-transport watch callbacks with an idle consumer
+    /// coalesces into one channel marker: every event is still
+    /// delivered, and all but the first are counted as coalesced.
+    #[test]
+    fn mem_watch_burst_coalesces_into_one_marker() {
+        const CONNS: usize = 16;
+        let net = MemNet::new();
+        let listener = net.listen("srv").unwrap();
+        let driver = Arc::new(ConnDriver::new());
+        driver.spawn_acceptor(Box::new(listener));
+
+        let mut clients = Vec::new();
+        let mut tokens = Vec::new();
+        for _ in 0..CONNS {
+            clients.push(net.connect("srv").unwrap());
+            let DriverEvent::Incoming(token) = driver.next_event(Duration::from_secs(2)).unwrap()
+            else {
+                panic!("expected Incoming");
+            };
+            driver.arm(token);
+            tokens.push(token);
+        }
+        // Consumer idle: every write fires its watch callback from this
+        // thread, back to back — only the first transition should reach
+        // the channel.
+        for c in &mut clients {
+            c.write_all(b"x").unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < CONNS {
+            let n = driver.next_events(&mut got, CONNS, Duration::from_secs(2));
+            assert!(n > 0, "missing readable events: {}/{CONNS}", got.len());
+        }
+        let mut readable: Vec<Token> = got
+            .iter()
+            .map(|ev| match ev {
+                DriverEvent::Readable(t) => *t,
+                other => panic!("expected Readable, got {other:?}"),
+            })
+            .collect();
+        readable.sort_unstable();
+        tokens.sort_unstable();
+        assert_eq!(readable, tokens, "every armed conn delivered exactly once");
+        assert_eq!(
+            driver.counters().watch_coalesced.load(Ordering::Relaxed),
+            CONNS as u64 - 1,
+            "all but the transition send piggybacked"
         );
         driver.stop();
     }

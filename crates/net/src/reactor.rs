@@ -783,6 +783,9 @@ mod tests {
                             return Ok(ev);
                         }
                     }
+                    // Only the driver's watch closures send markers;
+                    // these tests drive the reactor directly.
+                    Ok(Delivery::Coalesced) => unreachable!("reactor never coalesces"),
                     Err(_) => return Err(()),
                 }
             }
@@ -798,6 +801,7 @@ mod tests {
                     self.pending.extend(b);
                     self.pending.pop_front().ok_or(())
                 }
+                Ok(Delivery::Coalesced) => unreachable!("reactor never coalesces"),
                 Err(_) => Err(()),
             }
         }
@@ -1055,6 +1059,7 @@ mod tests {
                     got += 1;
                     deliveries += 1;
                 }
+                Ok(Delivery::Coalesced) => unreachable!("reactor never coalesces"),
                 Err(_) => break,
             }
         }

@@ -34,6 +34,23 @@
 //! dispatcher set, and [`ServerStats::adaptive`] reports the active
 //! count plus cumulative park/wake totals either way.
 //!
+//! The dispatch queue itself comes in two kinds
+//! ([`ShardQueueKind`], builder knob + `FLUX_SHARD_QUEUE` env):
+//! [`ShardQueueKind::Mutex`] (the default) is the classic
+//! `Mutex<VecDeque>`-under-Condvar queue, and [`ShardQueueKind::Ring`]
+//! replaces it with a lock-free bounded MPSC ring ([`EventRing`]) —
+//! producers batch-claim slots with one CAS per event group, the
+//! dispatcher batch-consumes whole published runs, and a mutexed
+//! overflow sidecar absorbs ring-full bursts so events are never
+//! dropped. The **ring memory-ordering discipline** — the
+//! publish/consume Acquire/Release edges, the SeqCst parked-flag
+//! (Dekker) handshake that makes a known-awake dispatcher safe to skip
+//! notifying, the overflow sidecar's FIFO rules, and how stealing
+//! claims the oldest half of a published run — is documented in the
+//! [`ring`] module docs. The Mutex path stays as the ablation baseline
+//! and semantic oracle (a differential proptest runs the same event
+//! script through both kinds).
+//!
 //! ```
 //! use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome, FluxServer};
 //! use std::sync::atomic::{AtomicU32, Ordering};
@@ -74,6 +91,7 @@ pub mod locks;
 pub mod profile;
 pub mod profile_socket;
 pub mod registry;
+pub mod ring;
 pub mod runtimes;
 pub mod server;
 pub mod stats;
@@ -82,7 +100,10 @@ pub use locks::{FlowId, LockManager, ReentrantRwLock};
 pub use profile::{HotOrder, HotPath, PathProfiler};
 pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
-pub use runtimes::{shard_index, start, AdaptiveConfig, AdaptivePolicy, RuntimeKind, ServerHandle};
+pub use ring::{CachePadded, EventRing};
+pub use runtimes::{
+    shard_index, start, AdaptiveConfig, AdaptivePolicy, RuntimeKind, ServerHandle, ShardQueueKind,
+};
 pub use server::{FlowCursor, FluxServer, LockWait, Step};
 pub use stats::{
     AdaptiveStat, LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardLoadWindow,

@@ -2,6 +2,7 @@
 //! log-scaled latency histogram, cheap enough to stay on in production
 //! (the benchmark harness reads throughput and latency from here).
 
+use crate::ring::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -86,18 +87,32 @@ impl LatencyHistogram {
 /// Per-shard counters for the sharded event-driven runtime: queue depth
 /// (current and high-water), executed events, work-stealing traffic and
 /// adaptive-controller forwarding.
+///
+/// The hottest counters — `executed` (written by the owning dispatcher
+/// per event), `stolen` (written by thieves) and `batch_events`
+/// (written by submitters) — are each padded to their own cache line
+/// ([`CachePadded`]): they are incremented from *different* threads on
+/// the per-event path, and sharing a line would turn every increment
+/// into cross-core invalidation traffic. `CachePadded` derefs to the
+/// atomic, so readers are unchanged.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct ShardStat {
     /// Events currently queued on this shard.
     pub depth: AtomicU64,
     /// High-water mark of `depth`.
     pub max_depth: AtomicU64,
-    /// Events this shard dequeued from its own queue.
-    pub executed: AtomicU64,
+    /// Events this shard dequeued from its own queue. Under
+    /// [`crate::runtimes::ShardQueueKind::Ring`] this counts every
+    /// event the dispatcher popped from its local run buffer — own-ring
+    /// pops, overflow-sidecar drains *and* stolen events it went on to
+    /// execute (the ring has no per-event "own vs stolen" dequeue
+    /// boundary, so `executed` there is "events this dispatcher ran").
+    pub executed: CachePadded<AtomicU64>,
     /// Steals this shard performed: each takes the oldest event from a
     /// sibling's queue for immediate execution (plus a bulk transfer
     /// counted in [`ShardStat::stolen_batch`]).
-    pub stolen: AtomicU64,
+    pub stolen: CachePadded<AtomicU64>,
     /// Extra events bulk-transferred onto this shard's own queue by
     /// steal batching — thieves take half the victim's queue per steal
     /// instead of one event, cutting lock traffic under heavy skew.
@@ -113,7 +128,16 @@ pub struct ShardStat {
     /// Events delivered through those batched appends. `batch_events /
     /// batches` is the mean batch size — the amortization factor of the
     /// per-event lock+notify cost.
-    pub batch_events: AtomicU64,
+    pub batch_events: CachePadded<AtomicU64>,
+    /// Successful ring slot-claim CASes this shard's queue performed
+    /// (`ring_claims / batch_events` inverts to the events-per-CAS
+    /// amortization factor). Zero under
+    /// [`crate::runtimes::ShardQueueKind::Mutex`].
+    pub ring_claims: AtomicU64,
+    /// Events that missed the ring (full, or the sidecar was already
+    /// non-empty) and went through the mutexed overflow sidecar. Zero
+    /// under [`crate::runtimes::ShardQueueKind::Mutex`].
+    pub overflowed: AtomicU64,
     /// Events this shard re-routed to an active sibling while it was
     /// deactivated by the adaptive controller: the drain that must
     /// complete before a park commits, plus any straggler enqueued by a
@@ -123,8 +147,22 @@ pub struct ShardStat {
 }
 
 impl ShardStat {
+    /// Records a post-enqueue depth observation: gauge plus high-water
+    /// mark. Mutex-kind callers invoke this while still holding the
+    /// shard's queue lock, which serializes the gauge store with the
+    /// dispatcher's own stores — the final store after a drain is
+    /// therefore always the dispatcher's `0`.
     pub(crate) fn enqueue(&self, new_depth: u64) {
         self.depth.store(new_depth, Ordering::Relaxed);
+        self.max_depth.fetch_max(new_depth, Ordering::Relaxed);
+    }
+
+    /// Producer-side depth observation for the ring kind: high-water
+    /// mark only. There is no lock to serialize gauge stores on a ring
+    /// shard, so the `depth` gauge is single-writer — only the owning
+    /// dispatcher stores it — and a slow producer can never overwrite
+    /// the dispatcher's final `0` with a stale snapshot.
+    pub(crate) fn observe_depth(&self, new_depth: u64) {
         self.max_depth.fetch_max(new_depth, Ordering::Relaxed);
     }
 }

@@ -26,7 +26,7 @@
 
 use flux_core::CompiledProgram;
 use flux_net::{ConnDriver, NetConfig};
-use flux_runtime::{AdaptivePolicy, NodeRegistry, RuntimeKind};
+use flux_runtime::{AdaptivePolicy, NodeRegistry, RuntimeKind, ShardQueueKind};
 use std::sync::Arc;
 
 /// What a server kind must provide to be built: its compiled program,
@@ -66,6 +66,10 @@ pub struct ServerBuilder<S: ServerSpec> {
     /// runtime at [`ServerBuilder::spawn`], so `.adaptive(...)` and
     /// `.runtime(...)` compose in either order.
     adaptive: Option<AdaptivePolicy>,
+    /// Set by [`ServerBuilder::shard_queue`]; applied at
+    /// [`ServerBuilder::spawn`] like `adaptive`, so it composes with
+    /// `.runtime(...)` in either order.
+    shard_queue: Option<ShardQueueKind>,
     net: NetConfig,
     profile: bool,
     stats: bool,
@@ -81,6 +85,7 @@ impl<S: ServerSpec> ServerBuilder<S> {
             spec,
             runtime: RuntimeKind::event_driven_sharded(1, 4),
             adaptive: None,
+            shard_queue: None,
             net: NetConfig::default(),
             profile: false,
             stats: true,
@@ -105,6 +110,18 @@ impl<S: ServerSpec> ServerBuilder<S> {
     /// reports which state is actually running).
     pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
         self.adaptive = Some(policy);
+        self
+    }
+
+    /// Selects the shard-queue implementation of the event-driven
+    /// runtime ([`ShardQueueKind::Mutex`] is the default;
+    /// [`ShardQueueKind::Ring`] swaps in the lock-free bounded ring).
+    /// Applied at [`ServerBuilder::spawn`] so it composes with
+    /// [`ServerBuilder::runtime`] in either call order; ignored by the
+    /// non-event runtimes. The `FLUX_SHARD_QUEUE` env var overrides
+    /// either choice at start.
+    pub fn shard_queue(mut self, kind: ShardQueueKind) -> Self {
+        self.shard_queue = Some(kind);
         self
     }
 
@@ -155,6 +172,11 @@ impl<S: ServerSpec> ServerBuilder<S> {
             (self.adaptive, &mut self.runtime)
         {
             *adaptive = policy;
+        }
+        if let (Some(kind), RuntimeKind::EventDriven { queue, .. }) =
+            (self.shard_queue, &mut self.runtime)
+        {
+            *queue = kind;
         }
         let (program, registry, ctx) = self.spec.build(&self.net);
         let server = if self.profile {

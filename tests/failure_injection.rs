@@ -13,7 +13,7 @@
 use flux::core::EndKind;
 use flux::runtime::{
     start, AdaptivePolicy, FluxServer, HotOrder, NodeOutcome, NodeRegistry, RuntimeKind,
-    SourceOutcome,
+    ShardQueueKind, SourceOutcome,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,6 +26,7 @@ const ALL_RUNTIMES: [RuntimeKind; 4] = [
         shards: 1,
         io_workers: 2,
         adaptive: AdaptivePolicy::Static,
+        queue: ShardQueueKind::Mutex,
     },
     RuntimeKind::Staged { stage_workers: 2 },
 ];
