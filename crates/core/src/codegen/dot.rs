@@ -107,6 +107,27 @@ fn logical(p: &CompiledProgram) -> String {
     out
 }
 
+fn flat_label(p: &CompiledProgram, v: &FlatVertex) -> (String, &'static str) {
+    let g = &p.graph;
+    match v {
+        FlatVertex::Acquire { node, .. } => (format!("acquire {}", g.name(*node)), "hexagon"),
+        FlatVertex::Release { node, .. } => (format!("release {}", g.name(*node)), "hexagon"),
+        FlatVertex::Exec { node, .. } => (g.name(*node).to_string(), "box"),
+        FlatVertex::Dispatch { node, .. } => (format!("dispatch {}", g.name(*node)), "diamond"),
+        FlatVertex::End { outcome } => (
+            match outcome {
+                EndKind::Completed => "END".to_string(),
+                EndKind::Errored { node } => format!("ERROR {}", g.name(*node)),
+                EndKind::Handled { handler, .. } => {
+                    format!("HANDLED by {}", g.name(*handler))
+                }
+                EndKind::NoMatch { node } => format!("NO-MATCH {}", g.name(*node)),
+            },
+            "oval",
+        ),
+    }
+}
+
 fn flattened(p: &CompiledProgram) -> String {
     let g = &p.graph;
     let mut out = String::new();
@@ -115,39 +136,53 @@ fn flattened(p: &CompiledProgram) -> String {
     for (fi, flow) in p.flows.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_{fi} {{");
         let _ = writeln!(out, "    label=\"source {}\";", g.name(flow.flat.source));
+        // Multi-vertex fused segments render as nested boxes: one
+        // dashed cluster per segment, so the straight-line chains the
+        // runtime executes in a single queue turn are visible.
+        let mut clustered = vec![false; flow.flat.verts.len()];
+        for (si, seg) in flow.fused.segments.iter().enumerate() {
+            if seg.verts.len() < 2 {
+                continue;
+            }
+            let _ = writeln!(out, "    subgraph cluster_{fi}_seg{si} {{");
+            let _ = writeln!(
+                out,
+                "      label=\"fused seg {si} ({} exec{})\"; style=dashed; color=blue;",
+                seg.execs,
+                if seg.execs == 1 { "" } else { "s" }
+            );
+            for &vi in &seg.verts {
+                clustered[vi] = true;
+                let (label, shape) = flat_label(p, &flow.flat.verts[vi]);
+                let _ = writeln!(out, "      f{fi}_v{vi} [label=\"{label}\", shape={shape}];");
+            }
+            let _ = writeln!(out, "    }}");
+        }
         for (i, v) in flow.flat.verts.iter().enumerate() {
-            let (label, shape) = match v {
-                FlatVertex::Acquire { node, .. } => {
-                    (format!("acquire {}", g.name(*node)), "hexagon")
-                }
-                FlatVertex::Release { node, .. } => {
-                    (format!("release {}", g.name(*node)), "hexagon")
-                }
-                FlatVertex::Exec { node, .. } => (g.name(*node).to_string(), "box"),
-                FlatVertex::Dispatch { node, .. } => {
-                    (format!("dispatch {}", g.name(*node)), "diamond")
-                }
-                FlatVertex::End { outcome } => (
-                    match outcome {
-                        EndKind::Completed => "END".to_string(),
-                        EndKind::Errored { node } => format!("ERROR {}", g.name(*node)),
-                        EndKind::Handled { handler, .. } => {
-                            format!("HANDLED by {}", g.name(*handler))
-                        }
-                        EndKind::NoMatch { node } => format!("NO-MATCH {}", g.name(*node)),
-                    },
-                    "oval",
-                ),
-            };
+            if clustered[i] {
+                continue;
+            }
+            let (label, shape) = flat_label(p, v);
             let _ = writeln!(out, "    f{fi}_v{i} [label=\"{label}\", shape={shape}];");
         }
         for (i, v) in flow.flat.verts.iter().enumerate() {
             for (k, s) in v.successors().into_iter().enumerate() {
-                let style = match v {
-                    FlatVertex::Exec { .. } if k == 1 => " [style=dashed, color=red]",
-                    _ => "",
+                let err = matches!(v, FlatVertex::Exec { .. }) && k == 1;
+                // Segment-boundary edges carry their break reason so a
+                // reader can see *why* the chain stopped fusing.
+                let mut attrs = Vec::new();
+                if err {
+                    attrs.push("style=dashed, color=red".to_string());
+                }
+                if let Some(reason) = flow.fused.break_reason(&flow.flat, i, k, s) {
+                    attrs.push(format!("label=\"{reason}\""));
+                }
+                let attrs = if attrs.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", attrs.join(", "))
                 };
-                let _ = writeln!(out, "    f{fi}_v{i} -> f{fi}_v{s}{style};");
+                let _ = writeln!(out, "    f{fi}_v{i} -> f{fi}_v{s}{attrs};");
             }
         }
         let _ = writeln!(out, "  }}");
@@ -179,5 +214,28 @@ mod tests {
         for i in 0..n {
             assert!(dot.contains(&format!("f0_v{i} ")));
         }
+    }
+
+    #[test]
+    fn flattened_dot_boxes_fused_segments() {
+        let p = crate::compile(crate::fixtures::IMAGE_SERVER).unwrap();
+        let dot = DotGenerator { flattened: true }.generate(&p);
+        // Every multi-vertex segment gets a nested cluster...
+        let multi = p.flows[0]
+            .fused
+            .segments
+            .iter()
+            .filter(|s| s.verts.len() >= 2)
+            .count();
+        assert!(multi >= 2, "IMAGE_SERVER has fused chains");
+        for si in 0..p.flows[0].fused.segments.len() {
+            let has = dot.contains(&format!("subgraph cluster_0_seg{si} "));
+            let want = p.flows[0].fused.segments[si].verts.len() >= 2;
+            assert_eq!(has, want, "segment {si}");
+        }
+        // ...and boundary edges say why fusion stopped there.
+        assert!(dot.contains("label=\"dispatch\""), "{dot}");
+        assert!(dot.contains("label=\"acquire\""), "{dot}");
+        assert!(dot.contains("label=\"error arm\""), "{dot}");
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::error::{CompileError, CompileErrors, Warning};
 use crate::flat::FlatProgram;
+use crate::fuse::FusedFlow;
 use crate::graph::ProgramGraph;
 use crate::parser;
 use crate::paths::PathTable;
@@ -23,11 +24,15 @@ pub struct CompiledProgram {
     pub warnings: Vec<Warning>,
 }
 
-/// One source flow with its path numbering.
+/// One source flow with its path numbering and stage fusion.
 #[derive(Debug, Clone)]
 pub struct Flow {
     pub flat: FlatProgram,
     pub paths: PathTable,
+    /// Straight-line `Exec`/`Release` chains fused into segments using
+    /// compile-time knowledge only (`blocking` declarations); the runtime
+    /// re-fuses with its registry's `node_blocking` knowledge on top.
+    pub fused: FusedFlow,
 }
 
 impl CompiledProgram {
@@ -82,7 +87,8 @@ pub fn compile(src: &str) -> Result<CompiledProgram, CompileErrors> {
                 crate::span::Span::DUMMY,
             ))
         })?;
-        flows.push(Flow { flat, paths });
+        let fused = FusedFlow::build(&flat, &graph);
+        flows.push(Flow { flat, paths, fused });
     }
     Ok(CompiledProgram {
         graph,

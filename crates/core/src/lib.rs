@@ -14,6 +14,30 @@
 //! hands a flattened, path-numbered flow graph to the runtimes in
 //! `flux-runtime`, the profiler, and the simulator in `flux-sim`.
 //!
+//! ## Fusion boundaries
+//!
+//! After flattening and path numbering, the [`fuse`] pass groups each
+//! flow's maximal straight-line `Exec`/`Release` chains into
+//! [`FusedSegment`]s, which the event runtime executes as one queue
+//! turn each. Fusion is deliberately conservative — a chain breaks at
+//! every semantic boundary and nowhere else:
+//!
+//! - **dispatch** vertices and each **dispatch arm** entry (control
+//!   flow re-converges per arm, not across the dispatch);
+//! - **error-arm** targets (an `on_err` edge must land on a segment
+//!   head so mid-segment errors route exactly like unfused execution);
+//! - **acquire** vertices (lock acquisition can block or fail, so it
+//!   stays its own scheduling point);
+//! - nodes declared **blocking** (the runtime must see them unfused to
+//!   off-load them to the I/O pool — the runtime re-fuses with its
+//!   registry's `node_blocking` knowledge via
+//!   [`FusedFlow::build_with`]);
+//! - **join** points (any vertex with more than one predecessor, which
+//!   includes session-affinity re-route targets).
+//!
+//! [`BreakReason`] names each boundary; `fluxc fused` (alias
+//! `--dump-fused`) renders segments and boundary reasons per flow.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -21,6 +45,8 @@
 //! assert_eq!(program.flows.len(), 1);
 //! // Every node the runtime must supply an implementation for:
 //! assert!(program.required_nodes().contains(&"Compress".to_string()));
+//! // Straight-line chains are pre-fused for the runtimes:
+//! assert!(program.flows[0].fused.segments.iter().any(|s| s.verts.len() >= 2));
 //! ```
 
 pub mod ast;
@@ -30,6 +56,7 @@ pub mod constraints;
 pub mod error;
 pub mod fixtures;
 pub mod flat;
+pub mod fuse;
 pub mod graph;
 pub mod lexer;
 pub mod model;
@@ -44,6 +71,7 @@ pub use ast::{ConstraintMode, ConstraintRef, ConstraintScope, PatElem, Program};
 pub use compile::{compile, CompiledProgram, Flow};
 pub use error::{CompileError, CompileErrors, ErrorKind, Warning};
 pub use flat::{DispatchArm, EndKind, FlatProgram, FlatVertex, VertexId};
+pub use fuse::{BreakReason, FusedFlow, FusedSegment};
 pub use graph::{NodeId, NodeInfo, NodeKind, ProgramGraph, SourceSpec, Variant};
 pub use paths::{PathInfo, PathTable};
 pub use place::{place, round_robin, PlaceConfig, PlaceError, Placement, TrafficMatrix};

@@ -51,6 +51,29 @@
 //! and semantic oracle (a differential proptest runs the same event
 //! script through both kinds).
 //!
+//! ## Fusion boundaries
+//!
+//! By default ([`server::FusionMode::On`], builder knob + `FLUX_FUSE`
+//! env) the server executes *fused segments*: maximal straight-line
+//! `Exec`/`Release` chains, computed by `flux-core`'s fusion pass and
+//! re-fused here with the registry's [`NodeRegistry::node_blocking`]
+//! knowledge, run as **one queue turn** per segment instead of one per
+//! vertex. Segments never cross a semantic boundary — dispatch arms,
+//! error-handler entries, constraint `Acquire`s, blocking nodes (which
+//! must stay visible to the I/O off-load check) and join points all
+//! break the chain — so a mid-segment [`NodeOutcome::Err`] still
+//! releases held locks and lands on the flow's `on_err` vertex exactly
+//! as the unfused walk would, and Ball–Larus path sums are
+//! bit-identical (each fused transition replays the original
+//! profiling edge). Dispatcher fairness generalizes from the old
+//! one-exec-per-turn latch to a *step budget* (`FLUX_FUSE_BUDGET`,
+//! default = the longest segment's execution count): a turn may spend
+//! that many node executions before the event is re-queued.
+//! [`server::FusionMode::Off`] (or `FLUX_FUSE=0`) keeps the per-vertex
+//! interpreter as the semantic oracle and ablation baseline, and
+//! [`ShardStat::fused_execs`] / [`ServerStats::describe`] report how
+//! many node executions rode inside fused segments.
+//!
 //! ```
 //! use flux_runtime::{NodeOutcome, NodeRegistry, SourceOutcome, FluxServer};
 //! use std::sync::atomic::{AtomicU32, Ordering};
@@ -95,6 +118,7 @@ pub mod ring;
 pub mod runtimes;
 pub mod server;
 pub mod stats;
+pub mod testutil;
 
 pub use locks::{FlowId, LockManager, ReentrantRwLock};
 pub use profile::{HotOrder, HotPath, PathProfiler};
@@ -104,7 +128,7 @@ pub use ring::{CachePadded, EventRing};
 pub use runtimes::{
     shard_index, start, AdaptiveConfig, AdaptivePolicy, RuntimeKind, ServerHandle, ShardQueueKind,
 };
-pub use server::{FlowCursor, FluxServer, LockWait, Step};
+pub use server::{FlowCursor, FluxServer, FusionMode, LockWait, Step};
 pub use stats::{
     AdaptiveStat, LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardLoadWindow,
     ShardSample, ShardStat,

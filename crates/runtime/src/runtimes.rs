@@ -573,10 +573,21 @@ struct ShardSet<P> {
     /// executed, or parked in the I/O pool. Incremented at submission,
     /// decremented at `Step::Done`.
     live: AtomicUsize,
+    /// Fairness budget: node executions one event may spend per queue
+    /// turn before the dispatcher requeues it (`FLUX_FUSE_BUDGET`,
+    /// default = the server's longest fused segment). A budget of 1
+    /// with fusion off reproduces the old one-exec-per-turn latch.
+    step_budget: usize,
 }
 
 impl<P> ShardSet<P> {
-    fn new(n: usize, sources: usize, kind: ShardQueueKind, ring_cap: usize) -> Self {
+    fn new(
+        n: usize,
+        sources: usize,
+        kind: ShardQueueKind,
+        ring_cap: usize,
+        step_budget: usize,
+    ) -> Self {
         ShardSet {
             shards: (0..n)
                 .map(|_| Shard {
@@ -596,6 +607,7 @@ impl<P> ShardSet<P> {
             stats: (0..n).map(|_| ShardStat::default()).collect(),
             active_sources: AtomicUsize::new(sources),
             live: AtomicUsize::new(0),
+            step_budget: step_budget.max(1),
         }
     }
 
@@ -886,12 +898,18 @@ fn start_event_driven<P: Send + 'static>(
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1024);
+    let step_budget = std::env::var("FLUX_FUSE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or_else(|| server.max_segment_execs().max(1));
     let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
     let set = Arc::new(ShardSet::<P>::new(
         shards,
         server.flow_count(),
         queue,
         ring_cap,
+        step_budget,
     ));
     server.stats.install_shards(set.stats.clone());
 
@@ -1184,7 +1202,8 @@ fn run_shard_mutex<P: Send + 'static>(
             }
             continue;
         };
-        let mut executed_node = false;
+        let budget = set.step_budget;
+        let mut spent = 0usize;
         loop {
             if srv.at_blocking_exec(&ev.cursor) {
                 // The event stays live while parked in the I/O pool.
@@ -1192,19 +1211,29 @@ fn run_shard_mutex<P: Send + 'static>(
                 blocked_streak = 0;
                 break;
             }
-            let at_exec = srv.at_exec(&ev.cursor);
-            if at_exec && executed_node {
-                // One node execution per queue turn: re-queue locally
-                // for fairness (not affinity routing — a stolen event
-                // keeps running on the thief).
+            // Fairness: each queue turn may spend `budget` node
+            // executions (a fused segment spends its whole length at
+            // once). An event that has spent anything and whose next
+            // step would overdraw is re-queued locally — local, not
+            // affinity routing, so a stolen event keeps running on the
+            // thief. The first execution is always allowed, even when
+            // a single segment exceeds the budget.
+            let cost = srv.exec_cost(&ev.cursor);
+            if cost > 0 && spent > 0 && spent + cost > budget {
                 set.enqueue(si, ev);
                 break;
             }
             match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Try) {
                 Step::Continue => {
                     blocked_streak = 0;
-                    if at_exec {
-                        executed_node = true;
+                    let fused = ev.cursor.take_fused_execs();
+                    if fused > 0 {
+                        set.stats[si]
+                            .fused_execs
+                            .fetch_add(fused, Ordering::Relaxed);
+                        spent += fused as usize;
+                    } else {
+                        spent += cost;
                     }
                 }
                 Step::Done(_) => {
@@ -1345,26 +1374,31 @@ fn run_shard_ring<P: Send + 'static>(
         // "Events this dispatcher ran" — includes stolen and sidecar
         // events (see ShardStat::executed docs).
         stats[si].executed.fetch_add(1, Ordering::Relaxed);
-        let mut executed_node = false;
+        let budget = set.step_budget;
+        let mut spent = 0usize;
         loop {
             if srv.at_blocking_exec(&ev.cursor) {
                 let _ = io_tx.send(ev);
                 blocked_streak = 0;
                 break;
             }
-            let at_exec = srv.at_exec(&ev.cursor);
-            if at_exec && executed_node {
-                // One node execution per turn: fairness re-queue onto
-                // this shard's own ring (not affinity routing — a
-                // stolen event keeps running on the thief).
+            // Fairness budget per queue turn (see run_shard_mutex):
+            // re-queue onto this shard's own ring, not affinity
+            // routing — a stolen event keeps running on the thief.
+            let cost = srv.exec_cost(&ev.cursor);
+            if cost > 0 && spent > 0 && spent + cost > budget {
                 set.enqueue(si, ev);
                 break;
             }
             match srv.step(&mut ev.cursor, &mut ev.payload, LockWait::Try) {
                 Step::Continue => {
                     blocked_streak = 0;
-                    if at_exec {
-                        executed_node = true;
+                    let fused = ev.cursor.take_fused_execs();
+                    if fused > 0 {
+                        stats[si].fused_execs.fetch_add(fused, Ordering::Relaxed);
+                        spent += fused as usize;
+                    } else {
+                        spent += cost;
                     }
                 }
                 Step::Done(_) => {
@@ -1717,8 +1751,9 @@ mod tests {
         assert_eq!(sum, (0..500).sum::<u64>());
     }
 
-    /// The staged runtime actually stages: consecutive nodes of one flow
-    /// run on different stage threads.
+    /// The staged runtime actually stages: with fusion off, consecutive
+    /// nodes of one flow run on different stage threads. (With fusion on,
+    /// a fused segment deliberately runs whole on its head's stage.)
     #[test]
     fn staged_runs_nodes_on_stage_threads() {
         const SRC: &str = "
@@ -1749,7 +1784,15 @@ mod tests {
                 NodeOutcome::Ok
             });
         }
-        let server = Arc::new(crate::server::FluxServer::new(program, r).unwrap());
+        let server = Arc::new(
+            crate::server::FluxServer::with_options(
+                program,
+                r,
+                false,
+                crate::server::FusionMode::Off,
+            )
+            .unwrap(),
+        );
         let handle = start(server.clone(), RuntimeKind::Staged { stage_workers: 1 });
         handle.join();
         assert_eq!(server.stats.finished(), 50);

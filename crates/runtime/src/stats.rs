@@ -144,6 +144,12 @@ pub struct ShardStat {
     /// racing submitter that had already computed the old routing
     /// prefix. Zero under [`crate::runtimes::AdaptivePolicy::Static`].
     pub forwarded: AtomicU64,
+    /// Node executions performed inside fused segments on this shard
+    /// (see `flux_core::fuse`): a queue turn that runs a 3-node fused
+    /// chain adds 3 here but only 1 to [`ShardStat::executed`], so
+    /// dashboards can tell a fused workload — few turns, many nodes —
+    /// from a genuinely idle one. Zero under `FusionMode::Off`.
+    pub fused_execs: AtomicU64,
 }
 
 impl ShardStat {
@@ -463,12 +469,54 @@ impl ServerStats {
             .unwrap_or(0)
     }
 
+    /// Total node executions performed inside fused segments across all
+    /// shards of the most recent sharded event-runtime run.
+    pub fn total_fused_execs(&self) -> u64 {
+        self.shard_stats()
+            .map(|s| {
+                s.iter()
+                    .map(|st| st.fused_execs.load(Ordering::Relaxed))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
     /// Total finished flows.
     pub fn finished(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
             + self.errored.load(Ordering::Relaxed)
             + self.handled.load(Ordering::Relaxed)
             + self.nomatch.load(Ordering::Relaxed)
+    }
+
+    /// One-line summary for logs and bench records, composing the
+    /// sub-block summaries: flow outcomes, pinning, adaptive state, and
+    /// — when a sharded run installed its counter block — dispatcher
+    /// turn/steal/fusion totals (so a fused workload's low turn count
+    /// reads as fusion, not idleness).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "flows {} (completed {}, errored {}, handled {}, nomatch {}) | {} | {}",
+            self.finished(),
+            self.completed.load(Ordering::Relaxed),
+            self.errored.load(Ordering::Relaxed),
+            self.handled.load(Ordering::Relaxed),
+            self.nomatch.load(Ordering::Relaxed),
+            self.pinning.describe(),
+            self.adaptive.describe(),
+        );
+        if let Some(shards) = self.shard_stats() {
+            let turns: u64 = shards
+                .iter()
+                .map(|st| st.executed.load(Ordering::Relaxed) + st.stolen.load(Ordering::Relaxed))
+                .sum();
+            out.push_str(&format!(
+                " | turns {turns}, stolen {}, fused execs {}",
+                self.total_steals(),
+                self.total_fused_execs(),
+            ));
+        }
+        out
     }
 }
 
@@ -583,6 +631,26 @@ mod tests {
         a.active_shards.store(1, Ordering::Relaxed);
         a.parks.store(3, Ordering::Relaxed);
         assert_eq!(a.describe(), "adaptive 1/4 active (3 parks, 0 wakes)");
+    }
+
+    #[test]
+    fn server_stats_describe_composes() {
+        let s = ServerStats::new();
+        s.record_end(flux_core::EndKind::Completed, Duration::from_micros(5));
+        let d = s.describe();
+        assert!(d.starts_with("flows 1 (completed 1,"), "{d}");
+        assert!(d.contains("unpinned"), "{d}");
+        assert!(d.contains("static"), "{d}");
+        assert!(!d.contains("fused execs"), "no shard block installed: {d}");
+        // Installing a shard block surfaces the fused counter.
+        let shards: std::sync::Arc<[ShardStat]> = (0..2).map(|_| ShardStat::default()).collect();
+        shards[0].executed.fetch_add(4, Ordering::Relaxed);
+        shards[1].fused_execs.fetch_add(9, Ordering::Relaxed);
+        s.install_shards(shards);
+        let d = s.describe();
+        assert!(d.contains("turns 4"), "{d}");
+        assert!(d.contains("fused execs 9"), "{d}");
+        assert_eq!(s.total_fused_execs(), 9);
     }
 
     #[test]

@@ -40,18 +40,12 @@ fn session_server(total: u64, sessions: Arc<Vec<u64>>) -> Arc<FluxServer<u64>> {
     Arc::new(FluxServer::new(program, reg).unwrap())
 }
 
-/// Serializes tests that set or depend on `FLUX_SHARD_RING_CAP` (the
-/// env is process-wide: the differential proptest shrinks the cap to
-/// force sidecar traffic, which would starve the steal assertions of
-/// concurrently running ring tests — steals only see the ring, never
-/// the sidecar).
-static RING_CAP_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-fn ring_cap_env_lock() -> std::sync::MutexGuard<'static, ()> {
-    RING_CAP_ENV
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+// Tests that set or depend on `FLUX_SHARD_RING_CAP` serialize on the
+// crate-wide env lock (the env is process-wide: the differential
+// proptest shrinks the cap to force sidecar traffic, which would starve
+// the steal assertions of concurrently running ring tests — steals only
+// see the ring, never the sidecar).
+use flux_runtime::testutil::test_env_lock;
 
 /// Session ids that all hash to shard 0 under `shards` shards.
 fn sessions_on_shard_zero(shards: usize, count: usize) -> Vec<u64> {
@@ -300,7 +294,7 @@ fn ring_stealing_drains_saturated_shard() {
     // Hold the env lock for the whole run: with a shrunken ring cap
     // (set by the differential proptest) the backlog would sit in the
     // unstealable overflow sidecar and the steal assertion would flake.
-    let _env = ring_cap_env_lock();
+    let _env = test_env_lock();
     std::env::remove_var("FLUX_SHARD_RING_CAP");
     const SHARDS: usize = 4;
     let sessions = Arc::new(sessions_on_shard_zero(SHARDS, 8));
@@ -873,7 +867,7 @@ mod properties {
         fn ring_matches_mutex_execution_order(
             script in proptest::collection::vec(0u64..6, 1..200usize),
         ) {
-            let _env = ring_cap_env_lock();
+            let _env = test_env_lock();
             std::env::set_var("FLUX_SHARD_RING_CAP", "8");
             let script = Arc::new(script);
             let mutex_order = run_script(ShardQueueKind::Mutex, script.clone());

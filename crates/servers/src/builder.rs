@@ -26,7 +26,7 @@
 
 use flux_core::CompiledProgram;
 use flux_net::{ConnDriver, NetConfig};
-use flux_runtime::{AdaptivePolicy, NodeRegistry, RuntimeKind, ShardQueueKind};
+use flux_runtime::{AdaptivePolicy, FusionMode, NodeRegistry, RuntimeKind, ShardQueueKind};
 use std::sync::Arc;
 
 /// What a server kind must provide to be built: its compiled program,
@@ -70,6 +70,9 @@ pub struct ServerBuilder<S: ServerSpec> {
     /// [`ServerBuilder::spawn`] like `adaptive`, so it composes with
     /// `.runtime(...)` in either order.
     shard_queue: Option<ShardQueueKind>,
+    /// Set by [`ServerBuilder::fusion`]; [`FusionMode::On`] (segment
+    /// execution) when unset.
+    fusion: Option<FusionMode>,
     net: NetConfig,
     profile: bool,
     stats: bool,
@@ -86,6 +89,7 @@ impl<S: ServerSpec> ServerBuilder<S> {
             runtime: RuntimeKind::event_driven_sharded(1, 4),
             adaptive: None,
             shard_queue: None,
+            fusion: None,
             net: NetConfig::default(),
             profile: false,
             stats: true,
@@ -122,6 +126,15 @@ impl<S: ServerSpec> ServerBuilder<S> {
     /// either choice at start.
     pub fn shard_queue(mut self, kind: ShardQueueKind) -> Self {
         self.shard_queue = Some(kind);
+        self
+    }
+
+    /// Selects the flow interpreter: [`FusionMode::On`] (the default)
+    /// executes fused straight-line segments in one queue turn,
+    /// [`FusionMode::Off`] keeps the per-vertex oracle for ablation.
+    /// The `FLUX_FUSE` env var overrides either choice at start.
+    pub fn fusion(mut self, mode: FusionMode) -> Self {
+        self.fusion = Some(mode);
         self
     }
 
@@ -179,11 +192,12 @@ impl<S: ServerSpec> ServerBuilder<S> {
             *queue = kind;
         }
         let (program, registry, ctx) = self.spec.build(&self.net);
-        let server = if self.profile {
-            flux_runtime::FluxServer::with_profiling(program, registry)
-        } else {
-            flux_runtime::FluxServer::new(program, registry)
-        }
+        let server = flux_runtime::FluxServer::with_options(
+            program,
+            registry,
+            self.profile,
+            self.fusion.unwrap_or_default(),
+        )
         .expect("registry satisfies the program");
         if self.stats {
             if let Some(driver) = S::driver(&ctx) {

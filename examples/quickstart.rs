@@ -1,4 +1,4 @@
-//! Quickstart, in two acts:
+//! Quickstart, in three acts:
 //!
 //! 1. compile a Flux program, bind Rust node implementations, and run
 //!    it on all four runtimes — the paper's runtime-independence claim;
@@ -7,7 +7,12 @@
 //!    runtime kind, the adaptive shard policy (`AdaptivePolicy`: park
 //!    idle dispatchers, wake them on burst), the network configuration
 //!    (`NetConfig`: readiness backend, write-buffer bound, event-poll
-//!    timeout) and the stats/profiling toggles.
+//!    timeout), the flow interpreter (`FusionMode`: fused straight-line
+//!    segments vs per-node queue turns) and the stats/profiling
+//!    toggles;
+//! 3. inspect what the compiler fused: the same dump `fluxc fused`
+//!    (alias `--dump-fused`) prints — each flow's straight-line
+//!    segments and the boundary reasons where fusion stops.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -193,4 +198,15 @@ fn main() {
         server.handle.server().stats.adaptive.describe(),
     );
     flux::servers::web::stop(server);
+
+    // Act 3: what did the compiler fuse? Each flow's straight-line
+    // Exec/Release chains run as one queue turn per segment on the
+    // event runtime (FusionMode::On, the default; `.fusion(...)` on the
+    // builder or FLUX_FUSE=0 selects the per-node oracle). The dump
+    // below is exactly `fluxc fused` / `fluxc --dump-fused`: segments
+    // first, then every boundary edge with the reason fusion stopped —
+    // dispatch arms, error arms, acquires, blocking nodes, joins.
+    let program = flux::core::compile(PROGRAM).expect("program compiles");
+    println!();
+    print!("{}", flux::core::fuse::render(&program));
 }

@@ -12,6 +12,9 @@
 //! fluxc rust   server.flux              runnable Rust skeleton (stubs)
 //! fluxc csim   server.flux              CSIM-style simulator source
 //! fluxc paths  server.flux [--limit N]  Ball-Larus path table per flow
+//! fluxc fused  server.flux              fused straight-line segments and
+//!                                       their break reasons (--dump-fused
+//!                                       is an alias)
 //! fluxc sim    server.flux [--cpus N] [--duration S] [--service-ms M]
 //!              [--interarrival-ms M] [--sessions N --session-aware]
 //!                                       run the discrete-event simulator
@@ -42,6 +45,8 @@ COMMANDS:
              generated stubs + Makefile)
     csim     emit CSIM-style discrete-event simulator source (Figure 5)
     paths    enumerate Ball-Larus paths for every flow (§5.2)
+    fused    dump the fused straight-line segments per flow with the
+             boundary reasons where fusion stops (alias: --dump-fused)
     sim      run the discrete-event simulator on a uniform performance
              model (§5.1)
     place    compute a constraint-guided cluster placement (§8) and
@@ -178,6 +183,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "csim" => print!("{}", SimGenerator.generate(&program)),
         "paths" => cmd_paths(&program, &opts),
+        "fused" | "--dump-fused" => print!("{}", flux::core::fuse::render(&program)),
         "sim" => cmd_sim(&program, &opts),
         "place" => cmd_place(&program, &opts)?,
         other => return Err(CliError::Usage(format!("unknown command `{other}`"))),

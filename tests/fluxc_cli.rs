@@ -144,6 +144,39 @@ fn paths_lists_hot_path_candidates() {
     }
 }
 
+/// `fluxc fused` output is a compiler artifact other tooling (and the
+/// quickstart) reads, so it is pinned against golden snapshots for
+/// every shipped program. Regenerate with
+/// `fluxc fused programs/<p>.flux > tests/golden/fused/<p>.txt` when a
+/// fusion-pass change is intentional.
+#[test]
+fn fused_dump_matches_golden_snapshots() {
+    for f in [
+        "figure2_image_server",
+        "image_server",
+        "web_server",
+        "bittorrent",
+        "game_server",
+    ] {
+        let out = fluxc(&["fused", &format!("programs/{f}.flux")]);
+        assert!(out.status.success(), "{f}: {}", stderr(&out));
+        let golden = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/fused")
+            .join(format!("{f}.txt"));
+        let want = std::fs::read_to_string(&golden).expect("golden snapshot checked in");
+        assert_eq!(stdout(&out), want, "fused dump drifted for {f}");
+    }
+}
+
+#[test]
+fn dump_fused_alias_works() {
+    let out = fluxc(&["--dump-fused", "programs/web_server.flux"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("segment(s)"), "{text}");
+    assert!(text.contains("[error arm]"), "{text}");
+}
+
 #[test]
 fn sim_reports_throughput_and_latency() {
     let out = fluxc(&[
