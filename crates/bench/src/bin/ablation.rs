@@ -45,12 +45,22 @@
 //!     `BENCH_shard_queue.json` (1-core hosts annotated per point: no
 //!     parallel contention there, so the ring's CAS path shows only its
 //!     constant-factor delta).
+//! 11. **Stage fusion**: fused straight-line segments (one queue turn
+//!     per chain) versus the per-vertex oracle on the MemNet web
+//!     workload at {1, 4} shards. Writes `BENCH_fused_stages.json`.
+//! 12. **Pub/sub fan-out**: end-to-end fan-out latency percentiles of
+//!     the streaming pub/sub server — one paced publisher, N
+//!     subscribers of one topic, every `MSG` encoded once and
+//!     multicast as a refcounted shared payload — swept over
+//!     subscriber counts {64, 256, 1024}, adaptive shard controller
+//!     on. Writes `BENCH_pubsub_fanout.json` with server-side
+//!     publish/delivery/coalesce counters next to each point.
 //!
 //! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point); `FLUX_BENCH_ONLY`
 //! (comma-separated ablation numbers, e.g. `FLUX_BENCH_ONLY=7`, default
-//! all); `FLUX_BENCH_QUICK=1` shrinks ablations 7/8/9 to one small
-//! point per mode (seconds, not minutes — the CI smoke legs that catch
-//! compile or panic regressions without a full sweep; quick JSON
+//! all); `FLUX_BENCH_QUICK=1` shrinks ablations 7/8/9/11/12 to one
+//! small point per mode (seconds, not minutes — the CI smoke legs that
+//! catch compile or panic regressions without a full sweep; quick JSON
 //! artifacts carry `"quick": true`).
 
 use flux_bench::{env_or, f, Table};
@@ -970,6 +980,111 @@ fn fused_stages_json(points: &[FusedPoint], quick: bool) -> String {
     out
 }
 
+struct PubSubPoint {
+    report: flux_bench::PubSubLoadReport,
+    /// Server-side publishes seen by the Aggregate node (whole run, not
+    /// just the measurement window).
+    srv_publishes: u64,
+    srv_deliveries: u64,
+    coalesced: u64,
+    writes_shared: u64,
+    evicted: u64,
+    parks: u64,
+    wakes: u64,
+}
+
+/// One pub/sub fan-out measurement: the streaming server under the
+/// adaptive controller, one paced publisher, `subscribers` subscribers
+/// of a single topic.
+fn run_pubsub_fanout(subscribers: usize, publish_hz: f64, secs: f64) -> PubSubPoint {
+    use flux_bench::run_pubsub_load;
+    use flux_net::MemNet;
+
+    let net = MemNet::new();
+    let listener = net.listen("pubsub").unwrap();
+    let server =
+        flux_servers::ServerBuilder::new(flux_servers::pubsub::PubSubSpec::new(Box::new(listener)))
+            .runtime(RuntimeKind::event_driven_adaptive(4, 4))
+            .spawn();
+    let report = run_pubsub_load(
+        &net,
+        "pubsub",
+        subscribers,
+        publish_hz,
+        Duration::from_secs_f64(secs),
+        Duration::from_secs_f64((secs / 4.0).clamp(0.25, 2.0)),
+    );
+    let stats = &server.handle.server().stats;
+    let parks = stats.adaptive.parks.load(Ordering::Relaxed);
+    let wakes = stats.adaptive.wakes.load(Ordering::Relaxed);
+    let ctx = &server.ctx;
+    let point = PubSubPoint {
+        srv_publishes: ctx.fanout.publishes.load(Ordering::Relaxed),
+        srv_deliveries: ctx.fanout.deliveries.load(Ordering::Relaxed),
+        coalesced: ctx.fanout.coalesced_publishes.load(Ordering::Relaxed),
+        writes_shared: ctx.driver.counters().writes_shared.load(Ordering::Relaxed),
+        evicted: ctx
+            .driver
+            .counters()
+            .slow_consumer_evicted
+            .load(Ordering::Relaxed),
+        parks,
+        wakes,
+        report,
+    };
+    flux_servers::pubsub::stop(server);
+    point
+}
+
+/// JSON record for the pub/sub fan-out sweep: host_cores and the p99
+/// at the widest fan-out ride at the top per the perf-record protocol.
+fn pubsub_fanout_json(points: &[PubSubPoint], publish_hz: f64, quick: bool) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let widest = points.iter().max_by_key(|p| p.report.subscribers);
+    let mut headline = String::new();
+    if let Some(p) = widest {
+        headline.push_str(&format!(
+            "  \"fanout_p99_ms_at_{}_subscribers\": {:.3},\n",
+            p.report.subscribers,
+            p.report.p99_latency.as_secs_f64() * 1e3
+        ));
+    }
+    let mut out = format!(
+        "{{\n  \"bench\": \"pubsub_fanout\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n  \"publish_hz\": {publish_hz},\n{headline}  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"subscribers\": {}, \"publishes\": {}, \"deliveries\": {}, \
+             \"deliveries_per_sec\": {:.1}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {}, \
+             \"srv_publishes\": {}, \"srv_deliveries\": {}, \"coalesced_publishes\": {}, \
+             \"writes_shared\": {}, \"slow_consumer_evicted\": {}, \
+             \"adaptive_parks\": {}, \"adaptive_wakes\": {}}}{}\n",
+            p.report.subscribers,
+            p.report.publishes,
+            p.report.deliveries,
+            p.report.deliveries_per_sec(),
+            p.report.mean_latency.as_secs_f64() * 1e3,
+            p.report.p50_latency.as_secs_f64() * 1e3,
+            p.report.p95_latency.as_secs_f64() * 1e3,
+            p.report.p99_latency.as_secs_f64() * 1e3,
+            p.report.errors,
+            p.srv_publishes,
+            p.srv_deliveries,
+            p.coalesced,
+            p.writes_shared,
+            p.evicted,
+            p.parks,
+            p.wakes,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Predicted (conservative and session-aware) and measured throughput of
 /// a pipeline whose middle node holds a `(session)` writer constraint,
 /// with flows spread round-robin over `sessions` sessions.
@@ -1533,6 +1648,68 @@ fn main() {
             "BENCH_fused_stages.quick.json"
         } else {
             "BENCH_fused_stages.json"
+        };
+        match std::fs::write(json_path, &json) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
+    }
+
+    if should(12) {
+        const PUBLISH_HZ: f64 = 200.0;
+        let secs12 = if quick { secs.min(0.3) } else { secs };
+        let subscriber_counts: &[usize] = if quick { &[16] } else { &[64, 256, 1024] };
+        let mut t12 = Table::new(
+            "Ablation 12: pub/sub fan-out — delivery latency vs subscriber count (MemNet, 200 publishes/s, adaptive shards)",
+            &["subs", "deliv_s", "p50_ms", "p95_ms", "p99_ms", "coalesced", "parks"],
+        );
+        // Median-of-3 by p99 in full mode: tail latency is the product
+        // here, and single runs are at the mercy of scheduler noise.
+        let reps = if quick { 1 } else { 3 };
+        let mut ps_points: Vec<PubSubPoint> = Vec::new();
+        for &subs in subscriber_counts {
+            let mut runs: Vec<PubSubPoint> = (0..reps)
+                .map(|_| run_pubsub_fanout(subs, PUBLISH_HZ, secs12))
+                .collect();
+            runs.sort_by(|a, b| {
+                a.report
+                    .p99_latency
+                    .partial_cmp(&b.report.p99_latency)
+                    .unwrap()
+            });
+            let p = runs.remove(reps / 2);
+            eprintln!(
+                "# subs={subs:<5} {} deliveries/s p50 {:.3} ms p99 {:.3} ms ({} publishes, {} coalesced)",
+                f(p.report.deliveries_per_sec()),
+                p.report.p50_latency.as_secs_f64() * 1e3,
+                p.report.p99_latency.as_secs_f64() * 1e3,
+                p.report.publishes,
+                p.coalesced,
+            );
+            t12.row(&[
+                subs.to_string(),
+                f(p.report.deliveries_per_sec()),
+                format!("{:.3}", p.report.p50_latency.as_secs_f64() * 1e3),
+                format!("{:.3}", p.report.p95_latency.as_secs_f64() * 1e3),
+                format!("{:.3}", p.report.p99_latency.as_secs_f64() * 1e3),
+                p.coalesced.to_string(),
+                p.parks.to_string(),
+            ]);
+            ps_points.push(p);
+        }
+        print!("{}", t12.render());
+        println!();
+        println!("# One publisher paces PUBs on a single topic; every subscriber receives each");
+        println!("# MSG. The server encodes the aggregate once per round and multicasts it as a");
+        println!("# refcounted shared payload, so the payload-copy count per publish is 1");
+        println!("# regardless of fan-out (writes_shared counts only buffer handles cloned).");
+        println!("# Latency is publish write to MSG arrival, timestamped in-process.");
+        println!();
+        let json = pubsub_fanout_json(&ps_points, PUBLISH_HZ, quick);
+        let json_path = if quick {
+            "BENCH_pubsub_fanout.quick.json"
+        } else {
+            "BENCH_pubsub_fanout.json"
         };
         match std::fs::write(json_path, &json) {
             Ok(()) => eprintln!("# wrote {json_path}"),

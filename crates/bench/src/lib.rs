@@ -17,6 +17,7 @@
 
 pub mod btload;
 pub mod gameload;
+pub mod pubsubload;
 pub mod report;
 pub mod webload;
 pub mod webset;
@@ -24,6 +25,7 @@ pub mod zipf;
 
 pub use btload::{run_bt_load, BtLoadReport};
 pub use gameload::{run_game_load, GameLoadReport};
+pub use pubsubload::{run_pubsub_load, PubSubLoadReport};
 pub use report::{env_or, f, ms, Table};
 pub use webload::{percentile_ns, run_slow_reader_tcp_load, run_web_load, LoadReport};
 pub use webset::WebSet;

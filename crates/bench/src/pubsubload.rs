@@ -1,0 +1,215 @@
+//! The pub/sub fan-out load generator: one publisher paced at a fixed
+//! rate against N subscribers on one topic, measuring end-to-end
+//! fan-out latency — publish write to `MSG` arrival at each
+//! subscriber.
+//!
+//! The publisher embeds the send time (nanoseconds since a shared
+//! in-process epoch) as the published value; the server's `MSG` line
+//! echoes the value of the publish that triggered the aggregation
+//! round (`<last>`), so every subscriber timestamps deliveries without
+//! any side channel and without clock skew. Latencies therefore
+//! include the whole pipeline: source parse, topic-pinned aggregation
+//! on the home shard, the single payload encode, and N shared-buffer
+//! submissions with their drains.
+
+use flux_net::MemNet;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregated measurements from one pub/sub fan-out run.
+#[derive(Debug, Clone)]
+pub struct PubSubLoadReport {
+    pub subscribers: usize,
+    pub publish_hz: f64,
+    pub duration: Duration,
+    /// Publishes sent during the measurement window.
+    pub publishes: u64,
+    /// `MSG` deliveries received across all subscribers during the
+    /// measurement window.
+    pub deliveries: u64,
+    /// Malformed lines or I/O errors observed by subscribers.
+    pub errors: u64,
+    pub mean_latency: Duration,
+    pub p50_latency: Duration,
+    pub p95_latency: Duration,
+    pub p99_latency: Duration,
+}
+
+impl PubSubLoadReport {
+    /// Deliveries per second across all subscribers.
+    pub fn deliveries_per_sec(&self) -> f64 {
+        self.deliveries as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// Runs one publisher at `publish_hz` against `subscribers` subscribers
+/// of a single topic on the pub/sub server at `addr`, measuring for
+/// `duration` after `warmup`.
+///
+/// The subscriber latency sample pool is capped at one million entries
+/// (like the web load generator); at 1024 subscribers x hundreds of
+/// publishes per second that cap can bite, so samples beyond it are
+/// dropped — the percentiles still summarize an unbiased prefix of the
+/// window.
+pub fn run_pubsub_load(
+    net: &Arc<MemNet>,
+    addr: &str,
+    subscribers: usize,
+    publish_hz: f64,
+    duration: Duration,
+    warmup: Duration,
+) -> PubSubLoadReport {
+    const TOPIC: &str = "firehose";
+    let epoch = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let deliveries = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let latency_sum_ns = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<parking_lot::Mutex<Vec<u64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let done = Arc::new(AtomicUsize::new(0));
+
+    let mut joins = Vec::with_capacity(subscribers);
+    for sid in 0..subscribers {
+        let net = net.clone();
+        let addr = addr.to_string();
+        let stop = stop.clone();
+        let measuring = measuring.clone();
+        let deliveries = deliveries.clone();
+        let errors = errors.clone();
+        let latency_sum_ns = latency_sum_ns.clone();
+        let latencies = latencies.clone();
+        let done = done.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("pubsubload-{sid}"))
+                .spawn(move || {
+                    let run = || -> std::io::Result<()> {
+                        let mut conn = net.connect(&addr)?;
+                        writeln!(conn, "SUB {TOPIC}")?;
+                        let mut reader = BufReader::new(conn);
+                        let mut line = String::new();
+                        reader.read_line(&mut line)?; // +OK
+                        while !stop.load(Ordering::Relaxed) {
+                            line.clear();
+                            if reader.read_line(&mut line)? == 0 {
+                                break; // server closed
+                            }
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            if !measuring.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            // MSG <topic> <seq> <count> <topk> <last>
+                            let Some(sent) = line
+                                .trim_end()
+                                .rsplit(' ')
+                                .next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                            else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            };
+                            let dt = now.saturating_sub(sent);
+                            deliveries.fetch_add(1, Ordering::Relaxed);
+                            latency_sum_ns.fetch_add(dt, Ordering::Relaxed);
+                            let mut l = latencies.lock();
+                            if l.len() < 1_000_000 {
+                                l.push(dt);
+                            }
+                        }
+                        Ok(())
+                    };
+                    if run().is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("spawn subscriber"),
+        );
+    }
+
+    // The paced publisher. It keeps publishing after `stop` until every
+    // subscriber thread has exited: subscribers block in `read_line`,
+    // so the shutdown signal only reaches them as one more `MSG`.
+    let publisher = {
+        let net = net.clone();
+        let addr = addr.to_string();
+        let stop = stop.clone();
+        let measuring = measuring.clone();
+        let done = done.clone();
+        let publishes = Arc::new(AtomicU64::new(0));
+        let p2 = publishes.clone();
+        let interval = Duration::from_secs_f64(1.0 / publish_hz.max(1.0));
+        let handle = std::thread::Builder::new()
+            .name("pubsubload-pub".into())
+            .spawn(move || {
+                let mut conn = net.connect(&addr).expect("publisher connects");
+                let mut next = Instant::now();
+                let drain_deadline = loop {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    next += interval;
+                    let stamp = epoch.elapsed().as_nanos() as u64;
+                    if writeln!(conn, "PUB {TOPIC} {stamp}").is_err() {
+                        break Instant::now();
+                    }
+                    if measuring.load(Ordering::Relaxed) {
+                        p2.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break Instant::now() + Duration::from_secs(5);
+                    }
+                };
+                // Flush rounds so every blocked subscriber wakes, sees
+                // `stop` and exits.
+                while done.load(Ordering::Relaxed) < subscribers && Instant::now() < drain_deadline
+                {
+                    let stamp = epoch.elapsed().as_nanos() as u64;
+                    if writeln!(conn, "PUB {TOPIC} {stamp}").is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+            .expect("spawn publisher");
+        (handle, publishes)
+    };
+
+    std::thread::sleep(warmup);
+    measuring.store(true, Ordering::SeqCst);
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    measuring.store(false, Ordering::SeqCst);
+    let measured = t0.elapsed();
+    stop.store(true, Ordering::SeqCst);
+    let (pub_handle, publishes) = publisher;
+    let _ = pub_handle.join();
+    for j in joins {
+        let _ = j.join();
+    }
+
+    let delivered = deliveries.load(Ordering::Relaxed);
+    let mut lat = latencies.lock().clone();
+    PubSubLoadReport {
+        subscribers,
+        publish_hz,
+        duration: measured,
+        publishes: publishes.load(Ordering::Relaxed),
+        deliveries: delivered,
+        errors: errors.load(Ordering::Relaxed),
+        mean_latency: Duration::from_nanos(
+            latency_sum_ns
+                .load(Ordering::Relaxed)
+                .checked_div(delivered)
+                .unwrap_or(0),
+        ),
+        p50_latency: crate::percentile_ns(&mut lat, 0.50),
+        p95_latency: crate::percentile_ns(&mut lat, 0.95),
+        p99_latency: crate::percentile_ns(&mut lat, 0.99),
+    }
+}

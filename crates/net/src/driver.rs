@@ -71,7 +71,7 @@
 //! on bounded timeouts), so no driver thread can outlive the server and
 //! fire into a dropped channel.
 
-use crate::pool::{BatchPool, BytePool};
+use crate::pool::{BatchPool, BytePool, SharedPayload};
 use crate::traits::{Conn, Listener, WriteProgress};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -183,6 +183,15 @@ pub struct DriverCounters {
     pub write_would_block: AtomicU64,
     /// Writes that failed (connection removed).
     pub writes_failed: AtomicU64,
+    /// Shared fan-out payloads handed to
+    /// [`ConnDriver::submit_write_shared`] (each is also counted in
+    /// `writes_submitted`).
+    pub writes_shared: AtomicU64,
+    /// Connections evicted because a submission would push their
+    /// output buffer past [`ConnDriver::set_max_pending_out`] — the
+    /// slow-consumer policy: drop the subscriber, never buffer without
+    /// bound.
+    pub slow_consumer_evicted: AtomicU64,
     /// Watch-callback events that piggybacked on an already-pending
     /// `Coalesced` marker instead of sending their own channel op —
     /// the mem-transport batching amortization factor.
@@ -235,8 +244,10 @@ pub struct ConnDriver {
     /// so a watch closure held by a connection never forms a
     /// driver → slot → conn → closure → driver reference cycle.
     watch_batch: Arc<Mutex<Vec<DriverEvent>>>,
-    /// Recycled payload buffers for [`ConnDriver::submit_write_buf`].
-    write_bufs: BytePool,
+    /// Recycled payload buffers for [`ConnDriver::submit_write_buf`]
+    /// and [`ConnDriver::seal_write_buf`] (shared, so sealed payloads
+    /// can return their buffer from any releasing thread).
+    write_bufs: Arc<BytePool>,
     /// Recycled event vectors for the reactor's per-round batches.
     event_batches: Arc<BatchPool<DriverEvent>>,
     /// Per-connection output-buffer bound (see
@@ -288,7 +299,7 @@ impl ConnDriver {
             conn_count: AtomicUsize::new(0),
             counters: Arc::new(DriverCounters::default()),
             watch_batch: Arc::new(Mutex::new(Vec::new())),
-            write_bufs: BytePool::default(),
+            write_bufs: Arc::new(BytePool::default()),
             event_batches,
             max_pending_out: AtomicUsize::new(config.max_pending_out),
             stopping: AtomicBool::new(false),
@@ -502,6 +513,42 @@ impl ConnDriver {
     /// [`ConnDriver::set_max_pending_out`] — the connection is removed
     /// (which fails any earlier still-pending submissions too).
     pub fn submit_write(self: &Arc<Self>, token: Token, bytes: &[u8]) -> bool {
+        self.submit_with(token, bytes.len(), |conn| conn.enqueue_write(bytes))
+    }
+
+    /// Seals an encoded buffer (typically from
+    /// [`ConnDriver::take_write_buf`]) into a refcounted
+    /// [`SharedPayload`] backed by the driver's pool: submit it to any
+    /// number of connections via [`ConnDriver::submit_write_shared`];
+    /// the buffer recycles exactly once, when the last connection
+    /// releases it.
+    pub fn seal_write_buf(&self, buf: Vec<u8>) -> SharedPayload {
+        self.write_bufs.seal(buf)
+    }
+
+    /// Like [`ConnDriver::submit_write`], but submits a refcounted
+    /// payload without copying: a connection that cannot take the bytes
+    /// immediately buffers a reference in its segment-queue output
+    /// buffer, so one encode fans out to N subscribers with a
+    /// per-publish payload-copy count of 1. Completion-event and
+    /// slow-consumer-eviction semantics are identical to
+    /// `submit_write`.
+    pub fn submit_write_shared(self: &Arc<Self>, token: Token, payload: &SharedPayload) -> bool {
+        self.counters.writes_shared.fetch_add(1, Ordering::Relaxed);
+        self.submit_with(token, payload.len(), |conn| {
+            conn.enqueue_write_shared(payload)
+        })
+    }
+
+    /// Common body of the submit paths: slot/generation validation, the
+    /// output-buffer cap (slow-consumer eviction), the enqueue itself,
+    /// and pending-submission bookkeeping with drain arming.
+    fn submit_with(
+        self: &Arc<Self>,
+        token: Token,
+        len: usize,
+        enqueue: impl FnOnce(&mut Box<dyn Conn>) -> std::io::Result<WriteProgress>,
+    ) -> bool {
         let Some(slot) = self.slot_arc(token) else {
             return false;
         };
@@ -523,12 +570,15 @@ impl ConnDriver {
         // cannot retire this submission before its bytes are buffered.
         let mut conn = shared.lock();
         let cap = self.max_pending_out.load(Ordering::Relaxed);
-        if conn.pending_out().saturating_add(bytes.len()) > cap {
+        if conn.pending_out().saturating_add(len) > cap {
             drop(conn);
+            self.counters
+                .slow_consumer_evicted
+                .fetch_add(1, Ordering::Relaxed);
             self.finish_writes(token, 1, false);
             return true;
         }
-        match conn.enqueue_write(bytes) {
+        match enqueue(&mut conn) {
             Ok(WriteProgress::Complete) => {
                 self.finish_writes(token, 1, true);
                 true

@@ -57,6 +57,16 @@
 //!   and recycled after the transport takes the bytes; per-connection
 //!   read scratch ([`ConnDriver::take_read_buf`]) is reused across all
 //!   requests on a keep-alive connection.
+//! * **Shared fan-out payloads.** Multicast results are encoded once,
+//!   sealed into a refcounted [`pool::SharedPayload`]
+//!   ([`ConnDriver::seal_write_buf`]) and submitted to every
+//!   subscriber via [`ConnDriver::submit_write_shared`]. A blocked
+//!   connection buffers a *reference* in its segment-queue
+//!   [`pool::OutBuf`], not a copy, and the buffer returns to the pool
+//!   exactly once when the last drain (or teardown) releases it. A
+//!   subscriber whose output buffer would exceed the configured bound
+//!   is evicted (slow-consumer policy) rather than buffering without
+//!   limit.
 //!
 //! On multi-core hosts the reactor thread pins itself to a core
 //! ([`affinity`]; opt out with `FLUX_PIN=0`), matching the runtime's
@@ -81,7 +91,7 @@ pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
 pub use poller::EpollPoller;
 #[cfg(unix)]
 pub use poller::{Interest, PollPoller, Poller, PollerBackend, PollerEvent};
-pub use pool::BytePool;
+pub use pool::{BytePool, OutBuf, SharedPayload};
 #[cfg(unix)]
 pub use reactor::Reactor;
 pub use shaper::Shaper;

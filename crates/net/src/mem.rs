@@ -2,6 +2,7 @@
 //! optional link shaping. Benchmarks run on this transport so results do
 //! not depend on kernel socket buffers or loopback quirks.
 
+use crate::pool::{OutBuf, SharedPayload};
 use crate::shaper::Shaper;
 use crate::traits::{Conn, Datagram, Listener};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -113,9 +114,10 @@ pub struct MemConn {
     tx: Arc<Pipe>,
     read_timeout: Option<Duration>,
     shaper: Option<Arc<Shaper>>,
-    /// Output buffer for enqueued writes on *shaped* links, drained by
-    /// the driver's drain thread (see [`Conn::enqueue_write`] below).
-    out: VecDeque<u8>,
+    /// Output segment queue for enqueued writes on *shaped* links,
+    /// drained by the driver's drain thread (see [`Conn::enqueue_write`]
+    /// below). Shared fan-out payloads buffer a reference, not a copy.
+    out: OutBuf,
     local: String,
     peer: String,
 }
@@ -136,7 +138,7 @@ impl MemConn {
                 tx: b.clone(),
                 read_timeout: None,
                 shaper: shaper.clone(),
-                out: VecDeque::new(),
+                out: OutBuf::new(),
                 local: "mem:client".into(),
                 peer: "mem:server".into(),
             },
@@ -145,7 +147,7 @@ impl MemConn {
                 tx: a,
                 read_timeout: None,
                 shaper,
-                out: VecDeque::new(),
+                out: OutBuf::new(),
                 local: "mem:server".into(),
                 peer: "mem:client".into(),
             },
@@ -202,7 +204,7 @@ impl Conn for MemConn {
             // is buffered for the driver's drain thread, which can
             // afford the sleep (the submitting dispatcher shard cannot).
             if !self.out.is_empty() || !shaper.try_consume(bytes.len()) {
-                self.out.extend(bytes.iter().copied());
+                self.out.push_owned(bytes, 0);
                 return Ok(crate::traits::WriteProgress::Pending);
             }
             // Tokens already consumed: write to the pipe directly so
@@ -216,22 +218,44 @@ impl Conn for MemConn {
         Ok(crate::traits::WriteProgress::Complete)
     }
 
+    fn enqueue_write_shared(
+        &mut self,
+        payload: &SharedPayload,
+    ) -> io::Result<crate::traits::WriteProgress> {
+        if let Some(shaper) = self.shaper.clone() {
+            if !self.out.is_empty() || !shaper.try_consume(payload.len()) {
+                // Blocked: buffer a reference, not a per-subscriber copy.
+                self.out.push_shared(payload, 0);
+                return Ok(crate::traits::WriteProgress::Pending);
+            }
+            self.tx.write(payload)?;
+            return Ok(crate::traits::WriteProgress::Complete);
+        }
+        self.tx.write(payload)?;
+        Ok(crate::traits::WriteProgress::Complete)
+    }
+
     fn pending_out(&self) -> usize {
         self.out.len()
     }
 
     fn drain_out(&mut self) -> io::Result<crate::traits::WriteProgress> {
-        if self.out.is_empty() {
-            return Ok(crate::traits::WriteProgress::Complete);
-        }
         // Runs on the driver's flux-net-drain thread, which may sleep in
         // the shaper. One bounded chunk per call keeps the connection
         // lock's hold time to a single chunk's transmission, so flows
         // and fresh enqueues interleave with a long drain.
         const DRAIN_CHUNK: usize = 16 * 1024;
-        let n = self.out.len().min(DRAIN_CHUNK);
-        let chunk: Vec<u8> = self.out.drain(..n).collect();
-        io::Write::write_all(self, &chunk)?;
+        let Some(front) = self.out.front() else {
+            return Ok(crate::traits::WriteProgress::Complete);
+        };
+        let n = front.len().min(DRAIN_CHUNK);
+        if let Some(s) = &self.shaper {
+            // The buffered bytes never passed `try_consume`, so the
+            // drain pays their transmission time here (blocking).
+            s.consume(n);
+        }
+        self.tx.write(&front[..n])?;
+        self.out.advance(n);
         Ok(if self.out.is_empty() {
             crate::traits::WriteProgress::Complete
         } else {
@@ -245,7 +269,7 @@ impl Conn for MemConn {
             tx: self.tx.clone(),
             read_timeout: self.read_timeout,
             shaper: self.shaper.clone(),
-            out: VecDeque::new(),
+            out: OutBuf::new(),
             local: self.local.clone(),
             peer: self.peer.clone(),
         }))

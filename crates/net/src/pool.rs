@@ -14,8 +14,19 @@
 //! Both pools are bounded (a burst allocates, the steady state reuses)
 //! and drop oversized buffers so one huge response cannot pin its
 //! high-water mark forever.
+//!
+//! For multicast fan-out — one encoded result delivered to N
+//! connections — [`SharedPayload`] wraps a pooled buffer in a reference
+//! count: every [`crate::ConnDriver::submit_write_shared`] holds a
+//! clone while the bytes sit in that connection's output buffer, and
+//! the buffer returns to its pool exactly once, when the last drain
+//! (or connection teardown) drops the last clone. [`OutBuf`] is the
+//! segment-queue output buffer transports use so a blocked shared
+//! write buffers a *reference*, never a per-subscriber copy.
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A bounded stack of reusable `Vec<u8>` buffers.
 pub struct BytePool {
@@ -58,6 +69,178 @@ impl BytePool {
     /// Buffers currently resident in the pool (test hook).
     pub fn pooled(&self) -> usize {
         self.bufs.lock().len()
+    }
+
+    /// Seals an encoded buffer into a refcounted [`SharedPayload`].
+    ///
+    /// The buffer returns to this pool exactly once, when the final
+    /// clone of the payload is dropped — no matter how many
+    /// connections the payload was submitted to or which thread
+    /// (reactor, drain helper, driver) releases last.
+    pub fn seal(self: &Arc<Self>, bytes: Vec<u8>) -> SharedPayload {
+        SharedPayload(Arc::new(PayloadCell {
+            bytes,
+            pool: Some(Arc::clone(self)),
+        }))
+    }
+}
+
+/// An immutable, refcounted payload buffer for multicast fan-out.
+///
+/// One encode, N submissions: the driver clones the payload into each
+/// connection's [`OutBuf`] instead of copying the bytes, so the
+/// per-publish payload-copy count stays at 1 regardless of subscriber
+/// count. Pool-sealed payloads (see [`BytePool::seal`]) recycle their
+/// buffer on last drop; [`SharedPayload::detached`] builds one with no
+/// pool for transports and tests that do not recycle.
+#[derive(Clone)]
+pub struct SharedPayload(Arc<PayloadCell>);
+
+struct PayloadCell {
+    bytes: Vec<u8>,
+    pool: Option<Arc<BytePool>>,
+}
+
+impl Drop for PayloadCell {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.bytes));
+        }
+    }
+}
+
+impl SharedPayload {
+    /// Wraps bytes without a backing pool (dropped, not recycled).
+    pub fn detached(bytes: Vec<u8>) -> Self {
+        SharedPayload(Arc::new(PayloadCell { bytes, pool: None }))
+    }
+
+    /// Live references to the underlying buffer (test hook).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::ops::Deref for SharedPayload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0.bytes
+    }
+}
+
+impl std::fmt::Debug for SharedPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPayload")
+            .field("len", &self.0.bytes.len())
+            .field("refs", &Arc::strong_count(&self.0))
+            .finish()
+    }
+}
+
+/// A transport output buffer holding a queue of byte segments.
+///
+/// Owned segments hold copied tails of plain writes; shared segments
+/// hold an [`SharedPayload`] reference, so buffering a blocked fan-out
+/// write costs one `Arc` clone rather than a per-subscriber copy.
+/// Transports drain front-to-back via [`OutBuf::front`] /
+/// [`OutBuf::advance`].
+#[derive(Default)]
+pub struct OutBuf {
+    segs: VecDeque<OutSeg>,
+    /// Bytes of the front segment already written.
+    front_pos: usize,
+    /// Total unwritten bytes across all segments.
+    len: usize,
+}
+
+enum OutSeg {
+    Owned(Vec<u8>),
+    Shared(SharedPayload),
+}
+
+impl OutSeg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            OutSeg::Owned(v) => v,
+            OutSeg::Shared(p) => p,
+        }
+    }
+}
+
+impl OutBuf {
+    pub fn new() -> Self {
+        OutBuf::default()
+    }
+
+    /// Unwritten bytes buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buffers a copy of `bytes[from..]`, coalescing into the trailing
+    /// owned segment when there is one (keeps the segment count bounded
+    /// under streams of small plain writes).
+    pub fn push_owned(&mut self, bytes: &[u8], from: usize) {
+        let tail = &bytes[from..];
+        if tail.is_empty() {
+            return;
+        }
+        self.len += tail.len();
+        if let Some(OutSeg::Owned(last)) = self.segs.back_mut() {
+            last.extend_from_slice(tail);
+            return;
+        }
+        self.segs.push_back(OutSeg::Owned(tail.to_vec()));
+    }
+
+    /// Buffers a reference to `payload`, with the first `from` bytes
+    /// already written.
+    pub fn push_shared(&mut self, payload: &SharedPayload, from: usize) {
+        debug_assert!(from <= payload.len());
+        if from >= payload.len() {
+            return;
+        }
+        self.len += payload.len() - from;
+        if self.segs.is_empty() {
+            self.front_pos = from;
+        } else {
+            debug_assert_eq!(from, 0, "only the front segment can be mid-write");
+        }
+        self.segs.push_back(OutSeg::Shared(payload.clone()));
+    }
+
+    /// The unwritten remainder of the front segment.
+    pub fn front(&self) -> Option<&[u8]> {
+        self.segs.front().map(|s| &s.bytes()[self.front_pos..])
+    }
+
+    /// Marks `n` bytes of the front segment written, releasing the
+    /// segment (and any shared-payload reference) once exhausted.
+    pub fn advance(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let front = self.segs.front().expect("advance past end of OutBuf");
+        let remaining = front.bytes().len() - self.front_pos;
+        assert!(n <= remaining, "advance past end of front segment");
+        self.len -= n;
+        self.front_pos += n;
+        if self.front_pos == front.bytes().len() {
+            self.segs.pop_front();
+            self.front_pos = 0;
+        }
+    }
+
+    /// Drops every buffered segment (releases shared references).
+    pub fn clear(&mut self) {
+        self.segs.clear();
+        self.front_pos = 0;
+        self.len = 0;
     }
 }
 
@@ -120,6 +303,71 @@ mod tests {
         pool.put(Vec::with_capacity(16));
         pool.put(Vec::with_capacity(16)); // over max_pooled: dropped
         assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn shared_payload_returns_to_pool_on_last_drop() {
+        let pool = Arc::new(BytePool::new(4, 1024));
+        let payload = pool.seal(b"hello".to_vec());
+        let clone = payload.clone();
+        assert_eq!(&*payload, b"hello");
+        assert_eq!(payload.ref_count(), 2);
+        drop(payload);
+        assert_eq!(pool.pooled(), 0, "live clone keeps the buffer out");
+        drop(clone);
+        assert_eq!(pool.pooled(), 1, "last drop recycles exactly once");
+    }
+
+    #[test]
+    fn detached_payload_has_no_pool() {
+        let p = SharedPayload::detached(vec![1, 2, 3]);
+        assert_eq!(&*p, &[1, 2, 3]);
+        assert_eq!(p.ref_count(), 1);
+    }
+
+    #[test]
+    fn out_buf_interleaves_owned_and_shared() {
+        let pool = Arc::new(BytePool::new(4, 1024));
+        let payload = pool.seal(b"shared".to_vec());
+        let mut out = OutBuf::new();
+        out.push_owned(b"abc", 1); // buffers "bc"
+        out.push_shared(&payload, 0);
+        out.push_owned(b"xy", 0);
+        assert_eq!(out.len(), 2 + 6 + 2);
+        let mut drained = Vec::new();
+        while let Some(front) = out.front() {
+            let take = front.len().min(3);
+            drained.extend_from_slice(&front[..take]);
+            out.advance(take);
+        }
+        assert_eq!(drained, b"bcsharedxy");
+        assert!(out.is_empty());
+        drop(payload);
+        assert_eq!(pool.pooled(), 1, "drain released the shared segment");
+    }
+
+    #[test]
+    fn out_buf_partial_front_shared_segment() {
+        let payload = SharedPayload::detached(b"0123456789".to_vec());
+        let mut out = OutBuf::new();
+        out.push_shared(&payload, 4); // first 4 bytes already written
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.front().unwrap(), b"456789");
+        out.advance(2);
+        assert_eq!(out.front().unwrap(), b"6789");
+        out.clear();
+        assert!(out.is_empty());
+        assert_eq!(payload.ref_count(), 1, "clear released the reference");
+    }
+
+    #[test]
+    fn out_buf_coalesces_owned_tails() {
+        let mut out = OutBuf::new();
+        out.push_owned(b"aa", 0);
+        out.advance(1);
+        out.push_owned(b"bb", 0); // extends the (partially drained) front
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.front().unwrap(), b"abb");
     }
 
     #[test]

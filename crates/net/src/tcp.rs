@@ -1,6 +1,7 @@
 //! Real TCP/UDP transports over `std::net`, for examples and
 //! interoperability testing. Benchmarks use the in-memory transport.
 
+use crate::pool::{OutBuf, SharedPayload};
 use crate::traits::{Conn, Datagram, Listener, WriteProgress};
 use parking_lot::Mutex;
 use std::io;
@@ -13,14 +14,15 @@ use std::time::Duration;
 /// per-handle output buffer behind [`Conn::enqueue_write`]: writes that
 /// would block are buffered and drained with non-blocking partial
 /// writes, so the reactor can finish them on `POLLOUT` without ever
-/// parking a thread in `send(2)`.
+/// parking a thread in `send(2)`. The buffer is a segment queue
+/// ([`OutBuf`]): plain writes copy their unwritten tail, shared fan-out
+/// payloads ([`Conn::enqueue_write_shared`]) buffer a refcounted
+/// reference instead of a per-subscriber copy.
 pub struct TcpConn {
     stream: TcpStream,
     peer: String,
-    /// Output buffer for reactor-drained writes; `out_pos` marks how
-    /// much of it has already reached the socket.
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Output segment queue for reactor-drained writes.
+    out: OutBuf,
 }
 
 impl TcpConn {
@@ -32,8 +34,7 @@ impl TcpConn {
         TcpConn {
             stream,
             peer,
-            out: Vec::new(),
-            out_pos: 0,
+            out: OutBuf::new(),
         }
     }
 
@@ -42,38 +43,20 @@ impl TcpConn {
         Ok(TcpConn::new(TcpStream::connect(addr)?))
     }
 
-    /// Empties the output buffer, releasing oversized capacity so an
-    /// idle keep-alive connection does not pin the high-water mark of
-    /// its largest response.
-    fn release_out(&mut self) {
-        self.out.clear();
-        self.out_pos = 0;
-        if self.out.capacity() > 64 * 1024 {
-            self.out.shrink_to(64 * 1024);
-        }
-    }
-
     /// Non-blocking drain of the output buffer. The socket is switched
     /// to non-blocking mode only for the duration of the call; callers
     /// hold the connection lock, so blocking reads elsewhere never
     /// observe the mode flip.
     fn drain_nonblocking(&mut self) -> io::Result<WriteProgress> {
-        if self.out_pos >= self.out.len() {
-            self.release_out();
-            return Ok(WriteProgress::Complete);
+        while let Some(front) = self.out.front() {
+            let n = nb_write(&self.stream, front)?;
+            let partial = n < front.len();
+            self.out.advance(n);
+            if partial {
+                return Ok(WriteProgress::Pending);
+            }
         }
-        let n = nb_write(&self.stream, &self.out[self.out_pos..])?;
-        self.out_pos += n;
-        if self.out_pos >= self.out.len() {
-            self.release_out();
-            return Ok(WriteProgress::Complete);
-        }
-        // Keep the buffer from holding on to drained prefixes forever.
-        if self.out_pos > 64 * 1024 {
-            self.out.drain(..self.out_pos);
-            self.out_pos = 0;
-        }
-        Ok(WriteProgress::Pending)
+        Ok(WriteProgress::Complete)
     }
 }
 
@@ -155,24 +138,35 @@ impl Conn for TcpConn {
     }
 
     fn enqueue_write(&mut self, bytes: &[u8]) -> io::Result<WriteProgress> {
-        if self.out_pos >= self.out.len() {
+        if self.out.is_empty() {
             // Fast path: nothing buffered, write straight from the
             // caller's slice and keep only the unwritten tail.
             let n = nb_write(&self.stream, bytes)?;
             if n >= bytes.len() {
                 return Ok(WriteProgress::Complete);
             }
-            self.out.clear();
-            self.out_pos = 0;
-            self.out.extend_from_slice(&bytes[n..]);
+            self.out.push_owned(bytes, n);
             return Ok(WriteProgress::Pending);
         }
-        self.out.extend_from_slice(bytes);
+        self.out.push_owned(bytes, 0);
+        self.drain_nonblocking()
+    }
+
+    fn enqueue_write_shared(&mut self, payload: &SharedPayload) -> io::Result<WriteProgress> {
+        if self.out.is_empty() {
+            let n = nb_write(&self.stream, payload)?;
+            if n >= payload.len() {
+                return Ok(WriteProgress::Complete);
+            }
+            self.out.push_shared(payload, n);
+            return Ok(WriteProgress::Pending);
+        }
+        self.out.push_shared(payload, 0);
         self.drain_nonblocking()
     }
 
     fn pending_out(&self) -> usize {
-        self.out.len() - self.out_pos
+        self.out.len()
     }
 
     fn drain_out(&mut self) -> io::Result<WriteProgress> {

@@ -5,6 +5,7 @@
 //! interop) and on a hermetic in-memory transport (tests, benchmarks)
 //! with optional link shaping.
 
+use crate::pool::SharedPayload;
 use std::io;
 use std::time::Duration;
 
@@ -66,6 +67,18 @@ pub trait Conn: io::Read + io::Write + Send {
         self.write_all(bytes)?;
         self.flush()?;
         Ok(WriteProgress::Complete)
+    }
+
+    /// Queues a refcounted payload for transmission without copying.
+    ///
+    /// Fan-out transports (TCP, in-memory) buffer a clone of the
+    /// payload in their segment-queue output buffer when the write
+    /// cannot complete immediately, so one encoded buffer serves N
+    /// connections; the payload's buffer returns to its pool when the
+    /// last connection drains (or drops) it. The default falls back to
+    /// the copying [`Conn::enqueue_write`] path.
+    fn enqueue_write_shared(&mut self, payload: &SharedPayload) -> io::Result<WriteProgress> {
+        self.enqueue_write(payload)
     }
 
     /// Bytes accepted by [`Conn::enqueue_write`] but not yet handed to

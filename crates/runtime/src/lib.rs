@@ -130,6 +130,6 @@ pub use runtimes::{
 };
 pub use server::{FlowCursor, FluxServer, FusionMode, LockWait, Step};
 pub use stats::{
-    AdaptiveStat, LatencyHistogram, NetCounters, PinningStat, ServerStats, ShardLoadWindow,
-    ShardSample, ShardStat,
+    AdaptiveStat, FanoutStat, LatencyHistogram, NetCounters, PinningStat, ServerStats,
+    ShardLoadWindow, ShardSample, ShardStat,
 };

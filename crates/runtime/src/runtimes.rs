@@ -1202,6 +1202,15 @@ fn run_shard_mutex<P: Send + 'static>(
             }
             continue;
         };
+        // Topic-keyed pinning: a pinned event executes only on its
+        // session's current home shard. Stealing or an adaptive prefix
+        // resize may surface it here instead — forward it home rather
+        // than running session-keyed state off its shard.
+        if ev.cursor.pinned && set.home_of(&ev.cursor) != si {
+            stats[si].pinned_rerouted.fetch_add(1, Ordering::Relaxed);
+            set.forward_home(ev);
+            continue;
+        }
         let budget = set.step_budget;
         let mut spent = 0usize;
         loop {
@@ -1371,6 +1380,15 @@ fn run_shard_ring<P: Send + 'static>(
             drop(g);
             continue;
         };
+        // Topic-keyed pinning (see run_shard_mutex): the ring's
+        // steal_run claims contiguous runs and cannot skip individual
+        // events, so the execute-time forward is the uniform
+        // enforcement point for both queue kinds.
+        if ev.cursor.pinned && set.home_of(&ev.cursor) != si {
+            stats[si].pinned_rerouted.fetch_add(1, Ordering::Relaxed);
+            set.forward_home(ev);
+            continue;
+        }
         // "Events this dispatcher ran" — includes stolen and sidecar
         // events (see ShardStat::executed docs).
         stats[si].executed.fetch_add(1, Ordering::Relaxed);

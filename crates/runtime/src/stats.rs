@@ -150,6 +150,12 @@ pub struct ShardStat {
     /// dashboards can tell a fused workload — few turns, many nodes —
     /// from a genuinely idle one. Zero under `FusionMode::Off`.
     pub fused_execs: AtomicU64,
+    /// Pinned events (`NodeRegistry::session_pinned`) this shard
+    /// declined to execute and forwarded to their session's home shard
+    /// instead — the enforcement counter of topic-keyed affinity under
+    /// work stealing and adaptive prefix resizes. Zero when no source
+    /// pins its sessions.
+    pub pinned_rerouted: AtomicU64,
 }
 
 impl ShardStat {
@@ -191,6 +197,16 @@ pub trait NetCounters: Send + Sync + std::fmt::Debug {
     fn write_would_block(&self) -> u64;
     /// Writes that failed (connection removed).
     fn writes_failed(&self) -> u64;
+    /// Refcounted fan-out payloads submitted without copying (the
+    /// driver's shared-payload path). Zero for drivers predating it.
+    fn writes_shared(&self) -> u64 {
+        0
+    }
+    /// Connections evicted because a submission would overflow their
+    /// output-buffer bound (slow-consumer policy).
+    fn slow_consumer_evicted(&self) -> u64 {
+        0
+    }
 }
 
 /// Thread-pinning state of the most recent sharded event-runtime run,
@@ -390,6 +406,40 @@ impl ShardLoadWindow {
     }
 }
 
+/// Fan-out counters for streaming (pub/sub) servers: one *publish* is
+/// one aggregation round whose encoded result is delivered to every
+/// subscriber of a topic. All-zero for request/response servers.
+#[derive(Debug, Default)]
+pub struct FanoutStat {
+    /// Aggregation rounds whose result was fanned out (each encodes
+    /// its payload exactly once).
+    pub publishes: AtomicU64,
+    /// Per-subscriber deliveries submitted (`deliveries / publishes`
+    /// is the mean fan-out degree).
+    pub deliveries: AtomicU64,
+    /// Extra publish commands coalesced into an already-running
+    /// aggregation flow (burst amortization: `n` back-to-back PUBs to
+    /// one topic cost one flow and one fan-out, counting `n - 1` here).
+    pub coalesced_publishes: AtomicU64,
+}
+
+impl FanoutStat {
+    /// One-line summary for logs and bench records; empty when no
+    /// publish happened (request/response servers stay clean).
+    pub fn describe(&self) -> Option<String> {
+        let publishes = self.publishes.load(Ordering::Relaxed);
+        if publishes == 0 {
+            return None;
+        }
+        Some(format!(
+            "fan-out {} publish(es), {} deliveries, {} coalesced",
+            publishes,
+            self.deliveries.load(Ordering::Relaxed),
+            self.coalesced_publishes.load(Ordering::Relaxed),
+        ))
+    }
+}
+
 /// Counters for every way a flow can finish, plus latency.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -399,6 +449,11 @@ pub struct ServerStats {
     pub handled: AtomicU64,
     pub nomatch: AtomicU64,
     pub latency: LatencyHistogram,
+    /// Multicast fan-out counters (see [`FanoutStat`]); all-zero for
+    /// request/response servers. Behind an `Arc` so streaming-server
+    /// node closures (which capture their context, not the server) can
+    /// share the very block `describe()` reads.
+    pub fanout: std::sync::Arc<FanoutStat>,
     /// Core-affinity state of the most recent sharded event-runtime
     /// run (see [`PinningStat`]); all-zero under other runtimes.
     pub pinning: PinningStat,
@@ -469,6 +524,19 @@ impl ServerStats {
             .unwrap_or(0)
     }
 
+    /// Total pinned events forwarded back to their session's home shard
+    /// across all shards of the most recent sharded event-runtime run
+    /// (see [`ShardStat::pinned_rerouted`]).
+    pub fn total_pinned_rerouted(&self) -> u64 {
+        self.shard_stats()
+            .map(|s| {
+                s.iter()
+                    .map(|st| st.pinned_rerouted.load(Ordering::Relaxed))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
     /// Total node executions performed inside fused segments across all
     /// shards of the most recent sharded event-runtime run.
     pub fn total_fused_execs(&self) -> u64 {
@@ -515,6 +583,20 @@ impl ServerStats {
                 self.total_steals(),
                 self.total_fused_execs(),
             ));
+            let rerouted = self.total_pinned_rerouted();
+            if rerouted > 0 {
+                out.push_str(&format!(", pinned rerouted {rerouted}"));
+            }
+        }
+        if let Some(fanout) = self.fanout.describe() {
+            out.push_str(" | ");
+            out.push_str(&fanout);
+            if let Some(net) = self.net_counters() {
+                let evicted = net.slow_consumer_evicted();
+                if evicted > 0 {
+                    out.push_str(&format!(", {evicted} slow consumer(s) evicted"));
+                }
+            }
         }
         out
     }

@@ -1,4 +1,4 @@
-//! One typed construction surface for all four servers.
+//! One typed construction surface for all five servers.
 //!
 //! The paper's runtime-independence claim says the same Flux program
 //! runs on any concurrency substrate; this module makes the *public
@@ -47,18 +47,27 @@ pub trait ServerSpec {
     /// The context's network driver, when the server has one (used to
     /// publish [`flux_net::DriverCounters`] into the runtime stats).
     fn driver(ctx: &Self::Ctx) -> Option<Arc<ConnDriver>>;
+
+    /// The context's fan-out counter block, when the server is a
+    /// streaming (pub/sub) server. The builder shares it into
+    /// [`flux_runtime::ServerStats::fanout`] so `describe()` reports
+    /// publishes/deliveries/coalesced next to the flow counters.
+    fn fanout(ctx: &Self::Ctx) -> Option<Arc<flux_runtime::FanoutStat>> {
+        let _ = ctx;
+        None
+    }
 }
 
 /// A running server: the runtime handle plus the server's shared
 /// context. The per-server aliases (`web::WebServer`, `bt::BtServer`,
-/// `image::ImageServer`, `game::GameServer`) are instantiations of
-/// this one type.
+/// `image::ImageServer`, `game::GameServer`, `pubsub::PubSubServer`)
+/// are instantiations of this one type.
 pub struct RunningServer<P: Send + 'static, C> {
     pub handle: flux_runtime::ServerHandle<P>,
     pub ctx: C,
 }
 
-/// The one typed builder behind all four servers (see module docs).
+/// The one typed builder behind all five servers (see module docs).
 pub struct ServerBuilder<S: ServerSpec> {
     spec: S,
     runtime: RuntimeKind,
@@ -192,13 +201,16 @@ impl<S: ServerSpec> ServerBuilder<S> {
             *queue = kind;
         }
         let (program, registry, ctx) = self.spec.build(&self.net);
-        let server = flux_runtime::FluxServer::with_options(
+        let mut server = flux_runtime::FluxServer::with_options(
             program,
             registry,
             self.profile,
             self.fusion.unwrap_or_default(),
         )
         .expect("registry satisfies the program");
+        if let Some(fanout) = S::fanout(&ctx) {
+            server.stats.fanout = fanout;
+        }
         if self.stats {
             if let Some(driver) = S::driver(&ctx) {
                 server

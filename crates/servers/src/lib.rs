@@ -1,4 +1,4 @@
-//! # flux-servers — the paper's four servers, written in Flux
+//! # flux-servers — the paper's four servers plus a streaming fifth, written in Flux
 //!
 //! Each module embeds its Flux program source (compiled at start-up by
 //! `flux-core`), the Rust node implementations it binds, and a *spec*
@@ -10,10 +10,18 @@
 //!
 //! | module | paper section | style | spec |
 //! |--------|---------------|-------|------|
-//! | [`web`]   | §4.2 | request-response (HTTP/1.1 + FluxScript) | [`web::WebSpec`] |
-//! | [`image`] | §2, §5.1 | request-response (PPM -> JPEG, LFU cache) | [`image::ImageConfig`] |
-//! | [`bt`]    | §4.3 | peer-to-peer (BitTorrent, Figure 7) | [`bt::BtConfig`] |
-//! | [`game`]  | §4.4 | heartbeat client-server (Tag at 10 Hz) | [`game::GameConfig`] |
+//! | [`web`]    | §4.2 | request-response (HTTP/1.1 + FluxScript) | [`web::WebSpec`] |
+//! | [`image`]  | §2, §5.1 | request-response (PPM -> JPEG, LFU cache) | [`image::ImageConfig`] |
+//! | [`bt`]     | §4.3 | peer-to-peer (BitTorrent, Figure 7) | [`bt::BtConfig`] |
+//! | [`game`]   | §4.4 | heartbeat client-server (Tag at 10 Hz) | [`game::GameConfig`] |
+//! | [`pubsub`] | beyond the paper | streaming (windowed aggregation, multicast fan-out) | [`pubsub::PubSubSpec`] |
+//!
+//! The pub/sub module stresses what the request/response servers never
+//! do: one inbound publish fans out to N subscribers through a single
+//! refcounted payload ([`flux_net::SharedPayload`]), and flows are
+//! pinned to their *topic's* home shard rather than their
+//! connection's ([`flux_runtime::NodeRegistry::session_pinned`]); see
+//! its module docs for the wire protocol and window semantics.
 //!
 //! Construction is uniform across servers, examples, benches and
 //! tests:
@@ -37,6 +45,7 @@ pub mod builder;
 pub mod game;
 pub mod image;
 pub mod profile_service;
+pub mod pubsub;
 pub mod web;
 
 pub use builder::{RunningServer, ServerBuilder, ServerSpec};
@@ -71,6 +80,16 @@ impl flux_runtime::NetCounters for DriverNetCounters {
     fn writes_failed(&self) -> u64 {
         self.0
             .writes_failed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn writes_shared(&self) -> u64 {
+        self.0
+            .writes_shared
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn slow_consumer_evicted(&self) -> u64 {
+        self.0
+            .slow_consumer_evicted
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 }

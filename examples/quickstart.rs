@@ -1,4 +1,4 @@
-//! Quickstart, in three acts:
+//! Quickstart, in four acts:
 //!
 //! 1. compile a Flux program, bind Rust node implementations, and run
 //!    it on all four runtimes — the paper's runtime-independence claim;
@@ -10,7 +10,12 @@
 //!    timeout), the flow interpreter (`FusionMode`: fused straight-line
 //!    segments vs per-node queue turns) and the stats/profiling
 //!    toggles;
-//! 3. inspect what the compiler fused: the same dump `fluxc fused`
+//! 3. a *streaming* server through the same builder: the pub/sub
+//!    server subscribes clients to topics, aggregates each topic's
+//!    publishes over a sliding window, and multicasts the encoded
+//!    aggregate to every subscriber as one refcounted payload —
+//!    encoded once no matter the fan-out;
+//! 4. inspect what the compiler fused: the same dump `fluxc fused`
 //!    (alias `--dump-fused`) prints — each flow's straight-line
 //!    segments and the boundary reasons where fusion stops.
 //!
@@ -199,7 +204,49 @@ fn main() {
     );
     flux::servers::web::stop(server);
 
-    // Act 3: what did the compiler fuse? Each flow's straight-line
+    // Act 3: a streaming server through the same builder. `SUB <topic>`
+    // subscribes; each `PUB <topic> <value>` re-aggregates the topic's
+    // sliding window (count + top-k) on the topic's home shard and fans
+    // the one encoded `MSG` out to every subscriber as a refcounted
+    // shared payload — `stats.fanout` counts publishes vs deliveries.
+    use flux::servers::pubsub::PubSubSpec;
+    use std::io::{BufRead as _, BufReader};
+
+    let net = MemNet::new();
+    let listener = net.listen("pubsub").unwrap();
+    let server = ServerBuilder::new(PubSubSpec::new(Box::new(listener)))
+        .runtime(RuntimeKind::event_driven_sharded(2, 2))
+        .spawn();
+
+    let mut line = String::new();
+    let mut subscriber = BufReader::new(net.connect("pubsub").unwrap());
+    writeln!(subscriber.get_mut(), "SUB metrics").unwrap();
+    subscriber.read_line(&mut line).unwrap(); // "+OK metrics"
+
+    let mut publisher = net.connect("pubsub").unwrap();
+    writeln!(publisher, "PUB metrics ok").unwrap();
+    writeln!(publisher, "PUB metrics ok").unwrap();
+    writeln!(publisher, "PUB metrics err").unwrap();
+    // MSG <topic> <seq> <window-count> <top-k> <last>
+    let mut msg = String::new();
+    while !msg.starts_with("MSG metrics 3 ") {
+        msg.clear();
+        subscriber.read_line(&mut msg).unwrap();
+    }
+    print!("pub/sub via ServerBuilder: {msg}");
+    println!(
+        "  ({})",
+        server
+            .handle
+            .server()
+            .stats
+            .fanout
+            .describe()
+            .expect("publishes happened"),
+    );
+    flux::servers::pubsub::stop(server);
+
+    // Act 4: what did the compiler fuse? Each flow's straight-line
     // Exec/Release chains run as one queue turn per segment on the
     // event runtime (FusionMode::On, the default; `.fusion(...)` on the
     // builder or FLUX_FUSE=0 selects the per-node oracle). The dump

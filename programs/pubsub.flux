@@ -1,0 +1,21 @@
+    Listen () => (int token, pubsub_cmd *cmd);
+    Subscribe (int token, pubsub_cmd *cmd) => (int token, pubsub_cmd *cmd);
+    Ack (int token, pubsub_cmd *cmd) => ();
+    Aggregate (int token, pubsub_cmd *cmd) => (int token, pubsub_cmd *cmd);
+    Fanout (int token, pubsub_cmd *cmd) => ();
+    Drop (int token, pubsub_cmd *cmd) => ();
+
+    typedef is_sub IsSub;
+    typedef is_pub IsPub;
+
+    source Listen => Cmd;
+    Cmd:[_, is_sub] = Subscribe -> Ack;
+    Cmd:[_, is_pub] = Aggregate -> Fanout;
+    Cmd:[_, _] = Drop;
+
+    handle error Subscribe => Drop;
+    handle error Aggregate => Drop;
+
+    atomic Subscribe: {topics(session)};
+    atomic Aggregate: {topics(session)};
+    atomic Fanout: {topics(session)};

@@ -31,6 +31,7 @@ fn programs_directory_is_complete() {
         "programs/web_server.flux",
         "programs/bittorrent.flux",
         "programs/game_server.flux",
+        "programs/pubsub.flux",
     ] {
         assert!(
             Path::new(env!("CARGO_MANIFEST_DIR")).join(f).exists(),
@@ -47,6 +48,7 @@ fn check_accepts_every_shipped_program() {
         "programs/web_server.flux",
         "programs/bittorrent.flux",
         "programs/game_server.flux",
+        "programs/pubsub.flux",
     ] {
         let out = fluxc(&["check", f]);
         assert!(out.status.success(), "{f}: {}", stderr(&out));
@@ -157,6 +159,7 @@ fn fused_dump_matches_golden_snapshots() {
         "web_server",
         "bittorrent",
         "game_server",
+        "pubsub",
     ] {
         let out = fluxc(&["fused", &format!("programs/{f}.flux")]);
         assert!(out.status.success(), "{f}: {}", stderr(&out));
