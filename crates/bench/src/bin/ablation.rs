@@ -55,10 +55,21 @@
 //!     subscriber counts {64, 256, 1024}, adaptive shard controller
 //!     on. Writes `BENCH_pubsub_fanout.json` with server-side
 //!     publish/delivery/coalesce counters next to each point.
+//! 13. **Overload control**: the real-TCP web server under a C1M-shape
+//!     connection load — ~100k mostly-idle held connections (clamped
+//!     to the fd budget) plus an active keep-alive set driven by the
+//!     **open-loop** generator ([`flux_bench::run_open_loop`]), with
+//!     bounded shard queues, the accept governor and idle reaping all
+//!     armed. A capacity probe ramps the offered rate, then a 2x
+//!     overload phase must keep goodput near capacity, keep the p99 of
+//!     *admitted* requests bounded, and shed the excess as counted,
+//!     client-visible 503s — no silent drops. Writes
+//!     `BENCH_overload.json` with the server-side conservation check
+//!     (`offered == finished + shed`) and the memory envelope.
 //!
 //! Knobs: `FLUX_BENCH_SECS` (default 1.5 per point); `FLUX_BENCH_ONLY`
 //! (comma-separated ablation numbers, e.g. `FLUX_BENCH_ONLY=7`, default
-//! all); `FLUX_BENCH_QUICK=1` shrinks ablations 7/8/9/11/12 to one
+//! all); `FLUX_BENCH_QUICK=1` shrinks ablations 7/8/9/11/12/13 to one
 //! small point per mode (seconds, not minutes — the CI smoke legs that
 //! catch compile or panic regressions without a full sweep; quick JSON
 //! artifacts carry `"quick": true`).
@@ -66,7 +77,8 @@
 use flux_bench::{env_or, f, Table};
 use flux_core::model::ModelParams;
 use flux_runtime::{
-    start, AdaptivePolicy, FluxServer, NodeOutcome, NodeRegistry, RuntimeKind, SourceOutcome,
+    start, AdaptivePolicy, FluxServer, NodeOutcome, NodeRegistry, OverloadPolicy, RuntimeKind,
+    SourceOutcome,
 };
 use flux_sim::{FluxSimulation, SimConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -560,6 +572,7 @@ fn run_adaptive_mode(mode: &'static str, policy: AdaptivePolicy, secs: f64) -> A
         io_workers: 4,
         adaptive: policy,
         queue: flux_runtime::ShardQueueKind::Mutex,
+        overload: OverloadPolicy::Unbounded,
     })
     .spawn();
     let flux_srv = server.handle.server().clone();
@@ -1153,6 +1166,127 @@ fn run_sessions(sessions: usize, workers: usize, secs: f64) -> (f64, f64, f64) {
     (conservative, aware, measured)
 }
 
+/// Ablation 13 (overload): one open-loop phase against the running web
+/// server. The generator connects and drives only the *active* set;
+/// the C1M-shape idle holders are kept alive separately by the caller
+/// so they persist across the probe and measurement phases.
+#[cfg(unix)]
+fn run_overload_phase(
+    addr: &str,
+    active: usize,
+    rate: f64,
+    secs: f64,
+    warm: f64,
+) -> flux_bench::OpenLoopReport {
+    flux_bench::run_open_loop(&flux_bench::OpenLoopConfig {
+        addr: addr.to_string(),
+        conns: active,
+        active,
+        rate,
+        duration: Duration::from_secs_f64(secs),
+        warmup: Duration::from_secs_f64(warm),
+        path: "/index.html".to_string(),
+        // A small arrival backlog models client patience: an arrival
+        // that cannot be assigned promptly is abandoned (counted), so
+        // admitted-request latency reflects the server, not an
+        // unbounded client queue.
+        queue_cap: (active / 4).max(32),
+    })
+}
+
+/// Everything the overload record needs, gathered by the `should(13)`
+/// block; serialized by [`overload_json`].
+#[cfg(unix)]
+struct OverloadRecord {
+    quick: bool,
+    fd_limit: usize,
+    conns_requested: usize,
+    conns_held_idle: usize,
+    active: usize,
+    queue_cap: usize,
+    capacity_rps: f64,
+    p50_cap_ms: f64,
+    p99_cap_ms: f64,
+    over: flux_bench::OpenLoopReport,
+    p50_over_ms: f64,
+    p99_over_ms: f64,
+    server_offered: u64,
+    server_finished: u64,
+    server_shed: u64,
+    conservation_ok: bool,
+    accepts_admitted: u64,
+    accepts_governed: u64,
+    idle_reaped: u64,
+    writes_deferred: u64,
+    rss_after_hold_mb: f64,
+    rss_end_mb: f64,
+}
+
+#[cfg(unix)]
+fn overload_json(r: &OverloadRecord) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let goodput_ratio = if r.capacity_rps > 0.0 {
+        r.over.goodput_rps() / r.capacity_rps
+    } else {
+        0.0
+    };
+    let p99_ratio = if r.p99_cap_ms > 0.0 {
+        r.p99_over_ms / r.p99_cap_ms
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"bench\": \"overload_web_open_loop\",\n  \"host_cores\": {cores},\n  \
+         \"quick\": {},\n  \"fd_limit\": {},\n  \"conns_requested\": {},\n  \
+         \"conns_held_idle\": {},\n  \"active_conns\": {},\n  \"queue_cap_per_shard\": {},\n  \
+         \"note\": \"in-process client+server; on small hosts capacity is the pair's, \
+         not the server's alone\",\n  \
+         \"capacity_rps\": {:.1},\n  \"p50_at_capacity_ms\": {:.3},\n  \
+         \"p99_at_capacity_ms\": {:.3},\n  \"overload\": {{\n    \
+         \"offered_rps\": {:.1},\n    \"goodput_rps\": {:.1},\n    \
+         \"goodput_ratio_vs_capacity\": {:.3},\n    \"p50_ms\": {:.3},\n    \
+         \"p99_ms\": {:.3},\n    \"p99_ratio_vs_capacity\": {:.3},\n    \
+         \"client_ok\": {},\n    \"client_rejected_503\": {},\n    \"client_errors\": {},\n    \
+         \"client_abandoned\": {},\n    \"server_offered\": {},\n    \
+         \"server_finished\": {},\n    \"server_shed\": {},\n    \
+         \"conservation_ok\": {},\n    \"accepts_admitted\": {},\n    \
+         \"accepts_governed\": {},\n    \"idle_reaped\": {},\n    \
+         \"writes_deferred\": {}\n  }},\n  \"rss_after_hold_mb\": {:.1},\n  \
+         \"rss_end_mb\": {:.1}\n}}\n",
+        r.quick,
+        r.fd_limit,
+        r.conns_requested,
+        r.conns_held_idle,
+        r.active,
+        r.queue_cap,
+        r.capacity_rps,
+        r.p50_cap_ms,
+        r.p99_cap_ms,
+        r.over.offered_rps(),
+        r.over.goodput_rps(),
+        goodput_ratio,
+        r.p50_over_ms,
+        r.p99_over_ms,
+        p99_ratio,
+        r.over.ok,
+        r.over.rejected,
+        r.over.errors,
+        r.over.abandoned,
+        r.server_offered,
+        r.server_finished,
+        r.server_shed,
+        r.conservation_ok,
+        r.accepts_admitted,
+        r.accepts_governed,
+        r.idle_reaped,
+        r.writes_deferred,
+        r.rss_after_hold_mb,
+        r.rss_end_mb,
+    )
+}
+
 fn main() {
     let secs: f64 = env_or("FLUX_BENCH_SECS", 1.5);
     let workers = env_or("FLUX_BENCH_WORKERS", 8usize);
@@ -1710,6 +1844,218 @@ fn main() {
             "BENCH_pubsub_fanout.quick.json"
         } else {
             "BENCH_pubsub_fanout.json"
+        };
+        match std::fs::write(json_path, &json) {
+            Ok(()) => eprintln!("# wrote {json_path}"),
+            Err(e) => eprintln!("# could not write {json_path}: {e}"),
+        }
+    }
+
+    #[cfg(unix)]
+    if should(13) {
+        use flux_net::{Listener as _, TcpAcceptor};
+        use std::sync::atomic::Ordering;
+
+        let secs13 = if quick { 0.5 } else { secs.max(1.5) };
+        let warm13 = if quick { 0.15 } else { 0.3 };
+        let active = if quick { 64usize } else { 256 };
+        let conns_requested: usize = if quick { 512 } else { 100_000 };
+        let fd_limit = flux_bench::fd_limit();
+        // Every loopback connection costs two fds in-process (client +
+        // server end); reserve headroom for the active set, the
+        // listener, the reactor and the docroot.
+        let budget = fd_limit.saturating_sub(512) / 2;
+        let hold_target = conns_requested.min(budget.saturating_sub(2 * active));
+        const QUEUE_CAP: usize = 16;
+
+        let mut docroot = flux_http::DocRoot::new();
+        let body: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        docroot.insert("/index.html", body);
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+        // Shed-and-close makes clients reconnect in bursts; a deep
+        // backlog keeps dropped-SYN retransmission stalls out of the
+        // measurement (the std default of 128 overflows between
+        // acceptor scheduling slices on a saturated 1-core host).
+        acceptor.set_backlog(4096).expect("raise listen backlog");
+        let addr = acceptor.local_addr();
+        let server = flux_servers::ServerBuilder::new(
+            flux_servers::web::WebSpec::new(Box::new(acceptor), docroot)
+                .write_mode(flux_servers::web::WriteMode::Reactor),
+        )
+        .runtime(RuntimeKind::event_driven_sharded(2, 2))
+        .overload(OverloadPolicy::bounded(QUEUE_CAP))
+        .max_conns(hold_target + 2 * active + 256)
+        .idle_timeout(Some(Duration::from_secs(60)))
+        .spawn();
+        let srv = server.handle.server().clone();
+
+        // The C1M shape: held, mostly-idle connections. They cost the
+        // server slab slots, fds and poller registrations but offer no
+        // load — the point is that admission, shedding and reaping keep
+        // working with the tables this big.
+        let mut held: Vec<std::net::TcpStream> = Vec::with_capacity(hold_target);
+        for _ in 0..hold_target {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => held.push(s),
+                Err(_) => break,
+            }
+        }
+        let rss_after_hold = flux_bench::rss_mb();
+        eprintln!(
+            "# holding {} idle connections (requested {conns_requested}, fd limit {fd_limit}), rss {rss_after_hold:.1} MiB",
+            held.len(),
+        );
+
+        // Capacity probe: capacity is the highest offered rate the
+        // server sustains *cleanly* — ≥95% of offered achieved with
+        // <1% rejects — found by doubling to the knee, then bisecting
+        // between the last clean and first shedding rate. (Peak
+        // goodput under shedding overshoots: 503-and-close churn makes
+        // it unsustainable, so it is the wrong overload baseline.)
+        let probe_secs = if quick { 0.3 } else { 0.8 };
+        let probe = |rate: f64| {
+            let r = run_overload_phase(&addr, active, rate, probe_secs, warm13);
+            let achieved = r.goodput_rps();
+            let clean =
+                achieved >= 0.95 * rate && (r.rejected as f64) < 0.01 * r.offered.max(1) as f64;
+            eprintln!(
+                "# probe: offered {} rps -> achieved {} rps, {} rejects{}",
+                f(rate),
+                f(achieved),
+                r.rejected,
+                if clean { "" } else { " (knee)" },
+            );
+            (achieved, clean)
+        };
+        let mut rate = if quick { 500.0 } else { 1_000.0 };
+        let mut clean_rate = 0.0f64;
+        let mut knee_rate = 0.0f64;
+        let mut first_achieved = 0.0f64;
+        loop {
+            let (achieved, clean) = probe(rate);
+            if first_achieved == 0.0 {
+                first_achieved = achieved;
+            }
+            if clean {
+                clean_rate = rate;
+                rate *= 2.0;
+                if rate >= 262_144.0 {
+                    break;
+                }
+            } else {
+                knee_rate = rate;
+                break;
+            }
+        }
+        if clean_rate > 0.0 && knee_rate > 0.0 {
+            for _ in 0..3 {
+                let mid = (clean_rate + knee_rate) / 2.0;
+                let (_, clean) = probe(mid);
+                if clean {
+                    clean_rate = mid;
+                } else {
+                    knee_rate = mid;
+                }
+            }
+        }
+        let capacity = if clean_rate > 0.0 {
+            clean_rate
+        } else {
+            first_achieved.max(1.0)
+        };
+
+        // At-capacity reference, then the 2x overload phase with
+        // server-side counters snapshotted around it.
+        let cap_run = run_overload_phase(&addr, active, capacity, secs13, warm13);
+        let (p50_cap, p99_cap) = (cap_run.percentile(0.50), cap_run.percentile(0.99));
+        let (shed0, fin0, off0) = (
+            srv.stats.total_shed(),
+            srv.stats.finished(),
+            srv.stats.overload.offered.load(Ordering::Relaxed),
+        );
+        let over = run_overload_phase(&addr, active, 2.0 * capacity, secs13, warm13);
+        let (p50_over, p99_over) = (over.percentile(0.50), over.percentile(0.99));
+        let shed = srv.stats.total_shed() - shed0;
+        let finished = srv.stats.finished() - fin0;
+        let offered_srv = srv.stats.overload.offered.load(Ordering::Relaxed) - off0;
+        let counters = srv
+            .stats
+            .net_counters()
+            .expect("web server installs net counters");
+        let rss_end = flux_bench::rss_mb();
+
+        let mut t13 = Table::new(
+            "Ablation 13: overload control — open-loop web load over held idle connections (TCP, bounded shard queues)",
+            &["phase", "offered_rps", "goodput_rps", "p50_ms", "p99_ms", "503s", "abandoned"],
+        );
+        for (name, r, p50, p99) in [
+            ("capacity", &cap_run, p50_cap, p99_cap),
+            ("2x overload", &over, p50_over, p99_over),
+        ] {
+            t13.row(&[
+                name.to_string(),
+                f(r.offered_rps()),
+                f(r.goodput_rps()),
+                format!("{:.3}", p50.as_secs_f64() * 1e3),
+                format!("{:.3}", p99.as_secs_f64() * 1e3),
+                r.rejected.to_string(),
+                r.abandoned.to_string(),
+            ]);
+        }
+        print!("{}", t13.render());
+        println!();
+        println!("# Open-loop arrivals (the schedule does not wait for completions), latency");
+        println!("# measured from *scheduled* arrival; only admitted (2xx) requests enter the");
+        println!("# percentiles. At 2x capacity the bounded shard queues shed the excess at the");
+        println!("# source boundary and the shed handler answers a prebuilt 503 — counted on");
+        println!("# both sides, so offered == finished + shed on the server and every client");
+        println!("# arrival lands in exactly one of ok/503/error/abandoned.");
+        println!();
+        eprintln!(
+            "# overload phase: server offered {offered_srv} = finished {finished} + shed {shed}; \
+             governed accepts {}, idle reaped {}, rss {rss_end:.1} MiB",
+            counters.accepts_governed(),
+            counters.idle_reaped(),
+        );
+
+        let conns_held_idle = held.len();
+        drop(held);
+        flux_servers::web::stop(server);
+        // Conservation is checked on the cumulative totals *after*
+        // shutdown — quiescent, so no event is in flight between the
+        // offered and finished counters.
+        let conservation_ok = srv.stats.overload.offered.load(Ordering::Relaxed)
+            == srv.stats.finished() + srv.stats.total_shed();
+
+        let record = OverloadRecord {
+            quick,
+            fd_limit,
+            conns_requested,
+            conns_held_idle,
+            active,
+            queue_cap: QUEUE_CAP,
+            capacity_rps: capacity,
+            p50_cap_ms: p50_cap.as_secs_f64() * 1e3,
+            p99_cap_ms: p99_cap.as_secs_f64() * 1e3,
+            p50_over_ms: p50_over.as_secs_f64() * 1e3,
+            p99_over_ms: p99_over.as_secs_f64() * 1e3,
+            over,
+            server_offered: offered_srv,
+            server_finished: finished,
+            server_shed: shed,
+            conservation_ok,
+            accepts_admitted: counters.accepts_admitted(),
+            accepts_governed: counters.accepts_governed(),
+            idle_reaped: counters.idle_reaped(),
+            writes_deferred: counters.writes_deferred(),
+            rss_after_hold_mb: rss_after_hold,
+            rss_end_mb: rss_end,
+        };
+        let json = overload_json(&record);
+        let json_path = if quick {
+            "BENCH_overload.quick.json"
+        } else {
+            "BENCH_overload.json"
         };
         match std::fs::write(json_path, &json) {
             Ok(()) => eprintln!("# wrote {json_path}"),

@@ -25,7 +25,7 @@
 
 use flux_bench::env_or;
 use flux_net::{Listener as _, TcpAcceptor, TcpConn};
-use flux_runtime::{AdaptiveConfig, AdaptivePolicy, RuntimeKind, ShardQueueKind};
+use flux_runtime::{AdaptiveConfig, AdaptivePolicy, OverloadPolicy, RuntimeKind, ShardQueueKind};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,6 +66,7 @@ fn run_soak(kind: ShardQueueKind, secs: f64) {
             wake_depth: 1,
         }),
         queue: kind,
+        overload: OverloadPolicy::Unbounded,
     })
     .spawn();
 

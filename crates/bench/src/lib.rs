@@ -17,6 +17,8 @@
 
 pub mod btload;
 pub mod gameload;
+#[cfg(unix)]
+pub mod openloop;
 pub mod pubsubload;
 pub mod report;
 pub mod webload;
@@ -25,6 +27,8 @@ pub mod zipf;
 
 pub use btload::{run_bt_load, BtLoadReport};
 pub use gameload::{run_game_load, GameLoadReport};
+#[cfg(unix)]
+pub use openloop::{fd_limit, rss_mb, run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use pubsubload::{run_pubsub_load, PubSubLoadReport};
 pub use report::{env_or, f, ms, Table};
 pub use webload::{percentile_ns, run_slow_reader_tcp_load, run_web_load, LoadReport};

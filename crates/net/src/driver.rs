@@ -78,7 +78,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A registered connection's identity: `(generation << 32) | slot`.
 /// The slot indexes the driver's connection slab; the generation
@@ -123,6 +123,26 @@ pub struct NetConfig {
     /// [`ConnDriver::next_event`] per poll before re-checking their
     /// shutdown flag. Default 20 ms.
     pub io_timeout: Duration,
+    /// Hard cap on live registered connections (edge admission). An
+    /// accept at capacity is completed and immediately closed — the
+    /// kernel backlog keeps draining, the peer sees a clean reset-ish
+    /// close instead of a hung SYN — and counted in
+    /// [`DriverCounters::accepts_governed`]. `0` = unlimited (default).
+    pub max_conns: usize,
+    /// Token-bucket accept-rate bound in accepts/second (edge
+    /// admission): the acceptor delays between accepts once the bucket
+    /// (burst = one second's worth) empties, counting each delayed
+    /// accept in [`DriverCounters::accepts_governed`]. `0` = unlimited
+    /// (default).
+    pub accept_rate: u32,
+    /// Idle / slow-loris reaping deadline: a connection that makes no
+    /// *application progress* (request completed, response drained —
+    /// see [`ConnDriver::mark_progress`]) for this long is removed by
+    /// the periodic idle sweep, releasing its slab slot and reactor
+    /// watch. Raw received bytes do NOT count as progress, so a
+    /// slow-loris trickling header bytes forever is still reaped.
+    /// `None` = no reaping (default).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -132,6 +152,9 @@ impl Default for NetConfig {
             backend: crate::poller::PollerBackend::default(),
             max_pending_out: 64 * 1024 * 1024,
             io_timeout: Duration::from_millis(20),
+            max_conns: 0,
+            accept_rate: 0,
+            idle_timeout: None,
         }
     }
 }
@@ -196,6 +219,24 @@ pub struct DriverCounters {
     /// `Coalesced` marker instead of sending their own channel op —
     /// the mem-transport batching amortization factor.
     pub watch_coalesced: AtomicU64,
+    /// Connections admitted by the acceptor (registered and announced
+    /// as `Incoming`). With the overload books, `accepts_admitted +
+    /// accepts_governed` equals the accepts the listener completed.
+    pub accepts_admitted: AtomicU64,
+    /// Accepts refused or delayed by edge admission: at
+    /// [`NetConfig::max_conns`] capacity the connection is closed on
+    /// the spot; past the [`NetConfig::accept_rate`] token bucket the
+    /// acceptor stalls until a token accrues. Either way the work never
+    /// enters the system — refused at the edge, counted, not queued.
+    pub accepts_governed: AtomicU64,
+    /// Connections retired by the idle sweep: no application progress
+    /// within [`NetConfig::idle_timeout`] (the slow-loris defence).
+    pub idle_reaped: AtomicU64,
+    /// Write submissions that joined an already non-empty output buffer
+    /// (the connection is falling behind but is still under the
+    /// eviction cap) — the backpressure signal operators see *before*
+    /// the `slow_consumer_evicted` cliff.
+    pub writes_deferred: AtomicU64,
 }
 
 /// One slab slot's state, behind its own lock. `gen` is written only
@@ -218,9 +259,31 @@ struct SlotState {
     /// Per-connection read scratch, reused across requests (see
     /// [`ConnDriver::take_read_buf`]).
     scratch: Vec<u8>,
+    /// Milliseconds (since the driver's epoch) of the last observed
+    /// application progress: set on registration, refreshed by
+    /// [`ConnDriver::mark_progress`] and by successful write drains.
+    /// The idle sweep reaps connections whose stamp falls behind
+    /// [`NetConfig::idle_timeout`]. Raw received bytes deliberately do
+    /// not refresh it — that is what makes slow-loris reapable.
+    progress: u64,
+    /// Raw fd captured at registration (fd-backed transports only).
+    /// Lets the idle reaper sever the socket with `shutdown(2)`
+    /// *without* taking the conn lock — a slow-loris peer's parked
+    /// blocking read holds that lock indefinitely.
+    #[cfg(unix)]
+    fd: Option<std::os::fd::RawFd>,
 }
 
 type ConnSlot = Mutex<SlotState>;
+
+/// `shutdown(2)` both directions — severs a socket without closing the
+/// fd, so a thread parked in a blocking read on it returns EOF.
+#[cfg(unix)]
+const SHUT_RDWR: std::os::raw::c_int = 2;
+#[cfg(unix)]
+extern "C" {
+    fn shutdown(sockfd: std::os::raw::c_int, how: std::os::raw::c_int) -> std::os::raw::c_int;
+}
 
 /// Multiplexes connection readiness into a single event stream.
 pub struct ConnDriver {
@@ -253,6 +316,18 @@ pub struct ConnDriver {
     /// Per-connection output-buffer bound (see
     /// [`ConnDriver::set_max_pending_out`]).
     max_pending_out: AtomicUsize,
+    /// Live-connection cap for edge admission (0 = unlimited).
+    max_conns: AtomicUsize,
+    /// Accept-rate bound in accepts/second (0 = unlimited).
+    accept_rate: AtomicU64,
+    /// Idle-reaping deadline in milliseconds (0 = reaping off).
+    idle_timeout_ms: AtomicU64,
+    /// The instant progress stamps are measured from.
+    epoch: Instant,
+    /// Next idle sweep due, in epoch-millis: the CAS here dedupes the
+    /// sweep between its two drivers (the reactor's per-round tick and
+    /// the acceptor loop, which covers fd-less transports).
+    reap_next_due: AtomicU64,
     stopping: AtomicBool,
     /// Acceptor and fallback-watch threads, joined by [`ConnDriver::stop`].
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -302,6 +377,13 @@ impl ConnDriver {
             write_bufs: Arc::new(BytePool::default()),
             event_batches,
             max_pending_out: AtomicUsize::new(config.max_pending_out),
+            max_conns: AtomicUsize::new(config.max_conns),
+            accept_rate: AtomicU64::new(config.accept_rate as u64),
+            idle_timeout_ms: AtomicU64::new(
+                config.idle_timeout.map_or(0, |d| d.as_millis() as u64),
+            ),
+            epoch: Instant::now(),
+            reap_next_due: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             drain_tx: Mutex::new(None),
@@ -351,6 +433,9 @@ impl ConnDriver {
                 (i, s)
             }
         };
+        let now = self.now_ms();
+        #[cfg(unix)]
+        let fd = conn.raw_fd();
         let gen = {
             let mut st = slot.lock();
             debug_assert!(st.conn.is_none(), "free slot must be empty");
@@ -358,6 +443,11 @@ impl ConnDriver {
             st.conn = Some(Arc::new(Mutex::new(conn)));
             st.submissions = 0;
             st.close_after = false;
+            st.progress = now;
+            #[cfg(unix)]
+            {
+                st.fd = fd;
+            }
             st.gen
         };
         self.conn_count.fetch_add(1, Ordering::Relaxed);
@@ -453,6 +543,134 @@ impl ConnDriver {
     /// cannot grow server memory without bound.
     pub fn set_max_pending_out(&self, bytes: usize) {
         self.max_pending_out.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Caps live connections. Past the cap the acceptor still calls
+    /// `accept` (clearing the kernel backlog) but closes the socket
+    /// immediately, counted in [`DriverCounters::accepts_governed`].
+    /// `0` removes the cap.
+    pub fn set_max_conns(&self, n: usize) {
+        self.max_conns.store(n, Ordering::Relaxed);
+    }
+
+    /// Bounds the accept rate (connections/second, token bucket with a
+    /// one-second burst allowance). `0` removes the bound.
+    pub fn set_accept_rate(&self, per_sec: u32) {
+        self.accept_rate.store(per_sec as u64, Ordering::Relaxed);
+    }
+
+    /// Arms idle/slow-loris reaping: a connection that makes no
+    /// *application* progress (a parsed request, a completed write
+    /// drain, an explicit [`ConnDriver::mark_progress`]) for `timeout`
+    /// is removed by the periodic sweep. Raw received bytes do not
+    /// count — a peer trickling one header byte per second stays
+    /// reapable. `None` disables reaping.
+    pub fn set_idle_timeout(&self, timeout: Option<Duration>) {
+        let ms = timeout.map_or(0, |d| d.as_millis() as u64);
+        self.idle_timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since driver construction — the clock `progress`
+    /// stamps are taken against.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records application progress on a connection (protocol parsers
+    /// call this when a complete request has been read), deferring the
+    /// idle sweep's deadline.
+    pub fn mark_progress(&self, token: Token) {
+        let now = self.now_ms();
+        if let Some(slot) = self.slot_arc(token) {
+            let mut st = slot.lock();
+            if st.gen == token_gen(token) && st.conn.is_some() {
+                st.progress = now;
+            }
+        }
+    }
+
+    /// Sweeps the slab and removes every connection whose last progress
+    /// stamp is older than the configured idle timeout, returning how
+    /// many were reaped (also counted in
+    /// [`DriverCounters::idle_reaped`]). Connections with writes still
+    /// draining (or queued for close-after-flush) are skipped — a slow
+    /// *reader* being drained by the reactor is progress in flight, not
+    /// idleness. Cold path: one brief per-slot lock per live slot.
+    pub fn reap_idle(&self) -> usize {
+        let timeout = self.idle_timeout_ms.load(Ordering::Relaxed);
+        if timeout == 0 {
+            return 0;
+        }
+        let now = self.now_ms();
+        let cutoff = now.saturating_sub(timeout);
+        let slots: Vec<Arc<ConnSlot>> = self.slots.read().clone();
+        let mut reaped = 0usize;
+        for (idx, slot) in slots.iter().enumerate() {
+            let (token, fd) = {
+                let st = slot.lock();
+                if st.conn.is_none()
+                    || st.submissions > 0
+                    || st.close_after
+                    || st.progress >= cutoff
+                {
+                    continue;
+                }
+                #[cfg(unix)]
+                let fd = st.fd;
+                #[cfg(not(unix))]
+                let fd = ();
+                (make_token(idx as u32, st.gen), fd)
+            };
+            // The slot lock is re-taken (and the generation re-checked)
+            // inside `remove`, so a racing removal/reuse is benign.
+            if let Some(conn) = self.remove(token) {
+                // Sever at the OS level while we still hold the
+                // returned handle (the fd cannot have been reused): a
+                // worker parked in a blocking read on this connection
+                // — the slow-loris case — observes EOF and returns
+                // instead of occupying the pool forever.
+                #[cfg(unix)]
+                if let Some(fd) = fd {
+                    unsafe {
+                        shutdown(fd, SHUT_RDWR);
+                    }
+                }
+                #[cfg(not(unix))]
+                let _ = fd;
+                drop(conn);
+                reaped += 1;
+            }
+        }
+        if reaped > 0 {
+            self.counters
+                .idle_reaped
+                .fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    /// Rate-limited [`ConnDriver::reap_idle`]: runs the sweep only when
+    /// the deadline-derived interval has elapsed, CAS-deduplicated so
+    /// concurrent callers (the reactor tick and the acceptor loop) do
+    /// at most one sweep per interval between them.
+    fn maybe_reap(&self) {
+        let timeout = self.idle_timeout_ms.load(Ordering::Relaxed);
+        if timeout == 0 {
+            return;
+        }
+        let interval = (timeout / 4).clamp(10, 250);
+        let now = self.now_ms();
+        let due = self.reap_next_due.load(Ordering::Relaxed);
+        if now < due {
+            return;
+        }
+        if self
+            .reap_next_due
+            .compare_exchange(due, now + interval, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.reap_idle();
+        }
     }
 
     /// Checks out a recycled payload buffer. Serialize a response into
@@ -570,7 +788,8 @@ impl ConnDriver {
         // cannot retire this submission before its bytes are buffered.
         let mut conn = shared.lock();
         let cap = self.max_pending_out.load(Ordering::Relaxed);
-        if conn.pending_out().saturating_add(len) > cap {
+        let already = conn.pending_out();
+        if already.saturating_add(len) > cap {
             drop(conn);
             self.counters
                 .slow_consumer_evicted
@@ -587,6 +806,14 @@ impl ConnDriver {
                 self.counters
                     .write_would_block
                     .fetch_add(1, Ordering::Relaxed);
+                if already > 0 {
+                    // This submission queued *behind* bytes the peer has
+                    // not yet taken — backpressure an operator can see
+                    // before the eviction cliff at `max_pending_out`.
+                    self.counters
+                        .writes_deferred
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 // Record the pending submission under the slot lock; a
                 // concurrent `remove` either sees it (and fails it) or
                 // already emptied the slot (we fail it ourselves).
@@ -694,6 +921,7 @@ impl ConnDriver {
     /// failed), emitting one completion event per submission. Callers
     /// hold the connection lock, which orders completions with enqueues.
     fn finish_writes(&self, token: Token, extra: u64, ok: bool) {
+        let now = self.now_ms();
         let (n, close_after) = match self.slot_arc(token) {
             Some(slot) => {
                 let mut st = slot.lock();
@@ -702,6 +930,12 @@ impl ConnDriver {
                     st.submissions = 0;
                     let ca = st.close_after;
                     st.close_after = false;
+                    if ok {
+                        // A completed drain is application progress: the
+                        // idle sweep must not reap a connection whose
+                        // response just left the buffer.
+                        st.progress = now;
+                    }
                     (n + extra, ca)
                 } else {
                     (extra, false)
@@ -902,26 +1136,112 @@ impl ConnDriver {
     ///
     /// Transient accept errors (`EMFILE`, `ECONNABORTED`, a momentarily
     /// exhausted backlog) make the loop back off — briefly at first,
-    /// capped at 500 ms — and retry instead of silently killing the
-    /// listener for the life of the server; each retry increments
-    /// [`DriverCounters::accept_retries`]. Errors that mean the listener
-    /// itself is gone (`BrokenPipe`, `NotConnected`, `InvalidInput`,
+    /// capped at 500 ms, with deterministic per-listener jitter so many
+    /// listeners hitting `EMFILE` together don't retry in lockstep —
+    /// and retry instead of silently killing the listener for the life
+    /// of the server; each retry increments
+    /// [`DriverCounters::accept_retries`], and an fd-exhaustion error
+    /// (`EMFILE`/`ENFILE`) first runs an idle-reap sweep to reclaim
+    /// slots. Errors that mean the listener itself is gone
+    /// (`BrokenPipe`, `NotConnected`, `InvalidInput`,
     /// `AddrNotAvailable`) end the loop, since no amount of retrying
     /// brings a dead listener back. The thread also exits when
     /// [`ConnDriver::stop`] is called.
+    ///
+    /// This loop is also the **accept governor**: past
+    /// [`ConnDriver::set_max_conns`] a fresh socket is accepted (so the
+    /// kernel backlog keeps draining — the peer sees a prompt close,
+    /// not a hung SYN) and dropped, counted in
+    /// [`DriverCounters::accepts_governed`]; under
+    /// [`ConnDriver::set_accept_rate`] admissions pace themselves
+    /// through a token bucket with a one-second burst allowance.
     pub fn spawn_acceptor(self: &Arc<Self>, listener: Box<dyn Listener>) {
         use std::io::ErrorKind;
         let this = self.clone();
         listener.set_accept_timeout(Some(Duration::from_millis(50)));
+        #[cfg(unix)]
+        {
+            // The reactor drives the idle sweep from its wait loop (one
+            // cheap check per round, ≤250 ms apart thanks to the
+            // backstop timeout); `maybe_reap` CAS-dedupes against the
+            // acceptor loop's own calls so the sweep runs once per
+            // interval no matter how many drivers poke it.
+            let weak = Arc::downgrade(self);
+            self.reactor.set_tick(Box::new(move || {
+                if let Some(driver) = weak.upgrade() {
+                    driver.maybe_reap();
+                }
+            }));
+        }
         self.spawn_tracked("flux-net-accept", move || {
+            // Deterministic jitter seed: the listener allocation address
+            // is stable for this loop's lifetime and distinct per
+            // listener, so simultaneous EMFILE storms de-synchronize
+            // without a PRNG dependency.
+            let seed = &*listener as *const dyn Listener as *const () as u64;
+            let mut retries: u64 = 0;
             let mut backoff = Duration::from_millis(10);
+            // Token bucket: refilled at `accept_rate` tokens/sec, capped
+            // at one second's worth (the burst allowance).
+            let mut tokens: f64 = 0.0;
+            let mut refilled_at = Instant::now();
             loop {
                 if this.stopping.load(Ordering::Relaxed) {
                     return;
                 }
+                this.maybe_reap();
                 match listener.accept() {
                     Ok(conn) => {
                         backoff = Duration::from_millis(10);
+                        let max = this.max_conns.load(Ordering::Relaxed);
+                        if max != 0 && this.conn_count.load(Ordering::Relaxed) >= max {
+                            // At the connection cap: close immediately.
+                            // Cheaper than registering + reaping, and it
+                            // keeps draining the kernel backlog so
+                            // waiting peers fail fast instead of timing
+                            // out on an un-accepted SYN.
+                            drop(conn);
+                            this.counters
+                                .accepts_governed
+                                .fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let rate = this.accept_rate.load(Ordering::Relaxed);
+                        if rate > 0 {
+                            let now = Instant::now();
+                            tokens = (tokens
+                                + now.duration_since(refilled_at).as_secs_f64() * rate as f64)
+                                .min(rate as f64);
+                            refilled_at = now;
+                            if tokens < 1.0 {
+                                // Out of budget: hold the accepted socket
+                                // until a token accrues (pacing, not
+                                // rejection), counted once as governed.
+                                this.counters
+                                    .accepts_governed
+                                    .fetch_add(1, Ordering::Relaxed);
+                                while tokens < 1.0 {
+                                    if this.stopping.load(Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    let deficit = (1.0 - tokens) / rate as f64;
+                                    std::thread::sleep(
+                                        Duration::from_secs_f64(deficit)
+                                            .min(Duration::from_millis(5)),
+                                    );
+                                    let now = Instant::now();
+                                    tokens = (tokens
+                                        + now.duration_since(refilled_at).as_secs_f64()
+                                            * rate as f64)
+                                        .min(rate as f64);
+                                    refilled_at = now;
+                                }
+                            }
+                            tokens -= 1.0;
+                        }
+                        this.counters
+                            .accepts_admitted
+                            .fetch_add(1, Ordering::Relaxed);
                         let token = this.add(conn);
                         this.send_one(DriverEvent::Incoming(token));
                     }
@@ -937,12 +1257,25 @@ impl ConnDriver {
                     {
                         return; // the listener itself is dead
                     }
-                    Err(_) => {
+                    Err(e) => {
                         this.counters.accept_retries.fetch_add(1, Ordering::Relaxed);
+                        if matches!(e.raw_os_error(), Some(23) | Some(24)) {
+                            // ENFILE/EMFILE: the process (or host) is out
+                            // of descriptors — reclaim idle ones *now*
+                            // rather than waiting out the sweep interval.
+                            this.reap_idle();
+                        }
+                        // Deterministic jitter in [0, backoff/2): a
+                        // splitmix-style hash of (listener, retry#), so
+                        // each listener walks its own retry schedule.
+                        retries = retries.wrapping_add(1);
+                        let h = (seed ^ retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let half_us = (backoff.as_micros() as u64 / 2).max(1);
+                        let jitter = Duration::from_micros((h >> 33) % half_us);
                         // Sleep in short slices so stop() stays prompt
                         // even at the backoff cap.
-                        let deadline = std::time::Instant::now() + backoff;
-                        while std::time::Instant::now() < deadline {
+                        let deadline = Instant::now() + backoff + jitter;
+                        while Instant::now() < deadline {
                             if this.stopping.load(Ordering::Relaxed) {
                                 return;
                             }
@@ -1244,6 +1577,77 @@ mod tests {
                     }
                 }
                 prop_assert_eq!(driver.len(), live.len());
+            }
+
+            /// Conservation under random admit/progress/reap/remove
+            /// interleavings: every added connection is accounted for as
+            /// explicitly removed, idle-reaped, or still live — no slab
+            /// slot leaks, no double-reap — and only connections whose
+            /// last progress stamp predates the idle window get reaped.
+            #[test]
+            fn reap_conserves_connections(seed in 0u64..1_000_000) {
+                let mut rng = proptest::test_rng(&format!("reap-{seed}"));
+                let config = NetConfig {
+                    idle_timeout: Some(Duration::from_millis(20)),
+                    ..NetConfig::default()
+                };
+                let driver = Arc::new(ConnDriver::with_config(&config));
+                let mut live: std::collections::HashMap<Token, std::time::Instant> =
+                    std::collections::HashMap::new(); // token -> last progress
+                let (mut added, mut removed, mut reaped) = (0u64, 0u64, 0u64);
+                for _ in 0..60 {
+                    match rng.next_u64() % 8 {
+                        0..=2 => {
+                            let (a, _b) = crate::mem::MemConn::pair();
+                            let t = driver.add(Box::new(a));
+                            prop_assert!(live.insert(t, std::time::Instant::now()).is_none());
+                            added += 1;
+                        }
+                        3 | 4 if !live.is_empty() => {
+                            let i = (rng.next_u64() as usize) % live.len();
+                            let (&t, _) = live.iter().nth(i).expect("index in range");
+                            driver.mark_progress(t);
+                            live.insert(t, std::time::Instant::now());
+                        }
+                        5 if !live.is_empty() => {
+                            let i = (rng.next_u64() as usize) % live.len();
+                            let t = *live.keys().nth(i).expect("index in range");
+                            live.remove(&t);
+                            prop_assert!(driver.remove(t).is_some());
+                            removed += 1;
+                        }
+                        6 => {
+                            // Let every live connection cross the idle
+                            // threshold so the next sweep has prey.
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        _ => {
+                            let before: Vec<(Token, std::time::Instant)> =
+                                live.iter().map(|(&t, &s)| (t, s)).collect();
+                            let n = driver.reap_idle();
+                            let mut gone = 0usize;
+                            for (t, stamp) in before {
+                                if driver.get(t).is_none() {
+                                    gone += 1;
+                                    live.remove(&t);
+                                    prop_assert!(
+                                        stamp.elapsed() >= Duration::from_millis(10),
+                                        "reaped a connection with recent progress"
+                                    );
+                                }
+                            }
+                            prop_assert_eq!(n, gone, "reap count disagrees with the slab");
+                            reaped += n as u64;
+                        }
+                    }
+                }
+                prop_assert_eq!(driver.len(), live.len(), "slab leaked a slot");
+                prop_assert_eq!(added, removed + reaped + live.len() as u64,
+                    "connection not conserved");
+                prop_assert_eq!(
+                    driver.counters().idle_reaped.load(Ordering::Relaxed),
+                    reaped
+                );
             }
         }
     }

@@ -71,6 +71,38 @@
 //! On multi-core hosts the reactor thread pins itself to a core
 //! ([`affinity`]; opt out with `FLUX_PIN=0`), matching the runtime's
 //! pinned dispatcher shards.
+//!
+//! ## Overload invariants
+//!
+//! Edge admission lives here, in the [`ConnDriver`], in front of the
+//! runtime's shard-queue depth caps (see `flux-runtime`'s "Overload
+//! invariants" docs for the shedding layer above):
+//!
+//! * **Accept governing.** [`NetConfig::max_conns`] bounds live
+//!   connections — past it an accepted socket is closed immediately
+//!   (peers fail fast instead of parking in a backlog the server will
+//!   never drain) — and [`NetConfig::accept_rate`] token-buckets the
+//!   accept loop, *pacing* admission (the socket waits for a token)
+//!   rather than rejecting. Both are counted
+//!   ([`DriverCounters::accepts_governed`] vs
+//!   [`DriverCounters::accepts_admitted`]), so `admitted + governed`
+//!   always reconciles with accepts observed.
+//! * **Idle and slow-loris reaping.** With [`NetConfig::idle_timeout`]
+//!   set, every slot carries a *progress* stamp refreshed only by
+//!   **application-level progress** — a complete parsed request or a
+//!   successful response drain, via [`ConnDriver::mark_progress`] —
+//!   never by raw readable bytes, so a peer trickling one header byte
+//!   per second is reaped on schedule. The sweep
+//!   ([`ConnDriver::reap_idle`]) runs off the reactor's wait loop
+//!   (bounded cadence, CAS-deduped), skips connections with writes in
+//!   flight, and releases the slab slot, its buffers and the epoll
+//!   watch in one pass; `EMFILE`/`ENFILE` on accept triggers an
+//!   immediate sweep before backing off.
+//! * **Backpressure is visible before it is fatal.**
+//!   [`DriverCounters::writes_deferred`] counts submissions that
+//!   queued behind existing output — the early-warning signal — while
+//!   the existing bound still evicts the slow consumer when the buffer
+//!   limit is hit.
 
 pub mod affinity;
 pub mod driver;
@@ -90,7 +122,7 @@ pub use mem::{MemConn, MemDatagram, MemListener, MemNet};
 #[cfg(target_os = "linux")]
 pub use poller::EpollPoller;
 #[cfg(unix)]
-pub use poller::{Interest, PollPoller, Poller, PollerBackend, PollerEvent};
+pub use poller::{create_poller, Interest, PollPoller, Poller, PollerBackend, PollerEvent};
 pub use pool::{BytePool, OutBuf, SharedPayload};
 #[cfg(unix)]
 pub use reactor::Reactor;

@@ -205,6 +205,12 @@ pub struct Reactor {
     tx: Sender<Delivery>,
     /// Recycled per-round event vectors, shared with the driver.
     batch_pool: Arc<BatchPool<DriverEvent>>,
+    /// Optional per-round hook, invoked once per wait loop iteration
+    /// (so at least every backstop timeout, ≤250 ms apart). The driver
+    /// installs its idle-reap check here: the sweep runs on the reactor
+    /// thread, where a reaped connection's watch deregistration is
+    /// cheapest (no cross-thread wake needed).
+    tick: Mutex<Option<Box<dyn Fn() + Send>>>,
 }
 
 impl Reactor {
@@ -232,7 +238,15 @@ impl Reactor {
             events_delivered: AtomicU64::new(0),
             tx,
             batch_pool,
+            tick: Mutex::new(None),
         })
+    }
+
+    /// Installs (or replaces) the per-round tick hook. The hook must be
+    /// cheap and non-blocking in the common case — it runs on the
+    /// reactor thread between wait rounds.
+    pub(crate) fn set_tick(&self, f: Box<dyn Fn() + Send>) {
+        *self.tick.lock() = Some(f);
     }
 
     /// Number of readiness (read) events the reactor has delivered
@@ -586,6 +600,15 @@ impl Reactor {
             }
             if self.stopping.load(Ordering::SeqCst) {
                 return;
+            }
+
+            // Per-round tick: the driver's idle-reap check rides here,
+            // so a sweep is never more than one backstop timeout away
+            // even with zero traffic. Reaping re-enters this reactor
+            // via `deregister`, which only queues a control op — no
+            // self-deadlock (same re-entry contract as Abort drains).
+            if let Some(tick) = self.tick.lock().as_ref() {
+                tick();
             }
 
             // Un-park expired Busy backoffs (re-arming their write

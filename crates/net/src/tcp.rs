@@ -199,6 +199,35 @@ impl TcpAcceptor {
             timeout: Mutex::new(None),
         })
     }
+
+    /// Raises the kernel listen backlog above the std default (128).
+    ///
+    /// Under overload, clients whose connections were shed reconnect in
+    /// bursts; on a saturated host the acceptor thread drains the
+    /// backlog in scheduling slices, and a 128-deep queue overflows
+    /// between slices — dropped SYNs then stall each client in a
+    /// full retransmission timeout. A deeper backlog absorbs the burst
+    /// so reconnects fail fast (governor) or get served, never hang.
+    /// On Linux, `listen(2)` on an already-listening socket just
+    /// updates the backlog.
+    #[cfg(unix)]
+    pub fn set_backlog(&self, backlog: u32) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        extern "C" {
+            fn listen(sockfd: std::ffi::c_int, backlog: std::ffi::c_int) -> std::ffi::c_int;
+        }
+        let rc = unsafe {
+            listen(
+                self.listener.as_raw_fd(),
+                backlog.min(i32::MAX as u32) as std::ffi::c_int,
+            )
+        };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
 }
 
 impl Listener for TcpAcceptor {

@@ -51,6 +51,39 @@
 //! and semantic oracle (a differential proptest runs the same event
 //! script through both kinds).
 //!
+//! ## Overload invariants
+//!
+//! Past saturation a staged pipeline is only as robust as the bounds on
+//! each stage's queue, so the sharded runtime can run under
+//! [`OverloadPolicy::Bounded`]: a hard depth cap on every shard queue
+//! (both [`ShardQueueKind`]s). The rules for where shedding may and may
+//! not happen:
+//!
+//! * **Shedding happens only at the source-submission boundary**
+//!   (`route_home_batch`, the path that admits a source's burst into
+//!   the shard queues). A group whose destination shard stands at the
+//!   cap is truncated; the overflow payloads are counted in
+//!   [`ShardStat::shed`] and handed to the registry's
+//!   [`NodeRegistry::on_shed`] handler on the source thread, *before*
+//!   they enter any queue — servers answer a cheap prebuilt 503/BUSY
+//!   there instead of queueing doomed work.
+//! * **Admitted events are never dropped.** Requeues
+//!   (`Step::WouldBlock`, fairness budgets), I/O-pool completions,
+//!   work-steal transfers and a parking shard's drain-forward all move
+//!   events that already passed admission; none of those paths consults
+//!   the cap, so a flow that entered the graph always reaches an `End`.
+//! * **Every shed is counted.** The conservation invariant `offered ==
+//!   admitted + shed` is exposed through
+//!   [`ServerStats::overload`](stats::OverloadStat) /
+//!   [`ServerStats::total_shed`] and proptested across random
+//!   interleavings.
+//! * [`OverloadPolicy::Unbounded`] (the default) is the paper's
+//!   semantics: no cap, no shedding, queues grow with demand.
+//!
+//! Edge admission (accept governing, idle reaping) lives one layer
+//! down, in `flux-net`'s `ConnDriver` — see that crate's "Overload
+//! invariants" docs.
+//!
 //! ## Fusion boundaries
 //!
 //! By default ([`server::FusionMode::On`], builder knob + `FLUX_FUSE`
@@ -126,10 +159,11 @@ pub use profile_socket::handle_profile_conn;
 pub use registry::{NodeOutcome, NodeRegistry, SourceOutcome};
 pub use ring::{CachePadded, EventRing};
 pub use runtimes::{
-    shard_index, start, AdaptiveConfig, AdaptivePolicy, RuntimeKind, ServerHandle, ShardQueueKind,
+    shard_index, start, AdaptiveConfig, AdaptivePolicy, OverloadConfig, OverloadPolicy,
+    RuntimeKind, ServerHandle, ShardQueueKind,
 };
 pub use server::{FlowCursor, FluxServer, FusionMode, LockWait, Step};
 pub use stats::{
-    AdaptiveStat, FanoutStat, LatencyHistogram, NetCounters, PinningStat, ServerStats,
-    ShardLoadWindow, ShardSample, ShardStat,
+    AdaptiveStat, FanoutStat, LatencyHistogram, NetCounters, OverloadStat, PinningStat,
+    ServerStats, ShardLoadWindow, ShardSample, ShardStat,
 };

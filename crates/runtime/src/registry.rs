@@ -78,6 +78,10 @@ pub struct NodeRegistry<P> {
     /// Sources whose session ids *pin* flows to the session's home
     /// shard (see [`NodeRegistry::session_pinned`]).
     pub(crate) pinned_sources: std::collections::HashSet<String>,
+    /// Invoked with each payload the sharded runtime sheds at the
+    /// source under a bounded `OverloadPolicy` (see
+    /// [`NodeRegistry::on_shed`]).
+    pub(crate) shed_handler: Option<Arc<dyn Fn(P) + Send + Sync>>,
 }
 
 impl<P> Default for NodeRegistry<P> {
@@ -94,7 +98,22 @@ impl<P> NodeRegistry<P> {
             predicates: HashMap::new(),
             session_fns: HashMap::new(),
             pinned_sources: std::collections::HashSet::new(),
+            shed_handler: None,
         }
+    }
+
+    /// Registers the shed handler: when the sharded event runtime runs
+    /// under a bounded [`crate::OverloadPolicy`] and a source batch
+    /// finds its destination shard queue at the depth cap, the overflow
+    /// payloads are handed here (still on the source thread, *before*
+    /// they enter any queue) instead of queueing doomed work. Servers
+    /// use it to answer a cheap prebuilt 503/BUSY and close. Shedding
+    /// only ever happens at the source boundary — never mid-graph — and
+    /// every shed payload is counted; without a handler the payloads
+    /// are still counted and dropped at the same boundary.
+    pub fn on_shed(&mut self, f: impl Fn(P) + Send + Sync + 'static) -> &mut Self {
+        self.shed_handler = Some(Arc::new(f));
+        self
     }
 
     /// Registers a non-blocking node implementation.

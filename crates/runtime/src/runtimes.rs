@@ -237,6 +237,55 @@ impl ShardQueueKind {
     }
 }
 
+/// Whether the sharded event runtime bounds its per-shard queues.
+///
+/// [`OverloadPolicy::Unbounded`] (the default, and the paper's
+/// semantics) lets queues grow without limit — past saturation, latency
+/// and memory grow with them. [`OverloadPolicy::Bounded`] enforces a
+/// hard depth cap on every shard queue (both [`ShardQueueKind`]s) and
+/// converts enqueue-over-cap into **shed-at-source**: the overflow
+/// payloads of a source batch are counted per shard
+/// ([`crate::stats::ShardStat`]'s `shed`, rolled up in
+/// [`crate::stats::OverloadStat`]) and handed to the registry's
+/// `on_shed` handler *before* they enter any queue, so servers answer a
+/// cheap 503/BUSY instead of queueing doomed work. Shedding happens
+/// only at the source-submission boundary; events already admitted are
+/// never dropped mid-graph (requeues, stealing and drain-forward are
+/// exempt from the cap — see the module docs, "Overload invariants").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Unbounded shard queues; no shedding. The default.
+    #[default]
+    Unbounded,
+    /// Hard per-shard depth caps with shed-at-source accounting.
+    Bounded(OverloadConfig),
+}
+
+impl OverloadPolicy {
+    /// Bounded queues with the given per-shard depth cap and otherwise
+    /// default tuning.
+    pub fn bounded(max_shard_depth: usize) -> Self {
+        OverloadPolicy::Bounded(OverloadConfig { max_shard_depth })
+    }
+}
+
+/// Tuning of the bounded overload policy (see [`OverloadPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Events a shard queue may hold before source submissions to it
+    /// shed. Applies to each shard independently (a hot shard sheds
+    /// while its siblings admit). Clamped to at least 1.
+    pub max_shard_depth: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_shard_depth: 4096,
+        }
+    }
+}
+
 /// Which runtime to launch (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeKind {
@@ -256,6 +305,9 @@ pub enum RuntimeKind {
         io_workers: usize,
         adaptive: AdaptivePolicy,
         queue: ShardQueueKind,
+        /// Whether shard queues are depth-capped with shed-at-source
+        /// ([`OverloadPolicy`]); `Unbounded` is the paper's semantics.
+        overload: OverloadPolicy,
     },
     /// SEDA-style: one FIFO queue + `stage_workers` threads per concrete
     /// node (paper §3.2.3's SEDA target).
@@ -270,6 +322,7 @@ impl RuntimeKind {
             io_workers,
             adaptive: AdaptivePolicy::Static,
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         }
     }
 
@@ -280,6 +333,7 @@ impl RuntimeKind {
             io_workers,
             adaptive: AdaptivePolicy::Static,
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         }
     }
 
@@ -291,6 +345,7 @@ impl RuntimeKind {
             io_workers,
             adaptive: AdaptivePolicy::adaptive(),
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         }
     }
 
@@ -301,6 +356,17 @@ impl RuntimeKind {
     pub fn shard_queue(mut self, kind: ShardQueueKind) -> Self {
         if let RuntimeKind::EventDriven { queue, .. } = &mut self {
             *queue = kind;
+        }
+        self
+    }
+
+    /// Selects the overload policy of an event-driven runtime (no-op on
+    /// the other kinds), composing with the constructors:
+    /// `RuntimeKind::event_driven_sharded(4, 4)
+    /// .overload(OverloadPolicy::bounded(1024))`.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        if let RuntimeKind::EventDriven { overload, .. } = &mut self {
+            *overload = policy;
         }
         self
     }
@@ -347,7 +413,15 @@ pub fn start<P: Send + 'static>(server: Arc<FluxServer<P>>, kind: RuntimeKind) -
             io_workers,
             adaptive,
             queue,
-        } => start_event_driven(&server, shards.max(1), io_workers.max(1), adaptive, queue),
+            overload,
+        } => start_event_driven(
+            &server,
+            shards.max(1),
+            io_workers.max(1),
+            adaptive,
+            queue,
+            overload,
+        ),
         RuntimeKind::Staged { stage_workers } => start_staged(&server, stage_workers.max(1)),
     };
     ServerHandle { server, threads }
@@ -578,6 +652,17 @@ struct ShardSet<P> {
     /// default = the server's longest fused segment). A budget of 1
     /// with fusion off reproduces the old one-exec-per-turn latch.
     step_budget: usize,
+    /// Per-shard queue depth at which *source* submissions shed
+    /// (`usize::MAX` under [`OverloadPolicy::Unbounded`]). Only
+    /// [`ShardSet::route_home_batch`] consults it: requeues, steals and
+    /// drain-forwards move events that were already admitted, and
+    /// dropping those would strand flows mid-graph.
+    max_depth: usize,
+    /// Sink for shed payloads (the registry's `on_shed`): invoked on
+    /// the source thread, before the payload enters any queue. `None`
+    /// means shed payloads are counted and dropped at the same
+    /// boundary.
+    shed_handler: Option<Arc<dyn Fn(P) + Send + Sync>>,
 }
 
 impl<P> ShardSet<P> {
@@ -587,6 +672,8 @@ impl<P> ShardSet<P> {
         kind: ShardQueueKind,
         ring_cap: usize,
         step_budget: usize,
+        max_depth: usize,
+        shed_handler: Option<Arc<dyn Fn(P) + Send + Sync>>,
     ) -> Self {
         ShardSet {
             shards: (0..n)
@@ -608,6 +695,8 @@ impl<P> ShardSet<P> {
             active_sources: AtomicUsize::new(sources),
             live: AtomicUsize::new(0),
             step_budget: step_budget.max(1),
+            max_depth,
+            shed_handler,
         }
     }
 
@@ -663,9 +752,48 @@ impl<P> ShardSet<P> {
             scratch[home].push(Event { cursor, payload });
         }
         for (si, group) in scratch.iter_mut().enumerate().take(n) {
+            if group.is_empty() {
+                continue;
+            }
+            if self.max_depth != usize::MAX {
+                self.shed_overflow(si, group);
+            }
             if !group.is_empty() {
                 self.enqueue_batch(si, group);
             }
+        }
+    }
+
+    /// The one shed point of the runtime: truncates a source group to
+    /// the room left under shard `si`'s depth cap, counting every
+    /// refused event in [`ShardStat::shed`] and handing its payload to
+    /// the shed handler on this (source) thread. The depth read races
+    /// concurrent producers, so the cap is approximate by at most one
+    /// in-flight batch per producer — acceptable for a load-shedding
+    /// threshold, and the dispatcher side only ever *shrinks* depth.
+    fn shed_overflow(&self, si: usize, group: &mut Vec<Event<P>>) {
+        let depth = match &self.shards[si].queue {
+            ShardQueue::Mutex(m) => m.lock().len(),
+            ShardQueue::Ring(r) => r.len(),
+        };
+        let room = self.max_depth.saturating_sub(depth);
+        if group.len() <= room {
+            return;
+        }
+        let shed = group.split_off(room);
+        let count = shed.len();
+        self.stats[si]
+            .shed
+            .fetch_add(count as u64, Ordering::Relaxed);
+        for ev in shed {
+            if let Some(handler) = &self.shed_handler {
+                handler(ev.payload);
+            }
+        }
+        // The source loop counted these into `live` at submission;
+        // retire them here so shutdown drains cleanly.
+        if self.live.fetch_sub(count, Ordering::SeqCst) == count {
+            self.wake_all();
         }
     }
 
@@ -890,6 +1018,7 @@ fn start_event_driven<P: Send + 'static>(
     io_workers: usize,
     adaptive: AdaptivePolicy,
     queue: ShardQueueKind,
+    overload: OverloadPolicy,
 ) -> Vec<JoinHandle<()>> {
     // Operator overrides, mirroring FLUX_PIN/FLUX_POLLER: the env wins
     // over whatever the builder configured.
@@ -903,6 +1032,10 @@ fn start_event_driven<P: Send + 'static>(
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&b| b > 0)
         .unwrap_or_else(|| server.max_segment_execs().max(1));
+    let max_depth = match overload {
+        OverloadPolicy::Unbounded => usize::MAX,
+        OverloadPolicy::Bounded(cfg) => cfg.max_shard_depth.max(1),
+    };
     let (io_tx, io_rx): (Sender<Event<P>>, Receiver<Event<P>>) = channel::unbounded();
     let set = Arc::new(ShardSet::<P>::new(
         shards,
@@ -910,8 +1043,25 @@ fn start_event_driven<P: Send + 'static>(
         queue,
         ring_cap,
         step_budget,
+        max_depth,
+        server.shed_handler(),
     ));
     server.stats.install_shards(set.stats.clone());
+
+    // Publish this run's overload-control state (reset: a server can be
+    // restarted under a different policy).
+    let ost = &server.stats.overload;
+    ost.enabled
+        .store(max_depth != usize::MAX, Ordering::Relaxed);
+    ost.depth_cap.store(
+        if max_depth == usize::MAX {
+            0
+        } else {
+            max_depth as u64
+        },
+        Ordering::Relaxed,
+    );
+    ost.offered.store(0, Ordering::Relaxed);
 
     // Publish this run's controller state (reset: a server can be
     // restarted under a different policy or shard count).
@@ -1003,6 +1153,7 @@ fn start_event_driven<P: Send + 'static>(
     for fi in 0..server.flow_count() {
         let submit_set = set.clone();
         let exit_set = set.clone();
+        let offered_srv = server.clone();
         // Reusable per-shard partition buffer: a whole source batch is
         // routed with one queue lock per destination shard.
         let mut scratch: Vec<Vec<Event<P>>> = Vec::new();
@@ -1010,6 +1161,11 @@ fn start_event_driven<P: Send + 'static>(
             server,
             fi,
             move |batch: &mut Vec<(FlowCursor, P)>| {
+                offered_srv
+                    .stats
+                    .overload
+                    .offered
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 submit_set.live.fetch_add(batch.len(), Ordering::SeqCst);
                 submit_set.route_home_batch(batch, &mut scratch);
             },

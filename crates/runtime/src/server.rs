@@ -189,6 +189,10 @@ pub struct FluxServer<P> {
     /// is off or every segment is a singleton): the default dispatcher
     /// step budget.
     max_fused_execs: usize,
+    /// The registry's shed handler (see `NodeRegistry::on_shed`),
+    /// invoked by the sharded runtime for every payload shed at the
+    /// source under a bounded overload policy.
+    shed_handler: Option<Arc<dyn Fn(P) + Send + Sync>>,
 }
 
 impl<P: Send + 'static> FluxServer<P> {
@@ -358,7 +362,13 @@ impl<P: Send + 'static> FluxServer<P> {
             shutdown: AtomicBool::new(false),
             fusion,
             max_fused_execs,
+            shed_handler: registry.shed_handler.clone(),
         })
+    }
+
+    /// The shed handler registered on the node registry, if any.
+    pub(crate) fn shed_handler(&self) -> Option<Arc<dyn Fn(P) + Send + Sync>> {
+        self.shed_handler.clone()
     }
 
     /// The effective fusion mode this server was built with (builder

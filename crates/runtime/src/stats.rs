@@ -156,6 +156,13 @@ pub struct ShardStat {
     /// work stealing and adaptive prefix resizes. Zero when no source
     /// pins its sessions.
     pub pinned_rerouted: AtomicU64,
+    /// Source-batch events refused because this shard's queue stood at
+    /// the configured depth cap (see
+    /// [`crate::runtimes::OverloadPolicy::Bounded`]): every one was
+    /// counted here and handed to the registry's shed handler *before*
+    /// entering any queue — never silently dropped mid-graph. Zero
+    /// under [`crate::runtimes::OverloadPolicy::Unbounded`].
+    pub shed: AtomicU64,
 }
 
 impl ShardStat {
@@ -206,6 +213,66 @@ pub trait NetCounters: Send + Sync + std::fmt::Debug {
     /// output-buffer bound (slow-consumer policy).
     fn slow_consumer_evicted(&self) -> u64 {
         0
+    }
+    /// Connections the accept governor admitted. Zero for drivers
+    /// predating overload control.
+    fn accepts_admitted(&self) -> u64 {
+        0
+    }
+    /// Accepts refused (connection cap) or delayed (rate bucket) by the
+    /// accept governor. Zero for drivers predating overload control.
+    fn accepts_governed(&self) -> u64 {
+        0
+    }
+    /// Connections retired by the idle/slow-loris sweep. Zero for
+    /// drivers predating overload control.
+    fn idle_reaped(&self) -> u64 {
+        0
+    }
+    /// Write submissions that queued behind bytes the peer had not yet
+    /// taken — per-connection backpressure visible *before* the
+    /// eviction cliff at the output-buffer cap. Zero for drivers
+    /// predating overload control.
+    fn writes_deferred(&self) -> u64 {
+        0
+    }
+}
+
+/// Overload-control state of the most recent sharded event-runtime run
+/// (see [`crate::runtimes::OverloadPolicy`]): whether shard queues are
+/// depth-capped, and the offered-event count the per-shard `shed`
+/// counters are reconciled against. `enabled == false` (and all-zero)
+/// under [`crate::runtimes::OverloadPolicy::Unbounded`] and the
+/// non-event runtimes.
+///
+/// The conservation invariant:
+/// `offered == admitted + shed`, where `shed` is the sum of
+/// [`ShardStat::shed`] over the run's shard block — every source event
+/// either entered a shard queue or was counted and handed to the shed
+/// handler, never silently dropped.
+#[derive(Debug, Default)]
+pub struct OverloadStat {
+    /// A bounded overload policy is in force for this server.
+    pub enabled: std::sync::atomic::AtomicBool,
+    /// The per-shard depth cap (0 when unbounded).
+    pub depth_cap: AtomicU64,
+    /// Events sources offered to the runtime (admitted + shed).
+    pub offered: AtomicU64,
+}
+
+impl OverloadStat {
+    /// One-line summary for logs and bench records; `shed` is the
+    /// caller's per-shard rollup ([`ServerStats::total_shed`]).
+    pub fn describe(&self, shed: u64) -> String {
+        let offered = self.offered.load(Ordering::Relaxed);
+        if !self.enabled.load(Ordering::Relaxed) {
+            return "unbounded".to_string();
+        }
+        format!(
+            "cap {}: offered {offered}, admitted {}, shed {shed}",
+            self.depth_cap.load(Ordering::Relaxed),
+            offered.saturating_sub(shed),
+        )
     }
 }
 
@@ -461,6 +528,10 @@ pub struct ServerStats {
     /// event-runtime run (see [`AdaptiveStat`]): current active shard
     /// count plus cumulative park/wake counters.
     pub adaptive: AdaptiveStat,
+    /// Overload-control state of the most recent sharded event-runtime
+    /// run (see [`OverloadStat`]): depth cap plus the offered-event
+    /// count the per-shard `shed` counters reconcile against.
+    pub overload: OverloadStat,
     /// Installed by the sharded event-driven runtime at start; `None`
     /// under the other runtimes. Every `start` installs a fresh block
     /// sized to its own shard count, so restarting the same server with
@@ -549,6 +620,15 @@ impl ServerStats {
             .unwrap_or(0)
     }
 
+    /// Total events shed at the source boundary across all shards of
+    /// the most recent sharded event-runtime run (see
+    /// [`ShardStat::shed`]).
+    pub fn total_shed(&self) -> u64 {
+        self.shard_stats()
+            .map(|s| s.iter().map(|st| st.shed.load(Ordering::Relaxed)).sum())
+            .unwrap_or(0)
+    }
+
     /// Total finished flows.
     pub fn finished(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
@@ -586,6 +666,24 @@ impl ServerStats {
             let rerouted = self.total_pinned_rerouted();
             if rerouted > 0 {
                 out.push_str(&format!(", pinned rerouted {rerouted}"));
+            }
+        }
+        if self.overload.enabled.load(Ordering::Relaxed) {
+            out.push_str(&format!(
+                " | overload {}",
+                self.overload.describe(self.total_shed())
+            ));
+        }
+        if let Some(net) = self.net_counters() {
+            let governed = net.accepts_governed();
+            let reaped = net.idle_reaped();
+            let deferred = net.writes_deferred();
+            if governed > 0 || reaped > 0 || deferred > 0 {
+                out.push_str(&format!(
+                    " | net admitted {}, governed {governed}, reaped {reaped}, \
+                     writes deferred {deferred}",
+                    net.accepts_admitted(),
+                ));
             }
         }
         if let Some(fanout) = self.fanout.describe() {

@@ -12,7 +12,7 @@
 
 use flux_runtime::{
     shard_index, start, AdaptiveConfig, AdaptivePolicy, FluxServer, NodeOutcome, NodeRegistry,
-    RuntimeKind, ShardQueueKind, SourceOutcome,
+    OverloadPolicy, RuntimeKind, ShardQueueKind, SourceOutcome,
 };
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -167,6 +167,7 @@ proptest! {
                     wake_depth: 1,
                 }),
                 queue: ShardQueueKind::Mutex,
+                overload: OverloadPolicy::Unbounded,
             },
         );
         handle.join();

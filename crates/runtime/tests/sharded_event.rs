@@ -4,7 +4,7 @@
 
 use flux_runtime::{
     shard_index, start, AdaptiveConfig, AdaptivePolicy, FluxServer, NodeOutcome, NodeRegistry,
-    RuntimeKind, ShardQueueKind, SourceOutcome,
+    OverloadPolicy, RuntimeKind, ShardQueueKind, SourceOutcome,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -475,6 +475,7 @@ fn controller_parks_idle_shards_and_wakes_on_burst() {
             io_workers: 1,
             adaptive: aggressive(4),
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         },
     );
 
@@ -559,6 +560,7 @@ fn controller_survives_alternating_idle_and_load() {
             io_workers: 1,
             adaptive: aggressive(2),
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         },
     );
     handle.join();
@@ -703,6 +705,7 @@ mod properties {
                     wake_depth: 1,
                 }),
                 queue: kind,
+                overload: OverloadPolicy::Unbounded,
             },
         );
         handle.join();

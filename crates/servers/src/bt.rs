@@ -290,10 +290,15 @@ pub fn build(
             Ok(Message::KeepAlive) => {
                 drop(guard);
                 c.keepalives_seen.fetch_add(1, Ordering::Relaxed);
+                // A keep-alive is the peer's liveness signal: real
+                // progress as far as the idle reaper is concerned.
+                c.driver.mark_progress(f.token);
                 c.driver.arm(f.token);
                 NodeOutcome::Err(100) // nothing to do: the hot ERROR path
             }
             Ok(msg) => {
+                drop(guard);
+                c.driver.mark_progress(f.token);
                 f.msg = Some(msg);
                 NodeOutcome::Ok
             }
@@ -308,6 +313,16 @@ pub fn build(
     });
 
     reg.predicate("IsNew", |f: &BtFlow| f.isnew);
+
+    // Overload shedding (OverloadPolicy::Bounded): the wire protocol
+    // has no cheap error frame, so a shed peer event closes the
+    // connection — the peer observes EOF and re-dials another seed,
+    // which is BitTorrent's native retry path.
+    let c = ctx.clone();
+    reg.on_shed(move |f: BtFlow| {
+        c.peers.lock().remove(&f.token);
+        c.driver.remove(f.token);
+    });
 
     // ---------------------------------------------- connection set-up --
     let c = ctx.clone();

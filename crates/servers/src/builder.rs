@@ -26,7 +26,9 @@
 
 use flux_core::CompiledProgram;
 use flux_net::{ConnDriver, NetConfig};
-use flux_runtime::{AdaptivePolicy, FusionMode, NodeRegistry, RuntimeKind, ShardQueueKind};
+use flux_runtime::{
+    AdaptivePolicy, FusionMode, NodeRegistry, OverloadPolicy, RuntimeKind, ShardQueueKind,
+};
 use std::sync::Arc;
 
 /// What a server kind must provide to be built: its compiled program,
@@ -82,6 +84,10 @@ pub struct ServerBuilder<S: ServerSpec> {
     /// Set by [`ServerBuilder::fusion`]; [`FusionMode::On`] (segment
     /// execution) when unset.
     fusion: Option<FusionMode>,
+    /// Set by [`ServerBuilder::overload`]; applied at
+    /// [`ServerBuilder::spawn`] like `adaptive`, so it composes with
+    /// `.runtime(...)` in either order.
+    overload: Option<OverloadPolicy>,
     net: NetConfig,
     profile: bool,
     stats: bool,
@@ -99,6 +105,7 @@ impl<S: ServerSpec> ServerBuilder<S> {
             adaptive: None,
             shard_queue: None,
             fusion: None,
+            overload: None,
             net: NetConfig::default(),
             profile: false,
             stats: true,
@@ -147,6 +154,19 @@ impl<S: ServerSpec> ServerBuilder<S> {
         self
     }
 
+    /// Sets the overload policy of the event-driven runtime:
+    /// [`OverloadPolicy::Bounded`] enforces hard per-shard queue depth
+    /// caps with shed-at-source (servers answer a prebuilt 503/BUSY via
+    /// their registered shed handler), [`OverloadPolicy::Unbounded`]
+    /// (the default) is the paper's grow-without-limit semantics.
+    /// Applied at [`ServerBuilder::spawn`] so it composes with
+    /// [`ServerBuilder::runtime`] in either call order; ignored by the
+    /// non-event runtimes.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
+        self
+    }
+
     /// Replaces the whole network configuration.
     pub fn net(mut self, net: NetConfig) -> Self {
         self.net = net;
@@ -175,6 +195,31 @@ impl<S: ServerSpec> ServerBuilder<S> {
         self
     }
 
+    /// Caps live connections on this server's driver: past the cap the
+    /// acceptor closes fresh sockets immediately (counted in
+    /// `accepts_governed`) instead of registering them. `0` (the
+    /// default) is unlimited.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.net.max_conns = n;
+        self
+    }
+
+    /// Bounds the accept rate (connections/second token bucket with a
+    /// one-second burst). `0` (the default) is unlimited.
+    pub fn accept_rate(mut self, per_sec: u32) -> Self {
+        self.net.accept_rate = per_sec;
+        self
+    }
+
+    /// Arms idle/slow-loris reaping: connections with no application
+    /// progress for `timeout` are swept out by the reactor tick,
+    /// releasing their slab slot and poller watch. `None` (the
+    /// default) disables reaping.
+    pub fn idle_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.net.idle_timeout = timeout;
+        self
+    }
+
     /// Enables Ball–Larus path profiling (paper §5.2).
     pub fn profile(mut self, on: bool) -> Self {
         self.profile = on;
@@ -199,6 +244,11 @@ impl<S: ServerSpec> ServerBuilder<S> {
             (self.shard_queue, &mut self.runtime)
         {
             *queue = kind;
+        }
+        if let (Some(policy), RuntimeKind::EventDriven { overload, .. }) =
+            (self.overload, &mut self.runtime)
+        {
+            *overload = policy;
         }
         let (program, registry, ctx) = self.spec.build(&self.net);
         let mut server = flux_runtime::FluxServer::with_options(

@@ -118,6 +118,10 @@ pub fn build(
 
     let mut reg: NodeRegistry<GameFlow> = NodeRegistry::new();
 
+    // No `on_shed` handler: this is a datagram protocol, and dropping a
+    // move under overload is indistinguishable from network loss the
+    // client already tolerates. A shed datagram still lands in the
+    // runtime's overload counters.
     let c = ctx.clone();
     reg.source("ReceiveMove", move || {
         if !c.running.load(Ordering::SeqCst) {

@@ -245,6 +245,9 @@ pub fn build_with(
                 match read_request(&mut **guard) {
                     Ok(req) => {
                         drop(guard);
+                        // A complete request head resets the idle
+                        // reaper's deadline; partial heads don't.
+                        c.driver.as_ref().expect("net mode").mark_progress(f.socket);
                         f.close = !req.keep_alive();
                         match ImageTag::from_path(&req.path) {
                             Some(tag) => {
@@ -271,6 +274,24 @@ pub fn build_with(
                     Err(_) => NodeOutcome::Err(3),
                 }
             });
+
+            // Overload shedding (OverloadPolicy::Bounded): answer the
+            // prebuilt 503 and close instead of queueing doomed decode
+            // work.
+            let mut busy = Vec::new();
+            Response::error(503)
+                .write_to(&mut busy, false)
+                .expect("serializing a response to memory cannot fail");
+            let c = ctx.clone();
+            reg.on_shed(move |f: ImageFlow| {
+                let d = c.driver.as_ref().expect("net mode");
+                if d.submit_write(f.socket, &busy) {
+                    d.remove_when_flushed(f.socket);
+                } else {
+                    d.remove(f.socket);
+                }
+            });
+
             let c = ctx.clone();
             reg.node_blocking("Write", move |f: &mut ImageFlow| {
                 let Some(conn) = f.conn.clone() else {

@@ -92,4 +92,24 @@ impl flux_runtime::NetCounters for DriverNetCounters {
             .slow_consumer_evicted
             .load(std::sync::atomic::Ordering::Relaxed)
     }
+    fn accepts_admitted(&self) -> u64 {
+        self.0
+            .accepts_admitted
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn accepts_governed(&self) -> u64 {
+        self.0
+            .accepts_governed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn idle_reaped(&self) -> u64 {
+        self.0
+            .idle_reaped
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn writes_deferred(&self) -> u64 {
+        self.0
+            .writes_deferred
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
 }

@@ -449,7 +449,14 @@ fn build_spec(
                         Ok(n) => {
                             let mut scratch = c.driver.take_read_buf(token);
                             scratch.extend_from_slice(&chunk[..n]);
+                            let before = flows.len();
                             coalesced += parse_burst(token, &mut scratch, &mut flows);
+                            if flows.len() > before {
+                                // A complete protocol line is progress;
+                                // trickled partial lines are not, so a
+                                // slow-loris publisher stays reapable.
+                                c.driver.mark_progress(token);
+                            }
                             c.driver.put_read_buf(token, scratch);
                             c.driver.arm(token);
                         }
@@ -592,6 +599,18 @@ fn build_spec(
     // Subscribe/Aggregate. The connection stays armed (the source
     // re-arms on every read), so one bad line does not kill a session.
     reg.node("Drop", move |_f: &mut PubSubFlow| NodeOutcome::Ok);
+
+    // Overload shedding (OverloadPolicy::Bounded): a command whose home
+    // shard stands at the depth cap is answered `-BUSY` on the source
+    // thread instead of queueing. The connection stays open — this is a
+    // streaming protocol and the client may retry — and the shed count
+    // lands in the runtime's overload stats.
+    let c = ctx.clone();
+    reg.on_shed(move |f: PubSubFlow| {
+        let mut buf = c.driver.take_write_buf();
+        buf.extend_from_slice(b"-BUSY\n");
+        c.driver.submit_write_buf(f.token, buf);
+    });
 
     (program, reg, ctx)
 }

@@ -117,6 +117,10 @@ pub struct WebCtx {
     pub requests: AtomicU64,
     /// Buffer pooling on (the [`HotPath::Batched`] configuration).
     pooled: bool,
+    /// Prebuilt `503 Service Unavailable` wire bytes (Connection:
+    /// close), serialized once at build time so the shed path costs one
+    /// pooled-buffer copy and no formatting.
+    busy_response: Vec<u8>,
 }
 
 impl WebCtx {
@@ -174,6 +178,21 @@ impl WebCtx {
             self.bytes_out.fetch_add(len, Ordering::Relaxed);
         }
         ok
+    }
+
+    /// The shed path: answers the prebuilt 503 from the pooled-buffer
+    /// write path and closes once it drains. Runs on the source thread,
+    /// *before* the flow enters any shard queue, so an overloaded
+    /// server refuses work at the edge for the cost of one buffered
+    /// write.
+    fn shed_busy(&self, token: Token) {
+        let mut bytes = self.driver.take_write_buf();
+        bytes.extend_from_slice(&self.busy_response);
+        if self.driver.submit_write_buf(token, bytes) {
+            self.driver.remove_when_flushed(token);
+        } else {
+            self.driver.remove(token);
+        }
     }
 }
 
@@ -266,12 +285,17 @@ fn build_spec(
     let driver = Arc::new(ConnDriver::with_config(net));
     driver.spawn_acceptor(listener);
     let io_timeout = net.io_timeout;
+    let mut busy_response = Vec::new();
+    Response::error(503)
+        .write_to(&mut busy_response, false)
+        .expect("serializing a response to memory cannot fail");
     let ctx = Arc::new(WebCtx {
         driver,
         docroot,
         bytes_out: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         pooled: hot_path == HotPath::Batched,
+        busy_response,
     });
 
     let mut reg: NodeRegistry<WebFlow> = NodeRegistry::new();
@@ -363,6 +387,10 @@ fn build_spec(
         match parsed {
             Ok(req) => {
                 drop(guard);
+                // A complete request head is application progress: the
+                // idle sweep's deadline resets. Trickled partial heads
+                // deliberately don't reset it (slow-loris reapability).
+                c.driver.mark_progress(f.token);
                 c.requests.fetch_add(1, Ordering::Relaxed);
                 f.close = !req.keep_alive();
                 f.request = Some(req);
@@ -461,6 +489,12 @@ fn build_spec(
         c.finish(f.token, f.close);
         NodeOutcome::Ok
     });
+
+    // Overload shedding (OverloadPolicy::Bounded): a readable
+    // connection whose home shard stands at the depth cap gets the
+    // prebuilt 503 instead of queueing doomed work.
+    let c = ctx.clone();
+    reg.on_shed(move |f: WebFlow| c.shed_busy(f.token));
 
     // Error handlers enqueue a diagnostic response and close or re-arm
     // (the driver's non-blocking write path works on every runtime, so

@@ -1,4 +1,4 @@
-//! Quickstart, in four acts:
+//! Quickstart, in five acts:
 //!
 //! 1. compile a Flux program, bind Rust node implementations, and run
 //!    it on all four runtimes — the paper's runtime-independence claim;
@@ -17,7 +17,13 @@
 //!    encoded once no matter the fan-out;
 //! 4. inspect what the compiler fused: the same dump `fluxc fused`
 //!    (alias `--dump-fused`) prints — each flow's straight-line
-//!    segments and the boundary reasons where fusion stops.
+//!    segments and the boundary reasons where fusion stops;
+//! 5. overload control through the same builder: `max_conns` governs
+//!    admission at the accept edge, `OverloadPolicy::bounded` caps the
+//!    shard queues so a flood sheds (the web server answers a prebuilt
+//!    503 via its `on_shed` handler), and `idle_timeout` reaps
+//!    connections that stop making application progress — all counted,
+//!    never silent.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -256,4 +262,59 @@ fn main() {
     let program = flux::core::compile(PROGRAM).expect("program compiles");
     println!();
     print!("{}", flux::core::fuse::render(&program));
+
+    // Act 5: overload control, same builder. Three layers, all
+    // counted: `max_conns` caps live connections at the accept edge
+    // (excess accepts are closed immediately — peers fail fast instead
+    // of queueing doomed work), `OverloadPolicy::bounded` caps each
+    // shard queue so a flood sheds at the source boundary into the
+    // server's `on_shed` handler (the web server answers a prebuilt
+    // 503), and `idle_timeout` reaps connections with no *application*
+    // progress — a slow-loris trickling header bytes never refreshes
+    // its deadline. The books always reconcile: offered == finished +
+    // shed on the queues, admitted + governed == accepts at the edge.
+    use flux::runtime::OverloadPolicy;
+
+    let net = MemNet::new();
+    let listener = net.listen("overload").unwrap();
+    let mut docroot = flux::http::DocRoot::new();
+    docroot.insert("/hello.html", "still serving");
+    let server = ServerBuilder::new(WebSpec::new(Box::new(listener), docroot))
+        .runtime(RuntimeKind::event_driven_sharded(2, 2))
+        .overload(OverloadPolicy::bounded(64))
+        .max_conns(1)
+        .idle_timeout(Some(std::time::Duration::from_secs(5)))
+        .spawn();
+
+    // The first connection takes the only admission slot...
+    let mut keeper = net.connect("overload").unwrap();
+    // ...so the second is accepted and closed by the governor: its
+    // peer observes EOF instead of a served request.
+    let mut over = net.connect("overload").unwrap();
+    use std::io::Read as _;
+    let n = over.read(&mut [0u8; 8]).unwrap_or(0);
+    assert_eq!(n, 0, "over-cap connection is closed unserved");
+
+    // The admitted connection still works.
+    write!(
+        keeper,
+        "GET /hello.html HTTP/1.1\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, body) = flux::http::read_response(&mut keeper).unwrap();
+    assert_eq!((status, body.as_slice()), (200, b"still serving".as_ref()));
+    let counters = server
+        .handle
+        .server()
+        .stats
+        .net_counters()
+        .expect("web server installs net counters");
+    println!(
+        "overload control: admitted connection served \"{}\"; \
+         {} admitted, {} governed (closed at the accept edge)",
+        String::from_utf8_lossy(&body),
+        counters.accepts_admitted(),
+        counters.accepts_governed(),
+    );
+    flux::servers::web::stop(server);
 }

@@ -14,7 +14,7 @@
 
 use flux::http::DocRoot;
 use flux::net::{Listener as _, NetConfig, TcpAcceptor, TcpConn};
-use flux::runtime::{AdaptivePolicy, RuntimeKind, ShardQueueKind};
+use flux::runtime::{AdaptivePolicy, OverloadPolicy, RuntimeKind, ShardQueueKind};
 use flux::servers::{web::WebSpec, ServerBuilder};
 use std::io::Write as _;
 use std::sync::atomic::Ordering;
@@ -77,6 +77,7 @@ fn main() {
             // Mutex/Condvar dispatch is still the default; FLUX_SHARD_QUEUE=ring
             // selects the lock-free MPSC ring at startup (see crate docs).
             queue: ShardQueueKind::Mutex,
+            overload: OverloadPolicy::Unbounded,
         })
         .net(net)
         .spawn();

@@ -12,8 +12,8 @@
 
 use flux::core::EndKind;
 use flux::runtime::{
-    start, AdaptivePolicy, FluxServer, HotOrder, NodeOutcome, NodeRegistry, RuntimeKind,
-    ShardQueueKind, SourceOutcome,
+    start, AdaptivePolicy, FluxServer, HotOrder, NodeOutcome, NodeRegistry, OverloadPolicy,
+    RuntimeKind, ShardQueueKind, SourceOutcome,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +27,7 @@ const ALL_RUNTIMES: [RuntimeKind; 4] = [
         io_workers: 2,
         adaptive: AdaptivePolicy::Static,
         queue: ShardQueueKind::Mutex,
+        overload: OverloadPolicy::Unbounded,
     },
     RuntimeKind::Staged { stage_workers: 2 },
 ];
