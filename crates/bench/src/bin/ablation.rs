@@ -20,9 +20,12 @@
 //!    round-robin baseline, on the paper's image server and BitTorrent
 //!    programs.
 //! 7. **Poller backends**: the slow-reader web workload over real TCP,
-//!    poll(2) versus epoll(7) behind the same `Reactor`, swept over
+//!    poll(2) versus epoll(7) versus io_uring (readiness mode, when the
+//!    host kernel allows it) behind the same `Reactor`, swept over
 //!    connection counts — the regime where poll's O(watched fds) per
-//!    wakeup starts to tell. Writes `BENCH_poller_backends.json`.
+//!    wakeup starts to tell, and where uring's batched one-syscall
+//!    rounds cut epoll's per-re-arm `epoll_ctl`s. Writes
+//!    `BENCH_poller_backends.json`.
 //! 8. **Hot path**: old per-event delivery and per-response allocation
 //!    versus the slab/batch/pool hot path (slot-indexed tables, one
 //!    queue lock per readiness burst, recycled payload buffers), on the
@@ -1432,12 +1435,20 @@ fn main() {
             "Ablation 7: poller backends — slow-reader web workload (TCP, 256 KiB file)",
             &["backend", "clients", "req_s", "mbps", "mean_ms", "p95_ms"],
         );
+        let mut backends7 = vec![
+            flux_net::PollerBackend::Poll,
+            flux_net::PollerBackend::Epoll,
+        ];
+        if flux_net::uring_available() {
+            backends7.push(flux_net::PollerBackend::Uring);
+        } else {
+            eprintln!(
+                "# notice: io_uring unavailable on this host — ablation 7 sweeps poll/epoll only"
+            );
+        }
         let mut pb_rows: Vec<(&'static str, usize, flux_bench::LoadReport)> = Vec::new();
         for &clients in client_points7 {
-            for backend in [
-                flux_net::PollerBackend::Poll,
-                flux_net::PollerBackend::Epoll,
-            ] {
+            for &backend in &backends7 {
                 let (report, name) = run_poller_backend(backend, clients, secs7);
                 eprintln!(
                     "# backend={name:<6} clients={clients:<5} {} req/s {} Mb/s mean {:.3} ms",
@@ -1464,7 +1475,9 @@ fn main() {
         println!(
             "# the watched-fd count tracks the client count: poll pays O(watched) per wakeup,"
         );
-        println!("# epoll pays O(ready) — the gap opens as connections grow.");
+        println!("# epoll pays O(ready) — the gap opens as connections grow. uring batches every");
+        println!("# arm/disarm of a round with the wait into one io_uring_enter, cutting the");
+        println!("# K epoll_ctl re-arms a K-ready round costs epoll.");
         println!(
             "# NOTE: the 1024-connection points are load-generator-bound on small hosts (1024"
         );

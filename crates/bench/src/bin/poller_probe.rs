@@ -1,0 +1,19 @@
+//! Prints the readiness backend that `PollerBackend::default()` (i.e.
+//! the `FLUX_POLLER` env var plus the platform default and fallback
+//! chain) resolves to on this host — one word on stdout: `poll`,
+//! `epoll`, `uring`, or `none` (non-unix).
+//!
+//! CI's poller-backend matrix runs this as a setup step so a leg can
+//! *assert* the backend it is about to measure: a runner whose kernel
+//! or seccomp profile refuses io_uring skips the uring leg with a
+//! notice instead of silently re-testing epoll under a uring label.
+
+fn main() {
+    #[cfg(unix)]
+    {
+        let backend = flux_net::create_poller(flux_net::PollerBackend::default());
+        println!("{}", backend.name());
+    }
+    #[cfg(not(unix))]
+    println!("none");
+}

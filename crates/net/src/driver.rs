@@ -112,8 +112,11 @@ fn make_token(slot: u32, gen: u32) -> Token {
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Which readiness backend multiplexes fd-backed transports.
-    /// Defaults to epoll on Linux (with automatic fallback to poll);
-    /// `FLUX_POLLER=poll|epoll` overrides at runtime.
+    /// Defaults to epoll on Linux (io_uring is opt-in until it has
+    /// broader soak time); `FLUX_POLLER=poll|epoll|uring` overrides at
+    /// runtime. A backend that fails its capability probe falls back
+    /// down the chain (uring → epoll → poll) and the substitution is
+    /// counted in [`DriverCounters::poller_fallbacks`].
     #[cfg(unix)]
     pub backend: crate::poller::PollerBackend,
     /// Per-connection output-buffer bound for the non-blocking write
@@ -237,6 +240,12 @@ pub struct DriverCounters {
     /// eviction cap) — the backpressure signal operators see *before*
     /// the `slow_consumer_evicted` cliff.
     pub writes_deferred: AtomicU64,
+    /// 1 when the requested poller backend failed its capability probe
+    /// at construction and a fallback was substituted (e.g. `uring`
+    /// requested on a kernel without io_uring → epoll). Paired with
+    /// [`ConnDriver::poller_backend`] so harnesses can refuse to
+    /// attribute numbers to a backend that never actually ran.
+    pub poller_fallbacks: AtomicU64,
 }
 
 /// One slab slot's state, behind its own lock. `gen` is written only
@@ -359,20 +368,24 @@ impl ConnDriver {
     pub fn with_config(config: &NetConfig) -> Self {
         let (tx, rx) = unbounded();
         let event_batches = Arc::new(BatchPool::new(8));
+        #[cfg(unix)]
+        let reactor =
+            crate::reactor::Reactor::new(tx.clone(), event_batches.clone(), config.backend);
+        let counters = Arc::new(DriverCounters::default());
+        #[cfg(unix)]
+        if reactor.backend_fell_back() {
+            counters.poller_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         ConnDriver {
             #[cfg(unix)]
-            reactor: crate::reactor::Reactor::new(
-                tx.clone(),
-                event_batches.clone(),
-                config.backend,
-            ),
+            reactor,
             tx,
             rx,
             pending: Mutex::new(VecDeque::new()),
             slots: RwLock::new(Vec::new()),
             free_slots: Mutex::new(Vec::new()),
             conn_count: AtomicUsize::new(0),
-            counters: Arc::new(DriverCounters::default()),
+            counters,
             watch_batch: Arc::new(Mutex::new(Vec::new())),
             write_bufs: Arc::new(BytePool::default()),
             event_batches,
@@ -390,8 +403,10 @@ impl ConnDriver {
         }
     }
 
-    /// The readiness backend actually in use (`"poll"` or `"epoll"`,
-    /// after any fallback); `"none"` on non-unix hosts.
+    /// The readiness backend actually in use (`"poll"`, `"epoll"`, or
+    /// `"uring"`, after any fallback — see
+    /// [`DriverCounters::poller_fallbacks`]); `"none"` on non-unix
+    /// hosts.
     pub fn poller_backend(&self) -> &'static str {
         #[cfg(unix)]
         {

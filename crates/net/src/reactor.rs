@@ -199,6 +199,9 @@ pub struct Reactor {
     /// on first registration.
     poller: Mutex<Option<Box<dyn Poller>>>,
     backend_name: &'static str,
+    /// True when the resolved backend differs from the requested one
+    /// (e.g. `uring` requested, capability probe failed, epoll chosen).
+    backend_fell_back: bool,
     stopping: AtomicBool,
     pinned: AtomicBool,
     events_delivered: AtomicU64,
@@ -221,6 +224,7 @@ impl Reactor {
     ) -> Arc<Self> {
         let poller = create_poller(backend);
         let backend_name = poller.name();
+        let backend_fell_back = backend_name != backend.label();
         Arc::new(Reactor {
             shared: Mutex::new(Shared {
                 control: Vec::new(),
@@ -233,6 +237,7 @@ impl Reactor {
             thread: Mutex::new(None),
             poller: Mutex::new(Some(poller)),
             backend_name,
+            backend_fell_back,
             stopping: AtomicBool::new(false),
             pinned: AtomicBool::new(false),
             events_delivered: AtomicU64::new(0),
@@ -255,10 +260,21 @@ impl Reactor {
         self.events_delivered.load(Ordering::Relaxed)
     }
 
-    /// The backend actually in use (`"poll"` or `"epoll"`), after any
-    /// fallback.
+    /// The backend actually in use (`"poll"`, `"epoll"`, or
+    /// `"uring"`), after any fallback.
     pub fn backend_name(&self) -> &'static str {
         self.backend_name
+    }
+
+    /// True when the requested backend could not be constructed and a
+    /// fallback was substituted — a `uring` request landing on epoll
+    /// (no io_uring on this kernel / seccomp denies it), or an `epoll`
+    /// request landing on poll. Surfaces in
+    /// [`DriverCounters::poller_fallbacks`](crate::driver::DriverCounters)
+    /// so CI and benches report the resolved backend honestly instead
+    /// of silently measuring the wrong thing.
+    pub fn backend_fell_back(&self) -> bool {
+        self.backend_fell_back
     }
 
     /// True when the reactor thread pinned itself to a core.
@@ -776,11 +792,16 @@ mod tests {
     use std::time::Duration;
 
     fn backends() -> Vec<PollerBackend> {
+        let mut v = vec![PollerBackend::Poll];
         if cfg!(target_os = "linux") {
-            vec![PollerBackend::Poll, PollerBackend::Epoll]
-        } else {
-            vec![PollerBackend::Poll]
+            v.push(PollerBackend::Epoll);
+            if crate::poller::uring_available() {
+                v.push(PollerBackend::Uring);
+            } else {
+                eprintln!("skipping uring backend (unavailable on this host)");
+            }
         }
+        v
     }
 
     /// Unpacks the reactor's batched deliveries back into single events
@@ -1037,11 +1058,24 @@ mod tests {
     fn backend_name_reports_resolved_backend() {
         let (reactor, _rx) = test_reactor(PollerBackend::Poll);
         assert_eq!(reactor.backend_name(), "poll");
+        assert!(!reactor.backend_fell_back());
         reactor.stop();
         #[cfg(target_os = "linux")]
         {
             let (reactor, _rx) = test_reactor(PollerBackend::Epoll);
             assert_eq!(reactor.backend_name(), "epoll");
+            assert!(!reactor.backend_fell_back());
+            reactor.stop();
+            // Uring either resolves to itself or honestly reports the
+            // epoll fallback — never a silent mismatch.
+            let (reactor, _rx) = test_reactor(PollerBackend::Uring);
+            if crate::poller::uring_available() {
+                assert_eq!(reactor.backend_name(), "uring");
+                assert!(!reactor.backend_fell_back());
+            } else {
+                assert_eq!(reactor.backend_name(), "epoll");
+                assert!(reactor.backend_fell_back());
+            }
             reactor.stop();
         }
     }

@@ -1,0 +1,58 @@
+//! The capability-probe fallback path, in a dedicated binary.
+//!
+//! `FLUX_URING_DISABLE` is read at ring construction and env vars are
+//! process-global, so this test owns its process (each integration
+//! test file is a separate binary) rather than racing the parallel
+//! suites that probe real ring availability.
+
+#![cfg(target_os = "linux")]
+
+use flux_net::{ConnDriver, NetConfig, PollerBackend};
+use std::sync::atomic::Ordering;
+
+/// A uring request on a host where ring setup fails must come up on
+/// epoll — a working driver, not an error — with the substitution
+/// reported through both `poller_backend()` and the
+/// `poller_fallbacks` counter, never silently.
+#[test]
+fn failed_ring_setup_falls_back_to_epoll_and_reports_it() {
+    // Force the capability probe to fail regardless of what this
+    // kernel actually supports.
+    std::env::set_var("FLUX_URING_DISABLE", "1");
+    assert!(
+        !flux_net::uring_available(),
+        "disable knob must fail the availability probe"
+    );
+    let driver = ConnDriver::with_config(&NetConfig {
+        backend: PollerBackend::Uring,
+        ..NetConfig::default()
+    });
+    assert_eq!(
+        driver.poller_backend(),
+        "epoll",
+        "failed probe must land on the epoll link of the fallback chain"
+    );
+    assert_eq!(
+        driver.counters().poller_fallbacks.load(Ordering::Relaxed),
+        1,
+        "the substitution must be counted, not silent"
+    );
+    drop(driver);
+
+    // With the knob lifted, a host that has io_uring honours the
+    // request and records no fallback.
+    std::env::remove_var("FLUX_URING_DISABLE");
+    if flux_net::uring_available() {
+        let driver = ConnDriver::with_config(&NetConfig {
+            backend: PollerBackend::Uring,
+            ..NetConfig::default()
+        });
+        assert_eq!(driver.poller_backend(), "uring");
+        assert_eq!(
+            driver.counters().poller_fallbacks.load(Ordering::Relaxed),
+            0
+        );
+    } else {
+        eprintln!("notice: io_uring genuinely unavailable here, honoured-request leg skipped");
+    }
+}

@@ -5,26 +5,38 @@
 use flux_net::{ConnDriver, NetConfig, PollerBackend};
 use std::sync::Arc;
 
-/// Every backend available on this host.
+/// Every backend available on this host. io_uring is probed at runtime
+/// (real ring setup) and skipped with a notice — never silently — on
+/// kernels or seccomp sandboxes that refuse it.
 pub fn backends() -> Vec<PollerBackend> {
+    let mut v = vec![PollerBackend::Poll];
     if cfg!(target_os = "linux") {
-        vec![PollerBackend::Poll, PollerBackend::Epoll]
-    } else {
-        vec![PollerBackend::Poll]
+        v.push(PollerBackend::Epoll);
+        if flux_net::uring_available() {
+            v.push(PollerBackend::Uring);
+        } else {
+            eprintln!("notice: io_uring unavailable on this host, uring backend not exercised");
+        }
     }
+    v
 }
 
 /// A driver configured for `backend`, asserting the request was
-/// honoured (no silent fallback on a host that has the backend).
+/// honoured (no silent fallback on a host that has the backend —
+/// [`backends`] only hands out uring after a successful probe).
 pub fn driver_on(backend: PollerBackend) -> Arc<ConnDriver> {
     let driver = Arc::new(ConnDriver::with_config(&NetConfig {
         backend,
         ..NetConfig::default()
     }));
-    let expect = match backend {
-        PollerBackend::Poll => "poll",
-        PollerBackend::Epoll => "epoll",
-    };
-    assert_eq!(driver.poller_backend(), expect, "backend honoured");
+    assert_eq!(driver.poller_backend(), backend.label(), "backend honoured");
+    assert_eq!(
+        driver
+            .counters()
+            .poller_fallbacks
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "no fallback recorded for an honoured backend"
+    );
     driver
 }

@@ -706,6 +706,16 @@ mod tests {
             encodes, publishes,
             "zero-copy invariant: one encode per aggregation round"
         );
+        // The deliveries counter is bumped *after* `submit_write_shared`
+        // makes the bytes reader-visible, so the reads above can
+        // complete a beat before the publisher flow's fetch_add lands —
+        // wait for the counter rather than racing it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while server.ctx.fanout.deliveries.load(Ordering::Relaxed) < 2 * 3
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
         assert!(server.ctx.fanout.deliveries.load(Ordering::Relaxed) >= 2 * 3);
         assert_eq!(server.ctx.subscriptions.load(Ordering::Relaxed), 2);
         stop(server);
